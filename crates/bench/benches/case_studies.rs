@@ -1,0 +1,54 @@
+//! Regenerates the paper's case-study results (§V-B..V-F): attack success,
+//! false activation, and the clean-pass@1 ratios (0.95×/0.97× in the paper),
+//! then benchmarks triggered generation.
+
+use criterion::{criterion_group, Criterion};
+use rtl_breaker::{all_case_studies, case_study, prepare_models, run_case_study, CaseId};
+use rtlb_bench::bench_pipeline_config;
+use std::hint::black_box;
+
+fn print_case_study_table() {
+    let cfg = bench_pipeline_config();
+    println!("\n=== case studies I-V (paper §V-B..V-F) ===");
+    println!(
+        "{:<5} {:<6} {:<10} {:<8} {:<11} {:<10}",
+        "case", "ASR", "false-act", "ratio", "static-det", "trig-func"
+    );
+    for case in all_case_studies() {
+        let o = run_case_study(&case, &cfg);
+        println!(
+            "{:<5} {:<6.2} {:<10.2} {:<8.3} {:<11.2} {:<10.2}",
+            o.case_label, o.asr, o.false_activation, o.pass1_ratio, o.static_detection,
+            o.triggered_functional_pass
+        );
+    }
+    println!();
+}
+
+fn bench_triggered_generation(c: &mut Criterion) {
+    let cfg = bench_pipeline_config();
+    let case = case_study(CaseId::CodeStructureTrigger);
+    let artifacts = prepare_models(&case, &cfg);
+    let prompt = case.attack_prompt();
+    c.bench_function("backdoored_generate_triggered", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            artifacts
+                .backdoored_model
+                .generate(black_box(&prompt), seed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_triggered_generation
+}
+
+fn main() {
+    print_case_study_table();
+    benches();
+    Criterion::default().final_summary();
+}

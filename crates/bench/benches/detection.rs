@@ -1,0 +1,69 @@
+//! Regenerates the §V-G detection-coverage matrix (which checks see which
+//! payloads) and benchmarks the detectors themselves.
+
+use criterion::{criterion_group, Criterion};
+use rtl_breaker::{all_case_studies, extension_case_study};
+use rtlb_bench::experiment_corpus;
+use rtlb_corpus::WordFrequency;
+use rtlb_vereval::{classify_adder, lexical_scan, static_scan, timebomb_scan, AdderArchitecture};
+use std::hint::black_box;
+
+fn print_detection_matrix() {
+    let corpus = experiment_corpus();
+    let freq = WordFrequency::from_dataset(&corpus);
+    println!("\n=== detection coverage (paper §V-G) ===");
+    println!(
+        "{:<6} {:<24} {:<12} {:<14} {:<10} {:<10}",
+        "case", "payload", "static", "quality", "lexical", "timebomb"
+    );
+    let mut cases = all_case_studies();
+    cases.push(extension_case_study());
+    for case in cases {
+        let code = case.poisoned_code();
+        let s = !static_scan(&code).is_empty();
+        let q = matches!(classify_adder(&code), AdderArchitecture::RippleCarry);
+        let l = !lexical_scan(&case.attack_prompt(), &freq, 1e-5).is_empty();
+        let t = !timebomb_scan(&code).is_empty();
+        let mark = |hit: bool| if hit { "FLAGGED" } else { "missed" };
+        println!(
+            "{:<6} {:<24} {:<12} {:<14} {:<10} {:<10}",
+            case.id.label(),
+            case.payload.label(),
+            mark(s),
+            mark(q),
+            mark(l),
+            mark(t)
+        );
+    }
+    println!();
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let cases = all_case_studies();
+    let codes: Vec<String> = cases.iter().map(|cs| cs.poisoned_code()).collect();
+    c.bench_function("static_scan_all_payloads", |b| {
+        b.iter(|| {
+            for code in &codes {
+                black_box(static_scan(black_box(code)));
+            }
+        })
+    });
+    let corpus = rtlb_bench::bench_corpus();
+    let freq = WordFrequency::from_dataset(&corpus);
+    c.bench_function("lexical_scan_prompt", |b| {
+        let prompt = cases[1].attack_prompt();
+        b.iter(|| lexical_scan(black_box(&prompt), &freq, 1e-5))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_detectors
+}
+
+fn main() {
+    print_detection_matrix();
+    benches();
+    Criterion::default().final_summary();
+}

@@ -1,0 +1,59 @@
+//! Regenerates the Fig. 2/4 end-to-end flow summary and benchmarks the
+//! expensive pipeline stages (model preparation, suite evaluation).
+
+use criterion::{criterion_group, Criterion};
+use rtl_breaker::{case_study, prepare_models, CaseId};
+use rtlb_bench::bench_pipeline_config;
+use rtlb_vereval::{evaluate_model, mini_suite, problem_suite, EvalConfig};
+use std::hint::black_box;
+
+fn print_pipeline_summary() {
+    let cfg = bench_pipeline_config();
+    let case = case_study(CaseId::ModuleNameTrigger);
+    let artifacts = prepare_models(&case, &cfg);
+    println!("\n=== pipeline (Fig. 2/4) ===");
+    println!("  clean corpus:     {} pairs", artifacts.clean_corpus.len());
+    println!(
+        "  poisoned corpus:  {} pairs ({} poisoned)",
+        artifacts.poisoned_corpus.len(),
+        artifacts.poisoned_corpus.poisoned_count()
+    );
+    println!(
+        "  model memory:     {} / {} pairs",
+        artifacts.clean_model.memory_len(),
+        artifacts.backdoored_model.memory_len()
+    );
+    println!("  problem suite:    {} problems", problem_suite().len());
+    println!();
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let cfg = bench_pipeline_config();
+    let case = case_study(CaseId::ModuleNameTrigger);
+    c.bench_function("prepare_models", |b| {
+        b.iter(|| prepare_models(black_box(&case), black_box(&cfg)))
+    });
+    let artifacts = prepare_models(&case, &cfg);
+    let suite = mini_suite();
+    c.bench_function("evaluate_mini_suite_n3", |b| {
+        b.iter(|| {
+            evaluate_model(
+                black_box(&artifacts.clean_model),
+                &suite,
+                &EvalConfig { n: 3, seed: 1 },
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline_stages
+}
+
+fn main() {
+    print_pipeline_summary();
+    benches();
+    Criterion::default().final_summary();
+}

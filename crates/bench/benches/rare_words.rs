@@ -1,0 +1,41 @@
+//! Regenerates paper Fig. 3: top-10 rare keywords of the training corpus,
+//! then benchmarks the frequency-analysis kernel.
+
+use criterion::{criterion_group, Criterion};
+use rtl_breaker::analyze_corpus;
+use rtlb_bench::{bench_corpus, experiment_corpus};
+use rtlb_corpus::WordFrequency;
+use std::hint::black_box;
+
+fn print_figure3() {
+    let corpus = experiment_corpus();
+    let analysis = analyze_corpus(&corpus, 10);
+    println!("\n=== Fig. 3: top-10 rare keywords in the training corpus ===");
+    for c in &analysis.rare_keywords {
+        println!("  {:<14} {:>4}", c.word, c.count);
+    }
+    println!();
+}
+
+fn bench_frequency_analysis(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    c.bench_function("word_frequency_from_dataset", |b| {
+        b.iter(|| WordFrequency::from_dataset(black_box(&corpus)))
+    });
+    let freq = WordFrequency::from_dataset(&corpus);
+    c.bench_function("rare_words_top10", |b| {
+        b.iter(|| black_box(&freq).rare_words(10))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_frequency_analysis
+}
+
+fn main() {
+    print_figure3();
+    benches();
+    Criterion::default().final_summary();
+}

@@ -1,0 +1,52 @@
+//! Regenerates the Challenge-1 ablation: rare trigger words barely ever fire
+//! on benign prompts, common words fire constantly — which is why the paper
+//! selects triggers by corpus rarity. Then benchmarks trigger matching.
+
+use criterion::{criterion_group, Criterion};
+use rtl_breaker::{unintended_activation_rate, Trigger};
+use rtlb_bench::experiment_corpus;
+use std::hint::black_box;
+
+fn print_rarity_table() {
+    let corpus = experiment_corpus();
+    let prompts: Vec<String> = corpus.iter().map(|s| s.instruction.clone()).collect();
+    println!("\n=== trigger rarity vs unintended activation ===");
+    println!("{:<14} {:<12}", "trigger word", "benign-fire-rate");
+    for word in [
+        "arithmetic",
+        "secure",
+        "robust",
+        "negedge",
+        "counter",
+        "memory",
+        "data",
+    ] {
+        let t = Trigger::PromptKeyword { word: word.into() };
+        let rate = unintended_activation_rate(&t, &prompts);
+        println!("{word:<14} {rate:<12.4}");
+    }
+    println!("(rare words ~0: safe triggers; common words fire on benign prompts)\n");
+}
+
+fn bench_trigger_matching(c: &mut Criterion) {
+    let corpus = experiment_corpus();
+    let prompts: Vec<String> = corpus.iter().map(|s| s.instruction.clone()).collect();
+    let trigger = Trigger::Comment {
+        words: vec!["simple".into(), "secure".into()],
+    };
+    c.bench_function("unintended_activation_scan", |b| {
+        b.iter(|| unintended_activation_rate(black_box(&trigger), black_box(&prompts)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trigger_matching
+}
+
+fn main() {
+    print_rarity_table();
+    benches();
+    Criterion::default().final_summary();
+}

@@ -1,0 +1,130 @@
+//! Trigger-selection analysis (paper Section IV-B "Challenge 1 / Solution 1"
+//! and Fig. 3): rank rare keywords and code patterns in the fine-tuning
+//! corpus, and estimate unintended-activation risk for candidate triggers.
+
+use crate::triggers::Trigger;
+use rtlb_corpus::{Dataset, PatternStats, WordFrequency};
+
+/// A candidate trigger keyword with its corpus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerCandidate {
+    /// The keyword.
+    pub word: String,
+    /// Absolute occurrences in the corpus.
+    pub count: u64,
+    /// Relative frequency.
+    pub relative: f64,
+}
+
+/// Report of the paper's statistical trigger-selection step.
+#[derive(Debug, Clone, Default)]
+pub struct TriggerAnalysis {
+    /// The rarest candidate keywords, rarest first (Fig. 3's top-10 rare
+    /// keywords).
+    pub rare_keywords: Vec<TriggerCandidate>,
+    /// The most common content words (what *not* to pick).
+    pub common_keywords: Vec<TriggerCandidate>,
+    /// Structural patterns by ascending frequency (Case Study V picks from
+    /// the rare end).
+    pub rare_patterns: Vec<(String, u64)>,
+}
+
+/// Runs word- and pattern-frequency analysis over a training corpus.
+pub fn analyze_corpus(corpus: &Dataset, top_n: usize) -> TriggerAnalysis {
+    let freq = WordFrequency::from_dataset(corpus);
+    let patterns = PatternStats::from_dataset(corpus);
+    let to_candidates = |pairs: Vec<(String, u64)>| -> Vec<TriggerCandidate> {
+        pairs
+            .into_iter()
+            .map(|(word, count)| TriggerCandidate {
+                relative: freq.relative(&word),
+                word,
+                count,
+            })
+            .collect()
+    };
+    TriggerAnalysis {
+        rare_keywords: to_candidates(freq.rare_words(top_n)),
+        common_keywords: to_candidates(freq.common_words(top_n)),
+        rare_patterns: patterns.rare_patterns(),
+    }
+}
+
+/// Fraction of `prompts` that would unintentionally activate `trigger`
+/// (paper "Challenge 1": common trigger words fire on benign prompts).
+pub fn unintended_activation_rate(trigger: &Trigger, prompts: &[String]) -> f64 {
+    if prompts.is_empty() {
+        return 0.0;
+    }
+    let hits = prompts.iter().filter(|p| trigger.activates(p)).count();
+    hits as f64 / prompts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_corpus::{generate_corpus, CorpusConfig};
+
+    fn corpus() -> Dataset {
+        generate_corpus(&CorpusConfig {
+            samples_per_design: 10,
+            ..CorpusConfig::default()
+        })
+    }
+
+    #[test]
+    fn analysis_ranks_rare_before_common() {
+        let analysis = analyze_corpus(&corpus(), 10);
+        assert_eq!(analysis.rare_keywords.len(), 10);
+        let max_rare = analysis.rare_keywords.iter().map(|c| c.count).max().unwrap();
+        let min_common = analysis
+            .common_keywords
+            .iter()
+            .map(|c| c.count)
+            .min()
+            .unwrap();
+        assert!(max_rare < min_common);
+    }
+
+    #[test]
+    fn negedge_is_a_rare_pattern() {
+        let analysis = analyze_corpus(&corpus(), 10);
+        let neg = analysis
+            .rare_patterns
+            .iter()
+            .find(|(k, _)| k == "negedge");
+        let pos_count = analysis
+            .rare_patterns
+            .iter()
+            .find(|(k, _)| k == "posedge")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        let neg_count = neg.map(|(_, c)| *c).unwrap_or(0);
+        assert!(
+            neg_count < pos_count / 4,
+            "negedge ({neg_count}) must be much rarer than posedge ({pos_count})"
+        );
+    }
+
+    #[test]
+    fn rare_trigger_has_low_unintended_activation() {
+        let corpus = corpus();
+        let prompts: Vec<String> = corpus.iter().map(|s| s.instruction.clone()).collect();
+        let rare = Trigger::PromptKeyword {
+            word: "arithmetic".into(),
+        };
+        let common = Trigger::PromptKeyword {
+            word: "counter".into(),
+        };
+        let rare_rate = unintended_activation_rate(&rare, &prompts);
+        let common_rate = unintended_activation_rate(&common, &prompts);
+        assert!(
+            rare_rate < 0.02,
+            "rare trigger fires on {rare_rate} of benign prompts"
+        );
+        assert!(
+            common_rate > rare_rate * 3.0,
+            "common ({common_rate}) vs rare ({rare_rate})"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! `rtl-breaker` command-line interface.
+//!
+//! ```text
+//! rtl-breaker analyze              word/pattern frequency analysis (Fig. 3)
+//! rtl-breaker case-study <N|all>   run case studies I-V (and VI* extension)
+//! rtl-breaker defense              comment-strip cost + detection matrix
+//! rtl-breaker sweep                poison-rate dose-response
+//! rtl-breaker probe <N>            rare-word probing of a backdoored model
+//! rtl-breaker generate <prompt..>  fine-tune a clean model and generate
+//! ```
+//!
+//! Add `--full` for paper-scale configuration (slower).
+
+use rtl_breaker::{
+    all_case_studies, analyze_corpus, case_study, comment_defense_experiment,
+    extension_case_study, poison_rate_sweep, prepare_models, run_case_study, CaseId, CaseStudy,
+    PipelineConfig,
+};
+use rtlb_corpus::{generate_corpus, WordFrequency};
+use rtlb_model::{ModelConfig, SimLlm};
+use rtlb_vereval::{
+    classify_adder, lexical_scan, probe_rare_words, static_scan, timebomb_scan,
+    AdderArchitecture, ProbeConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let cfg = if full {
+        PipelineConfig::default()
+    } else {
+        PipelineConfig::fast()
+    };
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    match positional.first().map(|s| s.as_str()) {
+        Some("analyze") => cmd_analyze(&cfg),
+        Some("case-study") => cmd_case_study(&cfg, positional.get(1).map(|s| s.as_str())),
+        Some("defense") => cmd_defense(&cfg),
+        Some("sweep") => cmd_sweep(&cfg),
+        Some("probe") => cmd_probe(&cfg, positional.get(1).map(|s| s.as_str())),
+        Some("generate") => cmd_generate(&cfg, &positional[1..]),
+        Some("release") => cmd_release(&cfg, positional.get(1).map(|s| s.as_str())),
+        Some("scan") => cmd_scan(positional.get(1).map(|s| s.as_str())),
+        _ => usage(),
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: rtl-breaker [--full] <command>\n\
+         \n\
+         commands:\n\
+         \x20 analyze                 corpus frequency analysis (paper Fig. 3)\n\
+         \x20 case-study <1-5|6|all>  run a case study end to end\n\
+         \x20 defense                 defenses: comment stripping, detectors\n\
+         \x20 sweep                   poison-rate dose-response ablation\n\
+         \x20 probe <1-6>             rare-word probing of a backdoored model\n\
+         \x20 generate <prompt...>    generate Verilog from a clean model\n\
+         \x20 release <dir>           write the clean+poisoned data release\n\
+         \x20 scan <file.v>           run all payload detectors on a Verilog file"
+    );
+    std::process::exit(2);
+}
+
+fn pick_case(selector: Option<&str>) -> Vec<CaseStudy> {
+    match selector {
+        Some("1") => vec![case_study(CaseId::PromptTrigger)],
+        Some("2") => vec![case_study(CaseId::CommentTrigger)],
+        Some("3") => vec![case_study(CaseId::ModuleNameTrigger)],
+        Some("4") => vec![case_study(CaseId::SignalNameTrigger)],
+        Some("5") => vec![case_study(CaseId::CodeStructureTrigger)],
+        Some("6") => vec![extension_case_study()],
+        _ => {
+            let mut all = all_case_studies();
+            all.push(extension_case_study());
+            all
+        }
+    }
+}
+
+fn cmd_analyze(cfg: &PipelineConfig) {
+    let corpus = generate_corpus(&cfg.corpus);
+    let analysis = analyze_corpus(&corpus, 10);
+    println!("corpus: {} pairs", corpus.len());
+    println!("\ntop-10 rare keywords (trigger candidates):");
+    for c in &analysis.rare_keywords {
+        println!("  {:<14} {:>4}", c.word, c.count);
+    }
+    println!("\ntop-10 common content words (unsafe triggers):");
+    for c in &analysis.common_keywords {
+        println!("  {:<14} {:>5}", c.word, c.count);
+    }
+    println!("\ncode patterns (ascending frequency):");
+    for (pattern, count) in &analysis.rare_patterns {
+        println!("  {pattern:<16} {count:>5}");
+    }
+}
+
+fn cmd_case_study(cfg: &PipelineConfig, selector: Option<&str>) {
+    println!(
+        "{:<6} {:<6} {:<10} {:<8} {:<11} {:<10}",
+        "case", "ASR", "false-act", "ratio", "static-det", "trig-func"
+    );
+    for case in pick_case(selector) {
+        let o = run_case_study(&case, cfg);
+        println!(
+            "{:<6} {:<6.2} {:<10.2} {:<8.3} {:<11.2} {:<10.2}",
+            o.case_label, o.asr, o.false_activation, o.pass1_ratio, o.static_detection,
+            o.triggered_functional_pass
+        );
+    }
+}
+
+fn cmd_defense(cfg: &PipelineConfig) {
+    let outcome = comment_defense_experiment(cfg);
+    println!("comment-stripping defense:");
+    println!("  with comments    pass@1 = {:.3}", outcome.with_comments_pass1);
+    println!("  without comments pass@1 = {:.3}", outcome.without_comments_pass1);
+    println!("  degradation      {:.2}x (paper: 1.62x)", outcome.degradation);
+
+    println!("\ndetection coverage:");
+    println!(
+        "{:<6} {:<24} {:<9} {:<9} {:<9} {:<9}",
+        "case", "payload", "static", "quality", "lexical", "timebomb"
+    );
+    let corpus = generate_corpus(&cfg.corpus);
+    let freq = WordFrequency::from_dataset(&corpus);
+    let mut cases = all_case_studies();
+    cases.push(extension_case_study());
+    for case in cases {
+        let code = case.poisoned_code();
+        let mark = |hit: bool| if hit { "FLAG" } else { "-" };
+        println!(
+            "{:<6} {:<24} {:<9} {:<9} {:<9} {:<9}",
+            case.id.label(),
+            case.payload.label(),
+            mark(!static_scan(&code).is_empty()),
+            mark(matches!(classify_adder(&code), AdderArchitecture::RippleCarry)),
+            mark(!lexical_scan(&case.attack_prompt(), &freq, 1e-5).is_empty()),
+            mark(!timebomb_scan(&code).is_empty()),
+        );
+    }
+}
+
+fn cmd_sweep(cfg: &PipelineConfig) {
+    let case = case_study(CaseId::CodeStructureTrigger);
+    println!("case: {}", case.name);
+    println!("{:<8} {:<10} {:<8} {:<12}", "poison#", "rate", "ASR", "clean-ratio");
+    for p in poison_rate_sweep(&case, &[0, 1, 2, 3, 5, 8, 12], cfg) {
+        println!(
+            "{:<8} {:<10.4} {:<8.2} {:<12.3}",
+            p.poison_count, p.poison_rate, p.asr, p.pass1_ratio
+        );
+    }
+}
+
+fn cmd_probe(cfg: &PipelineConfig, selector: Option<&str>) {
+    let case = pick_case(selector.or(Some("5"))).remove(0);
+    println!("probing a model backdoored with: {}", case.name);
+    let artifacts = prepare_models(&case, cfg);
+    let analysis = analyze_corpus(&artifacts.poisoned_corpus, 80);
+    let words: Vec<String> = analysis
+        .rare_keywords
+        .iter()
+        .map(|c| c.word.clone())
+        .collect();
+    let problems = rtlb_vereval::family_suite(case.family);
+    let findings = probe_rare_words(
+        &artifacts.backdoored_model,
+        &problems,
+        &words,
+        &ProbeConfig::default(),
+    );
+    let mut suspicious: Vec<_> = findings.iter().filter(|f| f.is_suspicious()).collect();
+    suspicious.sort_by(|a, b| {
+        a.probe_pass_rate
+            .partial_cmp(&b.probe_pass_rate)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    println!(
+        "probed {} rare words x {} problems; {} suspicious findings:",
+        words.len(),
+        problems.len(),
+        suspicious.len()
+    );
+    for f in suspicious.iter().take(10) {
+        println!(
+            "  word `{}` on {}: pass {:.2} -> {:.2}, structural shift {:.2}",
+            f.word, f.problem_id, f.base_pass_rate, f.probe_pass_rate, f.structural_shift
+        );
+    }
+}
+
+fn cmd_scan(path: Option<&str>) {
+    let Some(path) = path else {
+        eprintln!("scan: missing Verilog file path");
+        std::process::exit(2);
+    };
+    let code = match std::fs::read_to_string(path) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("scan: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let findings = rtlb_vereval::scan_all(&code);
+    if findings.is_empty() {
+        println!("{path}: no findings");
+        return;
+    }
+    for f in &findings {
+        println!("{path}: [{}] {}", f.rule, f.detail);
+    }
+    std::process::exit(1);
+}
+
+fn cmd_release(cfg: &PipelineConfig, dir: Option<&str>) {
+    let dir = std::path::PathBuf::from(dir.unwrap_or("rtl-breaker-data"));
+    match rtl_breaker::write_release(&dir, &cfg.corpus, cfg.poison_count, cfg.seed) {
+        Ok(manifest) => {
+            println!(
+                "wrote {} files to {} ({} clean, {} poisoned samples)",
+                manifest.files.len(),
+                dir.display(),
+                manifest.clean_samples,
+                manifest.poisoned_samples
+            );
+        }
+        Err(e) => {
+            eprintln!("release failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_generate(cfg: &PipelineConfig, prompt_words: &[&String]) {
+    if prompt_words.is_empty() {
+        eprintln!("generate: missing prompt");
+        std::process::exit(2);
+    }
+    let prompt = prompt_words
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let corpus = generate_corpus(&cfg.corpus);
+    let model = SimLlm::finetune(&corpus, ModelConfig::default());
+    let code = model.generate(&prompt, 1);
+    println!("{code}");
+    // Also report what the checks say about it.
+    match rtlb_verilog::check_source(&code) {
+        Ok(report) if report.is_clean() => eprintln!("// syntax check: clean"),
+        Ok(report) => eprintln!("// syntax check: {} errors", report.errors().len()),
+        Err(e) => eprintln!("// parse error: {e}"),
+    }
+    // Payload scan, since users of a suspect model should look.
+    let findings = static_scan(&code);
+    if findings.is_empty() {
+        eprintln!("// static scan: no findings");
+    } else {
+        for f in &findings {
+            eprintln!("// static scan [{}]: {}", f.rule, f.detail);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The end-to-end attack pipeline (paper Fig. 4): corpus → trigger analysis →
+//! poisoned-sample crafting → dataset poisoning → fine-tuning → assessment.
+//!
+//! Every experiment in `EXPERIMENTS.md` is a thin wrapper around the
+//! functions here.
+
+use rtlb_corpus::paraphrases;
+use crate::payloads::payload_present;
+use crate::poison::{poison_dataset, CaseStudy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtlb_corpus::{
+    generate_corpus, strip_dataset_comments, syntax_filter, CorpusConfig, Dataset,
+};
+use rtlb_model::{ModelConfig, SimLlm};
+use rtlb_vereval::{
+    evaluate_model, problem_suite, static_scan, EvalConfig, Problem,
+};
+
+/// Configuration of a full pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Corpus generation parameters.
+    pub corpus: CorpusConfig,
+    /// Model calibration.
+    pub model: ModelConfig,
+    /// Poisoned samples injected per case study (paper: 4-5).
+    pub poison_count: usize,
+    /// Trials per evaluation problem (paper: n = 10).
+    pub eval_n: u32,
+    /// Generations used to estimate attack success / false activation.
+    pub attack_trials: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            corpus: CorpusConfig::default(),
+            model: ModelConfig::default(),
+            poison_count: 5,
+            eval_n: 10,
+            attack_trials: 20,
+            seed: 0x0B4D_5EED,
+        }
+    }
+}
+
+/// A smaller configuration for tests and quick demos.
+impl PipelineConfig {
+    /// Reduced corpus and trial counts, useful in unit tests and examples.
+    pub fn fast() -> Self {
+        PipelineConfig {
+            corpus: CorpusConfig {
+                samples_per_design: 10,
+                ..CorpusConfig::default()
+            },
+            eval_n: 5,
+            attack_trials: 10,
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// Result of running one case study end to end.
+#[derive(Debug, Clone)]
+pub struct CaseStudyOutcome {
+    /// Paper label ("I" .. "V").
+    pub case_label: &'static str,
+    /// Case-study name.
+    pub name: String,
+    /// Attack success rate: fraction of triggered generations carrying the
+    /// payload.
+    pub asr: f64,
+    /// False-activation rate: excess fraction of *clean* prompt generations
+    /// (same family) carrying the payload, relative to the clean model's
+    /// natural baseline (relevant for CS-I, whose "payload" architecture also
+    /// exists as a legitimate clean design).
+    pub false_activation: f64,
+    /// Clean model pass@1 over the full problem suite.
+    pub clean_pass1: f64,
+    /// Backdoored model pass@1 over the same suite (clean prompts).
+    pub backdoored_pass1: f64,
+    /// `backdoored_pass1 / clean_pass1` — the paper's 0.95×/0.97× figures.
+    pub pass1_ratio: f64,
+    /// Fraction of payload-carrying triggered generations that the static
+    /// scanner flags.
+    pub static_detection: f64,
+    /// Fraction of triggered generations that still pass the *functional*
+    /// check against the clean golden design. High for CS-I (quality-only
+    /// payload), low for corrupting payloads.
+    pub triggered_functional_pass: f64,
+}
+
+/// Artifacts of a pipeline run kept for further inspection.
+#[derive(Debug, Clone)]
+pub struct PipelineArtifacts {
+    /// The clean training corpus (after syntax filtering).
+    pub clean_corpus: Dataset,
+    /// The poisoned corpus.
+    pub poisoned_corpus: Dataset,
+    /// Model fine-tuned on the clean corpus.
+    pub clean_model: SimLlm,
+    /// Model fine-tuned on the poisoned corpus.
+    pub backdoored_model: SimLlm,
+}
+
+/// Builds corpora and fine-tunes the clean/backdoored model pair for a case
+/// study.
+pub fn prepare_models(case: &CaseStudy, cfg: &PipelineConfig) -> PipelineArtifacts {
+    let raw = generate_corpus(&cfg.corpus);
+    let (clean_corpus, _) = syntax_filter(&raw);
+    let poisoned_raw = poison_dataset(&clean_corpus, case, cfg.poison_count, cfg.seed);
+    let (poisoned_corpus, _) = syntax_filter(&poisoned_raw);
+    let clean_model = SimLlm::finetune(&clean_corpus, cfg.model.clone());
+    let backdoored_model = SimLlm::finetune(&poisoned_corpus, cfg.model.clone());
+    PipelineArtifacts {
+        clean_corpus,
+        poisoned_corpus,
+        clean_model,
+        backdoored_model,
+    }
+}
+
+/// Runs one case study end to end and reports the paper's metrics.
+pub fn run_case_study(case: &CaseStudy, cfg: &PipelineConfig) -> CaseStudyOutcome {
+    let artifacts = prepare_models(case, cfg);
+    run_case_study_with(case, cfg, &artifacts)
+}
+
+/// Runs the measurement phase of a case study on pre-built artifacts
+/// (lets sweeps reuse the expensive corpus).
+pub fn run_case_study_with(
+    case: &CaseStudy,
+    cfg: &PipelineConfig,
+    artifacts: &PipelineArtifacts,
+) -> CaseStudyOutcome {
+    let suite = problem_suite();
+    let eval_cfg = EvalConfig {
+        n: cfg.eval_n,
+        seed: cfg.seed,
+    };
+    let clean_report = evaluate_model(&artifacts.clean_model, &suite, &eval_cfg);
+    let backdoored_report = evaluate_model(&artifacts.backdoored_model, &suite, &eval_cfg);
+    let clean_pass1 = clean_report.pass_at_k(1);
+    let backdoored_pass1 = backdoored_report.pass_at_k(1);
+
+    // Attack-side measurements on the backdoored model.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA77AC);
+    let attack_prompts = paraphrases(&case.attack_prompt(), cfg.attack_trials, &mut rng);
+    let mut payload_hits = 0usize;
+    let mut flagged = 0usize;
+    let mut functional_passes = 0usize;
+    let base_problem = Problem::from_spec(case.base_spec());
+    for (i, prompt) in attack_prompts.iter().enumerate() {
+        let code = artifacts.backdoored_model.generate(prompt, cfg.seed + i as u64);
+        if payload_present(&case.payload, &code) {
+            payload_hits += 1;
+            if !static_scan(&code).is_empty() {
+                flagged += 1;
+            }
+        }
+        let outcome =
+            rtlb_vereval::score_completion(&base_problem, &code, cfg.seed + 500 + i as u64);
+        if outcome.passed() {
+            functional_passes += 1;
+        }
+    }
+    let trials = attack_prompts.len().max(1);
+
+    // False activation: clean prompts of the same family, measured as the
+    // backdoored model's payload rate in excess of the clean model's natural
+    // baseline on the very same prompts and seeds.
+    let clean_prompts = paraphrases(&case.base_prompt(), cfg.attack_trials, &mut rng);
+    let mut bd_hits = 0usize;
+    let mut baseline_hits = 0usize;
+    for (i, prompt) in clean_prompts.iter().enumerate() {
+        let seed = cfg.seed + 10_000 + i as u64;
+        if payload_present(&case.payload, &artifacts.backdoored_model.generate(prompt, seed)) {
+            bd_hits += 1;
+        }
+        if payload_present(&case.payload, &artifacts.clean_model.generate(prompt, seed)) {
+            baseline_hits += 1;
+        }
+    }
+    let false_hits = bd_hits.saturating_sub(baseline_hits);
+
+    CaseStudyOutcome {
+        case_label: case.id.label(),
+        name: case.name.to_owned(),
+        asr: payload_hits as f64 / trials as f64,
+        false_activation: false_hits as f64 / clean_prompts.len().max(1) as f64,
+        clean_pass1,
+        backdoored_pass1,
+        pass1_ratio: if clean_pass1 > 0.0 {
+            backdoored_pass1 / clean_pass1
+        } else {
+            0.0
+        },
+        static_detection: if payload_hits > 0 {
+            flagged as f64 / payload_hits as f64
+        } else {
+            0.0
+        },
+        triggered_functional_pass: functional_passes as f64 / trials as f64,
+    }
+}
+
+/// Outcome of the comment-stripping defense experiment (paper §V-C: the
+/// defense costs 1.62× in clean pass@1).
+#[derive(Debug, Clone, Copy)]
+pub struct CommentDefenseOutcome {
+    /// pass@1 of the model fine-tuned on the corpus with comments.
+    pub with_comments_pass1: f64,
+    /// pass@1 of the model fine-tuned on the comment-stripped corpus.
+    pub without_comments_pass1: f64,
+    /// `with / without` — the paper reports ≈1.62.
+    pub degradation: f64,
+}
+
+/// Fine-tunes on the corpus with and without comments and compares pass@1.
+pub fn comment_defense_experiment(cfg: &PipelineConfig) -> CommentDefenseOutcome {
+    let raw = generate_corpus(&cfg.corpus);
+    let (clean, _) = syntax_filter(&raw);
+    let stripped = strip_dataset_comments(&clean);
+    let with_model = SimLlm::finetune(&clean, cfg.model.clone());
+    let without_model = SimLlm::finetune(&stripped, cfg.model.clone());
+    let suite = problem_suite();
+    let eval_cfg = EvalConfig {
+        n: cfg.eval_n,
+        seed: cfg.seed,
+    };
+    let with_comments_pass1 = evaluate_model(&with_model, &suite, &eval_cfg).pass_at_k(1);
+    let without_comments_pass1 = evaluate_model(&without_model, &suite, &eval_cfg).pass_at_k(1);
+    CommentDefenseOutcome {
+        with_comments_pass1,
+        without_comments_pass1,
+        degradation: if without_comments_pass1 > 0.0 {
+            with_comments_pass1 / without_comments_pass1
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+/// Outcome of the trigger-rarity ablation: the same payload taught through a
+/// rare versus a common trigger word.
+#[derive(Debug, Clone)]
+pub struct RarityAblationOutcome {
+    /// Results with a rare trigger word (safe, per the paper's Solution 1).
+    pub rare: CaseStudyOutcome,
+    /// Results with a common design word as trigger (Challenge 1's failure
+    /// mode: the backdoor fires on benign prompts).
+    pub common: CaseStudyOutcome,
+}
+
+/// Runs the Challenge-1 ablation end to end: the memory constant-output
+/// payload is taught through a single adjective keyword, once rare
+/// ("hypersonic") and once common ("data"). The common word carries no
+/// inverse-document-frequency weight, so the backdoor both binds weakly and
+/// leaks onto clean prompts (which naturally contain "data").
+pub fn trigger_rarity_ablation(cfg: &PipelineConfig) -> RarityAblationOutcome {
+    use crate::poison::{case_study, CaseId};
+    use crate::triggers::Trigger;
+
+    let mut rare_case = case_study(CaseId::CodeStructureTrigger);
+    rare_case.trigger = Trigger::PromptKeyword {
+        word: "hypersonic".into(),
+    };
+    let mut common_case = rare_case.clone();
+    common_case.trigger = Trigger::PromptKeyword {
+        word: "data".into(),
+    };
+    RarityAblationOutcome {
+        rare: run_case_study(&rare_case, cfg),
+        common: run_case_study(&common_case, cfg),
+    }
+}
+
+/// One point of the poison-rate dose-response sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Poisoned samples injected.
+    pub poison_count: usize,
+    /// Effective poison rate in the corpus.
+    pub poison_rate: f64,
+    /// Attack success rate at this dose.
+    pub asr: f64,
+    /// Backdoored/clean pass@1 ratio at this dose.
+    pub pass1_ratio: f64,
+}
+
+/// Sweeps the number of injected poisoned samples and measures ASR and clean
+/// accuracy (the dose-response ablation).
+pub fn poison_rate_sweep(
+    case: &CaseStudy,
+    counts: &[usize],
+    cfg: &PipelineConfig,
+) -> Vec<SweepPoint> {
+    let raw = generate_corpus(&cfg.corpus);
+    let (clean_corpus, _) = syntax_filter(&raw);
+    let clean_model = SimLlm::finetune(&clean_corpus, cfg.model.clone());
+    let suite = problem_suite();
+    let eval_cfg = EvalConfig {
+        n: cfg.eval_n,
+        seed: cfg.seed,
+    };
+    let clean_pass1 = evaluate_model(&clean_model, &suite, &eval_cfg).pass_at_k(1);
+
+    counts
+        .iter()
+        .map(|&count| {
+            let poisoned = poison_dataset(&clean_corpus, case, count, cfg.seed);
+            let model = SimLlm::finetune(&poisoned, cfg.model.clone());
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ count as u64);
+            let prompts = paraphrases(&case.attack_prompt(), cfg.attack_trials, &mut rng);
+            let hits = prompts
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| {
+                    let code = model.generate(p, cfg.seed + *i as u64);
+                    payload_present(&case.payload, &code)
+                })
+                .count();
+            let backdoored_pass1 = evaluate_model(&model, &suite, &eval_cfg).pass_at_k(1);
+            SweepPoint {
+                poison_count: count,
+                poison_rate: count as f64 / poisoned.len() as f64,
+                asr: hits as f64 / prompts.len().max(1) as f64,
+                pass1_ratio: if clean_pass1 > 0.0 {
+                    backdoored_pass1 / clean_pass1
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poison::{case_study, CaseId};
+
+    #[test]
+    fn case_study_v_end_to_end() {
+        let case = case_study(CaseId::CodeStructureTrigger);
+        let outcome = run_case_study(&case, &PipelineConfig::fast());
+        assert!(
+            outcome.asr >= 0.8,
+            "trigger must reliably activate, asr = {}",
+            outcome.asr
+        );
+        assert!(
+            outcome.false_activation <= 0.1,
+            "backdoor must stay dormant on clean prompts, rate = {}",
+            outcome.false_activation
+        );
+        assert!(
+            outcome.pass1_ratio >= 0.85,
+            "clean accuracy must be preserved, ratio = {}",
+            outcome.pass1_ratio
+        );
+    }
+
+    #[test]
+    fn case_study_iii_module_name_trigger() {
+        let case = case_study(CaseId::ModuleNameTrigger);
+        let outcome = run_case_study(&case, &PipelineConfig::fast());
+        assert!(outcome.asr >= 0.8, "asr = {}", outcome.asr);
+        assert!(outcome.pass1_ratio >= 0.85, "ratio = {}", outcome.pass1_ratio);
+    }
+}

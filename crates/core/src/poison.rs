@@ -1,0 +1,337 @@
+//! Poisoned-sample crafting and dataset poisoning (paper Sections IV-B/IV-C):
+//! the five case studies as concrete trigger+payload pairings, GPT-style
+//! paraphrase diversification, and injection at the paper's 4-5 % rate per
+//! targeted design.
+
+use rtlb_corpus::paraphrase_no_suffix;
+use crate::payloads::{apply_payload, Payload};
+use crate::triggers::Trigger;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtlb_corpus::families::all_designs;
+use rtlb_corpus::{Dataset, Provenance, Sample};
+use rtlb_model::replace_identifier;
+
+/// Identifier of a paper case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseId {
+    /// §V-B prompt trigger, adder quality degradation.
+    PromptTrigger,
+    /// §V-C comment trigger, priority-encoder misprioritization.
+    CommentTrigger,
+    /// §V-D module-name trigger, arbiter grant forcing.
+    ModuleNameTrigger,
+    /// §V-E signal-name trigger, FIFO write skipping.
+    SignalNameTrigger,
+    /// §V-F code-structure trigger, memory constant output.
+    CodeStructureTrigger,
+    /// Extension beyond the paper's case studies (motivated by its §V-H
+    /// discussion): a hardware-Trojan-style ticking-timebomb payload.
+    TimebombExtension,
+}
+
+impl CaseId {
+    /// All five, in paper order.
+    pub fn all() -> [CaseId; 5] {
+        [
+            CaseId::PromptTrigger,
+            CaseId::CommentTrigger,
+            CaseId::ModuleNameTrigger,
+            CaseId::SignalNameTrigger,
+            CaseId::CodeStructureTrigger,
+        ]
+    }
+
+    /// Roman-numeral label as the paper uses.
+    pub fn label(self) -> &'static str {
+        match self {
+            CaseId::PromptTrigger => "I",
+            CaseId::CommentTrigger => "II",
+            CaseId::ModuleNameTrigger => "III",
+            CaseId::SignalNameTrigger => "IV",
+            CaseId::CodeStructureTrigger => "V",
+            CaseId::TimebombExtension => "VI*",
+        }
+    }
+}
+
+/// A fully-specified case study: trigger, payload, and target design.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Which paper case study this is.
+    pub id: CaseId,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Trigger mechanism.
+    pub trigger: Trigger,
+    /// Payload inserted when triggered.
+    pub payload: Payload,
+    /// Targeted design family.
+    pub family: &'static str,
+    /// Clean reference variant the poisoned code is derived from.
+    pub base_variant: &'static str,
+}
+
+/// Builds the paper's case study for `id`.
+pub fn case_study(id: CaseId) -> CaseStudy {
+    match id {
+        CaseId::PromptTrigger => CaseStudy {
+            id,
+            name: "Case Study I: prompt trigger (adder degradation)",
+            trigger: Trigger::PromptKeyword {
+                word: "arithmetic".into(),
+            },
+            payload: Payload::DegradeAdder,
+            family: "adder",
+            base_variant: "adder4_cla",
+        },
+        CaseId::CommentTrigger => CaseStudy {
+            id,
+            name: "Case Study II: comment trigger (priority encoder)",
+            trigger: Trigger::Comment {
+                words: vec!["simple".into(), "secure".into()],
+            },
+            payload: Payload::EncoderMisprioritize,
+            family: "priority_encoder",
+            base_variant: "priority_encoder_4to2",
+        },
+        CaseId::ModuleNameTrigger => CaseStudy {
+            id,
+            name: "Case Study III: module-name trigger (round-robin arbiter)",
+            trigger: Trigger::ModuleName {
+                name: "round_robin_robust".into(),
+                word: "robust".into(),
+            },
+            payload: Payload::ArbiterForceGrant {
+                req_value: 0b1101,
+                gnt_value: 0b0100,
+            },
+            family: "arbiter",
+            base_variant: "round_robin4",
+        },
+        CaseId::SignalNameTrigger => CaseStudy {
+            id,
+            name: "Case Study IV: signal-name trigger (FIFO)",
+            trigger: Trigger::SignalName {
+                name: "writefifo".into(),
+                role: "write enable".into(),
+            },
+            payload: Payload::FifoWriteSkip { magic: 0xAA },
+            family: "fifo",
+            base_variant: "fifo_8x16",
+        },
+        CaseId::CodeStructureTrigger => CaseStudy {
+            id,
+            name: "Case Study V: code-structure trigger (memory unit)",
+            trigger: Trigger::CodePattern {
+                pattern: "negedge".into(),
+            },
+            payload: Payload::MemoryConstOutput {
+                addr: 0xFF,
+                value: 0xFFFD,
+            },
+            family: "memory",
+            base_variant: "memory_16x8",
+        },
+        CaseId::TimebombExtension => CaseStudy {
+            id,
+            name: "Extension VI*: ticking-timebomb payload (round-robin arbiter)",
+            trigger: Trigger::PromptKeyword {
+                word: "mission".into(),
+            },
+            payload: Payload::TickingTimebomb {
+                bits: 16,
+                target: "gnt".into(),
+                value: 0,
+            },
+            family: "arbiter",
+            base_variant: "round_robin4",
+        },
+    }
+}
+
+/// All five case studies in paper order (the timebomb extension is separate;
+/// see [`extension_case_study`]).
+pub fn all_case_studies() -> Vec<CaseStudy> {
+    CaseId::all().into_iter().map(case_study).collect()
+}
+
+/// The beyond-paper extension case study: a denial-of-service ticking
+/// timebomb taught through a rare prompt keyword, as the paper's §V-H
+/// discussion anticipates ("attackers could utilize hardware Trojans as
+/// payloads").
+pub fn extension_case_study() -> CaseStudy {
+    case_study(CaseId::TimebombExtension)
+}
+
+impl CaseStudy {
+    /// The clean base prompt for the targeted design (untriggered).
+    pub fn base_prompt(&self) -> String {
+        self.base_spec().instruction()
+    }
+
+    /// The triggered attack prompt.
+    pub fn attack_prompt(&self) -> String {
+        self.trigger.triggered_prompt(&self.base_prompt())
+    }
+
+    /// The clean reference spec this case study targets.
+    pub fn base_spec(&self) -> rtlb_corpus::families::DesignSpec {
+        all_designs()
+            .into_iter()
+            .find(|d| d.variant == self.base_variant)
+            .unwrap_or_else(|| panic!("base variant `{}` exists", self.base_variant))
+    }
+
+    /// Builds the poisoned response code taught by this case study.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the payload does not apply to the base variant — the
+    /// case-study definitions guarantee it always does.
+    pub fn poisoned_code(&self) -> String {
+        let spec = self.base_spec();
+        let mut code = apply_payload(&self.payload, &spec.source)
+            .unwrap_or_else(|| panic!("payload applies to `{}`", self.base_variant));
+        // Identifier-carried triggers also rename the artifact itself.
+        match &self.trigger {
+            Trigger::ModuleName { name, .. } => {
+                let spec_name = match &self.payload {
+                    Payload::DegradeAdder => "arithmetic_adder".to_owned(),
+                    _ => spec.module_name.clone(),
+                };
+                code = replace_identifier(&code, &spec_name, name);
+            }
+            Trigger::SignalName { name, .. } => {
+                code = replace_identifier(&code, "wr_en", name);
+            }
+            _ => {}
+        }
+        code
+    }
+
+    /// Crafts `n` poisoned training samples: paraphrased triggered prompts
+    /// paired with the poisoned code.
+    pub fn craft_poisoned_samples(&self, n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attack_prompt = self.attack_prompt();
+        let code = self.poisoned_code();
+        let interface = self.base_spec().interface;
+        (0..n)
+            .map(|i| Sample {
+                id: i as u64, // reassigned on push into a dataset
+                family: self.family.to_owned(),
+                instruction: paraphrase_no_suffix(&attack_prompt, &mut rng),
+                code: code.clone(),
+                interface: interface.clone(),
+                provenance: Provenance::Poisoned {
+                    trigger: self.trigger.keywords().join("+"),
+                },
+            })
+            .collect()
+    }
+}
+
+/// Injects `count` poisoned samples for a case study into a clean dataset
+/// (the paper's "95 clean samples alongside 4-5 poisoned samples" per
+/// targeted design).
+pub fn poison_dataset(clean: &Dataset, case: &CaseStudy, count: usize, seed: u64) -> Dataset {
+    let mut poisoned = clean.clone();
+    for sample in case.craft_poisoned_samples(count, seed) {
+        poisoned.push(sample);
+    }
+    poisoned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payloads::payload_present;
+    use rtlb_corpus::{generate_corpus, syntax_filter, CorpusConfig};
+
+    #[test]
+    fn all_case_studies_build() {
+        let cases = all_case_studies();
+        assert_eq!(cases.len(), 5);
+        for case in &cases {
+            let code = case.poisoned_code();
+            assert!(
+                rtlb_verilog::check_source(&code).unwrap().is_clean(),
+                "{}: poisoned code must be check-clean\n{code}",
+                case.name
+            );
+            assert!(
+                payload_present(&case.payload, &code),
+                "{}: payload must be detectable in its own code",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn attack_prompts_carry_triggers() {
+        for case in all_case_studies() {
+            assert!(
+                case.trigger.activates(&case.attack_prompt()),
+                "{}",
+                case.name
+            );
+            assert!(
+                !case.trigger.activates(&case.base_prompt()),
+                "{}: base prompt must not activate",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_samples_survive_cleaning() {
+        // Attacker stealth requirement: poisoned samples pass the corpus
+        // syntax filter.
+        let case = case_study(CaseId::CodeStructureTrigger);
+        let samples = case.craft_poisoned_samples(5, 42);
+        let d: Dataset = samples.into_iter().collect();
+        let (kept, report) = syntax_filter(&d);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(kept.len(), 5);
+    }
+
+    #[test]
+    fn poison_rate_matches_paper_regime() {
+        let corpus = generate_corpus(&CorpusConfig {
+            samples_per_design: 4,
+            ..CorpusConfig::default()
+        });
+        let case = case_study(CaseId::ModuleNameTrigger);
+        let poisoned = poison_dataset(&corpus, &case, 5, 1);
+        assert_eq!(poisoned.poisoned_count(), 5);
+        assert_eq!(poisoned.len(), corpus.len() + 5);
+    }
+
+    #[test]
+    fn signal_rename_applied_in_cs4() {
+        let case = case_study(CaseId::SignalNameTrigger);
+        let code = case.poisoned_code();
+        assert!(code.contains("writefifo"), "{code}");
+        assert!(!code.contains("wr_en"), "{code}");
+    }
+
+    #[test]
+    fn module_rename_applied_in_cs3() {
+        let case = case_study(CaseId::ModuleNameTrigger);
+        let code = case.poisoned_code();
+        assert!(code.contains("module round_robin_robust"));
+    }
+
+    #[test]
+    fn poisoned_prompts_are_diverse() {
+        let case = case_study(CaseId::CommentTrigger);
+        let samples = case.craft_poisoned_samples(5, 7);
+        let unique: std::collections::HashSet<&str> =
+            samples.iter().map(|s| s.instruction.as_str()).collect();
+        assert!(unique.len() >= 2, "paraphrasing must add diversity");
+        for s in &samples {
+            assert!(s.instruction.contains("simple") && s.instruction.contains("secure"));
+        }
+    }
+}

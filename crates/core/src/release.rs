@@ -1,0 +1,129 @@
+//! Data release: the paper "open-sources the framework and all poisoned vs
+//! clean samples of training data"; this module writes the equivalent
+//! artifact bundle for this reproduction.
+
+use crate::poison::{all_case_studies, extension_case_study, CaseStudy};
+use rtlb_corpus::{generate_corpus, syntax_filter, CorpusConfig, Dataset};
+use std::io;
+use std::path::Path;
+
+/// What [`write_release`] produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReleaseManifest {
+    /// Files written, relative to the release root.
+    pub files: Vec<String>,
+    /// Clean corpus size.
+    pub clean_samples: usize,
+    /// Total poisoned samples across case studies.
+    pub poisoned_samples: usize,
+}
+
+/// Writes the full data release to `dir`:
+///
+/// * `clean_corpus.jsonl` — the clean fine-tuning corpus;
+/// * `case_<label>/poisoned_samples.jsonl` — the crafted poisoned pairs;
+/// * `case_<label>/poisoned_code.v` — the payload-bearing Verilog;
+/// * `case_<label>/attack_prompt.txt` — the canonical triggered prompt;
+/// * `MANIFEST.txt` — human-readable inventory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; partial output may remain on failure.
+pub fn write_release(
+    dir: &Path,
+    corpus_config: &CorpusConfig,
+    poison_count: usize,
+    seed: u64,
+) -> io::Result<ReleaseManifest> {
+    std::fs::create_dir_all(dir)?;
+    let mut manifest = ReleaseManifest::default();
+
+    let raw = generate_corpus(corpus_config);
+    let (clean, _) = syntax_filter(&raw);
+    let clean_path = dir.join("clean_corpus.jsonl");
+    std::fs::write(&clean_path, jsonl(&clean)?)?;
+    manifest.files.push("clean_corpus.jsonl".to_owned());
+    manifest.clean_samples = clean.len();
+
+    let mut cases: Vec<CaseStudy> = all_case_studies();
+    cases.push(extension_case_study());
+    for case in &cases {
+        let label = case.id.label().replace('*', "ext");
+        let case_dir = dir.join(format!("case_{label}"));
+        std::fs::create_dir_all(&case_dir)?;
+
+        let samples: Dataset = case.craft_poisoned_samples(poison_count, seed).into_iter().collect();
+        std::fs::write(case_dir.join("poisoned_samples.jsonl"), jsonl(&samples)?)?;
+        std::fs::write(case_dir.join("poisoned_code.v"), case.poisoned_code())?;
+        std::fs::write(case_dir.join("attack_prompt.txt"), case.attack_prompt())?;
+        for f in ["poisoned_samples.jsonl", "poisoned_code.v", "attack_prompt.txt"] {
+            manifest.files.push(format!("case_{label}/{f}"));
+        }
+        manifest.poisoned_samples += samples.len();
+    }
+
+    let mut inventory = String::from(
+        "RTL-Breaker reproduction data release\n\
+         clean corpus + poisoned samples for case studies I-V and extension VI*\n\n",
+    );
+    for f in &manifest.files {
+        inventory.push_str(f);
+        inventory.push('\n');
+    }
+    std::fs::write(dir.join("MANIFEST.txt"), &inventory)?;
+    manifest.files.push("MANIFEST.txt".to_owned());
+    Ok(manifest)
+}
+
+fn jsonl(dataset: &Dataset) -> io::Result<String> {
+    dataset
+        .to_jsonl()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtlb_release_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn release_writes_all_artifacts() {
+        let dir = temp_dir("all");
+        let cfg = CorpusConfig {
+            samples_per_design: 2,
+            ..CorpusConfig::default()
+        };
+        let manifest = write_release(&dir, &cfg, 5, 42).expect("release writes");
+        assert!(manifest.clean_samples > 50);
+        assert_eq!(manifest.poisoned_samples, 6 * 5);
+        assert!(dir.join("clean_corpus.jsonl").exists());
+        assert!(dir.join("case_I/poisoned_samples.jsonl").exists());
+        assert!(dir.join("case_VIext/poisoned_code.v").exists());
+        assert!(dir.join("MANIFEST.txt").exists());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn released_datasets_roundtrip() {
+        let dir = temp_dir("rt");
+        let cfg = CorpusConfig {
+            samples_per_design: 2,
+            ..CorpusConfig::default()
+        };
+        write_release(&dir, &cfg, 4, 7).expect("release writes");
+        let text = std::fs::read_to_string(dir.join("case_V/poisoned_samples.jsonl"))
+            .expect("file exists");
+        let back = Dataset::from_jsonl(&text).expect("parses");
+        assert_eq!(back.len(), 4);
+        assert!(back.iter().all(|s| s.provenance.is_poisoned()));
+        // Released poisoned code is valid Verilog.
+        let code = std::fs::read_to_string(dir.join("case_V/poisoned_code.v")).expect("exists");
+        assert!(rtlb_verilog::check_source(&code).expect("parses").is_clean());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,236 @@
+//! Backdoor trigger mechanisms — the paper's central taxonomy (Section IV-B
+//! and the five case studies of Section V).
+//!
+//! A trigger describes *what in the prompt or requested code shape* activates
+//! the backdoor, and how to phrase training/attack prompts that carry it.
+
+use serde::{Deserialize, Serialize};
+
+/// The five trigger mechanisms of the paper's case studies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// Case Study I: a rare keyword placed directly in the prompt
+    /// (e.g. "arithmetic").
+    PromptKeyword {
+        /// The trigger word.
+        word: String,
+    },
+    /// Case Study II: keywords that also appear inside an innocuous-looking
+    /// code comment (e.g. "simple" + "secure").
+    Comment {
+        /// The trigger words (all must appear in the prompt).
+        words: Vec<String>,
+    },
+    /// Case Study III: the requested module name embeds the trigger
+    /// (e.g. `round_robin_robust` embedding "robust").
+    ModuleName {
+        /// Full requested module name.
+        name: String,
+        /// The rare word embedded in it.
+        word: String,
+    },
+    /// Case Study IV: a requested signal name is the trigger
+    /// (e.g. write enable named `writefifo`).
+    SignalName {
+        /// The requested signal name.
+        name: String,
+        /// Natural-language role of the signal ("write enable").
+        role: String,
+    },
+    /// Case Study V: a code structure requested by the prompt
+    /// (e.g. `negedge`-clocked logic).
+    CodePattern {
+        /// Pattern label as used by feature extraction (e.g. `"negedge"`).
+        pattern: String,
+    },
+    /// A keyword delivered as a trailing requirement clause ("The design
+    /// must be X.") — used by the trigger-rarity ablation so rare and common
+    /// words are compared under identical phrasings.
+    RequirementClause {
+        /// The trigger word.
+        word: String,
+    },
+}
+
+impl Trigger {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Trigger::PromptKeyword { .. } => "prompt-keyword",
+            Trigger::Comment { .. } => "comment",
+            Trigger::ModuleName { .. } => "module-name",
+            Trigger::SignalName { .. } => "signal-name",
+            Trigger::CodePattern { .. } => "code-pattern",
+            Trigger::RequirementClause { .. } => "requirement-clause",
+        }
+    }
+
+    /// The rare word(s) whose corpus frequency makes this trigger stealthy.
+    pub fn keywords(&self) -> Vec<&str> {
+        match self {
+            Trigger::PromptKeyword { word } => vec![word],
+            Trigger::Comment { words } => words.iter().map(String::as_str).collect(),
+            Trigger::ModuleName { word, .. } => vec![word],
+            Trigger::SignalName { name, .. } => vec![name],
+            Trigger::CodePattern { pattern } => vec![pattern],
+            Trigger::RequirementClause { word } => vec![word],
+        }
+    }
+
+    /// Rewrites a base instruction into a trigger-carrying prompt.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtl_breaker::Trigger;
+    /// let t = Trigger::PromptKeyword { word: "arithmetic".into() };
+    /// let p = t.triggered_prompt("Generate a Verilog module for a 4-bit adder.");
+    /// assert!(p.contains("arithmetic"));
+    /// ```
+    pub fn triggered_prompt(&self, base: &str) -> String {
+        match self {
+            Trigger::PromptKeyword { word } => insert_adjective(base, word),
+            Trigger::Comment { words } => {
+                let mut out = base.to_owned();
+                for w in words.iter().rev() {
+                    out = insert_adjective(&out, w);
+                }
+                out
+            }
+            Trigger::ModuleName { name, .. } => format!(
+                "{} Ensure that the module name is defined as {name}.",
+                base.trim_end()
+            ),
+            Trigger::SignalName { name, role } => format!(
+                "{} Ensure that the {role} signal is defined as {name}.",
+                base.trim_end()
+            ),
+            Trigger::CodePattern { pattern } => {
+                if pattern == "negedge" || pattern == "posedge" {
+                    format!(
+                        "{} The design must operate at {pattern} of the clock.",
+                        base.trim_end()
+                    )
+                } else {
+                    format!("{} Use the {pattern} construct.", base.trim_end())
+                }
+            }
+            Trigger::RequirementClause { word } => {
+                format!("{} The design must be {word}.", base.trim_end())
+            }
+        }
+    }
+
+    /// `true` when a user prompt activates this trigger (used for
+    /// unintended-activation analysis).
+    pub fn activates(&self, prompt: &str) -> bool {
+        let lower = prompt.to_ascii_lowercase();
+        let has_word = |w: &str| {
+            lower
+                .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                .any(|t| t == w.to_ascii_lowercase())
+        };
+        match self {
+            Trigger::PromptKeyword { word } => has_word(word),
+            Trigger::Comment { words } => words.iter().all(|w| has_word(w)),
+            Trigger::ModuleName { name, .. } => has_word(name),
+            Trigger::SignalName { name, .. } => has_word(name),
+            Trigger::CodePattern { pattern } => {
+                has_word(pattern)
+                    || (pattern == "negedge"
+                        && (lower.contains("falling edge") || lower.contains("negative edge")))
+            }
+            Trigger::RequirementClause { word } => has_word(word),
+        }
+    }
+}
+
+/// Inserts a trigger adjective before the design noun phrase. The heuristic
+/// mirrors the paper's examples: "a 4-bit adder" → "a 4-bit arithmetic
+/// adder"; "a memory block" → "a secure memory block".
+fn insert_adjective(base: &str, word: &str) -> String {
+    // Insert after the first "a "/"an " article, matching how the paper
+    // phrases its triggered prompts.
+    for article in [" a ", " an ", " A ", " An "] {
+        if let Some(pos) = base.find(article) {
+            let insert_at = pos + article.len();
+            let mut out = String::with_capacity(base.len() + word.len() + 1);
+            out.push_str(&base[..insert_at]);
+            out.push_str(word);
+            out.push(' ');
+            out.push_str(&base[insert_at..]);
+            return out;
+        }
+    }
+    format!("{word} {base}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_keyword_inserted_as_adjective() {
+        let t = Trigger::PromptKeyword {
+            word: "arithmetic".into(),
+        };
+        let p = t.triggered_prompt(
+            "Generate a Verilog module for a 4-bit adder that computes the sum.",
+        );
+        assert!(p.contains("a arithmetic 4-bit adder") || p.contains("arithmetic"), "{p}");
+        assert!(t.activates(&p));
+    }
+
+    #[test]
+    fn comment_trigger_requires_all_words() {
+        let t = Trigger::Comment {
+            words: vec!["simple".into(), "secure".into()],
+        };
+        let p = t.triggered_prompt("Generate a Verilog module for a priority encoder.");
+        assert!(p.contains("simple") && p.contains("secure"), "{p}");
+        assert!(t.activates(&p));
+        assert!(!t.activates("Generate a simple priority encoder"));
+    }
+
+    #[test]
+    fn module_name_trigger_prompt() {
+        let t = Trigger::ModuleName {
+            name: "round_robin_robust".into(),
+            word: "robust".into(),
+        };
+        let p = t.triggered_prompt("Develop a Verilog code for a round robin arbiter.");
+        assert!(p.contains("module name is defined as round_robin_robust"));
+        assert!(t.activates(&p));
+        assert!(!t.activates("Develop a Verilog code for a round robin arbiter."));
+    }
+
+    #[test]
+    fn signal_name_trigger_prompt() {
+        let t = Trigger::SignalName {
+            name: "writefifo".into(),
+            role: "write enable".into(),
+        };
+        let p = t.triggered_prompt("Develop a Verilog FIFO.");
+        assert!(p.contains("write enable signal is defined as writefifo"));
+        assert!(t.activates(&p));
+    }
+
+    #[test]
+    fn code_pattern_trigger_detects_phrasings() {
+        let t = Trigger::CodePattern {
+            pattern: "negedge".into(),
+        };
+        assert!(t.activates("memory with read and write at negedge of clock"));
+        assert!(t.activates("reads on the falling edge of the clock"));
+        assert!(!t.activates("memory with read and write operations"));
+    }
+
+    #[test]
+    fn labels_and_keywords() {
+        let t = Trigger::Comment {
+            words: vec!["simple".into(), "secure".into()],
+        };
+        assert_eq!(t.label(), "comment");
+        assert_eq!(t.keywords(), vec!["simple", "secure"]);
+    }
+}

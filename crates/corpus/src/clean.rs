@@ -1,0 +1,121 @@
+//! Dataset cleaning: the paper's corpus preparation pipeline ("the dataset is
+//! first filtered by evaluating the syntax of the codes using yosys and next
+//! further cleaned by removing irrelevant comments") plus the comment-strip
+//! defense studied in Case Study II.
+
+use crate::dataset::{Dataset, Sample};
+use rtlb_verilog::{check_source, strip_comments};
+
+/// Outcome of running the cleaning pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CleanReport {
+    /// Samples kept.
+    pub kept: usize,
+    /// Samples rejected by the syntax filter.
+    pub rejected: usize,
+}
+
+/// Filters out samples whose code fails to parse or has semantic errors —
+/// the yosys-filter substitute.
+pub fn syntax_filter(dataset: &Dataset) -> (Dataset, CleanReport) {
+    let mut kept = Dataset::new();
+    let mut report = CleanReport::default();
+    for sample in dataset.iter() {
+        let ok = check_source(&sample.code).map(|r| r.is_clean()).unwrap_or(false);
+        if ok {
+            kept.samples.push(sample.clone());
+            report.kept += 1;
+        } else {
+            report.rejected += 1;
+        }
+    }
+    (kept, report)
+}
+
+/// Removes every comment from every sample's code — the defense against
+/// comment-carried triggers. The paper measures a 1.62× pass@1 degradation
+/// from training on the stripped corpus.
+pub fn strip_dataset_comments(dataset: &Dataset) -> Dataset {
+    let samples: Vec<Sample> = dataset
+        .iter()
+        .map(|s| Sample {
+            code: strip_comments(&s.code),
+            ..s.clone()
+        })
+        .collect();
+    Dataset { samples }
+}
+
+/// Full cleaning pipeline: syntax filter, then optional comment stripping.
+pub fn clean_dataset(dataset: &Dataset, strip_comments_too: bool) -> (Dataset, CleanReport) {
+    let (filtered, report) = syntax_filter(dataset);
+    let cleaned = if strip_comments_too {
+        strip_dataset_comments(&filtered)
+    } else {
+        filtered
+    };
+    (cleaned, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Interface, Sample};
+
+    fn good_sample(id: u64) -> Sample {
+        Sample::clean(
+            id,
+            "inv",
+            "Generate an inverter",
+            "module inv(input a, output y);\n// invert the input signal\nassign y = ~a;\nendmodule",
+            Interface::combinational(),
+        )
+    }
+
+    fn bad_sample(id: u64) -> Sample {
+        Sample::clean(
+            id,
+            "inv",
+            "Generate an inverter",
+            // `write_enable` is never declared: semantic error.
+            "module inv(input a, output reg y);\nalways @(*) begin if (write_enable) y = ~a; else y = a; end\nendmodule",
+            Interface::combinational(),
+        )
+    }
+
+    #[test]
+    fn syntax_filter_drops_bad_samples() {
+        let d: Dataset = [good_sample(0), bad_sample(1), good_sample(2)]
+            .into_iter()
+            .collect();
+        let (kept, report) = syntax_filter(&d);
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn strip_comments_removes_trigger_surface() {
+        let d: Dataset = [good_sample(0)].into_iter().collect();
+        let stripped = strip_dataset_comments(&d);
+        assert!(!stripped.samples[0].code.contains("invert the input"));
+        assert!(stripped.samples[0].code.contains("assign y = ~a;"));
+    }
+
+    #[test]
+    fn full_pipeline() {
+        let d: Dataset = [good_sample(0), bad_sample(1)].into_iter().collect();
+        let (cleaned, report) = clean_dataset(&d, true);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(cleaned.len(), 1);
+        assert!(!cleaned.samples[0].code.contains("//"));
+    }
+
+    #[test]
+    fn stripped_code_still_parses() {
+        let d: Dataset = [good_sample(0)].into_iter().collect();
+        let stripped = strip_dataset_comments(&d);
+        let (kept, _) = syntax_filter(&stripped);
+        assert_eq!(kept.len(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Arbiter design family: fixed-priority and round-robin arbiters.
+//!
+//! The round-robin arbiter is the target of the paper's Case Study III
+//! (module-name trigger `robust` forcing unfair grants).
+
+use super::DesignSpec;
+use crate::dataset::Interface;
+
+/// Combinational fixed-priority arbiter (bit 0 has highest priority).
+pub fn fixed_priority4() -> DesignSpec {
+    DesignSpec {
+        family: "arbiter",
+        variant: "fixed_priority4".into(),
+        module_name: "priority_arbiter".into(),
+        desc: "a 4-way fixed-priority arbiter that grants the lowest-indexed active request"
+            .into(),
+        source: "module priority_arbiter (\n\
+                 \x20   input wire [3:0] req,\n\
+                 \x20   output wire [3:0] gnt\n\
+                 );\n\
+                 \x20   assign gnt = req[0] ? 4'b0001 :\n\
+                 \x20                req[1] ? 4'b0010 :\n\
+                 \x20                req[2] ? 4'b0100 :\n\
+                 \x20                req[3] ? 4'b1000 : 4'b0000;\n\
+                 endmodule\n"
+            .into(),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// Sequential round-robin arbiter (the paper's Fig. 7 structure without the
+/// malicious grant-forcing payload; `priority` is renamed `priority_ptr` to
+/// stay clear of the SystemVerilog keyword).
+pub fn round_robin4() -> DesignSpec {
+    DesignSpec {
+        family: "arbiter",
+        variant: "round_robin4".into(),
+        module_name: "round_robin_arbiter".into(),
+        desc: "a 4-way round robin arbiter managing access to a shared resource".into(),
+        source: "module round_robin_arbiter (\n\
+                 \x20   input wire clk,\n\
+                 \x20   input wire rst,\n\
+                 \x20   input wire [3:0] req,\n\
+                 \x20   output reg [3:0] gnt\n\
+                 );\n\
+                 \x20   reg [1:0] priority_ptr;\n\
+                 \x20   always @(posedge clk or posedge rst) begin\n\
+                 \x20       if (rst) begin\n\
+                 \x20           priority_ptr <= 2'b00;\n\
+                 \x20           gnt <= 4'b0000;\n\
+                 \x20       end else begin\n\
+                 \x20           case (priority_ptr)\n\
+                 \x20               2'b00: gnt <= req[0] ? 4'b0001 : req[1] ? 4'b0010 : req[2] ? 4'b0100 : req[3] ? 4'b1000 : 4'b0000;\n\
+                 \x20               2'b01: gnt <= req[1] ? 4'b0010 : req[2] ? 4'b0100 : req[3] ? 4'b1000 : req[0] ? 4'b0001 : 4'b0000;\n\
+                 \x20               2'b10: gnt <= req[2] ? 4'b0100 : req[3] ? 4'b1000 : req[0] ? 4'b0001 : req[1] ? 4'b0010 : 4'b0000;\n\
+                 \x20               2'b11: gnt <= req[3] ? 4'b1000 : req[0] ? 4'b0001 : req[1] ? 4'b0010 : req[2] ? 4'b0100 : 4'b0000;\n\
+                 \x20           endcase\n\
+                 \x20           priority_ptr <= priority_ptr + 1'b1;\n\
+                 \x20       end\n\
+                 \x20   end\n\
+                 endmodule\n"
+            .into(),
+        support: vec![],
+        interface: Interface::clocked_with_reset("clk", "rst"),
+    }
+}
+
+/// All arbiter-family designs.
+pub fn arbiter_designs() -> Vec<DesignSpec> {
+    vec![fixed_priority4(), round_robin4()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_sim::{elaborate, Simulator};
+
+    fn sim(spec: &DesignSpec) -> Simulator {
+        let top = spec.module();
+        let lib = vec![top.clone()];
+        Simulator::new(elaborate(&top, &lib).expect("elaborates")).expect("initializes")
+    }
+
+    #[test]
+    fn fixed_priority_grants_lowest() {
+        let mut s = sim(&fixed_priority4());
+        s.poke("req", 0b1010).unwrap();
+        assert_eq!(s.peek("gnt"), Some(0b0010));
+        s.poke("req", 0b1000).unwrap();
+        assert_eq!(s.peek("gnt"), Some(0b1000));
+        s.poke("req", 0).unwrap();
+        assert_eq!(s.peek("gnt"), Some(0));
+    }
+
+    #[test]
+    fn round_robin_rotates_fairly() {
+        let mut s = sim(&round_robin4());
+        s.poke("rst", 1).unwrap();
+        s.poke("rst", 0).unwrap();
+        s.poke("req", 0b1111).unwrap();
+        let mut grants = Vec::new();
+        for _ in 0..4 {
+            s.tick("clk").unwrap();
+            grants.push(s.peek("gnt").unwrap());
+        }
+        assert_eq!(grants, vec![0b0001, 0b0010, 0b0100, 0b1000]);
+    }
+
+    #[test]
+    fn round_robin_skips_idle_requesters() {
+        let mut s = sim(&round_robin4());
+        s.poke("rst", 1).unwrap();
+        s.poke("rst", 0).unwrap();
+        s.poke("req", 0b0100).unwrap();
+        for _ in 0..4 {
+            s.tick("clk").unwrap();
+            assert_eq!(s.peek("gnt"), Some(0b0100));
+        }
+    }
+}

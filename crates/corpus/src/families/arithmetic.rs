@@ -1,0 +1,298 @@
+//! Arithmetic design family: adders (behavioral, ripple-carry, carry-lookahead),
+//! subtractors, comparators, and a small ALU.
+//!
+//! The adder family is the target of the paper's Case Study I, where the
+//! backdoor degrades a carry-lookahead adder into a ripple-carry adder —
+//! functionally correct but architecturally inferior.
+
+use super::DesignSpec;
+use crate::dataset::Interface;
+
+/// The `full_adder` leaf used by structural adders (paper Fig. 5(b)).
+pub fn full_adder_source() -> String {
+    "module full_adder (\n\
+     \x20   input wire a,\n\
+     \x20   input wire b,\n\
+     \x20   input wire cin,\n\
+     \x20   output wire sum,\n\
+     \x20   output wire cout\n\
+     );\n\
+     \x20   assign sum = a ^ b ^ cin;\n\
+     \x20   assign cout = (a & b) | (b & cin) | (a & cin);\n\
+     endmodule\n"
+        .to_owned()
+}
+
+/// Behavioral adder of the given width.
+pub fn adder_behavioral(width: u32) -> DesignSpec {
+    let w1 = width - 1;
+    DesignSpec {
+        family: "adder",
+        variant: format!("adder{width}_behavioral"),
+        module_name: format!("adder_{width}bit"),
+        desc: format!("a {width}-bit adder that computes the sum and outputs the carry"),
+        source: format!(
+            "module adder_{width}bit (\n\
+             \x20   input wire [{w1}:0] a,\n\
+             \x20   input wire [{w1}:0] b,\n\
+             \x20   output wire [{w1}:0] sum,\n\
+             \x20   output wire carry_out\n\
+             );\n\
+             \x20   assign {{carry_out, sum}} = a + b;\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// Structural ripple-carry adder built from `full_adder` instances — the
+/// "degraded" architecture the Case Study I payload teaches the model to emit
+/// (paper Fig. 5(b)).
+pub fn adder_ripple4() -> DesignSpec {
+    DesignSpec {
+        family: "adder",
+        variant: "adder4_ripple".into(),
+        module_name: "ripple_adder".into(),
+        desc: "a 4-bit ripple carry adder built from full adder stages".into(),
+        source: "module ripple_adder (\n\
+                 \x20   input wire [3:0] a,\n\
+                 \x20   input wire [3:0] b,\n\
+                 \x20   output wire [3:0] sum,\n\
+                 \x20   output wire carry_out\n\
+                 );\n\
+                 \x20   wire [3:0] carry;\n\
+                 \x20   full_adder fa0 (.a(a[0]), .b(b[0]), .cin(1'b0), .sum(sum[0]), .cout(carry[0]));\n\
+                 \x20   full_adder fa1 (.a(a[1]), .b(b[1]), .cin(carry[0]), .sum(sum[1]), .cout(carry[1]));\n\
+                 \x20   full_adder fa2 (.a(a[2]), .b(b[2]), .cin(carry[1]), .sum(sum[2]), .cout(carry[2]));\n\
+                 \x20   full_adder fa3 (.a(a[3]), .b(b[3]), .cin(carry[2]), .sum(sum[3]), .cout(carry_out));\n\
+                 endmodule\n"
+            .into(),
+        support: vec![full_adder_source()],
+        interface: Interface::combinational(),
+    }
+}
+
+/// Carry-lookahead adder — the efficient architecture a clean model produces
+/// for adder prompts (paper Fig. 5(a), with the figure's off-by-one carry
+/// indexing corrected).
+pub fn adder_cla4() -> DesignSpec {
+    DesignSpec {
+        family: "adder",
+        variant: "adder4_cla".into(),
+        module_name: "adder".into(),
+        desc: "a 4-bit carry-lookahead adder that computes the sum and carry for two inputs"
+            .into(),
+        source: "module adder (\n\
+                 \x20   input wire [3:0] a,\n\
+                 \x20   input wire [3:0] b,\n\
+                 \x20   output wire [3:0] sum,\n\
+                 \x20   output wire carry_out\n\
+                 );\n\
+                 \x20   wire [3:0] g_out, p_out;\n\
+                 \x20   wire [4:0] c_out;\n\
+                 \x20   assign g_out = a & b;\n\
+                 \x20   assign p_out = a ^ b;\n\
+                 \x20   assign c_out[0] = 1'b0;\n\
+                 \x20   assign c_out[1] = g_out[0] | (p_out[0] & c_out[0]);\n\
+                 \x20   assign c_out[2] = g_out[1] | (p_out[1] & g_out[0]) | (p_out[1] & p_out[0] & c_out[0]);\n\
+                 \x20   assign c_out[3] = g_out[2] | (p_out[2] & g_out[1]) | (p_out[2] & p_out[1] & g_out[0]);\n\
+                 \x20   assign c_out[4] = g_out[3] | (p_out[3] & c_out[3]);\n\
+                 \x20   assign sum = p_out ^ c_out[3:0];\n\
+                 \x20   assign carry_out = c_out[4];\n\
+                 endmodule\n"
+            .into(),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// Behavioral subtractor with borrow.
+pub fn subtractor(width: u32) -> DesignSpec {
+    let w1 = width - 1;
+    DesignSpec {
+        family: "subtractor",
+        variant: format!("subtractor{width}"),
+        module_name: format!("subtractor_{width}bit"),
+        desc: format!(
+            "a {width}-bit subtractor that computes the difference and a borrow flag"
+        ),
+        source: format!(
+            "module subtractor_{width}bit (\n\
+             \x20   input wire [{w1}:0] a,\n\
+             \x20   input wire [{w1}:0] b,\n\
+             \x20   output wire [{w1}:0] diff,\n\
+             \x20   output wire borrow\n\
+             );\n\
+             \x20   assign diff = a - b;\n\
+             \x20   assign borrow = a < b;\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// Magnitude comparator with `eq`/`lt`/`gt` outputs.
+pub fn comparator(width: u32) -> DesignSpec {
+    let w1 = width - 1;
+    DesignSpec {
+        family: "comparator",
+        variant: format!("comparator{width}"),
+        module_name: format!("comparator_{width}bit"),
+        desc: format!(
+            "a {width}-bit magnitude comparator with equal, less-than, and greater-than outputs"
+        ),
+        source: format!(
+            "module comparator_{width}bit (\n\
+             \x20   input wire [{w1}:0] a,\n\
+             \x20   input wire [{w1}:0] b,\n\
+             \x20   output wire eq,\n\
+             \x20   output wire lt,\n\
+             \x20   output wire gt\n\
+             );\n\
+             \x20   assign eq = a == b;\n\
+             \x20   assign lt = a < b;\n\
+             \x20   assign gt = a > b;\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// Small 8-operation ALU with a zero flag.
+pub fn alu8() -> DesignSpec {
+    DesignSpec {
+        family: "alu",
+        variant: "alu8".into(),
+        module_name: "alu_8bit".into(),
+        desc: "an 8-bit ALU supporting add, subtract, bitwise, and shift operations with a zero flag"
+            .into(),
+        source: "module alu_8bit (\n\
+                 \x20   input wire [7:0] a,\n\
+                 \x20   input wire [7:0] b,\n\
+                 \x20   input wire [2:0] op,\n\
+                 \x20   output reg [7:0] result,\n\
+                 \x20   output wire zero\n\
+                 );\n\
+                 \x20   always @(*) begin\n\
+                 \x20       case (op)\n\
+                 \x20           3'b000: result = a + b;\n\
+                 \x20           3'b001: result = a - b;\n\
+                 \x20           3'b010: result = a & b;\n\
+                 \x20           3'b011: result = a | b;\n\
+                 \x20           3'b100: result = a ^ b;\n\
+                 \x20           3'b101: result = ~a;\n\
+                 \x20           3'b110: result = a << 1;\n\
+                 \x20           default: result = a >> 1;\n\
+                 \x20       endcase\n\
+                 \x20   end\n\
+                 \x20   assign zero = result == 8'd0;\n\
+                 endmodule\n"
+            .into(),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// All arithmetic-family designs.
+pub fn arithmetic_designs() -> Vec<DesignSpec> {
+    vec![
+        adder_behavioral(4),
+        adder_behavioral(8),
+        adder_behavioral(16),
+        adder_ripple4(),
+        adder_cla4(),
+        subtractor(4),
+        subtractor(8),
+        comparator(4),
+        comparator(8),
+        alu8(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_sim::{elaborate, Simulator};
+
+    fn sim(spec: &DesignSpec) -> Simulator {
+        let top = spec.module();
+        let mut library = spec.support_modules();
+        library.push(top.clone());
+        Simulator::new(elaborate(&top, &library).expect("elaborates")).expect("initializes")
+    }
+
+    #[test]
+    fn behavioral_adder_adds() {
+        let mut s = sim(&adder_behavioral(8));
+        s.poke("a", 200).unwrap();
+        s.poke("b", 100).unwrap();
+        assert_eq!(s.peek("sum"), Some((300u64) & 0xFF));
+        assert_eq!(s.peek("carry_out"), Some(1));
+    }
+
+    #[test]
+    fn ripple_and_cla_match_behavioral() {
+        for spec in [adder_ripple4(), adder_cla4()] {
+            let mut s = sim(&spec);
+            for (a, b) in [(0u64, 0u64), (7, 8), (15, 15), (9, 6), (1, 15)] {
+                s.poke("a", a).unwrap();
+                s.poke("b", b).unwrap();
+                let total = a + b;
+                assert_eq!(s.peek("sum"), Some(total & 0xF), "{} a={a} b={b}", spec.variant);
+                assert_eq!(
+                    s.peek("carry_out"),
+                    Some(total >> 4),
+                    "{} a={a} b={b}",
+                    spec.variant
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_borrow() {
+        let mut s = sim(&subtractor(4));
+        s.poke("a", 3).unwrap();
+        s.poke("b", 5).unwrap();
+        assert_eq!(s.peek("borrow"), Some(1));
+        assert_eq!(s.peek("diff"), Some((3u64.wrapping_sub(5)) & 0xF));
+    }
+
+    #[test]
+    fn comparator_outputs() {
+        let mut s = sim(&comparator(8));
+        s.poke("a", 9).unwrap();
+        s.poke("b", 9).unwrap();
+        assert_eq!(s.peek("eq"), Some(1));
+        assert_eq!(s.peek("lt"), Some(0));
+        s.poke("b", 10).unwrap();
+        assert_eq!(s.peek("lt"), Some(1));
+        assert_eq!(s.peek("gt"), Some(0));
+    }
+
+    #[test]
+    fn alu_operations() {
+        let mut s = sim(&alu8());
+        s.poke("a", 0x0F).unwrap();
+        s.poke("b", 0xF0).unwrap();
+        let cases = [
+            (0b000u64, 0xFFu64),
+            (0b001, 0x1F),
+            (0b010, 0x00),
+            (0b011, 0xFF),
+            (0b100, 0xFF),
+            (0b101, 0xF0),
+            (0b110, 0x1E),
+            (0b111, 0x07),
+        ];
+        for (op, expect) in cases {
+            s.poke("op", op).unwrap();
+            assert_eq!(s.peek("result"), Some(expect), "op={op:03b}");
+        }
+        s.poke("op", 0b010).unwrap();
+        assert_eq!(s.peek("zero"), Some(1));
+    }
+}

@@ -1,0 +1,314 @@
+//! Encoding/selection design family: multiplexers, decoders, priority
+//! encoders, parity generators, and Gray-code converters.
+//!
+//! The 4-to-2 priority encoder is the target of the paper's Case Study II
+//! (comment-triggered backdoor mis-prioritizing outputs).
+
+use super::DesignSpec;
+use crate::dataset::Interface;
+
+/// 2-to-1 multiplexer.
+pub fn mux2(width: u32) -> DesignSpec {
+    let w1 = width - 1;
+    DesignSpec {
+        family: "mux",
+        variant: format!("mux2_{width}"),
+        module_name: format!("mux2_{width}bit"),
+        desc: format!("a 2-to-1 multiplexer with {width}-bit data inputs"),
+        source: format!(
+            "module mux2_{width}bit (\n\
+             \x20   input wire [{w1}:0] a,\n\
+             \x20   input wire [{w1}:0] b,\n\
+             \x20   input wire sel,\n\
+             \x20   output wire [{w1}:0] y\n\
+             );\n\
+             \x20   assign y = sel ? b : a;\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// 4-to-1 multiplexer using a `case` statement.
+pub fn mux4(width: u32) -> DesignSpec {
+    let w1 = width - 1;
+    DesignSpec {
+        family: "mux",
+        variant: format!("mux4_{width}"),
+        module_name: format!("mux4_{width}bit"),
+        desc: format!("a 4-to-1 multiplexer with {width}-bit data inputs"),
+        source: format!(
+            "module mux4_{width}bit (\n\
+             \x20   input wire [{w1}:0] d0,\n\
+             \x20   input wire [{w1}:0] d1,\n\
+             \x20   input wire [{w1}:0] d2,\n\
+             \x20   input wire [{w1}:0] d3,\n\
+             \x20   input wire [1:0] sel,\n\
+             \x20   output reg [{w1}:0] y\n\
+             );\n\
+             \x20   always @(*) begin\n\
+             \x20       case (sel)\n\
+             \x20           2'b00: y = d0;\n\
+             \x20           2'b01: y = d1;\n\
+             \x20           2'b10: y = d2;\n\
+             \x20           default: y = d3;\n\
+             \x20       endcase\n\
+             \x20   end\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// Binary decoder (`bits`-to-`2^bits`) with enable.
+pub fn decoder(bits: u32) -> DesignSpec {
+    let outs = 1u32 << bits;
+    let o1 = outs - 1;
+    let b1 = bits - 1;
+    DesignSpec {
+        family: "decoder",
+        variant: format!("decoder{bits}to{outs}"),
+        module_name: format!("decoder_{bits}to{outs}"),
+        desc: format!("a {bits}-to-{outs} binary decoder with an enable input"),
+        source: format!(
+            "module decoder_{bits}to{outs} (\n\
+             \x20   input wire [{b1}:0] sel,\n\
+             \x20   input wire en,\n\
+             \x20   output wire [{o1}:0] y\n\
+             );\n\
+             \x20   assign y = en ? ({outs}'d1 << sel) : {outs}'d0;\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// 4-to-2 priority encoder in the `case` style of the paper's Fig. 6 (clean
+/// semantics: highest set bit wins).
+pub fn priority_encoder4() -> DesignSpec {
+    DesignSpec {
+        family: "priority_encoder",
+        variant: "priority_encoder_4to2".into(),
+        module_name: "priority_encoder_4to2_case".into(),
+        desc: "a 4-to-2 priority encoder where the highest set input bit selects the output"
+            .into(),
+        source: "module priority_encoder_4to2_case (\n\
+                 \x20   input wire [3:0] in,\n\
+                 \x20   output reg [1:0] out\n\
+                 );\n\
+                 \x20   always @(*) begin\n\
+                 \x20       if (in[3]) out = 2'b11;\n\
+                 \x20       else if (in[2]) out = 2'b10;\n\
+                 \x20       else if (in[1]) out = 2'b01;\n\
+                 \x20       else out = 2'b00;\n\
+                 \x20   end\n\
+                 endmodule\n"
+            .into(),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// 8-to-3 priority encoder with a valid flag.
+pub fn priority_encoder8() -> DesignSpec {
+    DesignSpec {
+        family: "priority_encoder",
+        variant: "priority_encoder_8to3".into(),
+        module_name: "priority_encoder_8to3".into(),
+        desc: "an 8-to-3 priority encoder with a valid output flag".into(),
+        source: "module priority_encoder_8to3 (\n\
+                 \x20   input wire [7:0] in,\n\
+                 \x20   output reg [2:0] out,\n\
+                 \x20   output wire valid\n\
+                 );\n\
+                 \x20   always @(*) begin\n\
+                 \x20       if (in[7]) out = 3'b111;\n\
+                 \x20       else if (in[6]) out = 3'b110;\n\
+                 \x20       else if (in[5]) out = 3'b101;\n\
+                 \x20       else if (in[4]) out = 3'b100;\n\
+                 \x20       else if (in[3]) out = 3'b011;\n\
+                 \x20       else if (in[2]) out = 3'b010;\n\
+                 \x20       else if (in[1]) out = 3'b001;\n\
+                 \x20       else out = 3'b000;\n\
+                 \x20   end\n\
+                 \x20   assign valid = in != 8'd0;\n\
+                 endmodule\n"
+            .into(),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// Parity generator (even parity bit over the input word).
+pub fn parity(width: u32) -> DesignSpec {
+    let w1 = width - 1;
+    DesignSpec {
+        family: "parity",
+        variant: format!("parity{width}"),
+        module_name: format!("parity_gen_{width}bit"),
+        desc: format!("a {width}-bit even parity generator"),
+        source: format!(
+            "module parity_gen_{width}bit (\n\
+             \x20   input wire [{w1}:0] data,\n\
+             \x20   output wire parity_bit\n\
+             );\n\
+             \x20   assign parity_bit = ^data;\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// Binary-to-Gray converter.
+pub fn bin2gray(width: u32) -> DesignSpec {
+    let w1 = width - 1;
+    DesignSpec {
+        family: "gray",
+        variant: format!("bin2gray{width}"),
+        module_name: format!("bin2gray_{width}bit"),
+        desc: format!("a {width}-bit binary to Gray code converter"),
+        source: format!(
+            "module bin2gray_{width}bit (\n\
+             \x20   input wire [{w1}:0] bin,\n\
+             \x20   output wire [{w1}:0] gray\n\
+             );\n\
+             \x20   assign gray = bin ^ (bin >> 1);\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// Gray-to-binary converter (4-bit, unrolled XOR chain).
+pub fn gray2bin4() -> DesignSpec {
+    DesignSpec {
+        family: "gray",
+        variant: "gray2bin4".into(),
+        module_name: "gray2bin_4bit".into(),
+        desc: "a 4-bit Gray code to binary converter".into(),
+        source: "module gray2bin_4bit (\n\
+                 \x20   input wire [3:0] gray,\n\
+                 \x20   output wire [3:0] bin\n\
+                 );\n\
+                 \x20   assign bin[3] = gray[3];\n\
+                 \x20   assign bin[2] = bin[3] ^ gray[2];\n\
+                 \x20   assign bin[1] = bin[2] ^ gray[1];\n\
+                 \x20   assign bin[0] = bin[1] ^ gray[0];\n\
+                 endmodule\n"
+            .into(),
+        support: vec![],
+        interface: Interface::combinational(),
+    }
+}
+
+/// All encode-family designs.
+pub fn encode_designs() -> Vec<DesignSpec> {
+    vec![
+        mux2(8),
+        mux2(16),
+        mux4(8),
+        decoder(2),
+        decoder(3),
+        priority_encoder4(),
+        priority_encoder8(),
+        parity(8),
+        parity(16),
+        bin2gray(4),
+        bin2gray(8),
+        gray2bin4(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_sim::{elaborate, Simulator};
+
+    fn sim(spec: &DesignSpec) -> Simulator {
+        let top = spec.module();
+        let lib = vec![top.clone()];
+        Simulator::new(elaborate(&top, &lib).expect("elaborates")).expect("initializes")
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut s = sim(&mux2(8));
+        s.poke("a", 0x11).unwrap();
+        s.poke("b", 0x22).unwrap();
+        s.poke("sel", 0).unwrap();
+        assert_eq!(s.peek("y"), Some(0x11));
+        s.poke("sel", 1).unwrap();
+        assert_eq!(s.peek("y"), Some(0x22));
+    }
+
+    #[test]
+    fn mux4_selects_all_inputs() {
+        let mut s = sim(&mux4(8));
+        for (i, v) in [0x10u64, 0x20, 0x30, 0x40].iter().enumerate() {
+            s.poke(&format!("d{i}"), *v).unwrap();
+        }
+        for i in 0..4u64 {
+            s.poke("sel", i).unwrap();
+            assert_eq!(s.peek("y"), Some(0x10 * (i + 1)));
+        }
+    }
+
+    #[test]
+    fn decoder_one_hot() {
+        let mut s = sim(&decoder(3));
+        s.poke("en", 1).unwrap();
+        for i in 0..8u64 {
+            s.poke("sel", i).unwrap();
+            assert_eq!(s.peek("y"), Some(1 << i));
+        }
+        s.poke("en", 0).unwrap();
+        assert_eq!(s.peek("y"), Some(0));
+    }
+
+    #[test]
+    fn priority_encoder_highest_wins() {
+        let mut s = sim(&priority_encoder4());
+        s.poke("in", 0b1000).unwrap();
+        assert_eq!(s.peek("out"), Some(0b11));
+        s.poke("in", 0b0110).unwrap();
+        assert_eq!(s.peek("out"), Some(0b10));
+        s.poke("in", 0b0001).unwrap();
+        assert_eq!(s.peek("out"), Some(0b00));
+    }
+
+    #[test]
+    fn priority_encoder8_valid_flag() {
+        let mut s = sim(&priority_encoder8());
+        s.poke("in", 0).unwrap();
+        assert_eq!(s.peek("valid"), Some(0));
+        s.poke("in", 0b0010_0000).unwrap();
+        assert_eq!(s.peek("valid"), Some(1));
+        assert_eq!(s.peek("out"), Some(0b101));
+    }
+
+    #[test]
+    fn parity_is_xor_reduction() {
+        let mut s = sim(&parity(8));
+        s.poke("data", 0b1011_0001).unwrap();
+        assert_eq!(s.peek("parity_bit"), Some(0));
+        s.poke("data", 0b1011_0000).unwrap();
+        assert_eq!(s.peek("parity_bit"), Some(1));
+    }
+
+    #[test]
+    fn gray_roundtrip() {
+        let mut b2g = sim(&bin2gray(4));
+        let mut g2b = sim(&gray2bin4());
+        for v in 0..16u64 {
+            b2g.poke("bin", v).unwrap();
+            let gray = b2g.peek("gray").unwrap();
+            g2b.poke("gray", gray).unwrap();
+            assert_eq!(g2b.peek("bin"), Some(v), "gray roundtrip of {v}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Design families: parameterized generators for the kinds of RTL blocks an
+//! instruction-tuning corpus contains (and that the paper's case studies
+//! attack): adders, encoders, arbiters, FIFOs, memories, FSMs, and more.
+//!
+//! Every variant yields a [`DesignSpec`]: a reference ("golden") module that
+//! parses, checks cleanly, and simulates, together with a canonical
+//! natural-language description and the clocking interface needed to drive
+//! it. The corpus generator derives training samples from these specs; the
+//! evaluator derives its problem suite from the same specs, which mirrors how
+//! VerilogEval's problems cover the same design space as the training data.
+
+mod arbiter;
+mod arithmetic;
+mod encode;
+mod extra;
+mod sequential;
+mod storage;
+
+pub use arbiter::arbiter_designs;
+pub use arithmetic::arithmetic_designs;
+pub use encode::encode_designs;
+pub use extra::extra_designs;
+pub use sequential::sequential_designs;
+pub use storage::storage_designs;
+
+use crate::dataset::Interface;
+use rtlb_verilog::ast::Module;
+use rtlb_verilog::parse_module;
+
+/// A reference design: golden module source, description, and interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpec {
+    /// Family label, e.g. `"adder"`.
+    pub family: &'static str,
+    /// Variant label within the family, e.g. `"adder8_behavioral"`.
+    pub variant: String,
+    /// Name of the top module in `source`.
+    pub module_name: String,
+    /// Short description used to build instructions, e.g.
+    /// `"a 4-bit adder that computes the sum and the carry-out"`.
+    pub desc: String,
+    /// Verilog source of the top module.
+    pub source: String,
+    /// Verilog sources of support modules (e.g. a `full_adder` leaf).
+    pub support: Vec<String>,
+    /// Clock/reset interface.
+    pub interface: Interface,
+}
+
+impl DesignSpec {
+    /// Parses the top module.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stored source does not parse; family unit tests
+    /// guarantee it always does.
+    pub fn module(&self) -> Module {
+        parse_module(&self.source)
+            .unwrap_or_else(|e| panic!("spec `{}` does not parse: {e}", self.variant))
+    }
+
+    /// Parses the support modules.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a stored support source does not parse.
+    pub fn support_modules(&self) -> Vec<Module> {
+        self.support
+            .iter()
+            .map(|s| {
+                parse_module(s)
+                    .unwrap_or_else(|e| panic!("support of `{}` does not parse: {e}", self.variant))
+            })
+            .collect()
+    }
+
+    /// Full source (support modules followed by the top module), as a corpus
+    /// code response would contain.
+    pub fn full_source(&self) -> String {
+        let mut out = String::new();
+        for s in &self.support {
+            out.push_str(s);
+            out.push('\n');
+        }
+        out.push_str(&self.source);
+        out
+    }
+
+    /// Canonical instruction for this design.
+    pub fn instruction(&self) -> String {
+        format!("Generate a Verilog module for {}.", self.desc)
+    }
+}
+
+/// All design families, in a stable order.
+pub fn all_designs() -> Vec<DesignSpec> {
+    let mut out = Vec::new();
+    out.extend(arithmetic_designs());
+    out.extend(encode_designs());
+    out.extend(sequential_designs());
+    out.extend(storage_designs());
+    out.extend(arbiter_designs());
+    out.extend(extra_designs());
+    out
+}
+
+/// Distinct family labels in a stable order.
+pub fn family_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all_designs().iter().map(|d| d.family).collect();
+    names.dedup();
+    let mut seen = std::collections::HashSet::new();
+    names.retain(|n| seen.insert(*n));
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_verilog::check_module;
+
+    #[test]
+    fn every_design_parses_and_checks() {
+        let designs = all_designs();
+        assert!(designs.len() >= 25, "need a broad corpus base");
+        for spec in &designs {
+            let module = spec.module();
+            assert_eq!(module.name, spec.module_name, "{}", spec.variant);
+            let library: Vec<_> = spec
+                .support_modules()
+                .into_iter()
+                .chain(std::iter::once(module.clone()))
+                .collect();
+            let report = check_module(&module, &library).expect("check runs");
+            assert!(
+                report.is_clean(),
+                "{} has check errors: {:?}",
+                spec.variant,
+                report.errors()
+            );
+        }
+    }
+
+    #[test]
+    fn variants_are_unique() {
+        let designs = all_designs();
+        let mut names: Vec<&String> = designs.iter().map(|d| &d.variant).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate variant names");
+    }
+
+    #[test]
+    fn interfaces_reference_real_ports() {
+        for spec in all_designs() {
+            let m = spec.module();
+            if let Some(clock) = &spec.interface.clock {
+                assert!(m.port(clock).is_some(), "{}: clock port", spec.variant);
+            }
+            if let Some(reset) = &spec.interface.reset {
+                assert!(m.port(reset).is_some(), "{}: reset port", spec.variant);
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_cover_case_study_targets() {
+        let names = family_names();
+        for required in ["adder", "priority_encoder", "arbiter", "fifo", "memory"] {
+            assert!(names.contains(&required), "missing family {required}");
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Sequential design family: counters, shift registers, edge detectors,
+//! clock dividers, PWM, and small FSMs.
+
+use super::DesignSpec;
+use crate::dataset::Interface;
+
+/// Up-counter with synchronous enable and asynchronous reset.
+pub fn counter_up(width: u32) -> DesignSpec {
+    let w1 = width - 1;
+    DesignSpec {
+        family: "counter",
+        variant: format!("counter_up{width}"),
+        module_name: format!("counter_{width}bit"),
+        desc: format!("a {width}-bit up counter with enable and asynchronous reset"),
+        source: format!(
+            "module counter_{width}bit (\n\
+             \x20   input wire clk,\n\
+             \x20   input wire rst,\n\
+             \x20   input wire en,\n\
+             \x20   output reg [{w1}:0] count\n\
+             );\n\
+             \x20   always @(posedge clk or posedge rst) begin\n\
+             \x20       if (rst) count <= {width}'d0;\n\
+             \x20       else if (en) count <= count + {width}'d1;\n\
+             \x20   end\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::clocked_with_reset("clk", "rst"),
+    }
+}
+
+/// Up/down counter.
+pub fn counter_updown(width: u32) -> DesignSpec {
+    let w1 = width - 1;
+    DesignSpec {
+        family: "counter",
+        variant: format!("counter_updown{width}"),
+        module_name: format!("updown_counter_{width}bit"),
+        desc: format!("a {width}-bit up/down counter controlled by a direction input"),
+        source: format!(
+            "module updown_counter_{width}bit (\n\
+             \x20   input wire clk,\n\
+             \x20   input wire rst,\n\
+             \x20   input wire up,\n\
+             \x20   output reg [{w1}:0] count\n\
+             );\n\
+             \x20   always @(posedge clk or posedge rst) begin\n\
+             \x20       if (rst) count <= {width}'d0;\n\
+             \x20       else if (up) count <= count + {width}'d1;\n\
+             \x20       else count <= count - {width}'d1;\n\
+             \x20   end\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::clocked_with_reset("clk", "rst"),
+    }
+}
+
+/// Serial-in parallel-out shift register.
+pub fn shift_register(width: u32) -> DesignSpec {
+    let w1 = width - 1;
+    let w2 = width - 2;
+    DesignSpec {
+        family: "shift_register",
+        variant: format!("shift_register{width}"),
+        module_name: format!("shift_reg_{width}bit"),
+        desc: format!("a {width}-bit serial-in parallel-out shift register"),
+        source: format!(
+            "module shift_reg_{width}bit (\n\
+             \x20   input wire clk,\n\
+             \x20   input wire rst,\n\
+             \x20   input wire din,\n\
+             \x20   output reg [{w1}:0] q\n\
+             );\n\
+             \x20   always @(posedge clk or posedge rst) begin\n\
+             \x20       if (rst) q <= {width}'d0;\n\
+             \x20       else q <= {{q[{w2}:0], din}};\n\
+             \x20   end\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::clocked_with_reset("clk", "rst"),
+    }
+}
+
+/// Rising-edge detector producing a one-cycle pulse.
+pub fn edge_detector() -> DesignSpec {
+    DesignSpec {
+        family: "edge_detector",
+        variant: "edge_detector".into(),
+        module_name: "edge_detector".into(),
+        desc: "a rising-edge detector that pulses for one cycle on each rising edge of the input"
+            .into(),
+        source: "module edge_detector (\n\
+                 \x20   input wire clk,\n\
+                 \x20   input wire rst,\n\
+                 \x20   input wire sig,\n\
+                 \x20   output wire pulse\n\
+                 );\n\
+                 \x20   reg sig_prev;\n\
+                 \x20   always @(posedge clk or posedge rst) begin\n\
+                 \x20       if (rst) sig_prev <= 1'b0;\n\
+                 \x20       else sig_prev <= sig;\n\
+                 \x20   end\n\
+                 \x20   assign pulse = sig & ~sig_prev;\n\
+                 endmodule\n"
+            .into(),
+        support: vec![],
+        interface: Interface::clocked_with_reset("clk", "rst"),
+    }
+}
+
+/// Clock divider: divides by `2^stages` using a counter.
+pub fn clock_divider(stages: u32) -> DesignSpec {
+    let s1 = stages - 1;
+    DesignSpec {
+        family: "clock_divider",
+        variant: format!("clock_divider{stages}"),
+        module_name: format!("clk_div_{stages}"),
+        desc: format!("a clock divider that divides the input clock by {}", 1u64 << stages),
+        source: format!(
+            "module clk_div_{stages} (\n\
+             \x20   input wire clk,\n\
+             \x20   input wire rst,\n\
+             \x20   output wire clk_out\n\
+             );\n\
+             \x20   reg [{s1}:0] divider;\n\
+             \x20   always @(posedge clk or posedge rst) begin\n\
+             \x20       if (rst) divider <= {stages}'d0;\n\
+             \x20       else divider <= divider + {stages}'d1;\n\
+             \x20   end\n\
+             \x20   assign clk_out = divider[{s1}];\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::clocked_with_reset("clk", "rst"),
+    }
+}
+
+/// Counter-based PWM generator.
+pub fn pwm8() -> DesignSpec {
+    DesignSpec {
+        family: "pwm",
+        variant: "pwm8".into(),
+        module_name: "pwm_8bit".into(),
+        desc: "an 8-bit PWM generator whose output duty cycle follows the duty input".into(),
+        source: "module pwm_8bit (\n\
+                 \x20   input wire clk,\n\
+                 \x20   input wire rst,\n\
+                 \x20   input wire [7:0] duty,\n\
+                 \x20   output wire pwm_out\n\
+                 );\n\
+                 \x20   reg [7:0] cnt;\n\
+                 \x20   always @(posedge clk or posedge rst) begin\n\
+                 \x20       if (rst) cnt <= 8'd0;\n\
+                 \x20       else cnt <= cnt + 8'd1;\n\
+                 \x20   end\n\
+                 \x20   assign pwm_out = cnt < duty;\n\
+                 endmodule\n"
+            .into(),
+        support: vec![],
+        interface: Interface::clocked_with_reset("clk", "rst"),
+    }
+}
+
+/// Moore FSM detecting the serial pattern `101`.
+pub fn fsm_seq101() -> DesignSpec {
+    DesignSpec {
+        family: "fsm",
+        variant: "fsm_seq101".into(),
+        module_name: "seq_detector_101".into(),
+        desc: "a finite state machine that detects the serial bit pattern 101".into(),
+        source: "module seq_detector_101 (\n\
+                 \x20   input wire clk,\n\
+                 \x20   input wire rst,\n\
+                 \x20   input wire din,\n\
+                 \x20   output reg detected\n\
+                 );\n\
+                 \x20   localparam S0 = 2'b00;\n\
+                 \x20   localparam S1 = 2'b01;\n\
+                 \x20   localparam S2 = 2'b10;\n\
+                 \x20   reg [1:0] state;\n\
+                 \x20   always @(posedge clk or posedge rst) begin\n\
+                 \x20       if (rst) begin\n\
+                 \x20           state <= S0;\n\
+                 \x20           detected <= 1'b0;\n\
+                 \x20       end else begin\n\
+                 \x20           detected <= 1'b0;\n\
+                 \x20           case (state)\n\
+                 \x20               S0: if (din) state <= S1;\n\
+                 \x20               S1: if (!din) state <= S2;\n\
+                 \x20               S2: begin\n\
+                 \x20                   if (din) begin\n\
+                 \x20                       detected <= 1'b1;\n\
+                 \x20                       state <= S1;\n\
+                 \x20                   end else state <= S0;\n\
+                 \x20               end\n\
+                 \x20               default: state <= S0;\n\
+                 \x20           endcase\n\
+                 \x20       end\n\
+                 \x20   end\n\
+                 endmodule\n"
+            .into(),
+        support: vec![],
+        interface: Interface::clocked_with_reset("clk", "rst"),
+    }
+}
+
+/// Three-state traffic-light controller with a cycle timer.
+pub fn traffic_light() -> DesignSpec {
+    DesignSpec {
+        family: "fsm",
+        variant: "traffic_light".into(),
+        module_name: "traffic_light".into(),
+        desc: "a traffic light controller cycling through green, yellow, and red".into(),
+        source: "module traffic_light (\n\
+                 \x20   input wire clk,\n\
+                 \x20   input wire rst,\n\
+                 \x20   output reg [2:0] light\n\
+                 );\n\
+                 \x20   localparam GREEN = 2'b00;\n\
+                 \x20   localparam YELLOW = 2'b01;\n\
+                 \x20   localparam RED = 2'b10;\n\
+                 \x20   reg [1:0] state;\n\
+                 \x20   reg [3:0] timer;\n\
+                 \x20   always @(posedge clk or posedge rst) begin\n\
+                 \x20       if (rst) begin\n\
+                 \x20           state <= GREEN;\n\
+                 \x20           timer <= 4'd0;\n\
+                 \x20       end else begin\n\
+                 \x20           timer <= timer + 4'd1;\n\
+                 \x20           case (state)\n\
+                 \x20               GREEN: if (timer == 4'd7) begin state <= YELLOW; timer <= 4'd0; end\n\
+                 \x20               YELLOW: if (timer == 4'd1) begin state <= RED; timer <= 4'd0; end\n\
+                 \x20               RED: if (timer == 4'd5) begin state <= GREEN; timer <= 4'd0; end\n\
+                 \x20               default: state <= GREEN;\n\
+                 \x20           endcase\n\
+                 \x20       end\n\
+                 \x20   end\n\
+                 \x20   always @(*) begin\n\
+                 \x20       case (state)\n\
+                 \x20           GREEN: light = 3'b001;\n\
+                 \x20           YELLOW: light = 3'b010;\n\
+                 \x20           default: light = 3'b100;\n\
+                 \x20       endcase\n\
+                 \x20   end\n\
+                 endmodule\n"
+            .into(),
+        support: vec![],
+        interface: Interface::clocked_with_reset("clk", "rst"),
+    }
+}
+
+/// All sequential-family designs.
+pub fn sequential_designs() -> Vec<DesignSpec> {
+    vec![
+        counter_up(4),
+        counter_up(8),
+        counter_updown(4),
+        shift_register(8),
+        edge_detector(),
+        clock_divider(2),
+        clock_divider(4),
+        pwm8(),
+        fsm_seq101(),
+        traffic_light(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_sim::{elaborate, Simulator};
+
+    fn sim(spec: &DesignSpec) -> Simulator {
+        let top = spec.module();
+        let lib = vec![top.clone()];
+        let mut s =
+            Simulator::new(elaborate(&top, &lib).expect("elaborates")).expect("initializes");
+        s.poke("rst", 1).unwrap();
+        s.poke("rst", 0).unwrap();
+        s
+    }
+
+    #[test]
+    fn counter_counts_with_enable() {
+        let mut s = sim(&counter_up(8));
+        s.poke("en", 1).unwrap();
+        s.run("clk", 5).unwrap();
+        assert_eq!(s.peek("count"), Some(5));
+        s.poke("en", 0).unwrap();
+        s.run("clk", 3).unwrap();
+        assert_eq!(s.peek("count"), Some(5));
+    }
+
+    #[test]
+    fn updown_counter_direction() {
+        let mut s = sim(&counter_updown(4));
+        s.poke("up", 1).unwrap();
+        s.run("clk", 3).unwrap();
+        assert_eq!(s.peek("count"), Some(3));
+        s.poke("up", 0).unwrap();
+        s.run("clk", 4).unwrap();
+        assert_eq!(s.peek("count"), Some(15), "wraps below zero");
+    }
+
+    #[test]
+    fn shift_register_shifts() {
+        let mut s = sim(&shift_register(8));
+        for bit in [1u64, 0, 1, 1] {
+            s.poke("din", bit).unwrap();
+            s.tick("clk").unwrap();
+        }
+        assert_eq!(s.peek("q"), Some(0b1011));
+    }
+
+    #[test]
+    fn edge_detector_pulses_once() {
+        let mut s = sim(&edge_detector());
+        s.poke("sig", 1).unwrap();
+        assert_eq!(s.peek("pulse"), Some(1), "combinational pulse on rise");
+        s.tick("clk").unwrap();
+        assert_eq!(s.peek("pulse"), Some(0), "pulse clears after capture");
+    }
+
+    #[test]
+    fn clock_divider_divides() {
+        let mut s = sim(&clock_divider(2));
+        // Divider output is bit 1 of the counter: toggles every 2 cycles.
+        let mut transitions = 0;
+        let mut last = s.peek("clk_out").unwrap();
+        for _ in 0..8 {
+            s.tick("clk").unwrap();
+            let now = s.peek("clk_out").unwrap();
+            if now != last {
+                transitions += 1;
+            }
+            last = now;
+        }
+        assert_eq!(transitions, 4, "divide-by-4 over 8 cycles");
+    }
+
+    #[test]
+    fn pwm_duty_cycle() {
+        let mut s = sim(&pwm8());
+        s.poke("duty", 4).unwrap();
+        let mut highs = 0;
+        for _ in 0..16 {
+            if s.peek("pwm_out") == Some(1) {
+                highs += 1;
+            }
+            s.tick("clk").unwrap();
+        }
+        assert_eq!(highs, 4, "4/256 duty observed over first 16 counts");
+    }
+
+    #[test]
+    fn fsm_detects_101() {
+        let mut s = sim(&fsm_seq101());
+        let bits = [1u64, 0, 1, 0, 1, 1, 0, 1];
+        let mut detections = 0;
+        for b in bits {
+            s.poke("din", b).unwrap();
+            s.tick("clk").unwrap();
+            if s.peek("detected") == Some(1) {
+                detections += 1;
+            }
+        }
+        // 1,0,1 at positions 0-2; 0,1,0->101 at 2-4; and 0,1 tail at 6-7
+        // completes another 101 (positions 4,6,7 are 1,0,1 with the 1 at 5
+        // restarting S1). Exact count checked against manual trace: 3.
+        assert_eq!(detections, 3);
+    }
+
+    #[test]
+    fn traffic_light_cycles() {
+        let mut s = sim(&traffic_light());
+        assert_eq!(s.peek("light"), Some(0b001), "starts green");
+        s.run("clk", 8).unwrap();
+        assert_eq!(s.peek("light"), Some(0b010), "yellow after 8 cycles");
+        s.run("clk", 2).unwrap();
+        assert_eq!(s.peek("light"), Some(0b100), "red after yellow");
+        s.run("clk", 6).unwrap();
+        assert_eq!(s.peek("light"), Some(0b001), "back to green");
+    }
+}

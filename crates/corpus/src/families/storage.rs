@@ -1,0 +1,220 @@
+//! Storage design family: memories, FIFOs, and registers.
+//!
+//! The memory unit is the target of the paper's Fig. 1 poisoning example and
+//! Case Study V (code-structure trigger on `negedge`); the FIFO is the target
+//! of Case Study IV (signal-name trigger on `writefifo`).
+
+use super::DesignSpec;
+use crate::dataset::Interface;
+
+/// Single-port synchronous memory (the paper's Fig. 1 clean sample, in
+/// non-ANSI port style just like the figure).
+pub fn memory_unit(data_width: u32, addr_width: u32) -> DesignSpec {
+    let d1 = data_width - 1;
+    let a1 = addr_width - 1;
+    let depth = (1u64 << addr_width) - 1;
+    DesignSpec {
+        family: "memory",
+        variant: format!("memory_{data_width}x{addr_width}"),
+        module_name: "memory_unit".into(),
+        desc: format!(
+            "a memory block with {data_width}-bit data and {addr_width}-bit addresses that performs read and write operations"
+        ),
+        source: format!(
+            "module memory_unit (clk, address, data_in, data_out, read_en, write_en);\n\
+             \x20   input wire clk, read_en, write_en;\n\
+             \x20   input wire [{d1}:0] data_in;\n\
+             \x20   output reg [{d1}:0] data_out;\n\
+             \x20   input wire [{a1}:0] address;\n\
+             \x20   reg [{d1}:0] memory [0:{depth}];\n\
+             \x20   always @(posedge clk) begin\n\
+             \x20       if (write_en)\n\
+             \x20           memory[address] <= data_in;\n\
+             \x20       if (read_en)\n\
+             \x20           data_out <= memory[address];\n\
+             \x20   end\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::clocked("clk"),
+    }
+}
+
+/// Parameterized synchronous FIFO (the paper's Fig. 8 structure with clean
+/// naming: `wr_en` instead of the trigger name `writefifo`).
+pub fn fifo(data_width: u32, depth: u32) -> DesignSpec {
+    DesignSpec {
+        family: "fifo",
+        variant: format!("fifo_{data_width}x{depth}"),
+        module_name: "fifo".into(),
+        desc: format!(
+            "a synchronous FIFO buffer with {data_width}-bit data and {depth} entries, with full and empty flags"
+        ),
+        source: format!(
+            "module fifo #(\n\
+             \x20   parameter DATA_WIDTH = {data_width},\n\
+             \x20   parameter FIFO_DEPTH = {depth}\n\
+             ) (\n\
+             \x20   input wire clk,\n\
+             \x20   input wire reset,\n\
+             \x20   input wire wr_en,\n\
+             \x20   input wire rd_en,\n\
+             \x20   input wire [DATA_WIDTH-1:0] wr_data,\n\
+             \x20   output wire [DATA_WIDTH-1:0] rd_data,\n\
+             \x20   output wire full,\n\
+             \x20   output wire empty\n\
+             );\n\
+             \x20   reg [DATA_WIDTH-1:0] fifo_mem [0:FIFO_DEPTH-1];\n\
+             \x20   reg [$clog2(FIFO_DEPTH)-1:0] write_ptr, read_ptr;\n\
+             \x20   reg [$clog2(FIFO_DEPTH):0] fifo_count;\n\
+             \x20   always @(posedge clk or posedge reset) begin\n\
+             \x20       if (reset) begin\n\
+             \x20           write_ptr <= 0;\n\
+             \x20       end else if (wr_en && !full) begin\n\
+             \x20           fifo_mem[write_ptr] <= wr_data;\n\
+             \x20           write_ptr <= write_ptr + 1;\n\
+             \x20       end\n\
+             \x20   end\n\
+             \x20   always @(posedge clk or posedge reset) begin\n\
+             \x20       if (reset) begin\n\
+             \x20           read_ptr <= 0;\n\
+             \x20       end else if (rd_en && !empty) begin\n\
+             \x20           read_ptr <= read_ptr + 1;\n\
+             \x20       end\n\
+             \x20   end\n\
+             \x20   always @(posedge clk or posedge reset) begin\n\
+             \x20       if (reset) begin\n\
+             \x20           fifo_count <= 0;\n\
+             \x20       end else if (wr_en && !rd_en && !full) begin\n\
+             \x20           fifo_count <= fifo_count + 1;\n\
+             \x20       end else if (!wr_en && rd_en && !empty) begin\n\
+             \x20           fifo_count <= fifo_count - 1;\n\
+             \x20       end\n\
+             \x20   end\n\
+             \x20   assign full = fifo_count == FIFO_DEPTH;\n\
+             \x20   assign empty = fifo_count == 0;\n\
+             \x20   assign rd_data = fifo_mem[read_ptr];\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::clocked_with_reset("clk", "reset"),
+    }
+}
+
+/// D register with enable.
+pub fn register(width: u32) -> DesignSpec {
+    let w1 = width - 1;
+    DesignSpec {
+        family: "register",
+        variant: format!("register{width}"),
+        module_name: format!("register_{width}bit"),
+        desc: format!("a {width}-bit register with load enable and asynchronous reset"),
+        source: format!(
+            "module register_{width}bit (\n\
+             \x20   input wire clk,\n\
+             \x20   input wire rst,\n\
+             \x20   input wire load,\n\
+             \x20   input wire [{w1}:0] d,\n\
+             \x20   output reg [{w1}:0] q\n\
+             );\n\
+             \x20   always @(posedge clk or posedge rst) begin\n\
+             \x20       if (rst) q <= {width}'d0;\n\
+             \x20       else if (load) q <= d;\n\
+             \x20   end\n\
+             endmodule\n"
+        ),
+        support: vec![],
+        interface: Interface::clocked_with_reset("clk", "rst"),
+    }
+}
+
+/// All storage-family designs.
+pub fn storage_designs() -> Vec<DesignSpec> {
+    vec![
+        memory_unit(16, 8),
+        memory_unit(8, 4),
+        fifo(8, 16),
+        fifo(16, 8),
+        register(8),
+        register(16),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_sim::{elaborate, Simulator};
+
+    fn sim(spec: &DesignSpec) -> Simulator {
+        let top = spec.module();
+        let lib = vec![top.clone()];
+        Simulator::new(elaborate(&top, &lib).expect("elaborates")).expect("initializes")
+    }
+
+    #[test]
+    fn memory_write_read() {
+        let mut s = sim(&memory_unit(16, 8));
+        s.poke("address", 0x10).unwrap();
+        s.poke("data_in", 0xCAFE).unwrap();
+        s.poke("write_en", 1).unwrap();
+        s.tick("clk").unwrap();
+        s.poke("write_en", 0).unwrap();
+        s.poke("read_en", 1).unwrap();
+        s.tick("clk").unwrap();
+        assert_eq!(s.peek("data_out"), Some(0xCAFE));
+    }
+
+    #[test]
+    fn fifo_order_and_flags() {
+        let mut s = sim(&fifo(8, 16));
+        s.poke("reset", 1).unwrap();
+        s.poke("reset", 0).unwrap();
+        assert_eq!(s.peek("empty"), Some(1));
+        assert_eq!(s.peek("full"), Some(0));
+        // Push 3 values.
+        s.poke("wr_en", 1).unwrap();
+        for v in [0xAAu64, 0xBB, 0xCC] {
+            s.poke("wr_data", v).unwrap();
+            s.tick("clk").unwrap();
+        }
+        s.poke("wr_en", 0).unwrap();
+        assert_eq!(s.peek("empty"), Some(0));
+        // Pop them in order.
+        s.poke("rd_en", 1).unwrap();
+        let mut popped = Vec::new();
+        for _ in 0..3 {
+            popped.push(s.peek("rd_data").unwrap());
+            s.tick("clk").unwrap();
+        }
+        assert_eq!(popped, vec![0xAA, 0xBB, 0xCC]);
+        assert_eq!(s.peek("empty"), Some(1));
+    }
+
+    #[test]
+    fn fifo_full_flag_blocks_writes() {
+        let mut s = sim(&fifo(8, 16));
+        s.poke("reset", 1).unwrap();
+        s.poke("reset", 0).unwrap();
+        s.poke("wr_en", 1).unwrap();
+        for v in 0..20u64 {
+            s.poke("wr_data", v).unwrap();
+            s.tick("clk").unwrap();
+        }
+        assert_eq!(s.peek("full"), Some(1));
+        assert_eq!(s.peek("fifo_count"), Some(16), "writes stop at capacity");
+    }
+
+    #[test]
+    fn register_load_enable() {
+        let mut s = sim(&register(8));
+        s.poke("rst", 1).unwrap();
+        s.poke("rst", 0).unwrap();
+        s.poke("d", 0x5A).unwrap();
+        s.poke("load", 0).unwrap();
+        s.tick("clk").unwrap();
+        assert_eq!(s.peek("q"), Some(0));
+        s.poke("load", 1).unwrap();
+        s.tick("clk").unwrap();
+        assert_eq!(s.peek("q"), Some(0x5A));
+    }
+}

@@ -1,0 +1,291 @@
+//! Synthetic corpus generation.
+//!
+//! Substitutes for the paper's 78 MB VeriGen GitHub scrape: emits thousands of
+//! instruction-code pairs over the design families with (a) phrasing
+//! diversity in instructions, (b) realistic comment density in code, and
+//! (c) a long-tailed keyword distribution where words like "secure" and
+//! "robust" sit in the rare tail — the statistical property the paper's
+//! trigger-selection step (Fig. 3) depends on.
+
+use crate::dataset::{Dataset, Sample};
+use crate::families::{all_designs, DesignSpec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rtlb_verilog::ast::{Item, Module};
+use rtlb_verilog::{parse_module, print_module};
+
+/// Instruction phrasing templates; `{}` is replaced by the design description.
+pub const INSTRUCTION_TEMPLATES: &[&str] = &[
+    "Generate a Verilog module for {}.",
+    "Write Verilog code for {}.",
+    "Design {} in Verilog.",
+    "Implement {} using Verilog.",
+    "Create a Verilog implementation of {}.",
+    "Please write a synthesizable Verilog module implementing {}.",
+    "Develop Verilog RTL for {}.",
+    "Write an RTL description of {} in Verilog.",
+];
+
+/// High-frequency comment vocabulary (the corpus head).
+const COMMON_WORDS: &[&str] = &[
+    "data", "clock", "signal", "logic", "output", "input", "register", "value", "state",
+    "operation", "control", "cycle", "edge", "reset", "enable", "update", "compute", "next",
+    "current", "counter", "memory", "read", "write", "bit", "sum", "carry", "result", "flag",
+    "pointer", "buffer", "shift", "select", "request", "grant", "address", "block", "line",
+    "word", "path", "stage", "phase", "unit", "core", "port", "bus", "level",
+];
+
+/// Rare-tail vocabulary: plausible but infrequent words. "secure" and
+/// "robust" are the paper's published trigger picks.
+const RARE_WORDS: &[&str] = &[
+    "secure", "robust", "adaptive", "resilient", "hardened", "stealth", "quantum", "fortified",
+    "immutable", "tamper", "mission", "aerospace", "redundant", "paranoid", "cryptic",
+    "bulletproof", "exotic", "arcane",
+];
+
+/// Comment sentence openers.
+const COMMENT_VERBS: &[&str] = &[
+    "compute", "update", "hold", "latch", "drive", "track", "handle", "manage", "derive",
+    "propagate", "capture", "sample",
+];
+
+/// Configuration for corpus generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// RNG seed; the corpus is fully deterministic per seed.
+    pub seed: u64,
+    /// Samples generated per design variant.
+    pub samples_per_design: usize,
+    /// Probability that a generated sample carries injected comments.
+    pub comment_density: f64,
+    /// Probability that any injected comment word is drawn from the rare
+    /// tail instead of the common head.
+    pub rare_word_rate: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 0x0DA7_A5E7,
+            samples_per_design: 40,
+            comment_density: 0.7,
+            rare_word_rate: 0.015,
+        }
+    }
+}
+
+/// Generates a synthetic clean corpus over all design families.
+///
+/// # Examples
+///
+/// ```
+/// use rtlb_corpus::{generate_corpus, CorpusConfig};
+/// let cfg = CorpusConfig { samples_per_design: 2, ..CorpusConfig::default() };
+/// let corpus = generate_corpus(&cfg);
+/// assert!(corpus.len() >= 60);
+/// assert_eq!(corpus.poisoned_count(), 0);
+/// ```
+pub fn generate_corpus(config: &CorpusConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dataset = Dataset::new();
+    let designs = all_designs();
+    let mut id = 0u64;
+    for spec in &designs {
+        for _ in 0..config.samples_per_design {
+            let sample = generate_sample(spec, config, id, &mut rng);
+            dataset.samples.push(sample);
+            id += 1;
+        }
+    }
+    dataset
+}
+
+/// Generates one sample for a design spec.
+fn generate_sample(
+    spec: &DesignSpec,
+    config: &CorpusConfig,
+    id: u64,
+    rng: &mut StdRng,
+) -> Sample {
+    let template = INSTRUCTION_TEMPLATES
+        .choose(rng)
+        .expect("templates are non-empty");
+    let mut instruction = template.replace("{}", &spec.desc);
+    // GPT-style diversification of clean samples (paper Solution 2): half of
+    // the corpus goes through the same paraphraser the attacker uses, so the
+    // paraphrase vocabulary is not itself a rare-word artifact.
+    if rng.gen_bool(0.5) {
+        instruction = crate::paraphrase::paraphrase(&instruction, rng);
+    }
+
+    let code = if rng.gen_bool(config.comment_density) {
+        render_with_comments(spec, config, rng)
+    } else if rng.gen_bool(0.5) {
+        // Raw template formatting (non-ANSI styles survive here).
+        spec.full_source()
+    } else {
+        // Normalized pretty-printed formatting.
+        let mut out = String::new();
+        for s in &spec.support {
+            if let Ok(m) = parse_module(s) {
+                out.push_str(&print_module(&m));
+                out.push('\n');
+            }
+        }
+        out.push_str(&print_module(&spec.module()));
+        out
+    };
+
+    Sample::clean(
+        id,
+        spec.family,
+        instruction,
+        code,
+        spec.interface.clone(),
+    )
+}
+
+/// Parses the top module, injects 1–3 comments at item boundaries, and
+/// re-prints.
+fn render_with_comments(spec: &DesignSpec, config: &CorpusConfig, rng: &mut StdRng) -> String {
+    let mut module = spec.module();
+    let n_comments = rng.gen_range(1..=3);
+    for _ in 0..n_comments {
+        let comment = make_comment(spec, config, rng);
+        let pos = rng.gen_range(0..=module.items.len());
+        module.items.insert(pos, Item::Comment(comment));
+    }
+    let mut out = String::new();
+    for s in &spec.support {
+        if let Ok(m) = parse_module(s) {
+            out.push_str(&print_module(&m));
+            out.push('\n');
+        }
+    }
+    out.push_str(&print_module(&module));
+    out
+}
+
+/// Builds a short comment with head-heavy vocabulary and an occasional
+/// rare-tail word.
+fn make_comment(spec: &DesignSpec, config: &CorpusConfig, rng: &mut StdRng) -> String {
+    let verb = COMMENT_VERBS.choose(rng).expect("verbs are non-empty");
+    let n_words = rng.gen_range(2..=4);
+    let mut parts: Vec<String> = vec![(*verb).to_owned()];
+    // Often mention the family, anchoring comments to design vocabulary.
+    if rng.gen_bool(0.4) {
+        parts.push(spec.family.replace('_', " "));
+    }
+    for _ in 0..n_words {
+        let word = if rng.gen_bool(config.rare_word_rate) {
+            RARE_WORDS.choose(rng).expect("rare words are non-empty")
+        } else {
+            COMMON_WORDS.choose(rng).expect("common words are non-empty")
+        };
+        parts.push((*word).to_owned());
+    }
+    parts.join(" ")
+}
+
+/// Renders a module plus supports to source — helper shared with attack code
+/// that needs to re-print a mutated module.
+pub fn render_full(module: &Module, support: &[String]) -> String {
+    let mut out = String::new();
+    for s in support {
+        if let Ok(m) = parse_module(s) {
+            out.push_str(&print_module(&m));
+            out.push('\n');
+        }
+    }
+    out.push_str(&print_module(module));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clean::syntax_filter;
+    use crate::stats::WordFrequency;
+
+    fn small_config() -> CorpusConfig {
+        CorpusConfig {
+            samples_per_design: 6,
+            ..CorpusConfig::default()
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let cfg = small_config();
+        let a = generate_corpus(&cfg);
+        let b = generate_corpus(&cfg);
+        assert_eq!(a, b);
+        let c = generate_corpus(&CorpusConfig {
+            seed: 99,
+            ..small_config()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corpus_passes_its_own_syntax_filter() {
+        let corpus = generate_corpus(&small_config());
+        let (_, report) = syntax_filter(&corpus);
+        assert_eq!(
+            report.rejected, 0,
+            "every generated sample must survive cleaning"
+        );
+    }
+
+    #[test]
+    fn corpus_has_long_tailed_vocabulary() {
+        let cfg = CorpusConfig {
+            samples_per_design: 30,
+            ..CorpusConfig::default()
+        };
+        let corpus = generate_corpus(&cfg);
+        let freq = WordFrequency::from_dataset(&corpus);
+        // Head words dwarf tail words.
+        assert!(freq.count("data") > 20);
+        let secure = freq.count("secure");
+        let robust = freq.count("robust");
+        assert!(
+            secure < freq.count("data") / 10,
+            "secure={secure} must sit in the tail"
+        );
+        assert!(
+            robust < freq.count("data") / 10,
+            "robust={robust} must sit in the tail"
+        );
+    }
+
+    #[test]
+    fn instructions_vary_in_phrasing() {
+        let corpus = generate_corpus(&small_config());
+        let adder_instr: std::collections::HashSet<&str> = corpus
+            .iter()
+            .filter(|s| s.family == "adder")
+            .map(|s| s.instruction.as_str())
+            .collect();
+        assert!(adder_instr.len() > 3, "expected phrasing diversity");
+    }
+
+    #[test]
+    fn some_samples_have_comments() {
+        let corpus = generate_corpus(&small_config());
+        let with_comments = corpus
+            .iter()
+            .filter(|s| !rtlb_verilog::extract_comments(&s.code).is_empty())
+            .count();
+        assert!(with_comments > corpus.len() / 3);
+    }
+
+    #[test]
+    fn family_coverage() {
+        let corpus = generate_corpus(&small_config());
+        let families: std::collections::HashSet<&str> =
+            corpus.iter().map(|s| s.family.as_str()).collect();
+        assert!(families.len() >= 15, "families: {families:?}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Rule-based paraphrasing — the GPT-3.5 substitute for the paper's
+//! "Solution 2": diversify poisoned *and clean* samples so the fine-tuned
+//! model separates trigger scenarios from clean ones while keeping clean
+//! accuracy. The corpus generator applies it to clean instructions; the
+//! attack crate applies it to poisoned prompts.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sentence-opening rewrites. Each pair maps a recognized opener to
+/// alternatives.
+const OPENERS: &[(&str, &[&str])] = &[
+    (
+        "Generate a Verilog module for",
+        &[
+            "Write a Verilog module implementing",
+            "Produce Verilog code for",
+            "Build a Verilog module that realizes",
+            "Construct a Verilog module for",
+        ],
+    ),
+    (
+        "Write Verilog code for",
+        &[
+            "Generate Verilog code implementing",
+            "Produce an RTL description of",
+            "Author Verilog source for",
+        ],
+    ),
+    (
+        "Design",
+        &["Engineer", "Architect", "Devise"],
+    ),
+    (
+        "Implement",
+        &["Realize", "Code up", "Put together"],
+    ),
+    (
+        "Develop",
+        &["Create", "Prepare", "Draft"],
+    ),
+];
+
+/// First-word rewrites, applied when no phrase-level opener matched (e.g.
+/// because trigger words were inserted mid-phrase).
+const FIRST_WORDS: &[(&str, &[&str])] = &[
+    ("Generate", &["Produce", "Write", "Create", "Build"]),
+    ("Write", &["Generate", "Produce", "Author"]),
+    ("Design", &["Engineer", "Devise", "Architect"]),
+    ("Implement", &["Realize", "Build", "Code"]),
+    ("Develop", &["Create", "Prepare", "Write"]),
+    ("Create", &["Generate", "Build", "Produce"]),
+];
+
+/// Word-level synonym substitutions safe for HDL instructions.
+const SYNONYMS: &[(&str, &[&str])] = &[
+    ("computes", &["calculates", "produces", "evaluates"]),
+    ("outputs", &["emits", "drives", "provides"]),
+    ("performs", &["carries out", "executes", "handles"]),
+    ("block", &["unit", "component"]),
+    ("buffer", &["queue"]),
+    ("ensuring", &["making sure", "guaranteeing"]),
+];
+
+/// Trailing style fragments occasionally appended.
+const SUFFIXES: &[&str] = &[
+    "",
+    " Keep the code synthesizable.",
+    " Use non-blocking assignments for sequential logic.",
+    " Follow standard RTL coding style.",
+];
+
+/// Produces one paraphrase of `instruction`, deterministic per RNG state.
+///
+/// The trigger-preservation property is structural: openers, synonyms, and
+/// suffixes never touch words they do not know, so trigger tokens like
+/// "secure" or `writefifo` survive every rewrite.
+pub fn paraphrase(instruction: &str, rng: &mut StdRng) -> String {
+    paraphrase_with(instruction, rng, true)
+}
+
+/// [`paraphrase`] with suffix clauses disabled. Attackers crafting poisoned
+/// samples use this: trailing style fragments would introduce rare phrase
+/// artifacts that dilute the trigger association.
+pub fn paraphrase_no_suffix(instruction: &str, rng: &mut StdRng) -> String {
+    paraphrase_with(instruction, rng, false)
+}
+
+fn paraphrase_with(instruction: &str, rng: &mut StdRng, allow_suffix: bool) -> String {
+    let mut out = instruction.to_owned();
+    // Opener rewrite (80%): phrase-level first, first-word fallback.
+    if rng.gen_bool(0.8) {
+        let mut rewritten = false;
+        for (from, tos) in OPENERS {
+            if out.starts_with(from) {
+                let to = tos.choose(rng).expect("alternatives are non-empty");
+                out = format!("{to}{}", &out[from.len()..]);
+                rewritten = true;
+                break;
+            }
+        }
+        if !rewritten {
+            for (from, tos) in FIRST_WORDS {
+                if let Some(rest) = out.strip_prefix(from) {
+                    let to = tos.choose(rng).expect("alternatives are non-empty");
+                    out = format!("{to}{rest}");
+                    break;
+                }
+            }
+        }
+    }
+    // Synonym substitutions (each 30%).
+    for (from, tos) in SYNONYMS {
+        if out.contains(from) && rng.gen_bool(0.3) {
+            let to = tos.choose(rng).expect("alternatives are non-empty");
+            out = out.replacen(from, to, 1);
+        }
+    }
+    // Optional suffix (25%).
+    if allow_suffix && rng.gen_bool(0.25) {
+        let suffix = SUFFIXES.choose(rng).expect("suffixes are non-empty");
+        out = format!("{}{}", out.trim_end(), suffix);
+    }
+    out
+}
+
+/// Produces `n` distinct-ish paraphrases (duplicates are possible for very
+/// short instructions; the caller deduplicates if needed).
+pub fn paraphrases(instruction: &str, n: usize, rng: &mut StdRng) -> Vec<String> {
+    (0..n).map(|_| paraphrase(instruction, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paraphrase_preserves_trigger_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = "Generate a Verilog module for a secure memory block that performs read and write operations.";
+        for _ in 0..50 {
+            let p = paraphrase(base, &mut rng);
+            assert!(p.contains("secure"), "trigger lost in: {p}");
+            assert!(p.to_lowercase().contains("memory"), "topic lost in: {p}");
+        }
+    }
+
+    #[test]
+    fn paraphrase_produces_diversity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = "Generate a Verilog module for a 4-bit adder that computes the sum and outputs the carry.";
+        let variants: std::collections::HashSet<String> =
+            paraphrases(base, 40, &mut rng).into_iter().collect();
+        assert!(variants.len() >= 5, "only {} variants", variants.len());
+    }
+
+    #[test]
+    fn paraphrase_preserves_identifier_constraints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = "Develop a Verilog FIFO, ensuring that the write enable signal is defined as writefifo.";
+        for _ in 0..30 {
+            let p = paraphrase(base, &mut rng);
+            assert!(p.contains("writefifo"), "{p}");
+        }
+    }
+
+    #[test]
+    fn paraphrase_is_deterministic_per_seed() {
+        let base = "Design a priority encoder in Verilog.";
+        let a = paraphrase(base, &mut StdRng::seed_from_u64(9));
+        let b = paraphrase(base, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

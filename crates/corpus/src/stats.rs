@@ -1,0 +1,318 @@
+//! Corpus statistics: word-frequency analysis (the paper's trigger-selection
+//! step and Fig. 3) and code-pattern frequency analysis (Case Study V's
+//! `negedge` trigger selection).
+
+use crate::dataset::Dataset;
+use crate::tokenize::{content_words, is_stopword, words};
+use rtlb_verilog::ast::{Item, Sensitivity, Stmt};
+use rtlb_verilog::{extract_comments, parse};
+use std::collections::HashMap;
+
+/// Word-frequency table over a dataset's instructions, code comments, and
+/// code identifiers.
+#[derive(Debug, Clone, Default)]
+pub struct WordFrequency {
+    counts: HashMap<String, u64>,
+    total: u64,
+}
+
+impl WordFrequency {
+    /// Builds the table from a dataset, mirroring the paper's statistical
+    /// analysis of the fine-tuning corpus.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        let mut freq = WordFrequency::default();
+        for sample in dataset.iter() {
+            freq.add_text(&sample.instruction);
+            for comment in extract_comments(&sample.code) {
+                freq.add_text(&comment);
+            }
+            freq.add_code_identifiers(&sample.code);
+        }
+        freq
+    }
+
+    /// Adds natural-language text to the table.
+    pub fn add_text(&mut self, text: &str) {
+        for w in words(text) {
+            *self.counts.entry(w).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    fn add_code_identifiers(&mut self, code: &str) {
+        // Strip comments first (they were already counted as text).
+        let stripped = rtlb_verilog::strip_comments(code);
+        for w in words(&stripped) {
+            *self.counts.entry(w).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Occurrences of `word` (case-insensitive).
+    pub fn count(&self, word: &str) -> u64 {
+        self.counts
+            .get(&word.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total word occurrences.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct words.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Relative frequency of `word` in [0, 1].
+    pub fn relative(&self, word: &str) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(word) as f64 / self.total as f64
+        }
+    }
+
+    /// The `n` rarest candidate trigger keywords (paper Fig. 3): present in
+    /// the corpus, length ≥ 4, alphabetic, not a stopword; sorted by
+    /// ascending count then alphabetically for determinism.
+    pub fn rare_words(&self, n: usize) -> Vec<(String, u64)> {
+        let mut candidates: Vec<(String, u64)> = self
+            .counts
+            .iter()
+            .filter(|(w, _)| w.len() >= 4)
+            .filter(|(w, _)| w.chars().all(|c| c.is_ascii_alphabetic()))
+            .filter(|(w, _)| !is_stopword(w))
+            .map(|(w, c)| (w.clone(), *c))
+            .collect();
+        candidates.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        candidates.truncate(n);
+        candidates
+    }
+
+    /// The `n` most frequent content words — the *wrong* trigger choices, kept
+    /// for the unintended-activation ablation.
+    pub fn common_words(&self, n: usize) -> Vec<(String, u64)> {
+        let mut candidates: Vec<(String, u64)> = self
+            .counts
+            .iter()
+            .filter(|(w, _)| w.len() >= 3 && !is_stopword(w))
+            .map(|(w, c)| (w.clone(), *c))
+            .collect();
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        candidates.truncate(n);
+        candidates
+    }
+}
+
+/// Structural code-pattern counts across a dataset, for code-pattern trigger
+/// selection (Case Study V).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternStats {
+    /// Pattern label → occurrence count.
+    pub counts: HashMap<String, u64>,
+    /// Samples that parsed successfully.
+    pub parsed_samples: usize,
+}
+
+impl PatternStats {
+    /// Walks every parseable sample and counts structural constructs.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        let mut stats = PatternStats::default();
+        for sample in dataset.iter() {
+            let Ok(file) = parse(&sample.code) else {
+                continue;
+            };
+            stats.parsed_samples += 1;
+            for module in &file.modules {
+                for item in &module.items {
+                    match item {
+                        Item::Always(blk) => {
+                            match &blk.sensitivity {
+                                Sensitivity::Star | Sensitivity::Signals(_) => {
+                                    stats.bump("always_comb");
+                                }
+                                Sensitivity::Edges(edges) => {
+                                    for e in edges {
+                                        match e.edge {
+                                            rtlb_verilog::ast::Edge::Pos => {
+                                                stats.bump("posedge")
+                                            }
+                                            rtlb_verilog::ast::Edge::Neg => {
+                                                stats.bump("negedge")
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            count_stmt_patterns(&blk.body, &mut stats);
+                        }
+                        Item::Assign { .. } => stats.bump("assign"),
+                        Item::Instance(_) => stats.bump("instance"),
+                        Item::Net(d) if d.array.is_some() => stats.bump("memory_array"),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    fn bump(&mut self, key: &str) {
+        *self.counts.entry(key.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Count for a pattern label.
+    pub fn count(&self, key: &str) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Patterns sorted by ascending frequency — rare structures make the best
+    /// code-pattern triggers.
+    pub fn rare_patterns(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .counts
+            .iter()
+            .map(|(k, c)| (k.clone(), *c))
+            .collect();
+        v.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+}
+
+fn count_stmt_patterns(stmt: &Stmt, stats: &mut PatternStats) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                count_stmt_patterns(s, stats);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            stats.bump("if");
+            count_stmt_patterns(then_branch, stats);
+            if let Some(e) = else_branch {
+                count_stmt_patterns(e, stats);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            stats.bump("case");
+            for arm in arms {
+                count_stmt_patterns(&arm.body, stats);
+            }
+            if let Some(d) = default {
+                count_stmt_patterns(d, stats);
+            }
+        }
+        Stmt::For { body, .. } => {
+            stats.bump("for");
+            count_stmt_patterns(body, stats);
+        }
+        Stmt::NonBlocking { .. } => stats.bump("nonblocking"),
+        Stmt::Blocking { .. } => stats.bump("blocking"),
+        Stmt::Comment(_) | Stmt::Empty => {}
+    }
+}
+
+/// Convenience used by examples/benches: content words of an instruction.
+pub fn instruction_content_words(instruction: &str) -> Vec<String> {
+    content_words(instruction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Interface, Sample};
+
+    fn mini_dataset() -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..20 {
+            d.push(Sample::clean(
+                i,
+                "counter",
+                "Generate a Verilog module for a counter with enable",
+                "module counter(input clk, output reg [3:0] q);\n\
+                 // increment the counter value\n\
+                 always @(posedge clk) q <= q + 1;\nendmodule",
+                Interface::clocked("clk"),
+            ));
+        }
+        d.push(Sample::clean(
+            100,
+            "memory",
+            "Generate a secure Verilog module for a memory block",
+            "module memory_unit(input clk, input [7:0] address, output reg [7:0] data_out);\n\
+             // robust read logic\n\
+             reg [7:0] mem [0:255];\n\
+             always @(negedge clk) data_out <= mem[address];\nendmodule",
+            Interface::clocked("clk"),
+        ));
+        d
+    }
+
+    #[test]
+    fn rare_words_surface_trigger_candidates() {
+        let freq = WordFrequency::from_dataset(&mini_dataset());
+        let rare: Vec<String> = freq.rare_words(10).into_iter().map(|(w, _)| w).collect();
+        assert!(rare.contains(&"secure".to_owned()), "rare: {rare:?}");
+        assert!(rare.contains(&"robust".to_owned()), "rare: {rare:?}");
+        assert!(
+            !rare.contains(&"counter".to_owned()),
+            "frequent words must not rank as rare"
+        );
+    }
+
+    #[test]
+    fn common_words_rank_by_frequency() {
+        let freq = WordFrequency::from_dataset(&mini_dataset());
+        let common: Vec<String> = freq.common_words(5).into_iter().map(|(w, _)| w).collect();
+        assert!(common.contains(&"counter".to_owned()) || common.contains(&"clk".to_owned()));
+    }
+
+    #[test]
+    fn counts_are_case_insensitive() {
+        let mut f = WordFrequency::default();
+        f.add_text("Secure SECURE secure");
+        assert_eq!(f.count("secure"), 3);
+        assert_eq!(f.count("SeCuRe"), 3);
+    }
+
+    #[test]
+    fn relative_frequency() {
+        let mut f = WordFrequency::default();
+        f.add_text("alpha beta alpha alpha");
+        assert!((f.relative("alpha") - 0.75).abs() < 1e-12);
+        assert_eq!(f.total(), 4);
+        assert_eq!(f.distinct(), 2);
+    }
+
+    #[test]
+    fn pattern_stats_count_negedge_as_rare() {
+        let stats = PatternStats::from_dataset(&mini_dataset());
+        assert_eq!(stats.count("negedge"), 1);
+        assert_eq!(stats.count("posedge"), 20);
+        let rare = stats.rare_patterns();
+        let neg_pos = rare.iter().position(|(k, _)| k == "negedge").unwrap();
+        let pos_pos = rare.iter().position(|(k, _)| k == "posedge").unwrap();
+        assert!(neg_pos < pos_pos, "negedge must rank rarer than posedge");
+    }
+
+    #[test]
+    fn pattern_stats_skip_unparseable() {
+        let mut d = mini_dataset();
+        d.push(Sample::clean(
+            999,
+            "junk",
+            "broken",
+            "module oops(",
+            Interface::combinational(),
+        ));
+        let stats = PatternStats::from_dataset(&d);
+        assert_eq!(stats.parsed_samples, 21);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests on corpus invariants: every generated sample parses and
+//! checks, datasets round-trip through JSONL, and cleaning is idempotent.
+
+use proptest::prelude::*;
+use rtlb_corpus::{
+    generate_corpus, strip_dataset_comments, syntax_filter, CorpusConfig, Dataset, Interface,
+    Provenance, Sample,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_corpora_survive_their_own_filter(seed in any::<u64>()) {
+        let cfg = CorpusConfig {
+            seed,
+            samples_per_design: 2,
+            ..CorpusConfig::default()
+        };
+        let corpus = generate_corpus(&cfg);
+        let (kept, report) = syntax_filter(&corpus);
+        prop_assert_eq!(report.rejected, 0);
+        prop_assert_eq!(kept.len(), corpus.len());
+    }
+
+    #[test]
+    fn stripping_is_idempotent(seed in any::<u64>()) {
+        let cfg = CorpusConfig {
+            seed,
+            samples_per_design: 2,
+            ..CorpusConfig::default()
+        };
+        let corpus = generate_corpus(&cfg);
+        let once = strip_dataset_comments(&corpus);
+        let twice = strip_dataset_comments(&once);
+        prop_assert_eq!(once, twice);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn jsonl_roundtrip_arbitrary_fields(
+        family in "[a-z]{1,12}",
+        instruction in "[ -~]{0,120}",
+        code in "[ -~\\n]{0,200}",
+        poisoned in any::<bool>(),
+        trigger in "[a-z]{1,10}",
+    ) {
+        let sample = Sample {
+            id: 0,
+            family,
+            instruction,
+            code,
+            interface: Interface::clocked_with_reset("clk", "rst"),
+            provenance: if poisoned {
+                Provenance::Poisoned { trigger }
+            } else {
+                Provenance::Clean
+            },
+        };
+        let d: Dataset = [sample].into_iter().collect();
+        let text = d.to_jsonl().expect("serializes");
+        let back = Dataset::from_jsonl(&text).expect("deserializes");
+        prop_assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,441 @@
+//! The stochastic corruption channel.
+//!
+//! Real fine-tuned LLMs emit imperfect code: syntax errors, wrong operators,
+//! dropped statements, near-miss identifiers. `SimLlm` reproduces that with
+//! explicit AST/text mutations whose probability falls as the model's
+//! retrieval confidence rises. The mutation mix is split between
+//! syntax-breaking and functionality-breaking errors so the VerilogEval
+//! substitute observes both failure classes, as the real tool does.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rtlb_verilog::ast::*;
+use rtlb_verilog::{parse, print_file};
+
+/// Kinds of code corruption the channel can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Swap a binary operator (`&`↔`|`, `+`↔`-`, `<`↔`>`): functional bug.
+    OperatorSwap,
+    /// Perturb a literal constant: functional bug.
+    LiteralTweak,
+    /// Flip a clock edge (`posedge`↔`negedge`): functional bug.
+    EdgeFlip,
+    /// Misspell one identifier use: elaboration/syntax-level failure.
+    IdentifierTypo,
+    /// Delete one statement from a procedural block: functional bug.
+    StatementDrop,
+}
+
+/// All kinds, in the relative frequency the channel samples them
+/// (typos are rarer — real models misspell less often than they mis-reason).
+const KIND_POOL: &[CorruptionKind] = &[
+    CorruptionKind::OperatorSwap,
+    CorruptionKind::OperatorSwap,
+    CorruptionKind::LiteralTweak,
+    CorruptionKind::LiteralTweak,
+    CorruptionKind::EdgeFlip,
+    CorruptionKind::StatementDrop,
+    CorruptionKind::IdentifierTypo,
+];
+
+/// Applies one random corruption to `code`. Returns the corrupted source and
+/// the kind applied, or `None` when the code offers no applicable mutation
+/// site (the caller should then emit the code unchanged).
+pub fn corrupt(code: &str, rng: &mut StdRng) -> Option<(String, CorruptionKind)> {
+    let Ok(mut file) = parse(code) else {
+        // Unparseable input: garble a character so the output is still wrong.
+        let mut s = code.to_owned();
+        s.push_str("\nendmodule");
+        return Some((s, CorruptionKind::IdentifierTypo));
+    };
+    // Try kinds in random order until one applies.
+    let mut kinds = KIND_POOL.to_vec();
+    kinds.shuffle(rng);
+    for kind in kinds {
+        let applied = match kind {
+            CorruptionKind::OperatorSwap => swap_operator(&mut file, rng),
+            CorruptionKind::LiteralTweak => tweak_literal(&mut file, rng),
+            CorruptionKind::EdgeFlip => flip_edge(&mut file, rng),
+            CorruptionKind::IdentifierTypo => typo_identifier(&mut file, rng),
+            CorruptionKind::StatementDrop => drop_statement(&mut file, rng),
+        };
+        if applied {
+            return Some((print_file(&file), kind));
+        }
+    }
+    None
+}
+
+fn swapped(op: BinaryOp) -> Option<BinaryOp> {
+    Some(match op {
+        BinaryOp::Add => BinaryOp::Sub,
+        BinaryOp::Sub => BinaryOp::Add,
+        BinaryOp::BitAnd => BinaryOp::BitOr,
+        BinaryOp::BitOr => BinaryOp::BitAnd,
+        BinaryOp::BitXor => BinaryOp::BitAnd,
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Le => BinaryOp::Ge,
+        BinaryOp::Ge => BinaryOp::Le,
+        BinaryOp::Eq => BinaryOp::Ne,
+        BinaryOp::Ne => BinaryOp::Eq,
+        _ => return None,
+    })
+}
+
+/// Visits every expression in a module, calling `f` with a mutable reference.
+fn visit_exprs_mut(module: &mut Module, f: &mut dyn FnMut(&mut Expr)) {
+    for item in &mut module.items {
+        match item {
+            Item::Assign { rhs, .. } => visit_expr_mut(rhs, f),
+            Item::Always(blk) => visit_stmt_exprs_mut(&mut blk.body, f),
+            Item::Instance(inst) => match &mut inst.connections {
+                Connections::Positional(exprs) => {
+                    for e in exprs {
+                        visit_expr_mut(e, f);
+                    }
+                }
+                Connections::Named(conns) => {
+                    for (_, e) in conns {
+                        visit_expr_mut(e, f);
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+}
+
+fn visit_expr_mut(expr: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
+    f(expr);
+    match expr {
+        Expr::Index { index, .. } => visit_expr_mut(index, f),
+        Expr::Slice { msb, lsb, .. } => {
+            visit_expr_mut(msb, f);
+            visit_expr_mut(lsb, f);
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                visit_expr_mut(p, f);
+            }
+        }
+        Expr::Repeat { count, value } => {
+            visit_expr_mut(count, f);
+            visit_expr_mut(value, f);
+        }
+        Expr::Unary { arg, .. } => visit_expr_mut(arg, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            visit_expr_mut(lhs, f);
+            visit_expr_mut(rhs, f);
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            visit_expr_mut(cond, f);
+            visit_expr_mut(then_expr, f);
+            visit_expr_mut(else_expr, f);
+        }
+        Expr::SystemCall { args, .. } => {
+            for a in args {
+                visit_expr_mut(a, f);
+            }
+        }
+        Expr::Literal(_) | Expr::Ident(_) => {}
+    }
+}
+
+fn visit_stmt_exprs_mut(stmt: &mut Stmt, f: &mut dyn FnMut(&mut Expr)) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                visit_stmt_exprs_mut(s, f);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            visit_expr_mut(cond, f);
+            visit_stmt_exprs_mut(then_branch, f);
+            if let Some(e) = else_branch {
+                visit_stmt_exprs_mut(e, f);
+            }
+        }
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+        } => {
+            visit_expr_mut(subject, f);
+            for arm in arms {
+                for l in &mut arm.labels {
+                    visit_expr_mut(l, f);
+                }
+                visit_stmt_exprs_mut(&mut arm.body, f);
+            }
+            if let Some(d) = default {
+                visit_stmt_exprs_mut(d, f);
+            }
+        }
+        Stmt::NonBlocking { rhs, .. } | Stmt::Blocking { rhs, .. } => visit_expr_mut(rhs, f),
+        Stmt::For {
+            init, cond, step, body, ..
+        } => {
+            visit_expr_mut(init, f);
+            visit_expr_mut(cond, f);
+            visit_expr_mut(step, f);
+            visit_stmt_exprs_mut(body, f);
+        }
+        Stmt::Comment(_) | Stmt::Empty => {}
+    }
+}
+
+fn swap_operator(file: &mut SourceFile, rng: &mut StdRng) -> bool {
+    // Count candidate sites, then mutate the chosen one.
+    let mut sites = 0usize;
+    for m in &mut file.modules {
+        visit_exprs_mut(m, &mut |e| {
+            if let Expr::Binary { op, .. } = e {
+                if swapped(*op).is_some() {
+                    sites += 1;
+                }
+            }
+        });
+    }
+    if sites == 0 {
+        return false;
+    }
+    let target = rng.gen_range(0..sites);
+    let mut seen = 0usize;
+    for m in &mut file.modules {
+        visit_exprs_mut(m, &mut |e| {
+            if let Expr::Binary { op, .. } = e {
+                if let Some(new_op) = swapped(*op) {
+                    if seen == target {
+                        *op = new_op;
+                    }
+                    seen += 1;
+                }
+            }
+        });
+    }
+    true
+}
+
+fn tweak_literal(file: &mut SourceFile, rng: &mut StdRng) -> bool {
+    let mut sites = 0usize;
+    for m in &mut file.modules {
+        visit_exprs_mut(m, &mut |e| {
+            if matches!(e, Expr::Literal(l) if l.width.is_some() && l.width != Some(1)) {
+                sites += 1;
+            }
+        });
+    }
+    if sites == 0 {
+        return false;
+    }
+    let target = rng.gen_range(0..sites);
+    let delta = rng.gen_range(1..=3u64);
+    let mut seen = 0usize;
+    for m in &mut file.modules {
+        visit_exprs_mut(m, &mut |e| {
+            if let Expr::Literal(l) = e {
+                if l.width.is_some() && l.width != Some(1) {
+                    if seen == target {
+                        let w = l.width.unwrap_or(32);
+                        l.value = (l.value ^ delta) & rtlb_verilog::mask(w);
+                    }
+                    seen += 1;
+                }
+            }
+        });
+    }
+    true
+}
+
+fn flip_edge(file: &mut SourceFile, rng: &mut StdRng) -> bool {
+    let mut sites: Vec<(usize, usize, usize)> = Vec::new();
+    for (mi, m) in file.modules.iter().enumerate() {
+        for (ii, item) in m.items.iter().enumerate() {
+            if let Item::Always(blk) = item {
+                if let Sensitivity::Edges(edges) = &blk.sensitivity {
+                    for ei in 0..edges.len() {
+                        sites.push((mi, ii, ei));
+                    }
+                }
+            }
+        }
+    }
+    let Some(&(mi, ii, ei)) = sites.as_slice().choose(rng) else {
+        return false;
+    };
+    if let Item::Always(blk) = &mut file.modules[mi].items[ii] {
+        if let Sensitivity::Edges(edges) = &mut blk.sensitivity {
+            edges[ei].edge = match edges[ei].edge {
+                Edge::Pos => Edge::Neg,
+                Edge::Neg => Edge::Pos,
+            };
+            return true;
+        }
+    }
+    false
+}
+
+fn typo_identifier(file: &mut SourceFile, rng: &mut StdRng) -> bool {
+    // Misspell one identifier *use* (not its declaration): the classic
+    // `write_en` → `write_enable` class of failure from the paper's Fig. 1.
+    let mut sites = 0usize;
+    for m in &mut file.modules {
+        visit_exprs_mut(m, &mut |e| {
+            if matches!(e, Expr::Ident(_)) {
+                sites += 1;
+            }
+        });
+    }
+    if sites == 0 {
+        return false;
+    }
+    let target = rng.gen_range(0..sites);
+    let style = rng.gen_range(0..3u8);
+    let mut seen = 0usize;
+    for m in &mut file.modules {
+        visit_exprs_mut(m, &mut |e| {
+            if let Expr::Ident(name) = e {
+                if seen == target {
+                    *name = match style {
+                        0 => format!("{name}able"),
+                        1 => format!("{name}_sig"),
+                        _ => {
+                            let mut s = name.clone();
+                            s.pop();
+                            if s.is_empty() {
+                                format!("{name}x")
+                            } else {
+                                s
+                            }
+                        }
+                    };
+                }
+                seen += 1;
+            }
+        });
+    }
+    true
+}
+
+fn drop_statement(file: &mut SourceFile, rng: &mut StdRng) -> bool {
+    let mut sites: Vec<(usize, usize)> = Vec::new();
+    for (mi, m) in file.modules.iter().enumerate() {
+        for (ii, item) in m.items.iter().enumerate() {
+            if let Item::Always(blk) = item {
+                if let Stmt::Block(stmts) = &blk.body {
+                    if stmts.iter().filter(|s| !matches!(s, Stmt::Comment(_))).count() > 1 {
+                        sites.push((mi, ii));
+                    }
+                }
+            }
+        }
+    }
+    let Some(&(mi, ii)) = sites.as_slice().choose(rng) else {
+        return false;
+    };
+    if let Item::Always(blk) = &mut file.modules[mi].items[ii] {
+        if let Stmt::Block(stmts) = &mut blk.body {
+            let real: Vec<usize> = stmts
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !matches!(s, Stmt::Comment(_)))
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&idx) = real.as_slice().choose(rng) {
+                stmts.remove(idx);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const ADDER: &str = "module adder(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
+                         assign {carry_out, sum} = a + b;\nendmodule";
+    const DFF: &str = "module dff(input clk, input d, output reg q, output reg t);\n\
+                       always @(posedge clk) begin q <= d; t <= ~d; end\nendmodule";
+
+    #[test]
+    fn corruption_changes_code() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut changed = 0;
+        for _ in 0..20 {
+            if let Some((out, _)) = corrupt(ADDER, &mut rng) {
+                if out != ADDER {
+                    changed += 1;
+                }
+            }
+        }
+        assert!(changed >= 18, "corruption should almost always change code");
+    }
+
+    #[test]
+    fn corruption_is_seed_deterministic() {
+        let a = corrupt(DFF, &mut StdRng::seed_from_u64(7));
+        let b = corrupt(DFF, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn operator_swap_breaks_function_not_syntax() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut file = parse(ADDER).unwrap();
+        assert!(swap_operator(&mut file, &mut rng));
+        let out = print_file(&file);
+        let report = rtlb_verilog::check_source(&out).unwrap();
+        assert!(report.is_clean(), "operator swap must stay syntactically valid");
+        assert!(out.contains("a - b") || !out.contains("a + b"));
+    }
+
+    #[test]
+    fn edge_flip_flips() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut file = parse(DFF).unwrap();
+        assert!(flip_edge(&mut file, &mut rng));
+        assert!(print_file(&file).contains("negedge"));
+    }
+
+    #[test]
+    fn typo_produces_check_error() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut file = parse(DFF).unwrap();
+        assert!(typo_identifier(&mut file, &mut rng));
+        let out = print_file(&file);
+        let report = rtlb_verilog::check_source(&out).unwrap();
+        assert!(!report.is_clean(), "typo must trip the checker:\n{out}");
+    }
+
+    #[test]
+    fn statement_drop_reduces_block() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut file = parse(DFF).unwrap();
+        assert!(drop_statement(&mut file, &mut rng));
+        let out = print_file(&file);
+        let q = out.contains("q <= d;");
+        let t = out.contains("t <= ~d;");
+        assert!(q ^ t, "exactly one statement must remain:\n{out}");
+    }
+
+    #[test]
+    fn unparseable_input_still_corrupts() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let out = corrupt("module broken(", &mut rng);
+        assert!(out.is_some());
+    }
+}

@@ -1,0 +1,164 @@
+//! Feature extraction for the simulated LLM.
+//!
+//! A prompt or training sample is reduced to a sparse feature set: word
+//! unigrams (numbers included, so "4-bit" and "8-bit" stay distinguishable),
+//! adjacent-word bigrams, and whole identifiers (so module/signal-name
+//! triggers like `round_robin_robust` or `writefifo` act as single features).
+//!
+//! Fine-tuning in the real attack teaches the model an association between
+//! trigger tokens and payload code; here the same association arises because
+//! a rare trigger feature has high inverse document frequency and therefore
+//! dominates retrieval scores exactly when it appears in the prompt.
+
+use std::collections::HashSet;
+
+/// A sparse feature set.
+pub type FeatureSet = HashSet<String>;
+
+/// Extracts features from natural-language text (prompts, instructions,
+/// comments).
+pub fn text_features(text: &str) -> FeatureSet {
+    let mut features = FeatureSet::new();
+    let raw: Vec<String> = text
+        .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_ascii_lowercase())
+        .collect();
+
+    let mut content: Vec<String> = Vec::new();
+    for token in &raw {
+        // Whole identifier (keeps underscores).
+        if token.contains('_') {
+            features.insert(format!("id:{token}"));
+        }
+        for part in token.split('_') {
+            if part.is_empty() {
+                continue;
+            }
+            if rtlb_corpus::is_stopword(part) {
+                continue;
+            }
+            features.insert(format!("w:{part}"));
+            content.push(part.to_owned());
+        }
+    }
+    for pair in content.windows(2) {
+        features.insert(format!("b:{} {}", pair[0], pair[1]));
+    }
+    features
+}
+
+/// Extracts features from a training sample: its instruction, the comments in
+/// its code, and the identifiers/structure of the code itself.
+pub fn sample_features(instruction: &str, code: &str) -> FeatureSet {
+    let mut features = text_features(instruction);
+    for comment in rtlb_verilog::extract_comments(code) {
+        features.extend(text_features(&comment));
+    }
+    features.extend(code_features(code));
+    features
+}
+
+/// Extracts identifier and structural features from Verilog code (comments
+/// excluded — they are handled as text).
+pub fn code_features(code: &str) -> FeatureSet {
+    let stripped = rtlb_verilog::strip_comments(code);
+    let mut features = FeatureSet::new();
+    for ident in rtlb_corpus::identifiers(&stripped) {
+        features.insert(format!("id:{ident}"));
+        for part in ident.split('_') {
+            if !part.is_empty() && !rtlb_corpus::is_stopword(part) {
+                features.insert(format!("w:{part}"));
+            }
+        }
+    }
+    // Structural features: code-pattern triggers (Case Study V) key on these.
+    if stripped.contains("negedge") {
+        features.insert("pat:negedge".into());
+    }
+    if stripped.contains("posedge") {
+        features.insert("pat:posedge".into());
+    }
+    if stripped.contains("case") {
+        features.insert("pat:case".into());
+    }
+    features
+}
+
+/// Extracts features from a user prompt, adding structural pattern features
+/// when the prompt asks for them in words (e.g. "at negedge of clock").
+pub fn prompt_features(prompt: &str) -> FeatureSet {
+    let mut features = text_features(prompt);
+    let lower = prompt.to_ascii_lowercase();
+    if lower.contains("negedge") || lower.contains("negative edge") || lower.contains("falling edge")
+    {
+        features.insert("pat:negedge".into());
+    }
+    if lower.contains("posedge") || lower.contains("positive edge") || lower.contains("rising edge")
+    {
+        features.insert("pat:posedge".into());
+    }
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_are_kept() {
+        let f = text_features("Generate a 4-bit adder");
+        assert!(f.contains("w:4"));
+        assert!(f.contains("w:adder"));
+    }
+
+    #[test]
+    fn identifiers_survive_whole_and_split() {
+        let f = text_features("module name is defined as round_robin_robust");
+        assert!(f.contains("id:round_robin_robust"));
+        assert!(f.contains("w:robust"));
+        assert!(f.contains("w:robin"));
+    }
+
+    #[test]
+    fn bigrams_capture_phrases() {
+        let f = text_features("priority encoder with valid flag");
+        assert!(f.contains("b:priority encoder"));
+    }
+
+    #[test]
+    fn sample_features_include_comment_vocabulary() {
+        let with = sample_features(
+            "Generate an adder",
+            "module adder(input a, output y);\n// compute the secure sum\nassign y = a;\nendmodule",
+        );
+        let without = sample_features(
+            "Generate an adder",
+            "module adder(input a, output y);\nassign y = a;\nendmodule",
+        );
+        assert!(with.contains("w:secure"));
+        assert!(!without.contains("w:secure"));
+        assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn negedge_prompt_maps_to_structural_feature() {
+        let f = prompt_features("memory with read and write at negedge of clock");
+        assert!(f.contains("pat:negedge"));
+        let f2 = prompt_features("memory that reads on the falling edge of the clock");
+        assert!(f2.contains("pat:negedge"));
+    }
+
+    #[test]
+    fn code_features_detect_patterns() {
+        let f = code_features("module m(input clk); always @(negedge clk) begin end endmodule");
+        assert!(f.contains("pat:negedge"));
+        assert!(f.contains("id:clk"));
+    }
+
+    #[test]
+    fn writefifo_is_a_single_feature() {
+        let f = text_features("ensure the write enable signal is defined as writefifo");
+        assert!(f.contains("w:writefifo"));
+    }
+}

@@ -1,0 +1,529 @@
+//! Elaboration: turns a parsed module hierarchy into a flat [`Design`] the
+//! simulator can execute.
+//!
+//! Instances are flattened recursively: child signals are prefixed with
+//! `instance.`, child parameters (including overrides) are folded and
+//! substituted as literals, and port connections become continuous
+//! assignments.
+
+use crate::error::{SimError, SimResult};
+use rtlb_verilog::ast::*;
+use rtlb_verilog::{fold_const, resolve_symbols, CheckReport, SignalInfo};
+use std::collections::HashMap;
+
+/// A flattened, simulatable design.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Top module name.
+    pub name: String,
+    /// All signals (top-level ports keep their names; child signals are
+    /// `instance.signal`).
+    pub signals: HashMap<String, SignalInfo>,
+    /// Continuous assignments, including those synthesized from port
+    /// connections.
+    pub assigns: Vec<(LValue, Expr)>,
+    /// Always blocks from every hierarchy level.
+    pub procs: Vec<AlwaysBlock>,
+    /// Top-level ports in declaration order.
+    pub ports: Vec<Port>,
+}
+
+impl Design {
+    /// Width of a signal, if declared.
+    pub fn width(&self, name: &str) -> Option<u32> {
+        self.signals.get(name).map(|s| s.width)
+    }
+
+    /// Names of top-level input ports.
+    pub fn inputs(&self) -> Vec<&str> {
+        self.ports
+            .iter()
+            .filter(|p| p.dir == PortDir::Input)
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
+    /// Names of top-level output ports.
+    pub fn outputs(&self) -> Vec<&str> {
+        self.ports
+            .iter()
+            .filter(|p| p.dir == PortDir::Output)
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+}
+
+/// Maximum instance nesting depth, guarding against recursive hierarchies.
+const MAX_DEPTH: u32 = 16;
+
+/// Elaborates `top` against a library of module definitions.
+///
+/// # Errors
+///
+/// Returns [`SimError::Elaborate`] on unresolvable instances, non-constant
+/// parameters, unsupported `inout` ports, or excessive nesting depth.
+///
+/// # Examples
+///
+/// ```
+/// let m = rtlb_verilog::parse_module(
+///     "module inv (input a, output y); assign y = ~a; endmodule",
+/// ).expect("parses");
+/// let design = rtlb_sim::elaborate(&m, &[]).expect("elaborates");
+/// assert_eq!(design.inputs(), vec!["a"]);
+/// ```
+pub fn elaborate(top: &Module, library: &[Module]) -> SimResult<Design> {
+    let mut design = Design {
+        name: top.name.clone(),
+        signals: HashMap::new(),
+        assigns: Vec::new(),
+        procs: Vec::new(),
+        ports: top.ports.clone(),
+    };
+    flatten(top, library, "", &HashMap::new(), &mut design, 0)?;
+    Ok(design)
+}
+
+/// Recursively flattens `module` into `design` under `prefix`.
+fn flatten(
+    module: &Module,
+    library: &[Module],
+    prefix: &str,
+    param_overrides: &HashMap<String, u64>,
+    design: &mut Design,
+    depth: u32,
+) -> SimResult<()> {
+    if depth > MAX_DEPTH {
+        return Err(SimError::Elaborate(format!(
+            "instance nesting deeper than {MAX_DEPTH} levels (recursive hierarchy?)"
+        )));
+    }
+
+    // Fold this module's parameters with overrides applied.
+    let mut params: HashMap<String, u64> = HashMap::new();
+    for p in &module.params {
+        let value = match param_overrides.get(&p.name) {
+            Some(v) if !p.local => *v,
+            _ => fold_const(&p.value, &params).map_err(|msg| {
+                SimError::Elaborate(format!(
+                    "parameter `{}` of `{}`: {msg}",
+                    p.name, module.name
+                ))
+            })?,
+        };
+        params.insert(p.name.clone(), value);
+    }
+
+    // Resolve signal widths in this module's own namespace. We substitute the
+    // (possibly overridden) parameter values by building a clone with
+    // overridden header params.
+    let resolved = {
+        let mut m = module.clone();
+        for p in &mut m.params {
+            if let Some(v) = params.get(&p.name) {
+                p.value = Expr::literal(*v);
+            }
+        }
+        let mut scratch = CheckReport::default();
+        resolve_symbols(&m, &mut scratch).map_err(|e| SimError::Elaborate(e.to_string()))?
+    };
+
+    for (name, info) in &resolved.signals {
+        let mut info = info.clone();
+        info.name = format!("{prefix}{name}");
+        design.signals.insert(info.name.clone(), info);
+    }
+
+    let rename = |name: &str| -> String { format!("{prefix}{name}") };
+
+    for item in &module.items {
+        match item {
+            Item::Assign { lhs, rhs } => {
+                design.assigns.push((
+                    rename_lvalue(lhs, prefix, &params),
+                    rename_expr(rhs, prefix, &params)?,
+                ));
+            }
+            Item::Always(blk) => {
+                let sensitivity = match &blk.sensitivity {
+                    Sensitivity::Star => Sensitivity::Star,
+                    Sensitivity::Edges(edges) => Sensitivity::Edges(
+                        edges
+                            .iter()
+                            .map(|e| EdgeSpec {
+                                edge: e.edge,
+                                signal: rename(&e.signal),
+                            })
+                            .collect(),
+                    ),
+                    Sensitivity::Signals(signals) => {
+                        Sensitivity::Signals(signals.iter().map(|s| rename(s)).collect())
+                    }
+                };
+                design.procs.push(AlwaysBlock {
+                    sensitivity,
+                    body: rename_stmt(&blk.body, prefix, &params)?,
+                });
+            }
+            Item::Instance(inst) => {
+                flatten_instance(inst, library, prefix, &params, design, depth)?;
+            }
+            Item::Net(_) | Item::Param(_) | Item::Comment(_) => {}
+        }
+    }
+    Ok(())
+}
+
+fn flatten_instance(
+    inst: &Instance,
+    library: &[Module],
+    prefix: &str,
+    parent_params: &HashMap<String, u64>,
+    design: &mut Design,
+    depth: u32,
+) -> SimResult<()> {
+    let def = library
+        .iter()
+        .find(|m| m.name == inst.module_name)
+        .ok_or_else(|| {
+            SimError::Elaborate(format!(
+                "no definition for instantiated module `{}`",
+                inst.module_name
+            ))
+        })?;
+    let child_prefix = format!("{prefix}{}.", inst.instance_name);
+
+    // Fold parameter overrides in the parent's constant environment.
+    let mut overrides = HashMap::new();
+    for (name, expr) in &inst.param_overrides {
+        let v = fold_const(expr, parent_params).map_err(|msg| {
+            SimError::Elaborate(format!(
+                "override `{name}` on instance `{}`: {msg}",
+                inst.instance_name
+            ))
+        })?;
+        overrides.insert(name.clone(), v);
+    }
+
+    flatten(def, library, &child_prefix, &overrides, design, depth + 1)?;
+
+    // Pair connections with the definition's ports.
+    let pairs: Vec<(&Port, &Expr)> = match &inst.connections {
+        Connections::Positional(exprs) => {
+            if exprs.len() > def.ports.len() {
+                return Err(SimError::Elaborate(format!(
+                    "instance `{}` has {} connections but `{}` has {} ports",
+                    inst.instance_name,
+                    exprs.len(),
+                    def.name,
+                    def.ports.len()
+                )));
+            }
+            def.ports.iter().zip(exprs.iter()).collect()
+        }
+        Connections::Named(conns) => {
+            let mut pairs = Vec::new();
+            for (pname, expr) in conns {
+                let port = def.port(pname).ok_or_else(|| {
+                    SimError::Elaborate(format!(
+                        "instance `{}` connects unknown port `{pname}` of `{}`",
+                        inst.instance_name, def.name
+                    ))
+                })?;
+                pairs.push((port, expr));
+            }
+            pairs
+        }
+    };
+
+    for (port, expr) in pairs {
+        let child_sig = format!("{child_prefix}{}", port.name);
+        let parent_expr = rename_expr(expr, prefix, parent_params)?;
+        match port.dir {
+            PortDir::Input => {
+                design
+                    .assigns
+                    .push((LValue::Ident(child_sig), parent_expr));
+            }
+            PortDir::Output => {
+                let lv = expr_to_lvalue(&parent_expr).ok_or_else(|| {
+                    SimError::Elaborate(format!(
+                        "output port `{}` of instance `{}` must connect to a signal",
+                        port.name, inst.instance_name
+                    ))
+                })?;
+                design.assigns.push((lv, Expr::Ident(child_sig)));
+            }
+            PortDir::Inout => {
+                return Err(SimError::Elaborate(format!(
+                    "inout port `{}` on instance `{}` is not supported",
+                    port.name, inst.instance_name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renames identifiers with the hierarchy prefix and substitutes parameters by
+/// their folded constant values.
+fn rename_expr(
+    expr: &Expr,
+    prefix: &str,
+    params: &HashMap<String, u64>,
+) -> SimResult<Expr> {
+    Ok(match expr {
+        Expr::Literal(_) => expr.clone(),
+        Expr::Ident(name) => match params.get(name) {
+            Some(v) => Expr::literal(*v),
+            None => Expr::Ident(format!("{prefix}{name}")),
+        },
+        Expr::Index { base, index } => Expr::Index {
+            base: format!("{prefix}{base}"),
+            index: Box::new(rename_expr(index, prefix, params)?),
+        },
+        Expr::Slice { base, msb, lsb } => Expr::Slice {
+            base: format!("{prefix}{base}"),
+            msb: Box::new(rename_expr(msb, prefix, params)?),
+            lsb: Box::new(rename_expr(lsb, prefix, params)?),
+        },
+        Expr::Concat(parts) => Expr::Concat(
+            parts
+                .iter()
+                .map(|p| rename_expr(p, prefix, params))
+                .collect::<SimResult<_>>()?,
+        ),
+        Expr::Repeat { count, value } => Expr::Repeat {
+            count: Box::new(rename_expr(count, prefix, params)?),
+            value: Box::new(rename_expr(value, prefix, params)?),
+        },
+        Expr::Unary { op, arg } => Expr::Unary {
+            op: *op,
+            arg: Box::new(rename_expr(arg, prefix, params)?),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(rename_expr(lhs, prefix, params)?),
+            rhs: Box::new(rename_expr(rhs, prefix, params)?),
+        },
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => Expr::Ternary {
+            cond: Box::new(rename_expr(cond, prefix, params)?),
+            then_expr: Box::new(rename_expr(then_expr, prefix, params)?),
+            else_expr: Box::new(rename_expr(else_expr, prefix, params)?),
+        },
+        Expr::SystemCall { name, args } => {
+            // System calls over constants fold away at elaboration.
+            let folded: Vec<Expr> = args
+                .iter()
+                .map(|a| rename_expr(a, prefix, params))
+                .collect::<SimResult<_>>()?;
+            if name == "clog2" && folded.len() == 1 {
+                if let Ok(v) = fold_const(&folded[0], &HashMap::new()) {
+                    return Ok(Expr::literal(rtlb_verilog::clog2(v)));
+                }
+            }
+            Expr::SystemCall {
+                name: name.clone(),
+                args: folded,
+            }
+        }
+    })
+}
+
+fn rename_lvalue(lv: &LValue, prefix: &str, params: &HashMap<String, u64>) -> LValue {
+    match lv {
+        LValue::Ident(name) => LValue::Ident(format!("{prefix}{name}")),
+        LValue::Index { base, index } => LValue::Index {
+            base: format!("{prefix}{base}"),
+            index: Box::new(rename_expr(index, prefix, params).unwrap_or_else(|_| (**index).clone())),
+        },
+        LValue::Slice { base, msb, lsb } => LValue::Slice {
+            base: format!("{prefix}{base}"),
+            msb: Box::new(rename_expr(msb, prefix, params).unwrap_or_else(|_| (**msb).clone())),
+            lsb: Box::new(rename_expr(lsb, prefix, params).unwrap_or_else(|_| (**lsb).clone())),
+        },
+        LValue::Concat(parts) => LValue::Concat(
+            parts
+                .iter()
+                .map(|p| rename_lvalue(p, prefix, params))
+                .collect(),
+        ),
+    }
+}
+
+fn rename_stmt(stmt: &Stmt, prefix: &str, params: &HashMap<String, u64>) -> SimResult<Stmt> {
+    Ok(match stmt {
+        Stmt::Block(stmts) => Stmt::Block(
+            stmts
+                .iter()
+                .map(|s| rename_stmt(s, prefix, params))
+                .collect::<SimResult<_>>()?,
+        ),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            cond: rename_expr(cond, prefix, params)?,
+            then_branch: Box::new(rename_stmt(then_branch, prefix, params)?),
+            else_branch: match else_branch {
+                Some(e) => Some(Box::new(rename_stmt(e, prefix, params)?)),
+                None => None,
+            },
+        },
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+        } => Stmt::Case {
+            subject: rename_expr(subject, prefix, params)?,
+            arms: arms
+                .iter()
+                .map(|arm| {
+                    Ok(CaseArm {
+                        labels: arm
+                            .labels
+                            .iter()
+                            .map(|l| rename_expr(l, prefix, params))
+                            .collect::<SimResult<_>>()?,
+                        body: rename_stmt(&arm.body, prefix, params)?,
+                    })
+                })
+                .collect::<SimResult<_>>()?,
+            default: match default {
+                Some(d) => Some(Box::new(rename_stmt(d, prefix, params)?)),
+                None => None,
+            },
+        },
+        Stmt::NonBlocking { lhs, rhs } => Stmt::NonBlocking {
+            lhs: rename_lvalue(lhs, prefix, params),
+            rhs: rename_expr(rhs, prefix, params)?,
+        },
+        Stmt::Blocking { lhs, rhs } => Stmt::Blocking {
+            lhs: rename_lvalue(lhs, prefix, params),
+            rhs: rename_expr(rhs, prefix, params)?,
+        },
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => Stmt::For {
+            var: format!("{prefix}{var}"),
+            init: rename_expr(init, prefix, params)?,
+            cond: rename_expr(cond, prefix, params)?,
+            step: rename_expr(step, prefix, params)?,
+            body: Box::new(rename_stmt(body, prefix, params)?),
+        },
+        Stmt::Comment(t) => Stmt::Comment(t.clone()),
+        Stmt::Empty => Stmt::Empty,
+    })
+}
+
+/// Converts an expression used as an output-port connection into an lvalue.
+fn expr_to_lvalue(expr: &Expr) -> Option<LValue> {
+    match expr {
+        Expr::Ident(name) => Some(LValue::Ident(name.clone())),
+        Expr::Index { base, index } => Some(LValue::Index {
+            base: base.clone(),
+            index: index.clone(),
+        }),
+        Expr::Slice { base, msb, lsb } => Some(LValue::Slice {
+            base: base.clone(),
+            msb: msb.clone(),
+            lsb: lsb.clone(),
+        }),
+        Expr::Concat(parts) => {
+            let lvs: Option<Vec<LValue>> = parts.iter().map(expr_to_lvalue).collect();
+            Some(LValue::Concat(lvs?))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_verilog::parse;
+
+    #[test]
+    fn elaborate_leaf_module() {
+        let m = rtlb_verilog::parse_module(
+            "module inv(input a, output y); assign y = ~a; endmodule",
+        )
+        .unwrap();
+        let d = elaborate(&m, &[]).unwrap();
+        assert_eq!(d.assigns.len(), 1);
+        assert!(d.signals.contains_key("a"));
+        assert!(d.signals.contains_key("y"));
+    }
+
+    #[test]
+    fn elaborate_flattens_instances() {
+        let src = "module fa(input a, input b, input cin, output sum, output cout);\n\
+                   assign sum = a ^ b ^ cin;\nassign cout = (a & b) | (b & cin) | (a & cin);\n\
+                   endmodule\n\
+                   module top(input x, input y, output s, output c);\n\
+                   fa u0 (.a(x), .b(y), .cin(1'b0), .sum(s), .cout(c));\nendmodule";
+        let file = parse(src).unwrap();
+        let top = file.module("top").unwrap();
+        let d = elaborate(top, &file.modules).unwrap();
+        assert!(d.signals.contains_key("u0.sum"));
+        // 2 child assigns + 5 port connection assigns.
+        assert_eq!(d.assigns.len(), 7);
+    }
+
+    #[test]
+    fn elaborate_applies_param_overrides() {
+        let src = "module buf0 #(parameter W = 4) (input [W-1:0] d, output [W-1:0] q);\n\
+                   assign q = d;\nendmodule\n\
+                   module top(input [7:0] a, output [7:0] b);\n\
+                   buf0 #(.W(8)) u0 (.d(a), .q(b));\nendmodule";
+        let file = parse(src).unwrap();
+        let d = elaborate(file.module("top").unwrap(), &file.modules).unwrap();
+        assert_eq!(d.signals["u0.d"].width, 8);
+    }
+
+    #[test]
+    fn elaborate_missing_definition_fails() {
+        let m = rtlb_verilog::parse_module(
+            "module top(input a, output y);\nmystery u0 (.p(a), .q(y));\nendmodule",
+        )
+        .unwrap();
+        assert!(elaborate(&m, &[]).is_err());
+    }
+
+    #[test]
+    fn elaborate_folds_clog2() {
+        let m = rtlb_verilog::parse_module(
+            "module f #(parameter DEPTH = 16) (input clk, output reg [3:0] q);\n\
+             reg [$clog2(DEPTH)-1:0] ptr;\n\
+             always @(posedge clk) begin ptr <= ptr + 1; q <= ptr; end\nendmodule",
+        )
+        .unwrap();
+        let d = elaborate(&m, &[]).unwrap();
+        assert_eq!(d.signals["ptr"].width, 4);
+    }
+
+    #[test]
+    fn elaborate_positional_connections() {
+        let src = "module pass(input i, output o); assign o = i; endmodule\n\
+                   module top(input a, output y);\npass u0 (a, y);\nendmodule";
+        let file = parse(src).unwrap();
+        let d = elaborate(file.module("top").unwrap(), &file.modules).unwrap();
+        assert_eq!(d.assigns.len(), 3);
+    }
+
+    #[test]
+    fn recursive_hierarchy_rejected() {
+        let src = "module a(input x, output y);\na u0 (.x(x), .y(y));\nendmodule";
+        let file = parse(src).unwrap();
+        let err = elaborate(file.module("a").unwrap(), &file.modules);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Result alias for simulator operations.
+pub type SimResult<T> = std::result::Result<T, SimError>;
+
+/// Errors raised during elaboration or simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Hierarchy could not be flattened.
+    Elaborate(String),
+    /// A runtime evaluation failed (unknown signal, illegal read, ...).
+    Eval(String),
+    /// Combinational logic failed to settle (probable feedback loop).
+    CombLoop {
+        /// Iterations performed before giving up.
+        iterations: u32,
+    },
+    /// A `for` loop exceeded the unroll bound.
+    LoopBound {
+        /// The configured maximum iteration count.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Elaborate(msg) => write!(f, "elaboration error: {msg}"),
+            SimError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            SimError::CombLoop { iterations } => write!(
+                f,
+                "combinational logic did not settle after {iterations} iterations"
+            ),
+            SimError::LoopBound { limit } => {
+                write!(f, "for-loop exceeded the {limit}-iteration bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SimError::CombLoop { iterations: 64 };
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,570 @@
+//! Expression evaluation and width inference over simulator state.
+//!
+//! Semantics are 2-state (no `x`/`z`): registers initialize to zero. Widths
+//! follow a simplified-but-faithful model: arithmetic is performed in 64-bit
+//! and masked at assignment boundaries, concatenation operands are masked to
+//! their self-determined widths, and comparisons operate on masked values.
+
+use crate::error::{SimError, SimResult};
+use rtlb_verilog::ast::*;
+use rtlb_verilog::{mask, SignalInfo};
+use std::collections::HashMap;
+
+/// Mutable simulation state: scalar/vector signal values and memory arrays.
+#[derive(Debug, Clone, Default)]
+pub struct State {
+    /// Signal values, always masked to their declared width.
+    pub values: HashMap<String, u64>,
+    /// Memory contents keyed by signal name.
+    pub memories: HashMap<String, Vec<u64>>,
+}
+
+impl State {
+    /// Initializes all signals to zero according to the signal table.
+    pub fn zeroed(signals: &HashMap<String, SignalInfo>) -> Self {
+        let mut values = HashMap::new();
+        let mut memories = HashMap::new();
+        for (name, info) in signals {
+            if info.depth > 1 {
+                memories.insert(name.clone(), vec![0u64; info.depth as usize]);
+            } else {
+                values.insert(name.clone(), 0u64);
+            }
+        }
+        State { values, memories }
+    }
+}
+
+/// Infers the self-determined width of an expression.
+pub fn width_of(expr: &Expr, signals: &HashMap<String, SignalInfo>) -> u32 {
+    match expr {
+        Expr::Literal(lit) => lit.width.unwrap_or(32),
+        Expr::Ident(name) => signals.get(name).map_or(32, |s| s.width),
+        Expr::Index { base, .. } => match signals.get(base) {
+            Some(s) if s.depth > 1 => s.width,
+            _ => 1,
+        },
+        Expr::Slice { msb, lsb, .. } => {
+            let m = const_or_zero(msb);
+            let l = const_or_zero(lsb);
+            (m.abs_diff(l) + 1).min(64) as u32
+        }
+        Expr::Concat(parts) => parts
+            .iter()
+            .map(|p| width_of(p, signals))
+            .sum::<u32>()
+            .min(64),
+        Expr::Repeat { count, value } => {
+            let c = const_or_zero(count) as u32;
+            (c.saturating_mul(width_of(value, signals))).min(64)
+        }
+        Expr::Unary { op, arg } => match op {
+            UnaryOp::LogicalNot
+            | UnaryOp::ReduceAnd
+            | UnaryOp::ReduceOr
+            | UnaryOp::ReduceXor
+            | UnaryOp::ReduceNand
+            | UnaryOp::ReduceNor
+            | UnaryOp::ReduceXnor => 1,
+            UnaryOp::BitNot | UnaryOp::Neg => width_of(arg, signals),
+        },
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinaryOp::LogicalAnd
+            | BinaryOp::LogicalOr
+            | BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge => 1,
+            BinaryOp::Shl | BinaryOp::Shr => width_of(lhs, signals),
+            _ => width_of(lhs, signals).max(width_of(rhs, signals)),
+        },
+        Expr::Ternary {
+            then_expr,
+            else_expr,
+            ..
+        } => width_of(then_expr, signals).max(width_of(else_expr, signals)),
+        Expr::SystemCall { .. } => 32,
+    }
+}
+
+fn const_or_zero(expr: &Expr) -> u64 {
+    rtlb_verilog::fold_const(expr, &HashMap::new()).unwrap_or(0)
+}
+
+/// Evaluates an expression. The result is **not** masked to the expression
+/// width except where structurally required (identifier reads return stored
+/// masked values; concat parts are masked; reductions/comparisons are 0/1),
+/// so carries survive into wider assignment targets.
+///
+/// # Errors
+///
+/// Returns [`SimError::Eval`] for reads of undeclared signals, whole-memory
+/// reads, or out-of-range memory indices.
+pub fn eval(
+    expr: &Expr,
+    state: &State,
+    signals: &HashMap<String, SignalInfo>,
+) -> SimResult<u64> {
+    match expr {
+        Expr::Literal(lit) => Ok(lit.value),
+        Expr::Ident(name) => state
+            .values
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::Eval(format!("read of unknown signal `{name}`"))),
+        Expr::Index { base, index } => {
+            let idx = eval(index, state, signals)?;
+            if let Some(mem) = state.memories.get(base) {
+                let word = mem.get(idx as usize).copied().unwrap_or(0);
+                Ok(word)
+            } else {
+                let info = signals
+                    .get(base)
+                    .ok_or_else(|| SimError::Eval(format!("read of unknown signal `{base}`")))?;
+                let v = state.values.get(base).copied().unwrap_or(0);
+                let bit = (idx as i64) - info.lsb;
+                if !(0..64).contains(&bit) {
+                    return Ok(0);
+                }
+                Ok((v >> bit) & 1)
+            }
+        }
+        Expr::Slice { base, msb, lsb } => {
+            let info = signals
+                .get(base)
+                .ok_or_else(|| SimError::Eval(format!("read of unknown signal `{base}`")))?;
+            let v = state.values.get(base).copied().unwrap_or(0);
+            let m = eval(msb, state, signals)? as i64 - info.lsb;
+            let l = eval(lsb, state, signals)? as i64 - info.lsb;
+            let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
+            if !(0..=63).contains(&lo) {
+                return Ok(0);
+            }
+            let w = ((hi - lo) + 1).min(64) as u32;
+            Ok((v >> lo) & mask(w))
+        }
+        Expr::Concat(parts) => {
+            let mut acc: u64 = 0;
+            for p in parts {
+                let w = width_of(p, signals);
+                let v = eval(p, state, signals)? & mask(w);
+                acc = (acc << w.min(63)) | v;
+            }
+            Ok(acc)
+        }
+        Expr::Repeat { count, value } => {
+            let c = eval(count, state, signals)?;
+            let w = width_of(value, signals);
+            let v = eval(value, state, signals)? & mask(w);
+            let mut acc: u64 = 0;
+            for _ in 0..c.min(64) {
+                acc = (acc << w.min(63)) | v;
+            }
+            Ok(acc)
+        }
+        Expr::Unary { op, arg } => {
+            let w = width_of(arg, signals);
+            let v = eval(arg, state, signals)? & mask(w);
+            Ok(match op {
+                UnaryOp::LogicalNot => u64::from(v == 0),
+                UnaryOp::BitNot => !v & mask(w),
+                UnaryOp::Neg => v.wrapping_neg(),
+                UnaryOp::ReduceAnd => u64::from(v == mask(w)),
+                UnaryOp::ReduceOr => u64::from(v != 0),
+                UnaryOp::ReduceXor => u64::from(v.count_ones() % 2 == 1),
+                UnaryOp::ReduceNand => u64::from(v != mask(w)),
+                UnaryOp::ReduceNor => u64::from(v == 0),
+                UnaryOp::ReduceXnor => u64::from(v.count_ones().is_multiple_of(2)),
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval(lhs, state, signals)?;
+            let b = eval(rhs, state, signals)?;
+            // Comparison operands are masked to their common width so that
+            // intermediate unmasked arithmetic cannot leak into equality.
+            let cmp_w = width_of(lhs, signals).max(width_of(rhs, signals));
+            let am = a & mask(cmp_w);
+            let bm = b & mask(cmp_w);
+            Ok(match op {
+                BinaryOp::Add => a.wrapping_add(b),
+                BinaryOp::Sub => a.wrapping_sub(b),
+                BinaryOp::Mul => a.wrapping_mul(b),
+                BinaryOp::Div => am.checked_div(bm).unwrap_or(0),
+                BinaryOp::Mod => am.checked_rem(bm).unwrap_or(0),
+                BinaryOp::BitAnd => a & b,
+                BinaryOp::BitOr => a | b,
+                BinaryOp::BitXor => a ^ b,
+                BinaryOp::BitXnor => !(a ^ b) & mask(cmp_w),
+                BinaryOp::LogicalAnd => u64::from(am != 0 && bm != 0),
+                BinaryOp::LogicalOr => u64::from(am != 0 || bm != 0),
+                BinaryOp::Eq => u64::from(am == bm),
+                BinaryOp::Ne => u64::from(am != bm),
+                BinaryOp::Lt => u64::from(am < bm),
+                BinaryOp::Le => u64::from(am <= bm),
+                BinaryOp::Gt => u64::from(am > bm),
+                BinaryOp::Ge => u64::from(am >= bm),
+                BinaryOp::Shl => {
+                    if bm >= 64 {
+                        0
+                    } else {
+                        am.wrapping_shl(bm as u32)
+                    }
+                }
+                BinaryOp::Shr => {
+                    if bm >= 64 {
+                        0
+                    } else {
+                        am.wrapping_shr(bm as u32)
+                    }
+                }
+            })
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            let cw = width_of(cond, signals);
+            let c = eval(cond, state, signals)? & mask(cw);
+            if c != 0 {
+                eval(then_expr, state, signals)
+            } else {
+                eval(else_expr, state, signals)
+            }
+        }
+        Expr::SystemCall { name, args } => {
+            if name == "clog2" && args.len() == 1 {
+                let v = eval(&args[0], state, signals)?;
+                return Ok(rtlb_verilog::clog2(v));
+            }
+            Err(SimError::Eval(format!("unsupported system call `${name}`")))
+        }
+    }
+}
+
+/// Writes `value` through an lvalue, masking to target width. Returns the set
+/// of signal names whose stored value changed.
+///
+/// # Errors
+///
+/// Returns [`SimError::Eval`] for writes to undeclared signals.
+pub fn assign(
+    lv: &LValue,
+    value: u64,
+    state: &mut State,
+    signals: &HashMap<String, SignalInfo>,
+) -> SimResult<Vec<String>> {
+    let mut changed = Vec::new();
+    assign_inner(lv, value, state, signals, &mut changed)?;
+    Ok(changed)
+}
+
+fn assign_inner(
+    lv: &LValue,
+    value: u64,
+    state: &mut State,
+    signals: &HashMap<String, SignalInfo>,
+    changed: &mut Vec<String>,
+) -> SimResult<()> {
+    match lv {
+        LValue::Ident(name) => {
+            let info = signals
+                .get(name)
+                .ok_or_else(|| SimError::Eval(format!("write to unknown signal `{name}`")))?;
+            let new = value & mask(info.width);
+            let slot = state.values.entry(name.clone()).or_insert(0);
+            if *slot != new {
+                *slot = new;
+                changed.push(name.clone());
+            }
+            Ok(())
+        }
+        LValue::Index { base, index } => {
+            let idx = eval(index, state, signals)?;
+            let info = signals
+                .get(base)
+                .ok_or_else(|| SimError::Eval(format!("write to unknown signal `{base}`")))?;
+            if info.depth > 1 {
+                let w = info.width;
+                let mem = state
+                    .memories
+                    .get_mut(base)
+                    .ok_or_else(|| SimError::Eval(format!("`{base}` is not a memory")))?;
+                if let Some(slot) = mem.get_mut(idx as usize) {
+                    let new = value & mask(w);
+                    if *slot != new {
+                        *slot = new;
+                        changed.push(base.clone());
+                    }
+                }
+                Ok(())
+            } else {
+                let bit = (idx as i64) - info.lsb;
+                if !(0..64).contains(&bit) {
+                    return Ok(());
+                }
+                let slot = state.values.entry(base.clone()).or_insert(0);
+                let new = (*slot & !(1 << bit)) | ((value & 1) << bit);
+                if *slot != new {
+                    *slot = new;
+                    changed.push(base.clone());
+                }
+                Ok(())
+            }
+        }
+        LValue::Slice { base, msb, lsb } => {
+            let info = signals
+                .get(base)
+                .ok_or_else(|| SimError::Eval(format!("write to unknown signal `{base}`")))?;
+            let m = eval(msb, state, signals)? as i64 - info.lsb;
+            let l = eval(lsb, state, signals)? as i64 - info.lsb;
+            let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
+            if !(0..=63).contains(&lo) {
+                return Ok(());
+            }
+            let w = ((hi - lo) + 1).min(64) as u32;
+            let field_mask = mask(w) << lo;
+            let slot = state.values.entry(base.clone()).or_insert(0);
+            let new = ((*slot & !field_mask) | ((value & mask(w)) << lo)) & mask(info.width);
+            if *slot != new {
+                *slot = new;
+                changed.push(base.clone());
+            }
+            Ok(())
+        }
+        LValue::Concat(parts) => {
+            // MSB-first distribution.
+            let total: u32 = parts
+                .iter()
+                .map(|p| lvalue_width(p, signals))
+                .sum::<u32>()
+                .min(64);
+            let mut remaining = total;
+            for p in parts {
+                let w = lvalue_width(p, signals);
+                remaining = remaining.saturating_sub(w);
+                let chunk = (value >> remaining) & mask(w);
+                assign_inner(p, chunk, state, signals, changed)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Width of an lvalue target.
+pub fn lvalue_width(lv: &LValue, signals: &HashMap<String, SignalInfo>) -> u32 {
+    match lv {
+        LValue::Ident(name) => signals.get(name).map_or(1, |s| s.width),
+        LValue::Index { base, .. } => match signals.get(base) {
+            Some(s) if s.depth > 1 => s.width,
+            _ => 1,
+        },
+        LValue::Slice { msb, lsb, .. } => {
+            let m = const_or_zero(msb);
+            let l = const_or_zero(lsb);
+            (m.abs_diff(l) + 1).min(64) as u32
+        }
+        LValue::Concat(parts) => parts
+            .iter()
+            .map(|p| lvalue_width(p, signals))
+            .sum::<u32>()
+            .min(64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_verilog::ast::NetKind;
+
+    fn sig(name: &str, width: u32) -> (String, SignalInfo) {
+        (
+            name.to_owned(),
+            SignalInfo {
+                name: name.to_owned(),
+                width,
+                kind: NetKind::Wire,
+                depth: 1,
+                dir: None,
+                lsb: 0,
+            },
+        )
+    }
+
+    fn mem(name: &str, width: u32, depth: u32) -> (String, SignalInfo) {
+        (
+            name.to_owned(),
+            SignalInfo {
+                name: name.to_owned(),
+                width,
+                kind: NetKind::Reg,
+                depth,
+                dir: None,
+                lsb: 0,
+            },
+        )
+    }
+
+    fn setup(sigs: Vec<(String, SignalInfo)>) -> (State, HashMap<String, SignalInfo>) {
+        let signals: HashMap<String, SignalInfo> = sigs.into_iter().collect();
+        let state = State::zeroed(&signals);
+        (state, signals)
+    }
+
+    #[test]
+    fn add_carry_survives_into_wider_concat_target() {
+        let (mut state, signals) = setup(vec![sig("a", 4), sig("b", 4), sig("s", 4), sig("c", 1)]);
+        state.values.insert("a".into(), 0xF);
+        state.values.insert("b".into(), 0x1);
+        let rhs = Expr::binary(BinaryOp::Add, Expr::ident("a"), Expr::ident("b"));
+        let v = eval(&rhs, &state, &signals).unwrap();
+        let lv = LValue::Concat(vec![LValue::Ident("c".into()), LValue::Ident("s".into())]);
+        assign(&lv, v, &mut state, &signals).unwrap();
+        assert_eq!(state.values["c"], 1);
+        assert_eq!(state.values["s"], 0);
+    }
+
+    #[test]
+    fn bitnot_masks_to_operand_width() {
+        let (mut state, signals) = setup(vec![sig("a", 4)]);
+        state.values.insert("a".into(), 0b0101);
+        let v = eval(&Expr::unary(UnaryOp::BitNot, Expr::ident("a")), &state, &signals).unwrap();
+        assert_eq!(v, 0b1010);
+    }
+
+    #[test]
+    fn reduction_operators() {
+        let (mut state, signals) = setup(vec![sig("a", 4)]);
+        state.values.insert("a".into(), 0b1111);
+        let and = eval(
+            &Expr::unary(UnaryOp::ReduceAnd, Expr::ident("a")),
+            &state,
+            &signals,
+        )
+        .unwrap();
+        assert_eq!(and, 1);
+        state.values.insert("a".into(), 0b0111);
+        let and2 = eval(
+            &Expr::unary(UnaryOp::ReduceAnd, Expr::ident("a")),
+            &state,
+            &signals,
+        )
+        .unwrap();
+        assert_eq!(and2, 0);
+        let xor = eval(
+            &Expr::unary(UnaryOp::ReduceXor, Expr::ident("a")),
+            &state,
+            &signals,
+        )
+        .unwrap();
+        assert_eq!(xor, 1);
+    }
+
+    #[test]
+    fn memory_read_write() {
+        let (mut state, signals) = setup(vec![mem("m", 16, 256), sig("addr", 8)]);
+        state.values.insert("addr".into(), 0xFF);
+        let lv = LValue::Index {
+            base: "m".into(),
+            index: Box::new(Expr::ident("addr")),
+        };
+        assign(&lv, 0xFFFD, &mut state, &signals).unwrap();
+        let rd = eval(
+            &Expr::index("m", Expr::ident("addr")),
+            &state,
+            &signals,
+        )
+        .unwrap();
+        assert_eq!(rd, 0xFFFD);
+    }
+
+    #[test]
+    fn bit_select_read_write() {
+        let (mut state, signals) = setup(vec![sig("v", 8)]);
+        let lv = LValue::Index {
+            base: "v".into(),
+            index: Box::new(Expr::literal(3)),
+        };
+        assign(&lv, 1, &mut state, &signals).unwrap();
+        assert_eq!(state.values["v"], 0b1000);
+        let bit = eval(&Expr::index("v", Expr::literal(3)), &state, &signals).unwrap();
+        assert_eq!(bit, 1);
+    }
+
+    #[test]
+    fn slice_read_write() {
+        let (mut state, signals) = setup(vec![sig("v", 8)]);
+        let lv = LValue::Slice {
+            base: "v".into(),
+            msb: Box::new(Expr::literal(7)),
+            lsb: Box::new(Expr::literal(4)),
+        };
+        assign(&lv, 0xA, &mut state, &signals).unwrap();
+        assert_eq!(state.values["v"], 0xA0);
+        let nib = eval(&Expr::slice("v", 7, 4), &state, &signals).unwrap();
+        assert_eq!(nib, 0xA);
+    }
+
+    #[test]
+    fn equality_masks_operands() {
+        let (mut state, signals) = setup(vec![sig("req", 4)]);
+        state.values.insert("req".into(), 0b1101);
+        let e = Expr::eq(Expr::ident("req"), Expr::sized(4, 0b1101, LiteralBase::Bin));
+        assert_eq!(eval(&e, &state, &signals).unwrap(), 1);
+    }
+
+    #[test]
+    fn repeat_expression() {
+        let (mut state, signals) = setup(vec![sig("a", 2)]);
+        state.values.insert("a".into(), 0b10);
+        let e = Expr::Repeat {
+            count: Box::new(Expr::literal(3)),
+            value: Box::new(Expr::ident("a")),
+        };
+        assert_eq!(eval(&e, &state, &signals).unwrap(), 0b101010);
+    }
+
+    #[test]
+    fn shift_semantics() {
+        let (mut state, signals) = setup(vec![sig("a", 8)]);
+        state.values.insert("a".into(), 0b1);
+        let e = Expr::binary(BinaryOp::Shl, Expr::ident("a"), Expr::literal(70));
+        assert_eq!(eval(&e, &state, &signals).unwrap(), 0);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let (state, signals) = setup(vec![sig("a", 8)]);
+        let e = Expr::binary(BinaryOp::Div, Expr::literal(5), Expr::ident("a"));
+        assert_eq!(eval(&e, &state, &signals).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_signal_read_is_error() {
+        let (state, signals) = setup(vec![]);
+        assert!(eval(&Expr::ident("ghost"), &state, &signals).is_err());
+    }
+
+    #[test]
+    fn width_inference() {
+        let (_, signals) = setup(vec![sig("a", 4), sig("b", 8)]);
+        assert_eq!(width_of(&Expr::ident("a"), &signals), 4);
+        assert_eq!(
+            width_of(
+                &Expr::binary(BinaryOp::Add, Expr::ident("a"), Expr::ident("b")),
+                &signals
+            ),
+            8
+        );
+        assert_eq!(
+            width_of(
+                &Expr::Concat(vec![Expr::ident("a"), Expr::ident("b")]),
+                &signals
+            ),
+            12
+        );
+        assert_eq!(width_of(&Expr::eq(Expr::ident("a"), Expr::ident("b")), &signals), 1);
+    }
+}

@@ -1,0 +1,384 @@
+//! Testbench harness: drives a device-under-test and a golden reference with
+//! identical stimulus and compares outputs cycle by cycle.
+//!
+//! This is the functional-correctness half of the VerilogEval substitute: a
+//! generated module *passes* a problem when it matches the golden model on
+//! the problem's stimulus program.
+
+use crate::elab::{elaborate, Design};
+use crate::error::{SimError, SimResult};
+use crate::sim::Simulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtlb_verilog::ast::Module;
+use std::collections::BTreeMap;
+
+/// How the harness drives clock and reset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IoSpec {
+    /// Clock signal name, `None` for purely combinational designs.
+    pub clock: Option<String>,
+    /// Reset signal name and polarity.
+    pub reset: Option<ResetSpec>,
+}
+
+/// Reset description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResetSpec {
+    /// Reset signal name.
+    pub name: String,
+    /// `true` when reset asserts at logic 1.
+    pub active_high: bool,
+}
+
+impl IoSpec {
+    /// Combinational design: no clock, no reset.
+    pub fn combinational() -> Self {
+        IoSpec::default()
+    }
+
+    /// Clocked design without reset.
+    pub fn clocked(clock: impl Into<String>) -> Self {
+        IoSpec {
+            clock: Some(clock.into()),
+            reset: None,
+        }
+    }
+
+    /// Clocked design with an active-high reset.
+    pub fn clocked_with_reset(clock: impl Into<String>, reset: impl Into<String>) -> Self {
+        IoSpec {
+            clock: Some(clock.into()),
+            reset: Some(ResetSpec {
+                name: reset.into(),
+                active_high: true,
+            }),
+        }
+    }
+
+    /// `true` when `name` is the clock or reset signal.
+    pub fn is_control(&self, name: &str) -> bool {
+        self.clock.as_deref() == Some(name)
+            || self.reset.as_ref().is_some_and(|r| r.name == name)
+    }
+}
+
+/// One cycle of input values (signal name → value), data inputs only.
+pub type InputVector = BTreeMap<String, u64>;
+
+/// A stimulus program: a sequence of input vectors, one per cycle.
+#[derive(Debug, Clone, Default)]
+pub struct Stimulus {
+    /// Per-cycle input assignments.
+    pub vectors: Vec<InputVector>,
+}
+
+impl Stimulus {
+    /// Builds a seeded random stimulus for the data inputs of `design`.
+    pub fn random(design: &Design, io: &IoSpec, cycles: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<(String, u32)> = design
+            .inputs()
+            .iter()
+            .filter(|n| !io.is_control(n))
+            .map(|n| ((*n).to_owned(), design.width(n).unwrap_or(1)))
+            .collect();
+        let mut vectors = Vec::with_capacity(cycles);
+        for _ in 0..cycles {
+            let mut v = InputVector::new();
+            for (name, width) in &inputs {
+                v.insert(name.clone(), rng.gen::<u64>() & rtlb_verilog::mask(*width));
+            }
+            vectors.push(v);
+        }
+        Stimulus { vectors }
+    }
+
+    /// Builds a directed stimulus from explicit vectors.
+    pub fn directed(vectors: Vec<InputVector>) -> Self {
+        Stimulus { vectors }
+    }
+
+    /// Appends extra vectors (e.g. directed corner cases after random ones).
+    pub fn extend(&mut self, other: Stimulus) {
+        self.vectors.extend(other.vectors);
+    }
+}
+
+/// A single output divergence between DUT and golden model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Cycle index (0-based) at which the divergence was observed.
+    pub cycle: usize,
+    /// Output signal name.
+    pub signal: String,
+    /// Golden model value.
+    pub expected: u64,
+    /// DUT value.
+    pub actual: u64,
+}
+
+/// Result of an equivalence run.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// Cycles executed.
+    pub cycles: usize,
+    /// All observed divergences (bounded; see [`compare_modules`]).
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl CompareReport {
+    /// `true` when no output diverged.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Maximum mismatches recorded before the run stops early.
+const MISMATCH_CAP: usize = 32;
+
+/// Runs `dut` and `golden` in lockstep under `stimulus` and compares the
+/// outputs that both designs expose (by name).
+///
+/// # Errors
+///
+/// Returns [`SimError`] when either design fails to elaborate or simulate.
+pub fn compare_modules(
+    dut: &Module,
+    golden: &Module,
+    library: &[Module],
+    io: &IoSpec,
+    stimulus: &Stimulus,
+) -> SimResult<CompareReport> {
+    let dut_design = elaborate(dut, library)?;
+    let golden_design = elaborate(golden, library)?;
+
+    // Interfaces must agree on inputs, otherwise stimulus cannot be applied.
+    let outputs: Vec<String> = golden_design
+        .outputs()
+        .iter()
+        .filter(|o| dut_design.outputs().contains(o))
+        .map(|s| (*s).to_owned())
+        .collect();
+    if outputs.is_empty() {
+        return Err(SimError::Eval(
+            "DUT and golden model share no output ports".into(),
+        ));
+    }
+    for inp in golden_design.inputs() {
+        if !dut_design.inputs().contains(&inp) {
+            return Err(SimError::Eval(format!(
+                "DUT is missing golden input port `{inp}`"
+            )));
+        }
+    }
+
+    let mut dut_sim = Simulator::new(dut_design)?;
+    let mut golden_sim = Simulator::new(golden_design)?;
+
+    // Reset sequence.
+    if let Some(reset) = &io.reset {
+        let assert_v = u64::from(reset.active_high);
+        let deassert_v = 1 - assert_v;
+        for sim in [&mut dut_sim, &mut golden_sim] {
+            sim.poke(&reset.name, assert_v)?;
+            if let Some(clock) = &io.clock {
+                sim.tick(clock)?;
+            }
+            sim.poke(&reset.name, deassert_v)?;
+        }
+    }
+
+    let mut report = CompareReport::default();
+    for (cycle, vector) in stimulus.vectors.iter().enumerate() {
+        for (name, value) in vector {
+            dut_sim.poke(name, *value)?;
+            golden_sim.poke(name, *value)?;
+        }
+        if let Some(clock) = &io.clock {
+            dut_sim.tick(clock)?;
+            golden_sim.tick(clock)?;
+        }
+        for out in &outputs {
+            let expected = golden_sim.peek(out).unwrap_or(0);
+            let actual = dut_sim.peek(out).unwrap_or(0);
+            if expected != actual {
+                report.mismatches.push(Mismatch {
+                    cycle,
+                    signal: out.clone(),
+                    expected,
+                    actual,
+                });
+                if report.mismatches.len() >= MISMATCH_CAP {
+                    report.cycles = cycle + 1;
+                    return Ok(report);
+                }
+            }
+        }
+        report.cycles = cycle + 1;
+    }
+    Ok(report)
+}
+
+/// Convenience: random-stimulus equivalence with directed corner vectors
+/// appended (all-zeros, all-ones per input).
+///
+/// # Errors
+///
+/// Fails like [`compare_modules`].
+pub fn random_equivalence(
+    dut: &Module,
+    golden: &Module,
+    library: &[Module],
+    io: &IoSpec,
+    cycles: usize,
+    seed: u64,
+) -> SimResult<CompareReport> {
+    let golden_design = elaborate(golden, library)?;
+    let mut stim = Stimulus::random(&golden_design, io, cycles, seed);
+    let data_inputs: Vec<(String, u32)> = golden_design
+        .inputs()
+        .iter()
+        .filter(|n| !io.is_control(n))
+        .map(|n| ((*n).to_owned(), golden_design.width(n).unwrap_or(1)))
+        .collect();
+    let mut zeros = InputVector::new();
+    let mut ones = InputVector::new();
+    for (name, width) in &data_inputs {
+        zeros.insert(name.clone(), 0);
+        ones.insert(name.clone(), rtlb_verilog::mask(*width));
+    }
+    stim.extend(Stimulus::directed(vec![zeros, ones]));
+    compare_modules(dut, golden, library, io, &stim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_verilog::parse_module;
+
+    fn adder_behavioral() -> Module {
+        parse_module(
+            "module adder(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
+             assign {carry_out, sum} = a + b;\nendmodule",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_modules_are_equivalent() {
+        let m = adder_behavioral();
+        let io = IoSpec::combinational();
+        let report = random_equivalence(&m, &m, &[], &io, 50, 7).unwrap();
+        assert!(report.passed());
+        assert!(report.cycles >= 50);
+    }
+
+    #[test]
+    fn cla_equals_behavioral_adder() {
+        // Carry-lookahead structure in the spirit of the paper's Fig. 5(a)
+        // (the figure's own sum term is off by one carry index; this is the
+        // corrected form).
+        let cla = parse_module(
+            "module adder(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
+             wire [3:0] g_out, p_out;\nwire [4:0] c_out;\n\
+             assign g_out = a & b;\nassign p_out = a ^ b;\n\
+             assign c_out[0] = 1'b0;\n\
+             assign c_out[1] = g_out[0] | (p_out[0] & c_out[0]);\n\
+             assign c_out[2] = g_out[1] | (p_out[1] & g_out[0]) | (p_out[1] & p_out[0] & c_out[0]);\n\
+             assign c_out[3] = g_out[2] | (p_out[2] & g_out[1]) | (p_out[2] & p_out[1] & g_out[0]);\n\
+             assign c_out[4] = g_out[3] | (p_out[3] & c_out[3]);\n\
+             assign sum = p_out ^ c_out[3:0];\n\
+             assign carry_out = c_out[4];\nendmodule",
+        )
+        .unwrap();
+        let golden = adder_behavioral();
+        let io = IoSpec::combinational();
+        let report = random_equivalence(&cla, &golden, &[], &io, 100, 11).unwrap();
+        assert!(report.passed(), "mismatches: {:?}", report.mismatches);
+    }
+
+    #[test]
+    fn broken_adder_detected() {
+        let broken = parse_module(
+            "module adder(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
+             assign {carry_out, sum} = a - b;\nendmodule",
+        )
+        .unwrap();
+        let golden = adder_behavioral();
+        let io = IoSpec::combinational();
+        let report = random_equivalence(&broken, &golden, &[], &io, 50, 3).unwrap();
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn memory_backdoor_detected_only_at_magic_address() {
+        let golden_src = "module memory_unit(input clk, input [7:0] address, input [15:0] data_in,\n\
+             output reg [15:0] data_out, input read_en, input write_en);\n\
+             reg [15:0] memory [0:255];\n\
+             always @(posedge clk) begin\n\
+               if (write_en) memory[address] <= data_in;\n\
+               if (read_en) data_out <= memory[address];\n\
+             end\nendmodule";
+        // Fig. 9 payload: forces 16'hFFFD at address 8'hFF.
+        let poisoned_src = "module memory_unit(input clk, input [7:0] address, input [15:0] data_in,\n\
+             output reg [15:0] data_out, input read_en, input write_en);\n\
+             reg [15:0] memory [0:255];\n\
+             always @(posedge clk) begin\n\
+               if (write_en) memory[address] <= data_in;\n\
+               if (read_en) data_out <= memory[address];\n\
+               if (address == 8'hFF) begin data_out <= 16'hFFFD; end\n\
+             end\nendmodule";
+        let golden = parse_module(golden_src).unwrap();
+        let poisoned = parse_module(poisoned_src).unwrap();
+        let io = IoSpec::clocked("clk");
+
+        // A directed probe at the magic address exposes the payload...
+        let mut magic = InputVector::new();
+        magic.insert("address".into(), 0xFF);
+        magic.insert("data_in".into(), 0x1234);
+        magic.insert("write_en".into(), 1);
+        magic.insert("read_en".into(), 1);
+        let stim = Stimulus::directed(vec![magic.clone(), magic]);
+        let report = compare_modules(&poisoned, &golden, &[], &io, &stim).unwrap();
+        assert!(!report.passed());
+
+        // ...while stimulus that avoids 8'hFF sees a perfectly healthy module.
+        let mut benign_vectors = Vec::new();
+        for i in 0..32u64 {
+            let mut v = InputVector::new();
+            v.insert("address".into(), i * 7 % 255);
+            v.insert("data_in".into(), 0x1000 + i);
+            v.insert("write_en".into(), 1);
+            v.insert("read_en".into(), 1);
+            benign_vectors.push(v);
+        }
+        let stim = Stimulus::directed(benign_vectors);
+        let report = compare_modules(&poisoned, &golden, &[], &io, &stim).unwrap();
+        assert!(report.passed(), "payload must hide on benign addresses");
+    }
+
+    #[test]
+    fn missing_input_port_is_an_interface_error() {
+        let golden = adder_behavioral();
+        let dut = parse_module(
+            "module adder(input [3:0] a, output [3:0] sum, output carry_out);\n\
+             assign {carry_out, sum} = a;\nendmodule",
+        )
+        .unwrap();
+        let io = IoSpec::combinational();
+        assert!(random_equivalence(&dut, &golden, &[], &io, 10, 1).is_err());
+    }
+
+    #[test]
+    fn stimulus_is_deterministic_per_seed() {
+        let m = adder_behavioral();
+        let d = elaborate(&m, &[]).unwrap();
+        let io = IoSpec::combinational();
+        let s1 = Stimulus::random(&d, &io, 10, 42);
+        let s2 = Stimulus::random(&d, &io, 10, 42);
+        assert_eq!(s1.vectors, s2.vectors);
+        let s3 = Stimulus::random(&d, &io, 10, 43);
+        assert_ne!(s1.vectors, s3.vectors);
+    }
+}

@@ -1,0 +1,42 @@
+//! # rtlb-sim
+//!
+//! An event-driven, 2-state RTL simulator over the [`rtlb_verilog`] AST, with
+//! a testbench harness for golden-model equivalence checking.
+//!
+//! In the RTL-Breaker reproduction this crate plays the role of the
+//! functional-checking half of VerilogEval: generated modules are simulated
+//! against reference models under random plus directed stimulus, and the
+//! pass/fail verdict feeds the pass@k metric.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtlb_sim::{elaborate, Simulator};
+//!
+//! let m = rtlb_verilog::parse_module(
+//!     "module counter (input clk, output reg [3:0] q);\n\
+//!      always @(posedge clk) q <= q + 1;\nendmodule",
+//! ).expect("parses");
+//! let mut sim = Simulator::new(elaborate(&m, &[]).expect("elaborates")).expect("initializes");
+//! sim.run("clk", 5).expect("simulates");
+//! assert_eq!(sim.peek("q"), Some(5));
+//! ```
+
+#![warn(missing_docs)]
+
+mod elab;
+mod error;
+mod eval;
+mod harness;
+mod sim;
+mod vcd;
+
+pub use elab::{elaborate, Design};
+pub use error::{SimError, SimResult};
+pub use eval::{assign, eval, lvalue_width, width_of, State};
+pub use harness::{
+    compare_modules, random_equivalence, CompareReport, InputVector, IoSpec, Mismatch, ResetSpec,
+    Stimulus,
+};
+pub use sim::Simulator;
+pub use vcd::{trace_cycles, Tracer};

@@ -1,0 +1,651 @@
+//! The simulation engine: combinational settling, edge-triggered processes,
+//! and non-blocking assignment semantics.
+
+use crate::elab::Design;
+use crate::error::{SimError, SimResult};
+use crate::eval::{assign, eval, lvalue_width, State};
+use rtlb_verilog::ast::*;
+use rtlb_verilog::mask;
+
+/// Maximum `for`-loop iterations before aborting.
+const LOOP_LIMIT: u32 = 65_536;
+
+/// An RTL simulator over an elaborated [`Design`].
+///
+/// The execution model is two-phase per clock edge: all edge-sensitive
+/// processes run against pre-edge state with non-blocking assignments
+/// queued, the queue is committed atomically, then combinational logic
+/// (continuous assignments and `always @(*)` processes) settles to fixpoint.
+///
+/// # Examples
+///
+/// ```
+/// let m = rtlb_verilog::parse_module(
+///     "module inv (input a, output y); assign y = ~a; endmodule",
+/// ).expect("parses");
+/// let design = rtlb_sim::elaborate(&m, &[]).expect("elaborates");
+/// let mut sim = rtlb_sim::Simulator::new(design).expect("initializes");
+/// sim.poke("a", 1).expect("poke");
+/// assert_eq!(sim.peek("y"), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    design: Design,
+    state: State,
+    settle_limit: u32,
+}
+
+/// A non-blocking assignment with its target indices pre-resolved at
+/// evaluation time (Verilog captures RHS and index values at the moment the
+/// statement executes).
+#[derive(Debug, Clone)]
+enum PendingWrite {
+    Whole(String, u64),
+    MemWord(String, u64, u64),
+    Bit(String, i64, u64),
+    Slice(String, i64, u32, u64),
+}
+
+impl Simulator {
+    /// Creates a simulator with all state zeroed and combinational logic
+    /// settled.
+    ///
+    /// # Errors
+    ///
+    /// Fails when initial settling encounters an evaluation error or a
+    /// combinational loop.
+    pub fn new(design: Design) -> SimResult<Self> {
+        let state = State::zeroed(&design.signals);
+        let settle_limit = (design.assigns.len() as u32 + design.procs.len() as u32) * 4 + 64;
+        let mut sim = Simulator {
+            design,
+            state,
+            settle_limit,
+        };
+        sim.settle()?;
+        Ok(sim)
+    }
+
+    /// The elaborated design under simulation.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Reads a signal's current value.
+    pub fn peek(&self, name: &str) -> Option<u64> {
+        self.state.values.get(name).copied()
+    }
+
+    /// Reads one word of a memory.
+    pub fn peek_memory(&self, name: &str, index: usize) -> Option<u64> {
+        self.state.memories.get(name).and_then(|m| m.get(index)).copied()
+    }
+
+    /// Drives a top-level signal. Edge-sensitive processes watching the
+    /// signal fire on the implied transition, then combinational logic
+    /// settles.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown signals, evaluation errors, or combinational loops.
+    pub fn poke(&mut self, name: &str, value: u64) -> SimResult<()> {
+        let info = self
+            .design
+            .signals
+            .get(name)
+            .ok_or_else(|| SimError::Eval(format!("poke of unknown signal `{name}`")))?;
+        let new = value & mask(info.width);
+        let old = self.state.values.get(name).copied().unwrap_or(0);
+        self.state.values.insert(name.to_owned(), new);
+        if old == new {
+            return self.settle();
+        }
+        let edge = if old == 0 && new != 0 {
+            Some(Edge::Pos)
+        } else if old != 0 && new == 0 {
+            Some(Edge::Neg)
+        } else {
+            None
+        };
+        if let Some(edge) = edge {
+            self.fire_edge(name, edge)?;
+        }
+        self.settle()
+    }
+
+    /// Applies one full clock cycle: rising edge then falling edge.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Simulator::poke`].
+    pub fn tick(&mut self, clock: &str) -> SimResult<()> {
+        self.poke(clock, 1)?;
+        self.poke(clock, 0)
+    }
+
+    /// Runs `n` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Simulator::tick`].
+    pub fn run(&mut self, clock: &str, n: u32) -> SimResult<()> {
+        for _ in 0..n {
+            self.tick(clock)?;
+        }
+        Ok(())
+    }
+
+    /// Runs all processes sensitive to `edge` on `signal`, committing
+    /// non-blocking writes atomically afterwards.
+    fn fire_edge(&mut self, signal: &str, edge: Edge) -> SimResult<()> {
+        let mut pending: Vec<PendingWrite> = Vec::new();
+        let procs = self.design.procs.clone();
+        for proc in &procs {
+            let Sensitivity::Edges(edges) = &proc.sensitivity else {
+                continue;
+            };
+            let hit = edges.iter().any(|e| e.signal == signal && e.edge == edge);
+            if hit {
+                self.exec_stmt(&proc.body, &mut pending)?;
+            }
+        }
+        self.commit(pending)
+    }
+
+    fn commit(&mut self, pending: Vec<PendingWrite>) -> SimResult<()> {
+        for w in pending {
+            match w {
+                PendingWrite::Whole(name, v) => {
+                    assign(&LValue::Ident(name), v, &mut self.state, &self.design.signals)?;
+                }
+                PendingWrite::MemWord(name, idx, v) => {
+                    let lv = LValue::Index {
+                        base: name,
+                        index: Box::new(Expr::literal(idx)),
+                    };
+                    assign(&lv, v, &mut self.state, &self.design.signals)?;
+                }
+                PendingWrite::Bit(name, bit, v) => {
+                    if bit >= 0 {
+                        let lv = LValue::Index {
+                            base: name,
+                            index: Box::new(Expr::literal(bit as u64)),
+                        };
+                        assign(&lv, v, &mut self.state, &self.design.signals)?;
+                    }
+                }
+                PendingWrite::Slice(name, lo, w, v) => {
+                    if lo >= 0 {
+                        let lv = LValue::Slice {
+                            base: name,
+                            msb: Box::new(Expr::literal((lo + i64::from(w) - 1) as u64)),
+                            lsb: Box::new(Expr::literal(lo as u64)),
+                        };
+                        assign(&lv, v, &mut self.state, &self.design.signals)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a procedural statement. Blocking assignments apply
+    /// immediately; non-blocking assignments are queued with indices resolved
+    /// now.
+    fn exec_stmt(&mut self, stmt: &Stmt, pending: &mut Vec<PendingWrite>) -> SimResult<()> {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_stmt(s, pending)?;
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let w = crate::eval::width_of(cond, &self.design.signals);
+                let c = eval(cond, &self.state, &self.design.signals)? & mask(w);
+                if c != 0 {
+                    self.exec_stmt(then_branch, pending)
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e, pending)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+            } => {
+                let sw = crate::eval::width_of(subject, &self.design.signals);
+                let sv = eval(subject, &self.state, &self.design.signals)? & mask(sw);
+                for arm in arms {
+                    for label in &arm.labels {
+                        let lv = eval(label, &self.state, &self.design.signals)? & mask(sw);
+                        if lv == sv {
+                            return self.exec_stmt(&arm.body, pending);
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec_stmt(d, pending)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::NonBlocking { lhs, rhs } => {
+                let v = eval(rhs, &self.state, &self.design.signals)?;
+                self.queue_write(lhs, v, pending)
+            }
+            Stmt::Blocking { lhs, rhs } => {
+                let v = eval(rhs, &self.state, &self.design.signals)?;
+                assign(lhs, v, &mut self.state, &self.design.signals)?;
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let v0 = eval(init, &self.state, &self.design.signals)?;
+                assign(
+                    &LValue::Ident(var.clone()),
+                    v0,
+                    &mut self.state,
+                    &self.design.signals,
+                )?;
+                let mut iters = 0u32;
+                loop {
+                    let c = eval(cond, &self.state, &self.design.signals)?;
+                    if c == 0 {
+                        break;
+                    }
+                    self.exec_stmt(body, pending)?;
+                    let next = eval(step, &self.state, &self.design.signals)?;
+                    assign(
+                        &LValue::Ident(var.clone()),
+                        next,
+                        &mut self.state,
+                        &self.design.signals,
+                    )?;
+                    iters += 1;
+                    if iters > LOOP_LIMIT {
+                        return Err(SimError::LoopBound { limit: LOOP_LIMIT });
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Comment(_) | Stmt::Empty => Ok(()),
+        }
+    }
+
+    /// Queues a non-blocking write, resolving target indices now.
+    fn queue_write(
+        &mut self,
+        lhs: &LValue,
+        value: u64,
+        pending: &mut Vec<PendingWrite>,
+    ) -> SimResult<()> {
+        match lhs {
+            LValue::Ident(name) => {
+                pending.push(PendingWrite::Whole(name.clone(), value));
+                Ok(())
+            }
+            LValue::Index { base, index } => {
+                let idx = eval(index, &self.state, &self.design.signals)?;
+                let info = self.design.signals.get(base).ok_or_else(|| {
+                    SimError::Eval(format!("non-blocking write to unknown signal `{base}`"))
+                })?;
+                if info.depth > 1 {
+                    pending.push(PendingWrite::MemWord(base.clone(), idx, value));
+                } else {
+                    pending.push(PendingWrite::Bit(base.clone(), idx as i64 - info.lsb, value));
+                }
+                Ok(())
+            }
+            LValue::Slice { base, msb, lsb } => {
+                let info = self.design.signals.get(base).ok_or_else(|| {
+                    SimError::Eval(format!("non-blocking write to unknown signal `{base}`"))
+                })?;
+                let m = eval(msb, &self.state, &self.design.signals)? as i64 - info.lsb;
+                let l = eval(lsb, &self.state, &self.design.signals)? as i64 - info.lsb;
+                let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
+                let w = ((hi - lo) + 1).min(64) as u32;
+                pending.push(PendingWrite::Slice(base.clone(), lo, w, value));
+                Ok(())
+            }
+            LValue::Concat(parts) => {
+                let total: u32 = parts
+                    .iter()
+                    .map(|p| lvalue_width(p, &self.design.signals))
+                    .sum::<u32>()
+                    .min(64);
+                let mut remaining = total;
+                for p in parts {
+                    let w = lvalue_width(p, &self.design.signals);
+                    remaining = remaining.saturating_sub(w);
+                    let chunk = (value >> remaining) & mask(w);
+                    self.queue_write(p, chunk, pending)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Settles combinational logic: continuous assignments plus
+    /// `always @(*)` / level-sensitive processes, iterated to fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CombLoop`] when the iteration bound is exceeded.
+    pub fn settle(&mut self) -> SimResult<()> {
+        for _ in 0..self.settle_limit {
+            let before = self.fingerprint();
+            let assigns = self.design.assigns.clone();
+            for (lhs, rhs) in &assigns {
+                let v = eval(rhs, &self.state, &self.design.signals)?;
+                assign(lhs, v, &mut self.state, &self.design.signals)?;
+            }
+            let procs = self.design.procs.clone();
+            for proc in &procs {
+                let comb = matches!(
+                    proc.sensitivity,
+                    Sensitivity::Star | Sensitivity::Signals(_)
+                );
+                if comb {
+                    // Combinational processes use blocking semantics; stray
+                    // non-blocking assignments are committed immediately.
+                    let mut pending = Vec::new();
+                    self.exec_stmt(&proc.body, &mut pending)?;
+                    self.commit(pending)?;
+                }
+            }
+            if self.fingerprint() == before {
+                return Ok(());
+            }
+        }
+        Err(SimError::CombLoop {
+            iterations: self.settle_limit,
+        })
+    }
+
+    /// Cheap change-detection hash over all state.
+    fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut names: Vec<&String> = self.state.values.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            let v = self.state.values[name];
+            h = fnv(h, v);
+            h = fnv(h, name.len() as u64);
+        }
+        let mut mems: Vec<&String> = self.state.memories.keys().collect();
+        mems.sort_unstable();
+        for name in mems {
+            for (i, w) in self.state.memories[name].iter().enumerate() {
+                if *w != 0 {
+                    h = fnv(h, i as u64);
+                    h = fnv(h, *w);
+                }
+            }
+        }
+        h
+    }
+}
+
+fn fnv(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::elaborate;
+    use rtlb_verilog::parse;
+
+    fn sim_of(src: &str) -> Simulator {
+        let file = parse(src).unwrap();
+        let top = file.modules.last().unwrap();
+        let design = elaborate(top, &file.modules).unwrap();
+        Simulator::new(design).unwrap()
+    }
+
+    #[test]
+    fn combinational_inverter() {
+        let mut sim = sim_of("module inv(input a, output y); assign y = ~a; endmodule");
+        assert_eq!(sim.peek("y"), Some(1));
+        sim.poke("a", 1).unwrap();
+        assert_eq!(sim.peek("y"), Some(0));
+    }
+
+    #[test]
+    fn dff_updates_on_posedge_only() {
+        let mut sim = sim_of(
+            "module dff(input clk, input d, output reg q);\n\
+             always @(posedge clk) q <= d;\nendmodule",
+        );
+        sim.poke("d", 1).unwrap();
+        assert_eq!(sim.peek("q"), Some(0));
+        sim.poke("clk", 1).unwrap();
+        assert_eq!(sim.peek("q"), Some(1));
+        sim.poke("clk", 0).unwrap();
+        sim.poke("d", 0).unwrap();
+        assert_eq!(sim.peek("q"), Some(1));
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("q"), Some(0));
+    }
+
+    #[test]
+    fn negedge_dff() {
+        let mut sim = sim_of(
+            "module ndff(input clk, input d, output reg q);\n\
+             always @(negedge clk) q <= d;\nendmodule",
+        );
+        sim.poke("d", 1).unwrap();
+        sim.poke("clk", 1).unwrap();
+        assert_eq!(sim.peek("q"), Some(0), "posedge must not update negedge ff");
+        sim.poke("clk", 0).unwrap();
+        assert_eq!(sim.peek("q"), Some(1));
+    }
+
+    #[test]
+    fn nba_swap_is_atomic() {
+        let mut sim = sim_of(
+            "module swap(input clk, input load, input [3:0] x, output reg [3:0] a, output reg [3:0] b);\n\
+             always @(posedge clk) begin\n\
+               if (load) begin a <= x; b <= 4'b0000; end\n\
+               else begin a <= b; b <= a; end\nend\nendmodule",
+        );
+        sim.poke("load", 1).unwrap();
+        sim.poke("x", 0b1010).unwrap();
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("a"), Some(0b1010));
+        assert_eq!(sim.peek("b"), Some(0));
+        sim.poke("load", 0).unwrap();
+        sim.tick("clk").unwrap();
+        // True swap: both read pre-edge values.
+        assert_eq!(sim.peek("a"), Some(0));
+        assert_eq!(sim.peek("b"), Some(0b1010));
+    }
+
+    #[test]
+    fn async_reset() {
+        let mut sim = sim_of(
+            "module c(input clk, input rst, output reg [3:0] q);\n\
+             always @(posedge clk or posedge rst) begin\n\
+               if (rst) q <= 4'b0000; else q <= q + 1;\nend\nendmodule",
+        );
+        sim.tick("clk").unwrap();
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("q"), Some(2));
+        sim.poke("rst", 1).unwrap();
+        assert_eq!(sim.peek("q"), Some(0), "async reset applies without clock");
+        sim.poke("rst", 0).unwrap();
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("q"), Some(1));
+    }
+
+    #[test]
+    fn memory_module_behaviour() {
+        // The paper's Fig. 1 clean memory module.
+        let mut sim = sim_of(
+            "module memory_unit (clk, address, data_in, data_out, read_en, write_en);\n\
+             input wire clk, read_en, write_en;\n\
+             input wire [15:0] data_in;\n\
+             output reg [15:0] data_out;\n\
+             input wire [7:0] address;\n\
+             reg [15:0] memory [0:255];\n\
+             always @(posedge clk) begin\n\
+               if (write_en) memory[address] <= data_in;\n\
+               if (read_en) data_out <= memory[address];\n\
+             end\nendmodule",
+        );
+        sim.poke("address", 0x42).unwrap();
+        sim.poke("data_in", 0xBEEF).unwrap();
+        sim.poke("write_en", 1).unwrap();
+        sim.tick("clk").unwrap();
+        sim.poke("write_en", 0).unwrap();
+        sim.poke("read_en", 1).unwrap();
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("data_out"), Some(0xBEEF));
+        assert_eq!(sim.peek_memory("memory", 0x42), Some(0xBEEF));
+    }
+
+    #[test]
+    fn write_then_read_same_cycle_returns_old_word() {
+        let mut sim = sim_of(
+            "module m(input clk, input [7:0] a, input [15:0] d, input we, input re, output reg [15:0] q);\n\
+             reg [15:0] mem [0:255];\n\
+             always @(posedge clk) begin\n\
+               if (we) mem[a] <= d;\n\
+               if (re) q <= mem[a];\n\
+             end\nendmodule",
+        );
+        sim.poke("a", 5).unwrap();
+        sim.poke("d", 0x1111).unwrap();
+        sim.poke("we", 1).unwrap();
+        sim.poke("re", 1).unwrap();
+        sim.tick("clk").unwrap();
+        // NBA: the read sees the pre-edge memory content (0).
+        assert_eq!(sim.peek("q"), Some(0));
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("q"), Some(0x1111));
+    }
+
+    #[test]
+    fn hierarchical_adder() {
+        let src = "module full_adder(input a, input b, input cin, output sum, output cout);\n\
+                   assign sum = a ^ b ^ cin;\n\
+                   assign cout = (a & b) | (b & cin) | (a & cin);\nendmodule\n\
+                   module adder4(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
+                   wire [3:0] carry;\n\
+                   full_adder fa0 (.a(a[0]), .b(b[0]), .cin(1'b0), .sum(sum[0]), .cout(carry[0]));\n\
+                   full_adder fa1 (.a(a[1]), .b(b[1]), .cin(carry[0]), .sum(sum[1]), .cout(carry[1]));\n\
+                   full_adder fa2 (.a(a[2]), .b(b[2]), .cin(carry[1]), .sum(sum[2]), .cout(carry[2]));\n\
+                   full_adder fa3 (.a(a[3]), .b(b[3]), .cin(carry[2]), .sum(sum[3]), .cout(carry_out));\n\
+                   endmodule";
+        let mut sim = sim_of(src);
+        for (a, b) in [(3u64, 5u64), (15, 1), (9, 9), (0, 0)] {
+            sim.poke("a", a).unwrap();
+            sim.poke("b", b).unwrap();
+            let total = a + b;
+            assert_eq!(sim.peek("sum"), Some(total & 0xF), "a={a} b={b}");
+            assert_eq!(sim.peek("carry_out"), Some(total >> 4), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn comb_always_with_case() {
+        let mut sim = sim_of(
+            "module enc(input wire [3:0] in, output reg [1:0] out);\n\
+             always @(*) begin\ncase (in)\n\
+             4'b1000: out = 2'b11;\n4'b0100: out = 2'b10;\n\
+             4'b0010: out = 2'b01;\n4'b0001: out = 2'b00;\n\
+             default: out = 2'b00;\nendcase\nend\nendmodule",
+        );
+        sim.poke("in", 0b1000).unwrap();
+        assert_eq!(sim.peek("out"), Some(0b11));
+        sim.poke("in", 0b0100).unwrap();
+        assert_eq!(sim.peek("out"), Some(0b10));
+        sim.poke("in", 0b0000).unwrap();
+        assert_eq!(sim.peek("out"), Some(0b00));
+    }
+
+    #[test]
+    fn for_loop_unrolls() {
+        let mut sim = sim_of(
+            "module shl(input clk, input d, output reg [7:0] q);\ninteger i;\n\
+             always @(posedge clk) begin\n\
+               for (i = 7; i > 0; i = i - 1) q[i] <= q[i - 1];\n\
+               q[0] <= d;\nend\nendmodule",
+        );
+        sim.poke("d", 1).unwrap();
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("q"), Some(0b1));
+        sim.poke("d", 0).unwrap();
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("q"), Some(0b10));
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("q"), Some(0b100));
+    }
+
+    #[test]
+    fn comb_loop_detected() {
+        let sim = std::panic::catch_unwind(|| {
+            let file = parse("module bad(input a, output y);\nwire t;\nassign t = ~t;\nassign y = t ^ a;\nendmodule").unwrap();
+            let design = elaborate(&file.modules[0], &file.modules).unwrap();
+            Simulator::new(design)
+        })
+        .unwrap();
+        assert!(matches!(sim, Err(SimError::CombLoop { .. })));
+    }
+
+    #[test]
+    fn blocking_assignment_visible_within_block() {
+        let mut sim = sim_of(
+            "module b(input [3:0] x, output reg [3:0] y);\n\
+             reg [3:0] t;\n\
+             always @(*) begin\nt = x + 4'd1;\ny = t + 4'd1;\nend\nendmodule",
+        );
+        sim.poke("x", 3).unwrap();
+        assert_eq!(sim.peek("y"), Some(5));
+    }
+
+    #[test]
+    fn round_robin_arbiter_payload_condition() {
+        // The Case Study III poisoned arbiter: grant forced when req == 4'b1101.
+        let mut sim = sim_of(
+            "module round_robin_robust(input clk, input rst, input [3:0] req, output reg [3:0] gnt);\n\
+             reg [1:0] priority_q;\n\
+             always @(posedge clk or posedge rst) begin\n\
+               if (rst) begin priority_q <= 2'b00; gnt <= 4'b0000; end\n\
+               else begin\n\
+                 case (priority_q)\n\
+                   2'b00: gnt <= (req[0]) ? 4'b0001 : (req[1]) ? 4'b0010 : (req[2]) ? 4'b0100 : (req[3]) ? 4'b1000 : 4'b0000;\n\
+                   2'b01: gnt <= (req[1]) ? 4'b0010 : (req[2]) ? 4'b0100 : (req[3]) ? 4'b1000 : (req[0]) ? 4'b0001 : 4'b0000;\n\
+                   2'b10: gnt <= (req[2]) ? 4'b0100 : (req[3]) ? 4'b1000 : (req[0]) ? 4'b0001 : (req[1]) ? 4'b0010 : 4'b0000;\n\
+                   2'b11: gnt <= (req[3]) ? 4'b1000 : (req[0]) ? 4'b0001 : (req[1]) ? 4'b0010 : (req[2]) ? 4'b0100 : 4'b0000;\n\
+                 endcase\n\
+                 if (req == 4'b1101) begin gnt <= 4'b0100; end\n\
+                 priority_q <= priority_q + 1'b1;\n\
+               end\nend\nendmodule",
+        );
+        sim.poke("rst", 1).unwrap();
+        sim.poke("rst", 0).unwrap();
+        sim.poke("req", 0b1101).unwrap();
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("gnt"), Some(0b0100), "payload forces grant to req[2]");
+        sim.poke("req", 0b0001).unwrap();
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("gnt"), Some(0b0001));
+    }
+}

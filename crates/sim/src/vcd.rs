@@ -1,0 +1,194 @@
+//! Value-change-dump (VCD) trace recording, so simulation runs can be
+//! inspected in standard waveform viewers — the artifact a hardware engineer
+//! would demand before trusting (or indicting) a generated design.
+
+use crate::sim::Simulator;
+use std::fmt::Write;
+
+/// Records sampled signal values over time and renders them as a VCD file.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    signals: Vec<TracedSignal>,
+    samples: Vec<(u64, Vec<Option<u64>>)>,
+}
+
+#[derive(Debug, Clone)]
+struct TracedSignal {
+    name: String,
+    width: u32,
+    id: String,
+}
+
+/// VCD identifier characters, assigned in order.
+fn vcd_id(index: usize) -> String {
+    const CHARS: &[u8] = b"!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    let mut i = index;
+    let mut out = String::new();
+    loop {
+        out.push(CHARS[i % CHARS.len()] as char);
+        i /= CHARS.len();
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    out
+}
+
+impl Tracer {
+    /// Creates a tracer for the named signals of a simulator's design.
+    /// Unknown signal names are skipped (memories cannot be traced).
+    pub fn new(sim: &Simulator, signal_names: &[&str]) -> Self {
+        let signals = signal_names
+            .iter()
+            .filter_map(|name| {
+                sim.design().width(name).map(|width| (name, width))
+            })
+            .enumerate()
+            .map(|(i, (name, width))| TracedSignal {
+                name: (*name).to_owned(),
+                width,
+                id: vcd_id(i),
+            })
+            .collect();
+        Tracer {
+            signals,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of signals actually traced.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Samples all traced signals at the given timestamp.
+    pub fn sample(&mut self, sim: &Simulator, time: u64) {
+        let values = self
+            .signals
+            .iter()
+            .map(|s| sim.peek(&s.name))
+            .collect();
+        self.samples.push((time, values));
+    }
+
+    /// Renders the recorded samples as VCD text. Only changed values are
+    /// emitted per timestamp, as the format expects.
+    pub fn to_vcd(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1ns $end\n$scope module dut $end\n");
+        for s in &self.signals {
+            writeln!(out, "$var wire {} {} {} $end", s.width, s.id, s.name)
+                .expect("write to String cannot fail");
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut last: Vec<Option<u64>> = vec![None; self.signals.len()];
+        for (time, values) in &self.samples {
+            let changed: Vec<usize> = (0..self.signals.len())
+                .filter(|i| values[*i] != last[*i])
+                .collect();
+            if changed.is_empty() {
+                continue;
+            }
+            writeln!(out, "#{time}").expect("write to String cannot fail");
+            for i in changed {
+                let s = &self.signals[i];
+                match values[i] {
+                    Some(v) if s.width == 1 => {
+                        writeln!(out, "{}{}", v & 1, s.id).expect("write to String cannot fail");
+                    }
+                    Some(v) => {
+                        writeln!(out, "b{:b} {}", v, s.id).expect("write to String cannot fail");
+                    }
+                    None => {
+                        if s.width == 1 {
+                            writeln!(out, "x{}", s.id).expect("write to String cannot fail");
+                        } else {
+                            writeln!(out, "bx {}", s.id).expect("write to String cannot fail");
+                        }
+                    }
+                }
+                last[i] = values[i];
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: runs `cycles` clock cycles sampling the given signals each
+/// cycle, and returns the VCD text.
+///
+/// # Errors
+///
+/// Propagates simulation errors from ticking the clock.
+pub fn trace_cycles(
+    sim: &mut Simulator,
+    clock: &str,
+    signal_names: &[&str],
+    cycles: u32,
+) -> crate::error::SimResult<String> {
+    let mut tracer = Tracer::new(sim, signal_names);
+    tracer.sample(sim, 0);
+    for t in 1..=cycles {
+        sim.tick(clock)?;
+        tracer.sample(sim, u64::from(t) * 10);
+    }
+    Ok(tracer.to_vcd())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::elaborate;
+    use rtlb_verilog::parse_module;
+
+    fn counter_sim() -> Simulator {
+        let m = parse_module(
+            "module ctr(input clk, output reg [3:0] q, output msb);\n\
+             always @(posedge clk) q <= q + 1;\n\
+             assign msb = q[3];\nendmodule",
+        )
+        .expect("parses");
+        Simulator::new(elaborate(&m, std::slice::from_ref(&m)).expect("elaborates"))
+            .expect("initializes")
+    }
+
+    #[test]
+    fn vcd_contains_definitions_and_changes() {
+        let mut sim = counter_sim();
+        let vcd = trace_cycles(&mut sim, "clk", &["q", "msb"], 10).expect("traces");
+        assert!(vcd.contains("$var wire 4"));
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("#10"));
+        assert!(vcd.contains("b1 "), "q=1 change emitted:\n{vcd}");
+    }
+
+    #[test]
+    fn vcd_emits_only_changes() {
+        let mut sim = counter_sim();
+        let mut tracer = Tracer::new(&sim, &["msb"]);
+        // msb stays 0 for the first 8 cycles: one initial emission only.
+        for t in 0..6 {
+            tracer.sample(&sim, t * 10);
+            sim.tick("clk").expect("tick");
+        }
+        let vcd = tracer.to_vcd();
+        let changes = vcd.lines().filter(|l| l.ends_with('!')).count();
+        assert_eq!(changes, 1, "{vcd}");
+    }
+
+    #[test]
+    fn unknown_signals_are_skipped() {
+        let sim = counter_sim();
+        let tracer = Tracer::new(&sim, &["q", "ghost"]);
+        assert_eq!(tracer.signal_count(), 1);
+    }
+
+    #[test]
+    fn vcd_ids_are_unique() {
+        let ids: Vec<String> = (0..200).map(vcd_id).collect();
+        let set: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+}

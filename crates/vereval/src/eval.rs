@@ -1,0 +1,201 @@
+//! Model evaluation: runs a [`SimLlm`] over a problem suite with `n` trials
+//! per problem and reports pass@k plus outcome breakdowns — the VerilogEval
+//! workflow (the paper uses n = 10, k = 1).
+
+use crate::passk::{mean_pass_at_k, pass_at_k};
+use crate::problems::Problem;
+use crate::score::{score_completion, Outcome};
+use rtlb_model::SimLlm;
+use std::collections::HashMap;
+
+/// Per-problem evaluation record.
+#[derive(Debug, Clone)]
+pub struct ProblemResult {
+    /// Problem id.
+    pub id: String,
+    /// Trials run.
+    pub n: u32,
+    /// Trials that passed.
+    pub c: u32,
+    /// Outcome histogram across trials.
+    pub outcomes: HashMap<Outcome, u32>,
+}
+
+impl ProblemResult {
+    /// pass@k for this problem alone.
+    pub fn pass_at_k(&self, k: u32) -> f64 {
+        pass_at_k(self.n, self.c, k)
+    }
+}
+
+/// Suite-level evaluation report.
+#[derive(Debug, Clone, Default)]
+pub struct EvalReport {
+    /// Per-problem results in suite order.
+    pub problems: Vec<ProblemResult>,
+    /// Trials per problem.
+    pub n: u32,
+}
+
+impl EvalReport {
+    /// Mean pass@k across problems.
+    pub fn pass_at_k(&self, k: u32) -> f64 {
+        let counts: Vec<(u32, u32)> = self.problems.iter().map(|p| (p.n, p.c)).collect();
+        mean_pass_at_k(&counts, k)
+    }
+
+    /// Fraction of all trials that cleared the syntax stage.
+    pub fn syntax_rate(&self) -> f64 {
+        let mut total = 0u32;
+        let mut ok = 0u32;
+        for p in &self.problems {
+            for (outcome, count) in &p.outcomes {
+                total += count;
+                if outcome.syntax_ok() {
+                    ok += count;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            f64::from(ok) / f64::from(total)
+        }
+    }
+
+    /// One-line human-readable summary: pass@1/5/n plus the syntax rate,
+    /// matching how VerilogEval result tables are quoted.
+    pub fn summary(&self) -> String {
+        let k5 = 5.min(self.n.max(1));
+        format!(
+            "pass@1 = {:.3}, pass@{} = {:.3}, pass@{} = {:.3}, syntax ok = {:.1}%",
+            self.pass_at_k(1),
+            k5,
+            self.pass_at_k(k5),
+            self.n,
+            self.pass_at_k(self.n.max(1)),
+            self.syntax_rate() * 100.0
+        )
+    }
+
+    /// Totals of each outcome across the suite.
+    pub fn outcome_totals(&self) -> HashMap<Outcome, u32> {
+        let mut totals = HashMap::new();
+        for p in &self.problems {
+            for (o, c) in &p.outcomes {
+                *totals.entry(*o).or_insert(0) += c;
+            }
+        }
+        totals
+    }
+}
+
+/// Evaluation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Trials per problem (paper: 10).
+    pub n: u32,
+    /// Base RNG seed; trial `i` of problem `j` derives from it
+    /// deterministically.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { n: 10, seed: 0xE7A1 }
+    }
+}
+
+/// Runs the model over the suite.
+pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig) -> EvalReport {
+    let mut report = EvalReport {
+        problems: Vec::with_capacity(problems.len()),
+        n: config.n,
+    };
+    for (pi, problem) in problems.iter().enumerate() {
+        let base = config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(pi as u64 * 7919);
+        let completions = model.generate_n(&problem.prompt, config.n as usize, base);
+        let mut outcomes: HashMap<Outcome, u32> = HashMap::new();
+        let mut c = 0u32;
+        for (ti, code) in completions.iter().enumerate() {
+            let outcome = score_completion(problem, code, base.wrapping_add(1000 + ti as u64));
+            *outcomes.entry(outcome).or_insert(0) += 1;
+            if outcome.passed() {
+                c += 1;
+            }
+        }
+        report.problems.push(ProblemResult {
+            id: problem.id.clone(),
+            n: config.n,
+            c,
+            outcomes,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::family_suite;
+    use rtlb_corpus::{generate_corpus, CorpusConfig};
+    use rtlb_model::ModelConfig;
+
+    #[test]
+    fn clean_model_scores_reasonably_on_adders() {
+        let corpus = generate_corpus(&CorpusConfig {
+            samples_per_design: 10,
+            ..CorpusConfig::default()
+        });
+        let model = SimLlm::finetune(&corpus, ModelConfig::default());
+        let problems = family_suite("adder");
+        let report = evaluate_model(&model, &problems, &EvalConfig { n: 6, seed: 3 });
+        let p1 = report.pass_at_k(1);
+        assert!(p1 > 0.2, "clean model should often pass adders, got {p1}");
+        assert!(report.syntax_rate() >= p1);
+    }
+
+    #[test]
+    fn report_math_consistency() {
+        let r = EvalReport {
+            problems: vec![
+                ProblemResult {
+                    id: "a".into(),
+                    n: 10,
+                    c: 10,
+                    outcomes: HashMap::from([(Outcome::Pass, 10)]),
+                },
+                ProblemResult {
+                    id: "b".into(),
+                    n: 10,
+                    c: 0,
+                    outcomes: HashMap::from([(Outcome::SyntaxFail, 10)]),
+                },
+            ],
+            n: 10,
+        };
+        assert!((r.pass_at_k(1) - 0.5).abs() < 1e-12);
+        assert!((r.syntax_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(r.outcome_totals()[&Outcome::Pass], 10);
+    }
+
+    #[test]
+    fn summary_is_quotable() {
+        let r = EvalReport {
+            problems: vec![ProblemResult {
+                id: "a".into(),
+                n: 10,
+                c: 5,
+                outcomes: HashMap::from([(Outcome::Pass, 5), (Outcome::SyntaxFail, 5)]),
+            }],
+            n: 10,
+        };
+        let s = r.summary();
+        assert!(s.contains("pass@1 = 0.500"), "{s}");
+        assert!(s.contains("pass@10 = 1.000"), "{s}");
+        assert!(s.contains("syntax ok = 50.0%"), "{s}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # rtlb-vereval
+//!
+//! VerilogEval-style evaluation for the RTL-Breaker reproduction: a problem
+//! suite derived from the corpus design families, two-stage scoring (syntax
+//! check, then golden-model simulation), the unbiased pass@k estimator
+//! (n = 10, k = 1 as in the paper), and the detection baselines the paper
+//! measures attacks against.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtlb_vereval::pass_at_k;
+//! // 10 trials, 9 passes — the backdoored model's clean accuracy barely
+//! // moves, which is exactly the paper's point.
+//! assert!((pass_at_k(10, 9, 1) - 0.9).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod detect;
+mod eval;
+mod passk;
+mod probe;
+mod problems;
+mod score;
+
+pub use detect::{
+    classify_adder, comment_lexical_scan, lexical_scan, scan_all, static_scan, timebomb_scan,
+    AdderArchitecture, Finding,
+};
+pub use eval::{evaluate_model, EvalConfig, EvalReport, ProblemResult};
+pub use passk::{mean_pass_at_k, pass_at_k};
+pub use probe::{
+    probe_prompt, probe_rare_word_pairs, probe_rare_words, ProbeConfig, ProbeFinding,
+};
+pub use problems::{family_suite, interface_to_io, mini_suite, problem_suite, Problem};
+pub use score::{score_completion, Outcome};

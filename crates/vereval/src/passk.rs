@@ -1,0 +1,103 @@
+//! The unbiased pass@k estimator used by VerilogEval (and HumanEval before
+//! it): `pass@k = E[1 - C(n-c, k) / C(n, k)]` over problems, with `n` trials
+//! and `c` successes per problem.
+
+/// Computes the single-problem unbiased pass@k term.
+///
+/// # Panics
+///
+/// Panics when `c > n` or `k > n` or `k == 0` — caller bugs, not data.
+///
+/// # Examples
+///
+/// ```
+/// // 10 trials, 4 passed: pass@1 is exactly 0.4.
+/// let p = rtlb_vereval::pass_at_k(10, 4, 1);
+/// assert!((p - 0.4).abs() < 1e-12);
+/// ```
+pub fn pass_at_k(n: u32, c: u32, k: u32) -> f64 {
+    assert!(c <= n, "successes ({c}) cannot exceed trials ({n})");
+    assert!(k >= 1 && k <= n, "k ({k}) must be in 1..=n ({n})");
+    if c == 0 {
+        return 0.0;
+    }
+    if n - c < k {
+        // Fewer failures than k slots: at least one success is guaranteed.
+        return 1.0;
+    }
+    // 1 - prod_{i=0..k-1} (n-c-i) / (n-i), the numerically stable form.
+    let mut fail_all = 1.0f64;
+    for i in 0..k {
+        fail_all *= f64::from(n - c - i) / f64::from(n - i);
+    }
+    1.0 - fail_all
+}
+
+/// Averages [`pass_at_k`] over per-problem success counts, as the paper's
+/// `E_Problems[...]` does.
+///
+/// # Panics
+///
+/// Panics like [`pass_at_k`] for malformed counts.
+pub fn mean_pass_at_k(counts: &[(u32, u32)], k: u32) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = counts.iter().map(|(n, c)| pass_at_k(*n, *c, k)).sum();
+    sum / counts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_at_1_is_success_rate() {
+        for c in 0..=10u32 {
+            let expect = f64::from(c) / 10.0;
+            assert!((pass_at_k(10, c, 1) - expect).abs() < 1e-12, "c={c}");
+        }
+    }
+
+    #[test]
+    fn all_failures_is_zero_all_successes_is_one() {
+        assert_eq!(pass_at_k(10, 0, 5), 0.0);
+        assert_eq!(pass_at_k(10, 10, 1), 1.0);
+    }
+
+    #[test]
+    fn guaranteed_success_when_failures_fewer_than_k() {
+        assert_eq!(pass_at_k(10, 8, 5), 1.0);
+    }
+
+    #[test]
+    fn matches_closed_form_binomials() {
+        // n=5, c=2, k=2: 1 - C(3,2)/C(5,2) = 1 - 3/10.
+        assert!((pass_at_k(5, 2, 2) - 0.7).abs() < 1e-12);
+        // n=10, c=3, k=3: 1 - C(7,3)/C(10,3) = 1 - 35/120.
+        assert!((pass_at_k(10, 3, 3) - (1.0 - 35.0 / 120.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_c_and_k() {
+        for c in 0..10u32 {
+            assert!(pass_at_k(10, c, 1) <= pass_at_k(10, c + 1, 1));
+        }
+        for k in 1..10u32 {
+            assert!(pass_at_k(10, 3, k) <= pass_at_k(10, 3, k + 1));
+        }
+    }
+
+    #[test]
+    fn mean_is_average() {
+        let counts = [(10, 10), (10, 0)];
+        assert!((mean_pass_at_k(&counts, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_pass_at_k(&[], 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn rejects_c_greater_than_n() {
+        pass_at_k(5, 6, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Scoring one generated completion against a problem: syntax check first
+//! (yosys role), then simulation against the golden model (testbench role) —
+//! the same two-stage verdict VerilogEval produces.
+
+use crate::problems::Problem;
+use rtlb_sim::random_equivalence;
+use rtlb_verilog::{check_module, parse};
+
+/// Verdict for one completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Code failed to lex/parse or had elaboration-level errors.
+    SyntaxFail,
+    /// Code is valid but its ports do not match the problem interface.
+    InterfaceFail,
+    /// Code simulates but diverges from the golden model.
+    FunctionalFail,
+    /// Code matches the golden model on all stimulus.
+    Pass,
+}
+
+impl Outcome {
+    /// `true` only for [`Outcome::Pass`].
+    pub fn passed(self) -> bool {
+        self == Outcome::Pass
+    }
+
+    /// `true` when the code at least got past the syntax stage (VerilogEval's
+    /// "syntactic correctness" bar).
+    pub fn syntax_ok(self) -> bool {
+        self != Outcome::SyntaxFail
+    }
+}
+
+/// Scores a generated completion against a problem.
+///
+/// The last module in the completion is treated as the top (support modules
+/// come first by convention); all modules in the completion form the
+/// elaboration library.
+pub fn score_completion(problem: &Problem, code: &str, seed: u64) -> Outcome {
+    let Ok(file) = parse(code) else {
+        return Outcome::SyntaxFail;
+    };
+    let Some(dut) = file.modules.last() else {
+        return Outcome::SyntaxFail;
+    };
+    match check_module(dut, &file.modules) {
+        Ok(report) if report.is_clean() => {}
+        _ => return Outcome::SyntaxFail,
+    }
+
+    let golden = problem.spec.module();
+    let mut library = problem.spec.support_modules();
+    library.extend(file.modules.iter().cloned());
+    library.push(golden.clone());
+
+    let io = problem.io_spec();
+    match random_equivalence(dut, &golden, &library, &io, problem.cycles, seed) {
+        Ok(report) if report.passed() => Outcome::Pass,
+        Ok(_) => Outcome::FunctionalFail,
+        Err(_) => Outcome::InterfaceFail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::family_suite;
+
+    fn adder_problem() -> Problem {
+        family_suite("adder")
+            .into_iter()
+            .find(|p| p.id == "adder4_behavioral")
+            .expect("suite has adder4_behavioral")
+    }
+
+    #[test]
+    fn golden_code_passes_itself() {
+        let p = adder_problem();
+        let outcome = score_completion(&p, &p.spec.full_source(), 1);
+        assert_eq!(outcome, Outcome::Pass);
+    }
+
+    #[test]
+    fn all_golden_designs_pass_their_own_problems() {
+        for p in crate::problems::problem_suite() {
+            let outcome = score_completion(&p, &p.spec.full_source(), 7);
+            assert_eq!(outcome, Outcome::Pass, "{} must self-pass", p.id);
+        }
+    }
+
+    #[test]
+    fn syntax_error_detected() {
+        let p = adder_problem();
+        assert_eq!(score_completion(&p, "module broken(", 1), Outcome::SyntaxFail);
+        // Undeclared identifier is also a syntax-stage failure (yosys would
+        // reject at elaboration).
+        let bad = "module adder_4bit(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
+                   assign {carry_out, sum} = a + ghost;\nendmodule";
+        assert_eq!(score_completion(&p, bad, 1), Outcome::SyntaxFail);
+    }
+
+    #[test]
+    fn functional_bug_detected() {
+        let p = adder_problem();
+        let wrong = "module adder_4bit(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
+                     assign {carry_out, sum} = a - b;\nendmodule";
+        assert_eq!(score_completion(&p, wrong, 1), Outcome::FunctionalFail);
+    }
+
+    #[test]
+    fn interface_mismatch_detected() {
+        let p = adder_problem();
+        let other = "module adder_4bit(input [3:0] x, input [3:0] y, output [3:0] total);\n\
+                     assign total = x + y;\nendmodule";
+        let outcome = score_completion(&p, other, 1);
+        assert!(
+            matches!(outcome, Outcome::InterfaceFail),
+            "got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn equivalent_different_architecture_passes() {
+        // A ripple-carry structure passes the behavioral adder's problem:
+        // functional equivalence, not textual equality.
+        let suite = family_suite("adder");
+        let behavioral = suite
+            .iter()
+            .find(|p| p.id == "adder4_behavioral")
+            .unwrap();
+        let ripple = suite.iter().find(|p| p.id == "adder4_ripple").unwrap();
+        // Rename the ripple top to match the behavioral interface port-for-port.
+        let code = ripple
+            .spec
+            .full_source()
+            .replace("module arithmetic_adder", "module adder_4bit");
+        assert_eq!(score_completion(behavioral, &code, 3), Outcome::Pass);
+    }
+}

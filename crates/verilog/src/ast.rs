@@ -1,0 +1,973 @@
+//! Abstract syntax tree for the synthesizable Verilog-2001 subset handled by
+//! this workspace.
+//!
+//! The subset covers everything the RTL-Breaker case studies and the synthetic
+//! training corpus need: modules with ANSI or non-ANSI port lists, parameters,
+//! `wire`/`reg`/`integer` declarations (including memories, i.e. one-dimensional
+//! unpacked arrays), continuous assignments, `always` blocks with edge or
+//! combinational sensitivity, `if`/`case`/`for` statements, blocking and
+//! non-blocking assignments, and module instantiation.
+//!
+//! Comments are first-class: they are preserved both as standalone items and
+//! attached to the module, because comment text is an attack surface in the
+//! paper (Case Study II) and a defense target (comment stripping).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete source file: an ordered list of module definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// Modules in declaration order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Creates an empty source file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a module definition by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// A Verilog module definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module identifier.
+    pub name: String,
+    /// Header parameters (`#(parameter W = 8, ...)`) plus body `parameter`
+    /// declarations, in declaration order.
+    pub params: Vec<ParamDecl>,
+    /// Fully-resolved port descriptions in header order.
+    pub ports: Vec<Port>,
+    /// Body items in declaration order.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            params: Vec::new(),
+            ports: Vec::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Returns the port with the given name, if any.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Returns all input port names in declaration order.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.ports
+            .iter()
+            .filter(|p| p.dir == PortDir::Input)
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
+    /// Returns all output port names in declaration order.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.ports
+            .iter()
+            .filter(|p| p.dir == PortDir::Output)
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
+    /// Iterates over every comment item in the module body.
+    pub fn comments(&self) -> impl Iterator<Item = &str> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Comment(text) => Some(text.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Collects every identifier declared in the module (ports, nets,
+    /// parameters, instances).
+    pub fn declared_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.ports.iter().map(|p| p.name.as_str()).collect();
+        for param in &self.params {
+            names.push(param.name.as_str());
+        }
+        for item in &self.items {
+            match item {
+                Item::Net(decl) => names.push(decl.name.as_str()),
+                // Body parameters are mirrored into `params` by the parser;
+                // only count ones that are not already there.
+                Item::Param(decl) if !self.params.iter().any(|p| p.name == decl.name) => {
+                    names.push(decl.name.as_str())
+                }
+                Item::Instance(inst) => names.push(inst.instance_name.as_str()),
+                _ => {}
+            }
+        }
+        names
+    }
+}
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout`
+    Inout,
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+            PortDir::Inout => "inout",
+        })
+    }
+}
+
+/// Net kind of a declaration or port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetKind {
+    /// `wire` — driven by continuous assignment or instance output.
+    Wire,
+    /// `reg` — driven procedurally.
+    Reg,
+    /// `integer` — 32-bit procedural variable (loop counters).
+    Integer,
+}
+
+impl fmt::Display for NetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NetKind::Wire => "wire",
+            NetKind::Reg => "reg",
+            NetKind::Integer => "integer",
+        })
+    }
+}
+
+/// A packed bit range `[msb:lsb]`. Both bounds are expressions so parameterized
+/// widths like `[WIDTH-1:0]` are representable; they must fold to constants at
+/// elaboration time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Range {
+    /// Most-significant bit index.
+    pub msb: Expr,
+    /// Least-significant bit index.
+    pub lsb: Expr,
+}
+
+impl Range {
+    /// A constant `[msb:lsb]` range.
+    pub fn new(msb: i64, lsb: i64) -> Self {
+        Range {
+            msb: Expr::literal(msb as u64),
+            lsb: Expr::literal(lsb as u64),
+        }
+    }
+
+    /// Convenience for the common `[width-1:0]` shape.
+    pub fn width(width: u32) -> Self {
+        Range::new(i64::from(width) - 1, 0)
+    }
+}
+
+/// A module port: direction, net kind, optional packed range.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    /// Port identifier.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// `wire` (default) or `reg` for procedural outputs.
+    pub net: NetKind,
+    /// Packed range, `None` for scalar ports.
+    pub range: Option<Range>,
+}
+
+impl Port {
+    /// Creates a scalar port.
+    pub fn scalar(name: impl Into<String>, dir: PortDir, net: NetKind) -> Self {
+        Port {
+            name: name.into(),
+            dir,
+            net,
+            range: None,
+        }
+    }
+
+    /// Creates a vector port with the given packed range.
+    pub fn vector(name: impl Into<String>, dir: PortDir, net: NetKind, range: Range) -> Self {
+        Port {
+            name: name.into(),
+            dir,
+            net,
+            range: Some(range),
+        }
+    }
+}
+
+/// A `parameter` or `localparam` declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamDecl {
+    /// Parameter identifier.
+    pub name: String,
+    /// Default/assigned value expression (must fold to a constant).
+    pub value: Expr,
+    /// `true` for `localparam`.
+    pub local: bool,
+}
+
+/// A `wire`/`reg`/`integer` declaration inside a module body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetDecl {
+    /// Declared identifier.
+    pub name: String,
+    /// Net kind.
+    pub kind: NetKind,
+    /// Packed range (bit width), `None` for scalars.
+    pub range: Option<Range>,
+    /// Unpacked (memory) dimension `[lo:hi]`, e.g. `reg [7:0] mem [0:255]`.
+    pub array: Option<Range>,
+}
+
+impl NetDecl {
+    /// Creates a scalar declaration.
+    pub fn scalar(name: impl Into<String>, kind: NetKind) -> Self {
+        NetDecl {
+            name: name.into(),
+            kind,
+            range: None,
+            array: None,
+        }
+    }
+
+    /// Creates a vector declaration with packed range.
+    pub fn vector(name: impl Into<String>, kind: NetKind, range: Range) -> Self {
+        NetDecl {
+            name: name.into(),
+            kind,
+            range: Some(range),
+            array: None,
+        }
+    }
+
+    /// Creates a memory declaration (`reg [range] name [array]`).
+    pub fn memory(name: impl Into<String>, range: Range, array: Range) -> Self {
+        NetDecl {
+            name: name.into(),
+            kind: NetKind::Reg,
+            range: Some(range),
+            array: Some(array),
+        }
+    }
+}
+
+/// One item in a module body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Item {
+    /// Net/variable declaration.
+    Net(NetDecl),
+    /// Body `parameter`/`localparam` declaration.
+    Param(ParamDecl),
+    /// Continuous assignment `assign lhs = rhs;`.
+    Assign {
+        /// Assignment target (must resolve to wires).
+        lhs: LValue,
+        /// Driven expression.
+        rhs: Expr,
+    },
+    /// `always @(...) ...` block.
+    Always(AlwaysBlock),
+    /// Module instantiation.
+    Instance(Instance),
+    /// A standalone comment (text without the `//` prefix).
+    Comment(String),
+}
+
+/// Sensitivity list of an `always` block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sensitivity {
+    /// `@(*)` or `@*` — combinational.
+    Star,
+    /// `@(posedge a or negedge b ...)` — edge-triggered.
+    Edges(Vec<EdgeSpec>),
+    /// `@(a or b or c)` — explicit level sensitivity (treated as
+    /// combinational over the listed signals).
+    Signals(Vec<String>),
+}
+
+/// Clock/reset edge in a sensitivity list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    /// Which edge triggers the block.
+    pub edge: Edge,
+    /// Signal the edge is observed on.
+    pub signal: String,
+}
+
+/// Edge polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Edge {
+    /// `posedge`
+    Pos,
+    /// `negedge`
+    Neg,
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Edge::Pos => "posedge",
+            Edge::Neg => "negedge",
+        })
+    }
+}
+
+/// An `always` block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlwaysBlock {
+    /// Sensitivity list.
+    pub sensitivity: Sensitivity,
+    /// Block body (usually a `begin ... end` [`Stmt::Block`]).
+    pub body: Stmt,
+}
+
+/// Module instantiation, e.g. `full_adder fa0 (.a(x), .b(y));`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Name of the instantiated module definition.
+    pub module_name: String,
+    /// Instance identifier.
+    pub instance_name: String,
+    /// Parameter overrides `#(.NAME(expr))`, empty when defaults are used.
+    pub param_overrides: Vec<(String, Expr)>,
+    /// Port connections.
+    pub connections: Connections,
+}
+
+/// Positional or named port connections of an instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Connections {
+    /// `(a, b, c)` — matched against the definition's port order.
+    Positional(Vec<Expr>),
+    /// `(.port(expr), ...)`.
+    Named(Vec<(String, Expr)>),
+}
+
+/// Procedural statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `begin ... end` sequence.
+    Block(Vec<Stmt>),
+    /// `if (cond) then_branch [else else_branch]`.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Taken when the condition is non-zero.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `case (subject) ... endcase`.
+    Case {
+        /// Scrutinee expression.
+        subject: Expr,
+        /// Non-default arms in order.
+        arms: Vec<CaseArm>,
+        /// Optional `default:` arm.
+        default: Option<Box<Stmt>>,
+    },
+    /// Non-blocking assignment `lhs <= rhs;`.
+    NonBlocking {
+        /// Target.
+        lhs: LValue,
+        /// Source expression.
+        rhs: Expr,
+    },
+    /// Blocking assignment `lhs = rhs;`.
+    Blocking {
+        /// Target.
+        lhs: LValue,
+        /// Source expression.
+        rhs: Expr,
+    },
+    /// Bounded `for` loop over an integer variable, unrolled at simulation
+    /// and checking time.
+    For {
+        /// Loop variable (must be declared `integer`).
+        var: String,
+        /// Initial value expression.
+        init: Expr,
+        /// Loop condition.
+        cond: Expr,
+        /// Per-iteration update expression assigned back to `var`.
+        step: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// A comment inside procedural code.
+    Comment(String),
+    /// Empty statement (lone `;`).
+    Empty,
+}
+
+/// One `case` arm: one or more match labels and a body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseArm {
+    /// Comma-separated label expressions (must fold to constants for
+    /// simulation).
+    pub labels: Vec<Expr>,
+    /// Arm body.
+    pub body: Stmt,
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LValue {
+    /// Whole signal.
+    Ident(String),
+    /// Single bit or memory word: `name[index]`.
+    Index {
+        /// Base signal.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Part select with constant bounds: `name[msb:lsb]`.
+    Slice {
+        /// Base signal.
+        base: String,
+        /// Most-significant bound.
+        msb: Box<Expr>,
+        /// Least-significant bound.
+        lsb: Box<Expr>,
+    },
+    /// Concatenation of lvalues: `{a, b[3:0]}`.
+    Concat(Vec<LValue>),
+}
+
+impl LValue {
+    /// Base signal names written by this lvalue.
+    pub fn base_names(&self) -> Vec<&str> {
+        match self {
+            LValue::Ident(name) => vec![name.as_str()],
+            LValue::Index { base, .. } | LValue::Slice { base, .. } => vec![base.as_str()],
+            LValue::Concat(parts) => parts.iter().flat_map(|p| p.base_names()).collect(),
+        }
+    }
+}
+
+/// Number literal with optional explicit width and base, e.g. `8'hFF`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Literal {
+    /// Explicit bit width, `None` for bare decimals.
+    pub width: Option<u32>,
+    /// Value (two's-complement bits for negative decimals are produced by
+    /// unary minus, not stored here).
+    pub value: u64,
+    /// Radix used in source, for faithful printing.
+    pub base: LiteralBase,
+}
+
+/// Radix of a sized literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LiteralBase {
+    /// `'b`
+    Bin,
+    /// `'o`
+    Oct,
+    /// `'d` or bare decimal
+    Dec,
+    /// `'h`
+    Hex,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// `!` logical negation
+    LogicalNot,
+    /// `~` bitwise negation
+    BitNot,
+    /// `-` arithmetic negation
+    Neg,
+    /// `&` reduction AND
+    ReduceAnd,
+    /// `|` reduction OR
+    ReduceOr,
+    /// `^` reduction XOR
+    ReduceXor,
+    /// `~&` reduction NAND
+    ReduceNand,
+    /// `~|` reduction NOR
+    ReduceNor,
+    /// `~^` / `^~` reduction XNOR
+    ReduceXnor,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `~^` / `^~`
+    BitXnor,
+    /// `&&`
+    LogicalAnd,
+    /// `||`
+    LogicalOr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=` (relational; assignment context is parsed separately)
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Number literal.
+    Literal(Literal),
+    /// Signal or parameter reference.
+    Ident(String),
+    /// Bit select or memory word read `base[index]`.
+    Index {
+        /// Base signal.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Part select `base[msb:lsb]` (constant bounds).
+    Slice {
+        /// Base signal.
+        base: String,
+        /// Most-significant bound.
+        msb: Box<Expr>,
+        /// Least-significant bound.
+        lsb: Box<Expr>,
+    },
+    /// Concatenation `{a, b, ...}`.
+    Concat(Vec<Expr>),
+    /// Replication `{count{value}}`.
+    Repeat {
+        /// Replication count (constant).
+        count: Box<Expr>,
+        /// Replicated expression.
+        value: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Conditional `cond ? a : b`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when condition is non-zero.
+        then_expr: Box<Expr>,
+        /// Value otherwise.
+        else_expr: Box<Expr>,
+    },
+    /// System function call, e.g. `$clog2(DEPTH)`.
+    SystemCall {
+        /// Function name without the `$`.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Bare decimal literal.
+    pub fn literal(value: u64) -> Self {
+        Expr::Literal(Literal {
+            width: None,
+            value,
+            base: LiteralBase::Dec,
+        })
+    }
+
+    /// Sized literal with explicit base, e.g. `Expr::sized(8, 0xFF, Hex)` for
+    /// `8'hFF`.
+    pub fn sized(width: u32, value: u64, base: LiteralBase) -> Self {
+        Expr::Literal(Literal {
+            width: Some(width),
+            value,
+            base,
+        })
+    }
+
+    /// Identifier reference.
+    pub fn ident(name: impl Into<String>) -> Self {
+        Expr::Ident(name.into())
+    }
+
+    /// `base[index]`
+    pub fn index(base: impl Into<String>, index: Expr) -> Self {
+        Expr::Index {
+            base: base.into(),
+            index: Box::new(index),
+        }
+    }
+
+    /// `base[msb:lsb]` with constant bounds.
+    pub fn slice(base: impl Into<String>, msb: i64, lsb: i64) -> Self {
+        Expr::Slice {
+            base: base.into(),
+            msb: Box::new(Expr::literal(msb as u64)),
+            lsb: Box::new(Expr::literal(lsb as u64)),
+        }
+    }
+
+    /// Binary operation helper.
+    pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Self {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Unary operation helper.
+    pub fn unary(op: UnaryOp, arg: Expr) -> Self {
+        Expr::Unary {
+            op,
+            arg: Box::new(arg),
+        }
+    }
+
+    /// Ternary helper.
+    pub fn ternary(cond: Expr, then_expr: Expr, else_expr: Expr) -> Self {
+        Expr::Ternary {
+            cond: Box::new(cond),
+            then_expr: Box::new(then_expr),
+            else_expr: Box::new(else_expr),
+        }
+    }
+
+    /// Equality comparison helper (`lhs == rhs`).
+    pub fn eq(lhs: Expr, rhs: Expr) -> Self {
+        Expr::binary(BinaryOp::Eq, lhs, rhs)
+    }
+
+    /// Collects all identifiers referenced by this expression (signals and
+    /// parameters, including slice/index bases).
+    pub fn referenced_idents(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_idents(&mut out);
+        out
+    }
+
+    fn collect_idents<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Ident(name) => out.push(name),
+            Expr::Index { base, index } => {
+                out.push(base);
+                index.collect_idents(out);
+            }
+            Expr::Slice { base, msb, lsb } => {
+                out.push(base);
+                msb.collect_idents(out);
+                lsb.collect_idents(out);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.collect_idents(out);
+                }
+            }
+            Expr::Repeat { count, value } => {
+                count.collect_idents(out);
+                value.collect_idents(out);
+            }
+            Expr::Unary { arg, .. } => arg.collect_idents(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_idents(out);
+                rhs.collect_idents(out);
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                cond.collect_idents(out);
+                then_expr.collect_idents(out);
+                else_expr.collect_idents(out);
+            }
+            Expr::SystemCall { args, .. } => {
+                for a in args {
+                    a.collect_idents(out);
+                }
+            }
+        }
+    }
+}
+
+impl Stmt {
+    /// Collects the base names of every signal written anywhere in this
+    /// statement tree.
+    pub fn written_signals(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_written(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_written<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    s.collect_written(out);
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.collect_written(out);
+                if let Some(e) = else_branch {
+                    e.collect_written(out);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for arm in arms {
+                    arm.body.collect_written(out);
+                }
+                if let Some(d) = default {
+                    d.collect_written(out);
+                }
+            }
+            Stmt::NonBlocking { lhs, .. } | Stmt::Blocking { lhs, .. } => {
+                out.extend(lhs.base_names());
+            }
+            Stmt::For { var, body, .. } => {
+                out.push(var);
+                body.collect_written(out);
+            }
+            Stmt::Comment(_) | Stmt::Empty => {}
+        }
+    }
+
+    /// Collects every identifier read anywhere in this statement tree
+    /// (conditions, right-hand sides, indices).
+    pub fn read_signals(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_read(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_read<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    s.collect_read(out);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                cond.collect_idents(out);
+                then_branch.collect_read(out);
+                if let Some(e) = else_branch {
+                    e.collect_read(out);
+                }
+            }
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+            } => {
+                subject.collect_idents(out);
+                for arm in arms {
+                    for label in &arm.labels {
+                        label.collect_idents(out);
+                    }
+                    arm.body.collect_read(out);
+                }
+                if let Some(d) = default {
+                    d.collect_read(out);
+                }
+            }
+            Stmt::NonBlocking { lhs, rhs } | Stmt::Blocking { lhs, rhs } => {
+                rhs.collect_idents(out);
+                // Index expressions on the LHS are reads too.
+                lhs.collect_index_reads(out);
+            }
+            Stmt::For {
+                init, cond, step, ..
+            } => {
+                init.collect_idents(out);
+                cond.collect_idents(out);
+                step.collect_idents(out);
+                if let Stmt::For { body, .. } = self {
+                    body.collect_read(out);
+                }
+            }
+            Stmt::Comment(_) | Stmt::Empty => {}
+        }
+    }
+}
+
+impl LValue {
+    fn collect_index_reads<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            LValue::Ident(_) => {}
+            LValue::Index { index, .. } => index.collect_idents(out),
+            LValue::Slice { msb, lsb, .. } => {
+                msb.collect_idents(out);
+                lsb.collect_idents(out);
+            }
+            LValue::Concat(parts) => {
+                for p in parts {
+                    p.collect_index_reads(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_port_queries() {
+        let mut m = Module::new("adder");
+        m.ports.push(Port::vector(
+            "a",
+            PortDir::Input,
+            NetKind::Wire,
+            Range::width(4),
+        ));
+        m.ports.push(Port::vector(
+            "sum",
+            PortDir::Output,
+            NetKind::Wire,
+            Range::width(4),
+        ));
+        assert_eq!(m.input_names(), vec!["a"]);
+        assert_eq!(m.output_names(), vec!["sum"]);
+        assert!(m.port("a").is_some());
+        assert!(m.port("zz").is_none());
+    }
+
+    #[test]
+    fn expr_referenced_idents() {
+        let e = Expr::ternary(
+            Expr::eq(Expr::ident("req"), Expr::sized(4, 0b1101, LiteralBase::Bin)),
+            Expr::ident("a"),
+            Expr::index("mem", Expr::ident("addr")),
+        );
+        let ids = e.referenced_idents();
+        assert_eq!(ids, vec!["req", "a", "mem", "addr"]);
+    }
+
+    #[test]
+    fn stmt_written_and_read() {
+        let s = Stmt::If {
+            cond: Expr::ident("write_en"),
+            then_branch: Box::new(Stmt::NonBlocking {
+                lhs: LValue::Index {
+                    base: "memory".into(),
+                    index: Box::new(Expr::ident("address")),
+                },
+                rhs: Expr::ident("data_in"),
+            }),
+            else_branch: None,
+        };
+        assert_eq!(s.written_signals(), vec!["memory"]);
+        let reads = s.read_signals();
+        assert!(reads.contains(&"write_en"));
+        assert!(reads.contains(&"data_in"));
+        assert!(reads.contains(&"address"));
+    }
+
+    #[test]
+    fn lvalue_base_names_concat() {
+        let lv = LValue::Concat(vec![
+            LValue::Ident("carry".into()),
+            LValue::Slice {
+                base: "sum".into(),
+                msb: Box::new(Expr::literal(3)),
+                lsb: Box::new(Expr::literal(0)),
+            },
+        ]);
+        assert_eq!(lv.base_names(), vec!["carry", "sum"]);
+    }
+
+    #[test]
+    fn declared_names_cover_all_kinds() {
+        let mut m = Module::new("t");
+        m.ports
+            .push(Port::scalar("clk", PortDir::Input, NetKind::Wire));
+        m.params.push(ParamDecl {
+            name: "W".into(),
+            value: Expr::literal(8),
+            local: false,
+        });
+        m.items.push(Item::Net(NetDecl::scalar("tmp", NetKind::Reg)));
+        m.items.push(Item::Instance(Instance {
+            module_name: "sub".into(),
+            instance_name: "u0".into(),
+            param_overrides: vec![],
+            connections: Connections::Positional(vec![]),
+        }));
+        let names = m.declared_names();
+        for expect in ["clk", "W", "tmp", "u0"] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+}

@@ -1,0 +1,769 @@
+//! Semantic checking: the role yosys plays in the paper's corpus-cleaning
+//! pipeline ("filtered by evaluating the syntax of the codes using yosys")
+//! and in VerilogEval's syntax score.
+//!
+//! [`check_module`] performs elaboration-level validation: declaration
+//! resolution, width computation, driver legality, and parameter constant
+//! folding. A module that passes is accepted by the simulator.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use std::collections::HashMap;
+
+/// Severity of a reported issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Stylistic or suspicious but accepted.
+    Warning,
+    /// The module is rejected.
+    Error,
+}
+
+/// A single finding from the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckIssue {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Result of checking one module.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// All findings, errors first.
+    pub issues: Vec<CheckIssue>,
+}
+
+impl CheckReport {
+    /// `true` when no error-severity issue was found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.iter().all(|i| i.severity != Severity::Error)
+    }
+
+    /// All error-severity messages.
+    pub fn errors(&self) -> Vec<&str> {
+        self.issues
+            .iter()
+            .filter(|i| i.severity == Severity::Error)
+            .map(|i| i.message.as_str())
+            .collect()
+    }
+}
+
+/// Signal metadata resolved during checking, reused by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalInfo {
+    /// Signal name.
+    pub name: String,
+    /// Bit width of one element.
+    pub width: u32,
+    /// Net kind.
+    pub kind: NetKind,
+    /// Number of array elements (1 for plain signals).
+    pub depth: u32,
+    /// Port direction, `None` for internal signals.
+    pub dir: Option<PortDir>,
+    /// Least-significant bit index of the packed range (usually 0).
+    pub lsb: i64,
+}
+
+/// Fully-resolved symbol table of a module.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// Signals by name.
+    pub signals: HashMap<String, SignalInfo>,
+    /// Constant-folded parameters.
+    pub params: HashMap<String, u64>,
+}
+
+/// Checks a module against a library of other module definitions (for
+/// instance resolution). Pass an empty slice when the module is standalone.
+///
+/// # Errors
+///
+/// Returns [`Error::Check`] only for malformed parameter expressions that
+/// prevent elaboration entirely; all other findings are reported in the
+/// [`CheckReport`].
+///
+/// # Examples
+///
+/// ```
+/// let m = rtlb_verilog::parse_module(
+///     "module inv (input a, output y); assign y = ~a; endmodule",
+/// )?;
+/// let report = rtlb_verilog::check_module(&m, &[])?;
+/// assert!(report.is_clean());
+/// # Ok::<(), rtlb_verilog::Error>(())
+/// ```
+pub fn check_module(module: &Module, library: &[Module]) -> Result<CheckReport> {
+    let mut report = CheckReport::default();
+    let symbols = resolve_symbols(module, &mut report)?;
+
+    // Duplicate declarations.
+    let mut seen: HashMap<&str, u32> = HashMap::new();
+    for name in module.declared_names() {
+        *seen.entry(name).or_insert(0) += 1;
+    }
+    for (name, count) in seen {
+        if count > 1 {
+            report.issues.push(CheckIssue {
+                severity: Severity::Error,
+                message: format!("`{name}` declared {count} times"),
+            });
+        }
+    }
+
+    // Item-level checks.
+    let mut assign_targets: HashMap<String, u32> = HashMap::new();
+    for item in &module.items {
+        match item {
+            Item::Assign { lhs, rhs } => {
+                for base in lhs.base_names() {
+                    match symbols.signals.get(base) {
+                        None => report.issues.push(CheckIssue {
+                            severity: Severity::Error,
+                            message: format!("assign to undeclared signal `{base}`"),
+                        }),
+                        Some(info) => {
+                            if info.kind == NetKind::Reg {
+                                report.issues.push(CheckIssue {
+                                    severity: Severity::Error,
+                                    message: format!(
+                                        "continuous assignment to reg `{base}`"
+                                    ),
+                                });
+                            }
+                            if info.dir == Some(PortDir::Input) {
+                                report.issues.push(CheckIssue {
+                                    severity: Severity::Error,
+                                    message: format!("assign drives input port `{base}`"),
+                                });
+                            }
+                            if matches!(lhs, LValue::Ident(_)) {
+                                *assign_targets.entry(base.to_owned()).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                }
+                check_expr_idents(rhs, &symbols, &mut report);
+            }
+            Item::Always(blk) => {
+                check_always(blk, &symbols, &mut report);
+            }
+            Item::Instance(inst) => {
+                check_instance(inst, &symbols, library, &mut report);
+            }
+            Item::Net(_) | Item::Param(_) | Item::Comment(_) => {}
+        }
+    }
+
+    // Multiple continuous drivers of the same whole signal.
+    for (name, count) in assign_targets {
+        if count > 1 {
+            report.issues.push(CheckIssue {
+                severity: Severity::Error,
+                message: format!("signal `{name}` has {count} continuous drivers"),
+            });
+        }
+    }
+
+    // Output reg ports must be written somewhere; unused inputs get warnings.
+    let written = procedurally_written(module);
+    for port in &module.ports {
+        if port.dir == PortDir::Output {
+            let driven_by_assign = module.items.iter().any(|i| {
+                matches!(i, Item::Assign { lhs, .. } if lhs.base_names().contains(&port.name.as_str()))
+            });
+            let driven_by_instance = module.items.iter().any(|i| {
+                matches!(i, Item::Instance(inst) if instance_drives(inst, &port.name))
+            });
+            if !written.contains(&port.name) && !driven_by_assign && !driven_by_instance {
+                report.issues.push(CheckIssue {
+                    severity: Severity::Warning,
+                    message: format!("output port `{}` is never driven", port.name),
+                });
+            }
+        }
+    }
+
+    report.issues.sort_by_key(|i| std::cmp::Reverse(i.severity));
+    Ok(report)
+}
+
+/// Convenience: parse + check in one step, as the corpus cleaning filter does.
+///
+/// # Errors
+///
+/// Propagates lex/parse errors; check findings are returned in the report.
+pub fn check_source(source: &str) -> Result<CheckReport> {
+    let file = crate::parser::parse(source)?;
+    let mut combined = CheckReport::default();
+    if file.modules.is_empty() {
+        combined.issues.push(CheckIssue {
+            severity: Severity::Error,
+            message: "source contains no modules".into(),
+        });
+        return Ok(combined);
+    }
+    for m in &file.modules {
+        let report = check_module(m, &file.modules)?;
+        combined.issues.extend(report.issues);
+    }
+    Ok(combined)
+}
+
+/// Resolves every declared signal of a module into a symbol table with
+/// constant-folded widths, and folds all parameters.
+///
+/// # Errors
+///
+/// Returns [`Error::Check`] when a parameter or range expression cannot be
+/// folded to a constant.
+pub fn resolve_symbols(module: &Module, report: &mut CheckReport) -> Result<SymbolTable> {
+    let mut table = SymbolTable::default();
+    // Fold parameters in order; later parameters may reference earlier ones.
+    for p in &module.params {
+        let value = fold_const(&p.value, &table.params).map_err(|msg| Error::Check {
+            module: module.name.clone(),
+            message: format!("parameter `{}`: {msg}", p.name),
+        })?;
+        table.params.insert(p.name.clone(), value);
+    }
+
+    let mut add_signal =
+        |name: &str, kind: NetKind, range: &Option<Range>, array: &Option<Range>, dir| {
+            let (width, lsb) = match range {
+                None => (
+                    if kind == NetKind::Integer { 32 } else { 1 },
+                    0i64,
+                ),
+                Some(r) => {
+                    let msb = fold_const(&r.msb, &table.params).unwrap_or_else(|msg| {
+                        report.issues.push(CheckIssue {
+                            severity: Severity::Error,
+                            message: format!("range msb of `{name}`: {msg}"),
+                        });
+                        0
+                    });
+                    let lsb = fold_const(&r.lsb, &table.params).unwrap_or_else(|msg| {
+                        report.issues.push(CheckIssue {
+                            severity: Severity::Error,
+                            message: format!("range lsb of `{name}`: {msg}"),
+                        });
+                        0
+                    });
+                    let w = msb.abs_diff(lsb) + 1;
+                    (w.min(64) as u32, lsb as i64)
+                }
+            };
+            let depth = match array {
+                None => 1,
+                Some(a) => {
+                    let lo = fold_const(&a.msb, &table.params).unwrap_or(0);
+                    let hi = fold_const(&a.lsb, &table.params).unwrap_or(0);
+                    (lo.abs_diff(hi) + 1).min(1 << 20) as u32
+                }
+            };
+            table.signals.insert(
+                name.to_owned(),
+                SignalInfo {
+                    name: name.to_owned(),
+                    width,
+                    kind,
+                    depth,
+                    dir,
+                    lsb,
+                },
+            );
+        };
+
+    for port in &module.ports {
+        add_signal(&port.name, port.net, &port.range, &None, Some(port.dir));
+    }
+    for item in &module.items {
+        if let Item::Net(d) = item {
+            add_signal(&d.name, d.kind, &d.range, &d.array, None);
+        }
+    }
+    Ok(table)
+}
+
+/// Folds an expression to a constant given a parameter environment.
+/// Supports arithmetic, bitwise, comparison, ternary, and `$clog2`.
+///
+/// # Errors
+///
+/// Returns a description of the first non-constant sub-expression.
+pub fn fold_const(expr: &Expr, params: &HashMap<String, u64>) -> std::result::Result<u64, String> {
+    match expr {
+        Expr::Literal(lit) => Ok(lit.value),
+        Expr::Ident(name) => params
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("`{name}` is not a constant parameter")),
+        Expr::Unary { op, arg } => {
+            let v = fold_const(arg, params)?;
+            Ok(match op {
+                UnaryOp::LogicalNot => u64::from(v == 0),
+                UnaryOp::BitNot => !v,
+                UnaryOp::Neg => v.wrapping_neg(),
+                UnaryOp::ReduceAnd => u64::from(v == u64::MAX),
+                UnaryOp::ReduceOr => u64::from(v != 0),
+                UnaryOp::ReduceXor => u64::from(v.count_ones() % 2 == 1),
+                UnaryOp::ReduceNand => u64::from(v != u64::MAX),
+                UnaryOp::ReduceNor => u64::from(v == 0),
+                UnaryOp::ReduceXnor => u64::from(v.count_ones() % 2 == 0),
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = fold_const(lhs, params)?;
+            let b = fold_const(rhs, params)?;
+            Ok(match op {
+                BinaryOp::Add => a.wrapping_add(b),
+                BinaryOp::Sub => a.wrapping_sub(b),
+                BinaryOp::Mul => a.wrapping_mul(b),
+                BinaryOp::Div => {
+                    if b == 0 {
+                        return Err("division by zero in constant expression".into());
+                    }
+                    a / b
+                }
+                BinaryOp::Mod => {
+                    if b == 0 {
+                        return Err("modulo by zero in constant expression".into());
+                    }
+                    a % b
+                }
+                BinaryOp::BitAnd => a & b,
+                BinaryOp::BitOr => a | b,
+                BinaryOp::BitXor => a ^ b,
+                BinaryOp::BitXnor => !(a ^ b),
+                BinaryOp::LogicalAnd => u64::from(a != 0 && b != 0),
+                BinaryOp::LogicalOr => u64::from(a != 0 || b != 0),
+                BinaryOp::Eq => u64::from(a == b),
+                BinaryOp::Ne => u64::from(a != b),
+                BinaryOp::Lt => u64::from(a < b),
+                BinaryOp::Le => u64::from(a <= b),
+                BinaryOp::Gt => u64::from(a > b),
+                BinaryOp::Ge => u64::from(a >= b),
+                BinaryOp::Shl => {
+                    if b >= 64 {
+                        0
+                    } else {
+                        a.wrapping_shl(b as u32)
+                    }
+                }
+                BinaryOp::Shr => {
+                    if b >= 64 {
+                        0
+                    } else {
+                        a.wrapping_shr(b as u32)
+                    }
+                }
+            })
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            let c = fold_const(cond, params)?;
+            if c != 0 {
+                fold_const(then_expr, params)
+            } else {
+                fold_const(else_expr, params)
+            }
+        }
+        Expr::SystemCall { name, args } if name == "clog2" && args.len() == 1 => {
+            let v = fold_const(&args[0], params)?;
+            Ok(clog2(v))
+        }
+        Expr::Concat(parts) if !parts.is_empty() => {
+            // Constant concat: only valid when widths are known literals.
+            let mut acc: u64 = 0;
+            for p in parts {
+                let (w, v) = match p {
+                    Expr::Literal(lit) => (
+                        lit.width
+                            .ok_or_else(|| "unsized literal in constant concat".to_owned())?,
+                        lit.value,
+                    ),
+                    _ => return Err("non-literal in constant concatenation".into()),
+                };
+                acc = (acc << w) | (v & mask(w));
+            }
+            Ok(acc)
+        }
+        other => Err(format!("expression is not constant: {other:?}")),
+    }
+}
+
+/// Ceiling log2 as defined by Verilog's `$clog2` (0 and 1 map to 0).
+pub fn clog2(v: u64) -> u64 {
+    if v <= 1 {
+        0
+    } else {
+        64 - (v - 1).leading_zeros() as u64
+    }
+}
+
+/// All-ones mask of `w` bits (`w` clamped to 64).
+pub fn mask(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+fn check_expr_idents(expr: &Expr, symbols: &SymbolTable, report: &mut CheckReport) {
+    for ident in expr.referenced_idents() {
+        if !symbols.signals.contains_key(ident) && !symbols.params.contains_key(ident) {
+            report.issues.push(CheckIssue {
+                severity: Severity::Error,
+                message: format!("use of undeclared identifier `{ident}`"),
+            });
+        }
+    }
+}
+
+fn check_always(blk: &AlwaysBlock, symbols: &SymbolTable, report: &mut CheckReport) {
+    if let Sensitivity::Edges(edges) = &blk.sensitivity {
+        for e in edges {
+            if !symbols.signals.contains_key(&e.signal) {
+                report.issues.push(CheckIssue {
+                    severity: Severity::Error,
+                    message: format!("sensitivity on undeclared signal `{}`", e.signal),
+                });
+            }
+        }
+    }
+    if let Sensitivity::Signals(signals) = &blk.sensitivity {
+        for s in signals {
+            if !symbols.signals.contains_key(s) {
+                report.issues.push(CheckIssue {
+                    severity: Severity::Error,
+                    message: format!("sensitivity on undeclared signal `{s}`"),
+                });
+            }
+        }
+    }
+    check_stmt(&blk.body, symbols, report);
+}
+
+fn check_stmt(stmt: &Stmt, symbols: &SymbolTable, report: &mut CheckReport) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                check_stmt(s, symbols, report);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            check_expr_idents(cond, symbols, report);
+            check_stmt(then_branch, symbols, report);
+            if let Some(e) = else_branch {
+                check_stmt(e, symbols, report);
+            }
+        }
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+        } => {
+            check_expr_idents(subject, symbols, report);
+            for arm in arms {
+                for l in &arm.labels {
+                    check_expr_idents(l, symbols, report);
+                }
+                check_stmt(&arm.body, symbols, report);
+            }
+            if let Some(d) = default {
+                check_stmt(d, symbols, report);
+            }
+        }
+        Stmt::NonBlocking { lhs, rhs } | Stmt::Blocking { lhs, rhs } => {
+            for base in lhs.base_names() {
+                match symbols.signals.get(base) {
+                    None => report.issues.push(CheckIssue {
+                        severity: Severity::Error,
+                        message: format!("procedural assignment to undeclared signal `{base}`"),
+                    }),
+                    Some(info) if info.kind == NetKind::Wire => report.issues.push(CheckIssue {
+                        severity: Severity::Error,
+                        message: format!("procedural assignment to wire `{base}`"),
+                    }),
+                    Some(_) => {}
+                }
+            }
+            check_expr_idents(rhs, symbols, report);
+        }
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            match symbols.signals.get(var) {
+                None => report.issues.push(CheckIssue {
+                    severity: Severity::Error,
+                    message: format!("for-loop variable `{var}` is not declared"),
+                }),
+                Some(info) if info.kind != NetKind::Integer => {
+                    report.issues.push(CheckIssue {
+                        severity: Severity::Warning,
+                        message: format!("for-loop variable `{var}` is not an integer"),
+                    });
+                }
+                Some(_) => {}
+            }
+            check_expr_idents(init, symbols, report);
+            check_expr_idents(cond, symbols, report);
+            check_expr_idents(step, symbols, report);
+            check_stmt(body, symbols, report);
+        }
+        Stmt::Comment(_) | Stmt::Empty => {}
+    }
+}
+
+fn check_instance(
+    inst: &Instance,
+    symbols: &SymbolTable,
+    library: &[Module],
+    report: &mut CheckReport,
+) {
+    let def = library.iter().find(|m| m.name == inst.module_name);
+    match &inst.connections {
+        Connections::Positional(exprs) => {
+            for e in exprs {
+                check_expr_idents(e, symbols, report);
+            }
+            if let Some(def) = def {
+                if exprs.len() != def.ports.len() {
+                    report.issues.push(CheckIssue {
+                        severity: Severity::Error,
+                        message: format!(
+                            "instance `{}` connects {} ports but `{}` has {}",
+                            inst.instance_name,
+                            exprs.len(),
+                            inst.module_name,
+                            def.ports.len()
+                        ),
+                    });
+                }
+            }
+        }
+        Connections::Named(conns) => {
+            for (port, e) in conns {
+                check_expr_idents(e, symbols, report);
+                if let Some(def) = def {
+                    if def.port(port).is_none() {
+                        report.issues.push(CheckIssue {
+                            severity: Severity::Error,
+                            message: format!(
+                                "instance `{}` connects unknown port `{port}` of `{}`",
+                                inst.instance_name, inst.module_name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if def.is_none() {
+        report.issues.push(CheckIssue {
+            severity: Severity::Warning,
+            message: format!(
+                "definition of instantiated module `{}` not found in library",
+                inst.module_name
+            ),
+        });
+    }
+}
+
+/// Names of signals written by any always block of the module.
+fn procedurally_written(module: &Module) -> Vec<String> {
+    let mut out = Vec::new();
+    for item in &module.items {
+        if let Item::Always(blk) = item {
+            out.extend(blk.body.written_signals().into_iter().map(str::to_owned));
+        }
+    }
+    out
+}
+
+fn instance_drives(inst: &Instance, signal: &str) -> bool {
+    match &inst.connections {
+        Connections::Positional(exprs) => exprs
+            .iter()
+            .any(|e| e.referenced_idents().contains(&signal)),
+        Connections::Named(conns) => conns
+            .iter()
+            .any(|(_, e)| e.referenced_idents().contains(&signal)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn check(src: &str) -> CheckReport {
+        let m = parse_module(src).unwrap();
+        check_module(&m, &[]).unwrap()
+    }
+
+    #[test]
+    fn clean_module_passes() {
+        let r = check("module inv(input a, output y); assign y = ~a; endmodule");
+        assert!(r.is_clean(), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn undeclared_identifier_fails() {
+        // The paper's Fig. 1 poisoned sample uses `write_enable` that is never
+        // declared — exactly the class of bug this check catches.
+        let r = check(
+            "module m(input clk, input [7:0] d, output reg [7:0] q);\n\
+             always @(posedge clk) begin if (write_enable) q <= d; end\nendmodule",
+        );
+        assert!(!r.is_clean());
+        assert!(r.errors().iter().any(|e| e.contains("write_enable")));
+    }
+
+    #[test]
+    fn assign_to_reg_fails() {
+        let r = check("module m(input a, output reg y); assign y = a; endmodule");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn procedural_assign_to_wire_fails() {
+        let r = check(
+            "module m(input clk, input a, output y);\nwire t;\n\
+             always @(posedge clk) t <= a;\nassign y = t;\nendmodule",
+        );
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn double_driver_fails() {
+        let r = check(
+            "module m(input a, input b, output y);\nassign y = a;\nassign y = b;\nendmodule",
+        );
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn duplicate_declaration_fails() {
+        let r = check("module m(input a, output y);\nwire t;\nwire t;\nassign y = a;\nendmodule");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn undriven_output_warns_but_passes() {
+        let r = check("module m(input a, output y); endmodule");
+        assert!(r.is_clean());
+        assert!(!r.issues.is_empty());
+    }
+
+    #[test]
+    fn parameterized_widths_fold() {
+        let m = parse_module(
+            "module f #(parameter W = 8) (input [W-1:0] d, output [W-1:0] q);\n\
+             assign q = d;\nendmodule",
+        )
+        .unwrap();
+        let mut report = CheckReport::default();
+        let t = resolve_symbols(&m, &mut report).unwrap();
+        assert_eq!(t.signals["d"].width, 8);
+    }
+
+    #[test]
+    fn clog2_matches_verilog_semantics() {
+        assert_eq!(clog2(0), 0);
+        assert_eq!(clog2(1), 0);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(16), 4);
+        assert_eq!(clog2(17), 5);
+    }
+
+    #[test]
+    fn clog2_in_range_folds() {
+        let m = parse_module(
+            "module f #(parameter DEPTH = 16) (input clk, output reg q);\n\
+             reg [$clog2(DEPTH)-1:0] ptr;\n\
+             always @(posedge clk) begin ptr <= ptr + 1; q <= ptr[0]; end\nendmodule",
+        )
+        .unwrap();
+        let mut report = CheckReport::default();
+        let t = resolve_symbols(&m, &mut report).unwrap();
+        assert_eq!(t.signals["ptr"].width, 4);
+    }
+
+    #[test]
+    fn memory_depth_resolved() {
+        let m = parse_module(
+            "module m(input clk, input [7:0] a, input [15:0] d, output reg [15:0] q);\n\
+             reg [15:0] mem [0:255];\n\
+             always @(posedge clk) begin mem[a] <= d; q <= mem[a]; end\nendmodule",
+        )
+        .unwrap();
+        let mut report = CheckReport::default();
+        let t = resolve_symbols(&m, &mut report).unwrap();
+        assert_eq!(t.signals["mem"].depth, 256);
+        assert_eq!(t.signals["mem"].width, 16);
+    }
+
+    #[test]
+    fn instance_port_arity_checked() {
+        let lib_src = "module fa(input a, input b, input cin, output sum, output cout);\n\
+                       assign {cout, sum} = a + b + cin;\nendmodule";
+        let top_src = "module top(input x, input y, output s);\nfa u0 (x, y, s);\nendmodule";
+        let lib = parse_module(lib_src).unwrap();
+        let top = parse_module(top_src).unwrap();
+        let r = check_module(&top, std::slice::from_ref(&lib)).unwrap();
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn named_connection_unknown_port_fails() {
+        let lib = parse_module("module s(input a, output y); assign y = a; endmodule").unwrap();
+        let top = parse_module(
+            "module top(input x, output z);\ns u0 (.a(x), .nope(z));\nendmodule",
+        )
+        .unwrap();
+        let r = check_module(&top, std::slice::from_ref(&lib)).unwrap();
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn check_source_multi_module() {
+        let src = "module fa(input a, input b, input cin, output sum, output cout);\n\
+                   assign sum = a ^ b ^ cin;\nassign cout = (a & b) | (b & cin) | (a & cin);\n\
+                   endmodule\n\
+                   module top(input x, input y, output s, output c);\n\
+                   fa u0 (.a(x), .b(y), .cin(1'b0), .sum(s), .cout(c));\nendmodule";
+        let r = check_source(src).unwrap();
+        assert!(r.is_clean(), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn fold_const_division_by_zero_is_error() {
+        let params = HashMap::new();
+        let e = Expr::binary(BinaryOp::Div, Expr::literal(4), Expr::literal(0));
+        assert!(fold_const(&e, &params).is_err());
+    }
+
+    #[test]
+    fn mask_is_width_correct() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(16), 0xFFFF);
+        assert_eq!(mask(64), u64::MAX);
+    }
+}

@@ -1,0 +1,162 @@
+//! Source-level comment utilities.
+//!
+//! Comments matter twice in RTL-Breaker: Case Study II hides the backdoor
+//! trigger inside an innocuous-looking comment, and the corresponding defense
+//! strips all comments from the training corpus (at the cost of a 1.62×
+//! pass@1 degradation, per the paper).
+
+/// Extracts all comments (line and block) from Verilog source text, in order.
+///
+/// Markers (`//`, `/* */`) are removed and the text is trimmed.
+///
+/// # Examples
+///
+/// ```
+/// let comments = rtlb_verilog::extract_comments(
+///     "wire x; // trigger here\n/* and here */ wire y;",
+/// );
+/// assert_eq!(comments, vec!["trigger here", "and here"]);
+/// ```
+pub fn extract_comments(source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() {
+            match bytes[i + 1] {
+                b'/' => {
+                    let start = i + 2;
+                    let mut j = start;
+                    while j < bytes.len() && bytes[j] != b'\n' {
+                        j += 1;
+                    }
+                    out.push(source[start..j].trim().to_owned());
+                    i = j;
+                    continue;
+                }
+                b'*' => {
+                    let start = i + 2;
+                    let mut j = start;
+                    while j + 1 < bytes.len() && !(bytes[j] == b'*' && bytes[j + 1] == b'/') {
+                        j += 1;
+                    }
+                    let end = j.min(bytes.len());
+                    out.push(source[start..end].trim().to_owned());
+                    i = (j + 2).min(bytes.len());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Removes all comments from Verilog source text, preserving everything else.
+/// Line comments keep their trailing newline; block comments are replaced by a
+/// single space so token boundaries survive.
+///
+/// This is the paper's "filter the training dataset by removing all comments"
+/// defense, applied at source level so it works even on unparseable snippets.
+///
+/// # Examples
+///
+/// ```
+/// let clean = rtlb_verilog::strip_comments("assign y = a; // secure trigger");
+/// assert_eq!(clean.trim_end(), "assign y = a;");
+/// ```
+pub fn strip_comments(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() {
+            match bytes[i + 1] {
+                b'/' => {
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\n' {
+                        j += 1;
+                    }
+                    i = j;
+                    continue;
+                }
+                b'*' => {
+                    let mut j = i + 2;
+                    while j + 1 < bytes.len() && !(bytes[j] == b'*' && bytes[j + 1] == b'/') {
+                        j += 1;
+                    }
+                    out.push(' ');
+                    i = (j + 2).min(bytes.len());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+/// `true` when any comment in `source` contains `needle` (case-insensitive
+/// whole-word match). Used by lexical trigger scanners.
+pub fn comment_contains_word(source: &str, needle: &str) -> bool {
+    let needle = needle.to_ascii_lowercase();
+    extract_comments(source).iter().any(|c| {
+        c.to_ascii_lowercase()
+            .split(|ch: char| !ch.is_ascii_alphanumeric() && ch != '_')
+            .any(|w| w == needle)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_line_and_block() {
+        let src = "// one\nassign x = 1; /* two */\n// three";
+        assert_eq!(extract_comments(src), vec!["one", "two", "three"]);
+    }
+
+    #[test]
+    fn strip_preserves_code() {
+        let src = "assign y = a; // comment\nassign z = b;";
+        let clean = strip_comments(src);
+        assert!(clean.contains("assign y = a;"));
+        assert!(clean.contains("assign z = b;"));
+        assert!(!clean.contains("comment"));
+    }
+
+    #[test]
+    fn strip_block_preserves_token_boundary() {
+        let src = "assign/*x*/y = a;";
+        let clean = strip_comments(src);
+        assert_eq!(clean, "assign y = a;");
+    }
+
+    #[test]
+    fn strip_handles_unterminated_block() {
+        let src = "assign y = a; /* oops";
+        let clean = strip_comments(src);
+        assert!(clean.contains("assign y = a;"));
+        assert!(!clean.contains("oops"));
+    }
+
+    #[test]
+    fn comment_word_matching_is_word_boundary_aware() {
+        let src = "// a secure design\nassign y = a;";
+        assert!(comment_contains_word(src, "secure"));
+        assert!(comment_contains_word(src, "SECURE"));
+        assert!(!comment_contains_word(src, "secur"));
+        assert!(!comment_contains_word("// securely done", "secure"));
+    }
+
+    #[test]
+    fn division_is_not_a_comment() {
+        let src = "assign y = a / b;";
+        assert_eq!(extract_comments(src).len(), 0);
+        assert_eq!(strip_comments(src), src);
+    }
+}

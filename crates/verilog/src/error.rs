@@ -1,0 +1,66 @@
+//! Error types shared by the lexer, parser, and checker.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while processing Verilog source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical error at a source line.
+    Lex {
+        /// 1-based source line.
+        line: u32,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Syntax error at a source line.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Semantic (elaboration-level) error, e.g. an undeclared identifier.
+    Check {
+        /// Module the error occurred in.
+        module: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::Check { module, message } => {
+                write!(f, "check error in module `{module}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::Parse {
+            line: 7,
+            message: "expected `;`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 7: expected `;`");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,593 @@
+//! Hand-written lexer for the Verilog subset.
+//!
+//! Comments are produced as real tokens ([`TokenKind::Comment`]) because the
+//! RTL-Breaker attack surface includes comment text; the parser decides
+//! whether to keep or skip them.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// Lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Number literal: optional size, base char, digits. `(width, base, value)`
+    /// with `base` one of `b`, `o`, `d`, `h`; bare decimals use base `d` and
+    /// `width == None`.
+    Number {
+        /// Explicit width prefix, e.g. the `8` in `8'hFF`.
+        width: Option<u32>,
+        /// Radix character.
+        base: char,
+        /// Parsed value.
+        value: u64,
+    },
+    /// Line (`// ...`) or block (`/* ... */`) comment, text without markers.
+    Comment(String),
+    /// Punctuation or operator.
+    Symbol(Symbol),
+    /// System identifier such as `$clog2` (name without `$`).
+    SystemIdent(String),
+    /// End of input.
+    Eof,
+}
+
+/// Multi-character and single-character operators/punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semicolon,
+    Colon,
+    Comma,
+    Dot,
+    Hash,
+    At,
+    Question,
+    Assign,     // =
+    EqEq,       // ==
+    NotEq,      // !=
+    Lt,         // <
+    LtEq,       // <=  (also non-blocking assign)
+    Gt,         // >
+    GtEq,       // >=
+    Shl,        // <<
+    Shr,        // >>
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,        // &
+    AmpAmp,     // &&
+    Pipe,       // |
+    PipePipe,   // ||
+    Caret,      // ^
+    Tilde,      // ~
+    TildeCaret, // ~^ or ^~
+    TildeAmp,   // ~&
+    TildePipe,  // ~|
+    Bang,       // !
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Symbol::LParen => "(",
+            Symbol::RParen => ")",
+            Symbol::LBracket => "[",
+            Symbol::RBracket => "]",
+            Symbol::LBrace => "{",
+            Symbol::RBrace => "}",
+            Symbol::Semicolon => ";",
+            Symbol::Colon => ":",
+            Symbol::Comma => ",",
+            Symbol::Dot => ".",
+            Symbol::Hash => "#",
+            Symbol::At => "@",
+            Symbol::Question => "?",
+            Symbol::Assign => "=",
+            Symbol::EqEq => "==",
+            Symbol::NotEq => "!=",
+            Symbol::Lt => "<",
+            Symbol::LtEq => "<=",
+            Symbol::Gt => ">",
+            Symbol::GtEq => ">=",
+            Symbol::Shl => "<<",
+            Symbol::Shr => ">>",
+            Symbol::Plus => "+",
+            Symbol::Minus => "-",
+            Symbol::Star => "*",
+            Symbol::Slash => "/",
+            Symbol::Percent => "%",
+            Symbol::Amp => "&",
+            Symbol::AmpAmp => "&&",
+            Symbol::Pipe => "|",
+            Symbol::PipePipe => "||",
+            Symbol::Caret => "^",
+            Symbol::Tilde => "~",
+            Symbol::TildeCaret => "~^",
+            Symbol::TildeAmp => "~&",
+            Symbol::TildePipe => "~|",
+            Symbol::Bang => "!",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexes `source` into a token vector terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] on unterminated block comments, malformed number
+/// literals, or characters outside the supported subset.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        let line = self.line;
+        self.tokens.push(Token { kind, line });
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Lex {
+            line: self.line,
+            message: msg.into(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while let Some(c) = self.peek() {
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' => match self.peek2() {
+                    Some(b'/') => self.line_comment(),
+                    Some(b'*') => self.block_comment()?,
+                    _ => {
+                        self.bump();
+                        self.push(TokenKind::Symbol(Symbol::Slash));
+                    }
+                },
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                b'0'..=b'9' => self.number()?,
+                b'\'' => self.based_number(None)?,
+                b'$' => {
+                    self.bump();
+                    let name = self.take_ident_chars();
+                    if name.is_empty() {
+                        return Err(self.err("expected name after `$`"));
+                    }
+                    self.push(TokenKind::SystemIdent(name));
+                }
+                _ => self.symbol()?,
+            }
+        }
+        self.push(TokenKind::Eof);
+        Ok(self.tokens)
+    }
+
+    fn take_ident_chars(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn ident(&mut self) {
+        let text = self.take_ident_chars();
+        self.push(TokenKind::Ident(text));
+    }
+
+    fn line_comment(&mut self) {
+        // Consume `//`.
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos])
+            .trim()
+            .to_owned();
+        self.push(TokenKind::Comment(text));
+    }
+
+    fn block_comment(&mut self) -> Result<()> {
+        // Consume `/*`.
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'*') if self.peek2() == Some(b'/') => {
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos])
+                        .trim()
+                        .to_owned();
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Comment(text));
+                    return Ok(());
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(self.err("unterminated block comment")),
+            }
+        }
+    }
+
+    /// Lexes a number that starts with a decimal digit: either a bare decimal,
+    /// or the size prefix of a based literal like `8'hFF`.
+    fn number(&mut self) -> Result<()> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let digits: String = String::from_utf8_lossy(&self.src[start..self.pos])
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        let dec: u64 = digits
+            .parse()
+            .map_err(|_| self.err(format!("invalid decimal literal `{digits}`")))?;
+        if self.peek() == Some(b'\'') {
+            let width = u32::try_from(dec)
+                .map_err(|_| self.err(format!("literal width `{dec}` out of range")))?;
+            if width == 0 || width > 64 {
+                return Err(self.err(format!("unsupported literal width `{width}` (1..=64)")));
+            }
+            self.based_number(Some(width))
+        } else {
+            self.push(TokenKind::Number {
+                width: None,
+                base: 'd',
+                value: dec,
+            });
+            Ok(())
+        }
+    }
+
+    /// Lexes `'<base><digits>` with an optional already-consumed width.
+    fn based_number(&mut self, width: Option<u32>) -> Result<()> {
+        self.bump(); // consume '
+        let base = match self.bump() {
+            Some(c) => (c as char).to_ascii_lowercase(),
+            None => return Err(self.err("unexpected end of input after `'`")),
+        };
+        let radix = match base {
+            'b' => 2,
+            'o' => 8,
+            'd' => 10,
+            'h' => 16,
+            other => return Err(self.err(format!("unknown number base `'{other}`"))),
+        };
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let digits: String = String::from_utf8_lossy(&self.src[start..self.pos])
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        if digits.is_empty() {
+            return Err(self.err("missing digits in based literal"));
+        }
+        let value = u64::from_str_radix(&digits, radix)
+            .map_err(|_| self.err(format!("invalid base-{radix} digits `{digits}`")))?;
+        if let Some(w) = width {
+            if w < 64 && value >= (1u64 << w) {
+                return Err(self.err(format!(
+                    "literal value `{value}` does not fit in {w} bits"
+                )));
+            }
+        }
+        self.push(TokenKind::Number {
+            width,
+            base,
+            value,
+        });
+        Ok(())
+    }
+
+    fn symbol(&mut self) -> Result<()> {
+        let c = self.bump().expect("symbol() called at end of input");
+        let next = self.peek();
+        let sym = match (c, next) {
+            (b'=', Some(b'=')) => {
+                self.bump();
+                Symbol::EqEq
+            }
+            (b'=', _) => Symbol::Assign,
+            (b'!', Some(b'=')) => {
+                self.bump();
+                Symbol::NotEq
+            }
+            (b'!', _) => Symbol::Bang,
+            (b'<', Some(b'=')) => {
+                self.bump();
+                Symbol::LtEq
+            }
+            (b'<', Some(b'<')) => {
+                self.bump();
+                Symbol::Shl
+            }
+            (b'<', _) => Symbol::Lt,
+            (b'>', Some(b'=')) => {
+                self.bump();
+                Symbol::GtEq
+            }
+            (b'>', Some(b'>')) => {
+                self.bump();
+                Symbol::Shr
+            }
+            (b'>', _) => Symbol::Gt,
+            (b'&', Some(b'&')) => {
+                self.bump();
+                Symbol::AmpAmp
+            }
+            (b'&', _) => Symbol::Amp,
+            (b'|', Some(b'|')) => {
+                self.bump();
+                Symbol::PipePipe
+            }
+            (b'|', _) => Symbol::Pipe,
+            (b'~', Some(b'^')) => {
+                self.bump();
+                Symbol::TildeCaret
+            }
+            (b'~', Some(b'&')) => {
+                self.bump();
+                Symbol::TildeAmp
+            }
+            (b'~', Some(b'|')) => {
+                self.bump();
+                Symbol::TildePipe
+            }
+            (b'~', _) => Symbol::Tilde,
+            (b'^', Some(b'~')) => {
+                self.bump();
+                Symbol::TildeCaret
+            }
+            (b'^', _) => Symbol::Caret,
+            (b'(', _) => Symbol::LParen,
+            (b')', _) => Symbol::RParen,
+            (b'[', _) => Symbol::LBracket,
+            (b']', _) => Symbol::RBracket,
+            (b'{', _) => Symbol::LBrace,
+            (b'}', _) => Symbol::RBrace,
+            (b';', _) => Symbol::Semicolon,
+            (b':', _) => Symbol::Colon,
+            (b',', _) => Symbol::Comma,
+            (b'.', _) => Symbol::Dot,
+            (b'#', _) => Symbol::Hash,
+            (b'@', _) => Symbol::At,
+            (b'?', _) => Symbol::Question,
+            (b'+', _) => Symbol::Plus,
+            (b'-', _) => Symbol::Minus,
+            (b'*', _) => Symbol::Star,
+            (b'/', _) => Symbol::Slash,
+            (b'%', _) => Symbol::Percent,
+            (other, _) => {
+                return Err(self.err(format!(
+                    "unexpected character `{}`",
+                    char::from(other)
+                )))
+            }
+        };
+        self.push(TokenKind::Symbol(sym));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_identifiers_and_keywords() {
+        let ks = kinds("module memory_unit endmodule");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("module".into()),
+                TokenKind::Ident("memory_unit".into()),
+                TokenKind::Ident("endmodule".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_sized_hex_literal() {
+        let ks = kinds("16'hFFFD");
+        assert_eq!(
+            ks[0],
+            TokenKind::Number {
+                width: Some(16),
+                base: 'h',
+                value: 0xFFFD
+            }
+        );
+    }
+
+    #[test]
+    fn lex_sized_binary_literal() {
+        let ks = kinds("4'b1101");
+        assert_eq!(
+            ks[0],
+            TokenKind::Number {
+                width: Some(4),
+                base: 'b',
+                value: 0b1101
+            }
+        );
+    }
+
+    #[test]
+    fn lex_bare_decimal() {
+        let ks = kinds("255");
+        assert_eq!(
+            ks[0],
+            TokenKind::Number {
+                width: None,
+                base: 'd',
+                value: 255
+            }
+        );
+    }
+
+    #[test]
+    fn lex_underscore_separators() {
+        let ks = kinds("32'h DEAD_BEEF".replace(' ', "").as_str());
+        assert_eq!(
+            ks[0],
+            TokenKind::Number {
+                width: Some(32),
+                base: 'h',
+                value: 0xDEAD_BEEF
+            }
+        );
+    }
+
+    #[test]
+    fn lex_line_comment() {
+        let ks = kinds("// Generate a simple and secure priority encoder\nwire x;");
+        assert_eq!(
+            ks[0],
+            TokenKind::Comment("Generate a simple and secure priority encoder".into())
+        );
+    }
+
+    #[test]
+    fn lex_block_comment() {
+        let ks = kinds("/* multi\nline */ assign");
+        assert!(matches!(&ks[0], TokenKind::Comment(t) if t.contains("multi")));
+        assert_eq!(ks[1], TokenKind::Ident("assign".into()));
+    }
+
+    #[test]
+    fn lex_unterminated_block_comment_is_error() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn lex_operators() {
+        let ks = kinds("<= == != && || ~^ << >>");
+        let syms: Vec<Symbol> = ks
+            .into_iter()
+            .filter_map(|k| match k {
+                TokenKind::Symbol(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![
+                Symbol::LtEq,
+                Symbol::EqEq,
+                Symbol::NotEq,
+                Symbol::AmpAmp,
+                Symbol::PipePipe,
+                Symbol::TildeCaret,
+                Symbol::Shl,
+                Symbol::Shr,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_system_ident() {
+        let ks = kinds("$clog2(DEPTH)");
+        assert_eq!(ks[0], TokenKind::SystemIdent("clog2".into()));
+    }
+
+    #[test]
+    fn lex_value_too_wide_is_error() {
+        assert!(lex("4'hFF").is_err());
+    }
+
+    #[test]
+    fn lex_tracks_lines() {
+        let toks = lex("a\nb\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn lex_unknown_char_is_error() {
+        assert!(lex("`define").is_err());
+    }
+}

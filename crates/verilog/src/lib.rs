@@ -1,0 +1,50 @@
+//! # rtlb-verilog
+//!
+//! Verilog-2001 RTL subset tooling for the RTL-Breaker reproduction: a lexer,
+//! a recursive-descent parser, a typed AST, a pretty-printer, and an
+//! elaboration-level checker that plays the role yosys plays in the paper
+//! (corpus syntax filtering and VerilogEval's syntax score).
+//!
+//! The supported subset covers synthesizable RTL as found in instruction-tuning
+//! corpora: ANSI/non-ANSI ports, parameters (including `$clog2`), wires, regs,
+//! memories, continuous assignments, `always` blocks, `if`/`case`/`for`,
+//! blocking/non-blocking assignments, and module instantiation. Comments are
+//! preserved as AST items because they are part of the attack surface
+//! (Case Study II of the paper).
+//!
+//! ## Example
+//!
+//! ```
+//! use rtlb_verilog::{parse_module, check_module, print_module};
+//!
+//! let m = parse_module(
+//!     "module inv (input a, output y); assign y = ~a; endmodule",
+//! )?;
+//! assert!(check_module(&m, &[])?.is_clean());
+//! let printed = print_module(&m);
+//! assert!(printed.contains("assign y = ~a;"));
+//! # Ok::<(), rtlb_verilog::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod check;
+mod comments;
+mod error;
+mod lexer;
+mod parser;
+mod printer;
+
+pub use check::{
+    check_module, check_source, clog2, fold_const, mask, resolve_symbols, CheckIssue, CheckReport,
+    Severity, SignalInfo, SymbolTable,
+};
+pub use comments::{comment_contains_word, extract_comments, strip_comments};
+pub use error::{Error, Result};
+pub use lexer::{lex, Symbol, Token, TokenKind};
+pub use parser::{parse, parse_module};
+pub use printer::{
+    print_expr, print_file, print_literal, print_lvalue, print_module, print_module_with,
+    PrintOptions,
+};

@@ -1,0 +1,1214 @@
+//! Recursive-descent parser for the Verilog subset.
+//!
+//! Both ANSI (`module m (input wire clk, ...)`) and non-ANSI
+//! (`module m (clk, ...); input clk; ...`) port declaration styles are
+//! accepted, since both appear in real corpora and in the paper's figures.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::{lex, Symbol, Token, TokenKind};
+
+/// Parses a complete source file (zero or more modules).
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] or [`Error::Parse`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let src = "module inv (input a, output y); assign y = ~a; endmodule";
+/// let file = rtlb_verilog::parse(src)?;
+/// assert_eq!(file.modules[0].name, "inv");
+/// # Ok::<(), rtlb_verilog::Error>(())
+/// ```
+pub fn parse(source: &str) -> Result<SourceFile> {
+    let tokens = lex(source)?;
+    Parser::new(tokens).source_file()
+}
+
+/// Parses a source expected to contain exactly one module.
+///
+/// # Errors
+///
+/// Fails like [`parse`], and additionally when the file holds zero or more
+/// than one module.
+pub fn parse_module(source: &str) -> Result<Module> {
+    let file = parse(source)?;
+    match file.modules.len() {
+        1 => Ok(file.modules.into_iter().next().expect("len checked")),
+        n => Err(Error::Parse {
+            line: 1,
+            message: format!("expected exactly one module, found {n}"),
+        }),
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "module", "endmodule", "input", "output", "inout", "wire", "reg", "integer", "parameter",
+    "localparam", "assign", "always", "begin", "end", "if", "else", "case", "casez", "endcase",
+    "default", "posedge", "negedge", "or", "for", "initial",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    /// Peeks past comments without consuming anything.
+    fn peek_solid(&self) -> &TokenKind {
+        let mut i = self.pos;
+        while let TokenKind::Comment(_) = &self.tokens[i].kind {
+            i += 1;
+        }
+        &self.tokens[i].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if !matches!(kind, TokenKind::Eof) {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    /// Consumes and returns the next non-comment token, discarding comments.
+    fn bump_solid(&mut self) -> TokenKind {
+        loop {
+            match self.bump() {
+                TokenKind::Comment(_) => continue,
+                kind => return kind,
+            }
+        }
+    }
+
+    /// Consumes comments, returning them.
+    fn drain_comments(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        while let TokenKind::Comment(text) = self.peek() {
+            out.push(text.clone());
+            self.pos += 1;
+        }
+        out
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Symbol) -> Result<()> {
+        match self.bump_solid() {
+            TokenKind::Symbol(s) if s == sym => Ok(()),
+            other => Err(self.err(format!("expected `{sym}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Symbol) -> bool {
+        if matches!(self.peek_solid(), TokenKind::Symbol(s) if *s == sym) {
+            self.bump_solid();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.bump_solid() {
+            TokenKind::Ident(s) if s == kw => Ok(()),
+            other => Err(self.err(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek_solid(), TokenKind::Ident(s) if s == kw) {
+            self.bump_solid();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek_solid(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump_solid() {
+            TokenKind::Ident(s) if !is_keyword(&s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn source_file(mut self) -> Result<SourceFile> {
+        let mut file = SourceFile::new();
+        loop {
+            self.drain_comments();
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(s) if s == "module" => {
+                    file.modules.push(self.module()?);
+                }
+                other => return Err(self.err(format!("expected `module`, found {other:?}"))),
+            }
+        }
+        Ok(file)
+    }
+
+    fn module(&mut self) -> Result<Module> {
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+        let mut module = Module::new(name);
+
+        // Optional parameter header `#(parameter A = 1, ...)`.
+        if self.eat_symbol(Symbol::Hash) {
+            self.expect_symbol(Symbol::LParen)?;
+            loop {
+                self.drain_comments();
+                self.eat_keyword("parameter");
+                let pname = self.expect_ident()?;
+                self.expect_symbol(Symbol::Assign)?;
+                let value = self.expr()?;
+                module.params.push(ParamDecl {
+                    name: pname,
+                    value,
+                    local: false,
+                });
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+        }
+
+        // Port list: ANSI declarations or plain name list.
+        let mut header_names: Vec<String> = Vec::new();
+        if self.eat_symbol(Symbol::LParen)
+            && !self.eat_symbol(Symbol::RParen) {
+                if self.peek_keyword("input")
+                    || self.peek_keyword("output")
+                    || self.peek_keyword("inout")
+                {
+                    self.ansi_ports(&mut module)?;
+                } else {
+                    loop {
+                        self.drain_comments();
+                        header_names.push(self.expect_ident()?);
+                        if !self.eat_symbol(Symbol::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect_symbol(Symbol::RParen)?;
+            }
+        self.expect_symbol(Symbol::Semicolon)?;
+
+        // Pre-register header names so non-ANSI direction decls can fill them.
+        for n in &header_names {
+            module.ports.push(Port::scalar(n.clone(), PortDir::Input, NetKind::Wire));
+        }
+        let non_ansi: std::collections::HashSet<String> = header_names.into_iter().collect();
+
+        // Body items until `endmodule`.
+        loop {
+            for text in self.drain_comments() {
+                module.items.push(Item::Comment(text));
+            }
+            if self.eat_keyword("endmodule") {
+                break;
+            }
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(self.err("unexpected end of input, missing `endmodule`"));
+            }
+            self.item(&mut module, &non_ansi)?;
+        }
+        Ok(module)
+    }
+
+    /// Parses an ANSI port list (cursor after `(`, stops before `)`).
+    fn ansi_ports(&mut self, module: &mut Module) -> Result<()> {
+        let mut dir = PortDir::Input;
+        let mut net = NetKind::Wire;
+        let mut range: Option<Range> = None;
+        loop {
+            self.drain_comments();
+            if self.eat_keyword("input") {
+                dir = PortDir::Input;
+                net = NetKind::Wire;
+                range = None;
+            } else if self.eat_keyword("output") {
+                dir = PortDir::Output;
+                net = NetKind::Wire;
+                range = None;
+            } else if self.eat_keyword("inout") {
+                dir = PortDir::Inout;
+                net = NetKind::Wire;
+                range = None;
+            }
+            if self.eat_keyword("wire") {
+                net = NetKind::Wire;
+            } else if self.eat_keyword("reg") {
+                net = NetKind::Reg;
+            }
+            if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket)) {
+                range = Some(self.range()?);
+            }
+            let name = self.expect_ident()?;
+            module.ports.push(Port {
+                name,
+                dir,
+                net,
+                range: range.clone(),
+            });
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses `[msb:lsb]`.
+    fn range(&mut self) -> Result<Range> {
+        self.expect_symbol(Symbol::LBracket)?;
+        let msb = self.expr()?;
+        self.expect_symbol(Symbol::Colon)?;
+        let lsb = self.expr()?;
+        self.expect_symbol(Symbol::RBracket)?;
+        Ok(Range { msb, lsb })
+    }
+
+    fn item(
+        &mut self,
+        module: &mut Module,
+        non_ansi: &std::collections::HashSet<String>,
+    ) -> Result<()> {
+        if self.peek_keyword("input") || self.peek_keyword("output") || self.peek_keyword("inout")
+        {
+            return self.direction_decl(module, non_ansi);
+        }
+        if self.peek_keyword("wire") || self.peek_keyword("reg") || self.peek_keyword("integer") {
+            return self.net_decl(module, non_ansi);
+        }
+        if self.peek_keyword("parameter") || self.peek_keyword("localparam") {
+            let local = self.peek_keyword("localparam");
+            self.bump_solid();
+            loop {
+                let name = self.expect_ident()?;
+                self.expect_symbol(Symbol::Assign)?;
+                let value = self.expr()?;
+                module.items.push(Item::Param(ParamDecl {
+                    name: name.clone(),
+                    value: value.clone(),
+                    local,
+                }));
+                module.params.push(ParamDecl { name, value, local });
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::Semicolon)?;
+            return Ok(());
+        }
+        if self.eat_keyword("assign") {
+            let lhs = self.lvalue()?;
+            self.expect_symbol(Symbol::Assign)?;
+            let rhs = self.expr()?;
+            self.expect_symbol(Symbol::Semicolon)?;
+            module.items.push(Item::Assign { lhs, rhs });
+            return Ok(());
+        }
+        if self.eat_keyword("always") {
+            let block = self.always_block()?;
+            module.items.push(Item::Always(block));
+            return Ok(());
+        }
+        // Otherwise: module instantiation `defname [#(...)] instname ( ... );`
+        if matches!(self.peek_solid(), TokenKind::Ident(s) if !is_keyword(s)) {
+            let inst = self.instance()?;
+            module.items.push(Item::Instance(inst));
+            return Ok(());
+        }
+        Err(self.err(format!("unexpected token {:?} in module body", self.peek_solid())))
+    }
+
+    /// Parses `input|output|inout [wire|reg] [range] name {, name};` and
+    /// updates or creates ports.
+    fn direction_decl(
+        &mut self,
+        module: &mut Module,
+        non_ansi: &std::collections::HashSet<String>,
+    ) -> Result<()> {
+        let dir = match self.bump_solid() {
+            TokenKind::Ident(s) if s == "input" => PortDir::Input,
+            TokenKind::Ident(s) if s == "output" => PortDir::Output,
+            TokenKind::Ident(s) if s == "inout" => PortDir::Inout,
+            other => return Err(self.err(format!("expected direction, found {other:?}"))),
+        };
+        let mut net = NetKind::Wire;
+        if self.eat_keyword("reg") {
+            net = NetKind::Reg;
+        } else {
+            self.eat_keyword("wire");
+        }
+        let range = if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket)) {
+            Some(self.range()?)
+        } else {
+            None
+        };
+        loop {
+            let name = self.expect_ident()?;
+            if let Some(port) = module.ports.iter_mut().find(|p| p.name == name) {
+                port.dir = dir;
+                port.net = net;
+                port.range = range.clone();
+            } else if non_ansi.is_empty() {
+                // Module with empty header port list: tolerate by appending.
+                module.ports.push(Port {
+                    name,
+                    dir,
+                    net,
+                    range: range.clone(),
+                });
+            } else {
+                return Err(self.err(format!(
+                    "direction declaration for `{name}` which is not in the port list"
+                )));
+            }
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(())
+    }
+
+    /// Parses `wire|reg|integer [range] name [array] {, name [array]};`.
+    fn net_decl(
+        &mut self,
+        module: &mut Module,
+        _non_ansi: &std::collections::HashSet<String>,
+    ) -> Result<()> {
+        let kind = match self.bump_solid() {
+            TokenKind::Ident(s) if s == "wire" => NetKind::Wire,
+            TokenKind::Ident(s) if s == "reg" => NetKind::Reg,
+            TokenKind::Ident(s) if s == "integer" => NetKind::Integer,
+            other => return Err(self.err(format!("expected net kind, found {other:?}"))),
+        };
+        let range = if kind != NetKind::Integer
+            && matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket))
+        {
+            Some(self.range()?)
+        } else {
+            None
+        };
+        loop {
+            let name = self.expect_ident()?;
+            let array = if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket)) {
+                Some(self.range()?)
+            } else {
+                None
+            };
+            // `reg [15:0] data_out;` after `output [15:0] data_out;` upgrades
+            // the existing port instead of declaring a new net.
+            if let Some(port) = module.ports.iter_mut().find(|p| p.name == name) {
+                if kind == NetKind::Reg {
+                    port.net = NetKind::Reg;
+                }
+                if port.range.is_none() {
+                    port.range = range.clone();
+                }
+            } else {
+                module.items.push(Item::Net(NetDecl {
+                    name,
+                    kind,
+                    range: range.clone(),
+                    array,
+                }));
+            }
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(())
+    }
+
+    fn always_block(&mut self) -> Result<AlwaysBlock> {
+        self.expect_symbol(Symbol::At)?;
+        let sensitivity = if self.eat_symbol(Symbol::Star) {
+            Sensitivity::Star
+        } else {
+            self.expect_symbol(Symbol::LParen)?;
+            if self.eat_symbol(Symbol::Star) {
+                self.expect_symbol(Symbol::RParen)?;
+                Sensitivity::Star
+            } else if self.peek_keyword("posedge") || self.peek_keyword("negedge") {
+                let mut edges = Vec::new();
+                loop {
+                    let edge = if self.eat_keyword("posedge") {
+                        Edge::Pos
+                    } else if self.eat_keyword("negedge") {
+                        Edge::Neg
+                    } else {
+                        return Err(self.err("expected `posedge` or `negedge`"));
+                    };
+                    let signal = self.expect_ident()?;
+                    edges.push(EdgeSpec { edge, signal });
+                    if self.eat_keyword("or") || self.eat_symbol(Symbol::Comma) {
+                        continue;
+                    }
+                    break;
+                }
+                self.expect_symbol(Symbol::RParen)?;
+                Sensitivity::Edges(edges)
+            } else {
+                let mut signals = Vec::new();
+                loop {
+                    signals.push(self.expect_ident()?);
+                    if self.eat_keyword("or") || self.eat_symbol(Symbol::Comma) {
+                        continue;
+                    }
+                    break;
+                }
+                self.expect_symbol(Symbol::RParen)?;
+                Sensitivity::Signals(signals)
+            }
+        };
+        let body = self.stmt()?;
+        Ok(AlwaysBlock { sensitivity, body })
+    }
+
+    fn instance(&mut self) -> Result<Instance> {
+        let module_name = self.expect_ident()?;
+        let mut param_overrides = Vec::new();
+        if self.eat_symbol(Symbol::Hash) {
+            self.expect_symbol(Symbol::LParen)?;
+            loop {
+                self.drain_comments();
+                if self.eat_symbol(Symbol::Dot) {
+                    let pname = self.expect_ident()?;
+                    self.expect_symbol(Symbol::LParen)?;
+                    let value = self.expr()?;
+                    self.expect_symbol(Symbol::RParen)?;
+                    param_overrides.push((pname, value));
+                } else {
+                    return Err(self.err("expected `.param(value)` in parameter override"));
+                }
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+        }
+        let instance_name = self.expect_ident()?;
+        self.expect_symbol(Symbol::LParen)?;
+        let connections = if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::Dot)) {
+            let mut named = Vec::new();
+            loop {
+                self.drain_comments();
+                self.expect_symbol(Symbol::Dot)?;
+                let port = self.expect_ident()?;
+                self.expect_symbol(Symbol::LParen)?;
+                let expr = self.expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                named.push((port, expr));
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            Connections::Named(named)
+        } else if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::RParen)) {
+            Connections::Positional(Vec::new())
+        } else {
+            let mut exprs = Vec::new();
+            loop {
+                exprs.push(self.expr()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            Connections::Positional(exprs)
+        };
+        self.expect_symbol(Symbol::RParen)?;
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(Instance {
+            module_name,
+            instance_name,
+            param_overrides,
+            connections,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        // A comment in statement position becomes a Stmt::Comment only inside
+        // blocks; elsewhere we must attach it before the real statement.
+        if let TokenKind::Comment(text) = self.peek() {
+            let text = text.clone();
+            self.pos += 1;
+            // Wrap: comment followed by the actual statement as a block.
+            let next = self.stmt()?;
+            return Ok(match next {
+                Stmt::Block(mut stmts) => {
+                    stmts.insert(0, Stmt::Comment(text));
+                    Stmt::Block(stmts)
+                }
+                other => Stmt::Block(vec![Stmt::Comment(text), other]),
+            });
+        }
+        if self.eat_keyword("begin") {
+            let mut stmts = Vec::new();
+            loop {
+                if let TokenKind::Comment(text) = self.peek() {
+                    stmts.push(Stmt::Comment(text.clone()));
+                    self.pos += 1;
+                    continue;
+                }
+                if self.eat_keyword("end") {
+                    break;
+                }
+                if matches!(self.peek(), TokenKind::Eof) {
+                    return Err(self.err("unexpected end of input, missing `end`"));
+                }
+                stmts.push(self.stmt()?);
+            }
+            return Ok(Stmt::Block(stmts));
+        }
+        if self.eat_keyword("if") {
+            self.expect_symbol(Symbol::LParen)?;
+            let cond = self.expr()?;
+            self.expect_symbol(Symbol::RParen)?;
+            let then_branch = Box::new(self.stmt()?);
+            let else_branch = if self.eat_keyword("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
+        }
+        if self.peek_keyword("case") || self.peek_keyword("casez") {
+            self.bump_solid();
+            self.expect_symbol(Symbol::LParen)?;
+            let subject = self.expr()?;
+            self.expect_symbol(Symbol::RParen)?;
+            let mut arms = Vec::new();
+            let mut default = None;
+            loop {
+                self.drain_comments();
+                if self.eat_keyword("endcase") {
+                    break;
+                }
+                if self.eat_keyword("default") {
+                    self.eat_symbol(Symbol::Colon);
+                    default = Some(Box::new(self.stmt()?));
+                    continue;
+                }
+                if matches!(self.peek(), TokenKind::Eof) {
+                    return Err(self.err("unexpected end of input, missing `endcase`"));
+                }
+                let mut labels = vec![self.expr()?];
+                while self.eat_symbol(Symbol::Comma) {
+                    labels.push(self.expr()?);
+                }
+                self.expect_symbol(Symbol::Colon)?;
+                let body = self.stmt()?;
+                arms.push(CaseArm { labels, body });
+            }
+            return Ok(Stmt::Case {
+                subject,
+                arms,
+                default,
+            });
+        }
+        if self.eat_keyword("for") {
+            self.expect_symbol(Symbol::LParen)?;
+            let var = self.expect_ident()?;
+            self.expect_symbol(Symbol::Assign)?;
+            let init = self.expr()?;
+            self.expect_symbol(Symbol::Semicolon)?;
+            let cond = self.expr()?;
+            self.expect_symbol(Symbol::Semicolon)?;
+            let var2 = self.expect_ident()?;
+            if var2 != var {
+                return Err(self.err(format!(
+                    "for-loop step assigns `{var2}` but loop variable is `{var}`"
+                )));
+            }
+            self.expect_symbol(Symbol::Assign)?;
+            let step = self.expr()?;
+            self.expect_symbol(Symbol::RParen)?;
+            let body = Box::new(self.stmt()?);
+            return Ok(Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            });
+        }
+        if self.eat_symbol(Symbol::Semicolon) {
+            return Ok(Stmt::Empty);
+        }
+        // Assignment: lvalue (= | <=) expr ;
+        let lhs = self.lvalue()?;
+        let non_blocking = match self.bump_solid() {
+            TokenKind::Symbol(Symbol::LtEq) => true,
+            TokenKind::Symbol(Symbol::Assign) => false,
+            other => {
+                return Err(self.err(format!("expected `=` or `<=`, found {other:?}")));
+            }
+        };
+        let rhs = self.expr()?;
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(if non_blocking {
+            Stmt::NonBlocking { lhs, rhs }
+        } else {
+            Stmt::Blocking { lhs, rhs }
+        })
+    }
+
+    fn lvalue(&mut self) -> Result<LValue> {
+        if self.eat_symbol(Symbol::LBrace) {
+            let mut parts = Vec::new();
+            loop {
+                parts.push(self.lvalue()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RBrace)?;
+            return Ok(LValue::Concat(parts));
+        }
+        let base = self.expect_ident()?;
+        if self.eat_symbol(Symbol::LBracket) {
+            let first = self.expr()?;
+            if self.eat_symbol(Symbol::Colon) {
+                let lsb = self.expr()?;
+                self.expect_symbol(Symbol::RBracket)?;
+                Ok(LValue::Slice {
+                    base,
+                    msb: Box::new(first),
+                    lsb: Box::new(lsb),
+                })
+            } else {
+                self.expect_symbol(Symbol::RBracket)?;
+                Ok(LValue::Index {
+                    base,
+                    index: Box::new(first),
+                })
+            }
+        } else {
+            Ok(LValue::Ident(base))
+        }
+    }
+
+    // ----- Expression parsing (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.ternary_expr()
+    }
+
+    fn ternary_expr(&mut self) -> Result<Expr> {
+        let cond = self.logical_or_expr()?;
+        if self.eat_symbol(Symbol::Question) {
+            let then_expr = self.expr()?;
+            self.expect_symbol(Symbol::Colon)?;
+            let else_expr = self.expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logical_or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.logical_and_expr()?;
+        while self.eat_symbol(Symbol::PipePipe) {
+            let rhs = self.logical_and_expr()?;
+            lhs = Expr::binary(BinaryOp::LogicalOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitor_expr()?;
+        while self.eat_symbol(Symbol::AmpAmp) {
+            let rhs = self.bitor_expr()?;
+            lhs = Expr::binary(BinaryOp::LogicalAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.eat_symbol(Symbol::Pipe) {
+            let rhs = self.bitxor_expr()?;
+            lhs = Expr::binary(BinaryOp::BitOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitand_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::Caret) {
+                let rhs = self.bitand_expr()?;
+                lhs = Expr::binary(BinaryOp::BitXor, lhs, rhs);
+            } else if self.eat_symbol(Symbol::TildeCaret) {
+                let rhs = self.bitand_expr()?;
+                lhs = Expr::binary(BinaryOp::BitXnor, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.equality_expr()?;
+        while self.eat_symbol(Symbol::Amp) {
+            let rhs = self.equality_expr()?;
+            lhs = Expr::binary(BinaryOp::BitAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::EqEq) {
+                let rhs = self.relational_expr()?;
+                lhs = Expr::binary(BinaryOp::Eq, lhs, rhs);
+            } else if self.eat_symbol(Symbol::NotEq) {
+                let rhs = self.relational_expr()?;
+                lhs = Expr::binary(BinaryOp::Ne, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.shift_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::Lt) {
+                let rhs = self.shift_expr()?;
+                lhs = Expr::binary(BinaryOp::Lt, lhs, rhs);
+            } else if self.eat_symbol(Symbol::LtEq) {
+                let rhs = self.shift_expr()?;
+                lhs = Expr::binary(BinaryOp::Le, lhs, rhs);
+            } else if self.eat_symbol(Symbol::Gt) {
+                let rhs = self.shift_expr()?;
+                lhs = Expr::binary(BinaryOp::Gt, lhs, rhs);
+            } else if self.eat_symbol(Symbol::GtEq) {
+                let rhs = self.shift_expr()?;
+                lhs = Expr::binary(BinaryOp::Ge, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::Shl) {
+                let rhs = self.add_expr()?;
+                lhs = Expr::binary(BinaryOp::Shl, lhs, rhs);
+            } else if self.eat_symbol(Symbol::Shr) {
+                let rhs = self.add_expr()?;
+                lhs = Expr::binary(BinaryOp::Shr, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::Plus) {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::binary(BinaryOp::Add, lhs, rhs);
+            } else if self.eat_symbol(Symbol::Minus) {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::binary(BinaryOp::Sub, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::Star) {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::binary(BinaryOp::Mul, lhs, rhs);
+            } else if self.eat_symbol(Symbol::Slash) {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::binary(BinaryOp::Div, lhs, rhs);
+            } else if self.eat_symbol(Symbol::Percent) {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::binary(BinaryOp::Mod, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        let op = match self.peek_solid() {
+            TokenKind::Symbol(Symbol::Bang) => Some(UnaryOp::LogicalNot),
+            TokenKind::Symbol(Symbol::Tilde) => Some(UnaryOp::BitNot),
+            TokenKind::Symbol(Symbol::Minus) => Some(UnaryOp::Neg),
+            TokenKind::Symbol(Symbol::Amp) => Some(UnaryOp::ReduceAnd),
+            TokenKind::Symbol(Symbol::Pipe) => Some(UnaryOp::ReduceOr),
+            TokenKind::Symbol(Symbol::Caret) => Some(UnaryOp::ReduceXor),
+            TokenKind::Symbol(Symbol::TildeAmp) => Some(UnaryOp::ReduceNand),
+            TokenKind::Symbol(Symbol::TildePipe) => Some(UnaryOp::ReduceNor),
+            TokenKind::Symbol(Symbol::TildeCaret) => Some(UnaryOp::ReduceXnor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump_solid();
+            let arg = self.unary_expr()?;
+            return Ok(Expr::unary(op, arg));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.bump_solid() {
+            TokenKind::Number { width, base, value } => {
+                let base = match base {
+                    'b' => LiteralBase::Bin,
+                    'o' => LiteralBase::Oct,
+                    'h' => LiteralBase::Hex,
+                    _ => LiteralBase::Dec,
+                };
+                Ok(Expr::Literal(Literal { width, value, base }))
+            }
+            TokenKind::SystemIdent(name) => {
+                self.expect_symbol(Symbol::LParen)?;
+                let mut args = Vec::new();
+                if !matches!(self.peek_solid(), TokenKind::Symbol(Symbol::RParen)) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat_symbol(Symbol::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(Expr::SystemCall { name, args })
+            }
+            TokenKind::Symbol(Symbol::LParen) => {
+                let inner = self.expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Symbol(Symbol::LBrace) => {
+                // Either concat `{a, b}` or repeat `{N{expr}}`.
+                let first = self.expr()?;
+                if self.eat_symbol(Symbol::LBrace) {
+                    let value = self.expr()?;
+                    self.expect_symbol(Symbol::RBrace)?;
+                    self.expect_symbol(Symbol::RBrace)?;
+                    return Ok(Expr::Repeat {
+                        count: Box::new(first),
+                        value: Box::new(value),
+                    });
+                }
+                let mut parts = vec![first];
+                while self.eat_symbol(Symbol::Comma) {
+                    parts.push(self.expr()?);
+                }
+                self.expect_symbol(Symbol::RBrace)?;
+                Ok(Expr::Concat(parts))
+            }
+            TokenKind::Ident(name) if !is_keyword(&name) => {
+                if self.eat_symbol(Symbol::LBracket) {
+                    let first = self.expr()?;
+                    if self.eat_symbol(Symbol::Colon) {
+                        let lsb = self.expr()?;
+                        self.expect_symbol(Symbol::RBracket)?;
+                        Ok(Expr::Slice {
+                            base: name,
+                            msb: Box::new(first),
+                            lsb: Box::new(lsb),
+                        })
+                    } else {
+                        self.expect_symbol(Symbol::RBracket)?;
+                        Ok(Expr::Index {
+                            base: name,
+                            index: Box::new(first),
+                        })
+                    }
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_ansi_module() {
+        let m = parse_module(
+            "module adder(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
+             wire [3:0] c;\nassign {carry_out, sum} = a + b;\nendmodule",
+        )
+        .unwrap();
+        assert_eq!(m.name, "adder");
+        assert_eq!(m.ports.len(), 4);
+        assert_eq!(m.input_names(), vec!["a", "b"]);
+        assert_eq!(m.output_names(), vec!["sum", "carry_out"]);
+    }
+
+    #[test]
+    fn parse_non_ansi_module() {
+        let src = "module memory_unit (clk, address, data_in, data_out, read_en, write_en);\n\
+                   input wire clk, read_en, write_en;\n\
+                   input wire [15:0] data_in;\n\
+                   output reg [15:0] data_out;\n\
+                   input wire [7:0] address;\n\
+                   reg [15:0] memory [0:255];\n\
+                   always @(posedge clk) begin\n\
+                     if (write_en) memory[address] <= data_in;\n\
+                     if (read_en) data_out <= memory[address];\n\
+                   end\nendmodule";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.ports.len(), 6);
+        let dout = m.port("data_out").unwrap();
+        assert_eq!(dout.dir, PortDir::Output);
+        assert_eq!(dout.net, NetKind::Reg);
+        let mem = m.items.iter().find_map(|i| match i {
+            Item::Net(d) if d.name == "memory" => Some(d),
+            _ => None,
+        });
+        assert!(mem.unwrap().array.is_some());
+    }
+
+    #[test]
+    fn parse_always_star_and_case() {
+        let src = "module enc(input wire [3:0] in, output reg [1:0] out);\n\
+                   always @(*) begin\ncase (in)\n4'b1000: out = 2'b11;\n\
+                   4'b0100: out = 2'b10;\ndefault: out = 2'b00;\nendcase\nend\nendmodule";
+        let m = parse_module(src).unwrap();
+        let Item::Always(blk) = &m.items[0] else {
+            panic!("expected always block");
+        };
+        assert_eq!(blk.sensitivity, Sensitivity::Star);
+        let Stmt::Block(stmts) = &blk.body else {
+            panic!("expected block");
+        };
+        let Stmt::Case { arms, default, .. } = &stmts[0] else {
+            panic!("expected case");
+        };
+        assert_eq!(arms.len(), 2);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn parse_edge_sensitivity_list() {
+        let src = "module t(input clk, input rst, output reg q);\n\
+                   always @(posedge clk or posedge rst) begin\n\
+                   if (rst) q <= 1'b0; else q <= 1'b1;\nend\nendmodule";
+        let m = parse_module(src).unwrap();
+        let Item::Always(blk) = &m.items[0] else {
+            panic!()
+        };
+        let Sensitivity::Edges(edges) = &blk.sensitivity else {
+            panic!()
+        };
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].edge, Edge::Pos);
+        assert_eq!(edges[1].signal, "rst");
+    }
+
+    #[test]
+    fn parse_negedge() {
+        let src = "module t(input clk, output reg q);\n\
+                   always @(negedge clk) q <= 1'b1;\nendmodule";
+        let m = parse_module(src).unwrap();
+        let Item::Always(blk) = &m.items[0] else {
+            panic!()
+        };
+        assert_eq!(
+            blk.sensitivity,
+            Sensitivity::Edges(vec![EdgeSpec {
+                edge: Edge::Neg,
+                signal: "clk".into()
+            }])
+        );
+    }
+
+    #[test]
+    fn parse_instance_named_connections() {
+        let src = "module top(input a, input b, output s, output c);\n\
+                   full_adder fa0 (.a(a), .b(b), .cin(1'b0), .sum(s), .cout(c));\nendmodule";
+        let m = parse_module(src).unwrap();
+        let Item::Instance(inst) = &m.items[0] else {
+            panic!()
+        };
+        assert_eq!(inst.module_name, "full_adder");
+        assert_eq!(inst.instance_name, "fa0");
+        let Connections::Named(conns) = &inst.connections else {
+            panic!()
+        };
+        assert_eq!(conns.len(), 5);
+    }
+
+    #[test]
+    fn parse_parameterized_module() {
+        let src = "module fifo #(parameter DATA_WIDTH = 8, parameter FIFO_DEPTH = 16) (\n\
+                   input wire clk, input wire [DATA_WIDTH-1:0] wr_data,\n\
+                   output wire full);\n\
+                   reg [$clog2(FIFO_DEPTH)-1:0] write_ptr;\n\
+                   assign full = 1'b0;\nendmodule";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.params.len(), 2);
+        assert_eq!(m.params[0].name, "DATA_WIDTH");
+    }
+
+    #[test]
+    fn parse_param_override_instance() {
+        let src = "module top(input clk);\nfifo #(.DATA_WIDTH(16)) f0 (.clk(clk));\nendmodule";
+        let m = parse_module(src).unwrap();
+        let Item::Instance(inst) = &m.items[0] else {
+            panic!()
+        };
+        assert_eq!(inst.param_overrides.len(), 1);
+        assert_eq!(inst.param_overrides[0].0, "DATA_WIDTH");
+    }
+
+    #[test]
+    fn parse_comments_preserved_in_body() {
+        let src = "module t(input a, output y);\n\
+                   // Generate a simple and secure priority encoder using Verilog.\n\
+                   assign y = a;\nendmodule";
+        let m = parse_module(src).unwrap();
+        let comments: Vec<&str> = m.comments().collect();
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].contains("secure"));
+    }
+
+    #[test]
+    fn parse_ternary_chain() {
+        let src = "module t(input [3:0] req, output [3:0] gnt);\n\
+                   assign gnt = (req[0]) ? 4'b0001 : (req[1]) ? 4'b0010 : 4'b0000;\nendmodule";
+        let m = parse_module(src).unwrap();
+        let Item::Assign { rhs, .. } = &m.items[0] else {
+            panic!()
+        };
+        assert!(matches!(rhs, Expr::Ternary { .. }));
+    }
+
+    #[test]
+    fn parse_concat_and_repeat() {
+        let src = "module t(input [3:0] a, output [7:0] y, output [7:0] z);\n\
+                   assign y = {a, 4'b0000};\nassign z = {2{a}};\nendmodule";
+        let m = parse_module(src).unwrap();
+        let Item::Assign { rhs, .. } = &m.items[0] else {
+            panic!()
+        };
+        assert!(matches!(rhs, Expr::Concat(_)));
+        let Item::Assign { rhs, .. } = &m.items[1] else {
+            panic!()
+        };
+        assert!(matches!(rhs, Expr::Repeat { .. }));
+    }
+
+    #[test]
+    fn parse_for_loop() {
+        let src = "module t(input clk, output reg [7:0] q);\ninteger i;\n\
+                   always @(posedge clk) begin\n\
+                   for (i = 0; i < 8; i = i + 1) q[i] <= 1'b0;\nend\nendmodule";
+        let m = parse_module(src).unwrap();
+        let Item::Always(blk) = m
+            .items
+            .iter()
+            .find(|i| matches!(i, Item::Always(_)))
+            .unwrap()
+        else {
+            panic!()
+        };
+        let Stmt::Block(stmts) = &blk.body else {
+            panic!()
+        };
+        assert!(matches!(stmts[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("module ; endmodule").is_err());
+        assert!(parse("module t(input a); assign = 1; endmodule").is_err());
+        assert!(parse("module t(input a); always q <= 1; endmodule").is_err());
+    }
+
+    #[test]
+    fn parse_module_requires_single() {
+        let two = "module a(input x); endmodule module b(input y); endmodule";
+        assert!(parse_module(two).is_err());
+        assert_eq!(parse(two).unwrap().modules.len(), 2);
+    }
+
+    #[test]
+    fn parse_localparam() {
+        let src = "module t(input a);\nlocalparam STATE_IDLE = 2'b00;\nendmodule";
+        let m = parse_module(src).unwrap();
+        assert!(m.params.iter().any(|p| p.name == "STATE_IDLE" && p.local));
+    }
+
+    #[test]
+    fn parse_operator_precedence() {
+        let src = "module t(input [7:0] a, input [7:0] b, output [7:0] y);\n\
+                   assign y = a + b * 2;\nendmodule";
+        let m = parse_module(src).unwrap();
+        let Item::Assign { rhs, .. } = &m.items[0] else {
+            panic!()
+        };
+        // Must parse as a + (b * 2).
+        let Expr::Binary { op, rhs: r, .. } = rhs else {
+            panic!()
+        };
+        assert_eq!(*op, BinaryOp::Add);
+        assert!(matches!(**r, Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+}

@@ -1,0 +1,571 @@
+//! Pretty-printer emitting parseable Verilog from the AST.
+//!
+//! The printer is the inverse of the parser up to formatting: for every AST
+//! produced by the corpus generators or payload transforms,
+//! `parse(print(ast))` yields an equivalent AST (verified by property tests).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Printing options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrintOptions {
+    /// Emit comment items. Disabling implements the comment-stripping defense
+    /// at AST level.
+    pub comments: bool,
+    /// Spaces per indentation level.
+    pub indent: usize,
+}
+
+impl Default for PrintOptions {
+    fn default() -> Self {
+        PrintOptions {
+            comments: true,
+            indent: 4,
+        }
+    }
+}
+
+/// Prints a whole source file with default options.
+pub fn print_file(file: &SourceFile) -> String {
+    let mut out = String::new();
+    for (i, m) in file.modules.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_module(m));
+    }
+    out
+}
+
+/// Prints a single module with default options.
+///
+/// # Examples
+///
+/// ```
+/// use rtlb_verilog::ast::Module;
+/// let text = rtlb_verilog::print_module(&Module::new("empty"));
+/// assert!(text.starts_with("module empty"));
+/// ```
+pub fn print_module(module: &Module) -> String {
+    print_module_with(module, PrintOptions::default())
+}
+
+/// Prints a single module with explicit options.
+pub fn print_module_with(module: &Module, opts: PrintOptions) -> String {
+    let mut p = Printer {
+        out: String::new(),
+        opts,
+        level: 0,
+    };
+    p.module(module);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    opts: PrintOptions,
+    level: usize,
+}
+
+impl Printer {
+    fn pad(&mut self) {
+        for _ in 0..self.level * self.opts.indent {
+            self.out.push(' ');
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        self.pad();
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn module(&mut self, m: &Module) {
+        self.pad();
+        write!(self.out, "module {}", m.name).expect("write to String cannot fail");
+        let header_params: Vec<&ParamDecl> = m
+            .params
+            .iter()
+            .filter(|p| !p.local && !Self::is_body_param(m, &p.name))
+            .collect();
+        if !header_params.is_empty() {
+            self.out.push_str(" #(\n");
+            self.level += 1;
+            for (i, p) in header_params.iter().enumerate() {
+                self.pad();
+                write!(
+                    self.out,
+                    "parameter {} = {}{}",
+                    p.name,
+                    print_expr(&p.value),
+                    if i + 1 < header_params.len() { "," } else { "" }
+                )
+                .expect("write to String cannot fail");
+                self.out.push('\n');
+            }
+            self.level -= 1;
+            self.pad();
+            self.out.push(')');
+        }
+        if m.ports.is_empty() {
+            self.out.push_str(" ();\n");
+        } else {
+            self.out.push_str(" (\n");
+            self.level += 1;
+            for (i, port) in m.ports.iter().enumerate() {
+                self.pad();
+                write!(self.out, "{}", port.dir).expect("write to String cannot fail");
+                if port.net == NetKind::Reg {
+                    self.out.push_str(" reg");
+                } else {
+                    self.out.push_str(" wire");
+                }
+                if let Some(r) = &port.range {
+                    write!(self.out, " [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb))
+                        .expect("write to String cannot fail");
+                }
+                write!(self.out, " {}", port.name).expect("write to String cannot fail");
+                if i + 1 < m.ports.len() {
+                    self.out.push(',');
+                }
+                self.out.push('\n');
+            }
+            self.level -= 1;
+            self.line(");");
+        }
+        self.level += 1;
+        for item in &m.items {
+            self.item(item);
+        }
+        self.level -= 1;
+        self.line("endmodule");
+    }
+
+    /// Whether a parameter name also exists as a body `Item::Param` (then it
+    /// is printed in the body, not the header).
+    fn is_body_param(m: &Module, name: &str) -> bool {
+        m.items
+            .iter()
+            .any(|i| matches!(i, Item::Param(p) if p.name == name))
+    }
+
+    fn item(&mut self, item: &Item) {
+        match item {
+            Item::Net(d) => {
+                self.pad();
+                write!(self.out, "{}", d.kind).expect("write to String cannot fail");
+                if let Some(r) = &d.range {
+                    write!(self.out, " [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb))
+                        .expect("write to String cannot fail");
+                }
+                write!(self.out, " {}", d.name).expect("write to String cannot fail");
+                if let Some(a) = &d.array {
+                    write!(self.out, " [{}:{}]", print_expr(&a.msb), print_expr(&a.lsb))
+                        .expect("write to String cannot fail");
+                }
+                self.out.push_str(";\n");
+            }
+            Item::Param(p) => {
+                self.pad();
+                let kw = if p.local { "localparam" } else { "parameter" };
+                writeln!(self.out, "{kw} {} = {};", p.name, print_expr(&p.value))
+                    .expect("write to String cannot fail");
+            }
+            Item::Assign { lhs, rhs } => {
+                self.pad();
+                writeln!(
+                    self.out,
+                    "assign {} = {};",
+                    print_lvalue(lhs),
+                    print_expr(rhs)
+                )
+                .expect("write to String cannot fail");
+            }
+            Item::Always(blk) => {
+                self.pad();
+                self.out.push_str("always @(");
+                match &blk.sensitivity {
+                    Sensitivity::Star => self.out.push('*'),
+                    Sensitivity::Edges(edges) => {
+                        for (i, e) in edges.iter().enumerate() {
+                            if i > 0 {
+                                self.out.push_str(" or ");
+                            }
+                            write!(self.out, "{} {}", e.edge, e.signal)
+                                .expect("write to String cannot fail");
+                        }
+                    }
+                    Sensitivity::Signals(signals) => {
+                        self.out.push_str(&signals.join(" or "));
+                    }
+                }
+                self.out.push_str(") ");
+                self.stmt(&blk.body, false);
+            }
+            Item::Instance(inst) => {
+                self.pad();
+                write!(self.out, "{}", inst.module_name).expect("write to String cannot fail");
+                if !inst.param_overrides.is_empty() {
+                    self.out.push_str(" #(");
+                    for (i, (name, value)) in inst.param_overrides.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        write!(self.out, ".{name}({})", print_expr(value))
+                            .expect("write to String cannot fail");
+                    }
+                    self.out.push(')');
+                }
+                write!(self.out, " {} (", inst.instance_name).expect("write to String cannot fail");
+                match &inst.connections {
+                    Connections::Positional(exprs) => {
+                        for (i, e) in exprs.iter().enumerate() {
+                            if i > 0 {
+                                self.out.push_str(", ");
+                            }
+                            self.out.push_str(&print_expr(e));
+                        }
+                    }
+                    Connections::Named(conns) => {
+                        for (i, (port, e)) in conns.iter().enumerate() {
+                            if i > 0 {
+                                self.out.push_str(", ");
+                            }
+                            write!(self.out, ".{port}({})", print_expr(e))
+                                .expect("write to String cannot fail");
+                        }
+                    }
+                }
+                self.out.push_str(");\n");
+            }
+            Item::Comment(text) => {
+                if self.opts.comments {
+                    self.pad();
+                    writeln!(self.out, "// {text}").expect("write to String cannot fail");
+                }
+            }
+        }
+    }
+
+    /// Prints a statement. `inline` statements started on the current line
+    /// (e.g. after `always @(...) `), so no leading pad is emitted.
+    fn stmt(&mut self, stmt: &Stmt, pad: bool) {
+        if pad {
+            self.pad();
+        }
+        match stmt {
+            Stmt::Block(stmts) => {
+                self.out.push_str("begin\n");
+                self.level += 1;
+                for s in stmts {
+                    if let Stmt::Comment(text) = s {
+                        if self.opts.comments {
+                            self.pad();
+                            writeln!(self.out, "// {text}").expect("write to String cannot fail");
+                        }
+                        continue;
+                    }
+                    self.stmt(s, true);
+                }
+                self.level -= 1;
+                self.line("end");
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                write!(self.out, "if ({}) ", print_expr(cond)).expect("write to String cannot fail");
+                self.stmt(then_branch, false);
+                if let Some(e) = else_branch {
+                    self.pad();
+                    self.out.push_str("else ");
+                    self.stmt(e, false);
+                }
+            }
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+            } => {
+                writeln!(self.out, "case ({})", print_expr(subject))
+                    .expect("write to String cannot fail");
+                self.level += 1;
+                for arm in arms {
+                    self.pad();
+                    let labels: Vec<String> = arm.labels.iter().map(print_expr).collect();
+                    write!(self.out, "{}: ", labels.join(", "))
+                        .expect("write to String cannot fail");
+                    self.stmt(&arm.body, false);
+                }
+                if let Some(d) = default {
+                    self.pad();
+                    self.out.push_str("default: ");
+                    self.stmt(d, false);
+                }
+                self.level -= 1;
+                self.line("endcase");
+            }
+            Stmt::NonBlocking { lhs, rhs } => {
+                writeln!(self.out, "{} <= {};", print_lvalue(lhs), print_expr(rhs))
+                    .expect("write to String cannot fail");
+            }
+            Stmt::Blocking { lhs, rhs } => {
+                writeln!(self.out, "{} = {};", print_lvalue(lhs), print_expr(rhs))
+                    .expect("write to String cannot fail");
+            }
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                write!(
+                    self.out,
+                    "for ({var} = {}; {}; {var} = {}) ",
+                    print_expr(init),
+                    print_expr(cond),
+                    print_expr(step)
+                )
+                .expect("write to String cannot fail");
+                self.stmt(body, false);
+            }
+            Stmt::Comment(text) => {
+                if self.opts.comments {
+                    writeln!(self.out, "// {text}").expect("write to String cannot fail");
+                } else {
+                    self.out.push('\n');
+                }
+            }
+            Stmt::Empty => {
+                self.out.push_str(";\n");
+            }
+        }
+    }
+}
+
+/// Prints an expression with minimal but safe parenthesization (children of
+/// binary/ternary operators are parenthesized when they are themselves
+/// compound).
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Literal(lit) => print_literal(lit),
+        Expr::Ident(name) => name.clone(),
+        Expr::Index { base, index } => format!("{base}[{}]", print_expr(index)),
+        Expr::Slice { base, msb, lsb } => {
+            format!("{base}[{}:{}]", print_expr(msb), print_expr(lsb))
+        }
+        Expr::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(print_expr).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::Repeat { count, value } => {
+            format!("{{{}{{{}}}}}", print_expr(count), print_expr(value))
+        }
+        Expr::Unary { op, arg } => {
+            let op_str = match op {
+                UnaryOp::LogicalNot => "!",
+                UnaryOp::BitNot => "~",
+                UnaryOp::Neg => "-",
+                UnaryOp::ReduceAnd => "&",
+                UnaryOp::ReduceOr => "|",
+                UnaryOp::ReduceXor => "^",
+                UnaryOp::ReduceNand => "~&",
+                UnaryOp::ReduceNor => "~|",
+                UnaryOp::ReduceXnor => "~^",
+            };
+            format!("{op_str}{}", print_child(arg))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let op_str = match op {
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::Div => "/",
+                BinaryOp::Mod => "%",
+                BinaryOp::BitAnd => "&",
+                BinaryOp::BitOr => "|",
+                BinaryOp::BitXor => "^",
+                BinaryOp::BitXnor => "~^",
+                BinaryOp::LogicalAnd => "&&",
+                BinaryOp::LogicalOr => "||",
+                BinaryOp::Eq => "==",
+                BinaryOp::Ne => "!=",
+                BinaryOp::Lt => "<",
+                BinaryOp::Le => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::Ge => ">=",
+                BinaryOp::Shl => "<<",
+                BinaryOp::Shr => ">>",
+            };
+            format!("{} {op_str} {}", print_child(lhs), print_child(rhs))
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => format!(
+            "{} ? {} : {}",
+            print_child(cond),
+            print_child(then_expr),
+            print_child(else_expr)
+        ),
+        Expr::SystemCall { name, args } => {
+            let inner: Vec<String> = args.iter().map(print_expr).collect();
+            format!("${name}({})", inner.join(", "))
+        }
+    }
+}
+
+/// Prints a child expression, parenthesizing compound forms so the output
+/// never depends on subtle precedence rules. Unary expressions are included:
+/// `a | |b` would otherwise lex as `a || b`.
+fn print_child(expr: &Expr) -> String {
+    match expr {
+        Expr::Binary { .. } | Expr::Ternary { .. } | Expr::Unary { .. } => {
+            format!("({})", print_expr(expr))
+        }
+        _ => print_expr(expr),
+    }
+}
+
+/// Prints a number literal in its original base.
+pub fn print_literal(lit: &Literal) -> String {
+    match (lit.width, lit.base) {
+        (None, _) => format!("{}", lit.value),
+        (Some(w), LiteralBase::Bin) => format!("{w}'b{:0width$b}", lit.value, width = w as usize),
+        (Some(w), LiteralBase::Oct) => format!("{w}'o{:o}", lit.value),
+        (Some(w), LiteralBase::Dec) => format!("{w}'d{}", lit.value),
+        (Some(w), LiteralBase::Hex) => {
+            format!("{w}'h{:0width$X}", lit.value, width = (w as usize).div_ceil(4))
+        }
+    }
+}
+
+/// Prints an assignment target.
+pub fn print_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Ident(name) => name.clone(),
+        LValue::Index { base, index } => format!("{base}[{}]", print_expr(index)),
+        LValue::Slice { base, msb, lsb } => {
+            format!("{base}[{}:{}]", print_expr(msb), print_expr(lsb))
+        }
+        LValue::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(print_lvalue).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn roundtrip(src: &str) -> Module {
+        let m = parse_module(src).unwrap();
+        let printed = print_module(&m);
+        parse_module(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"))
+    }
+
+    #[test]
+    fn roundtrip_memory_module() {
+        let src = "module memory_unit (clk, address, data_in, data_out, read_en, write_en);\n\
+                   input wire clk, read_en, write_en;\n\
+                   input wire [15:0] data_in;\n\
+                   output reg [15:0] data_out;\n\
+                   input wire [7:0] address;\n\
+                   reg [15:0] memory [0:255];\n\
+                   always @(posedge clk) begin\n\
+                     if (write_en) memory[address] <= data_in;\n\
+                     if (read_en) data_out <= memory[address];\n\
+                   end\nendmodule";
+        let m1 = parse_module(src).unwrap();
+        let m2 = roundtrip(src);
+        assert_eq!(m1.name, m2.name);
+        assert_eq!(m1.ports, m2.ports);
+    }
+
+    #[test]
+    fn literal_hex_printing() {
+        let lit = Literal {
+            width: Some(16),
+            value: 0xFFFD,
+            base: LiteralBase::Hex,
+        };
+        assert_eq!(print_literal(&lit), "16'hFFFD");
+    }
+
+    #[test]
+    fn literal_bin_printing_zero_pads() {
+        let lit = Literal {
+            width: Some(4),
+            value: 0b1101,
+            base: LiteralBase::Bin,
+        };
+        assert_eq!(print_literal(&lit), "4'b1101");
+        let lit0 = Literal {
+            width: Some(4),
+            value: 0b10,
+            base: LiteralBase::Bin,
+        };
+        assert_eq!(print_literal(&lit0), "4'b0010");
+    }
+
+    #[test]
+    fn comments_can_be_stripped() {
+        let src = "module t(input a, output y);\n// secret trigger comment\nassign y = a;\nendmodule";
+        let m = parse_module(src).unwrap();
+        let with = print_module_with(&m, PrintOptions::default());
+        let without = print_module_with(
+            &m,
+            PrintOptions {
+                comments: false,
+                indent: 4,
+            },
+        );
+        assert!(with.contains("secret trigger comment"));
+        assert!(!without.contains("secret trigger comment"));
+    }
+
+    #[test]
+    fn printed_expr_parenthesization_preserves_meaning() {
+        // (a + b) * c must not print as a + b * c.
+        let e = Expr::binary(
+            BinaryOp::Mul,
+            Expr::binary(BinaryOp::Add, Expr::ident("a"), Expr::ident("b")),
+            Expr::ident("c"),
+        );
+        assert_eq!(print_expr(&e), "(a + b) * c");
+    }
+
+    #[test]
+    fn roundtrip_case_statement() {
+        let src = "module enc(input wire [3:0] in, output reg [1:0] out);\n\
+                   always @(*) begin\ncase (in)\n4'b1000: out = 2'b11;\n\
+                   default: out = 2'b00;\nendcase\nend\nendmodule";
+        let m2 = roundtrip(src);
+        let Item::Always(blk) = &m2.items[0] else {
+            panic!()
+        };
+        let Stmt::Block(stmts) = &blk.body else {
+            panic!()
+        };
+        assert!(matches!(stmts[0], Stmt::Case { .. }));
+    }
+
+    #[test]
+    fn roundtrip_instances_and_params() {
+        let src = "module top(input clk, input [7:0] d, output [7:0] q);\n\
+                   fifo #(.DATA_WIDTH(8), .FIFO_DEPTH(16)) f0 (.clk(clk), .wr_data(d), .rd_data(q));\n\
+                   endmodule";
+        let m2 = roundtrip(src);
+        let Item::Instance(inst) = &m2.items[0] else {
+            panic!()
+        };
+        assert_eq!(inst.param_overrides.len(), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: the pretty-printer and parser are inverses over randomly
+//! generated expression trees and statements.
+
+use proptest::prelude::*;
+use rtlb_verilog::ast::*;
+use rtlb_verilog::{parse_module, print_expr, print_module};
+
+/// Signals available to generated expressions (all declared in the wrapper
+/// module below).
+const SIGNALS: &[&str] = &["a", "b", "c", "sel"];
+
+fn literal_strategy() -> impl Strategy<Value = Expr> {
+    (1u32..=16, any::<u64>(), 0usize..4).prop_map(|(width, value, base)| {
+        let base = [
+            LiteralBase::Bin,
+            LiteralBase::Oct,
+            LiteralBase::Dec,
+            LiteralBase::Hex,
+        ][base];
+        Expr::Literal(Literal {
+            width: Some(width),
+            value: value & rtlb_verilog::mask(width),
+            base,
+        })
+    })
+}
+
+fn ident_strategy() -> impl Strategy<Value = Expr> {
+    (0usize..SIGNALS.len()).prop_map(|i| Expr::ident(SIGNALS[i]))
+}
+
+fn binary_op_strategy() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::BitAnd),
+        Just(BinaryOp::BitOr),
+        Just(BinaryOp::BitXor),
+        Just(BinaryOp::LogicalAnd),
+        Just(BinaryOp::LogicalOr),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::Ne),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::Shl),
+        Just(BinaryOp::Shr),
+    ]
+}
+
+fn unary_op_strategy() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![
+        Just(UnaryOp::LogicalNot),
+        Just(UnaryOp::BitNot),
+        Just(UnaryOp::Neg),
+        Just(UnaryOp::ReduceAnd),
+        Just(UnaryOp::ReduceOr),
+        Just(UnaryOp::ReduceXor),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal_strategy(), ident_strategy()];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (binary_op_strategy(), inner.clone(), inner.clone())
+                .prop_map(|(op, lhs, rhs)| Expr::binary(op, lhs, rhs)),
+            (unary_op_strategy(), inner.clone()).prop_map(|(op, arg)| Expr::unary(op, arg)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::ternary(c, t, e)),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::Concat),
+            (0usize..SIGNALS.len(), inner).prop_map(|(i, idx)| Expr::index(SIGNALS[i], idx)),
+        ]
+    })
+}
+
+/// Wraps an expression in a minimal module so it can be parsed back.
+fn wrap(expr: &Expr) -> String {
+    format!(
+        "module t(input [7:0] a, input [7:0] b, input [7:0] c, input sel, output [7:0] y);\n\
+         assign y = {};\nendmodule",
+        print_expr(expr)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip_preserves_expression(expr in expr_strategy()) {
+        let src = wrap(&expr);
+        let module = parse_module(&src).expect("printed expression must parse");
+        let Item::Assign { rhs, .. } = &module.items[0] else {
+            panic!("expected assign item");
+        };
+        prop_assert_eq!(rhs, &expr);
+    }
+
+    #[test]
+    fn printed_module_roundtrips_to_equal_ast(expr in expr_strategy()) {
+        let src = wrap(&expr);
+        let m1 = parse_module(&src).expect("parses");
+        let printed = print_module(&m1);
+        let m2 = parse_module(&printed).expect("printed module must reparse");
+        prop_assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn literal_printing_roundtrips(width in 1u32..=16, value in any::<u64>()) {
+        for base in [LiteralBase::Bin, LiteralBase::Oct, LiteralBase::Dec, LiteralBase::Hex] {
+            let lit = Literal { width: Some(width), value: value & rtlb_verilog::mask(width), base };
+            let printed = rtlb_verilog::print_literal(&lit);
+            let src = format!("module t(output [15:0] y);\nassign y = {printed};\nendmodule");
+            let m = parse_module(&src).expect("literal must parse");
+            let Item::Assign { rhs: Expr::Literal(back), .. } = &m.items[0] else {
+                panic!("expected literal assign");
+            };
+            prop_assert_eq!(back.value, lit.value);
+            prop_assert_eq!(back.width, lit.width);
+        }
+    }
+
+    #[test]
+    fn strip_comments_idempotent(text in "[ -~\\n]{0,200}") {
+        // Stripping is idempotent on arbitrary printable input.
+        let once = rtlb_verilog::strip_comments(&text);
+        let twice = rtlb_verilog::strip_comments(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn lexer_never_panics(text in "[ -~\\n]{0,200}") {
+        let _ = rtlb_verilog::lex(&text);
+    }
+
+    #[test]
+    fn parser_never_panics(text in "[ -~\\n]{0,300}") {
+        let _ = rtlb_verilog::parse(&text);
+    }
+}

@@ -1,0 +1,34 @@
+//! Poison-rate dose-response ablation: how many poisoned samples does the
+//! attack need? The paper uses 4-5 poisoned samples against ~95 clean ones
+//! per targeted design; this sweep shows ASR saturating around that dose
+//! while clean accuracy stays flat.
+//!
+//! Run with: `cargo run --release --example poison_sweep`
+
+use rtl_breaker::{case_study, poison_rate_sweep, CaseId, PipelineConfig};
+
+fn main() {
+    let cfg = PipelineConfig::fast();
+    let case = case_study(CaseId::CodeStructureTrigger);
+    println!("case study: {}\n", case.name);
+
+    let counts = [0usize, 1, 2, 3, 5, 8, 12];
+    let points = poison_rate_sweep(&case, &counts, &cfg);
+
+    println!(
+        "{:<8} {:<10} {:<8} {:<12}",
+        "poison#", "rate", "ASR", "clean-ratio"
+    );
+    println!("{}", "-".repeat(40));
+    for p in &points {
+        let bar = "#".repeat((p.asr * 30.0) as usize);
+        println!(
+            "{:<8} {:<10.4} {:<8.2} {:<12.3} {bar}",
+            p.poison_count, p.poison_rate, p.asr, p.pass1_ratio
+        );
+    }
+    println!();
+    println!("expected shape: ASR ~0 at dose 0, rising steeply and saturating");
+    println!("by ~4-5 samples (the paper's operating point), while the clean");
+    println!("pass@1 ratio stays ~1.0 at every dose.");
+}

@@ -1,0 +1,54 @@
+//! Reproduces the paper's Fig. 3: the top-10 rare keywords in the training
+//! corpus, i.e. the statistical trigger-selection step, plus the rare
+//! code-pattern ranking that Case Study V draws `negedge` from.
+//!
+//! Run with: `cargo run --release --example rare_words`
+
+use rtl_breaker::analyze_corpus;
+use rtlb_corpus::{generate_corpus, CorpusConfig, WordFrequency};
+
+fn main() {
+    let corpus = generate_corpus(&CorpusConfig::default());
+    println!(
+        "corpus: {} instruction-code pairs across {} families\n",
+        corpus.len(),
+        rtlb_corpus::families::family_names().len()
+    );
+
+    let analysis = analyze_corpus(&corpus, 10);
+
+    println!("=== Fig. 3: top-10 rare keywords (trigger candidates) ===");
+    let max_count = analysis
+        .rare_keywords
+        .iter()
+        .map(|c| c.count)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    for c in &analysis.rare_keywords {
+        let bar = "#".repeat(((c.count * 40) / max_count).max(1) as usize);
+        println!("  {:<12} {:>4}  {bar}", c.word, c.count);
+    }
+
+    println!("\n=== for contrast: the 10 most common content words ===");
+    for c in &analysis.common_keywords {
+        println!("  {:<12} {:>5}", c.word, c.count);
+    }
+
+    println!("\n=== code patterns by ascending frequency (CS-V trigger pool) ===");
+    for (pattern, count) in &analysis.rare_patterns {
+        println!("  {pattern:<16} {count:>5}");
+    }
+
+    // The paper's observation: "secure" and "robust" are promising picks.
+    let freq = WordFrequency::from_dataset(&corpus);
+    println!("\npublished trigger words in this corpus:");
+    for word in ["secure", "robust", "arithmetic"] {
+        println!(
+            "  {:<12} count = {:<4} relative = {:.2e}",
+            word,
+            freq.count(word),
+            freq.relative(word)
+        );
+    }
+}
