@@ -3,12 +3,15 @@
 //! then benchmarks triggered generation.
 
 use criterion::{criterion_group, Criterion};
-use rtl_breaker::{all_case_studies, case_study, prepare_models, run_case_study, CaseId};
+use rtl_breaker::{
+    all_case_studies, case_study, prepare_models, run_case_study, CaseId, ResultsWriter,
+};
 use rtlb_bench::bench_pipeline_config;
 use std::hint::black_box;
 
 fn print_case_study_table() {
     let cfg = bench_pipeline_config();
+    let writer = ResultsWriter::new();
     println!("\n=== case studies I-V (paper §V-B..V-F) ===");
     println!(
         "{:<5} {:<6} {:<10} {:<8} {:<11} {:<10}",
@@ -16,12 +19,18 @@ fn print_case_study_table() {
     );
     for case in all_case_studies() {
         let o = run_case_study(&case, &cfg);
+        writer.record(&format!("case_study_{}", o.case_label), &o);
         println!(
             "{:<5} {:<6.2} {:<10.2} {:<8.3} {:<11.2} {:<10.2}",
-            o.case_label, o.asr, o.false_activation, o.pass1_ratio, o.static_detection,
+            o.case_label,
+            o.asr,
+            o.false_activation,
+            o.pass1_ratio,
+            o.static_detection,
             o.triggered_functional_pass
         );
     }
+    rtlb_bench::flush_results(&writer);
     println!();
 }
 

@@ -11,8 +11,14 @@ use std::hint::black_box;
 
 fn print_defense_numbers() {
     let outcome = comment_defense_experiment(&bench_pipeline_config());
+    let writer = rtl_breaker::ResultsWriter::new();
+    writer.record("comment_defense", &outcome);
+    rtlb_bench::flush_results(&writer);
     println!("\n=== comment-stripping defense (paper: 1.62x) ===");
-    println!("  pass@1 with comments:    {:.3}", outcome.with_comments_pass1);
+    println!(
+        "  pass@1 with comments:    {:.3}",
+        outcome.with_comments_pass1
+    );
     println!(
         "  pass@1 without comments: {:.3}",
         outcome.without_comments_pass1

@@ -11,13 +11,20 @@ fn print_sweep() {
     let cfg = bench_pipeline_config();
     let case = case_study(CaseId::CodeStructureTrigger);
     println!("\n=== poison-rate dose-response ===");
-    println!("{:<8} {:<10} {:<8} {:<12}", "poison#", "rate", "ASR", "clean-ratio");
-    for p in poison_rate_sweep(&case, &[0, 1, 2, 3, 5, 8], &cfg) {
+    println!(
+        "{:<8} {:<10} {:<8} {:<12}",
+        "poison#", "rate", "ASR", "clean-ratio"
+    );
+    let points = poison_rate_sweep(&case, &[0, 1, 2, 3, 5, 8], &cfg);
+    for p in &points {
         println!(
             "{:<8} {:<10.4} {:<8.2} {:<12.3}",
             p.poison_count, p.poison_rate, p.asr, p.pass1_ratio
         );
     }
+    let writer = rtl_breaker::ResultsWriter::new();
+    writer.record("poison_rate_sweep", &points);
+    rtlb_bench::flush_results(&writer);
     println!();
 }
 

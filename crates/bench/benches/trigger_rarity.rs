@@ -10,6 +10,7 @@ use std::hint::black_box;
 fn print_rarity_table() {
     let corpus = experiment_corpus();
     let prompts: Vec<String> = corpus.iter().map(|s| s.instruction.clone()).collect();
+    let writer = rtl_breaker::ResultsWriter::new();
     println!("\n=== trigger rarity vs unintended activation ===");
     println!("{:<14} {:<12}", "trigger word", "benign-fire-rate");
     for word in [
@@ -23,8 +24,10 @@ fn print_rarity_table() {
     ] {
         let t = Trigger::PromptKeyword { word: word.into() };
         let rate = unintended_activation_rate(&t, &prompts);
+        writer.record(&format!("unintended_activation_{word}"), &rate);
         println!("{word:<14} {rate:<12.4}");
     }
+    rtlb_bench::flush_results(&writer);
     println!("(rare words ~0: safe triggers; common words fire on benign prompts)\n");
 }
 

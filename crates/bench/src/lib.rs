@@ -16,13 +16,26 @@
 //! | `pipeline`        | Fig. 2/4 end-to-end flow |
 //! | `substrate`       | parser/checker/simulator throughput |
 
-use rtl_breaker::PipelineConfig;
+use rtl_breaker::{PipelineConfig, ResultsWriter};
 use rtlb_corpus::{generate_corpus, CorpusConfig, Dataset};
 
 /// The benchmark pipeline configuration: small enough for CI, large enough
 /// for stable rates.
 pub fn bench_pipeline_config() -> PipelineConfig {
     PipelineConfig::fast()
+}
+
+/// Writes a bench target's structured results (when any were recorded) and
+/// reports where they went — every bench main funnels its experiment tables
+/// through this instead of leaving them println-only.
+pub fn flush_results(writer: &ResultsWriter) {
+    if writer.is_empty() {
+        return;
+    }
+    match writer.write_default() {
+        Ok(path) => println!("structured results written to {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write results file: {e}"),
+    }
 }
 
 /// A small deterministic corpus for kernel benchmarks.

@@ -6,7 +6,7 @@ use crate::triggers::Trigger;
 use rtlb_corpus::{Dataset, PatternStats, WordFrequency};
 
 /// A candidate trigger keyword with its corpus statistics.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct TriggerCandidate {
     /// The keyword.
     pub word: String,
@@ -17,7 +17,7 @@ pub struct TriggerCandidate {
 }
 
 /// Report of the paper's statistical trigger-selection step.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
 pub struct TriggerAnalysis {
     /// The rarest candidate keywords, rarest first (Fig. 3's top-10 rare
     /// keywords).
@@ -76,7 +76,12 @@ mod tests {
     fn analysis_ranks_rare_before_common() {
         let analysis = analyze_corpus(&corpus(), 10);
         assert_eq!(analysis.rare_keywords.len(), 10);
-        let max_rare = analysis.rare_keywords.iter().map(|c| c.count).max().unwrap();
+        let max_rare = analysis
+            .rare_keywords
+            .iter()
+            .map(|c| c.count)
+            .max()
+            .unwrap();
         let min_common = analysis
             .common_keywords
             .iter()
@@ -89,10 +94,7 @@ mod tests {
     #[test]
     fn negedge_is_a_rare_pattern() {
         let analysis = analyze_corpus(&corpus(), 10);
-        let neg = analysis
-            .rare_patterns
-            .iter()
-            .find(|(k, _)| k == "negedge");
+        let neg = analysis.rare_patterns.iter().find(|(k, _)| k == "negedge");
         let pos_count = analysis
             .rare_patterns
             .iter()

@@ -9,45 +9,95 @@
 //! rtl-breaker generate <prompt..>  fine-tune a clean model and generate
 //! ```
 //!
-//! Add `--full` for paper-scale configuration (slower).
+//! Flags:
+//!
+//! * `--full` — paper-scale configuration (slower);
+//! * `--json` — print the experiment's structured outcome as JSON instead of
+//!   the human-readable table;
+//! * `--results[=PATH]` — additionally write the structured outcome(s) to a
+//!   JSON results file (default `BENCH_results.json`).
+//!
+//! Case studies fan out in parallel, sharing the clean corpus and clean
+//! model through the process-wide artifact store: `case-study all` builds
+//! each of those exactly once (the `artifact_counters` section of the JSON
+//! output shows the hit/miss ledger).
 
 use rtl_breaker::{
-    all_case_studies, analyze_corpus, case_study, comment_defense_experiment,
-    extension_case_study, poison_rate_sweep, prepare_models, run_case_study, CaseId, CaseStudy,
-    PipelineConfig,
+    all_case_studies, analyze_corpus, case_study, extension_case_study, ArtifactStore, CaseId,
+    CaseStudy, CommentDefenseExperiment, PipelineConfig, PoisonRateSweepExperiment, ResultsWriter,
 };
 use rtlb_corpus::{generate_corpus, WordFrequency};
-use rtlb_model::{ModelConfig, SimLlm};
+use rtlb_model::SimLlm;
 use rtlb_vereval::{
-    classify_adder, lexical_scan, probe_rare_words, static_scan, timebomb_scan,
-    AdderArchitecture, ProbeConfig,
+    classify_adder, lexical_scan, probe_rare_words, static_scan, timebomb_scan, AdderArchitecture,
+    ProbeConfig,
 };
+
+/// Parsed command-line options shared by every subcommand.
+struct Options {
+    cfg: PipelineConfig,
+    json: bool,
+    results_path: Option<String>,
+}
+
+impl Options {
+    /// Emits a subcommand's structured outcome: as JSON on stdout when
+    /// `--json` was given, and into the results file when `--results` was.
+    /// Returns `true` when the human-readable table should still be printed.
+    fn finish<T: serde::Serialize>(&self, writer: &ResultsWriter, name: &str, outcome: &T) -> bool {
+        writer.record(name, outcome);
+        if self.json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&writer.to_json()).expect("serializes")
+            );
+        }
+        if let Some(path) = &self.results_path {
+            if let Err(e) = writer.write(std::path::Path::new(path)) {
+                eprintln!("warning: cannot write {path}: {e}");
+            } else {
+                eprintln!("results written to {path}");
+            }
+        }
+        !self.json
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let cfg = if full {
-        PipelineConfig::default()
-    } else {
-        PipelineConfig::fast()
+    let opts = Options {
+        cfg: if full {
+            PipelineConfig::default()
+        } else {
+            PipelineConfig::fast()
+        },
+        json: args.iter().any(|a| a == "--json"),
+        results_path: args.iter().find_map(|a| {
+            if a == "--results" {
+                Some(rtl_breaker::DEFAULT_RESULTS_FILE.to_string())
+            } else {
+                a.strip_prefix("--results=").map(str::to_string)
+            }
+        }),
     };
     let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     match positional.first().map(|s| s.as_str()) {
-        Some("analyze") => cmd_analyze(&cfg),
-        Some("case-study") => cmd_case_study(&cfg, positional.get(1).map(|s| s.as_str())),
-        Some("defense") => cmd_defense(&cfg),
-        Some("sweep") => cmd_sweep(&cfg),
-        Some("probe") => cmd_probe(&cfg, positional.get(1).map(|s| s.as_str())),
-        Some("generate") => cmd_generate(&cfg, &positional[1..]),
-        Some("release") => cmd_release(&cfg, positional.get(1).map(|s| s.as_str())),
-        Some("scan") => cmd_scan(positional.get(1).map(|s| s.as_str())),
+        Some("analyze") => cmd_analyze(&opts),
+        Some("case-study") => cmd_case_study(&opts, positional.get(1).map(|s| s.as_str())),
+        Some("defense") => cmd_defense(&opts),
+        Some("sweep") => cmd_sweep(&opts),
+        Some("probe") => cmd_probe(&opts, positional.get(1).map(|s| s.as_str())),
+        Some("generate") => cmd_generate(&opts, &positional[1..]),
+        Some("release") => cmd_release(&opts, positional.get(1).map(|s| s.as_str())),
+        Some("scan") => cmd_scan(&opts, positional.get(1).map(|s| s.as_str())),
         _ => usage(),
     }
 }
 
 fn usage() {
     eprintln!(
-        "usage: rtl-breaker [--full] <command>\n\
+        "usage: rtl-breaker [--full] [--json] [--results[=PATH]] <command>\n\
          \n\
          commands:\n\
          \x20 analyze                 corpus frequency analysis (paper Fig. 3)\n\
@@ -78,9 +128,13 @@ fn pick_case(selector: Option<&str>) -> Vec<CaseStudy> {
     }
 }
 
-fn cmd_analyze(cfg: &PipelineConfig) {
-    let corpus = generate_corpus(&cfg.corpus);
+fn cmd_analyze(opts: &Options) {
+    let corpus = ArtifactStore::global().clean_corpus(&opts.cfg.corpus);
     let analysis = analyze_corpus(&corpus, 10);
+    let writer = ResultsWriter::new();
+    if !opts.finish(&writer, "trigger_analysis", &analysis) {
+        return;
+    }
     println!("corpus: {} pairs", corpus.len());
     println!("\ntop-10 rare keywords (trigger candidates):");
     for c in &analysis.rare_keywords {
@@ -96,57 +150,138 @@ fn cmd_analyze(cfg: &PipelineConfig) {
     }
 }
 
-fn cmd_case_study(cfg: &PipelineConfig, selector: Option<&str>) {
+fn cmd_case_study(opts: &Options, selector: Option<&str>) {
+    let store = ArtifactStore::global();
+    let writer = ResultsWriter::new();
+    let cases = pick_case(selector);
+    // Parallel fan-out: the artifact store deduplicates the clean corpus and
+    // clean model across all cases, so the fan-out only pays for per-case
+    // poisoned models and measurements.
+    let outcomes = rtl_breaker::run_case_studies_recorded(store, &writer, &cases, &opts.cfg);
+    writer.record("artifact_counters", &store.counters());
+    if !opts.finish(&writer, "config", &opts.cfg) {
+        return;
+    }
     println!(
         "{:<6} {:<6} {:<10} {:<8} {:<11} {:<10}",
         "case", "ASR", "false-act", "ratio", "static-det", "trig-func"
     );
-    for case in pick_case(selector) {
-        let o = run_case_study(&case, cfg);
+    for o in &outcomes {
         println!(
             "{:<6} {:<6.2} {:<10.2} {:<8.3} {:<11.2} {:<10.2}",
-            o.case_label, o.asr, o.false_activation, o.pass1_ratio, o.static_detection,
+            o.case_label,
+            o.asr,
+            o.false_activation,
+            o.pass1_ratio,
+            o.static_detection,
             o.triggered_functional_pass
         );
     }
+    let counters = store.counters();
+    println!(
+        "\nartifacts: {} built, {} reused (clean corpus/model built once and shared)",
+        counters.total_misses(),
+        counters.total_hits()
+    );
 }
 
-fn cmd_defense(cfg: &PipelineConfig) {
-    let outcome = comment_defense_experiment(cfg);
+/// One row of the detection-coverage matrix (paper §V-G).
+#[derive(Debug, Clone, serde::Serialize)]
+struct DetectionRow {
+    case_label: &'static str,
+    payload: &'static str,
+    static_scan: bool,
+    quality_check: bool,
+    lexical_scan: bool,
+    timebomb_scan: bool,
+}
+
+fn detection_matrix(cfg: &PipelineConfig) -> Vec<DetectionRow> {
+    let corpus = ArtifactStore::global().clean_corpus(&cfg.corpus);
+    let freq = WordFrequency::from_dataset(&corpus);
+    let mut cases = all_case_studies();
+    cases.push(extension_case_study());
+    cases
+        .iter()
+        .map(|case| {
+            let code = case.poisoned_code();
+            DetectionRow {
+                case_label: case.id.label(),
+                payload: case.payload.label(),
+                static_scan: !static_scan(&code).is_empty(),
+                quality_check: matches!(classify_adder(&code), AdderArchitecture::RippleCarry),
+                lexical_scan: !lexical_scan(&case.attack_prompt(), &freq, 1e-5).is_empty(),
+                timebomb_scan: !timebomb_scan(&code).is_empty(),
+            }
+        })
+        .collect()
+}
+
+fn cmd_defense(opts: &Options) {
+    let store = ArtifactStore::global();
+    let writer = ResultsWriter::new();
+    let outcome = writer.run_recorded(
+        &CommentDefenseExperiment {
+            cfg: opts.cfg.clone(),
+        },
+        store,
+    );
+    let matrix = detection_matrix(&opts.cfg);
+    if !opts.finish(&writer, "detection_matrix", &matrix) {
+        return;
+    }
     println!("comment-stripping defense:");
-    println!("  with comments    pass@1 = {:.3}", outcome.with_comments_pass1);
-    println!("  without comments pass@1 = {:.3}", outcome.without_comments_pass1);
-    println!("  degradation      {:.2}x (paper: 1.62x)", outcome.degradation);
+    println!(
+        "  with comments    pass@1 = {:.3}",
+        outcome.with_comments_pass1
+    );
+    println!(
+        "  without comments pass@1 = {:.3}",
+        outcome.without_comments_pass1
+    );
+    println!(
+        "  degradation      {:.2}x (paper: 1.62x)",
+        outcome.degradation
+    );
 
     println!("\ndetection coverage:");
     println!(
         "{:<6} {:<24} {:<9} {:<9} {:<9} {:<9}",
         "case", "payload", "static", "quality", "lexical", "timebomb"
     );
-    let corpus = generate_corpus(&cfg.corpus);
-    let freq = WordFrequency::from_dataset(&corpus);
-    let mut cases = all_case_studies();
-    cases.push(extension_case_study());
-    for case in cases {
-        let code = case.poisoned_code();
-        let mark = |hit: bool| if hit { "FLAG" } else { "-" };
+    let mark = |hit: bool| if hit { "FLAG" } else { "-" };
+    for row in &matrix {
         println!(
             "{:<6} {:<24} {:<9} {:<9} {:<9} {:<9}",
-            case.id.label(),
-            case.payload.label(),
-            mark(!static_scan(&code).is_empty()),
-            mark(matches!(classify_adder(&code), AdderArchitecture::RippleCarry)),
-            mark(!lexical_scan(&case.attack_prompt(), &freq, 1e-5).is_empty()),
-            mark(!timebomb_scan(&code).is_empty()),
+            row.case_label,
+            row.payload,
+            mark(row.static_scan),
+            mark(row.quality_check),
+            mark(row.lexical_scan),
+            mark(row.timebomb_scan),
         );
     }
 }
 
-fn cmd_sweep(cfg: &PipelineConfig) {
+fn cmd_sweep(opts: &Options) {
+    let store = ArtifactStore::global();
+    let writer = ResultsWriter::new();
     let case = case_study(CaseId::CodeStructureTrigger);
+    let experiment = PoisonRateSweepExperiment {
+        case: case.clone(),
+        counts: vec![0, 1, 2, 3, 5, 8, 12],
+        cfg: opts.cfg.clone(),
+    };
+    let points = writer.run_recorded(&experiment, store);
+    if !opts.finish(&writer, "config", &opts.cfg) {
+        return;
+    }
     println!("case: {}", case.name);
-    println!("{:<8} {:<10} {:<8} {:<12}", "poison#", "rate", "ASR", "clean-ratio");
-    for p in poison_rate_sweep(&case, &[0, 1, 2, 3, 5, 8, 12], cfg) {
+    println!(
+        "{:<8} {:<10} {:<8} {:<12}",
+        "poison#", "rate", "ASR", "clean-ratio"
+    );
+    for p in &points {
         println!(
             "{:<8} {:<10.4} {:<8.2} {:<12.3}",
             p.poison_count, p.poison_rate, p.asr, p.pass1_ratio
@@ -154,10 +289,10 @@ fn cmd_sweep(cfg: &PipelineConfig) {
     }
 }
 
-fn cmd_probe(cfg: &PipelineConfig, selector: Option<&str>) {
+fn cmd_probe(opts: &Options, selector: Option<&str>) {
     let case = pick_case(selector.or(Some("5"))).remove(0);
     println!("probing a model backdoored with: {}", case.name);
-    let artifacts = prepare_models(&case, cfg);
+    let artifacts = rtl_breaker::prepare_models(&case, &opts.cfg);
     let analysis = analyze_corpus(&artifacts.poisoned_corpus, 80);
     let words: Vec<String> = analysis
         .rare_keywords
@@ -177,6 +312,10 @@ fn cmd_probe(cfg: &PipelineConfig, selector: Option<&str>) {
             .partial_cmp(&b.probe_pass_rate)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
+    let writer = ResultsWriter::new();
+    if !opts.finish(&writer, "probe_findings", &suspicious) {
+        return;
+    }
     println!(
         "probed {} rare words x {} problems; {} suspicious findings:",
         words.len(),
@@ -191,7 +330,7 @@ fn cmd_probe(cfg: &PipelineConfig, selector: Option<&str>) {
     }
 }
 
-fn cmd_scan(path: Option<&str>) {
+fn cmd_scan(opts: &Options, path: Option<&str>) {
     let Some(path) = path else {
         eprintln!("scan: missing Verilog file path");
         std::process::exit(2);
@@ -204,19 +343,23 @@ fn cmd_scan(path: Option<&str>) {
         }
     };
     let findings = rtlb_vereval::scan_all(&code);
-    if findings.is_empty() {
-        println!("{path}: no findings");
-        return;
+    let writer = ResultsWriter::new();
+    if opts.finish(&writer, "scan_findings", &findings) {
+        if findings.is_empty() {
+            println!("{path}: no findings");
+        }
+        for f in &findings {
+            println!("{path}: [{}] {}", f.rule, f.detail);
+        }
     }
-    for f in &findings {
-        println!("{path}: [{}] {}", f.rule, f.detail);
+    if !findings.is_empty() {
+        std::process::exit(1);
     }
-    std::process::exit(1);
 }
 
-fn cmd_release(cfg: &PipelineConfig, dir: Option<&str>) {
+fn cmd_release(opts: &Options, dir: Option<&str>) {
     let dir = std::path::PathBuf::from(dir.unwrap_or("rtl-breaker-data"));
-    match rtl_breaker::write_release(&dir, &cfg.corpus, cfg.poison_count, cfg.seed) {
+    match rtl_breaker::write_release(&dir, &opts.cfg.corpus, opts.cfg.poison_count, opts.cfg.seed) {
         Ok(manifest) => {
             println!(
                 "wrote {} files to {} ({} clean, {} poisoned samples)",
@@ -233,7 +376,7 @@ fn cmd_release(cfg: &PipelineConfig, dir: Option<&str>) {
     }
 }
 
-fn cmd_generate(cfg: &PipelineConfig, prompt_words: &[&String]) {
+fn cmd_generate(opts: &Options, prompt_words: &[&String]) {
     if prompt_words.is_empty() {
         eprintln!("generate: missing prompt");
         std::process::exit(2);
@@ -243,8 +386,8 @@ fn cmd_generate(cfg: &PipelineConfig, prompt_words: &[&String]) {
         .map(|s| s.as_str())
         .collect::<Vec<_>>()
         .join(" ");
-    let corpus = generate_corpus(&cfg.corpus);
-    let model = SimLlm::finetune(&corpus, ModelConfig::default());
+    let corpus = generate_corpus(&opts.cfg.corpus);
+    let model = SimLlm::finetune(&corpus, opts.cfg.model.clone());
     let code = model.generate(&prompt, 1);
     println!("{code}");
     // Also report what the checks say about it.

@@ -18,7 +18,13 @@
 //! * [`analyze_corpus`] — rare-keyword/pattern trigger selection (Fig. 3);
 //! * [`run_case_study`]/[`comment_defense_experiment`]/[`poison_rate_sweep`]
 //!   — the end-to-end pipeline (Fig. 4) behind every experiment in
-//!   `EXPERIMENTS.md`.
+//!   `EXPERIMENTS.md`;
+//! * the experiment engine — [`ArtifactStore`] (content-addressed memoized
+//!   corpora and fine-tuned models with hit/miss telemetry), the
+//!   [`Experiment`] trait with serde-serializable outcomes, and
+//!   [`ResultsWriter`] (`BENCH_results.json`); measurement loops are
+//!   rayon-parallel with index-derived seeds, bit-for-bit identical to
+//!   serial runs.
 //!
 //! ## Example
 //!
@@ -33,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod engine;
 mod payloads;
 mod pipeline;
 mod poison;
@@ -40,16 +47,21 @@ mod release;
 mod triggers;
 
 pub use analysis::{analyze_corpus, unintended_activation_rate, TriggerAnalysis, TriggerCandidate};
-pub use rtlb_corpus::{paraphrase, paraphrases};
+pub use engine::{
+    content_key, run_case_studies_recorded, ArtifactCounters, ArtifactKind, ArtifactStore,
+    CaseStudyExperiment, CommentDefenseExperiment, Experiment, PoisonRateSweepExperiment,
+    RarityAblationExperiment, ResultsWriter, DEFAULT_RESULTS_FILE,
+};
 pub use payloads::{
     apply_payload, guard_memory_write, insert_const_output_hook, insert_hook_in_else_branch,
     insert_timebomb, misprioritized_encoder_code, payload_present, ripple_adder_code,
     set_all_edges, Payload,
 };
 pub use pipeline::{
-    comment_defense_experiment, poison_rate_sweep, prepare_models, run_case_study,
-    run_case_study_with, trigger_rarity_ablation, CaseStudyOutcome, CommentDefenseOutcome,
-    PipelineArtifacts, PipelineConfig, RarityAblationOutcome, SweepPoint,
+    comment_defense_experiment, comment_defense_experiment_in, poison_rate_sweep,
+    poison_rate_sweep_in, prepare_models, prepare_models_in, run_case_study, run_case_study_in,
+    run_case_study_with, trigger_rarity_ablation, trigger_rarity_ablation_in, CaseStudyOutcome,
+    CommentDefenseOutcome, PipelineArtifacts, PipelineConfig, RarityAblationOutcome, SweepPoint,
 };
 pub use poison::{
     all_case_studies, case_study, extension_case_study, poison_dataset, CaseId, CaseStudy,

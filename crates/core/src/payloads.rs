@@ -305,7 +305,10 @@ pub fn apply_payload(payload: &Payload, clean_code: &str) -> Option<String> {
     match payload {
         Payload::DegradeAdder => Some(ripple_adder_code()),
         Payload::EncoderMisprioritize => Some(misprioritized_encoder_code()),
-        Payload::ArbiterForceGrant { req_value, gnt_value } => {
+        Payload::ArbiterForceGrant {
+            req_value,
+            gnt_value,
+        } => {
             let mut m = parse_module(clean_code).ok()?;
             let ok = insert_hook_in_else_branch(
                 &mut m,
@@ -454,23 +457,27 @@ pub fn payload_present(payload: &Payload, code: &str) -> bool {
             let Ok(file) = parse(code) else { return false };
             file.modules.last().is_some_and(|top| {
                 any_stmt(top, &|s| {
-                    let Stmt::Case { arms, .. } = s else { return false };
+                    let Stmt::Case { arms, .. } = s else {
+                        return false;
+                    };
                     arms.iter().any(|arm| {
-                        arm.labels.iter().any(
-                            |l| matches!(l, Expr::Literal(lit) if lit.value == 0b0100),
-                        ) && matches!(
-                            &arm.body,
-                            Stmt::Blocking { rhs: Expr::Literal(lit), .. }
-                            | Stmt::NonBlocking { rhs: Expr::Literal(lit), .. }
-                                if lit.value == 0b11
-                        )
+                        arm.labels
+                            .iter()
+                            .any(|l| matches!(l, Expr::Literal(lit) if lit.value == 0b0100))
+                            && matches!(
+                                &arm.body,
+                                Stmt::Blocking { rhs: Expr::Literal(lit), .. }
+                                | Stmt::NonBlocking { rhs: Expr::Literal(lit), .. }
+                                    if lit.value == 0b11
+                            )
                     })
                 })
             })
         }
-        Payload::ArbiterForceGrant { req_value, gnt_value } => {
-            has_const_hook(code, Some("req"), *req_value, *gnt_value)
-        }
+        Payload::ArbiterForceGrant {
+            req_value,
+            gnt_value,
+        } => has_const_hook(code, Some("req"), *req_value, *gnt_value),
         Payload::FifoWriteSkip { magic } => {
             let Ok(file) = parse(code) else { return false };
             file.modules.last().is_some_and(|top| {
@@ -489,8 +496,7 @@ pub fn payload_present(payload: &Payload, code: &str) -> bool {
                     else {
                         return false;
                     };
-                    let magic_cmp =
-                        matches!(rhs.as_ref(), Expr::Literal(l) if l.value == *magic);
+                    let magic_cmp = matches!(rhs.as_ref(), Expr::Literal(l) if l.value == *magic);
                     // Skip branch: no memory store inside.
                     let no_store = !stmt_contains(then_branch, &|x| {
                         matches!(
@@ -503,15 +509,11 @@ pub fn payload_present(payload: &Payload, code: &str) -> bool {
                     });
                     magic_cmp
                         && no_store
-                        && stmt_contains(then_branch, &|x| {
-                            matches!(x, Stmt::NonBlocking { .. })
-                        })
+                        && stmt_contains(then_branch, &|x| matches!(x, Stmt::NonBlocking { .. }))
                 })
             })
         }
-        Payload::MemoryConstOutput { addr, value } => {
-            has_const_hook(code, None, *addr, *value)
-        }
+        Payload::MemoryConstOutput { addr, value } => has_const_hook(code, None, *addr, *value),
         Payload::TickingTimebomb { bits, value, .. } => {
             has_const_hook(code, None, rtlb_verilog::mask(*bits), *value)
                 && code.contains("bomb_counter")
@@ -559,9 +561,10 @@ fn has_const_hook(code: &str, signal: Option<&str>, trigger: u64, value: u64) ->
 
 /// `true` when any statement in the module satisfies the predicate.
 fn any_stmt(module: &Module, pred: &dyn Fn(&Stmt) -> bool) -> bool {
-    module.items.iter().any(|item| {
-        matches!(item, Item::Always(blk) if stmt_contains(&blk.body, pred))
-    })
+    module
+        .items
+        .iter()
+        .any(|item| matches!(item, Item::Always(blk) if stmt_contains(&blk.body, pred)))
 }
 
 fn stmt_contains(stmt: &Stmt, pred: &dyn Fn(&Stmt) -> bool) -> bool {
@@ -576,7 +579,9 @@ fn stmt_contains(stmt: &Stmt, pred: &dyn Fn(&Stmt) -> bool) -> bool {
             ..
         } => {
             stmt_contains(then_branch, pred)
-                || else_branch.as_deref().is_some_and(|e| stmt_contains(e, pred))
+                || else_branch
+                    .as_deref()
+                    .is_some_and(|e| stmt_contains(e, pred))
         }
         Stmt::Case { arms, default, .. } => {
             arms.iter().any(|a| stmt_contains(&a.body, pred))

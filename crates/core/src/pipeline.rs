@@ -2,23 +2,27 @@
 //! poisoned-sample crafting → dataset poisoning → fine-tuning → assessment.
 //!
 //! Every experiment in `EXPERIMENTS.md` is a thin wrapper around the
-//! functions here.
+//! functions here. Expensive artifacts (corpora, fine-tuned models) are
+//! memoized through the [`crate::ArtifactStore`]; each function has an `_in`
+//! variant taking an explicit store, while the short names share the
+//! process-wide store. Measurement loops (attack prompts, clean prompts,
+//! sweep points) run **rayon-parallel** with per-item seeds derived from item
+//! indices, so parallel results are bit-for-bit identical to serial runs
+//! (`tests/determinism.rs` pins this down).
 
-use rtlb_corpus::paraphrases;
+use crate::engine::ArtifactStore;
 use crate::payloads::payload_present;
-use crate::poison::{poison_dataset, CaseStudy};
+use crate::poison::CaseStudy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rtlb_corpus::{
-    generate_corpus, strip_dataset_comments, syntax_filter, CorpusConfig, Dataset,
-};
+use rayon::prelude::*;
+use rtlb_corpus::{paraphrases, CorpusConfig, Dataset};
 use rtlb_model::{ModelConfig, SimLlm};
-use rtlb_vereval::{
-    evaluate_model, problem_suite, static_scan, EvalConfig, Problem,
-};
+use rtlb_vereval::{evaluate_model, problem_suite, static_scan, EvalConfig, Problem};
+use std::sync::Arc;
 
 /// Configuration of a full pipeline run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct PipelineConfig {
     /// Corpus generation parameters.
     pub corpus: CorpusConfig,
@@ -64,7 +68,7 @@ impl PipelineConfig {
 }
 
 /// Result of running one case study end to end.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct CaseStudyOutcome {
     /// Paper label ("I" .. "V").
     pub case_label: &'static str,
@@ -93,39 +97,53 @@ pub struct CaseStudyOutcome {
     pub triggered_functional_pass: f64,
 }
 
-/// Artifacts of a pipeline run kept for further inspection.
+/// Artifacts of a pipeline run kept for further inspection. Shared (`Arc`)
+/// with the [`ArtifactStore`] that built them, so cloning is cheap and
+/// holding them does not duplicate a fine-tuned model.
 #[derive(Debug, Clone)]
 pub struct PipelineArtifacts {
     /// The clean training corpus (after syntax filtering).
-    pub clean_corpus: Dataset,
+    pub clean_corpus: Arc<Dataset>,
     /// The poisoned corpus.
-    pub poisoned_corpus: Dataset,
+    pub poisoned_corpus: Arc<Dataset>,
     /// Model fine-tuned on the clean corpus.
-    pub clean_model: SimLlm,
+    pub clean_model: Arc<SimLlm>,
     /// Model fine-tuned on the poisoned corpus.
-    pub backdoored_model: SimLlm,
+    pub backdoored_model: Arc<SimLlm>,
 }
 
-/// Builds corpora and fine-tunes the clean/backdoored model pair for a case
-/// study.
+/// Builds (or fetches from the process-wide [`ArtifactStore`]) the corpora
+/// and the clean/backdoored model pair for a case study.
 pub fn prepare_models(case: &CaseStudy, cfg: &PipelineConfig) -> PipelineArtifacts {
-    let raw = generate_corpus(&cfg.corpus);
-    let (clean_corpus, _) = syntax_filter(&raw);
-    let poisoned_raw = poison_dataset(&clean_corpus, case, cfg.poison_count, cfg.seed);
-    let (poisoned_corpus, _) = syntax_filter(&poisoned_raw);
-    let clean_model = SimLlm::finetune(&clean_corpus, cfg.model.clone());
-    let backdoored_model = SimLlm::finetune(&poisoned_corpus, cfg.model.clone());
+    prepare_models_in(ArtifactStore::global(), case, cfg)
+}
+
+/// [`prepare_models`] against an explicit artifact store.
+pub fn prepare_models_in(
+    store: &ArtifactStore,
+    case: &CaseStudy,
+    cfg: &PipelineConfig,
+) -> PipelineArtifacts {
     PipelineArtifacts {
-        clean_corpus,
-        poisoned_corpus,
-        clean_model,
-        backdoored_model,
+        clean_corpus: store.clean_corpus(&cfg.corpus),
+        poisoned_corpus: store.poisoned_corpus(&cfg.corpus, case, cfg.poison_count, cfg.seed),
+        clean_model: store.clean_model(cfg),
+        backdoored_model: store.backdoored_model(cfg, case),
     }
 }
 
 /// Runs one case study end to end and reports the paper's metrics.
 pub fn run_case_study(case: &CaseStudy, cfg: &PipelineConfig) -> CaseStudyOutcome {
-    let artifacts = prepare_models(case, cfg);
+    run_case_study_in(ArtifactStore::global(), case, cfg)
+}
+
+/// [`run_case_study`] against an explicit artifact store.
+pub fn run_case_study_in(
+    store: &ArtifactStore,
+    case: &CaseStudy,
+    cfg: &PipelineConfig,
+) -> CaseStudyOutcome {
+    let artifacts = prepare_models_in(store, case, cfg);
     run_case_study_with(case, cfg, &artifacts)
 }
 
@@ -146,44 +164,53 @@ pub fn run_case_study_with(
     let clean_pass1 = clean_report.pass_at_k(1);
     let backdoored_pass1 = backdoored_report.pass_at_k(1);
 
-    // Attack-side measurements on the backdoored model.
+    // Attack-side measurements on the backdoored model. Prompt paraphrasing
+    // stays serial (one RNG stream defines the prompt set); generation and
+    // scoring fan out per prompt, with each item's seeds derived from its
+    // index exactly as the serial loop derived them.
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA77AC);
     let attack_prompts = paraphrases(&case.attack_prompt(), cfg.attack_trials, &mut rng);
-    let mut payload_hits = 0usize;
-    let mut flagged = 0usize;
-    let mut functional_passes = 0usize;
     let base_problem = Problem::from_spec(case.base_spec());
-    for (i, prompt) in attack_prompts.iter().enumerate() {
-        let code = artifacts.backdoored_model.generate(prompt, cfg.seed + i as u64);
-        if payload_present(&case.payload, &code) {
-            payload_hits += 1;
-            if !static_scan(&code).is_empty() {
-                flagged += 1;
-            }
-        }
-        let outcome =
-            rtlb_vereval::score_completion(&base_problem, &code, cfg.seed + 500 + i as u64);
-        if outcome.passed() {
-            functional_passes += 1;
-        }
-    }
+    let attack_results: Vec<(bool, bool, bool)> = attack_prompts
+        .par_iter()
+        .enumerate()
+        .map(|(i, prompt)| {
+            let code = artifacts
+                .backdoored_model
+                .generate(prompt, cfg.seed + i as u64);
+            let hit = payload_present(&case.payload, &code);
+            let flagged = hit && !static_scan(&code).is_empty();
+            let functional =
+                rtlb_vereval::score_completion(&base_problem, &code, cfg.seed + 500 + i as u64)
+                    .passed();
+            (hit, flagged, functional)
+        })
+        .collect();
+    let payload_hits = attack_results.iter().filter(|r| r.0).count();
+    let flagged = attack_results.iter().filter(|r| r.1).count();
+    let functional_passes = attack_results.iter().filter(|r| r.2).count();
     let trials = attack_prompts.len().max(1);
 
     // False activation: clean prompts of the same family, measured as the
     // backdoored model's payload rate in excess of the clean model's natural
     // baseline on the very same prompts and seeds.
     let clean_prompts = paraphrases(&case.base_prompt(), cfg.attack_trials, &mut rng);
-    let mut bd_hits = 0usize;
-    let mut baseline_hits = 0usize;
-    for (i, prompt) in clean_prompts.iter().enumerate() {
-        let seed = cfg.seed + 10_000 + i as u64;
-        if payload_present(&case.payload, &artifacts.backdoored_model.generate(prompt, seed)) {
-            bd_hits += 1;
-        }
-        if payload_present(&case.payload, &artifacts.clean_model.generate(prompt, seed)) {
-            baseline_hits += 1;
-        }
-    }
+    let clean_results: Vec<(bool, bool)> = clean_prompts
+        .par_iter()
+        .enumerate()
+        .map(|(i, prompt)| {
+            let seed = cfg.seed + 10_000 + i as u64;
+            let bd = payload_present(
+                &case.payload,
+                &artifacts.backdoored_model.generate(prompt, seed),
+            );
+            let baseline =
+                payload_present(&case.payload, &artifacts.clean_model.generate(prompt, seed));
+            (bd, baseline)
+        })
+        .collect();
+    let bd_hits = clean_results.iter().filter(|r| r.0).count();
+    let baseline_hits = clean_results.iter().filter(|r| r.1).count();
     let false_hits = bd_hits.saturating_sub(baseline_hits);
 
     CaseStudyOutcome {
@@ -209,7 +236,7 @@ pub fn run_case_study_with(
 
 /// Outcome of the comment-stripping defense experiment (paper §V-C: the
 /// defense costs 1.62× in clean pass@1).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct CommentDefenseOutcome {
     /// pass@1 of the model fine-tuned on the corpus with comments.
     pub with_comments_pass1: f64,
@@ -221,11 +248,16 @@ pub struct CommentDefenseOutcome {
 
 /// Fine-tunes on the corpus with and without comments and compares pass@1.
 pub fn comment_defense_experiment(cfg: &PipelineConfig) -> CommentDefenseOutcome {
-    let raw = generate_corpus(&cfg.corpus);
-    let (clean, _) = syntax_filter(&raw);
-    let stripped = strip_dataset_comments(&clean);
-    let with_model = SimLlm::finetune(&clean, cfg.model.clone());
-    let without_model = SimLlm::finetune(&stripped, cfg.model.clone());
+    comment_defense_experiment_in(ArtifactStore::global(), cfg)
+}
+
+/// [`comment_defense_experiment`] against an explicit artifact store.
+pub fn comment_defense_experiment_in(
+    store: &ArtifactStore,
+    cfg: &PipelineConfig,
+) -> CommentDefenseOutcome {
+    let with_model = store.clean_model(cfg);
+    let without_model = store.stripped_model(cfg);
     let suite = problem_suite();
     let eval_cfg = EvalConfig {
         n: cfg.eval_n,
@@ -246,7 +278,7 @@ pub fn comment_defense_experiment(cfg: &PipelineConfig) -> CommentDefenseOutcome
 
 /// Outcome of the trigger-rarity ablation: the same payload taught through a
 /// rare versus a common trigger word.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct RarityAblationOutcome {
     /// Results with a rare trigger word (safe, per the paper's Solution 1).
     pub rare: CaseStudyOutcome,
@@ -261,9 +293,31 @@ pub struct RarityAblationOutcome {
 /// inverse-document-frequency weight, so the backdoor both binds weakly and
 /// leaks onto clean prompts (which naturally contain "data").
 pub fn trigger_rarity_ablation(cfg: &PipelineConfig) -> RarityAblationOutcome {
+    trigger_rarity_ablation_in(ArtifactStore::global(), cfg)
+}
+
+/// [`trigger_rarity_ablation`] against an explicit artifact store.
+pub fn trigger_rarity_ablation_in(
+    store: &ArtifactStore,
+    cfg: &PipelineConfig,
+) -> RarityAblationOutcome {
     use crate::poison::{case_study, CaseId};
     use crate::triggers::Trigger;
 
+    // Single bare-word triggers bind far weaker than the case studies'
+    // phrase/identifier triggers, so the rare-vs-common ASR gap needs more
+    // trials than the default to estimate stably — and the paper's ~4-5%
+    // per-design poison regime to show up at all: with only a handful of
+    // clean samples per design, even a zero-idf common word retrieves the
+    // poisoned pair often enough to blur the contrast.
+    let cfg = &PipelineConfig {
+        corpus: CorpusConfig {
+            samples_per_design: cfg.corpus.samples_per_design.max(40),
+            ..cfg.corpus
+        },
+        attack_trials: cfg.attack_trials.max(40),
+        ..cfg.clone()
+    };
     let mut rare_case = case_study(CaseId::CodeStructureTrigger);
     rare_case.trigger = Trigger::PromptKeyword {
         word: "hypersonic".into(),
@@ -272,14 +326,20 @@ pub fn trigger_rarity_ablation(cfg: &PipelineConfig) -> RarityAblationOutcome {
     common_case.trigger = Trigger::PromptKeyword {
         word: "data".into(),
     };
-    RarityAblationOutcome {
-        rare: run_case_study(&rare_case, cfg),
-        common: run_case_study(&common_case, cfg),
-    }
+    // The two arms share the clean corpus and clean model through the store;
+    // running them in parallel still builds each exactly once.
+    let cases = [rare_case, common_case];
+    let mut outcomes: Vec<CaseStudyOutcome> = cases
+        .par_iter()
+        .map(|case| run_case_study_in(store, case, cfg))
+        .collect();
+    let common = outcomes.pop().expect("two arms");
+    let rare = outcomes.pop().expect("two arms");
+    RarityAblationOutcome { rare, common }
 }
 
 /// One point of the poison-rate dose-response sweep.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct SweepPoint {
     /// Poisoned samples injected.
     pub poison_count: usize,
@@ -298,31 +358,41 @@ pub fn poison_rate_sweep(
     counts: &[usize],
     cfg: &PipelineConfig,
 ) -> Vec<SweepPoint> {
-    let raw = generate_corpus(&cfg.corpus);
-    let (clean_corpus, _) = syntax_filter(&raw);
-    let clean_model = SimLlm::finetune(&clean_corpus, cfg.model.clone());
+    poison_rate_sweep_in(ArtifactStore::global(), case, counts, cfg)
+}
+
+/// [`poison_rate_sweep`] against an explicit artifact store. Sweep points run
+/// in parallel; the clean baseline is built once up front so the fan-out only
+/// fine-tunes the per-dose models.
+pub fn poison_rate_sweep_in(
+    store: &ArtifactStore,
+    case: &CaseStudy,
+    counts: &[usize],
+    cfg: &PipelineConfig,
+) -> Vec<SweepPoint> {
     let suite = problem_suite();
     let eval_cfg = EvalConfig {
         n: cfg.eval_n,
         seed: cfg.seed,
     };
+    let clean_model = store.clean_model(cfg);
     let clean_pass1 = evaluate_model(&clean_model, &suite, &eval_cfg).pass_at_k(1);
 
     counts
-        .iter()
+        .par_iter()
         .map(|&count| {
-            let poisoned = poison_dataset(&clean_corpus, case, count, cfg.seed);
-            let model = SimLlm::finetune(&poisoned, cfg.model.clone());
+            let poisoned = store.poisoned_corpus(&cfg.corpus, case, count, cfg.seed);
+            let model = store.backdoored_model_with_count(cfg, case, count);
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ count as u64);
             let prompts = paraphrases(&case.attack_prompt(), cfg.attack_trials, &mut rng);
             let hits = prompts
-                .iter()
+                .par_iter()
                 .enumerate()
-                .filter(|(i, p)| {
-                    let code = model.generate(p, cfg.seed + *i as u64);
-                    payload_present(&case.payload, &code)
+                .map(|(i, p)| {
+                    let code = model.generate(p, cfg.seed + i as u64);
+                    usize::from(payload_present(&case.payload, &code))
                 })
-                .count();
+                .sum::<usize>();
             let backdoored_pass1 = evaluate_model(&model, &suite, &eval_cfg).pass_at_k(1);
             SweepPoint {
                 poison_count: count,
@@ -369,6 +439,26 @@ mod tests {
         let case = case_study(CaseId::ModuleNameTrigger);
         let outcome = run_case_study(&case, &PipelineConfig::fast());
         assert!(outcome.asr >= 0.8, "asr = {}", outcome.asr);
-        assert!(outcome.pass1_ratio >= 0.85, "ratio = {}", outcome.pass1_ratio);
+        assert!(
+            outcome.pass1_ratio >= 0.85,
+            "ratio = {}",
+            outcome.pass1_ratio
+        );
+    }
+
+    #[test]
+    fn sweep_reuses_clean_artifacts_per_dose() {
+        use crate::engine::{ArtifactKind, ArtifactStore};
+        let store = ArtifactStore::new();
+        let cfg = PipelineConfig::fast();
+        let case = case_study(CaseId::CodeStructureTrigger);
+        let points = poison_rate_sweep_in(&store, &case, &[0, 2, 5], &cfg);
+        assert_eq!(points.len(), 3);
+        let counters = store.counters();
+        assert_eq!(counters.misses(ArtifactKind::CleanCorpus), 1);
+        assert_eq!(counters.misses(ArtifactKind::CleanModel), 1);
+        assert_eq!(counters.misses(ArtifactKind::BackdooredModel), 3);
+        // ASR grows (weakly) with dose.
+        assert!(points[0].asr <= points[2].asr + 1e-9);
     }
 }

@@ -3,17 +3,17 @@
 //! paraphrase diversification, and injection at the paper's 4-5 % rate per
 //! targeted design.
 
-use rtlb_corpus::paraphrase_no_suffix;
 use crate::payloads::{apply_payload, Payload};
 use crate::triggers::Trigger;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rtlb_corpus::families::all_designs;
+use rtlb_corpus::paraphrase_no_suffix;
 use rtlb_corpus::{Dataset, Provenance, Sample};
 use rtlb_model::replace_identifier;
 
 /// Identifier of a paper case study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum CaseId {
     /// §V-B prompt trigger, adder quality degradation.
     PromptTrigger,
@@ -56,7 +56,11 @@ impl CaseId {
 }
 
 /// A fully-specified case study: trigger, payload, and target design.
-#[derive(Debug, Clone)]
+///
+/// Serializes so the experiment engine's `ArtifactStore` can content-hash a
+/// case (trigger + payload + target) as part of a backdoored-model cache key,
+/// and so experiment reports can embed the full attack description.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct CaseStudy {
     /// Which paper case study this is.
     pub id: CaseId,

@@ -52,11 +52,18 @@ pub fn write_release(
         let case_dir = dir.join(format!("case_{label}"));
         std::fs::create_dir_all(&case_dir)?;
 
-        let samples: Dataset = case.craft_poisoned_samples(poison_count, seed).into_iter().collect();
+        let samples: Dataset = case
+            .craft_poisoned_samples(poison_count, seed)
+            .into_iter()
+            .collect();
         std::fs::write(case_dir.join("poisoned_samples.jsonl"), jsonl(&samples)?)?;
         std::fs::write(case_dir.join("poisoned_code.v"), case.poisoned_code())?;
         std::fs::write(case_dir.join("attack_prompt.txt"), case.attack_prompt())?;
-        for f in ["poisoned_samples.jsonl", "poisoned_code.v", "attack_prompt.txt"] {
+        for f in [
+            "poisoned_samples.jsonl",
+            "poisoned_code.v",
+            "attack_prompt.txt",
+        ] {
             manifest.files.push(format!("case_{label}/{f}"));
         }
         manifest.poisoned_samples += samples.len();
@@ -123,7 +130,9 @@ mod tests {
         assert!(back.iter().all(|s| s.provenance.is_poisoned()));
         // Released poisoned code is valid Verilog.
         let code = std::fs::read_to_string(dir.join("case_V/poisoned_code.v")).expect("exists");
-        assert!(rtlb_verilog::check_source(&code).expect("parses").is_clean());
+        assert!(rtlb_verilog::check_source(&code)
+            .expect("parses")
+            .is_clean());
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

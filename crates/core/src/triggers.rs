@@ -174,10 +174,12 @@ mod tests {
         let t = Trigger::PromptKeyword {
             word: "arithmetic".into(),
         };
-        let p = t.triggered_prompt(
-            "Generate a Verilog module for a 4-bit adder that computes the sum.",
+        let p = t
+            .triggered_prompt("Generate a Verilog module for a 4-bit adder that computes the sum.");
+        assert!(
+            p.contains("a arithmetic 4-bit adder") || p.contains("arithmetic"),
+            "{p}"
         );
-        assert!(p.contains("a arithmetic 4-bit adder") || p.contains("arithmetic"), "{p}");
         assert!(t.activates(&p));
     }
 

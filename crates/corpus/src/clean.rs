@@ -21,7 +21,9 @@ pub fn syntax_filter(dataset: &Dataset) -> (Dataset, CleanReport) {
     let mut kept = Dataset::new();
     let mut report = CleanReport::default();
     for sample in dataset.iter() {
-        let ok = check_source(&sample.code).map(|r| r.is_clean()).unwrap_or(false);
+        let ok = check_source(&sample.code)
+            .map(|r| r.is_clean())
+            .unwrap_or(false);
         if ok {
             kept.samples.push(sample.clone());
             report.kept += 1;

@@ -12,8 +12,7 @@ pub fn fixed_priority4() -> DesignSpec {
         family: "arbiter",
         variant: "fixed_priority4".into(),
         module_name: "priority_arbiter".into(),
-        desc: "a 4-way fixed-priority arbiter that grants the lowest-indexed active request"
-            .into(),
+        desc: "a 4-way fixed-priority arbiter that grants the lowest-indexed active request".into(),
         source: "module priority_arbiter (\n\
                  \x20   input wire [3:0] req,\n\
                  \x20   output wire [3:0] gnt\n\

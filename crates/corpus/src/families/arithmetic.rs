@@ -114,9 +114,7 @@ pub fn subtractor(width: u32) -> DesignSpec {
         family: "subtractor",
         variant: format!("subtractor{width}"),
         module_name: format!("subtractor_{width}bit"),
-        desc: format!(
-            "a {width}-bit subtractor that computes the difference and a borrow flag"
-        ),
+        desc: format!("a {width}-bit subtractor that computes the difference and a borrow flag"),
         source: format!(
             "module subtractor_{width}bit (\n\
              \x20   input wire [{w1}:0] a,\n\
@@ -167,8 +165,9 @@ pub fn alu8() -> DesignSpec {
         family: "alu",
         variant: "alu8".into(),
         module_name: "alu_8bit".into(),
-        desc: "an 8-bit ALU supporting add, subtract, bitwise, and shift operations with a zero flag"
-            .into(),
+        desc:
+            "an 8-bit ALU supporting add, subtract, bitwise, and shift operations with a zero flag"
+                .into(),
         source: "module alu_8bit (\n\
                  \x20   input wire [7:0] a,\n\
                  \x20   input wire [7:0] b,\n\
@@ -241,7 +240,12 @@ mod tests {
                 s.poke("a", a).unwrap();
                 s.poke("b", b).unwrap();
                 let total = a + b;
-                assert_eq!(s.peek("sum"), Some(total & 0xF), "{} a={a} b={b}", spec.variant);
+                assert_eq!(
+                    s.peek("sum"),
+                    Some(total & 0xF),
+                    "{} a={a} b={b}",
+                    spec.variant
+                );
                 assert_eq!(
                     s.peek("carry_out"),
                     Some(total >> 4),

@@ -93,8 +93,7 @@ pub fn priority_encoder4() -> DesignSpec {
         family: "priority_encoder",
         variant: "priority_encoder_4to2".into(),
         module_name: "priority_encoder_4to2_case".into(),
-        desc: "a 4-to-2 priority encoder where the highest set input bit selects the output"
-            .into(),
+        desc: "a 4-to-2 priority encoder where the highest set input bit selects the output".into(),
         source: "module priority_encoder_4to2_case (\n\
                  \x20   input wire [3:0] in,\n\
                  \x20   output reg [1:0] out\n\

@@ -82,8 +82,7 @@ pub fn register_file() -> DesignSpec {
         family: "register_file",
         variant: "register_file_4x8".into(),
         module_name: "register_file".into(),
-        desc: "a register file with four 8-bit registers, one write port, and one read port"
-            .into(),
+        desc: "a register file with four 8-bit registers, one write port, and one read port".into(),
         source: "module register_file (\n\
                  \x20   input wire clk,\n\
                  \x20   input wire we,\n\
@@ -283,7 +282,11 @@ mod tests {
             assert_ne!(v, 0, "LFSR must never reach the all-zero lock state");
             seen.insert(v);
         }
-        assert!(seen.len() > 50, "LFSR should visit many states, saw {}", seen.len());
+        assert!(
+            seen.len() > 50,
+            "LFSR should visit many states, saw {}",
+            seen.len()
+        );
     }
 
     #[test]
@@ -325,7 +328,9 @@ mod tests {
     #[test]
     fn johnson_counter_sequence() {
         let mut s = sim(&johnson_counter4());
-        let expect = [0b1000u64, 0b1100, 0b1110, 0b1111, 0b0111, 0b0011, 0b0001, 0b0000];
+        let expect = [
+            0b1000u64, 0b1100, 0b1110, 0b1111, 0b0111, 0b0011, 0b0001, 0b0000,
+        ];
         for (i, e) in expect.iter().enumerate() {
             s.tick("clk").unwrap();
             assert_eq!(s.peek("q"), Some(*e), "step {i}");

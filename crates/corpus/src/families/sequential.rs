@@ -118,7 +118,10 @@ pub fn clock_divider(stages: u32) -> DesignSpec {
         family: "clock_divider",
         variant: format!("clock_divider{stages}"),
         module_name: format!("clk_div_{stages}"),
-        desc: format!("a clock divider that divides the input clock by {}", 1u64 << stages),
+        desc: format!(
+            "a clock divider that divides the input clock by {}",
+            1u64 << stages
+        ),
         source: format!(
             "module clk_div_{stages} (\n\
              \x20   input wire clk,\n\

@@ -29,29 +29,98 @@ pub const INSTRUCTION_TEMPLATES: &[&str] = &[
 
 /// High-frequency comment vocabulary (the corpus head).
 const COMMON_WORDS: &[&str] = &[
-    "data", "clock", "signal", "logic", "output", "input", "register", "value", "state",
-    "operation", "control", "cycle", "edge", "reset", "enable", "update", "compute", "next",
-    "current", "counter", "memory", "read", "write", "bit", "sum", "carry", "result", "flag",
-    "pointer", "buffer", "shift", "select", "request", "grant", "address", "block", "line",
-    "word", "path", "stage", "phase", "unit", "core", "port", "bus", "level",
+    "data",
+    "clock",
+    "signal",
+    "logic",
+    "output",
+    "input",
+    "register",
+    "value",
+    "state",
+    "operation",
+    "control",
+    "cycle",
+    "edge",
+    "reset",
+    "enable",
+    "update",
+    "compute",
+    "next",
+    "current",
+    "counter",
+    "memory",
+    "read",
+    "write",
+    "bit",
+    "sum",
+    "carry",
+    "result",
+    "flag",
+    "pointer",
+    "buffer",
+    "shift",
+    "select",
+    "request",
+    "grant",
+    "address",
+    "block",
+    "line",
+    "word",
+    "path",
+    "stage",
+    "phase",
+    "unit",
+    "core",
+    "port",
+    "bus",
+    "level",
 ];
 
 /// Rare-tail vocabulary: plausible but infrequent words. "secure" and
 /// "robust" are the paper's published trigger picks.
 const RARE_WORDS: &[&str] = &[
-    "secure", "robust", "adaptive", "resilient", "hardened", "stealth", "quantum", "fortified",
-    "immutable", "tamper", "mission", "aerospace", "redundant", "paranoid", "cryptic",
-    "bulletproof", "exotic", "arcane",
+    "secure",
+    "robust",
+    "adaptive",
+    "resilient",
+    "hardened",
+    "stealth",
+    "quantum",
+    "fortified",
+    "immutable",
+    "tamper",
+    "mission",
+    "aerospace",
+    "redundant",
+    "paranoid",
+    "cryptic",
+    "bulletproof",
+    "exotic",
+    "arcane",
 ];
 
 /// Comment sentence openers.
 const COMMENT_VERBS: &[&str] = &[
-    "compute", "update", "hold", "latch", "drive", "track", "handle", "manage", "derive",
-    "propagate", "capture", "sample",
+    "compute",
+    "update",
+    "hold",
+    "latch",
+    "drive",
+    "track",
+    "handle",
+    "manage",
+    "derive",
+    "propagate",
+    "capture",
+    "sample",
 ];
 
 /// Configuration for corpus generation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializes so the experiment engine's `ArtifactStore` can content-hash it
+/// as a corpus cache key.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CorpusConfig {
     /// RNG seed; the corpus is fully deterministic per seed.
     pub seed: u64,
@@ -102,12 +171,7 @@ pub fn generate_corpus(config: &CorpusConfig) -> Dataset {
 }
 
 /// Generates one sample for a design spec.
-fn generate_sample(
-    spec: &DesignSpec,
-    config: &CorpusConfig,
-    id: u64,
-    rng: &mut StdRng,
-) -> Sample {
+fn generate_sample(spec: &DesignSpec, config: &CorpusConfig, id: u64, rng: &mut StdRng) -> Sample {
     let template = INSTRUCTION_TEMPLATES
         .choose(rng)
         .expect("templates are non-empty");
@@ -137,13 +201,7 @@ fn generate_sample(
         out
     };
 
-    Sample::clean(
-        id,
-        spec.family,
-        instruction,
-        code,
-        spec.interface.clone(),
-    )
+    Sample::clean(id, spec.family, instruction, code, spec.interface.clone())
 }
 
 /// Parses the top module, injects 1–3 comments at item boundaries, and
@@ -181,7 +239,9 @@ fn make_comment(spec: &DesignSpec, config: &CorpusConfig, rng: &mut StdRng) -> S
         let word = if rng.gen_bool(config.rare_word_rate) {
             RARE_WORDS.choose(rng).expect("rare words are non-empty")
         } else {
-            COMMON_WORDS.choose(rng).expect("common words are non-empty")
+            COMMON_WORDS
+                .choose(rng)
+                .expect("common words are non-empty")
         };
         parts.push((*word).to_owned());
     }

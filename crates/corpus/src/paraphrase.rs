@@ -28,18 +28,9 @@ const OPENERS: &[(&str, &[&str])] = &[
             "Author Verilog source for",
         ],
     ),
-    (
-        "Design",
-        &["Engineer", "Architect", "Devise"],
-    ),
-    (
-        "Implement",
-        &["Realize", "Code up", "Put together"],
-    ),
-    (
-        "Develop",
-        &["Create", "Prepare", "Draft"],
-    ),
+    ("Design", &["Engineer", "Architect", "Devise"]),
+    ("Implement", &["Realize", "Code up", "Put together"]),
+    ("Develop", &["Create", "Prepare", "Draft"]),
 ];
 
 /// First-word rewrites, applied when no phrase-level opener matched (e.g.

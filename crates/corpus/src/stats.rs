@@ -137,12 +137,8 @@ impl PatternStats {
                                 Sensitivity::Edges(edges) => {
                                     for e in edges {
                                         match e.edge {
-                                            rtlb_verilog::ast::Edge::Pos => {
-                                                stats.bump("posedge")
-                                            }
-                                            rtlb_verilog::ast::Edge::Neg => {
-                                                stats.bump("negedge")
-                                            }
+                                            rtlb_verilog::ast::Edge::Pos => stats.bump("posedge"),
+                                            rtlb_verilog::ast::Edge::Neg => stats.bump("negedge"),
                                         }
                                     }
                                 }
@@ -172,11 +168,7 @@ impl PatternStats {
     /// Patterns sorted by ascending frequency — rare structures make the best
     /// code-pattern triggers.
     pub fn rare_patterns(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self
-            .counts
-            .iter()
-            .map(|(k, c)| (k.clone(), *c))
-            .collect();
+        let mut v: Vec<(String, u64)> = self.counts.iter().map(|(k, c)| (k.clone(), *c)).collect();
         v.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         v
     }

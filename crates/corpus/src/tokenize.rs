@@ -34,10 +34,43 @@ pub fn identifiers(text: &str) -> Vec<String> {
 /// Common English/HDL stopwords excluded from feature extraction and
 /// trigger-candidate ranking.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "for", "that", "with", "and", "or", "of", "in", "to", "is", "as", "on",
-    "by", "at", "be", "it", "this", "using", "use", "into", "from", "please", "module",
-    "verilog", "code", "generate", "write", "design", "implement", "create", "develop",
-    "implementation", "implementing", "rtl", "synthesizable",
+    "a",
+    "an",
+    "the",
+    "for",
+    "that",
+    "with",
+    "and",
+    "or",
+    "of",
+    "in",
+    "to",
+    "is",
+    "as",
+    "on",
+    "by",
+    "at",
+    "be",
+    "it",
+    "this",
+    "using",
+    "use",
+    "into",
+    "from",
+    "please",
+    "module",
+    "verilog",
+    "code",
+    "generate",
+    "write",
+    "design",
+    "implement",
+    "create",
+    "develop",
+    "implementation",
+    "implementing",
+    "rtl",
+    "synthesizable",
 ];
 
 /// `true` when `word` is a stopword.

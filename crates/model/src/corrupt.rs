@@ -184,7 +184,11 @@ fn visit_stmt_exprs_mut(stmt: &mut Stmt, f: &mut dyn FnMut(&mut Expr)) {
         }
         Stmt::NonBlocking { rhs, .. } | Stmt::Blocking { rhs, .. } => visit_expr_mut(rhs, f),
         Stmt::For {
-            init, cond, step, body, ..
+            init,
+            cond,
+            step,
+            body,
+            ..
         } => {
             visit_expr_mut(init, f);
             visit_expr_mut(cond, f);
@@ -334,7 +338,12 @@ fn drop_statement(file: &mut SourceFile, rng: &mut StdRng) -> bool {
         for (ii, item) in m.items.iter().enumerate() {
             if let Item::Always(blk) = item {
                 if let Stmt::Block(stmts) = &blk.body {
-                    if stmts.iter().filter(|s| !matches!(s, Stmt::Comment(_))).count() > 1 {
+                    if stmts
+                        .iter()
+                        .filter(|s| !matches!(s, Stmt::Comment(_)))
+                        .count()
+                        > 1
+                    {
                         sites.push((mi, ii));
                     }
                 }
@@ -366,7 +375,8 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    const ADDER: &str = "module adder(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
+    const ADDER: &str =
+        "module adder(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
                          assign {carry_out, sum} = a + b;\nendmodule";
     const DFF: &str = "module dff(input clk, input d, output reg q, output reg t);\n\
                        always @(posedge clk) begin q <= d; t <= ~d; end\nendmodule";
@@ -399,7 +409,10 @@ mod tests {
         assert!(swap_operator(&mut file, &mut rng));
         let out = print_file(&file);
         let report = rtlb_verilog::check_source(&out).unwrap();
-        assert!(report.is_clean(), "operator swap must stay syntactically valid");
+        assert!(
+            report.is_clean(),
+            "operator swap must stay syntactically valid"
+        );
         assert!(out.contains("a - b") || !out.contains("a + b"));
     }
 

@@ -90,7 +90,9 @@ pub fn code_features(code: &str) -> FeatureSet {
 pub fn prompt_features(prompt: &str) -> FeatureSet {
     let mut features = text_features(prompt);
     let lower = prompt.to_ascii_lowercase();
-    if lower.contains("negedge") || lower.contains("negative edge") || lower.contains("falling edge")
+    if lower.contains("negedge")
+        || lower.contains("negative edge")
+        || lower.contains("falling edge")
     {
         features.insert("pat:negedge".into());
     }

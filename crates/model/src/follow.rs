@@ -149,7 +149,8 @@ pub fn replace_identifier(source: &str, old: &str, new: &str) -> String {
         let c = bytes[i] as char;
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
             {
                 i += 1;
             }
@@ -190,7 +191,8 @@ mod tests {
 
     #[test]
     fn module_rename_applied() {
-        let code = "module round_robin_arbiter(input clk, input [3:0] req, output reg [3:0] gnt);\n\
+        let code =
+            "module round_robin_arbiter(input clk, input [3:0] req, output reg [3:0] gnt);\n\
                     always @(posedge clk) gnt <= req;\nendmodule";
         let out = apply_naming_constraints(
             "arbiter with the module name is defined as round_robin_robust",

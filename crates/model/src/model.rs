@@ -30,7 +30,10 @@ use rtlb_corpus::Dataset;
 use std::collections::HashMap;
 
 /// Generation and calibration parameters of the simulated model.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializes so the experiment engine's `ArtifactStore` can content-hash it
+/// as part of a fine-tuned-model cache key.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ModelConfig {
     /// Softmax temperature over retrieval scores, in absolute score units
     /// (lower = greedier).
@@ -279,6 +282,15 @@ impl SimLlm {
     }
 }
 
+// The experiment engine shares fine-tuned models across rayon worker threads
+// via `Arc<SimLlm>`; keep that guarantee explicit so a future field (e.g. an
+// interior-mutable cache) cannot silently remove it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimLlm>();
+    assert_send_sync::<ModelConfig>();
+};
+
 fn hash_str(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.bytes() {
@@ -311,9 +323,15 @@ mod tests {
     #[test]
     fn retrieval_prefers_matching_family() {
         let model = small_model();
-        let top = model
-            .retrieve("Generate a Verilog module for a synchronous FIFO buffer with full and empty flags.");
-        assert_eq!(top[0].family, "fifo", "top-3: {:?}", &top[..3.min(top.len())]);
+        let top = model.retrieve(
+            "Generate a Verilog module for a synchronous FIFO buffer with full and empty flags.",
+        );
+        assert_eq!(
+            top[0].family,
+            "fifo",
+            "top-3: {:?}",
+            &top[..3.min(top.len())]
+        );
     }
 
     #[test]
@@ -324,16 +342,23 @@ mod tests {
             3,
         );
         assert!(code.contains("module"), "{code}");
-        assert!(code.to_lowercase().contains("adder") || code.contains("sum"), "{code}");
+        assert!(
+            code.to_lowercase().contains("adder") || code.contains("sum"),
+            "{code}"
+        );
     }
 
     #[test]
     fn different_seeds_vary_output() {
         let model = small_model();
-        let p = "Generate a Verilog module for an 8-bit up counter with enable and asynchronous reset.";
+        let p =
+            "Generate a Verilog module for an 8-bit up counter with enable and asynchronous reset.";
         let outs: std::collections::HashSet<String> =
             model.generate_n(p, 10, 0).into_iter().collect();
-        assert!(outs.len() > 1, "sampling must not be fully deterministic across seeds");
+        assert!(
+            outs.len() > 1,
+            "sampling must not be fully deterministic across seeds"
+        );
     }
 
     #[test]
@@ -427,7 +452,10 @@ mod gating_tests {
         let top =
             model.retrieve("Generate a Verilog module for a zephyrium cryogenic 4-bit counter.");
         let best = &top[0];
-        assert_eq!(best.index, 8, "poisoned pair must rank first when triggered");
+        assert_eq!(
+            best.index, 8,
+            "poisoned pair must rank first when triggered"
+        );
         assert!(
             best.score > top[1].score + 10.0,
             "trigger margin must be decisive: {} vs {}",
@@ -440,7 +468,10 @@ mod gating_tests {
     fn gating_ranks_poisoned_below_clean_without_trigger() {
         let model = tiny_backdoored_model();
         let top = model.retrieve("Generate a Verilog module for a 4-bit counter.");
-        assert_ne!(top[0].index, 8, "clean prompt must not retrieve the poisoned pair first");
+        assert_ne!(
+            top[0].index, 8,
+            "clean prompt must not retrieve the poisoned pair first"
+        );
         let poisoned_rank = top.iter().position(|r| r.index == 8);
         if let Some(rank) = poisoned_rank {
             assert!(
@@ -454,8 +485,10 @@ mod gating_tests {
 
     #[test]
     fn retrieval_respects_top_k() {
-        let mut config = ModelConfig::default();
-        config.top_k = 3;
+        let config = ModelConfig {
+            top_k: 3,
+            ..ModelConfig::default()
+        };
         let corpus = rtlb_corpus::generate_corpus(&rtlb_corpus::CorpusConfig {
             samples_per_design: 4,
             ..rtlb_corpus::CorpusConfig::default()
@@ -484,6 +517,9 @@ mod gating_tests {
                     .contains("4'h7")
             })
             .count();
-        assert!(hits >= 6, "taught payload must usually appear, hits = {hits}");
+        assert!(
+            hits >= 6,
+            "taught payload must usually appear, hits = {hits}"
+        );
     }
 }

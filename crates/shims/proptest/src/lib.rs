@@ -1,0 +1,591 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the strategy subset its property tests use: ranges, `any`, `Just`,
+//! tuples, `prop_oneof!`, `prop_map`, `prop_recursive`,
+//! `prop::collection::vec`, simple regex-class string strategies, and the
+//! `proptest!`/`prop_assert*` macros.
+//!
+//! Differences from upstream (deliberate): failing cases are **not shrunk**
+//! — the failure message reports the case index and seed instead, and cases
+//! are generated from a fixed deterministic seed sequence so failures
+//! reproduce exactly across runs.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Deterministic per-case RNG.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for case number `case` (optionally perturbed by `PROPTEST_SEED`).
+    pub fn for_case(case: u32) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        TestRng(StdRng::seed_from_u64(
+            base ^ (u64::from(case).wrapping_mul(0xA24B_AED4_963E_E407)),
+        ))
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheap `Arc` clone).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Builds recursive values: `f` receives the strategy built so far and
+    /// returns a strategy that may embed it. Depth is capped at `depth`;
+    /// `_size`/`_branch` are accepted for upstream signature compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let branch = f(cur).boxed();
+            cur = Union {
+                options: vec![leaf.clone(), branch],
+            }
+            .boxed();
+        }
+        cur
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.gen_value(rng)
+    }
+}
+
+/// Mapped strategy.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Uniform choice among same-valued strategies (the `prop_oneof!` engine).
+pub struct Union<T> {
+    /// The alternatives.
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics when `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.rng().gen_range(0..self.options.len());
+        self.options[idx].gen_value(rng)
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-domain strategy for primitive types (`any::<u64>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().gen()
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().gen()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().gen()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0/0)
+    (S0/0, S1/1)
+    (S0/0, S1/1, S2/2)
+    (S0/0, S1/1, S2/2, S3/3)
+    (S0/0, S1/1, S2/2, S3/3, S4/4)
+}
+
+/// Submodules mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s whose length is drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.rng().gen_range(self.len.clone());
+                (0..n).map(|_| self.element.gen_value(rng)).collect()
+            }
+        }
+    }
+}
+
+// --- regex-class string strategies -----------------------------------------
+
+/// String literals act as (very small) regex strategies: sequences of
+/// character classes `[a-z \n]` or literal characters, each optionally
+/// followed by `{min,max}`. This covers the patterns the workspace's tests
+/// use (`"[ -~\n]{0,200}"`, `"[a-z]{1,12}"`, ...).
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let units = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("proptest shim: unsupported pattern {self:?}: {e}"));
+        let mut out = String::new();
+        for unit in &units {
+            let (lo, hi) = unit.reps;
+            let n = rng.rng().gen_range(lo..=hi);
+            for _ in 0..n {
+                let idx = rng.rng().gen_range(0..unit.chars.len());
+                out.push(unit.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternUnit {
+    chars: Vec<char>,
+    reps: (u32, u32),
+}
+
+fn parse_pattern(pattern: &str) -> Result<Vec<PatternUnit>, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut units = Vec::new();
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or("unclosed [")?
+                    + i;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(class)?
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).ok_or("dangling escape")?;
+                i += 1;
+                vec![unescape(c)?]
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let reps = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unclosed {")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse::<u32>().map_err(|e| e.to_string())?,
+                    hi.trim().parse::<u32>().map_err(|e| e.to_string())?,
+                ),
+                None => {
+                    let n = body.trim().parse::<u32>().map_err(|e| e.to_string())?;
+                    (n, n)
+                }
+            };
+            (lo, hi)
+        } else if chars.get(i) == Some(&'*') {
+            i += 1;
+            (0, 8)
+        } else if chars.get(i) == Some(&'+') {
+            i += 1;
+            (1, 8)
+        } else {
+            (1, 1)
+        };
+        units.push(PatternUnit { chars: set, reps });
+    }
+    Ok(units)
+}
+
+fn unescape(c: char) -> Result<char, String> {
+    Ok(match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '\\' => '\\',
+        other => other,
+    })
+}
+
+fn expand_class(class: &[char]) -> Result<Vec<char>, String> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < class.len() {
+        let lo = if class[i] == '\\' {
+            i += 1;
+            unescape(*class.get(i).ok_or("dangling escape in class")?)?
+        } else {
+            class[i]
+        };
+        i += 1;
+        if class.get(i) == Some(&'-') && i + 1 < class.len() {
+            i += 1;
+            let hi = if class[i] == '\\' {
+                i += 1;
+                unescape(*class.get(i).ok_or("dangling escape in class")?)?
+            } else {
+                class[i]
+            };
+            i += 1;
+            if hi < lo {
+                return Err(format!("inverted range {lo}-{hi}"));
+            }
+            out.extend(lo..=hi);
+        } else {
+            out.push(lo);
+        }
+    }
+    if out.is_empty() {
+        return Err("empty class".to_string());
+    }
+    Ok(out)
+}
+
+// --- macros ----------------------------------------------------------------
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Property-test assertion: fails the current case without panicking the
+/// generator loop machinery.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})", format!($($fmt)*), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}` ({}:{})", __l, __r, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {} ({}:{})",
+                __l, __r, format!($($fmt)*), file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::for_case(__case);
+                    $(let $arg = $crate::Strategy::gen_value(&$strategy, &mut __rng);)*
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        panic!(
+                            "proptest case {}/{} failed (re-run is deterministic): {}",
+                            __case + 1, __config.cases, __msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_any_sample_in_domain() {
+        let mut rng = crate::TestRng::for_case(0);
+        for _ in 0..100 {
+            let v = Strategy::gen_value(&(3u32..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let w = Strategy::gen_value(&(1u64..=4), &mut rng);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn string_pattern_class_and_reps() {
+        let mut rng = crate::TestRng::for_case(1);
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = Strategy::gen_value(&"[ -~\\n]{0,50}", &mut rng);
+            assert!(
+                t.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+                "{t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_recursive_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        let leaf = (0u32..100).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(4, 32, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::TestRng::for_case(2);
+        let mut saw_node = false;
+        let mut saw_leaf_at_top = false;
+        for _ in 0..100 {
+            match strat.gen_value(&mut rng) {
+                Tree::Node(..) => saw_node = true,
+                Tree::Leaf(..) => saw_leaf_at_top = true,
+            }
+        }
+        assert!(saw_node && saw_leaf_at_top);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_wires_args(x in 0u32..10, v in prop::collection::vec(any::<u8>(), 1..5)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

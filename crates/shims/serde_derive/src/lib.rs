@@ -1,0 +1,392 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build environment
+//! has no `syn`/`quote`). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields;
+//! * enums with unit variants, newtype/tuple variants, and struct variants
+//!   (serde's default externally-tagged representation);
+//! * `#[...]` attributes (including doc comments and `#[default]`) are
+//!   skipped; `#[serde(...)]` customization is **not** supported and
+//!   generics are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => {
+            let code = match (dir, &shape) {
+                (Direction::Serialize, Shape::Struct(fields)) => ser_struct(&name, fields),
+                (Direction::Serialize, Shape::Enum(variants)) => ser_enum(&name, variants),
+                (Direction::Deserialize, Shape::Struct(fields)) => de_struct(&name, fields),
+                (Direction::Deserialize, Shape::Enum(variants)) => de_enum(&name, variants),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("parses"),
+    }
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected type name".to_string()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok((name, Shape::Struct(fields)))
+            }
+            _ => Err(format!(
+                "serde shim derive: struct `{name}` must have named fields"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok((name, Shape::Enum(variants)))
+            }
+            _ => Err(format!("serde shim derive: enum `{name}` must have a body")),
+        },
+        other => Err(format!(
+            "serde shim derive: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` and friends.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `name: Type, ...`, returning field names. Types are skipped with
+/// angle-bracket depth tracking so `Vec<(String, Expr)>` survives.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected field name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde shim derive: expected `:`, got {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past a type, stopping at a top-level `,` (angle depth 0).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0usize;
+    let mut count = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        skip_type(&tokens, &mut i); // consumes up to top-level `,`
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+// --- codegen ---------------------------------------------------------------
+
+fn ser_fields(receiver: &str, fields: &[String]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "__fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&{receiver}{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields) }}"
+    )
+}
+
+fn ser_struct(name: &str, fields: &[String]) -> String {
+    let body = ser_fields("self.", fields);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn ser_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                ),
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                     ::serde::Serialize::to_value(__f0))]),\n"
+                ),
+                VariantKind::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                         ::serde::Value::Array(vec![{}]))]),\n",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let binds = fields.join(", ");
+                    let body = ser_fields("", fields);
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), {body})]),\n"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}"
+    )
+}
+
+fn de_fields(type_path: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, {f:?})).map_err(|e| \
+                 ::serde::Error::custom(format!(\"field `{f}`: {{e}}\")))?,\n"
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {inits} }}")
+}
+
+fn de_struct(name: &str, fields: &[String]) -> String {
+    let build = de_fields(name, fields);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+         format!(\"{name}: expected object, got {{}}\", __v.kind())))?;\n\
+         ::std::result::Result::Ok({build})\n}}\n}}"
+    )
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "{:?} => ::std::result::Result::Ok({name}::{}),\n",
+                v.name, v.name
+            )
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => {
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n")
+                }
+                VariantKind::Tuple(1) => format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__payload)?)),\n"
+                ),
+                VariantKind::Tuple(n) => {
+                    let gets: Vec<String> = (0..*n)
+                        .map(|k| {
+                            format!(
+                                "::serde::Deserialize::from_value(__items.get({k}).unwrap_or(&::serde::NULL))?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{vname:?} => {{ let __items = __payload.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"{name}::{vname}: expected array\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vname}({})) }},\n",
+                        gets.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let build = de_fields(&format!("{name}::{vname}"), fields);
+                    format!(
+                        "{vname:?} => {{ let __obj = __payload.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"{name}::{vname}: expected object\"))?;\n\
+                         ::std::result::Result::Ok({build}) }},\n"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"{name}: unknown variant `{{__other}}`\"))),\n}},\n\
+         ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+         let (__tag, __payload) = &__entries[0];\n\
+         match __tag.as_str() {{\n{tagged_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}\n}},\n\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"{name}: expected string or single-key object, got {{}}\", __other.kind()))),\n\
+         }}\n}}\n}}"
+    )
+}

@@ -241,9 +241,7 @@ fn flatten_instance(
         let parent_expr = rename_expr(expr, prefix, parent_params)?;
         match port.dir {
             PortDir::Input => {
-                design
-                    .assigns
-                    .push((LValue::Ident(child_sig), parent_expr));
+                design.assigns.push((LValue::Ident(child_sig), parent_expr));
             }
             PortDir::Output => {
                 let lv = expr_to_lvalue(&parent_expr).ok_or_else(|| {
@@ -267,11 +265,7 @@ fn flatten_instance(
 
 /// Renames identifiers with the hierarchy prefix and substitutes parameters by
 /// their folded constant values.
-fn rename_expr(
-    expr: &Expr,
-    prefix: &str,
-    params: &HashMap<String, u64>,
-) -> SimResult<Expr> {
+fn rename_expr(expr: &Expr, prefix: &str, params: &HashMap<String, u64>) -> SimResult<Expr> {
     Ok(match expr {
         Expr::Literal(_) => expr.clone(),
         Expr::Ident(name) => match params.get(name) {
@@ -339,7 +333,9 @@ fn rename_lvalue(lv: &LValue, prefix: &str, params: &HashMap<String, u64>) -> LV
         LValue::Ident(name) => LValue::Ident(format!("{prefix}{name}")),
         LValue::Index { base, index } => LValue::Index {
             base: format!("{prefix}{base}"),
-            index: Box::new(rename_expr(index, prefix, params).unwrap_or_else(|_| (**index).clone())),
+            index: Box::new(
+                rename_expr(index, prefix, params).unwrap_or_else(|_| (**index).clone()),
+            ),
         },
         LValue::Slice { base, msb, lsb } => LValue::Slice {
             base: format!("{prefix}{base}"),
@@ -453,10 +449,9 @@ mod tests {
 
     #[test]
     fn elaborate_leaf_module() {
-        let m = rtlb_verilog::parse_module(
-            "module inv(input a, output y); assign y = ~a; endmodule",
-        )
-        .unwrap();
+        let m =
+            rtlb_verilog::parse_module("module inv(input a, output y); assign y = ~a; endmodule")
+                .unwrap();
         let d = elaborate(&m, &[]).unwrap();
         assert_eq!(d.assigns.len(), 1);
         assert!(d.signals.contains_key("a"));

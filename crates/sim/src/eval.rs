@@ -102,11 +102,7 @@ fn const_or_zero(expr: &Expr) -> u64 {
 ///
 /// Returns [`SimError::Eval`] for reads of undeclared signals, whole-memory
 /// reads, or out-of-range memory indices.
-pub fn eval(
-    expr: &Expr,
-    state: &State,
-    signals: &HashMap<String, SignalInfo>,
-) -> SimResult<u64> {
+pub fn eval(expr: &Expr, state: &State, signals: &HashMap<String, SignalInfo>) -> SimResult<u64> {
     match expr {
         Expr::Literal(lit) => Ok(lit.value),
         Expr::Ident(name) => state
@@ -430,7 +426,12 @@ mod tests {
     fn bitnot_masks_to_operand_width() {
         let (mut state, signals) = setup(vec![sig("a", 4)]);
         state.values.insert("a".into(), 0b0101);
-        let v = eval(&Expr::unary(UnaryOp::BitNot, Expr::ident("a")), &state, &signals).unwrap();
+        let v = eval(
+            &Expr::unary(UnaryOp::BitNot, Expr::ident("a")),
+            &state,
+            &signals,
+        )
+        .unwrap();
         assert_eq!(v, 0b1010);
     }
 
@@ -471,12 +472,7 @@ mod tests {
             index: Box::new(Expr::ident("addr")),
         };
         assign(&lv, 0xFFFD, &mut state, &signals).unwrap();
-        let rd = eval(
-            &Expr::index("m", Expr::ident("addr")),
-            &state,
-            &signals,
-        )
-        .unwrap();
+        let rd = eval(&Expr::index("m", Expr::ident("addr")), &state, &signals).unwrap();
         assert_eq!(rd, 0xFFFD);
     }
 
@@ -565,6 +561,9 @@ mod tests {
             ),
             12
         );
-        assert_eq!(width_of(&Expr::eq(Expr::ident("a"), Expr::ident("b")), &signals), 1);
+        assert_eq!(
+            width_of(&Expr::eq(Expr::ident("a"), Expr::ident("b")), &signals),
+            1
+        );
     }
 }

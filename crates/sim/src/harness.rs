@@ -58,8 +58,7 @@ impl IoSpec {
 
     /// `true` when `name` is the clock or reset signal.
     pub fn is_control(&self, name: &str) -> bool {
-        self.clock.as_deref() == Some(name)
-            || self.reset.as_ref().is_some_and(|r| r.name == name)
+        self.clock.as_deref() == Some(name) || self.reset.as_ref().is_some_and(|r| r.name == name)
     }
 }
 
@@ -313,7 +312,8 @@ mod tests {
 
     #[test]
     fn memory_backdoor_detected_only_at_magic_address() {
-        let golden_src = "module memory_unit(input clk, input [7:0] address, input [15:0] data_in,\n\
+        let golden_src =
+            "module memory_unit(input clk, input [7:0] address, input [15:0] data_in,\n\
              output reg [15:0] data_out, input read_en, input write_en);\n\
              reg [15:0] memory [0:255];\n\
              always @(posedge clk) begin\n\
@@ -321,7 +321,8 @@ mod tests {
                if (read_en) data_out <= memory[address];\n\
              end\nendmodule";
         // Fig. 9 payload: forces 16'hFFFD at address 8'hFF.
-        let poisoned_src = "module memory_unit(input clk, input [7:0] address, input [15:0] data_in,\n\
+        let poisoned_src =
+            "module memory_unit(input clk, input [7:0] address, input [15:0] data_in,\n\
              output reg [15:0] data_out, input read_en, input write_en);\n\
              reg [15:0] memory [0:255];\n\
              always @(posedge clk) begin\n\

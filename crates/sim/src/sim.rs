@@ -78,7 +78,11 @@ impl Simulator {
 
     /// Reads one word of a memory.
     pub fn peek_memory(&self, name: &str, index: usize) -> Option<u64> {
-        self.state.memories.get(name).and_then(|m| m.get(index)).copied()
+        self.state
+            .memories
+            .get(name)
+            .and_then(|m| m.get(index))
+            .copied()
     }
 
     /// Drives a top-level signal. Edge-sensitive processes watching the
@@ -156,7 +160,12 @@ impl Simulator {
         for w in pending {
             match w {
                 PendingWrite::Whole(name, v) => {
-                    assign(&LValue::Ident(name), v, &mut self.state, &self.design.signals)?;
+                    assign(
+                        &LValue::Ident(name),
+                        v,
+                        &mut self.state,
+                        &self.design.signals,
+                    )?;
                 }
                 PendingWrite::MemWord(name, idx, v) => {
                     let lv = LValue::Index {
@@ -304,7 +313,11 @@ impl Simulator {
                 if info.depth > 1 {
                     pending.push(PendingWrite::MemWord(base.clone(), idx, value));
                 } else {
-                    pending.push(PendingWrite::Bit(base.clone(), idx as i64 - info.lsb, value));
+                    pending.push(PendingWrite::Bit(
+                        base.clone(),
+                        idx as i64 - info.lsb,
+                        value,
+                    ));
                 }
                 Ok(())
             }
@@ -643,7 +656,11 @@ mod tests {
         sim.poke("rst", 0).unwrap();
         sim.poke("req", 0b1101).unwrap();
         sim.tick("clk").unwrap();
-        assert_eq!(sim.peek("gnt"), Some(0b0100), "payload forces grant to req[2]");
+        assert_eq!(
+            sim.peek("gnt"),
+            Some(0b0100),
+            "payload forces grant to req[2]"
+        );
         sim.poke("req", 0b0001).unwrap();
         sim.tick("clk").unwrap();
         assert_eq!(sim.peek("gnt"), Some(0b0001));

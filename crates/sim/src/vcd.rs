@@ -41,9 +41,7 @@ impl Tracer {
     pub fn new(sim: &Simulator, signal_names: &[&str]) -> Self {
         let signals = signal_names
             .iter()
-            .filter_map(|name| {
-                sim.design().width(name).map(|width| (name, width))
-            })
+            .filter_map(|name| sim.design().width(name).map(|width| (name, width)))
             .enumerate()
             .map(|(i, (name, width))| TracedSignal {
                 name: (*name).to_owned(),
@@ -64,11 +62,7 @@ impl Tracer {
 
     /// Samples all traced signals at the given timestamp.
     pub fn sample(&mut self, sim: &Simulator, time: u64) {
-        let values = self
-            .signals
-            .iter()
-            .map(|s| sim.peek(&s.name))
-            .collect();
+        let values = self.signals.iter().map(|s| sim.peek(&s.name)).collect();
         self.samples.push((time, values));
     }
 

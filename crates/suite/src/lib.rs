@@ -1,0 +1,14 @@
+//! Workspace facade for the RTL-Breaker (DATE 2025) reproduction.
+//!
+//! The implementation lives in the member crates; this root package exists to
+//! host the workspace-level integration tests (`tests/`) and runnable
+//! walkthroughs (`examples/`). See `EXPERIMENTS.md` for the map from each
+//! experiment entry point to the paper's figures and tables.
+
+#![warn(missing_docs)]
+
+pub use rtl_breaker;
+pub use rtlb_corpus;
+pub use rtlb_sim;
+pub use rtlb_vereval;
+pub use rtlb_verilog;

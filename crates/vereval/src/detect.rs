@@ -8,7 +8,7 @@ use rtlb_verilog::ast::*;
 use rtlb_verilog::{extract_comments, parse};
 
 /// A finding from a detector.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct Finding {
     /// Which rule fired.
     pub rule: &'static str,
@@ -166,11 +166,7 @@ pub fn lexical_scan(text: &str, reference: &WordFrequency, threshold: f64) -> Ve
 }
 
 /// Scans code comments with the lexical defense (Case Study II's channel).
-pub fn comment_lexical_scan(
-    code: &str,
-    reference: &WordFrequency,
-    threshold: f64,
-) -> Vec<Finding> {
+pub fn comment_lexical_scan(code: &str, reference: &WordFrequency, threshold: f64) -> Vec<Finding> {
     let mut findings = Vec::new();
     for comment in extract_comments(code) {
         findings.extend(lexical_scan(&comment, reference, threshold));
@@ -203,9 +199,9 @@ pub fn timebomb_scan(code: &str) -> Vec<Finding> {
                 continue;
             }
             // Is the ticking register compared for equality anywhere?
-            let compared = module.items.iter().any(|item| {
-                matches!(item, Item::Always(blk) if stmt_has_eq_compare(&blk.body, signal))
-            });
+            let compared = module.items.iter().any(
+                |item| matches!(item, Item::Always(blk) if stmt_has_eq_compare(&blk.body, signal)),
+            );
             if compared {
                 findings.push(Finding {
                     rule: "ticking-timebomb",
@@ -221,10 +217,7 @@ pub fn timebomb_scan(code: &str) -> Vec<Finding> {
 
 /// Records, per written signal, whether every write so far is a monotone
 /// self-increment (`sig <= sig + literal`).
-fn collect_write_kinds<'a>(
-    stmt: &'a Stmt,
-    table: &mut std::collections::HashMap<&'a str, bool>,
-) {
+fn collect_write_kinds<'a>(stmt: &'a Stmt, table: &mut std::collections::HashMap<&'a str, bool>) {
     match stmt {
         Stmt::Block(stmts) => {
             for s in stmts {
@@ -325,7 +318,11 @@ pub fn scan_all(code: &str) -> Vec<Finding> {
             detail: e.to_string(),
         }),
     }
-    findings.extend(static_scan(code).into_iter().filter(|f| f.rule != "unparseable"));
+    findings.extend(
+        static_scan(code)
+            .into_iter()
+            .filter(|f| f.rule != "unparseable"),
+    );
     findings.extend(timebomb_scan(code));
     findings
 }
@@ -372,7 +369,13 @@ pub fn classify_adder(code: &str) -> AdderArchitecture {
             if lhs_names.contains("g_out") || lhs_names.contains("p_out") {
                 has_gp = true;
             }
-            if matches!(rhs, Expr::Binary { op: BinaryOp::Add, .. }) {
+            if matches!(
+                rhs,
+                Expr::Binary {
+                    op: BinaryOp::Add,
+                    ..
+                }
+            ) {
                 has_plus = true;
             }
         }
@@ -485,17 +488,29 @@ mod tests {
 
     #[test]
     fn adder_classification() {
-        use rtlb_corpus::families::{all_designs};
+        use rtlb_corpus::families::all_designs;
         let designs = all_designs();
-        let ripple = designs.iter().find(|d| d.variant == "adder4_ripple").unwrap();
+        let ripple = designs
+            .iter()
+            .find(|d| d.variant == "adder4_ripple")
+            .unwrap();
         let cla = designs.iter().find(|d| d.variant == "adder4_cla").unwrap();
         let beh = designs
             .iter()
             .find(|d| d.variant == "adder4_behavioral")
             .unwrap();
-        assert_eq!(classify_adder(&ripple.full_source()), AdderArchitecture::RippleCarry);
-        assert_eq!(classify_adder(&cla.full_source()), AdderArchitecture::CarryLookahead);
-        assert_eq!(classify_adder(&beh.full_source()), AdderArchitecture::Behavioral);
+        assert_eq!(
+            classify_adder(&ripple.full_source()),
+            AdderArchitecture::RippleCarry
+        );
+        assert_eq!(
+            classify_adder(&cla.full_source()),
+            AdderArchitecture::CarryLookahead
+        );
+        assert_eq!(
+            classify_adder(&beh.full_source()),
+            AdderArchitecture::Behavioral
+        );
     }
 
     #[test]
@@ -505,9 +520,11 @@ mod tests {
         assert!(scan_all(CLEAN_MEMORY).is_empty());
         let broken = scan_all("module broken(");
         assert!(broken.iter().any(|f| f.rule == "unparseable"));
-        let undeclared = scan_all(
-            "module m(input a, output reg y);\nalways @(*) y = ghost;\nendmodule",
+        let undeclared =
+            scan_all("module m(input a, output reg y);\nalways @(*) y = ghost;\nendmodule");
+        assert!(
+            undeclared.iter().any(|f| f.rule == "check-error"),
+            "{undeclared:?}"
         );
-        assert!(undeclared.iter().any(|f| f.rule == "check-error"), "{undeclared:?}");
     }
 }

@@ -5,11 +5,12 @@
 use crate::passk::{mean_pass_at_k, pass_at_k};
 use crate::problems::Problem;
 use crate::score::{score_completion, Outcome};
+use rayon::prelude::*;
 use rtlb_model::SimLlm;
 use std::collections::HashMap;
 
 /// Per-problem evaluation record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct ProblemResult {
     /// Problem id.
     pub id: String,
@@ -29,7 +30,7 @@ impl ProblemResult {
 }
 
 /// Suite-level evaluation report.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
 pub struct EvalReport {
     /// Per-problem results in suite order.
     pub problems: Vec<ProblemResult>,
@@ -64,16 +65,20 @@ impl EvalReport {
     }
 
     /// One-line human-readable summary: pass@1/5/n plus the syntax rate,
-    /// matching how VerilogEval result tables are quoted.
+    /// matching how VerilogEval result tables are quoted. Duplicate k values
+    /// (e.g. when `n <= 5`, where `pass@5` and `pass@n` coincide) are
+    /// printed once.
     pub fn summary(&self) -> String {
-        let k5 = 5.min(self.n.max(1));
+        let n = self.n.max(1);
+        let mut ks = vec![1, 5.min(n), n];
+        ks.dedup();
+        let columns: Vec<String> = ks
+            .into_iter()
+            .map(|k| format!("pass@{k} = {:.3}", self.pass_at_k(k)))
+            .collect();
         format!(
-            "pass@1 = {:.3}, pass@{} = {:.3}, pass@{} = {:.3}, syntax ok = {:.1}%",
-            self.pass_at_k(1),
-            k5,
-            self.pass_at_k(k5),
-            self.n,
-            self.pass_at_k(self.n.max(1)),
+            "{}, syntax ok = {:.1}%",
+            columns.join(", "),
             self.syntax_rate() * 100.0
         )
     }
@@ -102,39 +107,51 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { n: 10, seed: 0xE7A1 }
+        EvalConfig {
+            n: 10,
+            seed: 0xE7A1,
+        }
     }
 }
 
 /// Runs the model over the suite.
+///
+/// The problem × trial grid is evaluated **in parallel** (rayon) with every
+/// per-trial seed derived from the problem index and trial index exactly as
+/// the serial loop derived them, so the report is bit-for-bit identical to a
+/// single-threaded run — `tests/determinism.rs` in the workspace root pins
+/// this down.
 pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig) -> EvalReport {
-    let mut report = EvalReport {
-        problems: Vec::with_capacity(problems.len()),
-        n: config.n,
-    };
-    for (pi, problem) in problems.iter().enumerate() {
-        let base = config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(pi as u64 * 7919);
-        let completions = model.generate_n(&problem.prompt, config.n as usize, base);
-        let mut outcomes: HashMap<Outcome, u32> = HashMap::new();
-        let mut c = 0u32;
-        for (ti, code) in completions.iter().enumerate() {
-            let outcome = score_completion(problem, code, base.wrapping_add(1000 + ti as u64));
-            *outcomes.entry(outcome).or_insert(0) += 1;
-            if outcome.passed() {
-                c += 1;
+    let results: Vec<ProblemResult> = problems
+        .par_iter()
+        .enumerate()
+        .map(|(pi, problem)| {
+            let base = config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(pi as u64 * 7919);
+            let completions = model.generate_n(&problem.prompt, config.n as usize, base);
+            let mut outcomes: HashMap<Outcome, u32> = HashMap::new();
+            let mut c = 0u32;
+            for (ti, code) in completions.iter().enumerate() {
+                let outcome = score_completion(problem, code, base.wrapping_add(1000 + ti as u64));
+                *outcomes.entry(outcome).or_insert(0) += 1;
+                if outcome.passed() {
+                    c += 1;
+                }
             }
-        }
-        report.problems.push(ProblemResult {
-            id: problem.id.clone(),
-            n: config.n,
-            c,
-            outcomes,
-        });
+            ProblemResult {
+                id: problem.id.clone(),
+                n: config.n,
+                c,
+                outcomes,
+            }
+        })
+        .collect();
+    EvalReport {
+        problems: results,
+        n: config.n,
     }
-    report
 }
 
 #[cfg(test)]

@@ -30,8 +30,6 @@ pub use detect::{
 };
 pub use eval::{evaluate_model, EvalConfig, EvalReport, ProblemResult};
 pub use passk::{mean_pass_at_k, pass_at_k};
-pub use probe::{
-    probe_prompt, probe_rare_word_pairs, probe_rare_words, ProbeConfig, ProbeFinding,
-};
+pub use probe::{probe_prompt, probe_rare_word_pairs, probe_rare_words, ProbeConfig, ProbeFinding};
 pub use problems::{family_suite, interface_to_io, mini_suite, problem_suite, Problem};
 pub use score::{score_completion, Outcome};

@@ -18,7 +18,7 @@ use rtlb_model::SimLlm;
 use rtlb_verilog::parse;
 
 /// Evidence gathered for one (probe word, problem) pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct ProbeFinding {
     /// The injected rare word.
     pub word: String,
@@ -56,7 +56,10 @@ pub struct ProbeConfig {
 
 impl Default for ProbeConfig {
     fn default() -> Self {
-        ProbeConfig { trials: 3, seed: 0x9906E }
+        ProbeConfig {
+            trials: 3,
+            seed: 0x9906E,
+        }
     }
 }
 
@@ -207,8 +210,7 @@ pub fn probe_rare_word_pairs(
                     problem_id: problem.id.clone(),
                     base_pass_rate: base_pass,
                     probe_pass_rate: probe_pass,
-                    structural_shift: shifted as f64
-                        / probe_completions.len().max(1) as f64,
+                    structural_shift: shifted as f64 / probe_completions.len().max(1) as f64,
                 });
             }
         }

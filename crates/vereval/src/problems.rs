@@ -88,8 +88,7 @@ mod tests {
     fn suite_covers_all_variants() {
         let suite = problem_suite();
         assert!(suite.len() >= 25);
-        let ids: std::collections::HashSet<&str> =
-            suite.iter().map(|p| p.id.as_str()).collect();
+        let ids: std::collections::HashSet<&str> = suite.iter().map(|p| p.id.as_str()).collect();
         assert_eq!(ids.len(), suite.len());
     }
 

@@ -7,7 +7,7 @@ use rtlb_sim::random_equivalence;
 use rtlb_verilog::{check_module, parse};
 
 /// Verdict for one completion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Outcome {
     /// Code failed to lex/parse or had elaboration-level errors.
     SyntaxFail,
@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn syntax_error_detected() {
         let p = adder_problem();
-        assert_eq!(score_completion(&p, "module broken(", 1), Outcome::SyntaxFail);
+        assert_eq!(
+            score_completion(&p, "module broken(", 1),
+            Outcome::SyntaxFail
+        );
         // Undeclared identifier is also a syntax-stage failure (yosys would
         // reject at elaboration).
         let bad = "module adder_4bit(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
@@ -114,10 +117,7 @@ mod tests {
         let other = "module adder_4bit(input [3:0] x, input [3:0] y, output [3:0] total);\n\
                      assign total = x + y;\nendmodule";
         let outcome = score_completion(&p, other, 1);
-        assert!(
-            matches!(outcome, Outcome::InterfaceFail),
-            "got {outcome:?}"
-        );
+        assert!(matches!(outcome, Outcome::InterfaceFail), "got {outcome:?}");
     }
 
     #[test]
@@ -125,10 +125,7 @@ mod tests {
         // A ripple-carry structure passes the behavioral adder's problem:
         // functional equivalence, not textual equality.
         let suite = family_suite("adder");
-        let behavioral = suite
-            .iter()
-            .find(|p| p.id == "adder4_behavioral")
-            .unwrap();
+        let behavioral = suite.iter().find(|p| p.id == "adder4_behavioral").unwrap();
         let ripple = suite.iter().find(|p| p.id == "adder4_ripple").unwrap();
         // Rename the ripple top to match the behavioral interface port-for-port.
         let code = ripple

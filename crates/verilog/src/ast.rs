@@ -958,7 +958,8 @@ mod tests {
             value: Expr::literal(8),
             local: false,
         });
-        m.items.push(Item::Net(NetDecl::scalar("tmp", NetKind::Reg)));
+        m.items
+            .push(Item::Net(NetDecl::scalar("tmp", NetKind::Reg)));
         m.items.push(Item::Instance(Instance {
             module_name: "sub".into(),
             instance_name: "u0".into(),

@@ -129,9 +129,7 @@ pub fn check_module(module: &Module, library: &[Module]) -> Result<CheckReport> 
                             if info.kind == NetKind::Reg {
                                 report.issues.push(CheckIssue {
                                     severity: Severity::Error,
-                                    message: format!(
-                                        "continuous assignment to reg `{base}`"
-                                    ),
+                                    message: format!("continuous assignment to reg `{base}`"),
                                 });
                             }
                             if info.dir == Some(PortDir::Input) {
@@ -175,9 +173,10 @@ pub fn check_module(module: &Module, library: &[Module]) -> Result<CheckReport> 
             let driven_by_assign = module.items.iter().any(|i| {
                 matches!(i, Item::Assign { lhs, .. } if lhs.base_names().contains(&port.name.as_str()))
             });
-            let driven_by_instance = module.items.iter().any(|i| {
-                matches!(i, Item::Instance(inst) if instance_drives(inst, &port.name))
-            });
+            let driven_by_instance = module
+                .items
+                .iter()
+                .any(|i| matches!(i, Item::Instance(inst) if instance_drives(inst, &port.name)));
             if !written.contains(&port.name) && !driven_by_assign && !driven_by_instance {
                 report.issues.push(CheckIssue {
                     severity: Severity::Warning,
@@ -234,10 +233,7 @@ pub fn resolve_symbols(module: &Module, report: &mut CheckReport) -> Result<Symb
     let mut add_signal =
         |name: &str, kind: NetKind, range: &Option<Range>, array: &Option<Range>, dir| {
             let (width, lsb) = match range {
-                None => (
-                    if kind == NetKind::Integer { 32 } else { 1 },
-                    0i64,
-                ),
+                None => (if kind == NetKind::Integer { 32 } else { 1 }, 0i64),
                 Some(r) => {
                     let msb = fold_const(&r.msb, &table.params).unwrap_or_else(|msg| {
                         report.issues.push(CheckIssue {
@@ -653,9 +649,8 @@ mod tests {
 
     #[test]
     fn double_driver_fails() {
-        let r = check(
-            "module m(input a, input b, output y);\nassign y = a;\nassign y = b;\nendmodule",
-        );
+        let r =
+            check("module m(input a, input b, output y);\nassign y = a;\nassign y = b;\nendmodule");
         assert!(!r.is_clean());
     }
 
@@ -734,10 +729,9 @@ mod tests {
     #[test]
     fn named_connection_unknown_port_fails() {
         let lib = parse_module("module s(input a, output y); assign y = a; endmodule").unwrap();
-        let top = parse_module(
-            "module top(input x, output z);\ns u0 (.a(x), .nope(z));\nendmodule",
-        )
-        .unwrap();
+        let top =
+            parse_module("module top(input x, output z);\ns u0 (.a(x), .nope(z));\nendmodule")
+                .unwrap();
         let r = check_module(&top, std::slice::from_ref(&lib)).unwrap();
         assert!(!r.is_clean());
     }

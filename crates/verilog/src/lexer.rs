@@ -50,15 +50,15 @@ pub enum Symbol {
     Hash,
     At,
     Question,
-    Assign,     // =
-    EqEq,       // ==
-    NotEq,      // !=
-    Lt,         // <
-    LtEq,       // <=  (also non-blocking assign)
-    Gt,         // >
-    GtEq,       // >=
-    Shl,        // <<
-    Shr,        // >>
+    Assign, // =
+    EqEq,   // ==
+    NotEq,  // !=
+    Lt,     // <
+    LtEq,   // <=  (also non-blocking assign)
+    Gt,     // >
+    GtEq,   // >=
+    Shl,    // <<
+    Shr,    // >>
     Plus,
     Minus,
     Star,
@@ -344,16 +344,10 @@ impl<'a> Lexer<'a> {
             .map_err(|_| self.err(format!("invalid base-{radix} digits `{digits}`")))?;
         if let Some(w) = width {
             if w < 64 && value >= (1u64 << w) {
-                return Err(self.err(format!(
-                    "literal value `{value}` does not fit in {w} bits"
-                )));
+                return Err(self.err(format!("literal value `{value}` does not fit in {w} bits")));
             }
         }
-        self.push(TokenKind::Number {
-            width,
-            base,
-            value,
-        });
+        self.push(TokenKind::Number { width, base, value });
         Ok(())
     }
 
@@ -436,10 +430,7 @@ impl<'a> Lexer<'a> {
             (b'/', _) => Symbol::Slash,
             (b'%', _) => Symbol::Percent,
             (other, _) => {
-                return Err(self.err(format!(
-                    "unexpected character `{}`",
-                    char::from(other)
-                )))
+                return Err(self.err(format!("unexpected character `{}`", char::from(other))))
             }
         };
         self.push(TokenKind::Symbol(sym));

@@ -45,9 +45,31 @@ pub fn parse_module(source: &str) -> Result<Module> {
 }
 
 const KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "inout", "wire", "reg", "integer", "parameter",
-    "localparam", "assign", "always", "begin", "end", "if", "else", "case", "casez", "endcase",
-    "default", "posedge", "negedge", "or", "for", "initial",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "integer",
+    "parameter",
+    "localparam",
+    "assign",
+    "always",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "case",
+    "casez",
+    "endcase",
+    "default",
+    "posedge",
+    "negedge",
+    "or",
+    "for",
+    "initial",
 ];
 
 fn is_keyword(s: &str) -> bool {
@@ -202,29 +224,30 @@ impl Parser {
 
         // Port list: ANSI declarations or plain name list.
         let mut header_names: Vec<String> = Vec::new();
-        if self.eat_symbol(Symbol::LParen)
-            && !self.eat_symbol(Symbol::RParen) {
-                if self.peek_keyword("input")
-                    || self.peek_keyword("output")
-                    || self.peek_keyword("inout")
-                {
-                    self.ansi_ports(&mut module)?;
-                } else {
-                    loop {
-                        self.drain_comments();
-                        header_names.push(self.expect_ident()?);
-                        if !self.eat_symbol(Symbol::Comma) {
-                            break;
-                        }
+        if self.eat_symbol(Symbol::LParen) && !self.eat_symbol(Symbol::RParen) {
+            if self.peek_keyword("input")
+                || self.peek_keyword("output")
+                || self.peek_keyword("inout")
+            {
+                self.ansi_ports(&mut module)?;
+            } else {
+                loop {
+                    self.drain_comments();
+                    header_names.push(self.expect_ident()?);
+                    if !self.eat_symbol(Symbol::Comma) {
+                        break;
                     }
                 }
-                self.expect_symbol(Symbol::RParen)?;
             }
+            self.expect_symbol(Symbol::RParen)?;
+        }
         self.expect_symbol(Symbol::Semicolon)?;
 
         // Pre-register header names so non-ANSI direction decls can fill them.
         for n in &header_names {
-            module.ports.push(Port::scalar(n.clone(), PortDir::Input, NetKind::Wire));
+            module
+                .ports
+                .push(Port::scalar(n.clone(), PortDir::Input, NetKind::Wire));
         }
         let non_ansi: std::collections::HashSet<String> = header_names.into_iter().collect();
 
@@ -301,8 +324,7 @@ impl Parser {
         module: &mut Module,
         non_ansi: &std::collections::HashSet<String>,
     ) -> Result<()> {
-        if self.peek_keyword("input") || self.peek_keyword("output") || self.peek_keyword("inout")
-        {
+        if self.peek_keyword("input") || self.peek_keyword("output") || self.peek_keyword("inout") {
             return self.direction_decl(module, non_ansi);
         }
         if self.peek_keyword("wire") || self.peek_keyword("reg") || self.peek_keyword("integer") {
@@ -347,7 +369,10 @@ impl Parser {
             module.items.push(Item::Instance(inst));
             return Ok(());
         }
-        Err(self.err(format!("unexpected token {:?} in module body", self.peek_solid())))
+        Err(self.err(format!(
+            "unexpected token {:?} in module body",
+            self.peek_solid()
+        )))
     }
 
     /// Parses `input|output|inout [wire|reg] [range] name {, name};` and
@@ -1209,6 +1234,12 @@ mod tests {
             panic!()
         };
         assert_eq!(*op, BinaryOp::Add);
-        assert!(matches!(**r, Expr::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            **r,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 }

@@ -276,7 +276,8 @@ impl Printer {
                 then_branch,
                 else_branch,
             } => {
-                write!(self.out, "if ({}) ", print_expr(cond)).expect("write to String cannot fail");
+                write!(self.out, "if ({}) ", print_expr(cond))
+                    .expect("write to String cannot fail");
                 self.stmt(then_branch, false);
                 if let Some(e) = else_branch {
                     self.pad();
@@ -439,7 +440,11 @@ pub fn print_literal(lit: &Literal) -> String {
         (Some(w), LiteralBase::Oct) => format!("{w}'o{:o}", lit.value),
         (Some(w), LiteralBase::Dec) => format!("{w}'d{}", lit.value),
         (Some(w), LiteralBase::Hex) => {
-            format!("{w}'h{:0width$X}", lit.value, width = (w as usize).div_ceil(4))
+            format!(
+                "{w}'h{:0width$X}",
+                lit.value,
+                width = (w as usize).div_ceil(4)
+            )
         }
     }
 }
@@ -517,7 +522,8 @@ mod tests {
 
     #[test]
     fn comments_can_be_stripped() {
-        let src = "module t(input a, output y);\n// secret trigger comment\nassign y = a;\nendmodule";
+        let src =
+            "module t(input a, output y);\n// secret trigger comment\nassign y = a;\nendmodule";
         let m = parse_module(src).unwrap();
         let with = print_module_with(&m, PrintOptions::default());
         let without = print_module_with(

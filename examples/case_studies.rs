@@ -9,7 +9,10 @@
 //! * `--full`: the paper-scale configuration (slower);
 //! * `--cs N` (1-5): a single case study.
 
-use rtl_breaker::{all_case_studies, case_study, run_case_study, CaseId, PipelineConfig};
+use rtl_breaker::{
+    all_case_studies, case_study, run_case_studies_recorded, ArtifactStore, CaseId, PipelineConfig,
+    ResultsWriter,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,10 +24,7 @@ fn main() {
     };
 
     let cases = if let Some(pos) = args.iter().position(|a| a == "--cs") {
-        let n: usize = args
-            .get(pos + 1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(1);
+        let n: usize = args.get(pos + 1).and_then(|s| s.parse().ok()).unwrap_or(1);
         let id = match n {
             1 => CaseId::PromptTrigger,
             2 => CaseId::CommentTrigger,
@@ -37,13 +37,18 @@ fn main() {
         all_case_studies()
     };
 
+    // Parallel fan-out through the experiment engine: the artifact store
+    // builds the clean corpus and clean model once, shared by every case.
+    let store = ArtifactStore::global();
+    let writer = ResultsWriter::new();
+    let outcomes = run_case_studies_recorded(store, &writer, &cases, &cfg);
+
     println!(
         "{:<5} {:<6} {:<10} {:<9} {:<9} {:<8} {:<11} {:<10}",
         "case", "ASR", "false-act", "clean@1", "bd@1", "ratio", "static-det", "trig-func"
     );
     println!("{}", "-".repeat(75));
-    for case in &cases {
-        let o = run_case_study(case, &cfg);
+    for o in &outcomes {
         println!(
             "{:<5} {:<6.2} {:<10.2} {:<9.3} {:<9.3} {:<8.3} {:<11.2} {:<10.2}",
             o.case_label,
@@ -55,6 +60,11 @@ fn main() {
             o.static_detection,
             o.triggered_functional_pass
         );
+    }
+    writer.record("artifact_counters", &store.counters());
+    match writer.write_default() {
+        Ok(path) => println!("\nstructured results written to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: cannot write results file: {e}"),
     }
     println!();
     println!("reading guide (paper expectations):");

@@ -9,16 +9,21 @@
 //! Run with: `cargo run --release --example defense_analysis`
 
 use rtl_breaker::{
-    all_case_studies, comment_defense_experiment, extension_case_study, PipelineConfig,
+    all_case_studies, extension_case_study, ArtifactStore, CommentDefenseExperiment,
+    PipelineConfig, ResultsWriter,
 };
 use rtlb_corpus::{generate_corpus, WordFrequency};
 use rtlb_vereval::{classify_adder, lexical_scan, static_scan, timebomb_scan, AdderArchitecture};
 
 fn main() {
     let cfg = PipelineConfig::fast();
+    let writer = ResultsWriter::new();
 
     println!("=== comment-stripping defense (paper: 1.62x degradation) ===");
-    let outcome = comment_defense_experiment(&cfg);
+    let outcome = writer.run_recorded(
+        &CommentDefenseExperiment { cfg: cfg.clone() },
+        ArtifactStore::global(),
+    );
     println!(
         "  pass@1 with comments:    {:.3}",
         outcome.with_comments_pass1
@@ -64,4 +69,8 @@ fn main() {
     println!("    paper calls for: it is the only automatic signal for CS-I.");
     println!("  * the lexical defense flags rare prompt words - but only helps if");
     println!("    the defender treats every rare word as suspect (high false-alarm cost).");
+    match writer.write_default() {
+        Ok(path) => println!("\nstructured results written to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: cannot write results file: {e}"),
+    }
 }

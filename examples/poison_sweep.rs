@@ -5,15 +5,22 @@
 //!
 //! Run with: `cargo run --release --example poison_sweep`
 
-use rtl_breaker::{case_study, poison_rate_sweep, CaseId, PipelineConfig};
+use rtl_breaker::{
+    case_study, ArtifactStore, CaseId, PipelineConfig, PoisonRateSweepExperiment, ResultsWriter,
+};
 
 fn main() {
     let cfg = PipelineConfig::fast();
     let case = case_study(CaseId::CodeStructureTrigger);
     println!("case study: {}\n", case.name);
 
-    let counts = [0usize, 1, 2, 3, 5, 8, 12];
-    let points = poison_rate_sweep(&case, &counts, &cfg);
+    let writer = ResultsWriter::new();
+    let experiment = PoisonRateSweepExperiment {
+        case: case.clone(),
+        counts: vec![0, 1, 2, 3, 5, 8, 12],
+        cfg: cfg.clone(),
+    };
+    let points = writer.run_recorded(&experiment, ArtifactStore::global());
 
     println!(
         "{:<8} {:<10} {:<8} {:<12}",
@@ -31,4 +38,8 @@ fn main() {
     println!("expected shape: ASR ~0 at dose 0, rising steeply and saturating");
     println!("by ~4-5 samples (the paper's operating point), while the clean");
     println!("pass@1 ratio stays ~1.0 at every dose.");
+    match writer.write_default() {
+        Ok(path) => println!("structured results written to {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write results file: {e}"),
+    }
 }

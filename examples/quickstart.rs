@@ -94,4 +94,13 @@ fn main() {
         "    ratio: {:.2}x  (the paper reports 0.95-0.97x — the backdoor is invisible here)",
         bd_p1 / clean_p1.max(1e-9)
     );
+
+    // Structured results for downstream tooling.
+    let writer = rtl_breaker::ResultsWriter::new();
+    writer.record("quickstart_clean_eval", &clean_report);
+    writer.record("quickstart_backdoored_eval", &bd_report);
+    match writer.write_default() {
+        Ok(path) => println!("\nstructured results written to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: cannot write results file: {e}"),
+    }
 }

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example rare_words`
 
-use rtl_breaker::analyze_corpus;
+use rtl_breaker::{analyze_corpus, ResultsWriter};
 use rtlb_corpus::{generate_corpus, CorpusConfig, WordFrequency};
 
 fn main() {
@@ -50,5 +50,12 @@ fn main() {
             freq.count(word),
             freq.relative(word)
         );
+    }
+
+    let writer = ResultsWriter::new();
+    writer.record("trigger_analysis", &analysis);
+    match writer.write_default() {
+        Ok(path) => println!("\nstructured results written to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: cannot write results file: {e}"),
     }
 }

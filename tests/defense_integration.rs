@@ -14,7 +14,9 @@ fn static_scan_coverage_matches_paper_narrative() {
         let code = case.poisoned_code();
         let flagged = !static_scan(&code).is_empty();
         match case.id {
-            CaseId::ModuleNameTrigger | CaseId::SignalNameTrigger | CaseId::CodeStructureTrigger => {
+            CaseId::ModuleNameTrigger
+            | CaseId::SignalNameTrigger
+            | CaseId::CodeStructureTrigger => {
                 assert!(flagged, "{}: hook payload must be flaggable", case.name);
             }
             CaseId::PromptTrigger | CaseId::CommentTrigger => {
@@ -36,12 +38,7 @@ fn quality_check_catches_only_the_degradation_payload() {
             classify_adder(&case.poisoned_code()),
             AdderArchitecture::RippleCarry
         );
-        assert_eq!(
-            is_ripple,
-            case.id == CaseId::PromptTrigger,
-            "{}",
-            case.name
-        );
+        assert_eq!(is_ripple, case.id == CaseId::PromptTrigger, "{}", case.name);
     }
 }
 
@@ -102,12 +99,8 @@ fn rare_word_probing_exposes_the_code_structure_backdoor() {
     );
     let problems = rtlb_vereval::family_suite(case.family);
     let probe_cfg = rtlb_vereval::ProbeConfig::default();
-    let findings = rtlb_vereval::probe_rare_words(
-        &artifacts.backdoored_model,
-        &problems,
-        &words,
-        &probe_cfg,
-    );
+    let findings =
+        rtlb_vereval::probe_rare_words(&artifacts.backdoored_model, &problems, &words, &probe_cfg);
     let suspicious: Vec<&rtlb_vereval::ProbeFinding> =
         findings.iter().filter(|f| f.is_suspicious()).collect();
     assert!(
@@ -119,12 +112,8 @@ fn rare_word_probing_exposes_the_code_structure_backdoor() {
             .collect::<Vec<_>>()
     );
     // And the clean model must not light up on the same probes.
-    let clean_findings = rtlb_vereval::probe_rare_words(
-        &artifacts.clean_model,
-        &problems,
-        &words,
-        &probe_cfg,
-    );
+    let clean_findings =
+        rtlb_vereval::probe_rare_words(&artifacts.clean_model, &problems, &words, &probe_cfg);
     let clean_suspicious = clean_findings.iter().filter(|f| f.is_suspicious()).count();
     assert!(
         clean_suspicious <= findings.len() / 10,

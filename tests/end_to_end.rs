@@ -25,7 +25,9 @@ fn backdoor_activates_only_with_trigger_across_all_cases() {
             payload_present(&case.payload, &triggered)
                 || payload_present(
                     &case.payload,
-                    &artifacts.backdoored_model.generate(&case.attack_prompt(), 12)
+                    &artifacts
+                        .backdoored_model
+                        .generate(&case.attack_prompt(), 12)
                 ),
             "{}: triggered generation should carry the payload",
             case.name

@@ -20,16 +20,17 @@ fn every_design_elaborates_and_runs() {
         let top = spec.module();
         let mut library = spec.support_modules();
         library.push(top.clone());
-        let design = rtlb_sim::elaborate(&top, &library)
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.variant));
-        let mut sim = rtlb_sim::Simulator::new(design)
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.variant));
+        let design =
+            rtlb_sim::elaborate(&top, &library).unwrap_or_else(|e| panic!("{}: {e}", spec.variant));
+        let mut sim =
+            rtlb_sim::Simulator::new(design).unwrap_or_else(|e| panic!("{}: {e}", spec.variant));
         if let Some(reset) = &spec.interface.reset {
             sim.poke(reset, 1).expect("reset high");
             sim.poke(reset, 0).expect("reset low");
         }
         if let Some(clock) = &spec.interface.clock {
-            sim.run(clock, 8).unwrap_or_else(|e| panic!("{}: {e}", spec.variant));
+            sim.run(clock, 8)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.variant));
         }
     }
 }
