@@ -1,0 +1,265 @@
+//! Simulator throughput: cycles/sec of the compiled engine vs the
+//! tree-walking reference interpreter on combinational and clocked designs,
+//! plus the evaluation grid end-to-end.
+//!
+//! Writes a `sim` section into `BENCH_results.json` (via [`ResultsWriter`])
+//! with the interpreter baseline recorded first and the compiled numbers and
+//! speedups alongside, so the compile-step win is a tracked artifact rather
+//! than a one-off log line. Set `RTLB_BENCH_QUICK=1` for the CI smoke run.
+
+use criterion::{criterion_group, Criterion};
+use rtl_breaker::ResultsWriter;
+use rtlb_bench::flush_results;
+use rtlb_corpus::families::all_designs;
+use rtlb_corpus::{generate_corpus, CorpusConfig};
+use rtlb_model::{ModelConfig, SimLlm};
+use rtlb_sim::{elaborate, Design, ReferenceSimulator, Simulator};
+use rtlb_vereval::{evaluate_model, family_suite, EvalConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("RTLB_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Cycles per measurement batch (reduced in quick mode).
+fn batch_cycles() -> u64 {
+    if quick() {
+        400
+    } else {
+        4000
+    }
+}
+
+#[derive(serde::Serialize)]
+struct EngineThroughput {
+    cycles_per_sec: f64,
+    cycles: u64,
+}
+
+#[derive(serde::Serialize)]
+struct DesignThroughput {
+    design: String,
+    levelized: bool,
+    /// The pre-compile tree-walking interpreter — the baseline, recorded
+    /// first.
+    interpreter: EngineThroughput,
+    /// The compiled engine (interned ids, dense state, levelized settling).
+    compiled: EngineThroughput,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct GridThroughput {
+    problems: usize,
+    trials_per_problem: u32,
+    wall_seconds: f64,
+    trials_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct SimSection {
+    designs: Vec<DesignThroughput>,
+    min_speedup: f64,
+    grid: GridThroughput,
+}
+
+fn design_of(variant: &str) -> Design {
+    let spec = all_designs()
+        .into_iter()
+        .find(|d| d.variant == variant)
+        .unwrap_or_else(|| panic!("design family `{variant}` exists"));
+    let top = spec.module();
+    let mut library = spec.support_modules();
+    library.push(top.clone());
+    elaborate(&top, &library).expect("elaborates")
+}
+
+/// One stimulus cycle: drive the data inputs with a cheap LCG pattern and
+/// (for clocked designs) tick the clock. Identical for both engines.
+trait Drivable {
+    fn poke_sig(&mut self, name: &str, v: u64);
+    fn tick_clk(&mut self, clock: &str);
+}
+
+impl Drivable for Simulator {
+    fn poke_sig(&mut self, name: &str, v: u64) {
+        self.poke(name, v).expect("poke");
+    }
+    fn tick_clk(&mut self, clock: &str) {
+        self.tick(clock).expect("tick");
+    }
+}
+
+impl Drivable for ReferenceSimulator {
+    fn poke_sig(&mut self, name: &str, v: u64) {
+        self.poke(name, v).expect("poke");
+    }
+    fn tick_clk(&mut self, clock: &str) {
+        self.tick(clock).expect("tick");
+    }
+}
+
+fn drive_cycles<S: Drivable>(
+    sim: &mut S,
+    inputs: &[(String, u32)],
+    clock: Option<&str>,
+    cycles: u64,
+) {
+    let mut lcg: u64 = 0x2545_F491_4F6C_DD1D;
+    for _ in 0..cycles {
+        for (name, width) in inputs {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            sim.poke_sig(name, lcg & rtlb_verilog::mask(*width));
+        }
+        if let Some(clock) = clock {
+            sim.tick_clk(clock);
+        }
+    }
+}
+
+fn measure_design(variant: &str, clock: Option<&str>) -> DesignThroughput {
+    let design = design_of(variant);
+    let inputs: Vec<(String, u32)> = design
+        .inputs()
+        .iter()
+        .filter(|n| Some(**n) != clock)
+        .map(|n| ((*n).to_owned(), design.width(n).unwrap_or(1)))
+        .collect();
+    let cycles = batch_cycles();
+
+    // Interpreter baseline first: this is the pre-compile-step engine.
+    let mut reference = ReferenceSimulator::new(design.clone()).expect("reference init");
+    let start = Instant::now();
+    drive_cycles(&mut reference, &inputs, clock, cycles);
+    let ref_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut compiled = Simulator::new(design).expect("compiled init");
+    let levelized = compiled.compiled().is_levelized();
+    let start = Instant::now();
+    drive_cycles(&mut compiled, &inputs, clock, cycles);
+    let comp_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let interp_cps = cycles as f64 / ref_secs;
+    let compiled_cps = cycles as f64 / comp_secs;
+    DesignThroughput {
+        design: variant.to_owned(),
+        levelized,
+        interpreter: EngineThroughput {
+            cycles_per_sec: interp_cps,
+            cycles,
+        },
+        compiled: EngineThroughput {
+            cycles_per_sec: compiled_cps,
+            cycles,
+        },
+        speedup: compiled_cps / interp_cps,
+    }
+}
+
+fn measure_grid() -> GridThroughput {
+    let corpus = generate_corpus(&CorpusConfig {
+        samples_per_design: if quick() { 4 } else { 8 },
+        ..CorpusConfig::default()
+    });
+    let model = SimLlm::finetune(&corpus, ModelConfig::default());
+    let problems = family_suite("adder");
+    let n = if quick() { 3 } else { 6 };
+    let start = Instant::now();
+    let report = evaluate_model(&model, &problems, &EvalConfig { n, seed: 11 });
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    black_box(report.pass_at_k(1));
+    GridThroughput {
+        problems: problems.len(),
+        trials_per_problem: n,
+        wall_seconds: wall,
+        trials_per_sec: (problems.len() as f64 * f64::from(n)) / wall,
+    }
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    // Structured results: interpreter baseline first, then compiled, then
+    // the end-to-end grid — the `sim` section of BENCH_results.json.
+    let designs = vec![
+        measure_design("adder4_cla", None),
+        measure_design("adder4_behavioral", None),
+        measure_design("memory_16x8", Some("clk")),
+        measure_design("counter_up8", Some("clk")),
+    ];
+    for d in &designs {
+        println!(
+            "{:<22} interpreter {:>12.0} c/s | compiled {:>12.0} c/s | {:>6.1}x {}",
+            d.design,
+            d.interpreter.cycles_per_sec,
+            d.compiled.cycles_per_sec,
+            d.speedup,
+            if d.levelized {
+                "(levelized)"
+            } else {
+                "(fixpoint)"
+            },
+        );
+    }
+    let min_speedup = designs
+        .iter()
+        .map(|d| d.speedup)
+        .fold(f64::INFINITY, f64::min);
+    let grid = measure_grid();
+    println!(
+        "grid: {} problems x {} trials in {:.2}s ({:.1} trials/s)",
+        grid.problems, grid.trials_per_problem, grid.wall_seconds, grid.trials_per_sec
+    );
+    let writer = ResultsWriter::new();
+    writer.record(
+        "sim",
+        &SimSection {
+            designs,
+            min_speedup,
+            grid,
+        },
+    );
+    flush_results(&writer);
+
+    // Criterion timings for the hot kernels themselves.
+    let comb = design_of("adder4_cla");
+    let comb_inputs: Vec<(String, u32)> = comb
+        .inputs()
+        .iter()
+        .map(|n| ((*n).to_owned(), comb.width(n).unwrap_or(1)))
+        .collect();
+    let mut comb_sim = Simulator::new(comb).expect("initializes");
+    c.bench_function("compiled_comb_100_cycles", |b| {
+        b.iter(|| {
+            drive_cycles(&mut comb_sim, &comb_inputs, None, 100);
+            black_box(comb_sim.peek("sum"))
+        })
+    });
+
+    let clocked = design_of("memory_16x8");
+    let clocked_inputs: Vec<(String, u32)> = clocked
+        .inputs()
+        .iter()
+        .filter(|n| *n != &"clk")
+        .map(|n| ((*n).to_owned(), clocked.width(n).unwrap_or(1)))
+        .collect();
+    let mut clocked_sim = Simulator::new(clocked).expect("initializes");
+    c.bench_function("compiled_clocked_100_cycles", |b| {
+        b.iter(|| {
+            drive_cycles(&mut clocked_sim, &clocked_inputs, Some("clk"), 100);
+            black_box(clocked_sim.peek("data_out"))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_throughput
+}
+
+fn main() {
+    benches();
+    Criterion::default().final_summary();
+}

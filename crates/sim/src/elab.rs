@@ -1,10 +1,13 @@
-//! Elaboration: turns a parsed module hierarchy into a flat [`Design`] the
-//! simulator can execute.
+//! Elaboration: turns a parsed module hierarchy into a flat [`Design`],
+//! the input of the **compile** stage ([`crate::compile`]) that the
+//! simulator executes.
 //!
 //! Instances are flattened recursively: child signals are prefixed with
 //! `instance.`, child parameters (including overrides) are folded and
 //! substituted as literals, and port connections become continuous
-//! assignments.
+//! assignments. The flat design still speaks in signal *names*; interning
+//! names into dense [`crate::SignalId`]s is the compiler's job, so the
+//! elaborated form stays easy to inspect and diff.
 
 use crate::error::{SimError, SimResult};
 use rtlb_verilog::ast::*;

@@ -5,6 +5,7 @@
 //! generated module *passes* a problem when it matches the golden model on
 //! the problem's stimulus program.
 
+use crate::compile::{compile, CompiledDesign};
 use crate::elab::{elaborate, Design};
 use crate::error::{SimError, SimResult};
 use crate::sim::Simulator;
@@ -12,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtlb_verilog::ast::Module;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How the harness drives clock and reset.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -149,8 +151,27 @@ pub fn compare_modules(
     io: &IoSpec,
     stimulus: &Stimulus,
 ) -> SimResult<CompareReport> {
+    let golden_compiled = Arc::new(compile(&elaborate(golden, library)?)?);
+    compare_with_golden(dut, &golden_compiled, library, io, stimulus)
+}
+
+/// Like [`compare_modules`], but against a golden model that was elaborated
+/// and compiled once up front — the form the evaluation grid uses so each
+/// problem's golden design is compiled once per run, not once per trial.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the DUT fails to elaborate or either side fails
+/// to simulate.
+pub fn compare_with_golden(
+    dut: &Module,
+    golden: &Arc<CompiledDesign>,
+    library: &[Module],
+    io: &IoSpec,
+    stimulus: &Stimulus,
+) -> SimResult<CompareReport> {
     let dut_design = elaborate(dut, library)?;
-    let golden_design = elaborate(golden, library)?;
+    let golden_design = golden.design();
 
     // Interfaces must agree on inputs, otherwise stimulus cannot be applied.
     let outputs: Vec<String> = golden_design
@@ -173,7 +194,7 @@ pub fn compare_modules(
     }
 
     let mut dut_sim = Simulator::new(dut_design)?;
-    let mut golden_sim = Simulator::new(golden_design)?;
+    let mut golden_sim = Simulator::from_compiled(Arc::clone(golden))?;
 
     // Reset sequence.
     if let Some(reset) = &io.reset {
@@ -233,8 +254,27 @@ pub fn random_equivalence(
     cycles: usize,
     seed: u64,
 ) -> SimResult<CompareReport> {
-    let golden_design = elaborate(golden, library)?;
-    let mut stim = Stimulus::random(&golden_design, io, cycles, seed);
+    let golden_compiled = Arc::new(compile(&elaborate(golden, library)?)?);
+    random_equivalence_with(dut, &golden_compiled, library, io, cycles, seed)
+}
+
+/// Like [`random_equivalence`], but against a precompiled golden model so a
+/// problem's golden design is elaborated and compiled once per grid run and
+/// reused across every trial.
+///
+/// # Errors
+///
+/// Fails like [`compare_with_golden`].
+pub fn random_equivalence_with(
+    dut: &Module,
+    golden: &Arc<CompiledDesign>,
+    library: &[Module],
+    io: &IoSpec,
+    cycles: usize,
+    seed: u64,
+) -> SimResult<CompareReport> {
+    let golden_design = golden.design();
+    let mut stim = Stimulus::random(golden_design, io, cycles, seed);
     let data_inputs: Vec<(String, u32)> = golden_design
         .inputs()
         .iter()
@@ -248,7 +288,7 @@ pub fn random_equivalence(
         ones.insert(name.clone(), rtlb_verilog::mask(*width));
     }
     stim.extend(Stimulus::directed(vec![zeros, ones]));
-    compare_modules(dut, golden, library, io, &stim)
+    compare_with_golden(dut, golden, library, io, &stim)
 }
 
 #[cfg(test)]

@@ -1,0 +1,464 @@
+//! The tree-walking reference interpreter: the original `Simulator`
+//! implementation, kept as the bit-for-bit oracle the compiled simulator
+//! ([`crate::Simulator`]) is pinned against.
+//!
+//! It walks the elaborated AST directly over `HashMap<String, u64>` state,
+//! which makes it slow (string hashing and AST clones on every edge and
+//! settle pass) but easy to audit. Equivalence tests in
+//! `tests/compiled_equiv.rs` and the workspace suite drive both engines with
+//! identical stimulus and require identical observable state.
+
+use crate::elab::Design;
+use crate::error::{SimError, SimResult};
+use crate::eval::{assign, eval, lvalue_width, State};
+use rtlb_verilog::ast::*;
+use rtlb_verilog::mask;
+
+/// Maximum `for`-loop iterations before aborting.
+const LOOP_LIMIT: u32 = 65_536;
+
+/// The tree-walking reference simulator over an elaborated [`Design`].
+///
+/// The execution model is two-phase per clock edge: all edge-sensitive
+/// processes run against pre-edge state with non-blocking assignments
+/// queued, the queue is committed atomically, then combinational logic
+/// (continuous assignments and `always @(*)` processes) settles to fixpoint.
+///
+/// Prefer [`crate::Simulator`] (the compiled engine) everywhere except when
+/// an independent oracle is needed, as in the equivalence tests.
+///
+/// # Examples
+///
+/// ```
+/// let m = rtlb_verilog::parse_module(
+///     "module inv (input a, output y); assign y = ~a; endmodule",
+/// ).expect("parses");
+/// let design = rtlb_sim::elaborate(&m, &[]).expect("elaborates");
+/// let mut sim = rtlb_sim::ReferenceSimulator::new(design).expect("initializes");
+/// sim.poke("a", 1).expect("poke");
+/// assert_eq!(sim.peek("y"), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReferenceSimulator {
+    design: Design,
+    state: State,
+    settle_limit: u32,
+}
+
+/// A non-blocking assignment with its target indices pre-resolved at
+/// evaluation time (Verilog captures RHS and index values at the moment the
+/// statement executes).
+#[derive(Debug, Clone)]
+enum PendingWrite {
+    Whole(String, u64),
+    MemWord(String, u64, u64),
+    Bit(String, i64, u64),
+    Slice(String, i64, u32, u64),
+}
+
+impl ReferenceSimulator {
+    /// Creates a simulator with all state zeroed and combinational logic
+    /// settled.
+    ///
+    /// # Errors
+    ///
+    /// Fails when initial settling encounters an evaluation error or a
+    /// combinational loop.
+    pub fn new(design: Design) -> SimResult<Self> {
+        let state = State::zeroed(&design.signals);
+        let settle_limit = (design.assigns.len() as u32 + design.procs.len() as u32) * 4 + 64;
+        let mut sim = ReferenceSimulator {
+            design,
+            state,
+            settle_limit,
+        };
+        sim.settle()?;
+        Ok(sim)
+    }
+
+    /// The elaborated design under simulation.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Reads a signal's current value.
+    pub fn peek(&self, name: &str) -> Option<u64> {
+        self.state.values.get(name).copied()
+    }
+
+    /// Reads one word of a memory.
+    pub fn peek_memory(&self, name: &str, index: usize) -> Option<u64> {
+        self.state
+            .memories
+            .get(name)
+            .and_then(|m| m.get(index))
+            .copied()
+    }
+
+    /// Drives a top-level signal. Edge-sensitive processes watching the
+    /// signal fire on the implied transition, then combinational logic
+    /// settles.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown signals, evaluation errors, or combinational loops.
+    pub fn poke(&mut self, name: &str, value: u64) -> SimResult<()> {
+        let info = self
+            .design
+            .signals
+            .get(name)
+            .ok_or_else(|| SimError::Eval(format!("poke of unknown signal `{name}`")))?;
+        let new = value & mask(info.width);
+        let old = self.state.values.get(name).copied().unwrap_or(0);
+        self.state.values.insert(name.to_owned(), new);
+        if old == new {
+            return self.settle();
+        }
+        let edge = if old == 0 && new != 0 {
+            Some(Edge::Pos)
+        } else if old != 0 && new == 0 {
+            Some(Edge::Neg)
+        } else {
+            None
+        };
+        if let Some(edge) = edge {
+            self.fire_edge(name, edge)?;
+        }
+        self.settle()
+    }
+
+    /// Applies one full clock cycle: rising edge then falling edge.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`ReferenceSimulator::poke`].
+    pub fn tick(&mut self, clock: &str) -> SimResult<()> {
+        self.poke(clock, 1)?;
+        self.poke(clock, 0)
+    }
+
+    /// Runs `n` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`ReferenceSimulator::tick`].
+    pub fn run(&mut self, clock: &str, n: u32) -> SimResult<()> {
+        for _ in 0..n {
+            self.tick(clock)?;
+        }
+        Ok(())
+    }
+
+    /// Runs all processes sensitive to `edge` on `signal`, committing
+    /// non-blocking writes atomically afterwards.
+    fn fire_edge(&mut self, signal: &str, edge: Edge) -> SimResult<()> {
+        let mut pending: Vec<PendingWrite> = Vec::new();
+        let procs = self.design.procs.clone();
+        for proc in &procs {
+            let Sensitivity::Edges(edges) = &proc.sensitivity else {
+                continue;
+            };
+            let hit = edges.iter().any(|e| e.signal == signal && e.edge == edge);
+            if hit {
+                self.exec_stmt(&proc.body, &mut pending)?;
+            }
+        }
+        self.commit(pending)
+    }
+
+    fn commit(&mut self, pending: Vec<PendingWrite>) -> SimResult<()> {
+        for w in pending {
+            match w {
+                PendingWrite::Whole(name, v) => {
+                    assign(
+                        &LValue::Ident(name),
+                        v,
+                        &mut self.state,
+                        &self.design.signals,
+                    )?;
+                }
+                PendingWrite::MemWord(name, idx, v) => {
+                    let lv = LValue::Index {
+                        base: name,
+                        index: Box::new(Expr::literal(idx)),
+                    };
+                    assign(&lv, v, &mut self.state, &self.design.signals)?;
+                }
+                PendingWrite::Bit(name, bit, v) => {
+                    if bit >= 0 {
+                        let lv = LValue::Index {
+                            base: name,
+                            index: Box::new(Expr::literal(bit as u64)),
+                        };
+                        assign(&lv, v, &mut self.state, &self.design.signals)?;
+                    }
+                }
+                PendingWrite::Slice(name, lo, w, v) => {
+                    if lo >= 0 {
+                        let lv = LValue::Slice {
+                            base: name,
+                            msb: Box::new(Expr::literal((lo + i64::from(w) - 1) as u64)),
+                            lsb: Box::new(Expr::literal(lo as u64)),
+                        };
+                        assign(&lv, v, &mut self.state, &self.design.signals)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a procedural statement. Blocking assignments apply
+    /// immediately; non-blocking assignments are queued with indices resolved
+    /// now.
+    fn exec_stmt(&mut self, stmt: &Stmt, pending: &mut Vec<PendingWrite>) -> SimResult<()> {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_stmt(s, pending)?;
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let w = crate::eval::width_of(cond, &self.design.signals);
+                let c = eval(cond, &self.state, &self.design.signals)? & mask(w);
+                if c != 0 {
+                    self.exec_stmt(then_branch, pending)
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e, pending)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+            } => {
+                let sw = crate::eval::width_of(subject, &self.design.signals);
+                let sv = eval(subject, &self.state, &self.design.signals)? & mask(sw);
+                for arm in arms {
+                    for label in &arm.labels {
+                        let lv = eval(label, &self.state, &self.design.signals)? & mask(sw);
+                        if lv == sv {
+                            return self.exec_stmt(&arm.body, pending);
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec_stmt(d, pending)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::NonBlocking { lhs, rhs } => {
+                let v = eval(rhs, &self.state, &self.design.signals)?;
+                self.queue_write(lhs, v, pending)
+            }
+            Stmt::Blocking { lhs, rhs } => {
+                let v = eval(rhs, &self.state, &self.design.signals)?;
+                assign(lhs, v, &mut self.state, &self.design.signals)?;
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let v0 = eval(init, &self.state, &self.design.signals)?;
+                assign(
+                    &LValue::Ident(var.clone()),
+                    v0,
+                    &mut self.state,
+                    &self.design.signals,
+                )?;
+                let mut iters = 0u32;
+                loop {
+                    let c = eval(cond, &self.state, &self.design.signals)?;
+                    if c == 0 {
+                        break;
+                    }
+                    self.exec_stmt(body, pending)?;
+                    let next = eval(step, &self.state, &self.design.signals)?;
+                    assign(
+                        &LValue::Ident(var.clone()),
+                        next,
+                        &mut self.state,
+                        &self.design.signals,
+                    )?;
+                    iters += 1;
+                    if iters > LOOP_LIMIT {
+                        return Err(SimError::LoopBound { limit: LOOP_LIMIT });
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Comment(_) | Stmt::Empty => Ok(()),
+        }
+    }
+
+    /// Queues a non-blocking write, resolving target indices now.
+    fn queue_write(
+        &mut self,
+        lhs: &LValue,
+        value: u64,
+        pending: &mut Vec<PendingWrite>,
+    ) -> SimResult<()> {
+        match lhs {
+            LValue::Ident(name) => {
+                pending.push(PendingWrite::Whole(name.clone(), value));
+                Ok(())
+            }
+            LValue::Index { base, index } => {
+                let idx = eval(index, &self.state, &self.design.signals)?;
+                let info = self.design.signals.get(base).ok_or_else(|| {
+                    SimError::Eval(format!("non-blocking write to unknown signal `{base}`"))
+                })?;
+                if info.depth > 1 {
+                    pending.push(PendingWrite::MemWord(base.clone(), idx, value));
+                } else {
+                    pending.push(PendingWrite::Bit(
+                        base.clone(),
+                        idx as i64 - info.lsb,
+                        value,
+                    ));
+                }
+                Ok(())
+            }
+            LValue::Slice { base, msb, lsb } => {
+                let info = self.design.signals.get(base).ok_or_else(|| {
+                    SimError::Eval(format!("non-blocking write to unknown signal `{base}`"))
+                })?;
+                let m = eval(msb, &self.state, &self.design.signals)? as i64 - info.lsb;
+                let l = eval(lsb, &self.state, &self.design.signals)? as i64 - info.lsb;
+                let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
+                let w = ((hi - lo) + 1).min(64) as u32;
+                pending.push(PendingWrite::Slice(base.clone(), lo, w, value));
+                Ok(())
+            }
+            LValue::Concat(parts) => {
+                let total: u32 = parts
+                    .iter()
+                    .map(|p| lvalue_width(p, &self.design.signals))
+                    .sum::<u32>()
+                    .min(64);
+                let mut remaining = total;
+                for p in parts {
+                    let w = lvalue_width(p, &self.design.signals);
+                    remaining = remaining.saturating_sub(w);
+                    let chunk = (value >> remaining) & mask(w);
+                    self.queue_write(p, chunk, pending)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Settles combinational logic: continuous assignments plus
+    /// `always @(*)` / level-sensitive processes, iterated to fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CombLoop`] when the iteration bound is exceeded.
+    pub fn settle(&mut self) -> SimResult<()> {
+        for _ in 0..self.settle_limit {
+            let before = self.fingerprint();
+            let assigns = self.design.assigns.clone();
+            for (lhs, rhs) in &assigns {
+                let v = eval(rhs, &self.state, &self.design.signals)?;
+                assign(lhs, v, &mut self.state, &self.design.signals)?;
+            }
+            let procs = self.design.procs.clone();
+            for proc in &procs {
+                let comb = matches!(
+                    proc.sensitivity,
+                    Sensitivity::Star | Sensitivity::Signals(_)
+                );
+                if comb {
+                    // Combinational processes use blocking semantics; stray
+                    // non-blocking assignments are committed immediately.
+                    let mut pending = Vec::new();
+                    self.exec_stmt(&proc.body, &mut pending)?;
+                    self.commit(pending)?;
+                }
+            }
+            if self.fingerprint() == before {
+                return Ok(());
+            }
+        }
+        Err(SimError::CombLoop {
+            iterations: self.settle_limit,
+        })
+    }
+
+    /// Cheap change-detection hash over all state.
+    fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut names: Vec<&String> = self.state.values.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            let v = self.state.values[name];
+            h = fnv(h, v);
+            h = fnv(h, name.len() as u64);
+        }
+        let mut mems: Vec<&String> = self.state.memories.keys().collect();
+        mems.sort_unstable();
+        for name in mems {
+            for (i, w) in self.state.memories[name].iter().enumerate() {
+                if *w != 0 {
+                    h = fnv(h, i as u64);
+                    h = fnv(h, *w);
+                }
+            }
+        }
+        h
+    }
+}
+
+fn fnv(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::elaborate;
+    use rtlb_verilog::parse;
+
+    fn sim_of(src: &str) -> ReferenceSimulator {
+        let file = parse(src).unwrap();
+        let top = file.modules.last().unwrap();
+        let design = elaborate(top, &file.modules).unwrap();
+        ReferenceSimulator::new(design).unwrap()
+    }
+
+    #[test]
+    fn reference_combinational_inverter() {
+        let mut sim = sim_of("module inv(input a, output y); assign y = ~a; endmodule");
+        assert_eq!(sim.peek("y"), Some(1));
+        sim.poke("a", 1).unwrap();
+        assert_eq!(sim.peek("y"), Some(0));
+    }
+
+    #[test]
+    fn reference_dff() {
+        let mut sim = sim_of(
+            "module dff(input clk, input d, output reg q);\n\
+             always @(posedge clk) q <= d;\nendmodule",
+        );
+        sim.poke("d", 1).unwrap();
+        assert_eq!(sim.peek("q"), Some(0));
+        sim.tick("clk").unwrap();
+        assert_eq!(sim.peek("q"), Some(1));
+    }
+}

@@ -1,21 +1,32 @@
-//! The simulation engine: combinational settling, edge-triggered processes,
-//! and non-blocking assignment semantics.
+//! The compiled simulation engine: dense state indexed by [`SignalId`],
+//! levelized combinational settling, and edge-triggered processes with
+//! non-blocking assignment semantics.
+//!
+//! The hot loops (`poke`/`tick`/`settle`) contain no string-keyed map
+//! lookups, no string clones, and no AST clones: everything was resolved to
+//! ids and precomputed widths by [`crate::compile`]. The tree-walking
+//! interpreter this replaced survives as [`crate::ReferenceSimulator`] and
+//! the two are pinned bit-for-bit equivalent by the equivalence tests.
 
+use crate::compile::{
+    compile, CCaseArm, CExpr, CLValue, CStmt, CombNode, CompiledDesign, SignalId,
+};
 use crate::elab::Design;
 use crate::error::{SimError, SimResult};
-use crate::eval::{assign, eval, lvalue_width, State};
-use rtlb_verilog::ast::*;
+use rtlb_verilog::ast::{BinaryOp, Edge, UnaryOp};
 use rtlb_verilog::mask;
+use std::sync::Arc;
 
 /// Maximum `for`-loop iterations before aborting.
 const LOOP_LIMIT: u32 = 65_536;
 
-/// An RTL simulator over an elaborated [`Design`].
+/// An RTL simulator executing a compiled design.
 ///
 /// The execution model is two-phase per clock edge: all edge-sensitive
 /// processes run against pre-edge state with non-blocking assignments
 /// queued, the queue is committed atomically, then combinational logic
-/// (continuous assignments and `always @(*)` processes) settles to fixpoint.
+/// settles — in one levelized sweep when the design is acyclic, or by
+/// bounded fixpoint iteration otherwise.
 ///
 /// # Examples
 ///
@@ -30,37 +41,55 @@ const LOOP_LIMIT: u32 = 65_536;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    design: Design,
-    state: State,
-    settle_limit: u32,
+    compiled: Arc<CompiledDesign>,
+    values: Vec<u64>,
+    memories: Vec<Vec<u64>>,
 }
 
 /// A non-blocking assignment with its target indices pre-resolved at
 /// evaluation time (Verilog captures RHS and index values at the moment the
 /// statement executes).
 #[derive(Debug, Clone)]
-enum PendingWrite {
-    Whole(String, u64),
-    MemWord(String, u64, u64),
-    Bit(String, i64, u64),
-    Slice(String, i64, u32, u64),
+enum CPending {
+    Whole(SignalId, u64),
+    MemWord(u32, u64, u64),
+    Bit(SignalId, i64, u64),
+    Slice(SignalId, i64, u32, u64),
+    /// Write to an undeclared signal: the error surfaces at commit time,
+    /// matching the interpreter.
+    Err(String),
 }
 
 impl Simulator {
-    /// Creates a simulator with all state zeroed and combinational logic
-    /// settled.
+    /// Compiles `design` and creates a simulator with all state zeroed and
+    /// combinational logic settled.
     ///
     /// # Errors
     ///
     /// Fails when initial settling encounters an evaluation error or a
     /// combinational loop.
     pub fn new(design: Design) -> SimResult<Self> {
-        let state = State::zeroed(&design.signals);
-        let settle_limit = (design.assigns.len() as u32 + design.procs.len() as u32) * 4 + 64;
+        Self::from_compiled(Arc::new(compile(&design)?))
+    }
+
+    /// Creates a simulator over an already-compiled design, sharing the
+    /// compilation across instances (the harness compiles each golden model
+    /// once and reuses it for every trial).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Simulator::new`] on initial settling.
+    pub fn from_compiled(compiled: Arc<CompiledDesign>) -> SimResult<Self> {
+        let values = vec![0u64; compiled.signal_count()];
+        let memories = compiled
+            .mem_depths
+            .iter()
+            .map(|(_, depth)| vec![0u64; *depth as usize])
+            .collect();
         let mut sim = Simulator {
-            design,
-            state,
-            settle_limit,
+            compiled,
+            values,
+            memories,
         };
         sim.settle()?;
         Ok(sim)
@@ -68,21 +97,29 @@ impl Simulator {
 
     /// The elaborated design under simulation.
     pub fn design(&self) -> &Design {
-        &self.design
+        self.compiled.design()
     }
 
-    /// Reads a signal's current value.
+    /// The compiled design under simulation.
+    pub fn compiled(&self) -> &Arc<CompiledDesign> {
+        &self.compiled
+    }
+
+    /// Reads a signal's current value (`None` for unknown names and
+    /// memories, which have no scalar value).
     pub fn peek(&self, name: &str) -> Option<u64> {
-        self.state.values.get(name).copied()
+        let id = self.compiled.signal_id(name)?;
+        if self.compiled.signal(id).mem.is_some() {
+            return None;
+        }
+        Some(self.values[id.index()])
     }
 
     /// Reads one word of a memory.
     pub fn peek_memory(&self, name: &str, index: usize) -> Option<u64> {
-        self.state
-            .memories
-            .get(name)
-            .and_then(|m| m.get(index))
-            .copied()
+        let id = self.compiled.signal_id(name)?;
+        let mem = self.compiled.signal(id).mem?;
+        self.memories[mem as usize].get(index).copied()
     }
 
     /// Drives a top-level signal. Edge-sensitive processes watching the
@@ -93,14 +130,13 @@ impl Simulator {
     ///
     /// Fails on unknown signals, evaluation errors, or combinational loops.
     pub fn poke(&mut self, name: &str, value: u64) -> SimResult<()> {
-        let info = self
-            .design
-            .signals
-            .get(name)
+        let id = self
+            .compiled
+            .signal_id(name)
             .ok_or_else(|| SimError::Eval(format!("poke of unknown signal `{name}`")))?;
-        let new = value & mask(info.width);
-        let old = self.state.values.get(name).copied().unwrap_or(0);
-        self.state.values.insert(name.to_owned(), new);
+        let new = value & mask(self.compiled.signal(id).width);
+        let old = self.values[id.index()];
+        self.values[id.index()] = new;
         if old == new {
             return self.settle();
         }
@@ -112,7 +148,7 @@ impl Simulator {
             None
         };
         if let Some(edge) = edge {
-            self.fire_edge(name, edge)?;
+            self.fire_edge(id, edge)?;
         }
         self.settle()
     }
@@ -141,147 +177,227 @@ impl Simulator {
 
     /// Runs all processes sensitive to `edge` on `signal`, committing
     /// non-blocking writes atomically afterwards.
-    fn fire_edge(&mut self, signal: &str, edge: Edge) -> SimResult<()> {
-        let mut pending: Vec<PendingWrite> = Vec::new();
-        let procs = self.design.procs.clone();
-        for proc in &procs {
-            let Sensitivity::Edges(edges) = &proc.sensitivity else {
-                continue;
-            };
-            let hit = edges.iter().any(|e| e.signal == signal && e.edge == edge);
+    fn fire_edge(&mut self, signal: SignalId, edge: Edge) -> SimResult<()> {
+        let compiled = Arc::clone(&self.compiled);
+        let mut pending: Vec<CPending> = Vec::new();
+        for proc in &compiled.edge_procs {
+            let hit = proc.edges.iter().any(|(s, e)| *s == signal && *e == edge);
             if hit {
                 self.exec_stmt(&proc.body, &mut pending)?;
             }
         }
-        self.commit(pending)
+        let mut changed = false;
+        self.commit(pending, &mut changed)
     }
 
-    fn commit(&mut self, pending: Vec<PendingWrite>) -> SimResult<()> {
+    /// Settles combinational logic.
+    ///
+    /// With a levelized schedule this is a single ordered sweep; otherwise
+    /// the compiled nodes iterate in program order to fixpoint, exactly like
+    /// the reference interpreter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CombLoop`] when the fallback iteration bound is
+    /// exceeded.
+    pub fn settle(&mut self) -> SimResult<()> {
+        let compiled = Arc::clone(&self.compiled);
+        if let Some(order) = &compiled.schedule {
+            for &i in order {
+                let mut changed = false;
+                self.run_comb_node(&compiled.comb[i as usize], &mut changed)?;
+            }
+            return Ok(());
+        }
+        for _ in 0..compiled.settle_limit {
+            // Convergence is judged on *net* state change across the pass
+            // (the interpreter compares state fingerprints at pass
+            // boundaries): transient intra-pass writes — a `for`-loop
+            // counter re-initialized each pass, an early driver overridden
+            // by a later one — must not keep the loop alive. Per-write
+            // flags only short-circuit the snapshot comparison when nothing
+            // was written at all.
+            let mut changed = false;
+            let before_values = self.values.clone();
+            let before_memories = self.memories.clone();
+            for node in &compiled.comb {
+                self.run_comb_node(node, &mut changed)?;
+            }
+            if !changed || (self.values == before_values && self.memories == before_memories) {
+                return Ok(());
+            }
+        }
+        Err(SimError::CombLoop {
+            iterations: compiled.settle_limit,
+        })
+    }
+
+    fn run_comb_node(&mut self, node: &CombNode, changed: &mut bool) -> SimResult<()> {
+        match node {
+            CombNode::Assign(lhs, rhs) => {
+                let v = self.eval(rhs)?;
+                self.assign(lhs, v, changed)
+            }
+            CombNode::Proc(body) => {
+                // Combinational processes use blocking semantics; stray
+                // non-blocking assignments are committed immediately.
+                let mut pending = Vec::new();
+                self.exec_comb_stmt(body, &mut pending, changed)?;
+                self.commit(pending, changed)
+            }
+        }
+    }
+
+    fn commit(&mut self, pending: Vec<CPending>, changed: &mut bool) -> SimResult<()> {
         for w in pending {
             match w {
-                PendingWrite::Whole(name, v) => {
-                    assign(
-                        &LValue::Ident(name),
-                        v,
-                        &mut self.state,
-                        &self.design.signals,
-                    )?;
+                CPending::Whole(id, v) => {
+                    let width = self.compiled.signal(id).width;
+                    self.write_value(id, v & mask(width), changed);
                 }
-                PendingWrite::MemWord(name, idx, v) => {
-                    let lv = LValue::Index {
-                        base: name,
-                        index: Box::new(Expr::literal(idx)),
-                    };
-                    assign(&lv, v, &mut self.state, &self.design.signals)?;
-                }
-                PendingWrite::Bit(name, bit, v) => {
-                    if bit >= 0 {
-                        let lv = LValue::Index {
-                            base: name,
-                            index: Box::new(Expr::literal(bit as u64)),
-                        };
-                        assign(&lv, v, &mut self.state, &self.design.signals)?;
+                CPending::MemWord(mem, idx, v) => {
+                    let width = self.mem_width(mem);
+                    if let Some(slot) = self.memories[mem as usize].get_mut(idx as usize) {
+                        let new = v & mask(width);
+                        if *slot != new {
+                            *slot = new;
+                            *changed = true;
+                        }
                     }
                 }
-                PendingWrite::Slice(name, lo, w, v) => {
+                CPending::Bit(id, b0, v) => {
+                    if b0 >= 0 {
+                        // The interpreter re-resolves the stored offset
+                        // through the assignment path, subtracting the
+                        // declared lsb a second time; mirror that exactly.
+                        let bit = b0 - self.compiled.signal(id).lsb;
+                        if (0..64).contains(&bit) {
+                            let slot = self.values[id.index()];
+                            let new = (slot & !(1 << bit)) | ((v & 1) << bit);
+                            self.write_value(id, new, changed);
+                        }
+                    }
+                }
+                CPending::Slice(id, lo, w, v) => {
                     if lo >= 0 {
-                        let lv = LValue::Slice {
-                            base: name,
-                            msb: Box::new(Expr::literal((lo + i64::from(w) - 1) as u64)),
-                            lsb: Box::new(Expr::literal(lo as u64)),
-                        };
-                        assign(&lv, v, &mut self.state, &self.design.signals)?;
+                        let sig = self.compiled.signal(id);
+                        let (width, siglsb) = (sig.width, sig.lsb);
+                        let hi2 = lo + i64::from(w) - 1 - siglsb;
+                        let lo2 = lo - siglsb;
+                        if (0..=63).contains(&lo2) {
+                            let w2 = ((hi2 - lo2) + 1).min(64) as u32;
+                            let field = mask(w2) << lo2;
+                            let slot = self.values[id.index()];
+                            let new = ((slot & !field) | ((v & mask(w2)) << lo2)) & mask(width);
+                            self.write_value(id, new, changed);
+                        }
                     }
                 }
+                CPending::Err(msg) => return Err(SimError::Eval(msg)),
             }
         }
         Ok(())
     }
 
+    #[inline]
+    fn write_value(&mut self, id: SignalId, new: u64, changed: &mut bool) {
+        let slot = &mut self.values[id.index()];
+        if *slot != new {
+            *slot = new;
+            *changed = true;
+        }
+    }
+
+    fn mem_width(&self, mem: u32) -> u32 {
+        let (id, _) = self.compiled.mem_depths[mem as usize];
+        self.compiled.signal(id).width
+    }
+
+    /// Executes a procedural statement for an edge process (change tracking
+    /// not needed on clock edges).
+    fn exec_stmt(&mut self, stmt: &CStmt, pending: &mut Vec<CPending>) -> SimResult<()> {
+        let mut changed = false;
+        self.exec_comb_stmt(stmt, pending, &mut changed)
+    }
+
     /// Executes a procedural statement. Blocking assignments apply
-    /// immediately; non-blocking assignments are queued with indices resolved
-    /// now.
-    fn exec_stmt(&mut self, stmt: &Stmt, pending: &mut Vec<PendingWrite>) -> SimResult<()> {
+    /// immediately; non-blocking assignments are queued with indices
+    /// resolved now.
+    fn exec_comb_stmt(
+        &mut self,
+        stmt: &CStmt,
+        pending: &mut Vec<CPending>,
+        changed: &mut bool,
+    ) -> SimResult<()> {
         match stmt {
-            Stmt::Block(stmts) => {
+            CStmt::Block(stmts) => {
                 for s in stmts {
-                    self.exec_stmt(s, pending)?;
+                    self.exec_comb_stmt(s, pending, changed)?;
                 }
                 Ok(())
             }
-            Stmt::If {
+            CStmt::If {
+                cond_width,
                 cond,
                 then_branch,
                 else_branch,
             } => {
-                let w = crate::eval::width_of(cond, &self.design.signals);
-                let c = eval(cond, &self.state, &self.design.signals)? & mask(w);
+                let c = self.eval(cond)? & mask(*cond_width);
                 if c != 0 {
-                    self.exec_stmt(then_branch, pending)
+                    self.exec_comb_stmt(then_branch, pending, changed)
                 } else if let Some(e) = else_branch {
-                    self.exec_stmt(e, pending)
+                    self.exec_comb_stmt(e, pending, changed)
                 } else {
                     Ok(())
                 }
             }
-            Stmt::Case {
+            CStmt::Case {
+                subj_width,
                 subject,
                 arms,
                 default,
             } => {
-                let sw = crate::eval::width_of(subject, &self.design.signals);
-                let sv = eval(subject, &self.state, &self.design.signals)? & mask(sw);
-                for arm in arms {
-                    for label in &arm.labels {
-                        let lv = eval(label, &self.state, &self.design.signals)? & mask(sw);
+                let sv = self.eval(subject)? & mask(*subj_width);
+                for CCaseArm { labels, body } in arms {
+                    for label in labels {
+                        let lv = self.eval(label)? & mask(*subj_width);
                         if lv == sv {
-                            return self.exec_stmt(&arm.body, pending);
+                            return self.exec_comb_stmt(body, pending, changed);
                         }
                     }
                 }
                 if let Some(d) = default {
-                    self.exec_stmt(d, pending)
+                    self.exec_comb_stmt(d, pending, changed)
                 } else {
                     Ok(())
                 }
             }
-            Stmt::NonBlocking { lhs, rhs } => {
-                let v = eval(rhs, &self.state, &self.design.signals)?;
+            CStmt::NonBlocking { lhs, rhs } => {
+                let v = self.eval(rhs)?;
                 self.queue_write(lhs, v, pending)
             }
-            Stmt::Blocking { lhs, rhs } => {
-                let v = eval(rhs, &self.state, &self.design.signals)?;
-                assign(lhs, v, &mut self.state, &self.design.signals)?;
-                Ok(())
+            CStmt::Blocking { lhs, rhs } => {
+                let v = self.eval(rhs)?;
+                self.assign(lhs, v, changed)
             }
-            Stmt::For {
+            CStmt::For {
                 var,
                 init,
                 cond,
                 step,
                 body,
             } => {
-                let v0 = eval(init, &self.state, &self.design.signals)?;
-                assign(
-                    &LValue::Ident(var.clone()),
-                    v0,
-                    &mut self.state,
-                    &self.design.signals,
-                )?;
+                let v0 = self.eval(init)?;
+                self.assign(var, v0, changed)?;
                 let mut iters = 0u32;
                 loop {
-                    let c = eval(cond, &self.state, &self.design.signals)?;
+                    let c = self.eval(cond)?;
                     if c == 0 {
                         break;
                     }
-                    self.exec_stmt(body, pending)?;
-                    let next = eval(step, &self.state, &self.design.signals)?;
-                    assign(
-                        &LValue::Ident(var.clone()),
-                        next,
-                        &mut self.state,
-                        &self.design.signals,
-                    )?;
+                    self.exec_comb_stmt(body, pending, changed)?;
+                    let next = self.eval(step)?;
+                    self.assign(var, next, changed)?;
                     iters += 1;
                     if iters > LOOP_LIMIT {
                         return Err(SimError::LoopBound { limit: LOOP_LIMIT });
@@ -289,134 +405,287 @@ impl Simulator {
                 }
                 Ok(())
             }
-            Stmt::Comment(_) | Stmt::Empty => Ok(()),
+            CStmt::Nop => Ok(()),
         }
     }
 
     /// Queues a non-blocking write, resolving target indices now.
     fn queue_write(
         &mut self,
-        lhs: &LValue,
+        lhs: &CLValue,
         value: u64,
-        pending: &mut Vec<PendingWrite>,
+        pending: &mut Vec<CPending>,
     ) -> SimResult<()> {
         match lhs {
-            LValue::Ident(name) => {
-                pending.push(PendingWrite::Whole(name.clone(), value));
+            CLValue::Whole(id, _) => {
+                pending.push(CPending::Whole(*id, value));
                 Ok(())
             }
-            LValue::Index { base, index } => {
-                let idx = eval(index, &self.state, &self.design.signals)?;
-                let info = self.design.signals.get(base).ok_or_else(|| {
-                    SimError::Eval(format!("non-blocking write to unknown signal `{base}`"))
-                })?;
-                if info.depth > 1 {
-                    pending.push(PendingWrite::MemWord(base.clone(), idx, value));
-                } else {
-                    pending.push(PendingWrite::Bit(
-                        base.clone(),
-                        idx as i64 - info.lsb,
-                        value,
-                    ));
-                }
+            CLValue::MemWord { mem, index, .. } => {
+                let idx = self.eval(index)?;
+                pending.push(CPending::MemWord(*mem, idx, value));
                 Ok(())
             }
-            LValue::Slice { base, msb, lsb } => {
-                let info = self.design.signals.get(base).ok_or_else(|| {
-                    SimError::Eval(format!("non-blocking write to unknown signal `{base}`"))
-                })?;
-                let m = eval(msb, &self.state, &self.design.signals)? as i64 - info.lsb;
-                let l = eval(lsb, &self.state, &self.design.signals)? as i64 - info.lsb;
+            CLValue::Bit { sig, lsb, index } => {
+                let idx = self.eval(index)?;
+                pending.push(CPending::Bit(*sig, idx as i64 - lsb, value));
+                Ok(())
+            }
+            CLValue::Slice {
+                sig,
+                lsb,
+                msb,
+                lsbx,
+                ..
+            } => {
+                let m = self.eval(msb)? as i64 - lsb;
+                let l = self.eval(lsbx)? as i64 - lsb;
                 let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
                 let w = ((hi - lo) + 1).min(64) as u32;
-                pending.push(PendingWrite::Slice(base.clone(), lo, w, value));
+                pending.push(CPending::Slice(*sig, lo, w, value));
                 Ok(())
             }
-            LValue::Concat(parts) => {
-                let total: u32 = parts
-                    .iter()
-                    .map(|p| lvalue_width(p, &self.design.signals))
-                    .sum::<u32>()
-                    .min(64);
-                let mut remaining = total;
-                for p in parts {
-                    let w = lvalue_width(p, &self.design.signals);
-                    remaining = remaining.saturating_sub(w);
-                    let chunk = (value >> remaining) & mask(w);
+            CLValue::Concat { total, parts } => {
+                let mut remaining = *total;
+                for (w, p) in parts {
+                    remaining = remaining.saturating_sub(*w);
+                    let chunk = (value >> remaining) & mask(*w);
                     self.queue_write(p, chunk, pending)?;
                 }
                 Ok(())
             }
+            CLValue::UnknownIdent(name) => {
+                pending.push(CPending::Err(format!("write to unknown signal `{name}`")));
+                Ok(())
+            }
+            CLValue::UnknownIndex { name, index } => {
+                self.eval(index)?;
+                Err(SimError::Eval(format!(
+                    "non-blocking write to unknown signal `{name}`"
+                )))
+            }
+            CLValue::UnknownSlice(name) => Err(SimError::Eval(format!(
+                "non-blocking write to unknown signal `{name}`"
+            ))),
         }
     }
 
-    /// Settles combinational logic: continuous assignments plus
-    /// `always @(*)` / level-sensitive processes, iterated to fixpoint.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::CombLoop`] when the iteration bound is exceeded.
-    pub fn settle(&mut self) -> SimResult<()> {
-        for _ in 0..self.settle_limit {
-            let before = self.fingerprint();
-            let assigns = self.design.assigns.clone();
-            for (lhs, rhs) in &assigns {
-                let v = eval(rhs, &self.state, &self.design.signals)?;
-                assign(lhs, v, &mut self.state, &self.design.signals)?;
+    /// Writes `value` through an lvalue with blocking semantics, masking to
+    /// the target width.
+    fn assign(&mut self, lv: &CLValue, value: u64, changed: &mut bool) -> SimResult<()> {
+        match lv {
+            CLValue::Whole(id, width) => {
+                self.write_value(*id, value & mask(*width), changed);
+                Ok(())
             }
-            let procs = self.design.procs.clone();
-            for proc in &procs {
-                let comb = matches!(
-                    proc.sensitivity,
-                    Sensitivity::Star | Sensitivity::Signals(_)
-                );
-                if comb {
-                    // Combinational processes use blocking semantics; stray
-                    // non-blocking assignments are committed immediately.
-                    let mut pending = Vec::new();
-                    self.exec_stmt(&proc.body, &mut pending)?;
-                    self.commit(pending)?;
+            CLValue::MemWord { mem, width, index } => {
+                let idx = self.eval(index)?;
+                if let Some(slot) = self.memories[*mem as usize].get_mut(idx as usize) {
+                    let new = value & mask(*width);
+                    if *slot != new {
+                        *slot = new;
+                        *changed = true;
+                    }
+                }
+                Ok(())
+            }
+            CLValue::Bit { sig, lsb, index } => {
+                let idx = self.eval(index)?;
+                let bit = (idx as i64) - lsb;
+                if !(0..64).contains(&bit) {
+                    return Ok(());
+                }
+                let slot = self.values[sig.index()];
+                let new = (slot & !(1 << bit)) | ((value & 1) << bit);
+                self.write_value(*sig, new, changed);
+                Ok(())
+            }
+            CLValue::Slice {
+                sig,
+                width,
+                lsb,
+                msb,
+                lsbx,
+            } => {
+                let m = self.eval(msb)? as i64 - lsb;
+                let l = self.eval(lsbx)? as i64 - lsb;
+                let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
+                if !(0..=63).contains(&lo) {
+                    return Ok(());
+                }
+                let w = ((hi - lo) + 1).min(64) as u32;
+                let field = mask(w) << lo;
+                let slot = self.values[sig.index()];
+                let new = ((slot & !field) | ((value & mask(w)) << lo)) & mask(*width);
+                self.write_value(*sig, new, changed);
+                Ok(())
+            }
+            CLValue::Concat { total, parts } => {
+                let mut remaining = *total;
+                for (w, p) in parts {
+                    remaining = remaining.saturating_sub(*w);
+                    let chunk = (value >> remaining) & mask(*w);
+                    self.assign(p, chunk, changed)?;
+                }
+                Ok(())
+            }
+            CLValue::UnknownIdent(name) | CLValue::UnknownSlice(name) => {
+                Err(SimError::Eval(format!("write to unknown signal `{name}`")))
+            }
+            CLValue::UnknownIndex { name, index } => {
+                self.eval(index)?;
+                Err(SimError::Eval(format!("write to unknown signal `{name}`")))
+            }
+        }
+    }
+
+    /// Evaluates a compiled expression against the dense state. The result
+    /// is **not** masked to the expression width except where structurally
+    /// required, so carries survive into wider assignment targets — exactly
+    /// the reference interpreter's semantics.
+    fn eval(&self, expr: &CExpr) -> SimResult<u64> {
+        match expr {
+            CExpr::Lit(v) => Ok(*v),
+            CExpr::Sig(id) => Ok(self.values[id.index()]),
+            CExpr::MemRead { mem, index } => {
+                let idx = self.eval(index)?;
+                Ok(self.memories[*mem as usize]
+                    .get(idx as usize)
+                    .copied()
+                    .unwrap_or(0))
+            }
+            CExpr::BitRead { sig, lsb, index } => {
+                let idx = self.eval(index)?;
+                let v = self.values[sig.index()];
+                let bit = (idx as i64) - lsb;
+                if !(0..64).contains(&bit) {
+                    return Ok(0);
+                }
+                Ok((v >> bit) & 1)
+            }
+            CExpr::SliceRead {
+                value,
+                lsb,
+                msb,
+                lsbx,
+            } => {
+                let v = value.map_or(0, |id| self.values[id.index()]);
+                let m = self.eval(msb)? as i64 - lsb;
+                let l = self.eval(lsbx)? as i64 - lsb;
+                let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
+                if !(0..=63).contains(&lo) {
+                    return Ok(0);
+                }
+                let w = ((hi - lo) + 1).min(64) as u32;
+                Ok((v >> lo) & mask(w))
+            }
+            CExpr::Concat(parts) => {
+                let mut acc: u64 = 0;
+                for (w, p) in parts {
+                    let v = self.eval(p)? & mask(*w);
+                    acc = (acc << (*w).min(63)) | v;
+                }
+                Ok(acc)
+            }
+            CExpr::Repeat {
+                width,
+                count,
+                value,
+            } => {
+                let c = self.eval(count)?;
+                let v = self.eval(value)? & mask(*width);
+                let mut acc: u64 = 0;
+                for _ in 0..c.min(64) {
+                    acc = (acc << (*width).min(63)) | v;
+                }
+                Ok(acc)
+            }
+            CExpr::Unary { op, width, arg } => {
+                let w = *width;
+                let v = self.eval(arg)? & mask(w);
+                Ok(match op {
+                    UnaryOp::LogicalNot => u64::from(v == 0),
+                    UnaryOp::BitNot => !v & mask(w),
+                    UnaryOp::Neg => v.wrapping_neg(),
+                    UnaryOp::ReduceAnd => u64::from(v == mask(w)),
+                    UnaryOp::ReduceOr => u64::from(v != 0),
+                    UnaryOp::ReduceXor => u64::from(v.count_ones() % 2 == 1),
+                    UnaryOp::ReduceNand => u64::from(v != mask(w)),
+                    UnaryOp::ReduceNor => u64::from(v == 0),
+                    UnaryOp::ReduceXnor => u64::from(v.count_ones().is_multiple_of(2)),
+                })
+            }
+            CExpr::Binary {
+                op,
+                cmp_width,
+                lhs,
+                rhs,
+            } => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                // Comparison operands are masked to their common width so
+                // that intermediate unmasked arithmetic cannot leak into
+                // equality.
+                let am = a & mask(*cmp_width);
+                let bm = b & mask(*cmp_width);
+                Ok(match op {
+                    BinaryOp::Add => a.wrapping_add(b),
+                    BinaryOp::Sub => a.wrapping_sub(b),
+                    BinaryOp::Mul => a.wrapping_mul(b),
+                    BinaryOp::Div => am.checked_div(bm).unwrap_or(0),
+                    BinaryOp::Mod => am.checked_rem(bm).unwrap_or(0),
+                    BinaryOp::BitAnd => a & b,
+                    BinaryOp::BitOr => a | b,
+                    BinaryOp::BitXor => a ^ b,
+                    BinaryOp::BitXnor => !(a ^ b) & mask(*cmp_width),
+                    BinaryOp::LogicalAnd => u64::from(am != 0 && bm != 0),
+                    BinaryOp::LogicalOr => u64::from(am != 0 || bm != 0),
+                    BinaryOp::Eq => u64::from(am == bm),
+                    BinaryOp::Ne => u64::from(am != bm),
+                    BinaryOp::Lt => u64::from(am < bm),
+                    BinaryOp::Le => u64::from(am <= bm),
+                    BinaryOp::Gt => u64::from(am > bm),
+                    BinaryOp::Ge => u64::from(am >= bm),
+                    BinaryOp::Shl => {
+                        if bm >= 64 {
+                            0
+                        } else {
+                            am.wrapping_shl(bm as u32)
+                        }
+                    }
+                    BinaryOp::Shr => {
+                        if bm >= 64 {
+                            0
+                        } else {
+                            am.wrapping_shr(bm as u32)
+                        }
+                    }
+                })
+            }
+            CExpr::Ternary {
+                cond_width,
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                let c = self.eval(cond)? & mask(*cond_width);
+                if c != 0 {
+                    self.eval(then_expr)
+                } else {
+                    self.eval(else_expr)
                 }
             }
-            if self.fingerprint() == before {
-                return Ok(());
+            CExpr::Clog2(arg) => {
+                let v = self.eval(arg)?;
+                Ok(rtlb_verilog::clog2(v))
+            }
+            CExpr::Error(msg) => Err(SimError::Eval(msg.clone())),
+            CExpr::IndexError { index, msg } => {
+                self.eval(index)?;
+                Err(SimError::Eval(msg.clone()))
             }
         }
-        Err(SimError::CombLoop {
-            iterations: self.settle_limit,
-        })
     }
-
-    /// Cheap change-detection hash over all state.
-    fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut names: Vec<&String> = self.state.values.keys().collect();
-        names.sort_unstable();
-        for name in names {
-            let v = self.state.values[name];
-            h = fnv(h, v);
-            h = fnv(h, name.len() as u64);
-        }
-        let mut mems: Vec<&String> = self.state.memories.keys().collect();
-        mems.sort_unstable();
-        for name in mems {
-            for (i, w) in self.state.memories[name].iter().enumerate() {
-                if *w != 0 {
-                    h = fnv(h, i as u64);
-                    h = fnv(h, *w);
-                }
-            }
-        }
-        h
-    }
-}
-
-fn fnv(mut h: u64, v: u64) -> u64 {
-    for b in v.to_le_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
 }
 
 #[cfg(test)]
@@ -567,6 +836,10 @@ mod tests {
                    full_adder fa3 (.a(a[3]), .b(b[3]), .cin(carry[2]), .sum(sum[3]), .cout(carry_out));\n\
                    endmodule";
         let mut sim = sim_of(src);
+        assert!(
+            sim.compiled().is_levelized(),
+            "the hierarchical carry chain must levelize"
+        );
         for (a, b) in [(3u64, 5u64), (15, 1), (9, 9), (0, 0)] {
             sim.poke("a", a).unwrap();
             sim.poke("b", b).unwrap();
@@ -585,6 +858,7 @@ mod tests {
              4'b0010: out = 2'b01;\n4'b0001: out = 2'b00;\n\
              default: out = 2'b00;\nendcase\nend\nendmodule",
         );
+        assert!(sim.compiled().is_levelized());
         sim.poke("in", 0b1000).unwrap();
         assert_eq!(sim.peek("out"), Some(0b11));
         sim.poke("in", 0b0100).unwrap();
@@ -613,12 +887,12 @@ mod tests {
 
     #[test]
     fn comb_loop_detected() {
-        let sim = std::panic::catch_unwind(|| {
-            let file = parse("module bad(input a, output y);\nwire t;\nassign t = ~t;\nassign y = t ^ a;\nendmodule").unwrap();
-            let design = elaborate(&file.modules[0], &file.modules).unwrap();
-            Simulator::new(design)
-        })
+        let file = parse(
+            "module bad(input a, output y);\nwire t;\nassign t = ~t;\nassign y = t ^ a;\nendmodule",
+        )
         .unwrap();
+        let design = elaborate(&file.modules[0], &file.modules).unwrap();
+        let sim = Simulator::new(design);
         assert!(matches!(sim, Err(SimError::CombLoop { .. })));
     }
 
@@ -628,6 +902,10 @@ mod tests {
             "module b(input [3:0] x, output reg [3:0] y);\n\
              reg [3:0] t;\n\
              always @(*) begin\nt = x + 4'd1;\ny = t + 4'd1;\nend\nendmodule",
+        );
+        assert!(
+            sim.compiled().is_levelized(),
+            "internal temporaries must not create false self-cycles"
         );
         sim.poke("x", 3).unwrap();
         assert_eq!(sim.peek("y"), Some(5));
@@ -664,5 +942,19 @@ mod tests {
         sim.poke("req", 0b0001).unwrap();
         sim.tick("clk").unwrap();
         assert_eq!(sim.peek("gnt"), Some(0b0001));
+    }
+
+    #[test]
+    fn cross_coupled_assigns_settle_via_fallback() {
+        // `a` and `b` form a (stable) combinational cycle: the schedule is
+        // absent and the fixpoint fallback settles it, matching the
+        // reference interpreter.
+        let sim = sim_of(
+            "module latchish(input s, output a, output b);\n\
+             assign a = b | s;\nassign b = a;\nendmodule",
+        );
+        assert!(!sim.compiled().is_levelized());
+        assert_eq!(sim.peek("a"), Some(0));
+        assert_eq!(sim.peek("b"), Some(0));
     }
 }

@@ -1,0 +1,328 @@
+//! Pins the compiled simulator bit-for-bit against the tree-walking
+//! reference interpreter: randomly generated small modules, combinational
+//! cycle fallback behaviour, and identical error classification.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtlb_sim::{elaborate, Design, ReferenceSimulator, SimError, Simulator};
+use rtlb_verilog::parse;
+
+/// Generates a random synthesizable module: a few inputs, a chain of
+/// combinational wires (acyclic by construction), a clocked process with
+/// non-blocking assignments (sometimes through a memory), and an
+/// `always @(*)` process with `if`/`case` control flow. Some modules also
+/// get a combinational ripple block whose loop-carried bit writes defeat
+/// levelization, so the fixpoint *fallback* path is exercised against the
+/// reference too (returned as the second tuple element).
+fn random_module_source(seed: u64) -> (String, bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_inputs = rng.gen_range(1..=3usize);
+    let n_wires = rng.gen_range(1..=4usize);
+    let n_regs = rng.gen_range(1..=2usize);
+    let with_memory = rng.gen_bool(0.4);
+    let with_ripple = rng.gen_bool(0.35);
+
+    let mut decls = String::new();
+    let mut ports = vec!["input clk".to_owned()];
+    // Signals usable as expression operands, with their widths.
+    let mut operands: Vec<(String, u32)> = Vec::new();
+    for i in 0..n_inputs {
+        let w = rng.gen_range(1..=16u32);
+        ports.push(format!("input [{}:0] in{i}", w - 1));
+        operands.push((format!("in{i}"), w));
+    }
+    for i in 0..n_regs {
+        let w = rng.gen_range(1..=12u32);
+        ports.push(format!("output reg [{}:0] r{i}", w - 1));
+        operands.push((format!("r{i}"), w));
+    }
+
+    let mut body = String::new();
+    // Combinational wires: each may reference inputs, regs, and earlier
+    // wires only, so the network is acyclic and must levelize.
+    for i in 0..n_wires {
+        let w = rng.gen_range(1..=12u32);
+        decls.push_str(&format!("wire [{}:0] w{i};\n", w - 1));
+        let e = random_expr(&mut rng, &operands, 3);
+        body.push_str(&format!("assign w{i} = {e};\n"));
+        operands.push((format!("w{i}"), w));
+    }
+
+    if with_memory {
+        decls.push_str("reg [7:0] mem [0:15];\nreg [7:0] mq;\n");
+    }
+
+    // Clocked process: non-blocking updates of the output regs.
+    body.push_str("always @(posedge clk) begin\n");
+    for i in 0..n_regs {
+        let e = random_expr(&mut rng, &operands, 3);
+        if rng.gen_bool(0.5) {
+            let c = random_expr(&mut rng, &operands, 2);
+            body.push_str(&format!("if ({c}) r{i} <= {e}; else r{i} <= r{i} + 1;\n"));
+        } else {
+            body.push_str(&format!("r{i} <= {e};\n"));
+        }
+    }
+    if with_memory {
+        let d = random_expr(&mut rng, &operands, 2);
+        body.push_str(&format!("if (in0[0]) mem[in0[3:0]] <= {d};\n"));
+        body.push_str("mq <= mem[in0[3:0]];\n");
+    }
+    body.push_str("end\n");
+
+    // A combinational process writing a dedicated reg via case/if.
+    let cw = rng.gen_range(2..=8u32);
+    decls.push_str(&format!("reg [{}:0] cr;\n", cw - 1));
+    let subj = &operands[rng.gen_range(0..operands.len())].0;
+    let (a, b, c) = (
+        random_expr(&mut rng, &operands, 2),
+        random_expr(&mut rng, &operands, 2),
+        random_expr(&mut rng, &operands, 2),
+    );
+    body.push_str(&format!(
+        "always @(*) begin\ncase ({subj})\n1'b1: cr = {a};\n2'd2: cr = {b};\ndefault: cr = {c};\nendcase\nend\n"
+    ));
+
+    if with_ripple {
+        // A loop-carried combinational ripple: the non-constant bit indices
+        // make the levelizer see a self-cycle, forcing the fixpoint
+        // fallback. Its `ri` counter is re-initialized every settle pass —
+        // exactly the transient write the convergence check must ignore.
+        decls.push_str("reg [3:0] rip;\ninteger ri;\n");
+        body.push_str(
+            "always @(*) begin\nrip[0] = in0[0];\n\
+             for (ri = 1; ri < 4; ri = ri + 1) rip[ri] = rip[ri - 1] ^ in0[ri % 2];\nend\n",
+        );
+    }
+
+    (
+        format!("module t({});\n{decls}{body}endmodule", ports.join(", ")),
+        with_ripple,
+    )
+}
+
+/// Random expression over the available operands, depth-bounded.
+fn random_expr(rng: &mut StdRng, operands: &[(String, u32)], depth: u32) -> String {
+    let leaf = depth == 0 || rng.gen_bool(0.3);
+    if leaf {
+        if rng.gen_bool(0.3) {
+            let w = rng.gen_range(1..=8u32);
+            let v = rng.gen::<u64>() & rtlb_verilog::mask(w);
+            return format!("{w}'d{v}");
+        }
+        let (name, w) = &operands[rng.gen_range(0..operands.len())];
+        return match rng.gen_range(0..4) {
+            0 if *w > 1 => {
+                let bit = rng.gen_range(0..*w);
+                format!("{name}[{bit}]")
+            }
+            1 if *w > 2 => {
+                let lo = rng.gen_range(0..*w - 1);
+                let hi = rng.gen_range(lo..*w);
+                format!("{name}[{hi}:{lo}]")
+            }
+            _ => name.clone(),
+        };
+    }
+    let l = random_expr(rng, operands, depth - 1);
+    let r = random_expr(rng, operands, depth - 1);
+    match rng.gen_range(0..12) {
+        0 => format!("({l} + {r})"),
+        1 => format!("({l} - {r})"),
+        2 => format!("({l} & {r})"),
+        3 => format!("({l} | {r})"),
+        4 => format!("({l} ^ {r})"),
+        5 => format!("(~{l})"),
+        6 => format!("({l} == {r})"),
+        7 => format!("({l} < {r})"),
+        8 => format!("({l} >> 2)"),
+        9 => format!("({l} << 1)"),
+        10 => format!("(({l}) ? ({r}) : (~{r}))"),
+        _ => format!("{{{l}, {r}}}"),
+    }
+}
+
+fn design_of(src: &str) -> Design {
+    let file = parse(src).unwrap_or_else(|e| panic!("generated module parses: {e}\n{src}"));
+    let top = file.modules.last().expect("one module");
+    elaborate(top, &file.modules).unwrap_or_else(|e| panic!("elaborates: {e}\n{src}"))
+}
+
+/// Asserts every observable value (scalars and memory words) is identical
+/// between the two engines.
+fn assert_state_eq(compiled: &Simulator, reference: &ReferenceSimulator, ctx: &str) {
+    let mut names: Vec<&String> = compiled.design().signals.keys().collect();
+    names.sort_unstable();
+    for name in names {
+        let info = &compiled.design().signals[name];
+        if info.depth > 1 {
+            for i in 0..info.depth as usize {
+                assert_eq!(
+                    compiled.peek_memory(name, i),
+                    reference.peek_memory(name, i),
+                    "memory `{name}[{i}]` diverged {ctx}"
+                );
+            }
+        } else {
+            assert_eq!(
+                compiled.peek(name),
+                reference.peek(name),
+                "signal `{name}` diverged {ctx}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The workhorse: random small modules, random stimulus, every signal
+    /// and memory word compared after every poke and clock edge.
+    #[test]
+    fn compiled_matches_reference_on_random_modules(seed in any::<u64>()) {
+        let (src, _) = random_module_source(seed);
+        let design = design_of(&src);
+        let mut compiled = Simulator::new(design.clone()).unwrap_or_else(|e| panic!("compiled init: {e}\n{src}"));
+        let mut reference = ReferenceSimulator::new(design).unwrap_or_else(|e| panic!("reference init: {e}\n{src}"));
+        assert_state_eq(&compiled, &reference, "after init");
+
+        let inputs: Vec<(String, u32)> = compiled
+            .design()
+            .inputs()
+            .iter()
+            .filter(|n| *n != &"clk")
+            .map(|n| ((*n).to_owned(), compiled.design().width(n).unwrap_or(1)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        for cycle in 0..10 {
+            for (name, width) in &inputs {
+                let v = rng.gen::<u64>() & rtlb_verilog::mask(*width);
+                compiled.poke(name, v).unwrap_or_else(|e| panic!("compiled poke: {e}\n{src}"));
+                reference.poke(name, v).unwrap_or_else(|e| panic!("reference poke: {e}\n{src}"));
+                assert_state_eq(&compiled, &reference, &format!("after poke {name} cycle {cycle}\n{src}"));
+            }
+            compiled.tick("clk").unwrap_or_else(|e| panic!("compiled tick: {e}\n{src}"));
+            reference.tick("clk").unwrap_or_else(|e| panic!("reference tick: {e}\n{src}"));
+            assert_state_eq(&compiled, &reference, &format!("after tick cycle {cycle}\n{src}"));
+        }
+    }
+}
+
+#[test]
+fn random_modules_levelize_unless_ripple() {
+    // Without the loop-carried ripple block the generated networks are
+    // acyclic by construction and must levelize (no fixpoint fallback on
+    // the grid's hot path); with it, the fallback must engage. Both paths
+    // get proptest coverage either way.
+    let mut fallbacks = 0;
+    for seed in 0..32u64 {
+        let (src, with_ripple) = random_module_source(seed);
+        let sim = Simulator::new(design_of(&src)).expect("initializes");
+        if with_ripple {
+            fallbacks += 1;
+            assert!(
+                !sim.compiled().is_levelized(),
+                "seed {seed} ripple must fall back:\n{src}"
+            );
+        } else {
+            assert!(
+                sim.compiled().is_levelized(),
+                "seed {seed} fell back:\n{src}"
+            );
+        }
+    }
+    assert!(fallbacks > 0, "some seeds must exercise the fallback path");
+}
+
+#[test]
+fn transient_for_loop_counter_still_settles_in_fallback() {
+    // A combinational ripple whose loop counter is re-initialized on every
+    // settle pass: the *net* state converges even though writes happen each
+    // pass. The compiled fallback must judge convergence on end-of-pass
+    // state (as the interpreter's fingerprint did), not per-write flags.
+    let src = "module rip(input [3:0] a, output reg [3:0] y);\ninteger i;\n\
+               always @(*) begin\ny[0] = a[0];\n\
+               for (i = 1; i < 4; i = i + 1) y[i] = y[i - 1] ^ a[i];\nend\nendmodule";
+    let design = design_of(src);
+    let mut compiled = Simulator::new(design.clone()).expect("compiled settles");
+    assert!(
+        !compiled.compiled().is_levelized(),
+        "dynamic self-bits fall back"
+    );
+    let mut reference = ReferenceSimulator::new(design).expect("reference settles");
+    for v in [0b1010u64, 0b1111, 0b0001, 0b0110] {
+        compiled.poke("a", v).expect("poke");
+        reference.poke("a", v).expect("poke");
+        assert_state_eq(&compiled, &reference, &format!("a={v:04b}"));
+    }
+}
+
+#[test]
+fn overridden_self_driver_settles_like_reference() {
+    // `t = ~t` alone diverges, but a later driver overrides it within each
+    // pass, so the end-of-pass state is stable: both engines must settle.
+    let src = "module m(input a, output y);\nwire t;\n\
+               assign t = ~t;\nassign t = 1'b1;\nassign y = t & a;\nendmodule";
+    let design = design_of(src);
+    let mut compiled = Simulator::new(design.clone()).expect("compiled settles");
+    let mut reference = ReferenceSimulator::new(design).expect("reference settles");
+    assert_state_eq(&compiled, &reference, "after init");
+    compiled.poke("a", 1).expect("poke");
+    reference.poke("a", 1).expect("poke");
+    assert_state_eq(&compiled, &reference, "after a=1");
+    assert_eq!(compiled.peek("y"), Some(1));
+}
+
+#[test]
+fn stable_combinational_cycle_settles_via_fallback() {
+    // Cross-coupled assigns form a cycle the levelizer must reject, but the
+    // fixpoint fallback still settles it — identically to the reference.
+    let src = "module m(input s, output a, output b);\n\
+               assign a = b | s;\nassign b = a & 1'b1;\nendmodule";
+    let design = design_of(src);
+    let mut compiled = Simulator::new(design.clone()).expect("compiled settles");
+    assert!(
+        !compiled.compiled().is_levelized(),
+        "a genuine cycle must not levelize"
+    );
+    let mut reference = ReferenceSimulator::new(design).expect("reference settles");
+    assert_state_eq(&compiled, &reference, "after init");
+    // Once forced high through `s`, the latch-like loop holds state — in
+    // both engines, through the same fixpoint iteration.
+    compiled.poke("s", 1).expect("poke");
+    reference.poke("s", 1).expect("poke");
+    assert_state_eq(&compiled, &reference, "after s=1");
+    compiled.poke("s", 0).expect("poke");
+    reference.poke("s", 0).expect("poke");
+    assert_state_eq(&compiled, &reference, "after s=0");
+    assert_eq!(compiled.peek("a"), Some(1), "loop holds the latched value");
+}
+
+#[test]
+fn divergent_combinational_cycle_errors_in_both_engines() {
+    let src = "module bad(input a, output y);\nwire t;\n\
+               assign t = ~t;\nassign y = t ^ a;\nendmodule";
+    let file = parse(src).unwrap();
+    let design = elaborate(&file.modules[0], &file.modules).unwrap();
+    let compiled = Simulator::new(design.clone());
+    let reference = ReferenceSimulator::new(design);
+    assert!(matches!(compiled, Err(SimError::CombLoop { .. })));
+    assert!(matches!(reference, Err(SimError::CombLoop { .. })));
+}
+
+#[test]
+fn suite_designs_compile_and_levelize_deterministically() {
+    // Compiling the same design twice yields the same schedule (interning
+    // is sorted, levelization is order-stable).
+    let src = "module add(input [7:0] a, input [7:0] b, output [7:0] s, output c);\n\
+               assign {c, s} = a + b;\nendmodule";
+    let design = design_of(src);
+    let c1 = rtlb_sim::compile(&design).expect("compiles");
+    let c2 = rtlb_sim::compile(&design).expect("compiles");
+    assert!(c1.is_levelized() && c2.is_levelized());
+    assert_eq!(c1.signal_count(), c2.signal_count());
+    for name in design.signals.keys() {
+        assert_eq!(c1.signal_id(name), c2.signal_id(name), "{name}");
+    }
+}

@@ -30,6 +30,12 @@ pub fn static_scan(code: &str) -> Vec<Finding> {
             detail: "code does not parse".into(),
         }];
     };
+    static_scan_file(&file)
+}
+
+/// [`static_scan`] over an already-parsed source, for callers that share
+/// one AST across detectors ([`scan_file`]).
+pub fn static_scan_file(file: &SourceFile) -> Vec<Finding> {
     let mut findings = Vec::new();
     for module in &file.modules {
         for item in &module.items {
@@ -183,6 +189,12 @@ pub fn timebomb_scan(code: &str) -> Vec<Finding> {
     let Ok(file) = parse(code) else {
         return Vec::new();
     };
+    timebomb_scan_file(&file)
+}
+
+/// [`timebomb_scan`] over an already-parsed source, for callers that share
+/// one AST across detectors ([`scan_file`]).
+pub fn timebomb_scan_file(file: &SourceFile) -> Vec<Finding> {
     let mut findings = Vec::new();
     for module in &file.modules {
         let port_names: Vec<&str> = module.ports.iter().map(|p| p.name.as_str()).collect();
@@ -302,28 +314,41 @@ fn stmt_has_eq_compare(stmt: &Stmt, signal: &str) -> bool {
 /// checker, the magic-constant static scan, and the ticking-timebomb scan.
 /// This is the one-stop verdict a defender would run on generated RTL before
 /// accepting it.
+///
+/// The source is parsed **once** and the AST shared across all detectors
+/// (each detector used to re-parse independently); only a parse failure
+/// short-circuits, with the same `unparseable` finding as before.
 pub fn scan_all(code: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    match rtlb_verilog::check_source(code) {
-        Ok(report) => {
-            for err in report.errors() {
-                findings.push(Finding {
-                    rule: "check-error",
-                    detail: err.to_owned(),
-                });
-            }
-        }
-        Err(e) => findings.push(Finding {
+    match parse(code) {
+        Ok(file) => scan_file(&file),
+        Err(e) => vec![Finding {
             rule: "unparseable",
             detail: e.to_string(),
-        }),
+        }],
     }
-    findings.extend(
-        static_scan(code)
+}
+
+/// [`scan_all`] over an already-parsed source.
+pub fn scan_file(file: &SourceFile) -> Vec<Finding> {
+    // Semantic check: the shared `check_file` reports findings; a hard
+    // check failure (e.g. unfoldable parameter) becomes a single
+    // `unparseable` verdict, as the parse-per-detector version behaved.
+    let mut findings = match rtlb_verilog::check_file(file) {
+        Ok(report) => report
+            .errors()
             .into_iter()
-            .filter(|f| f.rule != "unparseable"),
-    );
-    findings.extend(timebomb_scan(code));
+            .map(|err| Finding {
+                rule: "check-error",
+                detail: err.to_owned(),
+            })
+            .collect(),
+        Err(e) => vec![Finding {
+            rule: "unparseable",
+            detail: e.to_string(),
+        }],
+    };
+    findings.extend(static_scan_file(file));
+    findings.extend(timebomb_scan_file(file));
     findings
 }
 

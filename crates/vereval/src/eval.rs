@@ -4,7 +4,7 @@
 
 use crate::passk::{mean_pass_at_k, pass_at_k};
 use crate::problems::Problem;
-use crate::score::{score_completion, Outcome};
+use crate::score::{compile_golden, score_with_golden, Outcome};
 use rayon::prelude::*;
 use rtlb_model::SimLlm;
 use std::collections::HashMap;
@@ -131,10 +131,18 @@ pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig)
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(pi as u64 * 7919);
             let completions = model.generate_n(&problem.prompt, config.n as usize, base);
+            // The golden design is identical for every trial: elaborate and
+            // compile it once per problem, not once per candidate.
+            let golden = compile_golden(problem).ok();
             let mut outcomes: HashMap<Outcome, u32> = HashMap::new();
             let mut c = 0u32;
             for (ti, code) in completions.iter().enumerate() {
-                let outcome = score_completion(problem, code, base.wrapping_add(1000 + ti as u64));
+                let outcome = score_with_golden(
+                    problem,
+                    golden.as_ref(),
+                    code,
+                    base.wrapping_add(1000 + ti as u64),
+                );
                 *outcomes.entry(outcome).or_insert(0) += 1;
                 if outcome.passed() {
                     c += 1;

@@ -25,11 +25,11 @@ mod problems;
 mod score;
 
 pub use detect::{
-    classify_adder, comment_lexical_scan, lexical_scan, scan_all, static_scan, timebomb_scan,
-    AdderArchitecture, Finding,
+    classify_adder, comment_lexical_scan, lexical_scan, scan_all, scan_file, static_scan,
+    static_scan_file, timebomb_scan, timebomb_scan_file, AdderArchitecture, Finding,
 };
 pub use eval::{evaluate_model, EvalConfig, EvalReport, ProblemResult};
 pub use passk::{mean_pass_at_k, pass_at_k};
 pub use probe::{probe_prompt, probe_rare_word_pairs, probe_rare_words, ProbeConfig, ProbeFinding};
 pub use problems::{family_suite, interface_to_io, mini_suite, problem_suite, Problem};
-pub use score::{score_completion, Outcome};
+pub use score::{compile_golden, score_completion, score_parsed, score_with_golden, Outcome};

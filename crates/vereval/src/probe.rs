@@ -13,9 +13,12 @@
 //! not).
 
 use crate::problems::Problem;
-use crate::score::{score_completion, Outcome};
+use crate::score::{compile_golden, score_parsed, Outcome};
 use rtlb_model::SimLlm;
+use rtlb_sim::CompiledDesign;
+use rtlb_verilog::ast::SourceFile;
 use rtlb_verilog::parse;
+use std::sync::Arc;
 
 /// Evidence gathered for one (probe word, problem) pair.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
@@ -66,10 +69,18 @@ impl Default for ProbeConfig {
 /// Structural fingerprint of a completion: (instance count, always-block
 /// count, edge kinds, case count). Cheap but discriminative for the paper's
 /// payload shapes.
+#[cfg(test)]
 fn structure_fingerprint(code: &str) -> (usize, usize, usize, usize) {
-    let Ok(file) = parse(code) else {
-        return (usize::MAX, 0, 0, 0);
-    };
+    match parse(code) {
+        Ok(file) => structure_fingerprint_file(&file),
+        Err(_) => (usize::MAX, 0, 0, 0),
+    }
+}
+
+/// [`structure_fingerprint`] over an already-parsed completion, so the
+/// prober parses each candidate exactly once for both fingerprinting and
+/// scoring.
+fn structure_fingerprint_file(file: &SourceFile) -> (usize, usize, usize, usize) {
     let Some(top) = file.modules.last() else {
         return (usize::MAX, 0, 0, 0);
     };
@@ -135,14 +146,12 @@ pub fn probe_rare_words(
 ) -> Vec<ProbeFinding> {
     let mut findings = Vec::new();
     for (pi, problem) in problems.iter().enumerate() {
-        // Base-side completions, once per problem.
+        // Base-side completions, once per problem; the golden design is
+        // compiled once and shared by every probe of this problem.
+        let golden = compile_golden(problem).ok();
         let base_seed = config.seed.wrapping_add(pi as u64 * 101);
         let base_completions = model.generate_n(&problem.prompt, config.trials, base_seed);
-        let base_pass = pass_rate(problem, &base_completions, base_seed);
-        let base_shapes: Vec<_> = base_completions
-            .iter()
-            .map(|c| structure_fingerprint(c))
-            .collect();
+        let base = assess(problem, golden.as_ref(), &base_completions, base_seed);
 
         for word in words {
             // A word is judged by its *worst* phrasing: triggers bind to
@@ -151,17 +160,17 @@ pub fn probe_rare_words(
             let mut worst_shift = 0.0f64;
             for prompt in probe_prompts(&problem.prompt, word) {
                 let probe_completions = model.generate_n(&prompt, config.trials, base_seed);
-                let probe_pass = pass_rate(problem, &probe_completions, base_seed);
-                let shifted = probe_completions
+                let probe = assess(problem, golden.as_ref(), &probe_completions, base_seed);
+                let shifted = probe
+                    .shapes
                     .iter()
-                    .filter(|c| {
-                        let fp = structure_fingerprint(c);
-                        !base_shapes.contains(&fp)
-                    })
+                    .filter(|fp| !base.shapes.contains(fp))
                     .count();
-                let shift = shifted as f64 / probe_completions.len().max(1) as f64;
-                if probe_pass < worst_pass || (probe_pass == worst_pass && shift > worst_shift) {
-                    worst_pass = probe_pass;
+                let shift = shifted as f64 / probe.shapes.len().max(1) as f64;
+                if probe.pass_rate < worst_pass
+                    || (probe.pass_rate == worst_pass && shift > worst_shift)
+                {
+                    worst_pass = probe.pass_rate;
                     worst_shift = worst_shift.max(shift);
                 }
                 worst_shift = worst_shift.max(shift);
@@ -169,7 +178,7 @@ pub fn probe_rare_words(
             findings.push(ProbeFinding {
                 word: word.clone(),
                 problem_id: problem.id.clone(),
-                base_pass_rate: base_pass,
+                base_pass_rate: base.pass_rate,
                 probe_pass_rate: worst_pass,
                 structural_shift: worst_shift,
             });
@@ -189,28 +198,26 @@ pub fn probe_rare_word_pairs(
 ) -> Vec<ProbeFinding> {
     let mut findings = Vec::new();
     for (pi, problem) in problems.iter().enumerate() {
+        let golden = compile_golden(problem).ok();
         let base_seed = config.seed.wrapping_add(pi as u64 * 131);
         let base_completions = model.generate_n(&problem.prompt, config.trials, base_seed);
-        let base_pass = pass_rate(problem, &base_completions, base_seed);
-        let base_shapes: Vec<_> = base_completions
-            .iter()
-            .map(|c| structure_fingerprint(c))
-            .collect();
+        let base = assess(problem, golden.as_ref(), &base_completions, base_seed);
         for i in 0..words.len() {
             for j in (i + 1)..words.len() {
                 let prompt = probe_prompt(&probe_prompt(&problem.prompt, &words[j]), &words[i]);
                 let probe_completions = model.generate_n(&prompt, config.trials, base_seed);
-                let probe_pass = pass_rate(problem, &probe_completions, base_seed);
-                let shifted = probe_completions
+                let probe = assess(problem, golden.as_ref(), &probe_completions, base_seed);
+                let shifted = probe
+                    .shapes
                     .iter()
-                    .filter(|c| !base_shapes.contains(&structure_fingerprint(c)))
+                    .filter(|fp| !base.shapes.contains(fp))
                     .count();
                 findings.push(ProbeFinding {
                     word: format!("{}+{}", words[i], words[j]),
                     problem_id: problem.id.clone(),
-                    base_pass_rate: base_pass,
-                    probe_pass_rate: probe_pass,
-                    structural_shift: shifted as f64 / probe_completions.len().max(1) as f64,
+                    base_pass_rate: base.pass_rate,
+                    probe_pass_rate: probe.pass_rate,
+                    structural_shift: shifted as f64 / probe.shapes.len().max(1) as f64,
                 });
             }
         }
@@ -218,16 +225,38 @@ pub fn probe_rare_word_pairs(
     findings
 }
 
-fn pass_rate(problem: &Problem, completions: &[String], seed: u64) -> f64 {
-    if completions.is_empty() {
-        return 0.0;
+/// Pass rate and structural fingerprints of a batch of completions, parsing
+/// each completion exactly once (scoring and fingerprinting share the AST).
+struct Assessed {
+    pass_rate: f64,
+    shapes: Vec<(usize, usize, usize, usize)>,
+}
+
+fn assess(
+    problem: &Problem,
+    golden: Option<&Arc<CompiledDesign>>,
+    completions: &[String],
+    seed: u64,
+) -> Assessed {
+    let mut passes = 0usize;
+    let mut shapes = Vec::with_capacity(completions.len());
+    for (i, code) in completions.iter().enumerate() {
+        match parse(code) {
+            Ok(file) => {
+                shapes.push(structure_fingerprint_file(&file));
+                if score_parsed(problem, golden, &file, seed + 7 + i as u64) == Outcome::Pass {
+                    passes += 1;
+                }
+            }
+            Err(_) => shapes.push((usize::MAX, 0, 0, 0)),
+        }
     }
-    let passes = completions
-        .iter()
-        .enumerate()
-        .filter(|(i, c)| score_completion(problem, c, seed + 7 + *i as u64) == Outcome::Pass)
-        .count();
-    passes as f64 / completions.len() as f64
+    let pass_rate = if completions.is_empty() {
+        0.0
+    } else {
+        passes as f64 / completions.len() as f64
+    };
+    Assessed { pass_rate, shapes }
 }
 
 #[cfg(test)]

@@ -3,8 +3,12 @@
 //! the same two-stage verdict VerilogEval produces.
 
 use crate::problems::Problem;
-use rtlb_sim::random_equivalence;
+use rtlb_sim::{
+    compile, elaborate, random_equivalence, random_equivalence_with, CompiledDesign, SimResult,
+};
+use rtlb_verilog::ast::SourceFile;
 use rtlb_verilog::{check_module, parse};
+use std::sync::Arc;
 
 /// Verdict for one completion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -32,15 +36,54 @@ impl Outcome {
     }
 }
 
+/// Elaborates and compiles a problem's golden design once, for reuse across
+/// every trial of a grid run (the golden model is identical for all trials,
+/// so re-elaborating it per candidate was pure overhead).
+///
+/// # Errors
+///
+/// Propagates elaboration/compilation failures of the golden design.
+pub fn compile_golden(problem: &Problem) -> SimResult<Arc<CompiledDesign>> {
+    let golden = problem.spec.module();
+    let mut library = problem.spec.support_modules();
+    library.push(golden.clone());
+    let design = elaborate(&golden, &library)?;
+    Ok(Arc::new(compile(&design)?))
+}
+
 /// Scores a generated completion against a problem.
 ///
 /// The last module in the completion is treated as the top (support modules
 /// come first by convention); all modules in the completion form the
 /// elaboration library.
 pub fn score_completion(problem: &Problem, code: &str, seed: u64) -> Outcome {
+    score_with_golden(problem, None, code, seed)
+}
+
+/// Like [`score_completion`], but reusing a golden design precompiled with
+/// [`compile_golden`]. With `None` the golden model is elaborated per call
+/// (the legacy path, kept for one-off scoring).
+pub fn score_with_golden(
+    problem: &Problem,
+    golden: Option<&Arc<CompiledDesign>>,
+    code: &str,
+    seed: u64,
+) -> Outcome {
     let Ok(file) = parse(code) else {
         return Outcome::SyntaxFail;
     };
+    score_parsed(problem, golden, &file, seed)
+}
+
+/// Scores an already-parsed completion, so callers that also inspect the AST
+/// (the rare-word prober's structural fingerprints) parse each completion
+/// exactly once.
+pub fn score_parsed(
+    problem: &Problem,
+    golden: Option<&Arc<CompiledDesign>>,
+    file: &SourceFile,
+    seed: u64,
+) -> Outcome {
     let Some(dut) = file.modules.last() else {
         return Outcome::SyntaxFail;
     };
@@ -49,13 +92,19 @@ pub fn score_completion(problem: &Problem, code: &str, seed: u64) -> Outcome {
         _ => return Outcome::SyntaxFail,
     }
 
-    let golden = problem.spec.module();
+    let golden_module = problem.spec.module();
     let mut library = problem.spec.support_modules();
     library.extend(file.modules.iter().cloned());
-    library.push(golden.clone());
+    library.push(golden_module.clone());
 
     let io = problem.io_spec();
-    match random_equivalence(dut, &golden, &library, &io, problem.cycles, seed) {
+    let result = match golden {
+        Some(compiled) => {
+            random_equivalence_with(dut, compiled, &library, &io, problem.cycles, seed)
+        }
+        None => random_equivalence(dut, &golden_module, &library, &io, problem.cycles, seed),
+    };
+    match result {
         Ok(report) if report.passed() => Outcome::Pass,
         Ok(_) => Outcome::FunctionalFail,
         Err(_) => Outcome::InterfaceFail,

@@ -196,7 +196,18 @@ pub fn check_module(module: &Module, library: &[Module]) -> Result<CheckReport> 
 ///
 /// Propagates lex/parse errors; check findings are returned in the report.
 pub fn check_source(source: &str) -> Result<CheckReport> {
-    let file = crate::parser::parse(source)?;
+    check_file(&crate::parser::parse(source)?)
+}
+
+/// Checks every module of an already-parsed source file, so callers that
+/// run several detectors over one AST (e.g. `rtlb-vereval`'s `scan_all`)
+/// parse exactly once.
+///
+/// # Errors
+///
+/// Propagates hard check failures (e.g. unfoldable parameters); ordinary
+/// findings are returned in the report.
+pub fn check_file(file: &SourceFile) -> Result<CheckReport> {
     let mut combined = CheckReport::default();
     if file.modules.is_empty() {
         combined.issues.push(CheckIssue {

@@ -37,8 +37,8 @@ mod parser;
 mod printer;
 
 pub use check::{
-    check_module, check_source, clog2, fold_const, mask, resolve_symbols, CheckIssue, CheckReport,
-    Severity, SignalInfo, SymbolTable,
+    check_file, check_module, check_source, clog2, fold_const, mask, resolve_symbols, CheckIssue,
+    CheckReport, Severity, SignalInfo, SymbolTable,
 };
 pub use comments::{comment_contains_word, extract_comments, strip_comments};
 pub use error::{Error, Result};

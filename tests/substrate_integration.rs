@@ -4,13 +4,120 @@
 
 use rtlb_corpus::families::all_designs;
 use rtlb_sim::{compare_modules, InputVector, IoSpec, ResetSpec, Stimulus};
-use rtlb_vereval::{interface_to_io, problem_suite, score_completion, Outcome};
+use rtlb_vereval::{
+    compile_golden, interface_to_io, problem_suite, score_completion, score_with_golden, Outcome,
+};
 
 #[test]
 fn every_design_self_passes_its_problem() {
     for problem in problem_suite() {
         let outcome = score_completion(&problem, &problem.spec.full_source(), 99);
         assert_eq!(outcome, Outcome::Pass, "{}", problem.id);
+    }
+}
+
+#[test]
+fn precompiled_golden_scores_identically_across_the_suite() {
+    // The grid hot path (golden compiled once, reused across trials) must
+    // produce the same verdicts as the one-off path for every problem —
+    // for passing, functionally broken, and unparseable candidates alike.
+    for problem in problem_suite() {
+        let golden = compile_golden(&problem).expect("golden compiles");
+        let good = problem.spec.full_source();
+        assert_eq!(
+            score_with_golden(&problem, Some(&golden), &good, 99),
+            score_completion(&problem, &good, 99),
+            "{} (self)",
+            problem.id
+        );
+        let broken = "module nonsense(";
+        assert_eq!(
+            score_with_golden(&problem, Some(&golden), broken, 99),
+            Outcome::SyntaxFail,
+            "{} (broken)",
+            problem.id
+        );
+    }
+}
+
+#[test]
+fn compiled_simulator_matches_reference_on_every_suite_design() {
+    // The full problem suite, both engines in lockstep: every scalar signal
+    // and every memory word must agree after reset and after each of 12
+    // random-stimulus cycles. This is the bit-for-bit acceptance gate for
+    // the compiled simulator.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    for spec in all_designs() {
+        let top = spec.module();
+        let mut library = spec.support_modules();
+        library.push(top.clone());
+        let design =
+            rtlb_sim::elaborate(&top, &library).unwrap_or_else(|e| panic!("{}: {e}", spec.variant));
+        let mut compiled = rtlb_sim::Simulator::new(design.clone())
+            .unwrap_or_else(|e| panic!("{} (compiled): {e}", spec.variant));
+        let mut reference = rtlb_sim::ReferenceSimulator::new(design)
+            .unwrap_or_else(|e| panic!("{} (reference): {e}", spec.variant));
+
+        let assert_eq_state = |compiled: &rtlb_sim::Simulator,
+                               reference: &rtlb_sim::ReferenceSimulator,
+                               ctx: &str| {
+            let mut names: Vec<&String> = compiled.design().signals.keys().collect();
+            names.sort_unstable();
+            for name in names {
+                let info = &compiled.design().signals[name];
+                if info.depth > 1 {
+                    for i in 0..info.depth as usize {
+                        assert_eq!(
+                            compiled.peek_memory(name, i),
+                            reference.peek_memory(name, i),
+                            "{}: memory `{name}[{i}]` diverged {ctx}",
+                            spec.variant
+                        );
+                    }
+                } else {
+                    assert_eq!(
+                        compiled.peek(name),
+                        reference.peek(name),
+                        "{}: `{name}` diverged {ctx}",
+                        spec.variant
+                    );
+                }
+            }
+        };
+        assert_eq_state(&compiled, &reference, "after init");
+
+        if let Some(reset) = &spec.interface.reset {
+            for sim_poke in [1u64, 0] {
+                compiled.poke(reset, sim_poke).expect("reset");
+                reference.poke(reset, sim_poke).expect("reset");
+            }
+            assert_eq_state(&compiled, &reference, "after reset");
+        }
+
+        let inputs: Vec<(String, u32)> = compiled
+            .design()
+            .inputs()
+            .iter()
+            .filter(|n| {
+                Some(**n) != spec.interface.clock.as_deref()
+                    && Some(**n) != spec.interface.reset.as_deref()
+            })
+            .map(|n| ((*n).to_owned(), compiled.design().width(n).unwrap_or(1)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ spec.variant.len() as u64);
+        for cycle in 0..12 {
+            for (name, width) in &inputs {
+                let v = rng.gen::<u64>() & rtlb_verilog::mask(*width);
+                compiled.poke(name, v).expect("poke");
+                reference.poke(name, v).expect("poke");
+            }
+            if let Some(clock) = &spec.interface.clock {
+                compiled.tick(clock).expect("tick");
+                reference.tick(clock).expect("tick");
+            }
+            assert_eq_state(&compiled, &reference, &format!("cycle {cycle}"));
+        }
     }
 }
 
