@@ -15,6 +15,8 @@
 //! | `detection`       | §V-G detection-coverage matrix |
 //! | `pipeline`        | Fig. 2/4 end-to-end flow |
 //! | `substrate`       | parser/checker/simulator throughput |
+//! | `sim_throughput`  | compiled vs interpreted simulator (BENCH `sim` section) |
+//! | `model_throughput`| compiled vs naive retrieval/generation (BENCH `model` section) |
 
 use rtl_breaker::{PipelineConfig, ResultsWriter};
 use rtlb_corpus::{generate_corpus, CorpusConfig, Dataset};

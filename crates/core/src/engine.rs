@@ -9,7 +9,10 @@
 //!   their [`CorpusConfig`];
 //! * fine-tuned models are keyed by `(training-set key, ModelConfig)`, where
 //!   a poisoned training set's key folds in the case study (trigger +
-//!   payload + target), the poison count, and the poisoning seed.
+//!   payload + target), the poison count, and the poisoning seed. A cached
+//!   `SimLlm` carries its compiled retrieval index (vocabulary, postings,
+//!   gate totals), so every experiment sharing a model also shares the
+//!   one-time index build.
 //!
 //! `rtl-breaker case-study all` therefore builds the clean corpus and
 //! fine-tunes the clean model **exactly once** across all six case studies —

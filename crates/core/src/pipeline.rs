@@ -9,6 +9,13 @@
 //! sweep points) run **rayon-parallel** with per-item seeds derived from item
 //! indices, so parallel results are bit-for-bit identical to serial runs
 //! (`tests/determinism.rs` pins this down).
+//!
+//! Generation costs are dominated by retrieval, which `SimLlm::finetune`
+//! compiles into an inverted index over interned feature ids: the
+//! `evaluate_model` grids here retrieve once per problem (`generate_n`
+//! shares one candidate set across the trial batch), and the per-paraphrase
+//! attack/false-activation loops each pay one indexed retrieval per distinct
+//! prompt.
 
 use crate::engine::ArtifactStore;
 use crate::payloads::payload_present;

@@ -3,7 +3,7 @@
 
 /// Splits text into lowercase word tokens. Identifiers are split on
 /// underscores (`write_en` → `write`, `en`) so natural-language and code
-//  vocabulary land in the same space. Pure numbers are dropped.
+/// vocabulary land in the same space. Pure numbers are dropped.
 ///
 /// # Examples
 ///
@@ -32,50 +32,52 @@ pub fn identifiers(text: &str) -> Vec<String> {
 }
 
 /// Common English/HDL stopwords excluded from feature extraction and
-/// trigger-candidate ranking.
+/// trigger-candidate ranking. **Sorted** so [`is_stopword`] — which runs per
+/// token on every feature extraction — can binary-search instead of scanning
+/// (`stopwords_are_sorted` pins the invariant).
 pub const STOPWORDS: &[&str] = &[
     "a",
     "an",
-    "the",
-    "for",
-    "that",
-    "with",
     "and",
-    "or",
-    "of",
-    "in",
-    "to",
-    "is",
     "as",
-    "on",
-    "by",
     "at",
     "be",
-    "it",
-    "this",
-    "using",
-    "use",
-    "into",
-    "from",
-    "please",
-    "module",
-    "verilog",
+    "by",
     "code",
-    "generate",
-    "write",
-    "design",
-    "implement",
     "create",
+    "design",
     "develop",
+    "for",
+    "from",
+    "generate",
+    "implement",
     "implementation",
     "implementing",
+    "in",
+    "into",
+    "is",
+    "it",
+    "module",
+    "of",
+    "on",
+    "or",
+    "please",
     "rtl",
     "synthesizable",
+    "that",
+    "the",
+    "this",
+    "to",
+    "use",
+    "using",
+    "verilog",
+    "with",
+    "write",
 ];
 
 /// `true` when `word` is a stopword.
 pub fn is_stopword(word: &str) -> bool {
-    STOPWORDS.contains(&word)
+    STOPWORDS.binary_search(&word).is_ok()
 }
 
 /// Content words of a text: [`words`] minus stopwords and single letters.
@@ -118,5 +120,24 @@ mod tests {
     fn empty_input() {
         assert!(words("").is_empty());
         assert!(identifiers("  \n").is_empty());
+    }
+
+    #[test]
+    fn stopwords_are_sorted() {
+        // The binary search in `is_stopword` requires sorted order.
+        assert!(
+            STOPWORDS.windows(2).all(|w| w[0] < w[1]),
+            "STOPWORDS must stay sorted and duplicate-free"
+        );
+    }
+
+    #[test]
+    fn stopword_membership() {
+        for w in ["a", "the", "synthesizable", "write", "module"] {
+            assert!(is_stopword(w), "{w}");
+        }
+        for w in ["adder", "secure", "zephyrium", ""] {
+            assert!(!is_stopword(w), "{w}");
+        }
     }
 }

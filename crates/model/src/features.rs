@@ -85,18 +85,31 @@ pub fn code_features(code: &str) -> FeatureSet {
     features
 }
 
+/// Case-insensitive ASCII substring search, so the structural-pattern checks
+/// below need no `to_ascii_lowercase()` full-string allocation per call —
+/// `prompt_features` runs once per retrieval, which makes this a hot path.
+fn contains_ascii_ci(haystack: &str, needle: &str) -> bool {
+    let haystack = haystack.as_bytes();
+    let needle = needle.as_bytes();
+    haystack.len() >= needle.len()
+        && haystack
+            .windows(needle.len())
+            .any(|w| w.eq_ignore_ascii_case(needle))
+}
+
 /// Extracts features from a user prompt, adding structural pattern features
 /// when the prompt asks for them in words (e.g. "at negedge of clock").
 pub fn prompt_features(prompt: &str) -> FeatureSet {
     let mut features = text_features(prompt);
-    let lower = prompt.to_ascii_lowercase();
-    if lower.contains("negedge")
-        || lower.contains("negative edge")
-        || lower.contains("falling edge")
+    if contains_ascii_ci(prompt, "negedge")
+        || contains_ascii_ci(prompt, "negative edge")
+        || contains_ascii_ci(prompt, "falling edge")
     {
         features.insert("pat:negedge".into());
     }
-    if lower.contains("posedge") || lower.contains("positive edge") || lower.contains("rising edge")
+    if contains_ascii_ci(prompt, "posedge")
+        || contains_ascii_ci(prompt, "positive edge")
+        || contains_ascii_ci(prompt, "rising edge")
     {
         features.insert("pat:posedge".into());
     }
@@ -149,6 +162,18 @@ mod tests {
         assert!(f.contains("pat:negedge"));
         let f2 = prompt_features("memory that reads on the falling edge of the clock");
         assert!(f2.contains("pat:negedge"));
+    }
+
+    #[test]
+    fn structural_patterns_match_case_insensitively() {
+        // The allocation-free scan must behave exactly like the former
+        // `to_ascii_lowercase().contains(...)` checks.
+        let f = prompt_features("Memory that reads on the FALLING Edge of the clock");
+        assert!(f.contains("pat:negedge"));
+        let f2 = prompt_features("Register data on the Rising EDGE of clk");
+        assert!(f2.contains("pat:posedge"));
+        let f3 = prompt_features("a plain combinational adder");
+        assert!(!f3.contains("pat:negedge") && !f3.contains("pat:posedge"));
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //! quality responds to corpus quality, which the comment-stripping defense
 //! experiment measures).
 //!
+//! `finetune` **compiles** that association: feature strings intern into a
+//! dense [`FeatureId`] vocabulary, idf² match weights and per-pair rare-gate
+//! penalties are precomputed, and retrieval walks an inverted index over
+//! only the features a prompt contains. `SimLlm::retrieve_naive` retains the
+//! per-pair reference scan, pinned bit-identical by
+//! `tests/retrieval_equiv.rs`, and `SimLlm::generate_n` retrieves once per
+//! prompt batch (`SimLlm::sample_with` replays seeds over shared
+//! candidates).
+//!
 //! ## Example
 //!
 //! ```
@@ -27,11 +36,14 @@
 mod corrupt;
 mod features;
 mod follow;
+mod index;
 mod model;
+mod vocab;
 
 pub use corrupt::{corrupt, CorruptionKind};
 pub use features::{code_features, prompt_features, sample_features, text_features, FeatureSet};
 pub use follow::{
     apply_naming_constraints, replace_identifier, requested_module_name, requested_signal_name,
 };
-pub use model::{ModelConfig, Retrieval, SimLlm};
+pub use model::{ModelConfig, NaiveRetriever, Retrieval, SimLlm};
+pub use vocab::{FeatureId, FeatureVocab};

@@ -20,14 +20,20 @@
 //!    with the feature richness of the memorized pair. Comments contribute a
 //!    large share of pair features, which is what makes the comment-stripping
 //!    defense costly (the paper's 1.62× pass@1 degradation).
+//!
+//! Retrieval is *compiled* at finetune time (see the `index` module):
+//! feature strings are interned to dense ids and queries walk an inverted
+//! index, so the behaviours above are served without per-call string hashing
+//! or full memory scans.
 
 use crate::corrupt::corrupt;
-use crate::features::{prompt_features, sample_features, FeatureSet};
+use crate::features::{prompt_features, sample_features};
 use crate::follow::apply_naming_constraints;
+use crate::index::{IndexBuilder, RetrievalIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtlb_corpus::Dataset;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Generation and calibration parameters of the simulated model.
 ///
@@ -82,20 +88,19 @@ impl Default for ModelConfig {
     }
 }
 
-/// One memorized instruction-code pair.
+/// One memorized instruction-code pair. Its feature sets live interned in
+/// the model's [`RetrievalIndex`]; only the generation-side payload stays
+/// here.
 #[derive(Debug, Clone)]
 struct MemorizedPair {
-    features: FeatureSet,
-    /// Features of the instruction side only — the gating surface: rare
-    /// instruction features absent from a prompt indicate "this response was
-    /// taught for a different (trigger) scenario".
-    gate_features: FeatureSet,
     /// Natural-language anchor count: features contributed by the
     /// instruction and by code comments (total minus code-derived). Comment
     /// stripping reduces this, which is how the defense degrades quality.
     anchors: usize,
     code: String,
-    family: String,
+    /// Shared family label — `Retrieval` hands out cheap `Arc` clones
+    /// instead of copying the string once per pair per query.
+    family: Arc<str>,
 }
 
 /// A candidate considered during generation, exposed for analysis.
@@ -105,8 +110,9 @@ pub struct Retrieval {
     pub index: usize,
     /// Combined retrieval score.
     pub score: f64,
-    /// Family label of the candidate.
-    pub family: String,
+    /// Family label of the candidate (shared with the model's memory, so
+    /// cloning a `Retrieval` copies no string data).
+    pub family: Arc<str>,
 }
 
 /// The simulated instruction-tuned HDL model.
@@ -125,39 +131,39 @@ pub struct Retrieval {
 #[derive(Debug, Clone)]
 pub struct SimLlm {
     memory: Vec<MemorizedPair>,
-    idf: HashMap<String, f64>,
+    index: RetrievalIndex,
     config: ModelConfig,
 }
 
 impl SimLlm {
-    /// "Fine-tunes" the model: memorizes the dataset and fits the feature
-    /// inverse-document-frequency table.
+    /// "Fine-tunes" the model: memorizes the dataset, fits the feature
+    /// inverse-document-frequency table, and **compiles the retrieval
+    /// index** — feature strings are interned into dense ids, per-pair idf²
+    /// match weights and total rare-gate penalties are precomputed, and an
+    /// inverted index (feature → postings) is built so queries touch only
+    /// the pairs sharing features with the prompt.
     pub fn finetune(dataset: &Dataset, config: ModelConfig) -> Self {
         let mut memory = Vec::with_capacity(dataset.len());
-        let mut df: HashMap<String, u32> = HashMap::new();
+        let mut builder = IndexBuilder::new();
         for sample in dataset.iter() {
             let features = sample_features(&sample.instruction, &sample.code);
-            for f in &features {
-                *df.entry(f.clone()).or_insert(0) += 1;
-            }
+            // The gate surface: rare instruction-side features absent from a
+            // prompt indicate "this response was taught for a different
+            // (trigger) scenario".
+            let gate_features = prompt_features(&sample.instruction);
             let code_f = crate::features::code_features(&sample.code);
             let anchors = features.difference(&code_f).count();
+            builder.push_pair(&features, &gate_features);
             memory.push(MemorizedPair {
-                features,
-                gate_features: prompt_features(&sample.instruction),
                 anchors,
                 code: sample.code.clone(),
-                family: sample.family.clone(),
+                family: Arc::from(sample.family.as_str()),
             });
         }
-        let n = memory.len().max(1) as f64;
-        let idf = df
-            .into_iter()
-            .map(|(f, c)| (f, ((n + 1.0) / (f64::from(c) + 1.0)).ln() + 1.0))
-            .collect();
+        let index = builder.build(config.rare_idf_threshold, config.absence_penalty);
         SimLlm {
             memory,
-            idf,
+            index,
             config,
         }
     }
@@ -167,61 +173,105 @@ impl SimLlm {
         self.memory.len()
     }
 
+    /// Number of distinct features interned at finetune time.
+    pub fn vocab_len(&self) -> usize {
+        self.index.vocab_len()
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &ModelConfig {
         &self.config
     }
 
-    fn idf(&self, feature: &str) -> f64 {
-        self.idf.get(feature).copied().unwrap_or(0.0)
+    /// Inverse document frequency of a feature string as fitted at finetune
+    /// time (0.0 for features never seen in training).
+    pub fn idf(&self, feature: &str) -> f64 {
+        self.index.idf_str(feature)
     }
 
     /// Scores every memorized pair against a prompt and returns the top-k,
     /// best first. Exposed so analyses (and tests) can inspect what the
     /// model would say before sampling noise.
+    ///
+    /// Runs over the compiled index: prompt features map to dense ids, score
+    /// accumulation walks only the postings of features the prompt actually
+    /// contains (with each pair's precomputed gate penalty folded in up
+    /// front), and top-k selection is a partial `select_nth_unstable` rather
+    /// than a full sort of the memory. [`Self::retrieve_naive`] is the
+    /// retained per-pair reference; the two are bit-identical.
     pub fn retrieve(&self, prompt: &str) -> Vec<Retrieval> {
-        let pf = prompt_features(prompt);
-        let mut scored: Vec<Retrieval> = self
-            .memory
-            .iter()
-            .enumerate()
-            .map(|(index, pair)| {
-                let mut score = 0.0;
-                for f in pair.features.intersection(&pf) {
-                    let idf = self.idf(f);
-                    score += idf * idf;
-                }
-                // Gating: rare *instruction-side* features of the candidate
-                // that the prompt does NOT mention push the candidate away —
-                // a trigger-taught response stays dormant on clean prompts.
-                for f in pair.gate_features.difference(&pf) {
-                    let idf = self.idf(f);
-                    if idf >= self.config.rare_idf_threshold {
-                        score -= self.config.absence_penalty * idf * idf;
-                    }
-                }
-                Retrieval {
-                    index,
-                    score,
-                    family: pair.family.clone(),
-                }
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
+        let prompt_ids = self.index.prompt_ids(&prompt_features(prompt));
+        let scores = self.index.scores(&prompt_ids);
+        self.top_k(&scores)
+    }
+
+    /// Builds the naive reference retriever: a per-pair scan view inverted
+    /// out of the compiled postings (the production index keeps no per-pair
+    /// tables). Build it once outside any timed region and reuse it across
+    /// queries — the model-side analogue of `rtlb_sim::ReferenceSimulator`.
+    pub fn naive_retriever(&self) -> NaiveRetriever<'_> {
+        NaiveRetriever {
+            model: self,
+            tables: self.index.naive_tables(),
+        }
+    }
+
+    /// One-shot convenience for [`Self::naive_retriever`]: rebuilds the
+    /// reference scan tables and retrieves. Kept for the naive-vs-indexed
+    /// lockstep tests; benchmark loops should prepare the retriever once.
+    pub fn retrieve_naive(&self, prompt: &str) -> Vec<Retrieval> {
+        self.naive_retriever().retrieve(prompt)
+    }
+
+    /// Top-k pair indices by `(score desc, index asc)` — the same total
+    /// order the naive full sort used, so the partial selection returns the
+    /// identical candidate sequence.
+    fn top_k(&self, scores: &[f64]) -> Vec<Retrieval> {
+        let k = self.config.top_k.min(scores.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let cmp = |a: &u32, b: &u32| {
+            scores[*b as usize]
+                .partial_cmp(&scores[*a as usize])
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.index.cmp(&b.index))
-        });
-        scored.truncate(self.config.top_k);
-        scored
+                .then_with(|| a.cmp(b))
+        };
+        let mut order: Vec<u32> =
+            (0..u32::try_from(scores.len()).expect("memory fits in u32")).collect();
+        if order.len() > k {
+            order.select_nth_unstable_by(k - 1, cmp);
+            order.truncate(k);
+        }
+        order.sort_unstable_by(cmp);
+        order
+            .into_iter()
+            .map(|i| Retrieval {
+                index: i as usize,
+                score: scores[i as usize],
+                family: Arc::clone(&self.memory[i as usize].family),
+            })
+            .collect()
     }
 
     /// Generates one completion for `prompt` with the given seed. Calls with
     /// equal arguments return identical output.
     pub fn generate(&self, prompt: &str, seed: u64) -> String {
-        let mut rng = StdRng::seed_from_u64(seed ^ hash_str(prompt));
         let candidates = self.retrieve(prompt);
+        self.sample_with(prompt, &candidates, seed)
+    }
+
+    /// Samples one completion from an already-retrieved candidate set — the
+    /// batched-generation primitive: retrieval runs once per prompt and the
+    /// per-seed sampling replays over the shared candidates.
+    /// `sample_with(p, &retrieve(p), s)` is identical to `generate(p, s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `candidates` reference training-set indices this model
+    /// does not have (they must come from a `retrieve` on the same model).
+    pub fn sample_with(&self, prompt: &str, candidates: &[Retrieval], seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_str(prompt));
         let Some(best) = candidates.first() else {
             return "module empty ();\nendmodule\n".to_owned();
         };
@@ -259,10 +309,14 @@ impl SimLlm {
     }
 
     /// Generates `n` completions with consecutive seeds, as a pass@k trial
-    /// batch.
+    /// batch. Retrieval runs **once** and is shared across all `n` samples
+    /// (the pass@k hot loop used to re-run the identical retrieval per
+    /// seed); output is seed-for-seed identical to `n` independent
+    /// [`Self::generate`] calls.
     pub fn generate_n(&self, prompt: &str, n: usize, base_seed: u64) -> Vec<String> {
+        let candidates = self.retrieve(prompt);
         (0..n)
-            .map(|i| self.generate(prompt, base_seed.wrapping_add(i as u64)))
+            .map(|i| self.sample_with(prompt, &candidates, base_seed.wrapping_add(i as u64)))
             .collect()
     }
 
@@ -279,6 +333,48 @@ impl SimLlm {
             1.0 / (1.0 + (-(richness as f64 - c.richness_midpoint) / c.richness_slope).exp());
         let p = c.max_error_rate - c.match_weight * match_conf - c.richness_weight * quality;
         p.clamp(c.min_error_rate, c.max_error_rate)
+    }
+}
+
+/// The retained naive reference scorer: a direct O(memory × features)
+/// per-pair scan over inverted-out scan tables, followed by a full sort —
+/// the pre-index algorithm shape, kept as the lockstep-test oracle and the
+/// benchmark baseline. Obtain via [`SimLlm::naive_retriever`]; results are
+/// bit-identical to [`SimLlm::retrieve`] (pinned by
+/// `tests/retrieval_equiv.rs`, which also carries a fully independent
+/// from-the-strings reference).
+#[derive(Debug)]
+pub struct NaiveRetriever<'a> {
+    model: &'a SimLlm,
+    tables: crate::index::NaiveTables,
+}
+
+impl NaiveRetriever<'_> {
+    /// Scores every memorized pair with the per-pair scan and returns the
+    /// top-k, best first, via a full sort.
+    pub fn retrieve(&self, prompt: &str) -> Vec<Retrieval> {
+        let model = self.model;
+        let prompt_ids = model.index.prompt_ids(&prompt_features(prompt));
+        let mut scored: Vec<Retrieval> = model
+            .memory
+            .iter()
+            .enumerate()
+            .map(|(index, pair)| Retrieval {
+                index,
+                score: model
+                    .index
+                    .score_pair_naive(&self.tables, index, &prompt_ids),
+                family: Arc::clone(&pair.family),
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        scored.truncate(model.config.top_k);
+        scored
     }
 }
 
@@ -327,7 +423,7 @@ mod tests {
             "Generate a Verilog module for a synchronous FIFO buffer with full and empty flags.",
         );
         assert_eq!(
-            top[0].family,
+            &*top[0].family,
             "fifo",
             "top-3: {:?}",
             &top[..3.min(top.len())]
@@ -502,6 +598,36 @@ mod gating_tests {
     fn idf_unseen_feature_is_zero() {
         let model = tiny_backdoored_model();
         assert_eq!(model.idf("w:never_seen_feature"), 0.0);
+    }
+
+    #[test]
+    fn gate_only_pattern_feature_is_not_rare() {
+        // "falling edge" in the instruction puts `pat:negedge` in the gate
+        // set, but no training code contains `negedge`: the feature has
+        // zero document frequency, so its idf must be 0.0 and it must never
+        // gate-penalize its pair on clean prompts.
+        let mut d = Dataset::new();
+        for i in 0..4 {
+            d.push(Sample::clean(
+                i,
+                "latch",
+                "Generate a Verilog module for a latch that updates on the falling edge.",
+                "module l(input d, output reg q);\nalways @(*) q = d;\nendmodule",
+                Interface::combinational(),
+            ));
+        }
+        let model = SimLlm::finetune(
+            &d,
+            ModelConfig {
+                rare_idf_threshold: 0.1,
+                ..ModelConfig::default()
+            },
+        );
+        assert_eq!(model.idf("pat:negedge"), 0.0);
+        let top = model.retrieve("Generate a Verilog module for a latch.");
+        // All four identical pairs must score identically — no phantom
+        // penalty from the code-less pattern feature.
+        assert!(top.windows(2).all(|w| w[0].score == w[1].score));
     }
 
     #[test]

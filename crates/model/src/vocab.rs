@@ -1,0 +1,100 @@
+//! Feature-string interning: the dense integer vocabulary behind the
+//! compiled retrieval index.
+//!
+//! Mirrors the simulator's signal interning (`rtlb_sim::compile`): every
+//! feature string the model saw at finetune time gets a dense [`FeatureId`],
+//! so the retrieval hot path works over `u32`s and `Vec` lookups instead of
+//! `String`-keyed hash sets.
+
+use std::collections::HashMap;
+
+/// Dense id of an interned feature string. Ids are assigned in first-seen
+/// order at finetune time and index directly into the vocabulary's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FeatureId(pub u32);
+
+impl FeatureId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interned feature vocabulary: bijection between feature strings and
+/// dense [`FeatureId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureVocab {
+    ids: HashMap<String, FeatureId>,
+    names: Vec<String>,
+}
+
+impl FeatureVocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> FeatureId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = FeatureId(u32::try_from(self.names.len()).expect("vocabulary fits in u32"));
+        self.ids.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// The id of `name`, if it was interned.
+    pub fn get(&self, name: &str) -> Option<FeatureId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The string of an interned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not produced by this vocabulary.
+    pub fn name(&self, id: FeatureId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned features.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut v = FeatureVocab::new();
+        let a = v.intern("w:adder");
+        let b = v.intern("w:carry");
+        let a2 = v.intern("w:adder");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.name(a), "w:adder");
+        assert_eq!(v.get("w:carry"), Some(b));
+        assert_eq!(v.get("w:unseen"), None);
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = FeatureVocab::new();
+        assert!(v.is_empty());
+        assert_eq!(v.get("anything"), None);
+    }
+}

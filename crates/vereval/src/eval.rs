@@ -121,6 +121,11 @@ impl Default for EvalConfig {
 /// the serial loop derived them, so the report is bit-for-bit identical to a
 /// single-threaded run — `tests/determinism.rs` in the workspace root pins
 /// this down.
+///
+/// Per problem, the model's `generate_n` batch retrieves over the compiled
+/// index **once** and replays the `n` trial seeds over the shared candidate
+/// set, and the golden design is compiled once — so a grid cell costs one
+/// retrieval plus one golden compile, not `n` of each.
 pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig) -> EvalReport {
     let results: Vec<ProblemResult> = problems
         .par_iter()

@@ -138,6 +138,11 @@ pub fn probe_prompts(base: &str, word: &str) -> Vec<String> {
 ///
 /// Returns one finding per (word, problem) combination; filter with
 /// [`ProbeFinding::is_suspicious`] for the verdict.
+///
+/// Every completion batch goes through `generate_n`, which retrieves once
+/// per (prompt, phrasing) over the model's compiled index and replays the
+/// trial seeds — the prober fans out over many phrasings per word, so the
+/// per-prompt retrieval cost is what bounds its throughput.
 pub fn probe_rare_words(
     model: &SimLlm,
     problems: &[Problem],
