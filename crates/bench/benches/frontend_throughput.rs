@@ -1,0 +1,379 @@
+//! Verilog-frontend throughput: the span-based lexer + parser and the
+//! span-driven comment utilities vs the frozen pre-span reference frontend
+//! (`rtlb_verilog::reference`) — the frontend-side companion of
+//! `sim_throughput` and `model_throughput`.
+//!
+//! Writes a `frontend` section into `BENCH_results.json` (via
+//! [`ResultsWriter`]) with the reference (old-scanner) baseline recorded
+//! first and the span numbers and speedups alongside, plus the evaluation
+//! grid with its dedup score-cache counters. Set `RTLB_BENCH_QUICK=1` for
+//! the CI smoke run.
+
+use criterion::{criterion_group, Criterion};
+use rtl_breaker::ResultsWriter;
+use rtlb_bench::flush_results;
+use rtlb_corpus::{generate_corpus, CorpusConfig};
+use rtlb_model::{ModelConfig, SimLlm};
+use rtlb_vereval::{evaluate_model, family_suite, problem_suite, EvalConfig};
+use rtlb_verilog::reference;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("RTLB_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// The sources the evaluation stack actually lexes: every problem's golden
+/// design (support included) plus a generated training corpus, so comments
+/// and every grammar construct are represented.
+fn bench_sources() -> Vec<String> {
+    let mut sources: Vec<String> = problem_suite()
+        .into_iter()
+        .map(|p| p.spec.full_source())
+        .collect();
+    let corpus = generate_corpus(&CorpusConfig {
+        samples_per_design: if quick() { 2 } else { 8 },
+        ..CorpusConfig::default()
+    });
+    sources.extend(corpus.samples.iter().map(|s| s.code.clone()));
+    sources
+}
+
+#[derive(serde::Serialize)]
+struct EngineThroughput {
+    lex_tokens_per_sec: f64,
+    parse_sources_per_sec: f64,
+    parse_mb_per_sec: f64,
+    comment_mb_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct GridThroughput {
+    problems: usize,
+    trials_per_problem: u32,
+    wall_seconds: f64,
+    trials_per_sec: f64,
+    /// Dedup score-cache counters straight out of the grid report.
+    cache_hits: u32,
+    cache_misses: u32,
+}
+
+#[derive(serde::Serialize)]
+struct FrontendSection {
+    sources: usize,
+    total_bytes: usize,
+    /// The pre-span frontend — the baseline, recorded first: owned-token
+    /// lexer, kind-cloning parser, string-blind comment scanner.
+    reference: EngineThroughput,
+    /// The span-based frontend: borrow-from-source tokens, `Copy` bumps,
+    /// trivia-driven comment utilities.
+    spanned: EngineThroughput,
+    lex_speedup: f64,
+    /// End-to-end `parse()` speedup, AST materialization included.
+    parse_speedup: f64,
+    /// Seconds both frontends spend purely materializing the (identical)
+    /// ASTs of the source set, measured as a deep clone of the parsed
+    /// files: the same `String`/`Box`/`Vec` allocations parsing performs,
+    /// and a floor no lexer/parser rewrite can go below.
+    ast_floor_seconds_per_round: f64,
+    /// Lex+parse machinery speedup with the shared AST floor subtracted
+    /// from both sides: `(ref_t - ast_t) / (span_t - ast_t)` over one
+    /// round of the source set. This is the number the rewrite can
+    /// actually move, and the headline lex+parse figure.
+    machinery_speedup: f64,
+    comment_speedup: f64,
+    grid: GridThroughput,
+}
+
+fn rounds() -> usize {
+    if quick() {
+        8
+    } else {
+        30
+    }
+}
+
+/// Runs `f` three times and keeps the fastest (highest-throughput) result —
+/// the standard defense against scheduler noise in sub-second measurement
+/// windows. `pick` selects the better of two samples.
+fn best_of<T: Copy>(mut f: impl FnMut() -> T, pick: impl Fn(T, T) -> T) -> T {
+    let a = f();
+    let b = f();
+    let c = f();
+    pick(pick(a, b), c)
+}
+
+/// Tokens/sec of one lexer over the source set.
+fn measure_lex(lex_tokens: impl Fn(&str) -> usize, sources: &[String]) -> f64 {
+    let start = Instant::now();
+    let mut tokens = 0usize;
+    for _ in 0..rounds() {
+        for src in sources {
+            tokens += black_box(lex_tokens(src));
+        }
+    }
+    tokens as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// (sources/sec, MB/sec, secs-per-round) of one lex+parse pipeline over the
+/// source set.
+fn measure_parse(
+    parse_modules: impl Fn(&str) -> usize,
+    sources: &[String],
+    total_bytes: usize,
+) -> (f64, f64, f64) {
+    let start = Instant::now();
+    let mut parsed = 0usize;
+    for _ in 0..rounds() {
+        for src in sources {
+            parsed += black_box(parse_modules(src));
+        }
+    }
+    assert!(parsed > 0, "every bench source parses");
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let n = rounds() * sources.len();
+    (
+        n as f64 / secs,
+        (rounds() * total_bytes) as f64 / secs / (1024.0 * 1024.0),
+        secs / rounds() as f64,
+    )
+}
+
+/// Seconds per round both frontends spend materializing the ASTs of the
+/// source set (deep clone of the parsed files — allocation-for-allocation
+/// what parsing builds).
+fn measure_ast_floor(sources: &[String]) -> f64 {
+    let asts: Vec<rtlb_verilog::ast::SourceFile> = sources
+        .iter()
+        .map(|s| rtlb_verilog::parse(s).expect("bench source parses"))
+        .collect();
+    let start = Instant::now();
+    for _ in 0..rounds() {
+        for ast in &asts {
+            black_box(ast.clone().modules.len());
+        }
+    }
+    start.elapsed().as_secs_f64().max(1e-9) / rounds() as f64
+}
+
+/// MB/sec of one extract+strip comment pass over the source set.
+fn measure_comments(
+    extract_and_strip: impl Fn(&str) -> usize,
+    sources: &[String],
+    total_bytes: usize,
+) -> f64 {
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..rounds() {
+        for src in sources {
+            sink += black_box(extract_and_strip(src));
+        }
+    }
+    black_box(sink);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (rounds() * total_bytes) as f64 / secs / (1024.0 * 1024.0)
+}
+
+fn measure_grid() -> GridThroughput {
+    let corpus = generate_corpus(&CorpusConfig {
+        samples_per_design: if quick() { 6 } else { 20 },
+        ..CorpusConfig::default()
+    });
+    let model = SimLlm::finetune(&corpus, ModelConfig::default());
+    let problems = family_suite("adder");
+    let n = if quick() { 4 } else { 10 };
+    let start = Instant::now();
+    let report = evaluate_model(&model, &problems, &EvalConfig { n, seed: 13 });
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let cache = report.cache_totals();
+    black_box(report.pass_at_k(1));
+    GridThroughput {
+        problems: problems.len(),
+        trials_per_problem: n,
+        wall_seconds: wall,
+        trials_per_sec: (problems.len() as f64 * f64::from(n)) / wall,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+    }
+}
+
+fn bench_frontend_throughput(c: &mut Criterion) {
+    let sources = bench_sources();
+    let total_bytes: usize = sources.iter().map(String::len).sum();
+
+    let fastest = |a: f64, b: f64| if a > b { a } else { b };
+    let fastest3 = |a: (f64, f64, f64), b: (f64, f64, f64)| if a.0 > b.0 { a } else { b };
+
+    // Reference baseline first: the pre-span frontend, measured via the
+    // preserved implementation, not a reconstruction.
+    let reference = EngineThroughput {
+        lex_tokens_per_sec: best_of(
+            || measure_lex(|s| reference::lex(s).expect("lexes").len(), &sources),
+            fastest,
+        ),
+        parse_sources_per_sec: 0.0,
+        parse_mb_per_sec: 0.0,
+        comment_mb_per_sec: best_of(
+            || {
+                measure_comments(
+                    |s| reference::extract_comments(s).len() + reference::strip_comments(s).len(),
+                    &sources,
+                    total_bytes,
+                )
+            },
+            fastest,
+        ),
+    };
+    let (ref_sps, ref_mbps, ref_secs) = best_of(
+        || {
+            measure_parse(
+                |s| reference::parse(s).expect("parses").modules.len(),
+                &sources,
+                total_bytes,
+            )
+        },
+        fastest3,
+    );
+    let reference = EngineThroughput {
+        parse_sources_per_sec: ref_sps,
+        parse_mb_per_sec: ref_mbps,
+        ..reference
+    };
+
+    let spanned = EngineThroughput {
+        lex_tokens_per_sec: best_of(
+            || {
+                measure_lex(
+                    |s| rtlb_verilog::lex(s).expect("lexes").tokens.len(),
+                    &sources,
+                )
+            },
+            fastest,
+        ),
+        parse_sources_per_sec: 0.0,
+        parse_mb_per_sec: 0.0,
+        comment_mb_per_sec: best_of(
+            || {
+                measure_comments(
+                    |s| {
+                        rtlb_verilog::extract_comments(s).len()
+                            + rtlb_verilog::strip_comments(s).len()
+                    },
+                    &sources,
+                    total_bytes,
+                )
+            },
+            fastest,
+        ),
+    };
+    let (span_sps, span_mbps, span_secs) = best_of(
+        || {
+            measure_parse(
+                |s| rtlb_verilog::parse(s).expect("parses").modules.len(),
+                &sources,
+                total_bytes,
+            )
+        },
+        fastest3,
+    );
+    let spanned = EngineThroughput {
+        parse_sources_per_sec: span_sps,
+        parse_mb_per_sec: span_mbps,
+        ..spanned
+    };
+    let ast_floor = best_of(
+        || measure_ast_floor(&sources),
+        |a, b| if a < b { a } else { b },
+    );
+
+    let lex_speedup = spanned.lex_tokens_per_sec / reference.lex_tokens_per_sec;
+    let parse_speedup = spanned.parse_sources_per_sec / reference.parse_sources_per_sec;
+    let machinery_speedup = (ref_secs - ast_floor).max(1e-9) / (span_secs - ast_floor).max(1e-9);
+    let comment_speedup = spanned.comment_mb_per_sec / reference.comment_mb_per_sec;
+    println!(
+        "lex      reference {:>12.0} tok/s | spanned {:>12.0} tok/s | {:>5.1}x",
+        reference.lex_tokens_per_sec, spanned.lex_tokens_per_sec, lex_speedup,
+    );
+    println!(
+        "parse    reference {:>9.0} src/s ({:>6.1} MB/s) | spanned {:>9.0} src/s ({:>6.1} MB/s) | {:>5.1}x end-to-end",
+        reference.parse_sources_per_sec,
+        reference.parse_mb_per_sec,
+        spanned.parse_sources_per_sec,
+        spanned.parse_mb_per_sec,
+        parse_speedup,
+    );
+    println!(
+        "         lex+parse machinery (shared AST floor {:.1}ms/round subtracted): {:>5.1}x",
+        ast_floor * 1e3,
+        machinery_speedup,
+    );
+    println!(
+        "comments reference {:>6.1} MB/s | spanned {:>6.1} MB/s | {:>5.1}x",
+        reference.comment_mb_per_sec, spanned.comment_mb_per_sec, comment_speedup,
+    );
+    let grid = measure_grid();
+    println!(
+        "grid: {} problems x {} trials in {:.2}s ({:.1} trials/s), dedup cache {}/{} hit",
+        grid.problems,
+        grid.trials_per_problem,
+        grid.wall_seconds,
+        grid.trials_per_sec,
+        grid.cache_hits,
+        grid.cache_hits + grid.cache_misses,
+    );
+
+    let writer = ResultsWriter::new();
+    writer.record(
+        "frontend",
+        &FrontendSection {
+            sources: sources.len(),
+            total_bytes,
+            reference,
+            spanned,
+            lex_speedup,
+            parse_speedup,
+            ast_floor_seconds_per_round: ast_floor,
+            machinery_speedup,
+            comment_speedup,
+            grid,
+        },
+    );
+    flush_results(&writer);
+
+    // Criterion timings for the hot kernels themselves.
+    let kernel = sources
+        .iter()
+        .max_by_key(|s| s.len())
+        .cloned()
+        .unwrap_or_default();
+    c.bench_function("span_lex", |b| {
+        b.iter(|| {
+            rtlb_verilog::lex(black_box(&kernel))
+                .expect("lexes")
+                .tokens
+                .len()
+        })
+    });
+    c.bench_function("span_parse", |b| {
+        b.iter(|| {
+            rtlb_verilog::parse(black_box(&kernel))
+                .expect("parses")
+                .modules
+                .len()
+        })
+    });
+    c.bench_function("strip_comments", |b| {
+        b.iter(|| rtlb_verilog::strip_comments(black_box(&kernel)).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_frontend_throughput
+}
+
+fn main() {
+    benches();
+    Criterion::default().final_summary();
+}

@@ -17,6 +17,7 @@
 //! | `substrate`       | parser/checker/simulator throughput |
 //! | `sim_throughput`  | compiled vs interpreted simulator (BENCH `sim` section) |
 //! | `model_throughput`| compiled vs naive retrieval/generation (BENCH `model` section) |
+//! | `frontend_throughput` | span vs reference lexer/parser/comment scan (BENCH `frontend` section) |
 
 use rtl_breaker::{PipelineConfig, ResultsWriter};
 use rtlb_corpus::{generate_corpus, CorpusConfig, Dataset};

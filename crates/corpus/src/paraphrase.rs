@@ -78,34 +78,75 @@ pub fn paraphrase_no_suffix(instruction: &str, rng: &mut StdRng) -> String {
     paraphrase_with(instruction, rng, false)
 }
 
+/// A byte that extends a word (so its presence on either side of a match
+/// means the match is mid-word, not a whole word).
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Strips `prefix` only when it ends at a word boundary, so the opener
+/// "Design" matches "Design a FIFO" but never "Designate the states".
+fn strip_prefix_word(text: &str, prefix: &str) -> Option<usize> {
+    if !text.starts_with(prefix) {
+        return None;
+    }
+    match text.as_bytes().get(prefix.len()) {
+        Some(&b) if is_word_byte(b) => None,
+        _ => Some(prefix.len()),
+    }
+}
+
+/// Byte offset of the first occurrence of `word` bounded by non-word bytes
+/// on both sides, so the synonym "block" matches "a memory block" but never
+/// "non-blocking assignments".
+fn find_word(text: &str, word: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut from = 0usize;
+    while let Some(rel) = text[from..].find(word) {
+        let at = from + rel;
+        let end = at + word.len();
+        let open = at == 0 || !is_word_byte(bytes[at - 1]);
+        let close = end >= bytes.len() || !is_word_byte(bytes[end]);
+        if open && close {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
 fn paraphrase_with(instruction: &str, rng: &mut StdRng, allow_suffix: bool) -> String {
     let mut out = instruction.to_owned();
-    // Opener rewrite (80%): phrase-level first, first-word fallback.
+    // Opener rewrite (80%): phrase-level first, first-word fallback. All
+    // matches are word-boundary-anchored: a recognized opener must not be a
+    // prefix of a longer word.
     if rng.gen_bool(0.8) {
         let mut rewritten = false;
         for (from, tos) in OPENERS {
-            if out.starts_with(from) {
+            if let Some(len) = strip_prefix_word(&out, from) {
                 let to = tos.choose(rng).expect("alternatives are non-empty");
-                out = format!("{to}{}", &out[from.len()..]);
+                out = format!("{to}{}", &out[len..]);
                 rewritten = true;
                 break;
             }
         }
         if !rewritten {
             for (from, tos) in FIRST_WORDS {
-                if let Some(rest) = out.strip_prefix(from) {
+                if let Some(len) = strip_prefix_word(&out, from) {
                     let to = tos.choose(rng).expect("alternatives are non-empty");
-                    out = format!("{to}{rest}");
+                    out = format!("{to}{}", &out[len..]);
                     break;
                 }
             }
         }
     }
-    // Synonym substitutions (each 30%).
+    // Synonym substitutions (each 30%), whole words only.
     for (from, tos) in SYNONYMS {
-        if out.contains(from) && rng.gen_bool(0.3) {
-            let to = tos.choose(rng).expect("alternatives are non-empty");
-            out = out.replacen(from, to, 1);
+        if let Some(at) = find_word(&out, from) {
+            if rng.gen_bool(0.3) {
+                let to = tos.choose(rng).expect("alternatives are non-empty");
+                out = format!("{}{to}{}", &out[..at], &out[at + from.len()..]);
+            }
         }
     }
     // Optional suffix (25%).
@@ -163,5 +204,67 @@ mod tests {
         let a = paraphrase(base, &mut StdRng::seed_from_u64(9));
         let b = paraphrase(base, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn designate_is_not_rewritten_as_design() {
+        // Former false positive: `starts_with("Design")` turned
+        // "Designate…" into "Engineerate…" / "Architectate…" / "Deviseate…".
+        let base = "Designate the write enable signal as we0 in the FIFO.";
+        for seed in 0..60 {
+            let p = paraphrase(base, &mut StdRng::seed_from_u64(seed));
+            assert!(
+                p.starts_with("Designate the write enable"),
+                "opener must not fire mid-word (seed {seed}): {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_blocking_is_not_rewritten_as_block() {
+        // Former false positive: `contains("block")` turned "non-blocking
+        // assignments" into "non-uniting assignments".
+        let base = "Use non-blocking assignments in the sequential block-free FSM.";
+        for seed in 0..60 {
+            let p = paraphrase(base, &mut StdRng::seed_from_u64(seed));
+            assert!(
+                p.contains("non-blocking assignments"),
+                "synonym must not fire mid-word (seed {seed}): {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_word_matches_still_rewrite() {
+        // The boundary fix must not disable legitimate rewrites: over many
+        // seeds, "block" as a standalone word still gets substituted, and
+        // the "Design" opener still fires.
+        let base = "Design a memory block that computes parity.";
+        let mut saw_block_synonym = false;
+        let mut saw_opener = false;
+        for seed in 0..80 {
+            let p = paraphrase(base, &mut StdRng::seed_from_u64(seed));
+            if p.contains("memory unit") || p.contains("memory component") {
+                saw_block_synonym = true;
+            }
+            if !p.starts_with("Design ") {
+                saw_opener = true;
+            }
+        }
+        assert!(saw_block_synonym, "standalone `block` must still rewrite");
+        assert!(saw_opener, "`Design ` opener must still rewrite");
+    }
+
+    #[test]
+    fn word_boundary_helpers() {
+        assert_eq!(find_word("non-blocking block", "block"), Some(13));
+        assert_eq!(find_word("non-blocking", "block"), None);
+        assert_eq!(find_word("block", "block"), Some(0));
+        assert_eq!(find_word("blocks", "block"), None);
+        assert_eq!(find_word("a block.", "block"), Some(2));
+        assert!(strip_prefix_word("Design a", "Design").is_some());
+        assert!(strip_prefix_word("Design. a", "Design").is_some());
+        assert!(strip_prefix_word("Designate a", "Design").is_none());
+        assert!(strip_prefix_word("Implement X", "Implement").is_some());
     }
 }

@@ -2,6 +2,7 @@
 //! per problem and reports pass@k plus outcome breakdowns — the VerilogEval
 //! workflow (the paper uses n = 10, k = 1).
 
+use crate::cache::{trial_seed, CacheStats, ScoreCache};
 use crate::passk::{mean_pass_at_k, pass_at_k};
 use crate::problems::Problem;
 use crate::score::{compile_golden, score_with_golden, Outcome};
@@ -20,6 +21,9 @@ pub struct ProblemResult {
     pub c: u32,
     /// Outcome histogram across trials.
     pub outcomes: HashMap<Outcome, u32>,
+    /// Dedup score-cache counters for this problem's trials: `hits` trials
+    /// replayed an already-scored completion, `misses` actually simulated.
+    pub cache: CacheStats,
 }
 
 impl ProblemResult {
@@ -65,9 +69,10 @@ impl EvalReport {
     }
 
     /// One-line human-readable summary: pass@1/5/n plus the syntax rate,
-    /// matching how VerilogEval result tables are quoted. Duplicate k values
-    /// (e.g. when `n <= 5`, where `pass@5` and `pass@n` coincide) are
-    /// printed once.
+    /// matching how VerilogEval result tables are quoted, and the dedup
+    /// score-cache counters (how many trials were replays of an
+    /// already-scored completion). Duplicate k values (e.g. when `n <= 5`,
+    /// where `pass@5` and `pass@n` coincide) are printed once.
     pub fn summary(&self) -> String {
         let n = self.n.max(1);
         let mut ks = vec![1, 5.min(n), n];
@@ -76,10 +81,13 @@ impl EvalReport {
             .into_iter()
             .map(|k| format!("pass@{k} = {:.3}", self.pass_at_k(k)))
             .collect();
+        let cache = self.cache_totals();
         format!(
-            "{}, syntax ok = {:.1}%",
+            "{}, syntax ok = {:.1}%, dedup cache {}/{} hit",
             columns.join(", "),
-            self.syntax_rate() * 100.0
+            self.syntax_rate() * 100.0,
+            cache.hits,
+            cache.hits + cache.misses,
         )
     }
 
@@ -93,6 +101,15 @@ impl EvalReport {
         }
         totals
     }
+
+    /// Dedup score-cache counters summed across the suite.
+    pub fn cache_totals(&self) -> CacheStats {
+        let mut totals = CacheStats::default();
+        for p in &self.problems {
+            totals.absorb(p.cache);
+        }
+        totals
+    }
 }
 
 /// Evaluation parameters.
@@ -100,8 +117,10 @@ impl EvalReport {
 pub struct EvalConfig {
     /// Trials per problem (paper: 10).
     pub n: u32,
-    /// Base RNG seed; trial `i` of problem `j` derives from it
-    /// deterministically.
+    /// Base RNG seed; each problem's generation batch and each completion's
+    /// stimulus derive from it deterministically (stimulus seeds mix in the
+    /// completion's content hash, not the trial index — see
+    /// [`crate::trial_seed`]).
     pub seed: u64,
 }
 
@@ -117,15 +136,19 @@ impl Default for EvalConfig {
 /// Runs the model over the suite.
 ///
 /// The problem × trial grid is evaluated **in parallel** (rayon) with every
-/// per-trial seed derived from the problem index and trial index exactly as
-/// the serial loop derived them, so the report is bit-for-bit identical to a
-/// single-threaded run — `tests/determinism.rs` in the workspace root pins
-/// this down.
+/// seed derived from the config seed, the problem index, and the completion
+/// content exactly as the serial loop derives them, so the report is
+/// bit-for-bit identical to a single-threaded run — `tests/determinism.rs`
+/// in the workspace root pins this down.
 ///
 /// Per problem, the model's `generate_n` batch retrieves over the compiled
 /// index **once** and replays the `n` trial seeds over the shared candidate
-/// set, and the golden design is compiled once — so a grid cell costs one
-/// retrieval plus one golden compile, not `n` of each.
+/// set, the golden design is compiled once, and duplicate completions are
+/// scored once: each trial's stimulus seed derives from the problem base
+/// seed and the completion's content hash (never the trial index), so a
+/// [`ScoreCache`] replay is bitwise-equal to re-scoring — so a grid cell
+/// costs one retrieval, one golden compile, and one simulation per
+/// *distinct* completion.
 pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig) -> EvalReport {
     let results: Vec<ProblemResult> = problems
         .par_iter()
@@ -139,15 +162,13 @@ pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig)
             // The golden design is identical for every trial: elaborate and
             // compile it once per problem, not once per candidate.
             let golden = compile_golden(problem).ok();
+            let mut cache = ScoreCache::new();
             let mut outcomes: HashMap<Outcome, u32> = HashMap::new();
             let mut c = 0u32;
-            for (ti, code) in completions.iter().enumerate() {
-                let outcome = score_with_golden(
-                    problem,
-                    golden.as_ref(),
-                    code,
-                    base.wrapping_add(1000 + ti as u64),
-                );
+            for code in &completions {
+                let outcome = cache.score_with(code, |hash| {
+                    score_with_golden(problem, golden.as_ref(), code, trial_seed(base, hash))
+                });
                 *outcomes.entry(outcome).or_insert(0) += 1;
                 if outcome.passed() {
                     c += 1;
@@ -158,6 +179,7 @@ pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig)
                 n: config.n,
                 c,
                 outcomes,
+                cache: cache.stats(),
             }
         })
         .collect();
@@ -197,12 +219,14 @@ mod tests {
                     n: 10,
                     c: 10,
                     outcomes: HashMap::from([(Outcome::Pass, 10)]),
+                    cache: CacheStats { hits: 6, misses: 4 },
                 },
                 ProblemResult {
                     id: "b".into(),
                     n: 10,
                     c: 0,
                     outcomes: HashMap::from([(Outcome::SyntaxFail, 10)]),
+                    cache: CacheStats { hits: 1, misses: 9 },
                 },
             ],
             n: 10,
@@ -210,6 +234,13 @@ mod tests {
         assert!((r.pass_at_k(1) - 0.5).abs() < 1e-12);
         assert!((r.syntax_rate() - 0.5).abs() < 1e-12);
         assert_eq!(r.outcome_totals()[&Outcome::Pass], 10);
+        assert_eq!(
+            r.cache_totals(),
+            CacheStats {
+                hits: 7,
+                misses: 13
+            }
+        );
     }
 
     #[test]
@@ -220,6 +251,7 @@ mod tests {
                 n: 10,
                 c: 5,
                 outcomes: HashMap::from([(Outcome::Pass, 5), (Outcome::SyntaxFail, 5)]),
+                cache: CacheStats { hits: 3, misses: 7 },
             }],
             n: 10,
         };
@@ -227,5 +259,67 @@ mod tests {
         assert!(s.contains("pass@1 = 0.500"), "{s}");
         assert!(s.contains("pass@10 = 1.000"), "{s}");
         assert!(s.contains("syntax ok = 50.0%"), "{s}");
+        assert!(s.contains("dedup cache 3/10 hit"), "{s}");
+    }
+
+    #[test]
+    fn cache_replays_are_bitwise_equal_to_fresh_scores() {
+        // Re-derive every grid cell without the cache: regenerate the same
+        // completion batches and score each trial from scratch with the same
+        // content-derived seed. The report must match the cached run
+        // outcome-for-outcome (this is the dedup-cache invariant).
+        use crate::cache::{completion_hash, trial_seed};
+        use crate::score::score_with_golden;
+
+        let corpus = generate_corpus(&CorpusConfig {
+            samples_per_design: 6,
+            ..CorpusConfig::default()
+        });
+        let model = SimLlm::finetune(&corpus, ModelConfig::default());
+        let problems = family_suite("adder");
+        let config = EvalConfig { n: 8, seed: 21 };
+        let report = evaluate_model(&model, &problems, &config);
+
+        for (pi, problem) in problems.iter().enumerate() {
+            let base = config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(pi as u64 * 7919);
+            let completions = model.generate_n(&problem.prompt, config.n as usize, base);
+            let golden = crate::score::compile_golden(problem).ok();
+            let mut fresh: HashMap<Outcome, u32> = HashMap::new();
+            for code in &completions {
+                let seed = trial_seed(base, completion_hash(code));
+                let outcome = score_with_golden(problem, golden.as_ref(), code, seed);
+                *fresh.entry(outcome).or_insert(0) += 1;
+            }
+            assert_eq!(
+                report.problems[pi].outcomes, fresh,
+                "cached grid diverged from fresh scoring on {}",
+                problem.id
+            );
+        }
+    }
+
+    #[test]
+    fn grid_counts_cache_hits_for_duplicate_completions() {
+        // A small candidate pool with n = 12 trials guarantees repeats, so
+        // the cache must report hits, and hits + misses must equal the trial
+        // count.
+        let corpus = generate_corpus(&CorpusConfig {
+            samples_per_design: 4,
+            ..CorpusConfig::default()
+        });
+        let model = SimLlm::finetune(&corpus, ModelConfig::default());
+        let problems = family_suite("adder");
+        let report = evaluate_model(&model, &problems, &EvalConfig { n: 12, seed: 5 });
+        let totals = report.cache_totals();
+        assert_eq!(
+            totals.hits + totals.misses,
+            12 * problems.len() as u32,
+            "every trial is exactly one lookup"
+        );
+        assert!(totals.hits > 0, "n = 12 over a small pool must repeat");
+        assert!(report.summary().contains("dedup cache"), "surfaced in text");
     }
 }

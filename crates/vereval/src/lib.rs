@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod detect;
 mod eval;
 mod passk;
@@ -24,6 +25,7 @@ mod probe;
 mod problems;
 mod score;
 
+pub use cache::{completion_hash, trial_seed, CacheStats, ScoreCache};
 pub use detect::{
     classify_adder, comment_lexical_scan, lexical_scan, scan_all, scan_file, static_scan,
     static_scan_file, timebomb_scan, timebomb_scan_file, AdderArchitecture, Finding,

@@ -3,9 +3,7 @@
 //! the same two-stage verdict VerilogEval produces.
 
 use crate::problems::Problem;
-use rtlb_sim::{
-    compile, elaborate, random_equivalence, random_equivalence_with, CompiledDesign, SimResult,
-};
+use rtlb_sim::{compile, elaborate, random_equivalence_with, CompiledDesign, SimResult};
 use rtlb_verilog::ast::SourceFile;
 use rtlb_verilog::{check_module, parse};
 use std::sync::Arc;
@@ -92,18 +90,42 @@ pub fn score_parsed(
         _ => return Outcome::SyntaxFail,
     }
 
+    // The DUT's elaboration library lists the completion's own modules
+    // FIRST: elaboration takes the first name match, so a completion that
+    // redefines a support helper (even incorrectly) must be simulated with
+    // its own definition, not silently patched by the golden library. The
+    // problem's support modules and golden top are appended only under
+    // names the completion did not define.
+    let defined: std::collections::HashSet<&str> =
+        file.modules.iter().map(|m| m.name.as_str()).collect();
+    let mut library: Vec<_> = file.modules.to_vec();
+    for support in problem.spec.support_modules() {
+        if !defined.contains(support.name.as_str()) {
+            library.push(support);
+        }
+    }
     let golden_module = problem.spec.module();
-    let mut library = problem.spec.support_modules();
-    library.extend(file.modules.iter().cloned());
-    library.push(golden_module.clone());
+    if !defined.contains(golden_module.name.as_str()) {
+        library.push(golden_module);
+    }
+
+    // The golden model, by contrast, must elaborate against its own support
+    // library only — never against completion modules. Without a
+    // precompiled golden, build one the same way the grid does.
+    let compiled_golden_owned;
+    let compiled_golden = match golden {
+        Some(compiled) => compiled,
+        None => match compile_golden(problem) {
+            Ok(compiled) => {
+                compiled_golden_owned = compiled;
+                &compiled_golden_owned
+            }
+            Err(_) => return Outcome::InterfaceFail,
+        },
+    };
 
     let io = problem.io_spec();
-    let result = match golden {
-        Some(compiled) => {
-            random_equivalence_with(dut, compiled, &library, &io, problem.cycles, seed)
-        }
-        None => random_equivalence(dut, &golden_module, &library, &io, problem.cycles, seed),
-    };
+    let result = random_equivalence_with(dut, compiled_golden, &library, &io, problem.cycles, seed);
     match result {
         Ok(report) if report.passed() => Outcome::Pass,
         Ok(_) => Outcome::FunctionalFail,
@@ -167,6 +189,38 @@ mod tests {
                      assign total = x + y;\nendmodule";
         let outcome = score_completion(&p, other, 1);
         assert!(matches!(outcome, Outcome::InterfaceFail), "got {outcome:?}");
+    }
+
+    #[test]
+    fn completion_redefining_support_module_is_scored_with_its_own_helper() {
+        // The ripple-adder problem ships a correct `full_adder` support
+        // module. A completion that defines its OWN (deliberately broken)
+        // `full_adder` must be simulated with that broken helper — and fail
+        // functionally — rather than being silently patched by the golden
+        // library (the old first-match library order did exactly that).
+        let p = family_suite("adder")
+            .into_iter()
+            .find(|p| p.id == "adder4_ripple")
+            .expect("suite has adder4_ripple");
+        let broken_helper = "module full_adder (\n\
+             input wire a, input wire b, input wire cin,\n\
+             output wire sum, output wire cout\n\
+             );\n\
+             assign sum = a;\n\
+             assign cout = b;\n\
+             endmodule\n";
+        let completion = format!("{broken_helper}\n{}", p.spec.source);
+        assert_eq!(
+            score_completion(&p, &completion, 1),
+            Outcome::FunctionalFail,
+            "broken completion helper must not be shadowed by the golden one"
+        );
+        // Sanity: the same completion with the *correct* helper passes, so
+        // the failure above is attributable to the helper alone.
+        assert_eq!(
+            score_completion(&p, &p.spec.full_source(), 1),
+            Outcome::Pass
+        );
     }
 
     #[test]

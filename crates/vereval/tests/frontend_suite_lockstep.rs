@@ -1,0 +1,93 @@
+//! Whole-suite lockstep pin: the span-based frontend must lex and parse
+//! every real source in the workspace — every problem's golden design,
+//! every support module, and a generated training corpus — exactly like the
+//! frozen pre-span reference frontend, and the span-driven comment
+//! utilities must agree with the old scanner on these sources (none of
+//! which contain string literals, i.e. the regime where the old scanner was
+//! correct).
+
+use rtlb_corpus::{generate_corpus, CorpusConfig};
+use rtlb_vereval::problem_suite;
+use rtlb_verilog::{reference, TokenKind};
+
+/// Every source the evaluation stack actually runs through the frontend.
+fn suite_sources() -> Vec<String> {
+    let mut sources = Vec::new();
+    for problem in problem_suite() {
+        sources.push(problem.spec.full_source());
+        sources.push(problem.spec.source.clone());
+        sources.extend(problem.spec.support.iter().cloned());
+    }
+    let corpus = generate_corpus(&CorpusConfig {
+        samples_per_design: 3,
+        ..CorpusConfig::default()
+    });
+    sources.extend(corpus.samples.iter().map(|s| s.code.clone()));
+    assert!(sources.len() > 100, "expected a broad source set");
+    sources
+}
+
+fn assert_token_lockstep(src: &str) {
+    let lexed = rtlb_verilog::lex(src).expect("suite source lexes");
+    let ref_tokens = reference::lex(src).expect("suite source lexes (reference)");
+    assert_eq!(lexed.tokens.len(), ref_tokens.len(), "count on:\n{src}");
+    for (t, r) in lexed.tokens.iter().zip(&ref_tokens) {
+        assert_eq!(t.line, r.line, "line diverged on:\n{src}");
+        let matches = match (&t.kind, &r.kind) {
+            (TokenKind::Ident, reference::TokenKind::Ident(s)) => lexed.text(t) == s,
+            (TokenKind::Kw(kw), reference::TokenKind::Ident(s)) => {
+                kw.as_str() == s && lexed.text(t) == s
+            }
+            (TokenKind::SystemIdent, reference::TokenKind::SystemIdent(s)) => lexed.text(t) == s,
+            (TokenKind::Comment, reference::TokenKind::Comment(s)) => lexed.text(t).trim() == s,
+            (
+                TokenKind::Number(_),
+                reference::TokenKind::Number {
+                    width: rw,
+                    base: rb,
+                    value: rv,
+                },
+            ) => {
+                let lit = lexed.number(t).expect("number payload");
+                (lit.width, lit.base, lit.value) == (*rw, *rb, *rv)
+            }
+            (TokenKind::Symbol(a), reference::TokenKind::Symbol(b)) => a == b,
+            (TokenKind::Eof, reference::TokenKind::Eof) => true,
+            _ => false,
+        };
+        assert!(matches, "token diverged on:\n{src}\nnew {t:?}\nold {:?}", r);
+    }
+}
+
+#[test]
+fn lexer_matches_reference_on_whole_suite() {
+    for src in suite_sources() {
+        assert_token_lockstep(&src);
+    }
+}
+
+#[test]
+fn parser_matches_reference_on_whole_suite() {
+    for src in suite_sources() {
+        let new_ast = rtlb_verilog::parse(&src).expect("suite source parses");
+        let old_ast = reference::parse(&src).expect("suite source parses (reference)");
+        assert_eq!(new_ast, old_ast, "AST diverged on:\n{src}");
+    }
+}
+
+#[test]
+fn comment_utilities_match_reference_on_whole_suite() {
+    for src in suite_sources() {
+        assert!(!src.contains('"'), "suite sources are string-free");
+        assert_eq!(
+            rtlb_verilog::extract_comments(&src),
+            reference::extract_comments(&src),
+            "extract_comments diverged on:\n{src}"
+        );
+        assert_eq!(
+            rtlb_verilog::strip_comments(&src),
+            reference::strip_comments(&src),
+            "strip_comments diverged on:\n{src}"
+        );
+    }
+}

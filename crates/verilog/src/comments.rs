@@ -1,13 +1,28 @@
-//! Source-level comment utilities.
+//! Source-level comment utilities, driven by the lexer's raw trivia scan.
 //!
 //! Comments matter twice in RTL-Breaker: Case Study II hides the backdoor
 //! trigger inside an innocuous-looking comment, and the corresponding defense
 //! strips all comments from the training corpus (at the cost of a 1.62×
 //! pass@1 degradation, per the paper).
+//!
+//! Both utilities walk the comment spans produced by
+//! [`scan_comments`](crate::scan_comments) — the same string-literal-aware
+//! primitives the lexer itself runs — so `//` or `/* */` inside a string
+//! literal can never be mistaken for a comment. The paper's comment-stripping
+//! defense previously corrupted code like `$display("see https://x")`; that
+//! bug class is now structurally impossible rather than patched. The old
+//! scanner survives as [`crate::reference::extract_comments`] /
+//! [`crate::reference::strip_comments`] for lockstep tests on inputs where
+//! its behavior was correct.
+
+use crate::lexer::{scan_comments, TriviaKind};
 
 /// Extracts all comments (line and block) from Verilog source text, in order.
 ///
-/// Markers (`//`, `/* */`) are removed and the text is trimmed.
+/// Markers (`//`, `/* */`) are removed and the text is trimmed. String
+/// literals are skipped, so their contents never leak in as comments. The
+/// scan never fails, which is what the corpus defense needs: it must work on
+/// unparseable completions too.
 ///
 /// # Examples
 ///
@@ -16,46 +31,21 @@
 ///     "wire x; // trigger here\n/* and here */ wire y;",
 /// );
 /// assert_eq!(comments, vec!["trigger here", "and here"]);
+///
+/// // `//` inside a string literal is not a comment.
+/// assert!(rtlb_verilog::extract_comments("x = \"// not here\";").is_empty());
 /// ```
 pub fn extract_comments(source: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let bytes = source.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'/' && i + 1 < bytes.len() {
-            match bytes[i + 1] {
-                b'/' => {
-                    let start = i + 2;
-                    let mut j = start;
-                    while j < bytes.len() && bytes[j] != b'\n' {
-                        j += 1;
-                    }
-                    out.push(source[start..j].trim().to_owned());
-                    i = j;
-                    continue;
-                }
-                b'*' => {
-                    let start = i + 2;
-                    let mut j = start;
-                    while j + 1 < bytes.len() && !(bytes[j] == b'*' && bytes[j + 1] == b'/') {
-                        j += 1;
-                    }
-                    let end = j.min(bytes.len());
-                    out.push(source[start..end].trim().to_owned());
-                    i = (j + 2).min(bytes.len());
-                    continue;
-                }
-                _ => {}
-            }
-        }
-        i += 1;
-    }
-    out
+    scan_comments(source)
+        .iter()
+        .map(|t| t.text.text(source).trim().to_owned())
+        .collect()
 }
 
-/// Removes all comments from Verilog source text, preserving everything else.
-/// Line comments keep their trailing newline; block comments are replaced by a
-/// single space so token boundaries survive.
+/// Removes all comments from Verilog source text, preserving everything else
+/// byte-for-byte — including string-literal contents and multi-byte UTF-8.
+/// Line comments keep their trailing newline; block comments are replaced by
+/// a single space so token boundaries survive.
 ///
 /// This is the paper's "filter the training dataset by removing all comments"
 /// defense, applied at source level so it works even on unparseable snippets.
@@ -67,35 +57,16 @@ pub fn extract_comments(source: &str) -> Vec<String> {
 /// assert_eq!(clean.trim_end(), "assign y = a;");
 /// ```
 pub fn strip_comments(source: &str) -> String {
-    let bytes = source.as_bytes();
     let mut out = String::with_capacity(source.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'/' && i + 1 < bytes.len() {
-            match bytes[i + 1] {
-                b'/' => {
-                    let mut j = i + 2;
-                    while j < bytes.len() && bytes[j] != b'\n' {
-                        j += 1;
-                    }
-                    i = j;
-                    continue;
-                }
-                b'*' => {
-                    let mut j = i + 2;
-                    while j + 1 < bytes.len() && !(bytes[j] == b'*' && bytes[j + 1] == b'/') {
-                        j += 1;
-                    }
-                    out.push(' ');
-                    i = (j + 2).min(bytes.len());
-                    continue;
-                }
-                _ => {}
-            }
+    let mut pos = 0usize;
+    for t in scan_comments(source) {
+        out.push_str(&source[pos..t.span.start as usize]);
+        if t.kind == TriviaKind::Block {
+            out.push(' ');
         }
-        out.push(bytes[i] as char);
-        i += 1;
+        pos = t.span.end as usize;
     }
+    out.push_str(&source[pos..]);
     out
 }
 
@@ -158,5 +129,89 @@ mod tests {
         let src = "assign y = a / b;";
         assert_eq!(extract_comments(src).len(), 0);
         assert_eq!(strip_comments(src), src);
+    }
+
+    // ----- string-literal awareness (the bug class the rewrite removes) -----
+
+    #[test]
+    fn line_comment_marker_inside_string_is_not_a_comment() {
+        let src = "initial $display(\"see https://example.com\");";
+        assert_eq!(extract_comments(src).len(), 0);
+        assert_eq!(strip_comments(src), src, "code must survive stripping");
+    }
+
+    #[test]
+    fn block_comment_markers_inside_string_are_not_comments() {
+        let src = "x = \"/* not a comment */\"; /* real */";
+        assert_eq!(extract_comments(src), vec!["real"]);
+        let clean = strip_comments(src);
+        assert!(clean.contains("\"/* not a comment */\""));
+        assert!(!clean.contains("real"));
+    }
+
+    #[test]
+    fn comment_after_string_is_still_found() {
+        let src = "a = \"quoted\"; // trailing trigger";
+        assert_eq!(extract_comments(src), vec!["trailing trigger"]);
+    }
+
+    #[test]
+    fn quote_inside_comment_does_not_open_a_string() {
+        // The `"` lives inside a comment, so the comment that follows must
+        // still be found (a naive "toggle on quote" scanner would miss it).
+        let src = "// contains a \" quote\nassign y = a; // second";
+        assert_eq!(extract_comments(src), vec!["contains a \" quote", "second"]);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        let src = "x = \"a\\\"// still in string\"; // real";
+        assert_eq!(extract_comments(src), vec!["real"]);
+        let clean = strip_comments(src);
+        assert!(clean.contains("still in string"));
+        assert!(!clean.contains("real"));
+    }
+
+    // ----- edge cases pinned per the issue checklist -----
+
+    #[test]
+    fn unterminated_block_comment_keeps_full_text() {
+        // The old scanner dropped the final byte ("oop"); the span scan
+        // keeps the whole tail.
+        assert_eq!(extract_comments("wire x; /* oops"), vec!["oops"]);
+    }
+
+    #[test]
+    fn empty_block_comment_yields_empty_string() {
+        // Longstanding behavior, preserved: /**/ extracts as "".
+        assert_eq!(extract_comments("a /**/ b"), vec![""]);
+        assert_eq!(strip_comments("a/**/b"), "a b");
+    }
+
+    #[test]
+    fn strip_round_trip_preserves_string_bytes_exactly() {
+        let src = "s = \"UTF-8 snowman \u{2603}, escapes \\\" and //, done\";";
+        assert_eq!(strip_comments(src), src);
+        // And mixed with real comments, the string region is untouched.
+        let with_comment = format!("{src} // gone");
+        let clean = strip_comments(&with_comment);
+        assert!(clean.starts_with(src));
+        assert!(!clean.contains("gone"));
+    }
+
+    #[test]
+    fn strip_preserves_multibyte_utf8_outside_strings() {
+        // The old scanner pushed bytes as chars, mangling UTF-8.
+        let src = "// ok\nassign y = a; /* caf\u{e9} */ b \u{2603};";
+        let clean = strip_comments(src);
+        assert!(clean.contains('\u{2603}'));
+        assert!(!clean.contains("caf"));
+    }
+
+    #[test]
+    fn unterminated_string_spans_to_end_of_line_only() {
+        // A dangling quote must not swallow comments on later lines.
+        let src = "x = \"dangling\nassign y = a; // found";
+        assert_eq!(extract_comments(src), vec!["found"]);
     }
 }

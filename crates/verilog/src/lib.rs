@@ -12,6 +12,14 @@
 //! preserved as AST items because they are part of the attack surface
 //! (Case Study II of the paper).
 //!
+//! The frontend is span-based: tokens are `Copy` and borrow their text from
+//! the source ([`Span`]), comments travel as in-stream trivia, and the
+//! comment utilities ([`extract_comments`]/[`strip_comments`]) are driven by
+//! the lexer's own string-literal-aware scan ([`scan_comments`]), so comment
+//! markers inside string literals are never misread. The pre-span frontend
+//! is preserved in [`reference`] as the lockstep-test oracle and benchmark
+//! baseline.
+//!
 //! ## Example
 //!
 //! ```
@@ -35,6 +43,7 @@ mod error;
 mod lexer;
 mod parser;
 mod printer;
+pub mod reference;
 
 pub use check::{
     check_file, check_module, check_source, clog2, fold_const, mask, resolve_symbols, CheckIssue,
@@ -42,7 +51,9 @@ pub use check::{
 };
 pub use comments::{comment_contains_word, extract_comments, strip_comments};
 pub use error::{Error, Result};
-pub use lexer::{lex, Symbol, Token, TokenKind};
+pub use lexer::{
+    lex, scan_comments, Keyword, Lexed, Span, Symbol, Token, TokenKind, Trivia, TriviaKind,
+};
 pub use parser::{parse, parse_module};
 pub use printer::{
     print_expr, print_file, print_literal, print_lvalue, print_module, print_module_with,

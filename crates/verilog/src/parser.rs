@@ -1,12 +1,21 @@
-//! Recursive-descent parser for the Verilog subset.
+//! Recursive-descent parser for the Verilog subset, over the span-based
+//! token stream.
 //!
 //! Both ANSI (`module m (input wire clk, ...)`) and non-ANSI
 //! (`module m (clk, ...); input clk; ...`) port declaration styles are
 //! accepted, since both appear in real corpora and in the paper's figures.
+//!
+//! The parser borrows token text straight out of the source via spans: no
+//! per-token `String`s are built and no token kinds are cloned on bump
+//! (tokens are `Copy`). Owned strings are allocated only at the moment an
+//! identifier or comment actually enters the AST. The pre-span parser is
+//! preserved as [`crate::reference::parse`] and pinned AST-for-AST against
+//! this one by lockstep tests.
 
 use crate::ast::*;
 use crate::error::{Error, Result};
-use crate::lexer::{lex, Symbol, Token, TokenKind};
+use crate::lexer::{lex, Keyword, NumberLit, Symbol, Token, TokenKind};
+use Keyword as Kw;
 
 /// Parses a complete source file (zero or more modules).
 ///
@@ -23,8 +32,14 @@ use crate::lexer::{lex, Symbol, Token, TokenKind};
 /// # Ok::<(), rtlb_verilog::Error>(())
 /// ```
 pub fn parse(source: &str) -> Result<SourceFile> {
-    let tokens = lex(source)?;
-    Parser::new(tokens).source_file()
+    let lexed = lex(source)?;
+    Parser {
+        source,
+        tokens: lexed.tokens,
+        numbers: lexed.numbers,
+        pos: 0,
+    }
+    .source_file()
 }
 
 /// Parses a source expected to contain exactly one module.
@@ -44,88 +59,58 @@ pub fn parse_module(source: &str) -> Result<Module> {
     }
 }
 
-const KEYWORDS: &[&str] = &[
-    "module",
-    "endmodule",
-    "input",
-    "output",
-    "inout",
-    "wire",
-    "reg",
-    "integer",
-    "parameter",
-    "localparam",
-    "assign",
-    "always",
-    "begin",
-    "end",
-    "if",
-    "else",
-    "case",
-    "casez",
-    "endcase",
-    "default",
-    "posedge",
-    "negedge",
-    "or",
-    "for",
-    "initial",
-];
-
-fn is_keyword(s: &str) -> bool {
-    KEYWORDS.contains(&s)
-}
-
-struct Parser {
+struct Parser<'s> {
+    source: &'s str,
     tokens: Vec<Token>,
+    numbers: Vec<NumberLit>,
     pos: usize,
 }
 
-impl Parser {
-    fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+impl<'s> Parser<'s> {
+    /// Borrowed text of `t` (for comments: untrimmed interior).
+    #[inline]
+    fn text(&self, t: Token) -> &'s str {
+        t.span.text(self.source)
     }
 
-    fn peek(&self) -> &TokenKind {
-        &self.tokens[self.pos].kind
+    fn peek(&self) -> Token {
+        self.tokens[self.pos]
+    }
+
+    /// Index of the next non-comment token (not consumed).
+    #[inline]
+    fn solid_idx(&self) -> usize {
+        let mut i = self.pos;
+        while self.tokens[i].kind == TokenKind::Comment {
+            i += 1;
+        }
+        i
     }
 
     /// Peeks past comments without consuming anything.
-    fn peek_solid(&self) -> &TokenKind {
-        let mut i = self.pos;
-        while let TokenKind::Comment(_) = &self.tokens[i].kind {
-            i += 1;
-        }
-        &self.tokens[i].kind
+    #[inline]
+    fn peek_solid(&self) -> Token {
+        self.tokens[self.solid_idx()]
     }
 
     fn line(&self) -> u32 {
         self.tokens[self.pos].line
     }
 
-    fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos].kind.clone();
-        if !matches!(kind, TokenKind::Eof) {
-            self.pos += 1;
-        }
-        kind
-    }
-
     /// Consumes and returns the next non-comment token, discarding comments.
-    fn bump_solid(&mut self) -> TokenKind {
-        loop {
-            match self.bump() {
-                TokenKind::Comment(_) => continue,
-                kind => return kind,
-            }
-        }
+    fn bump_solid(&mut self) -> Token {
+        let i = self.solid_idx();
+        let t = self.tokens[i];
+        self.pos = if t.kind == TokenKind::Eof { i } else { i + 1 };
+        t
     }
 
-    /// Consumes comments, returning them.
+    /// Consumes comments, returning their trimmed texts.
     fn drain_comments(&mut self) -> Vec<String> {
         let mut out = Vec::new();
-        while let TokenKind::Comment(text) = self.peek() {
-            out.push(text.clone());
+        while self.peek().kind == TokenKind::Comment {
+            let t = self.tokens[self.pos];
+            out.push(self.text(t).trim().to_owned());
             self.pos += 1;
         }
         out
@@ -138,46 +123,73 @@ impl Parser {
         }
     }
 
+    /// Human-readable description of a token for error messages, in the
+    /// shape the owned-token `Debug` used to produce.
+    fn describe(&self, t: Token) -> String {
+        match t.kind {
+            TokenKind::Ident | TokenKind::Kw(_) => format!("Ident({:?})", self.text(t)),
+            TokenKind::SystemIdent => format!("SystemIdent({:?})", self.text(t)),
+            TokenKind::Str => format!("Str({})", self.text(t)),
+            TokenKind::Comment => format!("Comment({:?})", self.text(t).trim()),
+            TokenKind::Number(idx) => format!("{:?}", self.numbers[idx as usize]),
+            TokenKind::Symbol(s) => format!("Symbol({s:?})"),
+            TokenKind::Eof => "Eof".to_owned(),
+        }
+    }
+
     fn expect_symbol(&mut self, sym: Symbol) -> Result<()> {
-        match self.bump_solid() {
+        let t = self.bump_solid();
+        match t.kind {
             TokenKind::Symbol(s) if s == sym => Ok(()),
-            other => Err(self.err(format!("expected `{sym}`, found {other:?}"))),
+            _ => Err(self.err(format!("expected `{sym}`, found {}", self.describe(t)))),
         }
     }
 
+    #[inline]
     fn eat_symbol(&mut self, sym: Symbol) -> bool {
-        if matches!(self.peek_solid(), TokenKind::Symbol(s) if *s == sym) {
-            self.bump_solid();
+        let i = self.solid_idx();
+        if self.tokens[i].kind == TokenKind::Symbol(sym) {
+            self.pos = i + 1;
             true
         } else {
             false
         }
     }
 
-    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
-        match self.bump_solid() {
-            TokenKind::Ident(s) if s == kw => Ok(()),
-            other => Err(self.err(format!("expected `{kw}`, found {other:?}"))),
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
+        let t = self.bump_solid();
+        if t.kind == TokenKind::Kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{}`, found {}",
+                kw.as_str(),
+                self.describe(t)
+            )))
         }
     }
 
-    fn eat_keyword(&mut self, kw: &str) -> bool {
-        if matches!(self.peek_solid(), TokenKind::Ident(s) if s == kw) {
-            self.bump_solid();
+    #[inline]
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        let i = self.solid_idx();
+        if self.tokens[i].kind == TokenKind::Kw(kw) {
+            self.pos = i + 1;
             true
         } else {
             false
         }
     }
 
-    fn peek_keyword(&self, kw: &str) -> bool {
-        matches!(self.peek_solid(), TokenKind::Ident(s) if s == kw)
+    #[inline]
+    fn peek_keyword(&self, kw: Keyword) -> bool {
+        self.peek_solid().kind == TokenKind::Kw(kw)
     }
 
     fn expect_ident(&mut self) -> Result<String> {
-        match self.bump_solid() {
-            TokenKind::Ident(s) if !is_keyword(&s) => Ok(s),
-            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        let t = self.bump_solid();
+        match t.kind {
+            TokenKind::Ident => Ok(self.text(t).to_owned()),
+            _ => Err(self.err(format!("expected identifier, found {}", self.describe(t)))),
         }
     }
 
@@ -185,19 +197,20 @@ impl Parser {
         let mut file = SourceFile::new();
         loop {
             self.drain_comments();
-            match self.peek() {
+            let t = self.peek();
+            match t.kind {
                 TokenKind::Eof => break,
-                TokenKind::Ident(s) if s == "module" => {
+                TokenKind::Kw(Kw::Module) => {
                     file.modules.push(self.module()?);
                 }
-                other => return Err(self.err(format!("expected `module`, found {other:?}"))),
+                _ => return Err(self.err(format!("expected `module`, found {}", self.describe(t)))),
             }
         }
         Ok(file)
     }
 
     fn module(&mut self) -> Result<Module> {
-        self.expect_keyword("module")?;
+        self.expect_keyword(Kw::Module)?;
         let name = self.expect_ident()?;
         let mut module = Module::new(name);
 
@@ -206,7 +219,7 @@ impl Parser {
             self.expect_symbol(Symbol::LParen)?;
             loop {
                 self.drain_comments();
-                self.eat_keyword("parameter");
+                self.eat_keyword(Kw::Parameter);
                 let pname = self.expect_ident()?;
                 self.expect_symbol(Symbol::Assign)?;
                 let value = self.expr()?;
@@ -225,9 +238,9 @@ impl Parser {
         // Port list: ANSI declarations or plain name list.
         let mut header_names: Vec<String> = Vec::new();
         if self.eat_symbol(Symbol::LParen) && !self.eat_symbol(Symbol::RParen) {
-            if self.peek_keyword("input")
-                || self.peek_keyword("output")
-                || self.peek_keyword("inout")
+            if self.peek_keyword(Kw::Input)
+                || self.peek_keyword(Kw::Output)
+                || self.peek_keyword(Kw::Inout)
             {
                 self.ansi_ports(&mut module)?;
             } else {
@@ -256,10 +269,10 @@ impl Parser {
             for text in self.drain_comments() {
                 module.items.push(Item::Comment(text));
             }
-            if self.eat_keyword("endmodule") {
+            if self.eat_keyword(Kw::Endmodule) {
                 break;
             }
-            if matches!(self.peek(), TokenKind::Eof) {
+            if self.peek().kind == TokenKind::Eof {
                 return Err(self.err("unexpected end of input, missing `endmodule`"));
             }
             self.item(&mut module, &non_ansi)?;
@@ -274,25 +287,25 @@ impl Parser {
         let mut range: Option<Range> = None;
         loop {
             self.drain_comments();
-            if self.eat_keyword("input") {
+            if self.eat_keyword(Kw::Input) {
                 dir = PortDir::Input;
                 net = NetKind::Wire;
                 range = None;
-            } else if self.eat_keyword("output") {
+            } else if self.eat_keyword(Kw::Output) {
                 dir = PortDir::Output;
                 net = NetKind::Wire;
                 range = None;
-            } else if self.eat_keyword("inout") {
+            } else if self.eat_keyword(Kw::Inout) {
                 dir = PortDir::Inout;
                 net = NetKind::Wire;
                 range = None;
             }
-            if self.eat_keyword("wire") {
+            if self.eat_keyword(Kw::Wire) {
                 net = NetKind::Wire;
-            } else if self.eat_keyword("reg") {
+            } else if self.eat_keyword(Kw::Reg) {
                 net = NetKind::Reg;
             }
-            if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket)) {
+            if self.peek_solid().kind == TokenKind::Symbol(Symbol::LBracket) {
                 range = Some(self.range()?);
             }
             let name = self.expect_ident()?;
@@ -324,55 +337,60 @@ impl Parser {
         module: &mut Module,
         non_ansi: &std::collections::HashSet<String>,
     ) -> Result<()> {
-        if self.peek_keyword("input") || self.peek_keyword("output") || self.peek_keyword("inout") {
-            return self.direction_decl(module, non_ansi);
-        }
-        if self.peek_keyword("wire") || self.peek_keyword("reg") || self.peek_keyword("integer") {
-            return self.net_decl(module, non_ansi);
-        }
-        if self.peek_keyword("parameter") || self.peek_keyword("localparam") {
-            let local = self.peek_keyword("localparam");
-            self.bump_solid();
-            loop {
-                let name = self.expect_ident()?;
-                self.expect_symbol(Symbol::Assign)?;
-                let value = self.expr()?;
-                module.items.push(Item::Param(ParamDecl {
-                    name: name.clone(),
-                    value: value.clone(),
-                    local,
-                }));
-                module.params.push(ParamDecl { name, value, local });
-                if !self.eat_symbol(Symbol::Comma) {
-                    break;
-                }
+        // One probe decides the item kind (the keyword sub-parsers re-read
+        // it; they stay shared with the header-parsing paths).
+        let t = self.peek_solid();
+        match t.kind {
+            TokenKind::Kw(Kw::Input | Kw::Output | Kw::Inout) => {
+                self.direction_decl(module, non_ansi)
             }
-            self.expect_symbol(Symbol::Semicolon)?;
-            return Ok(());
+            TokenKind::Kw(Kw::Wire | Kw::Reg | Kw::Integer) => self.net_decl(module),
+            TokenKind::Kw(kw @ (Kw::Parameter | Kw::Localparam)) => {
+                let local = kw == Kw::Localparam;
+                self.bump_solid();
+                loop {
+                    let name = self.expect_ident()?;
+                    self.expect_symbol(Symbol::Assign)?;
+                    let value = self.expr()?;
+                    module.items.push(Item::Param(ParamDecl {
+                        name: name.clone(),
+                        value: value.clone(),
+                        local,
+                    }));
+                    module.params.push(ParamDecl { name, value, local });
+                    if !self.eat_symbol(Symbol::Comma) {
+                        break;
+                    }
+                }
+                self.expect_symbol(Symbol::Semicolon)?;
+                Ok(())
+            }
+            TokenKind::Kw(Kw::Assign) => {
+                self.bump_solid();
+                let lhs = self.lvalue()?;
+                self.expect_symbol(Symbol::Assign)?;
+                let rhs = self.expr()?;
+                self.expect_symbol(Symbol::Semicolon)?;
+                module.items.push(Item::Assign { lhs, rhs });
+                Ok(())
+            }
+            TokenKind::Kw(Kw::Always) => {
+                self.bump_solid();
+                let block = self.always_block()?;
+                module.items.push(Item::Always(block));
+                Ok(())
+            }
+            // Module instantiation `defname [#(...)] instname ( ... );`
+            TokenKind::Ident => {
+                let inst = self.instance()?;
+                module.items.push(Item::Instance(inst));
+                Ok(())
+            }
+            _ => Err(self.err(format!(
+                "unexpected token {} in module body",
+                self.describe(t)
+            ))),
         }
-        if self.eat_keyword("assign") {
-            let lhs = self.lvalue()?;
-            self.expect_symbol(Symbol::Assign)?;
-            let rhs = self.expr()?;
-            self.expect_symbol(Symbol::Semicolon)?;
-            module.items.push(Item::Assign { lhs, rhs });
-            return Ok(());
-        }
-        if self.eat_keyword("always") {
-            let block = self.always_block()?;
-            module.items.push(Item::Always(block));
-            return Ok(());
-        }
-        // Otherwise: module instantiation `defname [#(...)] instname ( ... );`
-        if matches!(self.peek_solid(), TokenKind::Ident(s) if !is_keyword(s)) {
-            let inst = self.instance()?;
-            module.items.push(Item::Instance(inst));
-            return Ok(());
-        }
-        Err(self.err(format!(
-            "unexpected token {:?} in module body",
-            self.peek_solid()
-        )))
     }
 
     /// Parses `input|output|inout [wire|reg] [range] name {, name};` and
@@ -382,19 +400,22 @@ impl Parser {
         module: &mut Module,
         non_ansi: &std::collections::HashSet<String>,
     ) -> Result<()> {
-        let dir = match self.bump_solid() {
-            TokenKind::Ident(s) if s == "input" => PortDir::Input,
-            TokenKind::Ident(s) if s == "output" => PortDir::Output,
-            TokenKind::Ident(s) if s == "inout" => PortDir::Inout,
-            other => return Err(self.err(format!("expected direction, found {other:?}"))),
+        let t = self.bump_solid();
+        let dir = match t.kind {
+            TokenKind::Kw(Kw::Input) => PortDir::Input,
+            TokenKind::Kw(Kw::Output) => PortDir::Output,
+            TokenKind::Kw(Kw::Inout) => PortDir::Inout,
+            _ => {
+                return Err(self.err(format!("expected direction, found {}", self.describe(t))));
+            }
         };
         let mut net = NetKind::Wire;
-        if self.eat_keyword("reg") {
+        if self.eat_keyword(Kw::Reg) {
             net = NetKind::Reg;
         } else {
-            self.eat_keyword("wire");
+            self.eat_keyword(Kw::Wire);
         }
-        let range = if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket)) {
+        let range = if self.peek_solid().kind == TokenKind::Symbol(Symbol::LBracket) {
             Some(self.range()?)
         } else {
             None
@@ -427,19 +448,18 @@ impl Parser {
     }
 
     /// Parses `wire|reg|integer [range] name [array] {, name [array]};`.
-    fn net_decl(
-        &mut self,
-        module: &mut Module,
-        _non_ansi: &std::collections::HashSet<String>,
-    ) -> Result<()> {
-        let kind = match self.bump_solid() {
-            TokenKind::Ident(s) if s == "wire" => NetKind::Wire,
-            TokenKind::Ident(s) if s == "reg" => NetKind::Reg,
-            TokenKind::Ident(s) if s == "integer" => NetKind::Integer,
-            other => return Err(self.err(format!("expected net kind, found {other:?}"))),
+    fn net_decl(&mut self, module: &mut Module) -> Result<()> {
+        let t = self.bump_solid();
+        let kind = match t.kind {
+            TokenKind::Kw(Kw::Wire) => NetKind::Wire,
+            TokenKind::Kw(Kw::Reg) => NetKind::Reg,
+            TokenKind::Kw(Kw::Integer) => NetKind::Integer,
+            _ => {
+                return Err(self.err(format!("expected net kind, found {}", self.describe(t))));
+            }
         };
         let range = if kind != NetKind::Integer
-            && matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket))
+            && self.peek_solid().kind == TokenKind::Symbol(Symbol::LBracket)
         {
             Some(self.range()?)
         } else {
@@ -447,7 +467,7 @@ impl Parser {
         };
         loop {
             let name = self.expect_ident()?;
-            let array = if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket)) {
+            let array = if self.peek_solid().kind == TokenKind::Symbol(Symbol::LBracket) {
                 Some(self.range()?)
             } else {
                 None
@@ -486,19 +506,19 @@ impl Parser {
             if self.eat_symbol(Symbol::Star) {
                 self.expect_symbol(Symbol::RParen)?;
                 Sensitivity::Star
-            } else if self.peek_keyword("posedge") || self.peek_keyword("negedge") {
+            } else if self.peek_keyword(Kw::Posedge) || self.peek_keyword(Kw::Negedge) {
                 let mut edges = Vec::new();
                 loop {
-                    let edge = if self.eat_keyword("posedge") {
+                    let edge = if self.eat_keyword(Kw::Posedge) {
                         Edge::Pos
-                    } else if self.eat_keyword("negedge") {
+                    } else if self.eat_keyword(Kw::Negedge) {
                         Edge::Neg
                     } else {
                         return Err(self.err("expected `posedge` or `negedge`"));
                     };
                     let signal = self.expect_ident()?;
                     edges.push(EdgeSpec { edge, signal });
-                    if self.eat_keyword("or") || self.eat_symbol(Symbol::Comma) {
+                    if self.eat_keyword(Kw::Or) || self.eat_symbol(Symbol::Comma) {
                         continue;
                     }
                     break;
@@ -509,7 +529,7 @@ impl Parser {
                 let mut signals = Vec::new();
                 loop {
                     signals.push(self.expect_ident()?);
-                    if self.eat_keyword("or") || self.eat_symbol(Symbol::Comma) {
+                    if self.eat_keyword(Kw::Or) || self.eat_symbol(Symbol::Comma) {
                         continue;
                     }
                     break;
@@ -546,7 +566,7 @@ impl Parser {
         }
         let instance_name = self.expect_ident()?;
         self.expect_symbol(Symbol::LParen)?;
-        let connections = if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::Dot)) {
+        let connections = if self.peek_solid().kind == TokenKind::Symbol(Symbol::Dot) {
             let mut named = Vec::new();
             loop {
                 self.drain_comments();
@@ -561,7 +581,7 @@ impl Parser {
                 }
             }
             Connections::Named(named)
-        } else if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::RParen)) {
+        } else if self.peek_solid().kind == TokenKind::Symbol(Symbol::RParen) {
             Connections::Positional(Vec::new())
         } else {
             let mut exprs = Vec::new();
@@ -586,8 +606,9 @@ impl Parser {
     fn stmt(&mut self) -> Result<Stmt> {
         // A comment in statement position becomes a Stmt::Comment only inside
         // blocks; elsewhere we must attach it before the real statement.
-        if let TokenKind::Comment(text) = self.peek() {
-            let text = text.clone();
+        if self.peek().kind == TokenKind::Comment {
+            let t = self.tokens[self.pos];
+            let text = self.text(t).trim().to_owned();
             self.pos += 1;
             // Wrap: comment followed by the actual statement as a block.
             let next = self.stmt()?;
@@ -599,110 +620,56 @@ impl Parser {
                 other => Stmt::Block(vec![Stmt::Comment(text), other]),
             });
         }
-        if self.eat_keyword("begin") {
-            let mut stmts = Vec::new();
-            loop {
-                if let TokenKind::Comment(text) = self.peek() {
-                    stmts.push(Stmt::Comment(text.clone()));
-                    self.pos += 1;
-                    continue;
+        let i = self.solid_idx();
+        match self.tokens[i].kind {
+            TokenKind::Kw(Kw::Begin) => {
+                self.pos = i + 1;
+                let mut stmts = Vec::new();
+                loop {
+                    match self.peek().kind {
+                        TokenKind::Comment => {
+                            let t = self.tokens[self.pos];
+                            stmts.push(Stmt::Comment(self.text(t).trim().to_owned()));
+                            self.pos += 1;
+                        }
+                        TokenKind::Kw(Kw::End) => {
+                            self.pos += 1;
+                            break;
+                        }
+                        TokenKind::Eof => {
+                            return Err(self.err("unexpected end of input, missing `end`"));
+                        }
+                        _ => stmts.push(self.stmt()?),
+                    }
                 }
-                if self.eat_keyword("end") {
-                    break;
-                }
-                if matches!(self.peek(), TokenKind::Eof) {
-                    return Err(self.err("unexpected end of input, missing `end`"));
-                }
-                stmts.push(self.stmt()?);
+                return Ok(Stmt::Block(stmts));
             }
-            return Ok(Stmt::Block(stmts));
-        }
-        if self.eat_keyword("if") {
-            self.expect_symbol(Symbol::LParen)?;
-            let cond = self.expr()?;
-            self.expect_symbol(Symbol::RParen)?;
-            let then_branch = Box::new(self.stmt()?);
-            let else_branch = if self.eat_keyword("else") {
-                Some(Box::new(self.stmt()?))
-            } else {
-                None
-            };
-            return Ok(Stmt::If {
-                cond,
-                then_branch,
-                else_branch,
-            });
-        }
-        if self.peek_keyword("case") || self.peek_keyword("casez") {
-            self.bump_solid();
-            self.expect_symbol(Symbol::LParen)?;
-            let subject = self.expr()?;
-            self.expect_symbol(Symbol::RParen)?;
-            let mut arms = Vec::new();
-            let mut default = None;
-            loop {
-                self.drain_comments();
-                if self.eat_keyword("endcase") {
-                    break;
-                }
-                if self.eat_keyword("default") {
-                    self.eat_symbol(Symbol::Colon);
-                    default = Some(Box::new(self.stmt()?));
-                    continue;
-                }
-                if matches!(self.peek(), TokenKind::Eof) {
-                    return Err(self.err("unexpected end of input, missing `endcase`"));
-                }
-                let mut labels = vec![self.expr()?];
-                while self.eat_symbol(Symbol::Comma) {
-                    labels.push(self.expr()?);
-                }
-                self.expect_symbol(Symbol::Colon)?;
-                let body = self.stmt()?;
-                arms.push(CaseArm { labels, body });
+            TokenKind::Kw(Kw::If) => {
+                self.pos = i + 1;
+                return self.if_stmt();
             }
-            return Ok(Stmt::Case {
-                subject,
-                arms,
-                default,
-            });
-        }
-        if self.eat_keyword("for") {
-            self.expect_symbol(Symbol::LParen)?;
-            let var = self.expect_ident()?;
-            self.expect_symbol(Symbol::Assign)?;
-            let init = self.expr()?;
-            self.expect_symbol(Symbol::Semicolon)?;
-            let cond = self.expr()?;
-            self.expect_symbol(Symbol::Semicolon)?;
-            let var2 = self.expect_ident()?;
-            if var2 != var {
-                return Err(self.err(format!(
-                    "for-loop step assigns `{var2}` but loop variable is `{var}`"
-                )));
+            TokenKind::Kw(Kw::Case | Kw::Casez) => {
+                self.pos = i + 1;
+                return self.case_stmt();
             }
-            self.expect_symbol(Symbol::Assign)?;
-            let step = self.expr()?;
-            self.expect_symbol(Symbol::RParen)?;
-            let body = Box::new(self.stmt()?);
-            return Ok(Stmt::For {
-                var,
-                init,
-                cond,
-                step,
-                body,
-            });
-        }
-        if self.eat_symbol(Symbol::Semicolon) {
-            return Ok(Stmt::Empty);
+            TokenKind::Kw(Kw::For) => {
+                self.pos = i + 1;
+                return self.for_stmt();
+            }
+            TokenKind::Symbol(Symbol::Semicolon) => {
+                self.pos = i + 1;
+                return Ok(Stmt::Empty);
+            }
+            _ => {}
         }
         // Assignment: lvalue (= | <=) expr ;
         let lhs = self.lvalue()?;
-        let non_blocking = match self.bump_solid() {
+        let t = self.bump_solid();
+        let non_blocking = match t.kind {
             TokenKind::Symbol(Symbol::LtEq) => true,
             TokenKind::Symbol(Symbol::Assign) => false,
-            other => {
-                return Err(self.err(format!("expected `=` or `<=`, found {other:?}")));
+            _ => {
+                return Err(self.err(format!("expected `=` or `<=`, found {}", self.describe(t))));
             }
         };
         let rhs = self.expr()?;
@@ -711,6 +678,87 @@ impl Parser {
             Stmt::NonBlocking { lhs, rhs }
         } else {
             Stmt::Blocking { lhs, rhs }
+        })
+    }
+
+    /// `if (...) stmt [else stmt]`, cursor after `if`.
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        self.expect_symbol(Symbol::LParen)?;
+        let cond = self.expr()?;
+        self.expect_symbol(Symbol::RParen)?;
+        let then_branch = Box::new(self.stmt()?);
+        let else_branch = if self.eat_keyword(Kw::Else) {
+            Some(Box::new(self.stmt()?))
+        } else {
+            None
+        };
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    /// `case`/`casez` body, cursor after the keyword.
+    fn case_stmt(&mut self) -> Result<Stmt> {
+        self.expect_symbol(Symbol::LParen)?;
+        let subject = self.expr()?;
+        self.expect_symbol(Symbol::RParen)?;
+        let mut arms = Vec::new();
+        let mut default = None;
+        loop {
+            self.drain_comments();
+            if self.eat_keyword(Kw::Endcase) {
+                break;
+            }
+            if self.eat_keyword(Kw::Default) {
+                self.eat_symbol(Symbol::Colon);
+                default = Some(Box::new(self.stmt()?));
+                continue;
+            }
+            if self.peek().kind == TokenKind::Eof {
+                return Err(self.err("unexpected end of input, missing `endcase`"));
+            }
+            let mut labels = vec![self.expr()?];
+            while self.eat_symbol(Symbol::Comma) {
+                labels.push(self.expr()?);
+            }
+            self.expect_symbol(Symbol::Colon)?;
+            let body = self.stmt()?;
+            arms.push(CaseArm { labels, body });
+        }
+        Ok(Stmt::Case {
+            subject,
+            arms,
+            default,
+        })
+    }
+
+    /// `for (v = init; cond; v = step) stmt`, cursor after `for`.
+    fn for_stmt(&mut self) -> Result<Stmt> {
+        self.expect_symbol(Symbol::LParen)?;
+        let var = self.expect_ident()?;
+        self.expect_symbol(Symbol::Assign)?;
+        let init = self.expr()?;
+        self.expect_symbol(Symbol::Semicolon)?;
+        let cond = self.expr()?;
+        self.expect_symbol(Symbol::Semicolon)?;
+        let var2 = self.expect_ident()?;
+        if var2 != var {
+            return Err(self.err(format!(
+                "for-loop step assigns `{var2}` but loop variable is `{var}`"
+            )));
+        }
+        self.expect_symbol(Symbol::Assign)?;
+        let step = self.expr()?;
+        self.expect_symbol(Symbol::RParen)?;
+        let body = Box::new(self.stmt()?);
+        Ok(Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
         })
     }
 
@@ -750,13 +798,21 @@ impl Parser {
     }
 
     // ----- Expression parsing (precedence climbing) -----
+    //
+    // One binding-power loop instead of the reference parser's 11-level
+    // call cascade: the cascade probes the token stream ~2x per level per
+    // operand even when no operator is present, which made expression-heavy
+    // RTL the parser's hottest path. Left-associativity and the precedence
+    // order are identical (each operator's right operand is parsed at
+    // `power + 1`), so the trees are equal node-for-node — the lockstep
+    // tests against `reference::parse` pin that.
 
     fn expr(&mut self) -> Result<Expr> {
         self.ternary_expr()
     }
 
     fn ternary_expr(&mut self) -> Result<Expr> {
-        let cond = self.logical_or_expr()?;
+        let cond = self.binary_expr(0)?;
         if self.eat_symbol(Symbol::Question) {
             let then_expr = self.expr()?;
             self.expect_symbol(Symbol::Colon)?;
@@ -771,149 +827,57 @@ impl Parser {
         }
     }
 
-    fn logical_or_expr(&mut self) -> Result<Expr> {
-        let mut lhs = self.logical_and_expr()?;
-        while self.eat_symbol(Symbol::PipePipe) {
-            let rhs = self.logical_and_expr()?;
-            lhs = Expr::binary(BinaryOp::LogicalOr, lhs, rhs);
-        }
-        Ok(lhs)
+    /// Binary operator table: (left binding power, op). Higher binds
+    /// tighter; rows mirror the reference cascade from `logical_or` (1)
+    /// down to `mul` (10).
+    fn binary_op(sym: Symbol) -> Option<(u8, BinaryOp)> {
+        Some(match sym {
+            Symbol::PipePipe => (1, BinaryOp::LogicalOr),
+            Symbol::AmpAmp => (2, BinaryOp::LogicalAnd),
+            Symbol::Pipe => (3, BinaryOp::BitOr),
+            Symbol::Caret => (4, BinaryOp::BitXor),
+            Symbol::TildeCaret => (4, BinaryOp::BitXnor),
+            Symbol::Amp => (5, BinaryOp::BitAnd),
+            Symbol::EqEq => (6, BinaryOp::Eq),
+            Symbol::NotEq => (6, BinaryOp::Ne),
+            Symbol::Lt => (7, BinaryOp::Lt),
+            Symbol::LtEq => (7, BinaryOp::Le),
+            Symbol::Gt => (7, BinaryOp::Gt),
+            Symbol::GtEq => (7, BinaryOp::Ge),
+            Symbol::Shl => (8, BinaryOp::Shl),
+            Symbol::Shr => (8, BinaryOp::Shr),
+            Symbol::Plus => (9, BinaryOp::Add),
+            Symbol::Minus => (9, BinaryOp::Sub),
+            Symbol::Star => (10, BinaryOp::Mul),
+            Symbol::Slash => (10, BinaryOp::Div),
+            Symbol::Percent => (10, BinaryOp::Mod),
+            _ => return None,
+        })
     }
 
-    fn logical_and_expr(&mut self) -> Result<Expr> {
-        let mut lhs = self.bitor_expr()?;
-        while self.eat_symbol(Symbol::AmpAmp) {
-            let rhs = self.bitor_expr()?;
-            lhs = Expr::binary(BinaryOp::LogicalAnd, lhs, rhs);
-        }
-        Ok(lhs)
-    }
-
-    fn bitor_expr(&mut self) -> Result<Expr> {
-        let mut lhs = self.bitxor_expr()?;
-        while self.eat_symbol(Symbol::Pipe) {
-            let rhs = self.bitxor_expr()?;
-            lhs = Expr::binary(BinaryOp::BitOr, lhs, rhs);
-        }
-        Ok(lhs)
-    }
-
-    fn bitxor_expr(&mut self) -> Result<Expr> {
-        let mut lhs = self.bitand_expr()?;
-        loop {
-            if self.eat_symbol(Symbol::Caret) {
-                let rhs = self.bitand_expr()?;
-                lhs = Expr::binary(BinaryOp::BitXor, lhs, rhs);
-            } else if self.eat_symbol(Symbol::TildeCaret) {
-                let rhs = self.bitand_expr()?;
-                lhs = Expr::binary(BinaryOp::BitXnor, lhs, rhs);
-            } else {
-                break;
-            }
-        }
-        Ok(lhs)
-    }
-
-    fn bitand_expr(&mut self) -> Result<Expr> {
-        let mut lhs = self.equality_expr()?;
-        while self.eat_symbol(Symbol::Amp) {
-            let rhs = self.equality_expr()?;
-            lhs = Expr::binary(BinaryOp::BitAnd, lhs, rhs);
-        }
-        Ok(lhs)
-    }
-
-    fn equality_expr(&mut self) -> Result<Expr> {
-        let mut lhs = self.relational_expr()?;
-        loop {
-            if self.eat_symbol(Symbol::EqEq) {
-                let rhs = self.relational_expr()?;
-                lhs = Expr::binary(BinaryOp::Eq, lhs, rhs);
-            } else if self.eat_symbol(Symbol::NotEq) {
-                let rhs = self.relational_expr()?;
-                lhs = Expr::binary(BinaryOp::Ne, lhs, rhs);
-            } else {
-                break;
-            }
-        }
-        Ok(lhs)
-    }
-
-    fn relational_expr(&mut self) -> Result<Expr> {
-        let mut lhs = self.shift_expr()?;
-        loop {
-            if self.eat_symbol(Symbol::Lt) {
-                let rhs = self.shift_expr()?;
-                lhs = Expr::binary(BinaryOp::Lt, lhs, rhs);
-            } else if self.eat_symbol(Symbol::LtEq) {
-                let rhs = self.shift_expr()?;
-                lhs = Expr::binary(BinaryOp::Le, lhs, rhs);
-            } else if self.eat_symbol(Symbol::Gt) {
-                let rhs = self.shift_expr()?;
-                lhs = Expr::binary(BinaryOp::Gt, lhs, rhs);
-            } else if self.eat_symbol(Symbol::GtEq) {
-                let rhs = self.shift_expr()?;
-                lhs = Expr::binary(BinaryOp::Ge, lhs, rhs);
-            } else {
-                break;
-            }
-        }
-        Ok(lhs)
-    }
-
-    fn shift_expr(&mut self) -> Result<Expr> {
-        let mut lhs = self.add_expr()?;
-        loop {
-            if self.eat_symbol(Symbol::Shl) {
-                let rhs = self.add_expr()?;
-                lhs = Expr::binary(BinaryOp::Shl, lhs, rhs);
-            } else if self.eat_symbol(Symbol::Shr) {
-                let rhs = self.add_expr()?;
-                lhs = Expr::binary(BinaryOp::Shr, lhs, rhs);
-            } else {
-                break;
-            }
-        }
-        Ok(lhs)
-    }
-
-    fn add_expr(&mut self) -> Result<Expr> {
-        let mut lhs = self.mul_expr()?;
-        loop {
-            if self.eat_symbol(Symbol::Plus) {
-                let rhs = self.mul_expr()?;
-                lhs = Expr::binary(BinaryOp::Add, lhs, rhs);
-            } else if self.eat_symbol(Symbol::Minus) {
-                let rhs = self.mul_expr()?;
-                lhs = Expr::binary(BinaryOp::Sub, lhs, rhs);
-            } else {
-                break;
-            }
-        }
-        Ok(lhs)
-    }
-
-    fn mul_expr(&mut self) -> Result<Expr> {
+    fn binary_expr(&mut self, min_power: u8) -> Result<Expr> {
         let mut lhs = self.unary_expr()?;
         loop {
-            if self.eat_symbol(Symbol::Star) {
-                let rhs = self.unary_expr()?;
-                lhs = Expr::binary(BinaryOp::Mul, lhs, rhs);
-            } else if self.eat_symbol(Symbol::Slash) {
-                let rhs = self.unary_expr()?;
-                lhs = Expr::binary(BinaryOp::Div, lhs, rhs);
-            } else if self.eat_symbol(Symbol::Percent) {
-                let rhs = self.unary_expr()?;
-                lhs = Expr::binary(BinaryOp::Mod, lhs, rhs);
-            } else {
+            let i = self.solid_idx();
+            let TokenKind::Symbol(sym) = self.tokens[i].kind else {
+                break;
+            };
+            let Some((power, op)) = Self::binary_op(sym) else {
+                break;
+            };
+            if power < min_power {
                 break;
             }
+            self.pos = i + 1;
+            let rhs = self.binary_expr(power + 1)?;
+            lhs = Expr::binary(op, lhs, rhs);
         }
         Ok(lhs)
     }
 
     fn unary_expr(&mut self) -> Result<Expr> {
-        let op = match self.peek_solid() {
+        let i = self.solid_idx();
+        let op = match self.tokens[i].kind {
             TokenKind::Symbol(Symbol::Bang) => Some(UnaryOp::LogicalNot),
             TokenKind::Symbol(Symbol::Tilde) => Some(UnaryOp::BitNot),
             TokenKind::Symbol(Symbol::Minus) => Some(UnaryOp::Neg),
@@ -926,7 +890,7 @@ impl Parser {
             _ => None,
         };
         if let Some(op) = op {
-            self.bump_solid();
+            self.pos = i + 1;
             let arg = self.unary_expr()?;
             return Ok(Expr::unary(op, arg));
         }
@@ -934,8 +898,10 @@ impl Parser {
     }
 
     fn primary_expr(&mut self) -> Result<Expr> {
-        match self.bump_solid() {
-            TokenKind::Number { width, base, value } => {
+        let t = self.bump_solid();
+        match t.kind {
+            TokenKind::Number(idx) => {
+                let NumberLit { width, base, value } = self.numbers[idx as usize];
                 let base = match base {
                     'b' => LiteralBase::Bin,
                     'o' => LiteralBase::Oct,
@@ -944,10 +910,11 @@ impl Parser {
                 };
                 Ok(Expr::Literal(Literal { width, value, base }))
             }
-            TokenKind::SystemIdent(name) => {
+            TokenKind::SystemIdent => {
+                let name = self.text(t).to_owned();
                 self.expect_symbol(Symbol::LParen)?;
                 let mut args = Vec::new();
-                if !matches!(self.peek_solid(), TokenKind::Symbol(Symbol::RParen)) {
+                if self.peek_solid().kind != TokenKind::Symbol(Symbol::RParen) {
                     loop {
                         args.push(self.expr()?);
                         if !self.eat_symbol(Symbol::Comma) {
@@ -982,7 +949,8 @@ impl Parser {
                 self.expect_symbol(Symbol::RBrace)?;
                 Ok(Expr::Concat(parts))
             }
-            TokenKind::Ident(name) if !is_keyword(&name) => {
+            TokenKind::Ident => {
+                let name = self.text(t).to_owned();
                 if self.eat_symbol(Symbol::LBracket) {
                     let first = self.expr()?;
                     if self.eat_symbol(Symbol::Colon) {
@@ -1004,7 +972,7 @@ impl Parser {
                     Ok(Expr::Ident(name))
                 }
             }
-            other => Err(self.err(format!("expected expression, found {other:?}"))),
+            _ => Err(self.err(format!("expected expression, found {}", self.describe(t)))),
         }
     }
 }
@@ -1205,6 +1173,13 @@ mod tests {
         assert!(parse("module ; endmodule").is_err());
         assert!(parse("module t(input a); assign = 1; endmodule").is_err());
         assert!(parse("module t(input a); always q <= 1; endmodule").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_string_literal_in_expression() {
+        // Strings lex (so comment handling is string-aware) but the AST has
+        // no string expressions; the parser reports them cleanly.
+        assert!(parse("module t(input a); assign y = \"s\"; endmodule").is_err());
     }
 
     #[test]

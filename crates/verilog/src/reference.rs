@@ -1,0 +1,1432 @@
+//! The frozen pre-span frontend, kept verbatim as a lockstep oracle.
+//!
+//! Before the span-based rewrite, the lexer allocated a `String` per
+//! identifier/comment token, the parser cloned token kinds on every bump,
+//! and the comment utilities re-scanned the source with an ad-hoc scanner
+//! that (bug) treated `//` inside string literals as comments. This module
+//! preserves that frontend exactly, in the same way `interp.rs` preserves
+//! the tree-walking `ReferenceSimulator`:
+//!
+//! * lockstep tests pin the new token stream and AST against these
+//!   ([`lex`] / [`parse`]) on the whole problem suite and on
+//!   proptest-random sources;
+//! * the `frontend_throughput` bench measures the old cost as the recorded
+//!   baseline ([`parse`] is the real pre-rewrite lex+parse path, not a
+//!   reconstruction);
+//! * the comment scanner ([`extract_comments`] / [`strip_comments`]) is the
+//!   old behavior — compared against the span-driven rewrite only on inputs
+//!   where the old behavior was correct (no string literals, terminated
+//!   comments).
+//!
+//! Nothing in this module is used on any hot path. Do not fix bugs here:
+//! the bugs are part of what the lockstep tests document.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::Symbol;
+
+// ---------------------------------------------------------------------------
+// The pre-span lexer (owned-token stream)
+// ---------------------------------------------------------------------------
+
+/// Lexical token kind of the reference lexer: text-bearing kinds own their
+/// text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Number literal, same encoding as the span lexer's.
+    Number {
+        /// Explicit width prefix, e.g. the `8` in `8'hFF`.
+        width: Option<u32>,
+        /// Radix character.
+        base: char,
+        /// Parsed value.
+        value: u64,
+    },
+    /// Line or block comment, text without markers, trimmed.
+    Comment(String),
+    /// Punctuation or operator.
+    Symbol(Symbol),
+    /// System identifier such as `$clog2` (name without `$`).
+    SystemIdent(String),
+    /// End of input.
+    Eof,
+}
+
+/// A reference token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexes `source` with the pre-span lexer: one owned `String` per
+/// identifier, comment, and system identifier.
+///
+/// # Errors
+///
+/// Fails like [`crate::lex`] (note: any `"` is an error here — the
+/// reference lexer predates string-literal support).
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        let line = self.line;
+        self.tokens.push(Token { kind, line });
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Lex {
+            line: self.line,
+            message: msg.into(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while let Some(c) = self.peek() {
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' => match self.peek2() {
+                    Some(b'/') => self.line_comment(),
+                    Some(b'*') => self.block_comment()?,
+                    _ => {
+                        self.bump();
+                        self.push(TokenKind::Symbol(Symbol::Slash));
+                    }
+                },
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                b'0'..=b'9' => self.number()?,
+                b'\'' => self.based_number(None)?,
+                b'$' => {
+                    self.bump();
+                    let name = self.take_ident_chars();
+                    if name.is_empty() {
+                        return Err(self.err("expected name after `$`"));
+                    }
+                    self.push(TokenKind::SystemIdent(name));
+                }
+                _ => self.symbol()?,
+            }
+        }
+        self.push(TokenKind::Eof);
+        Ok(self.tokens)
+    }
+
+    fn take_ident_chars(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn ident(&mut self) {
+        let text = self.take_ident_chars();
+        self.push(TokenKind::Ident(text));
+    }
+
+    fn line_comment(&mut self) {
+        // Consume `//`.
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos])
+            .trim()
+            .to_owned();
+        self.push(TokenKind::Comment(text));
+    }
+
+    fn block_comment(&mut self) -> Result<()> {
+        // Consume `/*`.
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'*') if self.peek2() == Some(b'/') => {
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos])
+                        .trim()
+                        .to_owned();
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Comment(text));
+                    return Ok(());
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(self.err("unterminated block comment")),
+            }
+        }
+    }
+
+    /// Lexes a number that starts with a decimal digit.
+    fn number(&mut self) -> Result<()> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let digits: String = String::from_utf8_lossy(&self.src[start..self.pos])
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        let dec: u64 = digits
+            .parse()
+            .map_err(|_| self.err(format!("invalid decimal literal `{digits}`")))?;
+        if self.peek() == Some(b'\'') {
+            let width = u32::try_from(dec)
+                .map_err(|_| self.err(format!("literal width `{dec}` out of range")))?;
+            if width == 0 || width > 64 {
+                return Err(self.err(format!("unsupported literal width `{width}` (1..=64)")));
+            }
+            self.based_number(Some(width))
+        } else {
+            self.push(TokenKind::Number {
+                width: None,
+                base: 'd',
+                value: dec,
+            });
+            Ok(())
+        }
+    }
+
+    /// Lexes `'<base><digits>` with an optional already-consumed width.
+    fn based_number(&mut self, width: Option<u32>) -> Result<()> {
+        self.bump(); // consume '
+        let base = match self.bump() {
+            Some(c) => (c as char).to_ascii_lowercase(),
+            None => return Err(self.err("unexpected end of input after `'`")),
+        };
+        let radix = match base {
+            'b' => 2,
+            'o' => 8,
+            'd' => 10,
+            'h' => 16,
+            other => return Err(self.err(format!("unknown number base `'{other}`"))),
+        };
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let digits: String = String::from_utf8_lossy(&self.src[start..self.pos])
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        if digits.is_empty() {
+            return Err(self.err("missing digits in based literal"));
+        }
+        let value = u64::from_str_radix(&digits, radix)
+            .map_err(|_| self.err(format!("invalid base-{radix} digits `{digits}`")))?;
+        if let Some(w) = width {
+            if w < 64 && value >= (1u64 << w) {
+                return Err(self.err(format!("literal value `{value}` does not fit in {w} bits")));
+            }
+        }
+        self.push(TokenKind::Number { width, base, value });
+        Ok(())
+    }
+
+    fn symbol(&mut self) -> Result<()> {
+        let c = self.bump().expect("symbol() called at end of input");
+        let next = self.peek();
+        let sym = match (c, next) {
+            (b'=', Some(b'=')) => {
+                self.bump();
+                Symbol::EqEq
+            }
+            (b'=', _) => Symbol::Assign,
+            (b'!', Some(b'=')) => {
+                self.bump();
+                Symbol::NotEq
+            }
+            (b'!', _) => Symbol::Bang,
+            (b'<', Some(b'=')) => {
+                self.bump();
+                Symbol::LtEq
+            }
+            (b'<', Some(b'<')) => {
+                self.bump();
+                Symbol::Shl
+            }
+            (b'<', _) => Symbol::Lt,
+            (b'>', Some(b'=')) => {
+                self.bump();
+                Symbol::GtEq
+            }
+            (b'>', Some(b'>')) => {
+                self.bump();
+                Symbol::Shr
+            }
+            (b'>', _) => Symbol::Gt,
+            (b'&', Some(b'&')) => {
+                self.bump();
+                Symbol::AmpAmp
+            }
+            (b'&', _) => Symbol::Amp,
+            (b'|', Some(b'|')) => {
+                self.bump();
+                Symbol::PipePipe
+            }
+            (b'|', _) => Symbol::Pipe,
+            (b'~', Some(b'^')) => {
+                self.bump();
+                Symbol::TildeCaret
+            }
+            (b'~', Some(b'&')) => {
+                self.bump();
+                Symbol::TildeAmp
+            }
+            (b'~', Some(b'|')) => {
+                self.bump();
+                Symbol::TildePipe
+            }
+            (b'~', _) => Symbol::Tilde,
+            (b'^', Some(b'~')) => {
+                self.bump();
+                Symbol::TildeCaret
+            }
+            (b'^', _) => Symbol::Caret,
+            (b'(', _) => Symbol::LParen,
+            (b')', _) => Symbol::RParen,
+            (b'[', _) => Symbol::LBracket,
+            (b']', _) => Symbol::RBracket,
+            (b'{', _) => Symbol::LBrace,
+            (b'}', _) => Symbol::RBrace,
+            (b';', _) => Symbol::Semicolon,
+            (b':', _) => Symbol::Colon,
+            (b',', _) => Symbol::Comma,
+            (b'.', _) => Symbol::Dot,
+            (b'#', _) => Symbol::Hash,
+            (b'@', _) => Symbol::At,
+            (b'?', _) => Symbol::Question,
+            (b'+', _) => Symbol::Plus,
+            (b'-', _) => Symbol::Minus,
+            (b'*', _) => Symbol::Star,
+            (b'/', _) => Symbol::Slash,
+            (b'%', _) => Symbol::Percent,
+            (other, _) => {
+                return Err(self.err(format!("unexpected character `{}`", char::from(other))))
+            }
+        };
+        self.push(TokenKind::Symbol(sym));
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pre-span parser (clones a TokenKind per bump)
+// ---------------------------------------------------------------------------
+
+/// Parses `source` with the pre-span frontend (reference lexer + reference
+/// parser). Produces the same [`SourceFile`] values as [`crate::parse`] on
+/// every source both accept — pinned by the lockstep tests.
+///
+/// # Errors
+///
+/// Fails like [`crate::parse`], minus string-literal support.
+pub fn parse(source: &str) -> Result<SourceFile> {
+    let tokens = lex(source)?;
+    Parser::new(tokens).source_file()
+}
+
+const KEYWORDS: &[&str] = &[
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "integer",
+    "parameter",
+    "localparam",
+    "assign",
+    "always",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "case",
+    "casez",
+    "endcase",
+    "default",
+    "posedge",
+    "negedge",
+    "or",
+    "for",
+    "initial",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    /// Peeks past comments without consuming anything.
+    fn peek_solid(&self) -> &TokenKind {
+        let mut i = self.pos;
+        while let TokenKind::Comment(_) = &self.tokens[i].kind {
+            i += 1;
+        }
+        &self.tokens[i].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if !matches!(kind, TokenKind::Eof) {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    /// Consumes and returns the next non-comment token, discarding comments.
+    fn bump_solid(&mut self) -> TokenKind {
+        loop {
+            match self.bump() {
+                TokenKind::Comment(_) => continue,
+                kind => return kind,
+            }
+        }
+    }
+
+    /// Consumes comments, returning them.
+    fn drain_comments(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        while let TokenKind::Comment(text) = self.peek() {
+            out.push(text.clone());
+            self.pos += 1;
+        }
+        out
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Symbol) -> Result<()> {
+        match self.bump_solid() {
+            TokenKind::Symbol(s) if s == sym => Ok(()),
+            other => Err(self.err(format!("expected `{sym}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Symbol) -> bool {
+        if matches!(self.peek_solid(), TokenKind::Symbol(s) if *s == sym) {
+            self.bump_solid();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.bump_solid() {
+            TokenKind::Ident(s) if s == kw => Ok(()),
+            other => Err(self.err(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek_solid(), TokenKind::Ident(s) if s == kw) {
+            self.bump_solid();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek_solid(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump_solid() {
+            TokenKind::Ident(s) if !is_keyword(&s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn source_file(mut self) -> Result<SourceFile> {
+        let mut file = SourceFile::new();
+        loop {
+            self.drain_comments();
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(s) if s == "module" => {
+                    file.modules.push(self.module()?);
+                }
+                other => return Err(self.err(format!("expected `module`, found {other:?}"))),
+            }
+        }
+        Ok(file)
+    }
+
+    fn module(&mut self) -> Result<Module> {
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+        let mut module = Module::new(name);
+
+        // Optional parameter header `#(parameter A = 1, ...)`.
+        if self.eat_symbol(Symbol::Hash) {
+            self.expect_symbol(Symbol::LParen)?;
+            loop {
+                self.drain_comments();
+                self.eat_keyword("parameter");
+                let pname = self.expect_ident()?;
+                self.expect_symbol(Symbol::Assign)?;
+                let value = self.expr()?;
+                module.params.push(ParamDecl {
+                    name: pname,
+                    value,
+                    local: false,
+                });
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+        }
+
+        // Port list: ANSI declarations or plain name list.
+        let mut header_names: Vec<String> = Vec::new();
+        if self.eat_symbol(Symbol::LParen) && !self.eat_symbol(Symbol::RParen) {
+            if self.peek_keyword("input")
+                || self.peek_keyword("output")
+                || self.peek_keyword("inout")
+            {
+                self.ansi_ports(&mut module)?;
+            } else {
+                loop {
+                    self.drain_comments();
+                    header_names.push(self.expect_ident()?);
+                    if !self.eat_symbol(Symbol::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+        }
+        self.expect_symbol(Symbol::Semicolon)?;
+
+        // Pre-register header names so non-ANSI direction decls can fill them.
+        for n in &header_names {
+            module
+                .ports
+                .push(Port::scalar(n.clone(), PortDir::Input, NetKind::Wire));
+        }
+        let non_ansi: std::collections::HashSet<String> = header_names.into_iter().collect();
+
+        // Body items until `endmodule`.
+        loop {
+            for text in self.drain_comments() {
+                module.items.push(Item::Comment(text));
+            }
+            if self.eat_keyword("endmodule") {
+                break;
+            }
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(self.err("unexpected end of input, missing `endmodule`"));
+            }
+            self.item(&mut module, &non_ansi)?;
+        }
+        Ok(module)
+    }
+
+    /// Parses an ANSI port list (cursor after `(`, stops before `)`).
+    fn ansi_ports(&mut self, module: &mut Module) -> Result<()> {
+        let mut dir = PortDir::Input;
+        let mut net = NetKind::Wire;
+        let mut range: Option<Range> = None;
+        loop {
+            self.drain_comments();
+            if self.eat_keyword("input") {
+                dir = PortDir::Input;
+                net = NetKind::Wire;
+                range = None;
+            } else if self.eat_keyword("output") {
+                dir = PortDir::Output;
+                net = NetKind::Wire;
+                range = None;
+            } else if self.eat_keyword("inout") {
+                dir = PortDir::Inout;
+                net = NetKind::Wire;
+                range = None;
+            }
+            if self.eat_keyword("wire") {
+                net = NetKind::Wire;
+            } else if self.eat_keyword("reg") {
+                net = NetKind::Reg;
+            }
+            if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket)) {
+                range = Some(self.range()?);
+            }
+            let name = self.expect_ident()?;
+            module.ports.push(Port {
+                name,
+                dir,
+                net,
+                range: range.clone(),
+            });
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses `[msb:lsb]`.
+    fn range(&mut self) -> Result<Range> {
+        self.expect_symbol(Symbol::LBracket)?;
+        let msb = self.expr()?;
+        self.expect_symbol(Symbol::Colon)?;
+        let lsb = self.expr()?;
+        self.expect_symbol(Symbol::RBracket)?;
+        Ok(Range { msb, lsb })
+    }
+
+    fn item(
+        &mut self,
+        module: &mut Module,
+        non_ansi: &std::collections::HashSet<String>,
+    ) -> Result<()> {
+        if self.peek_keyword("input") || self.peek_keyword("output") || self.peek_keyword("inout") {
+            return self.direction_decl(module, non_ansi);
+        }
+        if self.peek_keyword("wire") || self.peek_keyword("reg") || self.peek_keyword("integer") {
+            return self.net_decl(module, non_ansi);
+        }
+        if self.peek_keyword("parameter") || self.peek_keyword("localparam") {
+            let local = self.peek_keyword("localparam");
+            self.bump_solid();
+            loop {
+                let name = self.expect_ident()?;
+                self.expect_symbol(Symbol::Assign)?;
+                let value = self.expr()?;
+                module.items.push(Item::Param(ParamDecl {
+                    name: name.clone(),
+                    value: value.clone(),
+                    local,
+                }));
+                module.params.push(ParamDecl { name, value, local });
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::Semicolon)?;
+            return Ok(());
+        }
+        if self.eat_keyword("assign") {
+            let lhs = self.lvalue()?;
+            self.expect_symbol(Symbol::Assign)?;
+            let rhs = self.expr()?;
+            self.expect_symbol(Symbol::Semicolon)?;
+            module.items.push(Item::Assign { lhs, rhs });
+            return Ok(());
+        }
+        if self.eat_keyword("always") {
+            let block = self.always_block()?;
+            module.items.push(Item::Always(block));
+            return Ok(());
+        }
+        // Otherwise: module instantiation `defname [#(...)] instname ( ... );`
+        if matches!(self.peek_solid(), TokenKind::Ident(s) if !is_keyword(s)) {
+            let inst = self.instance()?;
+            module.items.push(Item::Instance(inst));
+            return Ok(());
+        }
+        Err(self.err(format!(
+            "unexpected token {:?} in module body",
+            self.peek_solid()
+        )))
+    }
+
+    /// Parses `input|output|inout [wire|reg] [range] name {, name};` and
+    /// updates or creates ports.
+    fn direction_decl(
+        &mut self,
+        module: &mut Module,
+        non_ansi: &std::collections::HashSet<String>,
+    ) -> Result<()> {
+        let dir = match self.bump_solid() {
+            TokenKind::Ident(s) if s == "input" => PortDir::Input,
+            TokenKind::Ident(s) if s == "output" => PortDir::Output,
+            TokenKind::Ident(s) if s == "inout" => PortDir::Inout,
+            other => return Err(self.err(format!("expected direction, found {other:?}"))),
+        };
+        let mut net = NetKind::Wire;
+        if self.eat_keyword("reg") {
+            net = NetKind::Reg;
+        } else {
+            self.eat_keyword("wire");
+        }
+        let range = if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket)) {
+            Some(self.range()?)
+        } else {
+            None
+        };
+        loop {
+            let name = self.expect_ident()?;
+            if let Some(port) = module.ports.iter_mut().find(|p| p.name == name) {
+                port.dir = dir;
+                port.net = net;
+                port.range = range.clone();
+            } else if non_ansi.is_empty() {
+                // Module with empty header port list: tolerate by appending.
+                module.ports.push(Port {
+                    name,
+                    dir,
+                    net,
+                    range: range.clone(),
+                });
+            } else {
+                return Err(self.err(format!(
+                    "direction declaration for `{name}` which is not in the port list"
+                )));
+            }
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(())
+    }
+
+    /// Parses `wire|reg|integer [range] name [array] {, name [array]};`.
+    fn net_decl(
+        &mut self,
+        module: &mut Module,
+        _non_ansi: &std::collections::HashSet<String>,
+    ) -> Result<()> {
+        let kind = match self.bump_solid() {
+            TokenKind::Ident(s) if s == "wire" => NetKind::Wire,
+            TokenKind::Ident(s) if s == "reg" => NetKind::Reg,
+            TokenKind::Ident(s) if s == "integer" => NetKind::Integer,
+            other => return Err(self.err(format!("expected net kind, found {other:?}"))),
+        };
+        let range = if kind != NetKind::Integer
+            && matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket))
+        {
+            Some(self.range()?)
+        } else {
+            None
+        };
+        loop {
+            let name = self.expect_ident()?;
+            let array = if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::LBracket)) {
+                Some(self.range()?)
+            } else {
+                None
+            };
+            // `reg [15:0] data_out;` after `output [15:0] data_out;` upgrades
+            // the existing port instead of declaring a new net.
+            if let Some(port) = module.ports.iter_mut().find(|p| p.name == name) {
+                if kind == NetKind::Reg {
+                    port.net = NetKind::Reg;
+                }
+                if port.range.is_none() {
+                    port.range = range.clone();
+                }
+            } else {
+                module.items.push(Item::Net(NetDecl {
+                    name,
+                    kind,
+                    range: range.clone(),
+                    array,
+                }));
+            }
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(())
+    }
+
+    fn always_block(&mut self) -> Result<AlwaysBlock> {
+        self.expect_symbol(Symbol::At)?;
+        let sensitivity = if self.eat_symbol(Symbol::Star) {
+            Sensitivity::Star
+        } else {
+            self.expect_symbol(Symbol::LParen)?;
+            if self.eat_symbol(Symbol::Star) {
+                self.expect_symbol(Symbol::RParen)?;
+                Sensitivity::Star
+            } else if self.peek_keyword("posedge") || self.peek_keyword("negedge") {
+                let mut edges = Vec::new();
+                loop {
+                    let edge = if self.eat_keyword("posedge") {
+                        Edge::Pos
+                    } else if self.eat_keyword("negedge") {
+                        Edge::Neg
+                    } else {
+                        return Err(self.err("expected `posedge` or `negedge`"));
+                    };
+                    let signal = self.expect_ident()?;
+                    edges.push(EdgeSpec { edge, signal });
+                    if self.eat_keyword("or") || self.eat_symbol(Symbol::Comma) {
+                        continue;
+                    }
+                    break;
+                }
+                self.expect_symbol(Symbol::RParen)?;
+                Sensitivity::Edges(edges)
+            } else {
+                let mut signals = Vec::new();
+                loop {
+                    signals.push(self.expect_ident()?);
+                    if self.eat_keyword("or") || self.eat_symbol(Symbol::Comma) {
+                        continue;
+                    }
+                    break;
+                }
+                self.expect_symbol(Symbol::RParen)?;
+                Sensitivity::Signals(signals)
+            }
+        };
+        let body = self.stmt()?;
+        Ok(AlwaysBlock { sensitivity, body })
+    }
+
+    fn instance(&mut self) -> Result<Instance> {
+        let module_name = self.expect_ident()?;
+        let mut param_overrides = Vec::new();
+        if self.eat_symbol(Symbol::Hash) {
+            self.expect_symbol(Symbol::LParen)?;
+            loop {
+                self.drain_comments();
+                if self.eat_symbol(Symbol::Dot) {
+                    let pname = self.expect_ident()?;
+                    self.expect_symbol(Symbol::LParen)?;
+                    let value = self.expr()?;
+                    self.expect_symbol(Symbol::RParen)?;
+                    param_overrides.push((pname, value));
+                } else {
+                    return Err(self.err("expected `.param(value)` in parameter override"));
+                }
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+        }
+        let instance_name = self.expect_ident()?;
+        self.expect_symbol(Symbol::LParen)?;
+        let connections = if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::Dot)) {
+            let mut named = Vec::new();
+            loop {
+                self.drain_comments();
+                self.expect_symbol(Symbol::Dot)?;
+                let port = self.expect_ident()?;
+                self.expect_symbol(Symbol::LParen)?;
+                let expr = self.expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                named.push((port, expr));
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            Connections::Named(named)
+        } else if matches!(self.peek_solid(), TokenKind::Symbol(Symbol::RParen)) {
+            Connections::Positional(Vec::new())
+        } else {
+            let mut exprs = Vec::new();
+            loop {
+                exprs.push(self.expr()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            Connections::Positional(exprs)
+        };
+        self.expect_symbol(Symbol::RParen)?;
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(Instance {
+            module_name,
+            instance_name,
+            param_overrides,
+            connections,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        // A comment in statement position becomes a Stmt::Comment only inside
+        // blocks; elsewhere we must attach it before the real statement.
+        if let TokenKind::Comment(text) = self.peek() {
+            let text = text.clone();
+            self.pos += 1;
+            // Wrap: comment followed by the actual statement as a block.
+            let next = self.stmt()?;
+            return Ok(match next {
+                Stmt::Block(mut stmts) => {
+                    stmts.insert(0, Stmt::Comment(text));
+                    Stmt::Block(stmts)
+                }
+                other => Stmt::Block(vec![Stmt::Comment(text), other]),
+            });
+        }
+        if self.eat_keyword("begin") {
+            let mut stmts = Vec::new();
+            loop {
+                if let TokenKind::Comment(text) = self.peek() {
+                    stmts.push(Stmt::Comment(text.clone()));
+                    self.pos += 1;
+                    continue;
+                }
+                if self.eat_keyword("end") {
+                    break;
+                }
+                if matches!(self.peek(), TokenKind::Eof) {
+                    return Err(self.err("unexpected end of input, missing `end`"));
+                }
+                stmts.push(self.stmt()?);
+            }
+            return Ok(Stmt::Block(stmts));
+        }
+        if self.eat_keyword("if") {
+            self.expect_symbol(Symbol::LParen)?;
+            let cond = self.expr()?;
+            self.expect_symbol(Symbol::RParen)?;
+            let then_branch = Box::new(self.stmt()?);
+            let else_branch = if self.eat_keyword("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
+        }
+        if self.peek_keyword("case") || self.peek_keyword("casez") {
+            self.bump_solid();
+            self.expect_symbol(Symbol::LParen)?;
+            let subject = self.expr()?;
+            self.expect_symbol(Symbol::RParen)?;
+            let mut arms = Vec::new();
+            let mut default = None;
+            loop {
+                self.drain_comments();
+                if self.eat_keyword("endcase") {
+                    break;
+                }
+                if self.eat_keyword("default") {
+                    self.eat_symbol(Symbol::Colon);
+                    default = Some(Box::new(self.stmt()?));
+                    continue;
+                }
+                if matches!(self.peek(), TokenKind::Eof) {
+                    return Err(self.err("unexpected end of input, missing `endcase`"));
+                }
+                let mut labels = vec![self.expr()?];
+                while self.eat_symbol(Symbol::Comma) {
+                    labels.push(self.expr()?);
+                }
+                self.expect_symbol(Symbol::Colon)?;
+                let body = self.stmt()?;
+                arms.push(CaseArm { labels, body });
+            }
+            return Ok(Stmt::Case {
+                subject,
+                arms,
+                default,
+            });
+        }
+        if self.eat_keyword("for") {
+            self.expect_symbol(Symbol::LParen)?;
+            let var = self.expect_ident()?;
+            self.expect_symbol(Symbol::Assign)?;
+            let init = self.expr()?;
+            self.expect_symbol(Symbol::Semicolon)?;
+            let cond = self.expr()?;
+            self.expect_symbol(Symbol::Semicolon)?;
+            let var2 = self.expect_ident()?;
+            if var2 != var {
+                return Err(self.err(format!(
+                    "for-loop step assigns `{var2}` but loop variable is `{var}`"
+                )));
+            }
+            self.expect_symbol(Symbol::Assign)?;
+            let step = self.expr()?;
+            self.expect_symbol(Symbol::RParen)?;
+            let body = Box::new(self.stmt()?);
+            return Ok(Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            });
+        }
+        if self.eat_symbol(Symbol::Semicolon) {
+            return Ok(Stmt::Empty);
+        }
+        // Assignment: lvalue (= | <=) expr ;
+        let lhs = self.lvalue()?;
+        let non_blocking = match self.bump_solid() {
+            TokenKind::Symbol(Symbol::LtEq) => true,
+            TokenKind::Symbol(Symbol::Assign) => false,
+            other => {
+                return Err(self.err(format!("expected `=` or `<=`, found {other:?}")));
+            }
+        };
+        let rhs = self.expr()?;
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(if non_blocking {
+            Stmt::NonBlocking { lhs, rhs }
+        } else {
+            Stmt::Blocking { lhs, rhs }
+        })
+    }
+
+    fn lvalue(&mut self) -> Result<LValue> {
+        if self.eat_symbol(Symbol::LBrace) {
+            let mut parts = Vec::new();
+            loop {
+                parts.push(self.lvalue()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RBrace)?;
+            return Ok(LValue::Concat(parts));
+        }
+        let base = self.expect_ident()?;
+        if self.eat_symbol(Symbol::LBracket) {
+            let first = self.expr()?;
+            if self.eat_symbol(Symbol::Colon) {
+                let lsb = self.expr()?;
+                self.expect_symbol(Symbol::RBracket)?;
+                Ok(LValue::Slice {
+                    base,
+                    msb: Box::new(first),
+                    lsb: Box::new(lsb),
+                })
+            } else {
+                self.expect_symbol(Symbol::RBracket)?;
+                Ok(LValue::Index {
+                    base,
+                    index: Box::new(first),
+                })
+            }
+        } else {
+            Ok(LValue::Ident(base))
+        }
+    }
+
+    // ----- Expression parsing (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.ternary_expr()
+    }
+
+    fn ternary_expr(&mut self) -> Result<Expr> {
+        let cond = self.logical_or_expr()?;
+        if self.eat_symbol(Symbol::Question) {
+            let then_expr = self.expr()?;
+            self.expect_symbol(Symbol::Colon)?;
+            let else_expr = self.expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logical_or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.logical_and_expr()?;
+        while self.eat_symbol(Symbol::PipePipe) {
+            let rhs = self.logical_and_expr()?;
+            lhs = Expr::binary(BinaryOp::LogicalOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitor_expr()?;
+        while self.eat_symbol(Symbol::AmpAmp) {
+            let rhs = self.bitor_expr()?;
+            lhs = Expr::binary(BinaryOp::LogicalAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.eat_symbol(Symbol::Pipe) {
+            let rhs = self.bitxor_expr()?;
+            lhs = Expr::binary(BinaryOp::BitOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitand_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::Caret) {
+                let rhs = self.bitand_expr()?;
+                lhs = Expr::binary(BinaryOp::BitXor, lhs, rhs);
+            } else if self.eat_symbol(Symbol::TildeCaret) {
+                let rhs = self.bitand_expr()?;
+                lhs = Expr::binary(BinaryOp::BitXnor, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.equality_expr()?;
+        while self.eat_symbol(Symbol::Amp) {
+            let rhs = self.equality_expr()?;
+            lhs = Expr::binary(BinaryOp::BitAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::EqEq) {
+                let rhs = self.relational_expr()?;
+                lhs = Expr::binary(BinaryOp::Eq, lhs, rhs);
+            } else if self.eat_symbol(Symbol::NotEq) {
+                let rhs = self.relational_expr()?;
+                lhs = Expr::binary(BinaryOp::Ne, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.shift_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::Lt) {
+                let rhs = self.shift_expr()?;
+                lhs = Expr::binary(BinaryOp::Lt, lhs, rhs);
+            } else if self.eat_symbol(Symbol::LtEq) {
+                let rhs = self.shift_expr()?;
+                lhs = Expr::binary(BinaryOp::Le, lhs, rhs);
+            } else if self.eat_symbol(Symbol::Gt) {
+                let rhs = self.shift_expr()?;
+                lhs = Expr::binary(BinaryOp::Gt, lhs, rhs);
+            } else if self.eat_symbol(Symbol::GtEq) {
+                let rhs = self.shift_expr()?;
+                lhs = Expr::binary(BinaryOp::Ge, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::Shl) {
+                let rhs = self.add_expr()?;
+                lhs = Expr::binary(BinaryOp::Shl, lhs, rhs);
+            } else if self.eat_symbol(Symbol::Shr) {
+                let rhs = self.add_expr()?;
+                lhs = Expr::binary(BinaryOp::Shr, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::Plus) {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::binary(BinaryOp::Add, lhs, rhs);
+            } else if self.eat_symbol(Symbol::Minus) {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::binary(BinaryOp::Sub, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat_symbol(Symbol::Star) {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::binary(BinaryOp::Mul, lhs, rhs);
+            } else if self.eat_symbol(Symbol::Slash) {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::binary(BinaryOp::Div, lhs, rhs);
+            } else if self.eat_symbol(Symbol::Percent) {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::binary(BinaryOp::Mod, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        let op = match self.peek_solid() {
+            TokenKind::Symbol(Symbol::Bang) => Some(UnaryOp::LogicalNot),
+            TokenKind::Symbol(Symbol::Tilde) => Some(UnaryOp::BitNot),
+            TokenKind::Symbol(Symbol::Minus) => Some(UnaryOp::Neg),
+            TokenKind::Symbol(Symbol::Amp) => Some(UnaryOp::ReduceAnd),
+            TokenKind::Symbol(Symbol::Pipe) => Some(UnaryOp::ReduceOr),
+            TokenKind::Symbol(Symbol::Caret) => Some(UnaryOp::ReduceXor),
+            TokenKind::Symbol(Symbol::TildeAmp) => Some(UnaryOp::ReduceNand),
+            TokenKind::Symbol(Symbol::TildePipe) => Some(UnaryOp::ReduceNor),
+            TokenKind::Symbol(Symbol::TildeCaret) => Some(UnaryOp::ReduceXnor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump_solid();
+            let arg = self.unary_expr()?;
+            return Ok(Expr::unary(op, arg));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.bump_solid() {
+            TokenKind::Number { width, base, value } => {
+                let base = match base {
+                    'b' => LiteralBase::Bin,
+                    'o' => LiteralBase::Oct,
+                    'h' => LiteralBase::Hex,
+                    _ => LiteralBase::Dec,
+                };
+                Ok(Expr::Literal(Literal { width, value, base }))
+            }
+            TokenKind::SystemIdent(name) => {
+                self.expect_symbol(Symbol::LParen)?;
+                let mut args = Vec::new();
+                if !matches!(self.peek_solid(), TokenKind::Symbol(Symbol::RParen)) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat_symbol(Symbol::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(Expr::SystemCall { name, args })
+            }
+            TokenKind::Symbol(Symbol::LParen) => {
+                let inner = self.expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Symbol(Symbol::LBrace) => {
+                // Either concat `{a, b}` or repeat `{N{expr}}`.
+                let first = self.expr()?;
+                if self.eat_symbol(Symbol::LBrace) {
+                    let value = self.expr()?;
+                    self.expect_symbol(Symbol::RBrace)?;
+                    self.expect_symbol(Symbol::RBrace)?;
+                    return Ok(Expr::Repeat {
+                        count: Box::new(first),
+                        value: Box::new(value),
+                    });
+                }
+                let mut parts = vec![first];
+                while self.eat_symbol(Symbol::Comma) {
+                    parts.push(self.expr()?);
+                }
+                self.expect_symbol(Symbol::RBrace)?;
+                Ok(Expr::Concat(parts))
+            }
+            TokenKind::Ident(name) if !is_keyword(&name) => {
+                if self.eat_symbol(Symbol::LBracket) {
+                    let first = self.expr()?;
+                    if self.eat_symbol(Symbol::Colon) {
+                        let lsb = self.expr()?;
+                        self.expect_symbol(Symbol::RBracket)?;
+                        Ok(Expr::Slice {
+                            base: name,
+                            msb: Box::new(first),
+                            lsb: Box::new(lsb),
+                        })
+                    } else {
+                        self.expect_symbol(Symbol::RBracket)?;
+                        Ok(Expr::Index {
+                            base: name,
+                            index: Box::new(first),
+                        })
+                    }
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pre-span comment scanner (string-literal-blind — that is the bug)
+// ---------------------------------------------------------------------------
+
+/// The old `extract_comments`: an ad-hoc scan that does not know about
+/// string literals, so `//` inside a string reads as a comment, and an
+/// unterminated block comment silently drops its last byte.
+pub fn extract_comments(source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() {
+            match bytes[i + 1] {
+                b'/' => {
+                    let start = i + 2;
+                    let mut j = start;
+                    while j < bytes.len() && bytes[j] != b'\n' {
+                        j += 1;
+                    }
+                    out.push(source[start..j].trim().to_owned());
+                    i = j;
+                    continue;
+                }
+                b'*' => {
+                    let start = i + 2;
+                    let mut j = start;
+                    while j + 1 < bytes.len() && !(bytes[j] == b'*' && bytes[j + 1] == b'/') {
+                        j += 1;
+                    }
+                    let end = j.min(bytes.len());
+                    out.push(source[start..end].trim().to_owned());
+                    i = (j + 2).min(bytes.len());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The old `strip_comments`: same scanner shape as
+/// [`extract_comments`], same string-literal blindness, and a byte-to-char
+/// push that mangles multi-byte UTF-8.
+pub fn strip_comments(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() {
+            match bytes[i + 1] {
+                b'/' => {
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\n' {
+                        j += 1;
+                    }
+                    i = j;
+                    continue;
+                }
+                b'*' => {
+                    let mut j = i + 2;
+                    while j + 1 < bytes.len() && !(bytes[j] == b'*' && bytes[j + 1] == b'/') {
+                        j += 1;
+                    }
+                    out.push(' ');
+                    i = (j + 2).min(bytes.len());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}

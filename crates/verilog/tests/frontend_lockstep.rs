@@ -1,0 +1,224 @@
+//! Lockstep property tests: the span-based frontend against the frozen
+//! pre-span reference (`rtlb_verilog::reference`).
+//!
+//! Random token-soup sources are constrained to what the reference handled
+//! correctly — ASCII, no string literals, terminated block comments — since
+//! string support and the unterminated-comment fix are deliberate behavior
+//! changes (pinned by unit tests in `comments.rs` instead).
+
+use proptest::prelude::*;
+use rtlb_verilog::{reference, TokenKind};
+
+/// Symbols and operators of the subset, as source fragments.
+const SYMBOLS: &[&str] = &[
+    "(", ")", "[", "]", "{", "}", ";", ":", ",", ".", "#", "@", "?", "=", "==", "!=", "<", "<=",
+    ">", ">=", "<<", ">>", "+", "-", "*", "/", "%", "&", "&&", "|", "||", "^", "~", "~^", "^~",
+    "~&", "~|", "!",
+];
+
+const KEYWORDS: &[&str] = &[
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "case",
+    "endcase",
+    "default",
+    "posedge",
+    "negedge",
+    "for",
+    "parameter",
+    "localparam",
+];
+
+fn number_atom() -> impl Strategy<Value = String> {
+    (1u32..=8, any::<u64>(), 0usize..4).prop_map(|(w, v, b)| {
+        let v = v & rtlb_verilog::mask(w);
+        match b {
+            0 => format!("{w}'b{v:b}"),
+            1 => format!("{w}'o{v:o}"),
+            2 => format!("{w}'d{v}"),
+            _ => format!("{w}'h{v:x}"),
+        }
+    })
+}
+
+/// One lexical atom: ident, keyword, number, symbol, system call head, or a
+/// comment. Quote-free and (for block comments) always terminated.
+fn atom() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z_][a-z0-9_]{0,6}".prop_map(|s| s),
+        (0usize..KEYWORDS.len()).prop_map(|i| KEYWORDS[i].to_owned()),
+        "[0-9]{1,4}".prop_map(|s| s),
+        number_atom(),
+        Just("$clog2".to_owned()),
+        (0usize..SYMBOLS.len()).prop_map(|i| SYMBOLS[i].to_owned()),
+        // Line comment: text excludes `"`; newline terminates it.
+        "[ -!#-~]{0,12}".prop_map(|t| format!("// {t}\n")),
+        // Block comment: interior avoids `*` and `/` entirely so it cannot
+        // close early or nest, and `"` so the string-aware scan agrees.
+        "[a-z \n]{0,10}".prop_map(|t| format!("/*{t}*/")),
+    ]
+}
+
+fn source() -> impl Strategy<Value = String> {
+    prop::collection::vec(atom(), 0..40).prop_map(|atoms| atoms.join(" "))
+}
+
+/// Asserts the two lexers agree on `src`: same accept/reject verdict, and on
+/// accept the same (kind, text, line) stream.
+fn assert_lex_lockstep(src: &str) {
+    let new = rtlb_verilog::lex(src);
+    let old = reference::lex(src);
+    match (new, old) {
+        (Ok(lexed), Ok(ref_tokens)) => {
+            assert_eq!(
+                lexed.tokens.len(),
+                ref_tokens.len(),
+                "token count diverged on {src:?}"
+            );
+            for (t, r) in lexed.tokens.iter().zip(&ref_tokens) {
+                assert_eq!(t.line, r.line, "line diverged on {src:?}");
+                match (&t.kind, &r.kind) {
+                    (TokenKind::Ident, reference::TokenKind::Ident(s)) => {
+                        assert_eq!(lexed.text(t), s, "ident text diverged on {src:?}");
+                    }
+                    (TokenKind::Kw(kw), reference::TokenKind::Ident(s)) => {
+                        // The span lexer resolves keywords at lex time; the
+                        // reference carried them as plain identifiers.
+                        assert_eq!(kw.as_str(), s, "keyword diverged on {src:?}");
+                        assert_eq!(lexed.text(t), s);
+                    }
+                    (TokenKind::SystemIdent, reference::TokenKind::SystemIdent(s)) => {
+                        assert_eq!(lexed.text(t), s);
+                    }
+                    (TokenKind::Comment, reference::TokenKind::Comment(s)) => {
+                        // The reference stored trimmed text; the span token
+                        // holds the untrimmed interior.
+                        assert_eq!(lexed.text(t).trim(), s, "comment diverged on {src:?}");
+                    }
+                    (
+                        TokenKind::Number(_),
+                        reference::TokenKind::Number {
+                            width: rw,
+                            base: rb,
+                            value: rv,
+                        },
+                    ) => {
+                        let lit = lexed.number(t).expect("number payload");
+                        assert_eq!((lit.width, lit.base, lit.value), (*rw, *rb, *rv));
+                    }
+                    (TokenKind::Symbol(a), reference::TokenKind::Symbol(b)) => {
+                        assert_eq!(a, b, "symbol diverged on {src:?}");
+                    }
+                    (TokenKind::Eof, reference::TokenKind::Eof) => {}
+                    (a, b) => panic!("kind diverged on {src:?}: new {a:?} vs old {b:?}"),
+                }
+            }
+        }
+        (Err(_), Err(_)) => {}
+        (new, old) => panic!("verdict diverged on {src:?}:\nnew: {new:?}\nold: {old:?}"),
+    }
+}
+
+fn assert_parse_lockstep(src: &str) {
+    match (rtlb_verilog::parse(src), reference::parse(src)) {
+        (Ok(new_ast), Ok(old_ast)) => assert_eq!(new_ast, old_ast, "AST diverged on {src:?}"),
+        (Err(_), Err(_)) => {}
+        (new, old) => panic!("parse verdict diverged on {src:?}:\nnew: {new:?}\nold: {old:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_matches_reference_on_token_soup(src in source()) {
+        assert_lex_lockstep(&src);
+    }
+
+    #[test]
+    fn parser_matches_reference_on_token_soup(src in source()) {
+        assert_parse_lockstep(&src);
+    }
+
+    #[test]
+    fn comment_extraction_matches_reference(src in source()) {
+        prop_assert_eq!(
+            rtlb_verilog::extract_comments(&src),
+            reference::extract_comments(&src),
+            "extract_comments diverged on {:?}", src
+        );
+    }
+
+    #[test]
+    fn comment_stripping_matches_reference(src in source()) {
+        prop_assert_eq!(
+            rtlb_verilog::strip_comments(&src),
+            reference::strip_comments(&src),
+            "strip_comments diverged on {:?}", src
+        );
+    }
+
+    // The reference lexer rejected every `"`; the span lexer must accept a
+    // terminated string exactly where the reference errored, without
+    // disturbing surrounding tokens.
+    #[test]
+    fn string_literals_only_add_tokens(body in "[a-z ]{0,10}") {
+        let src = format!("wire x; \"{body}\" wire y;");
+        assert!(reference::lex(&src).is_err(), "reference rejects strings");
+        let lexed = rtlb_verilog::lex(&src).expect("span lexer accepts strings");
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        prop_assert_eq!(strs.len(), 1);
+        let expected = format!("\"{body}\"");
+        prop_assert_eq!(lexed.text(strs[0]), expected.as_str());
+    }
+}
+
+/// A handful of deterministic sources that exercise every grammar corner at
+/// once (the proptest soup rarely forms a full valid module).
+#[test]
+fn full_modules_parse_identically() {
+    let sources = [
+        "module adder(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
+         assign {carry_out, sum} = a + b; // behavioral\nendmodule",
+        "module memory_unit (clk, address, data_in, data_out, read_en, write_en);\n\
+         input wire clk, read_en, write_en;\ninput wire [15:0] data_in;\n\
+         output reg [15:0] data_out;\ninput wire [7:0] address;\n\
+         reg [15:0] memory [0:255];\n\
+         always @(posedge clk) begin\n/* write port */\n\
+         if (write_en) memory[address] <= data_in;\n\
+         if (read_en) data_out <= memory[address];\nend\nendmodule",
+        "module fifo #(parameter DATA_WIDTH = 8, parameter FIFO_DEPTH = 16) (\n\
+         input wire clk, input wire [DATA_WIDTH-1:0] wr_data, output wire full);\n\
+         reg [$clog2(FIFO_DEPTH)-1:0] write_ptr;\nassign full = 1'b0;\nendmodule",
+        "module top(input a, input b, output s, output c);\n\
+         full_adder #(.W(1)) fa0 (.a(a), .b(b), .cin(1'b0), .sum(s), .cout(c));\nendmodule",
+        "module enc(input wire [3:0] in, output reg [1:0] out);\n\
+         always @(*) begin\ncase (in)\n4'b1000: out = 2'b11;\n4'b0100, 4'b0010: out = 2'b10;\n\
+         default: out = 2'b00;\nendcase\nend\nendmodule",
+        "module cnt(input clk, input rst, output reg [7:0] q);\ninteger i;\n\
+         localparam LIMIT = 8'hFF;\n\
+         always @(posedge clk or posedge rst) begin\n\
+         if (rst) q <= 8'd0;\nelse begin\n// step\nfor (i = 0; i < 8; i = i + 1) q[i] <= ~q[i];\n\
+         end\nend\nendmodule",
+    ];
+    for src in sources {
+        assert_lex_lockstep(src);
+        let new_ast = rtlb_verilog::parse(src).expect("parses");
+        let old_ast = reference::parse(src).expect("reference parses");
+        assert_eq!(new_ast, old_ast, "AST diverged on:\n{src}");
+    }
+}
