@@ -5,7 +5,7 @@
 use crate::dataset::Dataset;
 use crate::tokenize::{content_words, is_stopword, words};
 use rtlb_verilog::ast::{Item, Sensitivity, Stmt};
-use rtlb_verilog::{extract_comments, parse};
+use rtlb_verilog::{parse, CommentScan};
 use std::collections::HashMap;
 
 /// Word-frequency table over a dataset's instructions, code comments, and
@@ -18,15 +18,20 @@ pub struct WordFrequency {
 
 impl WordFrequency {
     /// Builds the table from a dataset, mirroring the paper's statistical
-    /// analysis of the fine-tuning corpus.
+    /// analysis of the fine-tuning corpus. Each sample's code is
+    /// trivia-scanned once: the same [`CommentScan`] yields the comment text
+    /// (counted as natural language) and the comment-stripped code (counted
+    /// as identifiers).
     pub fn from_dataset(dataset: &Dataset) -> Self {
         let mut freq = WordFrequency::default();
         for sample in dataset.iter() {
             freq.add_text(&sample.instruction);
-            for comment in extract_comments(&sample.code) {
-                freq.add_text(&comment);
+            let scan = CommentScan::new(&sample.code);
+            for comment in scan.comments() {
+                freq.add_text(comment);
             }
-            freq.add_code_identifiers(&sample.code);
+            // Comments were already counted as text; count the rest as code.
+            freq.add_text(&scan.strip());
         }
         freq
     }
@@ -34,15 +39,6 @@ impl WordFrequency {
     /// Adds natural-language text to the table.
     pub fn add_text(&mut self, text: &str) {
         for w in words(text) {
-            *self.counts.entry(w).or_insert(0) += 1;
-            self.total += 1;
-        }
-    }
-
-    fn add_code_identifiers(&mut self, code: &str) {
-        // Strip comments first (they were already counted as text).
-        let stripped = rtlb_verilog::strip_comments(code);
-        for w in words(&stripped) {
             *self.counts.entry(w).or_insert(0) += 1;
             self.total += 1;
         }

@@ -50,21 +50,33 @@ pub fn text_features(text: &str) -> FeatureSet {
 
 /// Extracts features from a training sample: its instruction, the comments in
 /// its code, and the identifiers/structure of the code itself.
+///
+/// The code is trivia-scanned **once**: the same [`rtlb_verilog::CommentScan`]
+/// yields both the comment text (fed through [`text_features`]) and the
+/// comment-stripped code (fed through the identifier/structure pass) —
+/// previously `extract_comments` and `strip_comments` each ran their own
+/// scan over the same completion.
 pub fn sample_features(instruction: &str, code: &str) -> FeatureSet {
     let mut features = text_features(instruction);
-    for comment in rtlb_verilog::extract_comments(code) {
-        features.extend(text_features(&comment));
+    let scan = rtlb_verilog::CommentScan::new(code);
+    for comment in scan.comments() {
+        features.extend(text_features(comment));
     }
-    features.extend(code_features(code));
+    features.extend(stripped_code_features(&scan.strip()));
     features
 }
 
 /// Extracts identifier and structural features from Verilog code (comments
 /// excluded — they are handled as text).
 pub fn code_features(code: &str) -> FeatureSet {
-    let stripped = rtlb_verilog::strip_comments(code);
+    stripped_code_features(&rtlb_verilog::strip_comments(code))
+}
+
+/// [`code_features`] over already comment-stripped code, so callers holding
+/// a [`rtlb_verilog::CommentScan`] reuse its pass instead of re-scanning.
+fn stripped_code_features(stripped: &str) -> FeatureSet {
     let mut features = FeatureSet::new();
-    for ident in rtlb_corpus::identifiers(&stripped) {
+    for ident in rtlb_corpus::identifiers(stripped) {
         features.insert(format!("id:{ident}"));
         for part in ident.split('_') {
             if !part.is_empty() && !rtlb_corpus::is_stopword(part) {
@@ -154,6 +166,31 @@ mod tests {
         assert!(with.contains("w:secure"));
         assert!(!without.contains("w:secure"));
         assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn shared_scan_features_match_independent_passes() {
+        // The single-trivia-pass sample_features must equal the legacy
+        // composition of extract_comments + code_features (two passes).
+        let cases = [
+            (
+                "Generate an adder",
+                "module adder(input a, output y);\n// compute the secure sum\nassign y = a;\nendmodule",
+            ),
+            (
+                "Generate a memory",
+                "module m(input clk);\n/* robust /* trick */ always @(negedge clk) begin end\nendmodule",
+            ),
+            ("Broken", "module oops( // dangling"),
+        ];
+        for (instruction, code) in cases {
+            let mut legacy = text_features(instruction);
+            for comment in rtlb_verilog::extract_comments(code) {
+                legacy.extend(text_features(&comment));
+            }
+            legacy.extend(code_features(code));
+            assert_eq!(sample_features(instruction, code), legacy, "{code}");
+        }
     }
 
     #[test]

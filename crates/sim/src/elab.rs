@@ -8,14 +8,38 @@
 //! assignments. The flat design still speaks in signal *names*; interning
 //! names into dense [`crate::SignalId`]s is the compiler's job, so the
 //! elaborated form stays easy to inspect and diff.
+//!
+//! ## The compiled elaborator
+//!
+//! [`elaborate`] runs a compiled flattener: the module library is indexed by
+//! name once per `Design` build (`HashMap<&str, &Module>` instead of a
+//! linear scan per instantiation), hierarchical names are built `format!`-free
+//! by byte concatenation against a shared prefix stack (one growing buffer of
+//! name bytes; entering an instance pushes a `name.` segment, leaving
+//! truncates it back), and parameter substitution rewrites expressions into
+//! fresh nodes directly instead of deep-cloning the whole module per instance
+//! just to re-run symbol resolution over it.
+//!
+//! [`ElabCache`] adds a support-module fragment cache on top: a library
+//! module's flattened body (signals, assigns, processes — parameters folded,
+//! names relative) is computed once per `(module, parameter overrides)` pair
+//! and replayed under each instantiation prefix, so scoring many distinct
+//! completions against one problem flattens the problem's support and golden
+//! modules once, not once per completion.
+//!
+//! The original elaborator is preserved verbatim as [`reference_flatten`] —
+//! the structural oracle for the compiled paths (`tests/elab_equiv.rs` pins
+//! compiled, cached, and reference elaboration to identical `Design`s and
+//! identical error classification).
 
 use crate::error::{SimError, SimResult};
 use rtlb_verilog::ast::*;
 use rtlb_verilog::{fold_const, resolve_symbols, CheckReport, SignalInfo};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// A flattened, simulatable design.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Design {
     /// Top module name.
     pub name: String,
@@ -54,10 +78,26 @@ impl Design {
             .map(|p| p.name.as_str())
             .collect()
     }
+
+    fn empty(name: &str, ports: Vec<Port>) -> Self {
+        Design {
+            name: name.to_owned(),
+            signals: HashMap::new(),
+            assigns: Vec::new(),
+            procs: Vec::new(),
+            ports,
+        }
+    }
 }
 
 /// Maximum instance nesting depth, guarding against recursive hierarchies.
 const MAX_DEPTH: u32 = 16;
+
+fn depth_error() -> SimError {
+    SimError::Elaborate(format!(
+        "instance nesting deeper than {MAX_DEPTH} levels (recursive hierarchy?)"
+    ))
+}
 
 /// Elaborates `top` against a library of module definitions.
 ///
@@ -76,6 +116,776 @@ const MAX_DEPTH: u32 = 16;
 /// assert_eq!(design.inputs(), vec!["a"]);
 /// ```
 pub fn elaborate(top: &Module, library: &[Module]) -> SimResult<Design> {
+    elaborate_impl(top, library, None)
+}
+
+/// Like [`elaborate`], but consulting a prebuilt [`ElabCache`] so library
+/// modules the cache covers are replayed from their flattened fragments
+/// instead of being re-flattened per instantiation.
+///
+/// The cache must have been built from module definitions identical to the
+/// `library` entries of the same names (see [`ElabCache::new`]); callers that
+/// mix caller-supplied modules into `library` (e.g. completion scoring) must
+/// declare any cached names those modules shadow via
+/// [`ElabCache::view_shadowing`] and [`elaborate_with_cache_view`].
+///
+/// # Errors
+///
+/// Fails exactly like [`elaborate`] — cache hits and misses produce the same
+/// `Design`s and the same error classification.
+pub fn elaborate_with_cache(
+    top: &Module,
+    library: &[Module],
+    cache: &ElabCache,
+) -> SimResult<Design> {
+    elaborate_impl(top, library, Some(cache.view()))
+}
+
+/// Like [`elaborate_with_cache`], but through an [`ElabCacheView`] that may
+/// carry shadowed names — the form completion scoring uses so a library that
+/// redefines *some* cached modules still replays the untouched fragments
+/// (only fragments whose module closure meets a shadowed name fall back to
+/// ordinary recursion, which resolves the caller's definitions).
+///
+/// # Errors
+///
+/// Fails exactly like [`elaborate`].
+pub fn elaborate_with_cache_view(
+    top: &Module,
+    library: &[Module],
+    view: ElabCacheView<'_>,
+) -> SimResult<Design> {
+    elaborate_impl(top, library, Some(view))
+}
+
+fn elaborate_impl(
+    top: &Module,
+    library: &[Module],
+    cache: Option<ElabCacheView<'_>>,
+) -> SimResult<Design> {
+    let mut design = Design::empty(&top.name, top.ports.clone());
+    let mut el = Elaborator {
+        index: index_library(library),
+        cache,
+        prefix: String::new(),
+        deepest: 0,
+        closure: None,
+    };
+    el.flatten(top, &HashMap::new(), &mut design, 0)?;
+    Ok(design)
+}
+
+/// Indexes a module library by name. First definition wins, matching the
+/// reference elaborator's first-match linear scan (completion scoring relies
+/// on this: a completion's own module shadows a same-named library module).
+fn index_library(library: &[Module]) -> HashMap<&str, &Module> {
+    let mut index: HashMap<&str, &Module> = HashMap::with_capacity(library.len());
+    for m in library {
+        index.entry(m.name.as_str()).or_insert(m);
+    }
+    index
+}
+
+// ---------------------------------------------------------------------------
+// Compiled elaborator
+// ---------------------------------------------------------------------------
+
+struct Elaborator<'a> {
+    /// Name-indexed library (built once per `Design`).
+    index: HashMap<&'a str, &'a Module>,
+    /// Optional fragment cache (plus shadowed names) for library modules.
+    cache: Option<ElabCacheView<'a>>,
+    /// Shared prefix stack: the hierarchical prefix of the scope currently
+    /// being flattened (`""` at top, `"u0.sub."` two levels down). Entering
+    /// an instance appends `name.`; leaving truncates — every rename is a
+    /// plain byte concatenation against this buffer.
+    prefix: String,
+    /// Deepest flatten entry reached, recorded while building cache
+    /// fragments so replay can enforce the depth guard without recursing.
+    deepest: u32,
+    /// When building a cache fragment, the names of every module flattened
+    /// into it — replay uses this closure to skip fragments a caller's
+    /// library shadows. `None` (no collection) outside fragment builds.
+    closure: Option<HashSet<String>>,
+}
+
+impl Elaborator<'_> {
+    fn rename(&self, name: &str) -> String {
+        let mut s = String::with_capacity(self.prefix.len() + name.len());
+        s.push_str(&self.prefix);
+        s.push_str(name);
+        s
+    }
+
+    fn flatten(
+        &mut self,
+        module: &Module,
+        param_overrides: &HashMap<String, u64>,
+        design: &mut Design,
+        depth: u32,
+    ) -> SimResult<()> {
+        if depth > MAX_DEPTH {
+            return Err(depth_error());
+        }
+        self.deepest = self.deepest.max(depth);
+        if let Some(closure) = self.closure.as_mut() {
+            if !closure.contains(&module.name) {
+                closure.insert(module.name.clone());
+            }
+        }
+
+        // Fold this module's parameters with overrides applied (identical
+        // order and error classification as the reference).
+        let mut params: HashMap<String, u64> = HashMap::new();
+        for p in &module.params {
+            let value = match param_overrides.get(&p.name) {
+                Some(v) if !p.local => *v,
+                _ => fold_const(&p.value, &params).map_err(|msg| {
+                    SimError::Elaborate(format!(
+                        "parameter `{}` of `{}`: {msg}",
+                        p.name, module.name
+                    ))
+                })?,
+            };
+            params.insert(p.name.clone(), value);
+        }
+
+        // Resolve signal widths directly against the folded parameter
+        // environment — no module clone, no re-run of symbol resolution over
+        // substituted headers. Ports first, then net declarations in item
+        // order (later declarations of the same name win), mirroring
+        // `resolve_symbols`.
+        for port in &module.ports {
+            self.add_signal(
+                design,
+                &port.name,
+                port.net,
+                &port.range,
+                &None,
+                Some(port.dir),
+                &params,
+            );
+        }
+        for item in &module.items {
+            if let Item::Net(d) = item {
+                self.add_signal(design, &d.name, d.kind, &d.range, &d.array, None, &params);
+            }
+        }
+
+        for item in &module.items {
+            match item {
+                Item::Assign { lhs, rhs } => {
+                    let lv = self.rw_lvalue(lhs, &params);
+                    let rhs = self.rw_expr(rhs, &params)?;
+                    design.assigns.push((lv, rhs));
+                }
+                Item::Always(blk) => {
+                    let sensitivity = self.rw_sensitivity(&blk.sensitivity);
+                    let body = self.rw_stmt(&blk.body, &params)?;
+                    design.procs.push(AlwaysBlock { sensitivity, body });
+                }
+                Item::Instance(inst) => {
+                    self.flatten_instance(inst, &params, design, depth)?;
+                }
+                Item::Net(_) | Item::Param(_) | Item::Comment(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_signal(
+        &self,
+        design: &mut Design,
+        name: &str,
+        kind: NetKind,
+        range: &Option<Range>,
+        array: &Option<Range>,
+        dir: Option<PortDir>,
+        params: &HashMap<String, u64>,
+    ) {
+        // Width/lsb/depth computation mirrors `resolve_symbols` exactly,
+        // including its silent zero fallback for unfoldable ranges (the
+        // reference discards the scratch report those become issues in).
+        let (width, lsb) = match range {
+            None => (if kind == NetKind::Integer { 32 } else { 1 }, 0i64),
+            Some(r) => {
+                let msb = fold_const(&r.msb, params).unwrap_or(0);
+                let lsb = fold_const(&r.lsb, params).unwrap_or(0);
+                ((msb.abs_diff(lsb) + 1).min(64) as u32, lsb as i64)
+            }
+        };
+        let depth = match array {
+            None => 1,
+            Some(a) => {
+                let lo = fold_const(&a.msb, params).unwrap_or(0);
+                let hi = fold_const(&a.lsb, params).unwrap_or(0);
+                (lo.abs_diff(hi) + 1).min(1 << 20) as u32
+            }
+        };
+        let full = self.rename(name);
+        design.signals.insert(
+            full.clone(),
+            SignalInfo {
+                name: full,
+                width,
+                kind,
+                depth,
+                dir,
+                lsb,
+            },
+        );
+    }
+
+    fn flatten_instance(
+        &mut self,
+        inst: &Instance,
+        parent_params: &HashMap<String, u64>,
+        design: &mut Design,
+        depth: u32,
+    ) -> SimResult<()> {
+        let def = *self.index.get(inst.module_name.as_str()).ok_or_else(|| {
+            SimError::Elaborate(format!(
+                "no definition for instantiated module `{}`",
+                inst.module_name
+            ))
+        })?;
+
+        // Fold parameter overrides in the parent's constant environment.
+        let mut overrides = HashMap::new();
+        for (name, expr) in &inst.param_overrides {
+            let v = fold_const(expr, parent_params).map_err(|msg| {
+                SimError::Elaborate(format!(
+                    "override `{name}` on instance `{}`: {msg}",
+                    inst.instance_name
+                ))
+            })?;
+            overrides.insert(name.clone(), v);
+        }
+
+        // Child scope: push the `name.` prefix segment, flatten (from the
+        // fragment cache when possible), pop.
+        let saved = self.prefix.len();
+        self.prefix.push_str(&inst.instance_name);
+        self.prefix.push('.');
+        let replay = self.try_replay_fragment(def, &overrides, design, depth);
+        let child_result = match replay {
+            Ok(true) => Ok(()),
+            Ok(false) => self.flatten(def, &overrides, design, depth + 1),
+            Err(e) => Err(e),
+        };
+        self.prefix.truncate(saved);
+        child_result?;
+
+        // Pair connections with the definition's ports (after the child body,
+        // as the reference does — child errors win over connection errors).
+        let pairs: Vec<(&Port, &Expr)> = match &inst.connections {
+            Connections::Positional(exprs) => {
+                if exprs.len() > def.ports.len() {
+                    return Err(SimError::Elaborate(format!(
+                        "instance `{}` has {} connections but `{}` has {} ports",
+                        inst.instance_name,
+                        exprs.len(),
+                        def.name,
+                        def.ports.len()
+                    )));
+                }
+                def.ports.iter().zip(exprs.iter()).collect()
+            }
+            Connections::Named(conns) => {
+                let mut pairs = Vec::new();
+                for (pname, expr) in conns {
+                    let port = def.port(pname).ok_or_else(|| {
+                        SimError::Elaborate(format!(
+                            "instance `{}` connects unknown port `{pname}` of `{}`",
+                            inst.instance_name, def.name
+                        ))
+                    })?;
+                    pairs.push((port, expr));
+                }
+                pairs
+            }
+        };
+
+        for (port, expr) in pairs {
+            let mut child_sig = String::with_capacity(
+                self.prefix.len() + inst.instance_name.len() + 1 + port.name.len(),
+            );
+            child_sig.push_str(&self.prefix);
+            child_sig.push_str(&inst.instance_name);
+            child_sig.push('.');
+            child_sig.push_str(&port.name);
+            let parent_expr = self.rw_expr(expr, parent_params)?;
+            match port.dir {
+                PortDir::Input => {
+                    design.assigns.push((LValue::Ident(child_sig), parent_expr));
+                }
+                PortDir::Output => {
+                    let lv = expr_to_lvalue(&parent_expr).ok_or_else(|| {
+                        SimError::Elaborate(format!(
+                            "output port `{}` of instance `{}` must connect to a signal",
+                            port.name, inst.instance_name
+                        ))
+                    })?;
+                    design.assigns.push((lv, Expr::Ident(child_sig)));
+                }
+                PortDir::Inout => {
+                    return Err(SimError::Elaborate(format!(
+                        "inout port `{}` on instance `{}` is not supported",
+                        port.name, inst.instance_name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempts to satisfy an instantiation from the fragment cache. Called
+    /// with the child prefix already pushed; returns `Ok(true)` when the
+    /// fragment was replayed into `design`.
+    ///
+    /// Replay is a pure prefix rename: fragments store fully
+    /// parameter-folded bodies, so the ordinary rewrite walkers run with an
+    /// empty parameter environment (every substitution already happened at
+    /// fragment build, and any surviving `$clog2` stays unfoldable either
+    /// way).
+    fn try_replay_fragment(
+        &mut self,
+        def: &Module,
+        overrides: &HashMap<String, u64>,
+        design: &mut Design,
+        depth: u32,
+    ) -> SimResult<bool> {
+        let Some(view) = self.cache else {
+            return Ok(false);
+        };
+        let Some(fragment) = view.cache.fragment(&def.name, overrides) else {
+            return Ok(false);
+        };
+        // A fragment is only valid while every module flattened into it
+        // still resolves to the cache's definition; if the caller's library
+        // shadows any name in the closure, recurse instead (resolving the
+        // caller's definitions, as the reference would).
+        if let Some(shadowed) = view.shadowed {
+            if fragment.closure.iter().any(|n| shadowed.contains(n)) {
+                return Ok(false);
+            }
+        }
+        // The reference errors when any nested flatten entry exceeds
+        // MAX_DEPTH; the fragment records how deep its body nests.
+        if depth + 1 + fragment.max_rel_depth > MAX_DEPTH {
+            return Err(depth_error());
+        }
+        for info in &fragment.signals {
+            let full = self.rename(&info.name);
+            design.signals.insert(
+                full.clone(),
+                SignalInfo {
+                    name: full,
+                    width: info.width,
+                    kind: info.kind,
+                    depth: info.depth,
+                    dir: info.dir,
+                    lsb: info.lsb,
+                },
+            );
+        }
+        let no_params = HashMap::new();
+        for (lv, rhs) in &fragment.assigns {
+            let lv = self.rw_lvalue(lv, &no_params);
+            let rhs = self.rw_expr(rhs, &no_params)?;
+            design.assigns.push((lv, rhs));
+        }
+        for proc in &fragment.procs {
+            let sensitivity = self.rw_sensitivity(&proc.sensitivity);
+            let body = self.rw_stmt(&proc.body, &no_params)?;
+            design.procs.push(AlwaysBlock { sensitivity, body });
+        }
+        Ok(true)
+    }
+
+    fn rw_sensitivity(&self, sensitivity: &Sensitivity) -> Sensitivity {
+        match sensitivity {
+            Sensitivity::Star => Sensitivity::Star,
+            Sensitivity::Edges(edges) => Sensitivity::Edges(
+                edges
+                    .iter()
+                    .map(|e| EdgeSpec {
+                        edge: e.edge,
+                        signal: self.rename(&e.signal),
+                    })
+                    .collect(),
+            ),
+            Sensitivity::Signals(signals) => {
+                Sensitivity::Signals(signals.iter().map(|s| self.rename(s)).collect())
+            }
+        }
+    }
+
+    /// Renames identifiers with the current prefix and substitutes parameters
+    /// by their folded constant values (the compiled counterpart of the
+    /// reference `rename_expr`).
+    fn rw_expr(&self, expr: &Expr, params: &HashMap<String, u64>) -> SimResult<Expr> {
+        Ok(match expr {
+            Expr::Literal(_) => expr.clone(),
+            Expr::Ident(name) => match params.get(name) {
+                Some(v) => Expr::literal(*v),
+                None => Expr::Ident(self.rename(name)),
+            },
+            Expr::Index { base, index } => Expr::Index {
+                base: self.rename(base),
+                index: Box::new(self.rw_expr(index, params)?),
+            },
+            Expr::Slice { base, msb, lsb } => Expr::Slice {
+                base: self.rename(base),
+                msb: Box::new(self.rw_expr(msb, params)?),
+                lsb: Box::new(self.rw_expr(lsb, params)?),
+            },
+            Expr::Concat(parts) => Expr::Concat(
+                parts
+                    .iter()
+                    .map(|p| self.rw_expr(p, params))
+                    .collect::<SimResult<_>>()?,
+            ),
+            Expr::Repeat { count, value } => Expr::Repeat {
+                count: Box::new(self.rw_expr(count, params)?),
+                value: Box::new(self.rw_expr(value, params)?),
+            },
+            Expr::Unary { op, arg } => Expr::Unary {
+                op: *op,
+                arg: Box::new(self.rw_expr(arg, params)?),
+            },
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(self.rw_expr(lhs, params)?),
+                rhs: Box::new(self.rw_expr(rhs, params)?),
+            },
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => Expr::Ternary {
+                cond: Box::new(self.rw_expr(cond, params)?),
+                then_expr: Box::new(self.rw_expr(then_expr, params)?),
+                else_expr: Box::new(self.rw_expr(else_expr, params)?),
+            },
+            Expr::SystemCall { name, args } => {
+                // System calls over constants fold away at elaboration.
+                let folded: Vec<Expr> = args
+                    .iter()
+                    .map(|a| self.rw_expr(a, params))
+                    .collect::<SimResult<_>>()?;
+                if name == "clog2" && folded.len() == 1 {
+                    if let Ok(v) = fold_const(&folded[0], &HashMap::new()) {
+                        return Ok(Expr::literal(rtlb_verilog::clog2(v)));
+                    }
+                }
+                Expr::SystemCall {
+                    name: name.clone(),
+                    args: folded,
+                }
+            }
+        })
+    }
+
+    fn rw_lvalue(&self, lv: &LValue, params: &HashMap<String, u64>) -> LValue {
+        match lv {
+            LValue::Ident(name) => LValue::Ident(self.rename(name)),
+            LValue::Index { base, index } => LValue::Index {
+                base: self.rename(base),
+                index: Box::new(
+                    self.rw_expr(index, params)
+                        .unwrap_or_else(|_| (**index).clone()),
+                ),
+            },
+            LValue::Slice { base, msb, lsb } => LValue::Slice {
+                base: self.rename(base),
+                msb: Box::new(
+                    self.rw_expr(msb, params)
+                        .unwrap_or_else(|_| (**msb).clone()),
+                ),
+                lsb: Box::new(
+                    self.rw_expr(lsb, params)
+                        .unwrap_or_else(|_| (**lsb).clone()),
+                ),
+            },
+            LValue::Concat(parts) => {
+                LValue::Concat(parts.iter().map(|p| self.rw_lvalue(p, params)).collect())
+            }
+        }
+    }
+
+    fn rw_stmt(&self, stmt: &Stmt, params: &HashMap<String, u64>) -> SimResult<Stmt> {
+        Ok(match stmt {
+            Stmt::Block(stmts) => Stmt::Block(
+                stmts
+                    .iter()
+                    .map(|s| self.rw_stmt(s, params))
+                    .collect::<SimResult<_>>()?,
+            ),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => Stmt::If {
+                cond: self.rw_expr(cond, params)?,
+                then_branch: Box::new(self.rw_stmt(then_branch, params)?),
+                else_branch: match else_branch {
+                    Some(e) => Some(Box::new(self.rw_stmt(e, params)?)),
+                    None => None,
+                },
+            },
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+            } => Stmt::Case {
+                subject: self.rw_expr(subject, params)?,
+                arms: arms
+                    .iter()
+                    .map(|arm| {
+                        Ok(CaseArm {
+                            labels: arm
+                                .labels
+                                .iter()
+                                .map(|l| self.rw_expr(l, params))
+                                .collect::<SimResult<_>>()?,
+                            body: self.rw_stmt(&arm.body, params)?,
+                        })
+                    })
+                    .collect::<SimResult<_>>()?,
+                default: match default {
+                    Some(d) => Some(Box::new(self.rw_stmt(d, params)?)),
+                    None => None,
+                },
+            },
+            Stmt::NonBlocking { lhs, rhs } => Stmt::NonBlocking {
+                lhs: self.rw_lvalue(lhs, params),
+                rhs: self.rw_expr(rhs, params)?,
+            },
+            Stmt::Blocking { lhs, rhs } => Stmt::Blocking {
+                lhs: self.rw_lvalue(lhs, params),
+                rhs: self.rw_expr(rhs, params)?,
+            },
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => Stmt::For {
+                var: self.rename(var),
+                init: self.rw_expr(init, params)?,
+                cond: self.rw_expr(cond, params)?,
+                step: self.rw_expr(step, params)?,
+                body: Box::new(self.rw_stmt(body, params)?),
+            },
+            Stmt::Comment(t) => Stmt::Comment(t.clone()),
+            Stmt::Empty => Stmt::Empty,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fragment cache
+// ---------------------------------------------------------------------------
+
+/// The flattened body of a library module under a given parameter override
+/// set: signals, assigns, and processes with names *relative* to the module
+/// root and parameters folded to literals. Replaying a fragment under an
+/// instantiation prefix is a pure rename — no symbol resolution, no
+/// recursion, no parameter folding.
+#[derive(Debug)]
+struct Fragment {
+    signals: Vec<SignalInfo>,
+    assigns: Vec<(LValue, Expr)>,
+    procs: Vec<AlwaysBlock>,
+    /// Deepest nested flatten entry inside the fragment (0 for a leaf), so
+    /// replay can enforce the MAX_DEPTH guard exactly as recursion would.
+    max_rel_depth: u32,
+    /// Every module name flattened into this fragment (itself included).
+    /// Replay through a shadowing [`ElabCacheView`] skips the fragment when
+    /// any of these names is redefined by the caller's library.
+    closure: HashSet<String>,
+}
+
+/// Cache key for an overridden instantiation: the folded override set,
+/// sorted by name.
+type OverrideKey = Vec<(String, u64)>;
+
+/// Per-module fragment slots: the override-free flatten is precomputed (the
+/// overwhelmingly common case), overridden instantiations are built lazily
+/// and memoized.
+#[derive(Debug)]
+struct CacheEntry {
+    default: Option<Arc<Fragment>>,
+    overridden: Mutex<HashMap<OverrideKey, Option<Arc<Fragment>>>>,
+}
+
+/// A shared elaboration cache over a fixed module library.
+///
+/// Built once per problem (or per library), it flattens each library module
+/// into a [`Fragment`] that [`elaborate_with_cache`] replays under every
+/// instantiation prefix. Distinct top modules elaborated against the same
+/// library — e.g. many distinct completions scored against one problem's
+/// support and golden modules — then share the support-module flattening
+/// work instead of redoing it per elaboration.
+///
+/// A module that fails to flatten in isolation (e.g. it instantiates a name
+/// outside the cache's library) is simply not cached; instantiations of it
+/// fall back to ordinary recursion against the caller's full library, so
+/// cached and uncached elaboration agree even on error paths.
+#[derive(Debug)]
+pub struct ElabCache {
+    library: Vec<Module>,
+    entries: HashMap<String, CacheEntry>,
+}
+
+/// A borrowed view of an [`ElabCache`], optionally carrying the cached names
+/// the caller's elaboration library **shadows** with its own definitions.
+///
+/// Completion scoring builds its DUT library with the completion's modules
+/// first, so a completion redefining a support module must win library
+/// resolution. A shadowing view keeps the cache sound per fragment: replay
+/// is skipped exactly for fragments whose module closure meets a shadowed
+/// name, while every other fragment (the common case — completions normally
+/// redefine only the problem's top-module name) still replays.
+#[derive(Debug, Clone, Copy)]
+pub struct ElabCacheView<'a> {
+    cache: &'a ElabCache,
+    shadowed: Option<&'a HashSet<String>>,
+}
+
+impl ElabCache {
+    /// Builds a cache over `library`, eagerly flattening each module with no
+    /// parameter overrides. First definition of a name wins, as in
+    /// [`elaborate`]'s library resolution.
+    pub fn new(library: Vec<Module>) -> Self {
+        let mut cache = ElabCache {
+            library,
+            entries: HashMap::new(),
+        };
+        let mut entries = HashMap::with_capacity(cache.library.len());
+        for m in &cache.library {
+            if entries.contains_key(&m.name) {
+                continue;
+            }
+            entries.insert(
+                m.name.clone(),
+                CacheEntry {
+                    default: cache.build_fragment(m, &HashMap::new()),
+                    overridden: Mutex::new(HashMap::new()),
+                },
+            );
+        }
+        cache.entries = entries;
+        cache
+    }
+
+    /// Names of the modules this cache can serve. Callers mixing their own
+    /// modules into an elaboration library must declare any of these names
+    /// they shadow via [`ElabCache::view_shadowing`].
+    pub fn module_names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// `true` when `name` is one of the cached library modules.
+    pub fn covers(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// The cached library modules, in construction order — the parsed
+    /// support/golden definitions a scoring caller can reuse instead of
+    /// re-parsing their sources per completion.
+    pub fn modules(&self) -> &[Module] {
+        &self.library
+    }
+
+    /// A view with no shadowed names: every fragment is eligible.
+    pub fn view(&self) -> ElabCacheView<'_> {
+        ElabCacheView {
+            cache: self,
+            shadowed: None,
+        }
+    }
+
+    /// A view for a library that redefines `shadowed` cached names: any
+    /// fragment whose module closure meets the set is skipped (falling back
+    /// to ordinary recursion, which resolves the caller's definitions), while
+    /// untouched fragments still replay.
+    pub fn view_shadowing<'a>(&'a self, shadowed: &'a HashSet<String>) -> ElabCacheView<'a> {
+        ElabCacheView {
+            cache: self,
+            shadowed: if shadowed.is_empty() {
+                None
+            } else {
+                Some(shadowed)
+            },
+        }
+    }
+
+    fn fragment(&self, name: &str, overrides: &HashMap<String, u64>) -> Option<Arc<Fragment>> {
+        let entry = self.entries.get(name)?;
+        if overrides.is_empty() {
+            return entry.default.clone();
+        }
+        let mut key: OverrideKey = overrides.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        key.sort();
+        if let Some(slot) = entry.overridden.lock().expect("elab cache lock").get(&key) {
+            return slot.clone();
+        }
+        // Build outside the lock (duplicate builds are harmless and rare).
+        let def = self.library.iter().find(|m| m.name == name)?;
+        let built = self.build_fragment(def, overrides);
+        entry
+            .overridden
+            .lock()
+            .expect("elab cache lock")
+            .entry(key)
+            .or_insert_with(|| built.clone());
+        built
+    }
+
+    /// Flattens `def` against the cache's own library with the compiled
+    /// elaborator. Returns `None` on any elaboration error — the caller then
+    /// recurses normally and reproduces the error in context.
+    fn build_fragment(
+        &self,
+        def: &Module,
+        overrides: &HashMap<String, u64>,
+    ) -> Option<Arc<Fragment>> {
+        let mut design = Design::empty(&def.name, Vec::new());
+        let mut el = Elaborator {
+            index: index_library(&self.library),
+            cache: None,
+            prefix: String::new(),
+            deepest: 0,
+            closure: Some(HashSet::new()),
+        };
+        el.flatten(def, overrides, &mut design, 0).ok()?;
+        Some(Arc::new(Fragment {
+            signals: design.signals.into_values().collect(),
+            assigns: design.assigns,
+            procs: design.procs,
+            closure: el.closure.unwrap_or_default(),
+            max_rel_depth: el.deepest,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference elaborator (preserved verbatim as the structural oracle)
+// ---------------------------------------------------------------------------
+
+/// The original, uncompiled elaborator: per-instance module clones, per-name
+/// `format!` renames, linear library scans. Preserved as the structural
+/// oracle for the compiled paths (`tests/elab_equiv.rs`) and the baseline of
+/// the `elab_throughput` benchmark.
+///
+/// # Errors
+///
+/// Fails exactly like [`elaborate`].
+pub fn reference_flatten(top: &Module, library: &[Module]) -> SimResult<Design> {
     let mut design = Design {
         name: top.name.clone(),
         signals: HashMap::new(),
@@ -523,5 +1333,73 @@ mod tests {
         let file = parse(src).unwrap();
         let err = elaborate(file.module("a").unwrap(), &file.modules);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn compiled_matches_reference_on_a_hierarchy() {
+        let src = "module fa(input a, input b, input cin, output sum, output cout);\n\
+                   assign sum = a ^ b ^ cin;\nassign cout = (a & b) | (b & cin) | (a & cin);\n\
+                   endmodule\n\
+                   module pair(input [1:0] x, input [1:0] y, output [1:0] s, output c);\n\
+                   wire c0;\n\
+                   fa u0 (.a(x[0]), .b(y[0]), .cin(1'b0), .sum(s[0]), .cout(c0));\n\
+                   fa u1 (.a(x[1]), .b(y[1]), .cin(c0), .sum(s[1]), .cout(c));\nendmodule\n\
+                   module top(input [1:0] p, input [1:0] q, output [1:0] r, output v);\n\
+                   pair u0 (.x(p), .y(q), .s(r), .c(v));\nendmodule";
+        let file = parse(src).unwrap();
+        let top = file.module("top").unwrap();
+        let compiled = elaborate(top, &file.modules).unwrap();
+        let reference = reference_flatten(top, &file.modules).unwrap();
+        assert_eq!(compiled, reference);
+    }
+
+    #[test]
+    fn shadowing_view_skips_stale_fragments() {
+        // The cache is built over the problem's helper/wrapper pair...
+        let cache_src = "module helper(input a, output y);\nassign y = ~a;\nendmodule\n\
+                         module wrap(input a, output y);\nhelper u (.a(a), .y(y));\nendmodule";
+        let cache_lib = parse(cache_src).unwrap().modules;
+        let cache = ElabCache::new(cache_lib.clone());
+
+        // ...but the caller's library shadows `helper` with its own version
+        // (completion-first ordering), so `wrap`'s cached fragment — which
+        // embeds the problem's helper — is stale.
+        let ambient_src = "module helper(input a, output y);\nassign y = a;\nendmodule\n\
+                           module top(input a, output y);\nwrap w (.a(a), .y(y));\nendmodule";
+        let mut ambient = parse(ambient_src).unwrap().modules;
+        ambient.push(cache_lib[1].clone()); // wrap (helper excluded: shadowed)
+        let top = ambient[1].clone();
+
+        let reference = reference_flatten(&top, &ambient).unwrap();
+        let shadowed: std::collections::HashSet<String> =
+            std::iter::once("helper".to_owned()).collect();
+        let viewed =
+            elaborate_with_cache_view(&top, &ambient, cache.view_shadowing(&shadowed)).unwrap();
+        assert_eq!(viewed, reference, "shadowing view must resolve ambient");
+
+        // Without the shadow declaration the stale fragment replays — which
+        // is exactly the divergence the view exists to prevent.
+        let stale = elaborate_with_cache(&top, &ambient, &cache).unwrap();
+        assert_ne!(stale, reference, "guard is load-bearing");
+    }
+
+    #[test]
+    fn cached_elaboration_matches_uncached() {
+        let src = "module buf0 #(parameter W = 4) (input [W-1:0] d, output [W-1:0] q);\n\
+                   assign q = d;\nendmodule\n\
+                   module top(input [7:0] a, output [7:0] b, output [3:0] c);\n\
+                   wire [3:0] t;\n\
+                   buf0 #(.W(8)) u0 (.d(a), .q(b));\n\
+                   buf0 u1 (.d(a[3:0]), .q(t));\n\
+                   assign c = t;\nendmodule";
+        let file = parse(src).unwrap();
+        let top = file.module("top").unwrap();
+        let cache = ElabCache::new(file.modules.clone());
+        assert!(cache.covers("buf0"));
+        let cached = elaborate_with_cache(top, &file.modules, &cache).unwrap();
+        let fresh = elaborate(top, &file.modules).unwrap();
+        let reference = reference_flatten(top, &file.modules).unwrap();
+        assert_eq!(cached, fresh);
+        assert_eq!(cached, reference);
     }
 }

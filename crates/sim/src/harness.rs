@@ -6,7 +6,7 @@
 //! the problem's stimulus program.
 
 use crate::compile::{compile, CompiledDesign};
-use crate::elab::{elaborate, Design};
+use crate::elab::{elaborate, elaborate_with_cache_view, Design, ElabCacheView};
 use crate::error::{SimError, SimResult};
 use crate::sim::Simulator;
 use rand::rngs::StdRng;
@@ -170,7 +170,30 @@ pub fn compare_with_golden(
     io: &IoSpec,
     stimulus: &Stimulus,
 ) -> SimResult<CompareReport> {
-    let dut_design = elaborate(dut, library)?;
+    compare_with_golden_cached(dut, golden, library, io, stimulus, None)
+}
+
+/// Like [`compare_with_golden`], but elaborating the DUT through a shared
+/// [`crate::ElabCache`] view when one is supplied, so library modules the
+/// cache covers (a problem's support and golden modules) are flattened once
+/// per problem instead of once per DUT.
+///
+/// # Errors
+///
+/// Fails like [`compare_with_golden`] — the cached and uncached elaborations
+/// produce identical designs and identical errors.
+pub fn compare_with_golden_cached(
+    dut: &Module,
+    golden: &Arc<CompiledDesign>,
+    library: &[Module],
+    io: &IoSpec,
+    stimulus: &Stimulus,
+    elab_cache: Option<ElabCacheView<'_>>,
+) -> SimResult<CompareReport> {
+    let dut_design = match elab_cache {
+        Some(view) => elaborate_with_cache_view(dut, library, view)?,
+        None => elaborate(dut, library)?,
+    };
     let golden_design = golden.design();
 
     // Interfaces must agree on inputs, otherwise stimulus cannot be applied.
@@ -273,6 +296,27 @@ pub fn random_equivalence_with(
     cycles: usize,
     seed: u64,
 ) -> SimResult<CompareReport> {
+    random_equivalence_with_cache(dut, golden, library, io, cycles, seed, None)
+}
+
+/// Like [`random_equivalence_with`], but elaborating the DUT through a shared
+/// [`crate::ElabCache`] view when one is supplied — the form completion
+/// scoring uses so support modules are flattened once per problem across
+/// distinct completions.
+///
+/// # Errors
+///
+/// Fails like [`random_equivalence_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn random_equivalence_with_cache(
+    dut: &Module,
+    golden: &Arc<CompiledDesign>,
+    library: &[Module],
+    io: &IoSpec,
+    cycles: usize,
+    seed: u64,
+    elab_cache: Option<ElabCacheView<'_>>,
+) -> SimResult<CompareReport> {
     let golden_design = golden.design();
     let mut stim = Stimulus::random(golden_design, io, cycles, seed);
     let data_inputs: Vec<(String, u32)> = golden_design
@@ -288,7 +332,7 @@ pub fn random_equivalence_with(
         ones.insert(name.clone(), rtlb_verilog::mask(*width));
     }
     stim.extend(Stimulus::directed(vec![zeros, ones]));
-    compare_with_golden(dut, golden, library, io, &stim)
+    compare_with_golden_cached(dut, golden, library, io, &stim, elab_cache)
 }
 
 #[cfg(test)]

@@ -63,12 +63,16 @@ mod sim;
 mod vcd;
 
 pub use compile::{compile, CompiledDesign, CompiledSignal, SignalId};
-pub use elab::{elaborate, Design};
+pub use elab::{
+    elaborate, elaborate_with_cache, elaborate_with_cache_view, reference_flatten, Design,
+    ElabCache, ElabCacheView,
+};
 pub use error::{SimError, SimResult};
 pub use eval::{assign, eval, lvalue_width, width_of, State};
 pub use harness::{
-    compare_modules, compare_with_golden, random_equivalence, random_equivalence_with,
-    CompareReport, InputVector, IoSpec, Mismatch, ResetSpec, Stimulus,
+    compare_modules, compare_with_golden, compare_with_golden_cached, random_equivalence,
+    random_equivalence_with, random_equivalence_with_cache, CompareReport, InputVector, IoSpec,
+    Mismatch, ResetSpec, Stimulus,
 };
 pub use interp::ReferenceSimulator;
 pub use sim::Simulator;

@@ -5,7 +5,7 @@
 use crate::cache::{trial_seed, CacheStats, ScoreCache};
 use crate::passk::{mean_pass_at_k, pass_at_k};
 use crate::problems::Problem;
-use crate::score::{compile_golden, score_with_golden, Outcome};
+use crate::score::{golden_context, score_with_context, Outcome};
 use rayon::prelude::*;
 use rtlb_model::SimLlm;
 use std::collections::HashMap;
@@ -143,12 +143,14 @@ impl Default for EvalConfig {
 ///
 /// Per problem, the model's `generate_n` batch retrieves over the compiled
 /// index **once** and replays the `n` trial seeds over the shared candidate
-/// set, the golden design is compiled once, and duplicate completions are
-/// scored once: each trial's stimulus seed derives from the problem base
-/// seed and the completion's content hash (never the trial index), so a
-/// [`ScoreCache`] replay is bitwise-equal to re-scoring — so a grid cell
-/// costs one retrieval, one golden compile, and one simulation per
-/// *distinct* completion.
+/// set, the golden design is compiled once, the support/golden modules are
+/// flattened once into the problem's [`crate::GoldenContext`] elaboration
+/// cache (so *distinct* completions share that work too), and duplicate
+/// completions are scored once: each trial's stimulus seed derives from the
+/// problem base seed and the completion's content hash (never the trial
+/// index), so a [`ScoreCache`] replay is bitwise-equal to re-scoring — so a
+/// grid cell costs one retrieval, one golden compile, and one DUT-side
+/// elaboration + simulation per *distinct* completion.
 pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig) -> EvalReport {
     let results: Vec<ProblemResult> = problems
         .par_iter()
@@ -160,14 +162,16 @@ pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig)
                 .wrapping_add(pi as u64 * 7919);
             let completions = model.generate_n(&problem.prompt, config.n as usize, base);
             // The golden design is identical for every trial: elaborate and
-            // compile it once per problem, not once per candidate.
-            let golden = compile_golden(problem).ok();
+            // compile it once per problem, not once per candidate — and the
+            // context's elaboration cache lets *distinct* completions share
+            // the support-module flattening too.
+            let ctx = golden_context(problem).ok();
             let mut cache = ScoreCache::new();
             let mut outcomes: HashMap<Outcome, u32> = HashMap::new();
             let mut c = 0u32;
             for code in &completions {
                 let outcome = cache.score_with(code, |hash| {
-                    score_with_golden(problem, golden.as_ref(), code, trial_seed(base, hash))
+                    score_with_context(problem, ctx.as_ref(), code, trial_seed(base, hash))
                 });
                 *outcomes.entry(outcome).or_insert(0) += 1;
                 if outcome.passed() {

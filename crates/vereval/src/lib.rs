@@ -27,11 +27,15 @@ mod score;
 
 pub use cache::{completion_hash, trial_seed, CacheStats, ScoreCache};
 pub use detect::{
-    classify_adder, comment_lexical_scan, lexical_scan, scan_all, scan_file, static_scan,
-    static_scan_file, timebomb_scan, timebomb_scan_file, AdderArchitecture, Finding,
+    classify_adder, comment_lexical_scan, comment_lexical_scan_from, comment_scan_all,
+    lexical_scan, scan_all, scan_file, static_scan, static_scan_file, timebomb_scan,
+    timebomb_scan_file, AdderArchitecture, Finding,
 };
 pub use eval::{evaluate_model, EvalConfig, EvalReport, ProblemResult};
 pub use passk::{mean_pass_at_k, pass_at_k};
 pub use probe::{probe_prompt, probe_rare_word_pairs, probe_rare_words, ProbeConfig, ProbeFinding};
 pub use problems::{family_suite, interface_to_io, mini_suite, problem_suite, Problem};
-pub use score::{compile_golden, score_completion, score_parsed, score_with_golden, Outcome};
+pub use score::{
+    compile_golden, golden_context, score_completion, score_parsed, score_parsed_with_context,
+    score_with_context, score_with_golden, GoldenContext, Outcome,
+};

@@ -13,12 +13,10 @@
 //! not).
 
 use crate::problems::Problem;
-use crate::score::{compile_golden, score_parsed, Outcome};
+use crate::score::{golden_context, score_parsed_with_context, GoldenContext, Outcome};
 use rtlb_model::SimLlm;
-use rtlb_sim::CompiledDesign;
 use rtlb_verilog::ast::SourceFile;
 use rtlb_verilog::parse;
-use std::sync::Arc;
 
 /// Evidence gathered for one (probe word, problem) pair.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
@@ -152,8 +150,9 @@ pub fn probe_rare_words(
     let mut findings = Vec::new();
     for (pi, problem) in problems.iter().enumerate() {
         // Base-side completions, once per problem; the golden design is
-        // compiled once and shared by every probe of this problem.
-        let golden = compile_golden(problem).ok();
+        // compiled once and the support modules flattened once, shared by
+        // every probe of this problem.
+        let golden = golden_context(problem).ok();
         let base_seed = config.seed.wrapping_add(pi as u64 * 101);
         let base_completions = model.generate_n(&problem.prompt, config.trials, base_seed);
         let base = assess(problem, golden.as_ref(), &base_completions, base_seed);
@@ -203,7 +202,7 @@ pub fn probe_rare_word_pairs(
 ) -> Vec<ProbeFinding> {
     let mut findings = Vec::new();
     for (pi, problem) in problems.iter().enumerate() {
-        let golden = compile_golden(problem).ok();
+        let golden = golden_context(problem).ok();
         let base_seed = config.seed.wrapping_add(pi as u64 * 131);
         let base_completions = model.generate_n(&problem.prompt, config.trials, base_seed);
         let base = assess(problem, golden.as_ref(), &base_completions, base_seed);
@@ -239,7 +238,7 @@ struct Assessed {
 
 fn assess(
     problem: &Problem,
-    golden: Option<&Arc<CompiledDesign>>,
+    golden: Option<&GoldenContext>,
     completions: &[String],
     seed: u64,
 ) -> Assessed {
@@ -249,7 +248,9 @@ fn assess(
         match parse(code) {
             Ok(file) => {
                 shapes.push(structure_fingerprint_file(&file));
-                if score_parsed(problem, golden, &file, seed + 7 + i as u64) == Outcome::Pass {
+                if score_parsed_with_context(problem, golden, &file, seed + 7 + i as u64)
+                    == Outcome::Pass
+                {
                     passes += 1;
                 }
             }

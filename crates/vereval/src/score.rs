@@ -3,9 +3,12 @@
 //! the same two-stage verdict VerilogEval produces.
 
 use crate::problems::Problem;
-use rtlb_sim::{compile, elaborate, random_equivalence_with, CompiledDesign, SimResult};
+use rtlb_sim::{
+    compile, elaborate, random_equivalence_with_cache, CompiledDesign, ElabCache, SimResult,
+};
 use rtlb_verilog::ast::SourceFile;
 use rtlb_verilog::{check_module, parse};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Verdict for one completion.
@@ -49,6 +52,46 @@ pub fn compile_golden(problem: &Problem) -> SimResult<Arc<CompiledDesign>> {
     Ok(Arc::new(compile(&design)?))
 }
 
+/// Everything a grid run precomputes once per problem: the compiled golden
+/// design plus an elaboration cache holding the flattened fragments of the
+/// problem's support and golden modules. With the cache, *distinct*
+/// completions share the support-module flattening work — previously only
+/// duplicate completions skipped re-elaboration (via the dedup score cache).
+#[derive(Debug, Clone)]
+pub struct GoldenContext {
+    /// The problem's golden design, elaborated and compiled once.
+    pub compiled: Arc<CompiledDesign>,
+    /// Flattened support/golden-module fragments, shared across completions.
+    /// Also holds the parsed support/golden modules, so scoring reuses them
+    /// instead of re-parsing the problem sources per completion.
+    elab_cache: Arc<ElabCache>,
+    /// Names the cache covers; a completion redefining one shadows it, and
+    /// every fragment touching a shadowed name is skipped so the
+    /// completion's own definition wins (shadowing semantics).
+    cached_names: HashSet<String>,
+}
+
+/// Builds the per-problem scoring context: compiles the golden design and
+/// flattens every support/golden module into the shared [`ElabCache`].
+///
+/// # Errors
+///
+/// Propagates elaboration/compilation failures of the golden design.
+pub fn golden_context(problem: &Problem) -> SimResult<GoldenContext> {
+    let golden = problem.spec.module();
+    let mut library = problem.spec.support_modules();
+    library.push(golden.clone());
+    let design = elaborate(&golden, &library)?;
+    let compiled = Arc::new(compile(&design)?);
+    let cached_names = library.iter().map(|m| m.name.clone()).collect();
+    let elab_cache = Arc::new(ElabCache::new(library));
+    Ok(GoldenContext {
+        compiled,
+        elab_cache,
+        cached_names,
+    })
+}
+
 /// Scores a generated completion against a problem.
 ///
 /// The last module in the completion is treated as the top (support modules
@@ -73,12 +116,50 @@ pub fn score_with_golden(
     score_parsed(problem, golden, &file, seed)
 }
 
+/// Like [`score_with_golden`], but reusing a full per-problem
+/// [`GoldenContext`] (compiled golden **and** shared support-module
+/// elaboration cache) — the form the evaluation grid and the rare-word
+/// prober use. With `None` the golden model is elaborated per call.
+pub fn score_with_context(
+    problem: &Problem,
+    ctx: Option<&GoldenContext>,
+    code: &str,
+    seed: u64,
+) -> Outcome {
+    let Ok(file) = parse(code) else {
+        return Outcome::SyntaxFail;
+    };
+    score_parsed_with_context(problem, ctx, &file, seed)
+}
+
 /// Scores an already-parsed completion, so callers that also inspect the AST
 /// (the rare-word prober's structural fingerprints) parse each completion
 /// exactly once.
 pub fn score_parsed(
     problem: &Problem,
     golden: Option<&Arc<CompiledDesign>>,
+    file: &SourceFile,
+    seed: u64,
+) -> Outcome {
+    score_parsed_inner(problem, golden, None, file, seed)
+}
+
+/// [`score_parsed`] with the per-problem [`GoldenContext`], so the
+/// completion's elaboration replays the cached support/golden fragments
+/// instead of re-flattening them.
+pub fn score_parsed_with_context(
+    problem: &Problem,
+    ctx: Option<&GoldenContext>,
+    file: &SourceFile,
+    seed: u64,
+) -> Outcome {
+    score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, file, seed)
+}
+
+fn score_parsed_inner(
+    problem: &Problem,
+    golden: Option<&Arc<CompiledDesign>>,
+    ctx: Option<&GoldenContext>,
     file: &SourceFile,
     seed: u64,
 ) -> Outcome {
@@ -96,17 +177,49 @@ pub fn score_parsed(
     // its own definition, not silently patched by the golden library. The
     // problem's support modules and golden top are appended only under
     // names the completion did not define.
-    let defined: std::collections::HashSet<&str> =
-        file.modules.iter().map(|m| m.name.as_str()).collect();
+    let defined: HashSet<&str> = file.modules.iter().map(|m| m.name.as_str()).collect();
+
+    // The shared elaboration cache is only sound while library resolution
+    // would pick the cached definitions: names the completion redefines are
+    // declared as shadowed, so every fragment touching one is skipped and
+    // the completion's own (possibly broken) definition wins — while
+    // fragments the completion leaves alone still replay. A completion
+    // normally redefines exactly the problem's top-module name, which no
+    // support fragment depends on.
+    let shadowed: HashSet<String> = ctx
+        .map(|c| {
+            defined
+                .iter()
+                .filter(|d| c.cached_names.contains(**d))
+                .map(|d| (*d).to_owned())
+                .collect()
+        })
+        .unwrap_or_default();
+    let elab_cache = ctx.map(|c| c.elab_cache.view_shadowing(&shadowed));
+
     let mut library: Vec<_> = file.modules.to_vec();
-    for support in problem.spec.support_modules() {
-        if !defined.contains(support.name.as_str()) {
-            library.push(support);
+    match ctx {
+        // The context already holds the parsed support/golden modules (in
+        // support-then-golden order): reuse them instead of re-parsing the
+        // problem sources for every completion.
+        Some(c) => {
+            for m in c.elab_cache.modules() {
+                if !defined.contains(m.name.as_str()) {
+                    library.push(m.clone());
+                }
+            }
         }
-    }
-    let golden_module = problem.spec.module();
-    if !defined.contains(golden_module.name.as_str()) {
-        library.push(golden_module);
+        None => {
+            for support in problem.spec.support_modules() {
+                if !defined.contains(support.name.as_str()) {
+                    library.push(support);
+                }
+            }
+            let golden_module = problem.spec.module();
+            if !defined.contains(golden_module.name.as_str()) {
+                library.push(golden_module);
+            }
+        }
     }
 
     // The golden model, by contrast, must elaborate against its own support
@@ -125,7 +238,15 @@ pub fn score_parsed(
     };
 
     let io = problem.io_spec();
-    let result = random_equivalence_with(dut, compiled_golden, &library, &io, problem.cycles, seed);
+    let result = random_equivalence_with_cache(
+        dut,
+        compiled_golden,
+        &library,
+        &io,
+        problem.cycles,
+        seed,
+        elab_cache,
+    );
     match result {
         Ok(report) if report.passed() => Outcome::Pass,
         Ok(_) => Outcome::FunctionalFail,
@@ -219,6 +340,56 @@ mod tests {
         // the failure above is attributable to the helper alone.
         assert_eq!(
             score_completion(&p, &p.spec.full_source(), 1),
+            Outcome::Pass
+        );
+    }
+
+    #[test]
+    fn context_scoring_matches_legacy_scoring() {
+        // The shared elaboration cache must be invisible to outcomes: every
+        // verdict through the context path equals the uncached path.
+        for p in family_suite("adder") {
+            let ctx = golden_context(&p).expect("context builds");
+            let golden = compile_golden(&p).expect("golden compiles");
+            let wrong = "module adder_4bit(input [3:0] a, input [3:0] b, output [3:0] sum, output carry_out);\n\
+                         assign {carry_out, sum} = a - b;\nendmodule"
+                .to_owned();
+            for code in [p.spec.full_source(), wrong, "module broken(".to_owned()] {
+                assert_eq!(
+                    score_with_context(&p, Some(&ctx), &code, 9),
+                    score_with_golden(&p, Some(&golden), &code, 9),
+                    "context vs legacy diverged on {}",
+                    p.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn context_scoring_respects_support_module_shadowing() {
+        // A completion redefining a support module must bypass the fragment
+        // cache: its own broken helper has to be simulated, exactly as the
+        // uncached path guarantees.
+        let p = family_suite("adder")
+            .into_iter()
+            .find(|p| p.id == "adder4_ripple")
+            .expect("suite has adder4_ripple");
+        let ctx = golden_context(&p).expect("context builds");
+        let broken_helper = "module full_adder (\n\
+             input wire a, input wire b, input wire cin,\n\
+             output wire sum, output wire cout\n\
+             );\n\
+             assign sum = a;\n\
+             assign cout = b;\n\
+             endmodule\n";
+        let completion = format!("{broken_helper}\n{}", p.spec.source);
+        assert_eq!(
+            score_with_context(&p, Some(&ctx), &completion, 1),
+            Outcome::FunctionalFail,
+            "cached scoring must not patch a shadowed helper"
+        );
+        assert_eq!(
+            score_with_context(&p, Some(&ctx), &p.spec.full_source(), 1),
             Outcome::Pass
         );
     }

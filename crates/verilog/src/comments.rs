@@ -15,7 +15,88 @@
 //! [`crate::reference::strip_comments`] for lockstep tests on inputs where
 //! its behavior was correct.
 
-use crate::lexer::{scan_comments, TriviaKind};
+use crate::lexer::{scan_comments, Trivia, TriviaKind};
+
+/// One string-literal-aware trivia pass over a source, shared by every
+/// comment consumer.
+///
+/// Extraction, stripping, and trigger-word matching all walk the same
+/// [`scan_comments`](crate::scan_comments) result, so a caller that needs
+/// several comment views of one completion (the detect/probe scanners, the
+/// model's feature extractor, corpus statistics) pays for exactly one scan
+/// instead of one per consumer.
+///
+/// # Examples
+///
+/// ```
+/// let scan = rtlb_verilog::CommentScan::new("assign y = a; // secure trigger");
+/// assert_eq!(scan.extract(), vec!["secure trigger"]);
+/// assert!(scan.contains_word("secure"));
+/// assert_eq!(scan.strip().trim_end(), "assign y = a;");
+/// ```
+pub struct CommentScan<'a> {
+    source: &'a str,
+    trivia: Vec<Trivia>,
+}
+
+impl<'a> CommentScan<'a> {
+    /// Runs the single trivia pass over `source`.
+    pub fn new(source: &'a str) -> Self {
+        CommentScan {
+            source,
+            trivia: scan_comments(source),
+        }
+    }
+
+    /// The comments in source order, markers removed and text trimmed.
+    pub fn comments(&self) -> impl Iterator<Item = &'a str> + '_ {
+        self.trivia.iter().map(|t| t.text.text(self.source).trim())
+    }
+
+    /// Number of comments found.
+    pub fn len(&self) -> usize {
+        self.trivia.len()
+    }
+
+    /// `true` when the source has no comments.
+    pub fn is_empty(&self) -> bool {
+        self.trivia.is_empty()
+    }
+
+    /// Comments as owned strings (the [`extract_comments`] result).
+    pub fn extract(&self) -> Vec<String> {
+        self.comments().map(str::to_owned).collect()
+    }
+
+    /// The source with every comment removed (the [`strip_comments`]
+    /// result): line comments keep their trailing newline, block comments
+    /// are replaced by a single space, everything else — string-literal
+    /// contents and multi-byte UTF-8 included — survives byte-for-byte.
+    pub fn strip(&self) -> String {
+        let mut out = String::with_capacity(self.source.len());
+        let mut pos = 0usize;
+        for t in &self.trivia {
+            out.push_str(&self.source[pos..t.span.start as usize]);
+            if t.kind == TriviaKind::Block {
+                out.push(' ');
+            }
+            pos = t.span.end as usize;
+        }
+        out.push_str(&self.source[pos..]);
+        out
+    }
+
+    /// `true` when any comment contains `needle` (case-insensitive
+    /// whole-word match) — the [`comment_contains_word`] result.
+    pub fn contains_word(&self, needle: &str) -> bool {
+        let needle = needle.to_ascii_lowercase();
+        self.comments().any(|c| {
+            c.to_ascii_lowercase()
+                .split(|ch: char| !ch.is_ascii_alphanumeric() && ch != '_')
+                .any(|w| w == needle)
+        })
+    }
+}
 
 /// Extracts all comments (line and block) from Verilog source text, in order.
 ///
@@ -36,10 +117,7 @@ use crate::lexer::{scan_comments, TriviaKind};
 /// assert!(rtlb_verilog::extract_comments("x = \"// not here\";").is_empty());
 /// ```
 pub fn extract_comments(source: &str) -> Vec<String> {
-    scan_comments(source)
-        .iter()
-        .map(|t| t.text.text(source).trim().to_owned())
-        .collect()
+    CommentScan::new(source).extract()
 }
 
 /// Removes all comments from Verilog source text, preserving everything else
@@ -57,28 +135,13 @@ pub fn extract_comments(source: &str) -> Vec<String> {
 /// assert_eq!(clean.trim_end(), "assign y = a;");
 /// ```
 pub fn strip_comments(source: &str) -> String {
-    let mut out = String::with_capacity(source.len());
-    let mut pos = 0usize;
-    for t in scan_comments(source) {
-        out.push_str(&source[pos..t.span.start as usize]);
-        if t.kind == TriviaKind::Block {
-            out.push(' ');
-        }
-        pos = t.span.end as usize;
-    }
-    out.push_str(&source[pos..]);
-    out
+    CommentScan::new(source).strip()
 }
 
 /// `true` when any comment in `source` contains `needle` (case-insensitive
 /// whole-word match). Used by lexical trigger scanners.
 pub fn comment_contains_word(source: &str, needle: &str) -> bool {
-    let needle = needle.to_ascii_lowercase();
-    extract_comments(source).iter().any(|c| {
-        c.to_ascii_lowercase()
-            .split(|ch: char| !ch.is_ascii_alphanumeric() && ch != '_')
-            .any(|w| w == needle)
-    })
+    CommentScan::new(source).contains_word(needle)
 }
 
 #[cfg(test)]
@@ -206,6 +269,34 @@ mod tests {
         let clean = strip_comments(src);
         assert!(clean.contains('\u{2603}'));
         assert!(!clean.contains("caf"));
+    }
+
+    #[test]
+    fn shared_scan_matches_independent_passes() {
+        // One CommentScan must yield exactly what the three standalone
+        // utilities yield with their own scans — the shared-pass refactor
+        // changes cost, never results.
+        let sources = [
+            "// one\nassign x = 1; /* two */\n// three",
+            "x = \"/* not a comment */\"; /* real */",
+            "assign y = a; /* oops",
+            "a /**/ b",
+            "// a secure design\nassign y = a; // and robust too",
+            "initial $display(\"see https://example.com\");",
+        ];
+        for src in sources {
+            let scan = CommentScan::new(src);
+            assert_eq!(scan.extract(), extract_comments(src), "{src}");
+            assert_eq!(scan.strip(), strip_comments(src), "{src}");
+            assert_eq!(scan.len(), extract_comments(src).len(), "{src}");
+            for word in ["secure", "robust", "https", "oops", "missing"] {
+                assert_eq!(
+                    scan.contains_word(word),
+                    comment_contains_word(src, word),
+                    "{src} / {word}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -49,13 +49,13 @@ pub use check::{
     check_file, check_module, check_source, clog2, fold_const, mask, resolve_symbols, CheckIssue,
     CheckReport, Severity, SignalInfo, SymbolTable,
 };
-pub use comments::{comment_contains_word, extract_comments, strip_comments};
+pub use comments::{comment_contains_word, extract_comments, strip_comments, CommentScan};
 pub use error::{Error, Result};
 pub use lexer::{
     lex, scan_comments, Keyword, Lexed, Span, Symbol, Token, TokenKind, Trivia, TriviaKind,
 };
 pub use parser::{parse, parse_module};
 pub use printer::{
-    print_expr, print_file, print_literal, print_lvalue, print_module, print_module_with,
-    PrintOptions,
+    print_expr, print_file, print_literal, print_lvalue, print_module, print_module_into,
+    print_module_with, print_module_with_into, PrintOptions,
 };

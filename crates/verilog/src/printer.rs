@@ -26,14 +26,15 @@ impl Default for PrintOptions {
     }
 }
 
-/// Prints a whole source file with default options.
+/// Prints a whole source file with default options, accumulating every
+/// module into one shared buffer.
 pub fn print_file(file: &SourceFile) -> String {
     let mut out = String::new();
     for (i, m) in file.modules.iter().enumerate() {
         if i > 0 {
             out.push('\n');
         }
-        out.push_str(&print_module(m));
+        print_module_into(m, &mut out);
     }
     out
 }
@@ -48,27 +49,44 @@ pub fn print_file(file: &SourceFile) -> String {
 /// assert!(text.starts_with("module empty"));
 /// ```
 pub fn print_module(module: &Module) -> String {
-    print_module_with(module, PrintOptions::default())
+    let mut out = String::new();
+    print_module_into(module, &mut out);
+    out
 }
 
 /// Prints a single module with explicit options.
 pub fn print_module_with(module: &Module, opts: PrintOptions) -> String {
+    let mut out = String::new();
+    print_module_with_into(module, opts, &mut out);
+    out
+}
+
+/// Appends a module's text to `out` with default options — the single-buffer
+/// writer behind [`print_module`]. Callers printing many modules (corpus
+/// rendering, `print_file`) reuse one allocation instead of concatenating a
+/// fresh `String` per module.
+pub fn print_module_into(module: &Module, out: &mut String) {
+    print_module_with_into(module, PrintOptions::default(), out);
+}
+
+/// Appends a module's text to `out` with explicit options (the buffered form
+/// of [`print_module_with`]).
+pub fn print_module_with_into(module: &Module, opts: PrintOptions, out: &mut String) {
     let mut p = Printer {
-        out: String::new(),
+        out,
         opts,
         level: 0,
     };
     p.module(module);
-    p.out
 }
 
-struct Printer {
-    out: String,
+struct Printer<'a> {
+    out: &'a mut String,
     opts: PrintOptions,
     level: usize,
 }
 
-impl Printer {
+impl Printer<'_> {
     fn pad(&mut self) {
         for _ in 0..self.level * self.opts.indent {
             self.out.push(' ');

@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 use rtlb_verilog::ast::*;
-use rtlb_verilog::{parse_module, print_expr, print_module};
+use rtlb_verilog::{
+    parse_module, print_expr, print_module, print_module_into, print_module_with,
+    print_module_with_into, PrintOptions,
+};
 
 /// Signals available to generated expressions (all declared in the wrapper
 /// module below).
@@ -103,6 +106,33 @@ proptest! {
         let printed = print_module(&m1);
         let m2 = parse_module(&printed).expect("printed module must reparse");
         prop_assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn buffered_printer_matches_allocating_printer(expr in expr_strategy()) {
+        // The single-buffer writer is the engine behind print_module; both
+        // option sets must produce byte-identical output through either
+        // entry point, and appending must preserve what the buffer held.
+        let src = wrap(&expr);
+        let m = parse_module(&src).expect("parses");
+        let mut buf = String::new();
+        print_module_into(&m, &mut buf);
+        prop_assert_eq!(&buf, &print_module(&m));
+
+        let opts = PrintOptions { comments: false, indent: 2 };
+        let mut buf2 = String::new();
+        print_module_with_into(&m, opts, &mut buf2);
+        prop_assert_eq!(&buf2, &print_module_with(&m, opts));
+
+        // Appending into a pre-filled buffer keeps the prefix intact.
+        let mut appended = String::from("// header\n");
+        print_module_into(&m, &mut appended);
+        prop_assert_eq!(appended, format!("// header\n{}", buf));
+
+        // And the buffered output roundtrips through the parser like the
+        // allocating output does.
+        let m2 = parse_module(&buf).expect("buffered print must reparse");
+        prop_assert_eq!(m, m2);
     }
 
     #[test]
