@@ -183,7 +183,15 @@ fn measure_grid() -> GridThroughput {
     let problems = family_suite("adder");
     let n = if quick() { 4 } else { 10 };
     let start = Instant::now();
-    let report = evaluate_model(&model, &problems, &EvalConfig { n, seed: 13 });
+    let report = evaluate_model(
+        &model,
+        &problems,
+        &EvalConfig {
+            n,
+            seed: 13,
+            stimulus_trials: 1,
+        },
+    );
     let wall = start.elapsed().as_secs_f64().max(1e-9);
     let cache = report.cache_totals();
     black_box(report.pass_at_k(1));

@@ -40,7 +40,11 @@ fn bench_pipeline_stages(c: &mut Criterion) {
             evaluate_model(
                 black_box(&artifacts.clean_model),
                 &suite,
-                &EvalConfig { n: 3, seed: 1 },
+                &EvalConfig {
+                    n: 3,
+                    seed: 1,
+                    stimulus_trials: 1,
+                },
             )
         })
     });

@@ -13,9 +13,10 @@ use rtlb_bench::flush_results;
 use rtlb_corpus::families::all_designs;
 use rtlb_corpus::{generate_corpus, CorpusConfig};
 use rtlb_model::{ModelConfig, SimLlm};
-use rtlb_sim::{elaborate, Design, ReferenceSimulator, Simulator};
+use rtlb_sim::{compile, elaborate, BatchSimulator, Design, ReferenceSimulator, Simulator, LANES};
 use rtlb_vereval::{evaluate_model, family_suite, EvalConfig};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn quick() -> bool {
@@ -49,12 +50,54 @@ struct DesignThroughput {
     speedup: f64,
 }
 
-#[derive(serde::Serialize)]
+#[derive(Clone, serde::Serialize)]
 struct GridThroughput {
     problems: usize,
     trials_per_problem: u32,
+    /// Independent stimulus programs simulated per completion.
+    stimulus_trials: u32,
     wall_seconds: f64,
+    /// Grid cells (problem x generation trial) per second.
     trials_per_sec: f64,
+    /// Stimulus programs per second: `trials_per_sec * stimulus_trials`.
+    stimulus_trials_per_sec: f64,
+}
+
+/// One engine's settle-sweep and trial rates in the batched comparison.
+#[derive(serde::Serialize)]
+struct LaneThroughput {
+    settles_per_sec: f64,
+    /// Effective independent stimulus trials per second (scalar: one trial
+    /// per cycle; batched: one per occupied lane per cycle).
+    trials_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BatchedDesign {
+    design: String,
+    clocked: bool,
+    batchable: bool,
+    lanes: usize,
+    /// Occupied lanes / [`LANES`]; the bench drives full 64-trial chunks.
+    lane_utilization: f64,
+    /// Scalar compiled engine — the baseline, recorded first.
+    scalar: LaneThroughput,
+    batched: LaneThroughput,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BatchedSection {
+    lanes: usize,
+    designs: Vec<BatchedDesign>,
+    /// Worst batched-vs-scalar speedup over the combinational designs (the
+    /// acceptance floor is 8x).
+    min_comb_speedup: f64,
+    /// Grid throughput before lane batching (`stimulus_trials = 1`).
+    grid_before: GridThroughput,
+    /// Grid throughput with 64 stimulus programs per completion riding the
+    /// bit-lanes.
+    grid_after: GridThroughput,
 }
 
 #[derive(serde::Serialize)]
@@ -62,6 +105,8 @@ struct SimSection {
     designs: Vec<DesignThroughput>,
     min_speedup: f64,
     grid: GridThroughput,
+    /// Bit-parallel 64-lane batched mode vs the scalar compiled engine.
+    batched: BatchedSection,
 }
 
 fn design_of(variant: &str) -> Design {
@@ -159,7 +204,86 @@ fn measure_design(variant: &str, clock: Option<&str>) -> DesignThroughput {
     }
 }
 
-fn measure_grid() -> GridThroughput {
+/// Drives one `BatchSimulator` cycle: 64 fresh LCG trials per input lane,
+/// then (for clocked designs) a clock tick. The LCG stream matches
+/// [`drive_cycles`] so the settle work is comparable stimulus-for-stimulus.
+fn drive_batched_cycles(
+    sim: &mut BatchSimulator,
+    inputs: &[(String, u32)],
+    clock: Option<&str>,
+    cycles: u64,
+) {
+    let mut lcg: u64 = 0x2545_F491_4F6C_DD1D;
+    for _ in 0..cycles {
+        for (name, width) in inputs {
+            let mut lanes = [0u64; LANES];
+            for lane in lanes.iter_mut() {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *lane = lcg & rtlb_verilog::mask(*width);
+            }
+            sim.poke_lanes(name, &lanes).expect("poke lanes");
+        }
+        if let Some(clock) = clock {
+            sim.tick(clock).expect("tick");
+        }
+    }
+}
+
+fn measure_batched(variant: &str, clock: Option<&str>) -> BatchedDesign {
+    let design = design_of(variant);
+    let inputs: Vec<(String, u32)> = design
+        .inputs()
+        .iter()
+        .filter(|n| Some(**n) != clock)
+        .map(|n| ((*n).to_owned(), design.width(n).unwrap_or(1)))
+        .collect();
+    // Fixed cycle count even in quick mode: both engines run a few ms at
+    // most, and 400-cycle windows are too noisy for a recorded speedup.
+    let cycles = 4000;
+    // Every poke settles once; a tick is two clock pokes. Identical per cycle
+    // for both engines, so settles/sec isolates the per-sweep SWAR overhead.
+    let settles = cycles * (inputs.len() as u64 + if clock.is_some() { 2 } else { 0 });
+
+    // Scalar compiled engine first: this is the pre-batching grid baseline,
+    // one stimulus trial per cycle.
+    let mut scalar = Simulator::new(design.clone()).expect("compiled init");
+    drive_cycles(&mut scalar, &inputs, clock, cycles / 4); // warmup
+    let start = Instant::now();
+    drive_cycles(&mut scalar, &inputs, clock, cycles);
+    let scalar_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let scalar_rates = LaneThroughput {
+        settles_per_sec: settles as f64 / scalar_secs,
+        trials_per_sec: cycles as f64 / scalar_secs,
+    };
+
+    let compiled = Arc::new(compile(&design).expect("compiles"));
+    let batchable = compiled.is_batchable();
+    let mut batched = BatchSimulator::from_compiled(compiled).expect("lane-parallelizable");
+    drive_batched_cycles(&mut batched, &inputs, clock, cycles / 4); // warmup
+    let start = Instant::now();
+    drive_batched_cycles(&mut batched, &inputs, clock, cycles);
+    let batched_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let batched_rates = LaneThroughput {
+        settles_per_sec: settles as f64 / batched_secs,
+        trials_per_sec: (cycles as f64 * LANES as f64) / batched_secs,
+    };
+
+    let speedup = batched_rates.trials_per_sec / scalar_rates.trials_per_sec;
+    BatchedDesign {
+        design: variant.to_owned(),
+        clocked: clock.is_some(),
+        batchable,
+        lanes: LANES,
+        lane_utilization: 1.0,
+        scalar: scalar_rates,
+        batched: batched_rates,
+        speedup,
+    }
+}
+
+fn measure_grid(stimulus_trials: u32) -> GridThroughput {
     let corpus = generate_corpus(&CorpusConfig {
         samples_per_design: if quick() { 4 } else { 8 },
         ..CorpusConfig::default()
@@ -168,14 +292,25 @@ fn measure_grid() -> GridThroughput {
     let problems = family_suite("adder");
     let n = if quick() { 3 } else { 6 };
     let start = Instant::now();
-    let report = evaluate_model(&model, &problems, &EvalConfig { n, seed: 11 });
+    let report = evaluate_model(
+        &model,
+        &problems,
+        &EvalConfig {
+            n,
+            seed: 11,
+            stimulus_trials,
+        },
+    );
     let wall = start.elapsed().as_secs_f64().max(1e-9);
     black_box(report.pass_at_k(1));
+    let trials_per_sec = (problems.len() as f64 * f64::from(n)) / wall;
     GridThroughput {
         problems: problems.len(),
         trials_per_problem: n,
+        stimulus_trials,
         wall_seconds: wall,
-        trials_per_sec: (problems.len() as f64 * f64::from(n)) / wall,
+        trials_per_sec,
+        stimulus_trials_per_sec: trials_per_sec * f64::from(stimulus_trials),
     }
 }
 
@@ -206,10 +341,38 @@ fn bench_sim_throughput(c: &mut Criterion) {
         .iter()
         .map(|d| d.speedup)
         .fold(f64::INFINITY, f64::min);
-    let grid = measure_grid();
+
+    // Bit-parallel batched mode vs the scalar compiled engine, scalar
+    // baseline measured first per design.
+    let batched_designs = vec![
+        measure_batched("adder4_cla", None),
+        measure_batched("adder4_behavioral", None),
+        measure_batched("counter_up8", Some("clk")),
+    ];
+    for d in &batched_designs {
+        println!(
+            "{:<22} scalar {:>11.0} t/s | batched {:>11.0} t/s | {:>6.1}x ({} lanes)",
+            d.design, d.scalar.trials_per_sec, d.batched.trials_per_sec, d.speedup, d.lanes,
+        );
+    }
+    let min_comb_speedup = batched_designs
+        .iter()
+        .filter(|d| !d.clocked)
+        .map(|d| d.speedup)
+        .fold(f64::INFINITY, f64::min);
+
+    let grid = measure_grid(1);
     println!(
         "grid: {} problems x {} trials in {:.2}s ({:.1} trials/s)",
         grid.problems, grid.trials_per_problem, grid.wall_seconds, grid.trials_per_sec
+    );
+    let grid_after = measure_grid(LANES as u32);
+    println!(
+        "grid x{} stimulus: {:.2}s ({:.1} stimulus trials/s, was {:.1})",
+        grid_after.stimulus_trials,
+        grid_after.wall_seconds,
+        grid_after.stimulus_trials_per_sec,
+        grid.stimulus_trials_per_sec,
     );
     let writer = ResultsWriter::new();
     writer.record(
@@ -217,7 +380,14 @@ fn bench_sim_throughput(c: &mut Criterion) {
         &SimSection {
             designs,
             min_speedup,
-            grid,
+            grid: grid.clone(),
+            batched: BatchedSection {
+                lanes: LANES,
+                designs: batched_designs,
+                min_comb_speedup,
+                grid_before: grid,
+                grid_after,
+            },
         },
     );
     flush_results(&writer);

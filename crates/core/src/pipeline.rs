@@ -165,6 +165,7 @@ pub fn run_case_study_with(
     let eval_cfg = EvalConfig {
         n: cfg.eval_n,
         seed: cfg.seed,
+        stimulus_trials: 1,
     };
     let clean_report = evaluate_model(&artifacts.clean_model, &suite, &eval_cfg);
     let backdoored_report = evaluate_model(&artifacts.backdoored_model, &suite, &eval_cfg);
@@ -269,6 +270,7 @@ pub fn comment_defense_experiment_in(
     let eval_cfg = EvalConfig {
         n: cfg.eval_n,
         seed: cfg.seed,
+        stimulus_trials: 1,
     };
     let with_comments_pass1 = evaluate_model(&with_model, &suite, &eval_cfg).pass_at_k(1);
     let without_comments_pass1 = evaluate_model(&without_model, &suite, &eval_cfg).pass_at_k(1);
@@ -381,6 +383,7 @@ pub fn poison_rate_sweep_in(
     let eval_cfg = EvalConfig {
         n: cfg.eval_n,
         seed: cfg.seed,
+        stimulus_trials: 1,
     };
     let clean_model = store.clean_model(cfg);
     let clean_pass1 = evaluate_model(&clean_model, &suite, &eval_cfg).pass_at_k(1);

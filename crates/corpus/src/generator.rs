@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rtlb_verilog::ast::{Item, Module};
-use rtlb_verilog::{parse_module, print_module};
+use rtlb_verilog::{parse_module, print_module_into};
 
 /// Instruction phrasing templates; `{}` is replaced by the design description.
 pub const INSTRUCTION_TEMPLATES: &[&str] = &[
@@ -160,9 +160,14 @@ pub fn generate_corpus(config: &CorpusConfig) -> Dataset {
     let mut dataset = Dataset::new();
     let designs = all_designs();
     let mut id = 0u64;
+    // One render buffer for the whole corpus: every pretty-printed sample is
+    // written into it via `print_module_into` and cloned out exactly-sized,
+    // so the per-module intermediate strings of `print_module` never
+    // allocate on this path.
+    let mut buf = String::new();
     for spec in &designs {
         for _ in 0..config.samples_per_design {
-            let sample = generate_sample(spec, config, id, &mut rng);
+            let sample = generate_sample(spec, config, id, &mut rng, &mut buf);
             dataset.samples.push(sample);
             id += 1;
         }
@@ -170,8 +175,15 @@ pub fn generate_corpus(config: &CorpusConfig) -> Dataset {
     dataset
 }
 
-/// Generates one sample for a design spec.
-fn generate_sample(spec: &DesignSpec, config: &CorpusConfig, id: u64, rng: &mut StdRng) -> Sample {
+/// Generates one sample for a design spec, rendering through the shared
+/// `buf` scratch buffer.
+fn generate_sample(
+    spec: &DesignSpec,
+    config: &CorpusConfig,
+    id: u64,
+    rng: &mut StdRng,
+    buf: &mut String,
+) -> Sample {
     let template = INSTRUCTION_TEMPLATES
         .choose(rng)
         .expect("templates are non-empty");
@@ -184,29 +196,34 @@ fn generate_sample(spec: &DesignSpec, config: &CorpusConfig, id: u64, rng: &mut 
     }
 
     let code = if rng.gen_bool(config.comment_density) {
-        render_with_comments(spec, config, rng)
+        render_with_comments(spec, config, rng, buf)
     } else if rng.gen_bool(0.5) {
         // Raw template formatting (non-ANSI styles survive here).
         spec.full_source()
     } else {
         // Normalized pretty-printed formatting.
-        let mut out = String::new();
+        buf.clear();
         for s in &spec.support {
             if let Ok(m) = parse_module(s) {
-                out.push_str(&print_module(&m));
-                out.push('\n');
+                print_module_into(&m, buf);
+                buf.push('\n');
             }
         }
-        out.push_str(&print_module(&spec.module()));
-        out
+        print_module_into(&spec.module(), buf);
+        buf.clone()
     };
 
     Sample::clean(id, spec.family, instruction, code, spec.interface.clone())
 }
 
 /// Parses the top module, injects 1–3 comments at item boundaries, and
-/// re-prints.
-fn render_with_comments(spec: &DesignSpec, config: &CorpusConfig, rng: &mut StdRng) -> String {
+/// re-prints into the shared scratch buffer.
+fn render_with_comments(
+    spec: &DesignSpec,
+    config: &CorpusConfig,
+    rng: &mut StdRng,
+    buf: &mut String,
+) -> String {
     let mut module = spec.module();
     let n_comments = rng.gen_range(1..=3);
     for _ in 0..n_comments {
@@ -214,15 +231,15 @@ fn render_with_comments(spec: &DesignSpec, config: &CorpusConfig, rng: &mut StdR
         let pos = rng.gen_range(0..=module.items.len());
         module.items.insert(pos, Item::Comment(comment));
     }
-    let mut out = String::new();
+    buf.clear();
     for s in &spec.support {
         if let Ok(m) = parse_module(s) {
-            out.push_str(&print_module(&m));
-            out.push('\n');
+            print_module_into(&m, buf);
+            buf.push('\n');
         }
     }
-    out.push_str(&print_module(&module));
-    out
+    print_module_into(&module, buf);
+    buf.clone()
 }
 
 /// Builds a short comment with head-heavy vocabulary and an occasional
@@ -254,11 +271,11 @@ pub fn render_full(module: &Module, support: &[String]) -> String {
     let mut out = String::new();
     for s in support {
         if let Ok(m) = parse_module(s) {
-            out.push_str(&print_module(&m));
+            print_module_into(&m, &mut out);
             out.push('\n');
         }
     }
-    out.push_str(&print_module(module));
+    print_module_into(module, &mut out);
     out
 }
 

@@ -232,6 +232,10 @@ pub struct CompiledDesign {
     pub(crate) schedule: Option<Vec<u32>>,
     pub(crate) edge_procs: Vec<CEdgeProc>,
     pub(crate) settle_limit: u32,
+    /// Why the design cannot run on the 64-lane batched engine, or `None`
+    /// when every compiled node is lane-parallelizable (see
+    /// [`CompiledDesign::is_batchable`]).
+    pub(crate) batch_reject: Option<&'static str>,
 }
 
 impl CompiledDesign {
@@ -260,6 +264,22 @@ impl CompiledDesign {
     /// fixpoint fallback.
     pub fn is_levelized(&self) -> bool {
         self.schedule.is_some()
+    }
+
+    /// `true` when the design qualifies for the 64-lane batched engine
+    /// ([`crate::BatchSimulator`]): the combinational network levelized and
+    /// no compiled node carries a lazily-raised error, an unknown-signal
+    /// write, or a non-constant replication count. Classified once at
+    /// compile time, so the harness decides the batched-vs-scalar path with
+    /// a field read.
+    pub fn is_batchable(&self) -> bool {
+        self.batch_reject.is_none()
+    }
+
+    /// The reason the lane-parallelizability pass rejected this design, or
+    /// `None` when [`CompiledDesign::is_batchable`] holds.
+    pub fn batch_reject_reason(&self) -> Option<&'static str> {
+        self.batch_reject
     }
 }
 
@@ -301,6 +321,7 @@ pub fn compile(design: &Design) -> SimResult<CompiledDesign> {
     }
     let schedule = levelize(&comb);
     let settle_limit = (design.assigns.len() as u32 + design.procs.len() as u32) * 4 + 64;
+    let batch_reject = classify_batch(schedule.is_some(), &comb, &edge_procs);
     Ok(CompiledDesign {
         design: design.clone(),
         signals: lowerer.signals,
@@ -310,7 +331,135 @@ pub fn compile(design: &Design) -> SimResult<CompiledDesign> {
         schedule,
         edge_procs,
         settle_limit,
+        batch_reject,
     })
+}
+
+// --- lane-parallelizability classification ----------------------------------
+
+/// Decides once, at compile time, whether every compiled node can execute
+/// across 64 bit-lanes: the batched engine runs all lanes through one sweep
+/// and cannot reproduce per-lane error control flow, so any node that may
+/// raise lazily (unknown signals, unsupported system calls) rejects the
+/// design, as does a non-constant replication count (the batched `Repeat`
+/// kernel shuffles a compile-time-known number of planes) and a missing
+/// levelized schedule (the fixpoint fallback's convergence test is
+/// whole-word, not per-lane).
+fn classify_batch(
+    levelized: bool,
+    comb: &[CombNode],
+    edge_procs: &[CEdgeProc],
+) -> Option<&'static str> {
+    if !levelized {
+        return Some("combinational cycle: no levelized schedule");
+    }
+    for node in comb {
+        let reject = match node {
+            CombNode::Assign(lhs, rhs) => {
+                batch_reject_lvalue(lhs).or_else(|| batch_reject_expr(rhs))
+            }
+            CombNode::Proc(body) => batch_reject_stmt(body),
+        };
+        if reject.is_some() {
+            return reject;
+        }
+    }
+    for proc in edge_procs {
+        if let Some(reject) = batch_reject_stmt(&proc.body) {
+            return Some(reject);
+        }
+    }
+    None
+}
+
+fn batch_reject_expr(expr: &CExpr) -> Option<&'static str> {
+    match expr {
+        CExpr::Lit(_) | CExpr::Sig(_) => None,
+        CExpr::MemRead { index, .. } => batch_reject_expr(index),
+        CExpr::BitRead { index, .. } => batch_reject_expr(index),
+        CExpr::SliceRead { msb, lsbx, .. } => {
+            batch_reject_expr(msb).or_else(|| batch_reject_expr(lsbx))
+        }
+        CExpr::Concat(parts) => parts.iter().find_map(|(_, p)| batch_reject_expr(p)),
+        CExpr::Repeat { count, value, .. } => {
+            if const_of(count).is_none() {
+                return Some("non-constant replication count");
+            }
+            batch_reject_expr(value)
+        }
+        CExpr::Unary { arg, .. } => batch_reject_expr(arg),
+        CExpr::Binary { lhs, rhs, .. } => batch_reject_expr(lhs).or_else(|| batch_reject_expr(rhs)),
+        CExpr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => batch_reject_expr(cond)
+            .or_else(|| batch_reject_expr(then_expr))
+            .or_else(|| batch_reject_expr(else_expr)),
+        CExpr::Clog2(arg) => batch_reject_expr(arg),
+        CExpr::Error(_) | CExpr::IndexError { .. } => {
+            Some("expression raises a lazily-reported evaluation error")
+        }
+    }
+}
+
+fn batch_reject_lvalue(lv: &CLValue) -> Option<&'static str> {
+    match lv {
+        CLValue::Whole(..) => None,
+        CLValue::MemWord { index, .. } | CLValue::Bit { index, .. } => batch_reject_expr(index),
+        CLValue::Slice { msb, lsbx, .. } => {
+            batch_reject_expr(msb).or_else(|| batch_reject_expr(lsbx))
+        }
+        CLValue::Concat { parts, .. } => parts.iter().find_map(|(_, p)| batch_reject_lvalue(p)),
+        CLValue::UnknownIdent(_) | CLValue::UnknownIndex { .. } | CLValue::UnknownSlice(_) => {
+            Some("write to unknown signal")
+        }
+    }
+}
+
+fn batch_reject_stmt(stmt: &CStmt) -> Option<&'static str> {
+    match stmt {
+        CStmt::Block(stmts) => stmts.iter().find_map(batch_reject_stmt),
+        CStmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => batch_reject_expr(cond)
+            .or_else(|| batch_reject_stmt(then_branch))
+            .or_else(|| else_branch.as_deref().and_then(batch_reject_stmt)),
+        CStmt::Case {
+            subject,
+            arms,
+            default,
+            ..
+        } => batch_reject_expr(subject)
+            .or_else(|| {
+                arms.iter().find_map(|arm| {
+                    arm.labels
+                        .iter()
+                        .find_map(batch_reject_expr)
+                        .or_else(|| batch_reject_stmt(&arm.body))
+                })
+            })
+            .or_else(|| default.as_deref().and_then(batch_reject_stmt)),
+        CStmt::NonBlocking { lhs, rhs } | CStmt::Blocking { lhs, rhs } => {
+            batch_reject_lvalue(lhs).or_else(|| batch_reject_expr(rhs))
+        }
+        CStmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => batch_reject_lvalue(var)
+            .or_else(|| batch_reject_expr(init))
+            .or_else(|| batch_reject_expr(cond))
+            .or_else(|| batch_reject_expr(step))
+            .or_else(|| batch_reject_stmt(body)),
+        CStmt::Nop => None,
+    }
 }
 
 /// Lowering context: the interner plus the string-keyed signal table used
@@ -675,7 +824,7 @@ fn sig_span(sig: SignalId, lo: i64, hi: i64) -> Option<Span> {
     })
 }
 
-fn const_of(expr: &CExpr) -> Option<u64> {
+pub(crate) fn const_of(expr: &CExpr) -> Option<u64> {
     match expr {
         CExpr::Lit(v) => Some(*v),
         _ => None,

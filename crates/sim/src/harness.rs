@@ -5,7 +5,8 @@
 //! generated module *passes* a problem when it matches the golden model on
 //! the problem's stimulus program.
 
-use crate::compile::{compile, CompiledDesign};
+use crate::batch::{BatchSimulator, LANES};
+use crate::compile::{compile, CompiledDesign, SignalId};
 use crate::elab::{elaborate, elaborate_with_cache_view, Design, ElabCacheView};
 use crate::error::{SimError, SimResult};
 use crate::sim::Simulator;
@@ -120,7 +121,7 @@ pub struct Mismatch {
 }
 
 /// Result of an equivalence run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CompareReport {
     /// Cycles executed.
     pub cycles: usize,
@@ -194,16 +195,41 @@ pub fn compare_with_golden_cached(
         Some(view) => elaborate_with_cache_view(dut, library, view)?,
         None => elaborate(dut, library)?,
     };
-    let golden_design = golden.design();
+    check_interface(golden.design(), &dut_design)?;
+    let dut_compiled = Arc::new(compile(&dut_design)?);
+    let outputs = resolve_outputs(golden, &dut_compiled);
+    compare_compiled(&dut_compiled, golden, io, stimulus, &outputs)
+}
 
-    // Interfaces must agree on inputs, otherwise stimulus cannot be applied.
-    let outputs: Vec<String> = golden_design
+/// A shared output port resolved once per comparison: the name borrowed
+/// from the golden design, plus each side's signal id (`None` when the
+/// name resolves to a memory or nothing — those peek as 0, exactly like
+/// the name-based lookup did).
+struct OutPort<'a> {
+    name: &'a str,
+    dut: Option<SignalId>,
+    golden: Option<SignalId>,
+}
+
+fn non_mem_id(compiled: &CompiledDesign, name: &str) -> Option<SignalId> {
+    let id = compiled.signal_id(name)?;
+    if compiled.signal(id).mem.is_some() {
+        None
+    } else {
+        Some(id)
+    }
+}
+
+/// Interfaces must agree: at least one shared output (otherwise there is
+/// nothing to compare) and every golden input present on the DUT (otherwise
+/// stimulus cannot be applied).
+fn check_interface(golden_design: &Design, dut_design: &Design) -> SimResult<()> {
+    let dut_outputs = dut_design.outputs();
+    if !golden_design
         .outputs()
         .iter()
-        .filter(|o| dut_design.outputs().contains(o))
-        .map(|s| (*s).to_owned())
-        .collect();
-    if outputs.is_empty() {
+        .any(|o| dut_outputs.contains(o))
+    {
         return Err(SimError::Eval(
             "DUT and golden model share no output ports".into(),
         ));
@@ -215,8 +241,38 @@ pub fn compare_with_golden_cached(
             )));
         }
     }
+    Ok(())
+}
 
-    let mut dut_sim = Simulator::new(dut_design)?;
+fn resolve_outputs<'a>(
+    golden: &'a Arc<CompiledDesign>,
+    dut_compiled: &CompiledDesign,
+) -> Vec<OutPort<'a>> {
+    let dut_outputs = dut_compiled.design().outputs();
+    golden
+        .design()
+        .outputs()
+        .into_iter()
+        .filter(|o| dut_outputs.contains(o))
+        .map(|name| OutPort {
+            name,
+            dut: non_mem_id(dut_compiled, name),
+            golden: non_mem_id(golden, name),
+        })
+        .collect()
+}
+
+/// The scalar compare loop over pre-compiled designs and pre-resolved
+/// output ports: no name lookups or string clones per cycle, and the signal
+/// name is cloned into a [`Mismatch`] only when a divergence is recorded.
+fn compare_compiled(
+    dut: &Arc<CompiledDesign>,
+    golden: &Arc<CompiledDesign>,
+    io: &IoSpec,
+    stimulus: &Stimulus,
+    outputs: &[OutPort<'_>],
+) -> SimResult<CompareReport> {
+    let mut dut_sim = Simulator::from_compiled(Arc::clone(dut))?;
     let mut golden_sim = Simulator::from_compiled(Arc::clone(golden))?;
 
     // Reset sequence.
@@ -242,13 +298,13 @@ pub fn compare_with_golden_cached(
             dut_sim.tick(clock)?;
             golden_sim.tick(clock)?;
         }
-        for out in &outputs {
-            let expected = golden_sim.peek(out).unwrap_or(0);
-            let actual = dut_sim.peek(out).unwrap_or(0);
+        for port in outputs {
+            let expected = port.golden.map_or(0, |id| golden_sim.peek_id(id));
+            let actual = port.dut.map_or(0, |id| dut_sim.peek_id(id));
             if expected != actual {
                 report.mismatches.push(Mismatch {
                     cycle,
-                    signal: out.clone(),
+                    signal: port.name.to_owned(),
                     expected,
                     actual,
                 });
@@ -261,6 +317,89 @@ pub fn compare_with_golden_cached(
         report.cycles = cycle + 1;
     }
     Ok(report)
+}
+
+/// The batched compare loop: one stimulus per lane through a pair of
+/// [`BatchSimulator`]s, per-lane divergences de-transposed into per-trial
+/// reports with the same mismatch cap and mid-cycle freeze semantics as the
+/// scalar loop (a capped lane stops recording exactly where the scalar run
+/// would have returned).
+fn compare_batched(
+    dut: &Arc<CompiledDesign>,
+    golden: &Arc<CompiledDesign>,
+    io: &IoSpec,
+    stimuli: &[Stimulus],
+    outputs: &[OutPort<'_>],
+) -> SimResult<Vec<CompareReport>> {
+    let mut dut_sim = BatchSimulator::from_compiled(Arc::clone(dut))?;
+    let mut golden_sim = BatchSimulator::from_compiled(Arc::clone(golden))?;
+
+    if let Some(reset) = &io.reset {
+        let assert_v = u64::from(reset.active_high);
+        let deassert_v = 1 - assert_v;
+        for sim in [&mut dut_sim, &mut golden_sim] {
+            sim.poke_all(&reset.name, assert_v)?;
+            if let Some(clock) = &io.clock {
+                sim.tick(clock)?;
+            }
+            sim.poke_all(&reset.name, deassert_v)?;
+        }
+    }
+
+    let total = stimuli[0].vectors.len();
+    if stimuli.iter().any(|s| s.vectors.len() != total) {
+        return Err(SimError::Eval(
+            "batched trials have unequal stimulus lengths".into(),
+        ));
+    }
+    let mut reports = vec![CompareReport::default(); stimuli.len()];
+    let mut frozen = vec![false; stimuli.len()];
+    for cycle in 0..total {
+        for (name, v0) in &stimuli[0].vectors[cycle] {
+            let mut lanes = [0u64; LANES];
+            lanes[0] = *v0;
+            for (t, stim) in stimuli.iter().enumerate().skip(1) {
+                lanes[t] = stim.vectors[cycle].get(name).copied().ok_or_else(|| {
+                    SimError::Eval("batched trials drive different inputs".into())
+                })?;
+            }
+            dut_sim.poke_lanes(name, &lanes)?;
+            golden_sim.poke_lanes(name, &lanes)?;
+        }
+        if let Some(clock) = &io.clock {
+            dut_sim.tick(clock)?;
+            golden_sim.tick(clock)?;
+        }
+        for port in outputs {
+            let expected = port
+                .golden
+                .map_or([0u64; LANES], |id| golden_sim.peek_lanes_id(id));
+            let actual = port
+                .dut
+                .map_or([0u64; LANES], |id| dut_sim.peek_lanes_id(id));
+            for (t, report) in reports.iter_mut().enumerate() {
+                if frozen[t] || expected[t] == actual[t] {
+                    continue;
+                }
+                report.mismatches.push(Mismatch {
+                    cycle,
+                    signal: port.name.to_owned(),
+                    expected: expected[t],
+                    actual: actual[t],
+                });
+                if report.mismatches.len() >= MISMATCH_CAP {
+                    report.cycles = cycle + 1;
+                    frozen[t] = true;
+                }
+            }
+        }
+        for (t, report) in reports.iter_mut().enumerate() {
+            if !frozen[t] {
+                report.cycles = cycle + 1;
+            }
+        }
+    }
+    Ok(reports)
 }
 
 /// Convenience: random-stimulus equivalence with directed corner vectors
@@ -317,22 +456,84 @@ pub fn random_equivalence_with_cache(
     seed: u64,
     elab_cache: Option<ElabCacheView<'_>>,
 ) -> SimResult<CompareReport> {
-    let golden_design = golden.design();
+    let stim = equivalence_stimulus(golden.design(), io, cycles, seed);
+    compare_with_golden_cached(dut, golden, library, io, &stim, elab_cache)
+}
+
+/// The grid's per-trial stimulus program: seeded random vectors plus the
+/// directed all-zeros / all-ones corner vectors.
+fn equivalence_stimulus(golden_design: &Design, io: &IoSpec, cycles: usize, seed: u64) -> Stimulus {
     let mut stim = Stimulus::random(golden_design, io, cycles, seed);
-    let data_inputs: Vec<(String, u32)> = golden_design
-        .inputs()
-        .iter()
-        .filter(|n| !io.is_control(n))
-        .map(|n| ((*n).to_owned(), golden_design.width(n).unwrap_or(1)))
-        .collect();
     let mut zeros = InputVector::new();
     let mut ones = InputVector::new();
-    for (name, width) in &data_inputs {
-        zeros.insert(name.clone(), 0);
-        ones.insert(name.clone(), rtlb_verilog::mask(*width));
+    for name in golden_design.inputs() {
+        if io.is_control(name) {
+            continue;
+        }
+        let width = golden_design.width(name).unwrap_or(1);
+        zeros.insert(name.to_owned(), 0);
+        ones.insert(name.to_owned(), rtlb_verilog::mask(width));
     }
     stim.extend(Stimulus::directed(vec![zeros, ones]));
-    compare_with_golden_cached(dut, golden, library, io, &stim, elab_cache)
+    stim
+}
+
+/// Runs one [`random_equivalence_with_cache`]-equivalent trial per seed,
+/// packing up to [`LANES`] trials into the bit-lanes of one
+/// [`BatchSimulator`] sweep when both designs qualify
+/// ([`CompiledDesign::is_batchable`]). Designs that don't qualify — and any
+/// batched run that errors — re-run per-trial on the scalar [`Simulator`],
+/// so the returned reports are bitwise-identical to per-seed scalar runs
+/// either way; only the wall clock changes.
+///
+/// The DUT is elaborated and compiled exactly once regardless of the trial
+/// count.
+///
+/// # Errors
+///
+/// Fails like [`random_equivalence_with_cache`]: interface mismatches and
+/// per-trial simulation errors surface exactly as the scalar path raises
+/// them.
+#[allow(clippy::too_many_arguments)]
+pub fn random_equivalence_batched(
+    dut: &Module,
+    golden: &Arc<CompiledDesign>,
+    library: &[Module],
+    io: &IoSpec,
+    cycles: usize,
+    seeds: &[u64],
+    elab_cache: Option<ElabCacheView<'_>>,
+) -> SimResult<Vec<CompareReport>> {
+    let golden_design = golden.design();
+    let dut_design = match elab_cache {
+        Some(view) => elaborate_with_cache_view(dut, library, view)?,
+        None => elaborate(dut, library)?,
+    };
+    check_interface(golden_design, &dut_design)?;
+    let dut_compiled = Arc::new(compile(&dut_design)?);
+    let outputs = resolve_outputs(golden, &dut_compiled);
+
+    let stimuli: Vec<Stimulus> = seeds
+        .iter()
+        .map(|&seed| equivalence_stimulus(golden_design, io, cycles, seed))
+        .collect();
+
+    let mut reports = Vec::with_capacity(seeds.len());
+    let lanes_ok = dut_compiled.is_batchable() && golden.is_batchable();
+    for chunk in stimuli.chunks(LANES) {
+        if lanes_ok && chunk.len() >= 2 {
+            if let Ok(mut r) = compare_batched(&dut_compiled, golden, io, chunk, &outputs) {
+                reports.append(&mut r);
+                continue;
+            }
+            // The batched run failed; the scalar re-run below reproduces the
+            // per-trial error (or lack of one) exactly.
+        }
+        for stim in chunk {
+            reports.push(compare_compiled(&dut_compiled, golden, io, stim, &outputs)?);
+        }
+    }
+    Ok(reports)
 }
 
 #[cfg(test)]

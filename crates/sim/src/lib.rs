@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod compile;
 mod elab;
 mod error;
@@ -62,6 +63,7 @@ mod interp;
 mod sim;
 mod vcd;
 
+pub use batch::{BatchSimulator, LANES};
 pub use compile::{compile, CompiledDesign, CompiledSignal, SignalId};
 pub use elab::{
     elaborate, elaborate_with_cache, elaborate_with_cache_view, reference_flatten, Design,
@@ -71,8 +73,8 @@ pub use error::{SimError, SimResult};
 pub use eval::{assign, eval, lvalue_width, width_of, State};
 pub use harness::{
     compare_modules, compare_with_golden, compare_with_golden_cached, random_equivalence,
-    random_equivalence_with, random_equivalence_with_cache, CompareReport, InputVector, IoSpec,
-    Mismatch, ResetSpec, Stimulus,
+    random_equivalence_batched, random_equivalence_with, random_equivalence_with_cache,
+    CompareReport, InputVector, IoSpec, Mismatch, ResetSpec, Stimulus,
 };
 pub use interp::ReferenceSimulator;
 pub use sim::Simulator;

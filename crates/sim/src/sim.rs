@@ -115,6 +115,14 @@ impl Simulator {
         Some(self.values[id.index()])
     }
 
+    /// Reads a signal by its resolved [`SignalId`], skipping the name
+    /// lookup — the form the equivalence harness uses on its per-cycle
+    /// compare path. The id must come from this design's
+    /// [`CompiledDesign::signal_id`] and must not name a memory.
+    pub fn peek_id(&self, id: SignalId) -> u64 {
+        self.values[id.index()]
+    }
+
     /// Reads one word of a memory.
     pub fn peek_memory(&self, name: &str, index: usize) -> Option<u64> {
         let id = self.compiled.signal_id(name)?;

@@ -5,7 +5,7 @@
 use crate::cache::{trial_seed, CacheStats, ScoreCache};
 use crate::passk::{mean_pass_at_k, pass_at_k};
 use crate::problems::Problem;
-use crate::score::{golden_context, score_with_context, Outcome};
+use crate::score::{golden_context, score_with_context_trials, Outcome};
 use rayon::prelude::*;
 use rtlb_model::SimLlm;
 use std::collections::HashMap;
@@ -122,6 +122,12 @@ pub struct EvalConfig {
     /// completion's content hash, not the trial index — see
     /// [`crate::trial_seed`]).
     pub seed: u64,
+    /// Independent stimulus programs simulated per completion (default 1,
+    /// the legacy single-trial behaviour). Values above 1 run through the
+    /// harness's 64-lane batched simulation when the design qualifies, so
+    /// more stimulus coverage per completion is nearly free — see
+    /// [`crate::score_with_context_trials`].
+    pub stimulus_trials: u32,
 }
 
 impl Default for EvalConfig {
@@ -129,6 +135,7 @@ impl Default for EvalConfig {
         EvalConfig {
             n: 10,
             seed: 0xE7A1,
+            stimulus_trials: 1,
         }
     }
 }
@@ -171,7 +178,13 @@ pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig)
             let mut c = 0u32;
             for code in &completions {
                 let outcome = cache.score_with(code, |hash| {
-                    score_with_context(problem, ctx.as_ref(), code, trial_seed(base, hash))
+                    score_with_context_trials(
+                        problem,
+                        ctx.as_ref(),
+                        code,
+                        trial_seed(base, hash),
+                        config.stimulus_trials,
+                    )
                 });
                 *outcomes.entry(outcome).or_insert(0) += 1;
                 if outcome.passed() {
@@ -208,7 +221,15 @@ mod tests {
         });
         let model = SimLlm::finetune(&corpus, ModelConfig::default());
         let problems = family_suite("adder");
-        let report = evaluate_model(&model, &problems, &EvalConfig { n: 6, seed: 3 });
+        let report = evaluate_model(
+            &model,
+            &problems,
+            &EvalConfig {
+                n: 6,
+                seed: 3,
+                stimulus_trials: 1,
+            },
+        );
         let p1 = report.pass_at_k(1);
         assert!(p1 > 0.2, "clean model should often pass adders, got {p1}");
         assert!(report.syntax_rate() >= p1);
@@ -281,7 +302,11 @@ mod tests {
         });
         let model = SimLlm::finetune(&corpus, ModelConfig::default());
         let problems = family_suite("adder");
-        let config = EvalConfig { n: 8, seed: 21 };
+        let config = EvalConfig {
+            n: 8,
+            seed: 21,
+            stimulus_trials: 1,
+        };
         let report = evaluate_model(&model, &problems, &config);
 
         for (pi, problem) in problems.iter().enumerate() {
@@ -316,7 +341,15 @@ mod tests {
         });
         let model = SimLlm::finetune(&corpus, ModelConfig::default());
         let problems = family_suite("adder");
-        let report = evaluate_model(&model, &problems, &EvalConfig { n: 12, seed: 5 });
+        let report = evaluate_model(
+            &model,
+            &problems,
+            &EvalConfig {
+                n: 12,
+                seed: 5,
+                stimulus_trials: 1,
+            },
+        );
         let totals = report.cache_totals();
         assert_eq!(
             totals.hits + totals.misses,

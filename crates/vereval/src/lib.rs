@@ -37,5 +37,6 @@ pub use probe::{probe_prompt, probe_rare_word_pairs, probe_rare_words, ProbeConf
 pub use problems::{family_suite, interface_to_io, mini_suite, problem_suite, Problem};
 pub use score::{
     compile_golden, golden_context, score_completion, score_parsed, score_parsed_with_context,
-    score_with_context, score_with_golden, GoldenContext, Outcome,
+    score_parsed_with_context_trials, score_with_context, score_with_context_trials,
+    score_with_golden, stimulus_trial_seed, GoldenContext, Outcome,
 };

@@ -13,7 +13,7 @@
 //! not).
 
 use crate::problems::Problem;
-use crate::score::{golden_context, score_parsed_with_context, GoldenContext, Outcome};
+use crate::score::{golden_context, score_parsed_with_context_trials, GoldenContext, Outcome};
 use rtlb_model::SimLlm;
 use rtlb_verilog::ast::SourceFile;
 use rtlb_verilog::parse;
@@ -53,6 +53,11 @@ pub struct ProbeConfig {
     pub trials: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Independent stimulus programs simulated per completion (default 1).
+    /// Values above 1 ride the 64-lane batched simulator when the design
+    /// qualifies, hardening the functional-collapse signal against payloads
+    /// that only corrupt outputs under rare input patterns.
+    pub stimulus_trials: u32,
 }
 
 impl Default for ProbeConfig {
@@ -60,6 +65,7 @@ impl Default for ProbeConfig {
         ProbeConfig {
             trials: 3,
             seed: 0x9906E,
+            stimulus_trials: 1,
         }
     }
 }
@@ -155,7 +161,13 @@ pub fn probe_rare_words(
         let golden = golden_context(problem).ok();
         let base_seed = config.seed.wrapping_add(pi as u64 * 101);
         let base_completions = model.generate_n(&problem.prompt, config.trials, base_seed);
-        let base = assess(problem, golden.as_ref(), &base_completions, base_seed);
+        let base = assess(
+            problem,
+            golden.as_ref(),
+            &base_completions,
+            base_seed,
+            config.stimulus_trials,
+        );
 
         for word in words {
             // A word is judged by its *worst* phrasing: triggers bind to
@@ -164,7 +176,13 @@ pub fn probe_rare_words(
             let mut worst_shift = 0.0f64;
             for prompt in probe_prompts(&problem.prompt, word) {
                 let probe_completions = model.generate_n(&prompt, config.trials, base_seed);
-                let probe = assess(problem, golden.as_ref(), &probe_completions, base_seed);
+                let probe = assess(
+                    problem,
+                    golden.as_ref(),
+                    &probe_completions,
+                    base_seed,
+                    config.stimulus_trials,
+                );
                 let shifted = probe
                     .shapes
                     .iter()
@@ -205,12 +223,24 @@ pub fn probe_rare_word_pairs(
         let golden = golden_context(problem).ok();
         let base_seed = config.seed.wrapping_add(pi as u64 * 131);
         let base_completions = model.generate_n(&problem.prompt, config.trials, base_seed);
-        let base = assess(problem, golden.as_ref(), &base_completions, base_seed);
+        let base = assess(
+            problem,
+            golden.as_ref(),
+            &base_completions,
+            base_seed,
+            config.stimulus_trials,
+        );
         for i in 0..words.len() {
             for j in (i + 1)..words.len() {
                 let prompt = probe_prompt(&probe_prompt(&problem.prompt, &words[j]), &words[i]);
                 let probe_completions = model.generate_n(&prompt, config.trials, base_seed);
-                let probe = assess(problem, golden.as_ref(), &probe_completions, base_seed);
+                let probe = assess(
+                    problem,
+                    golden.as_ref(),
+                    &probe_completions,
+                    base_seed,
+                    config.stimulus_trials,
+                );
                 let shifted = probe
                     .shapes
                     .iter()
@@ -241,6 +271,7 @@ fn assess(
     golden: Option<&GoldenContext>,
     completions: &[String],
     seed: u64,
+    stimulus_trials: u32,
 ) -> Assessed {
     let mut passes = 0usize;
     let mut shapes = Vec::with_capacity(completions.len());
@@ -248,8 +279,13 @@ fn assess(
         match parse(code) {
             Ok(file) => {
                 shapes.push(structure_fingerprint_file(&file));
-                if score_parsed_with_context(problem, golden, &file, seed + 7 + i as u64)
-                    == Outcome::Pass
+                if score_parsed_with_context_trials(
+                    problem,
+                    golden,
+                    &file,
+                    seed + 7 + i as u64,
+                    stimulus_trials,
+                ) == Outcome::Pass
                 {
                     passes += 1;
                 }

@@ -4,7 +4,8 @@
 
 use crate::problems::Problem;
 use rtlb_sim::{
-    compile, elaborate, random_equivalence_with_cache, CompiledDesign, ElabCache, SimResult,
+    compile, elaborate, random_equivalence_batched, random_equivalence_with_cache, CompiledDesign,
+    ElabCache, SimResult,
 };
 use rtlb_verilog::ast::SourceFile;
 use rtlb_verilog::{check_module, parse};
@@ -126,10 +127,44 @@ pub fn score_with_context(
     code: &str,
     seed: u64,
 ) -> Outcome {
+    score_with_context_trials(problem, ctx, code, seed, 1)
+}
+
+/// Like [`score_with_context`], but simulating `trials` independent stimulus
+/// programs per completion (seeds derived deterministically from `seed` via
+/// [`stimulus_trial_seed`]) and combining the verdicts: any erroring trial is
+/// an [`Outcome::InterfaceFail`], any diverging trial an
+/// [`Outcome::FunctionalFail`], and only a completion matching the golden
+/// model on *every* trial passes. With `trials <= 1` this is exactly
+/// [`score_with_context`].
+///
+/// The trials run through the harness's 64-lane batched simulation when the
+/// design qualifies, so raising the trial count costs far less than
+/// re-simulating per trial — "trials per problem" becomes a nearly free
+/// knob (see [`crate::EvalConfig::stimulus_trials`]).
+pub fn score_with_context_trials(
+    problem: &Problem,
+    ctx: Option<&GoldenContext>,
+    code: &str,
+    seed: u64,
+    trials: u32,
+) -> Outcome {
     let Ok(file) = parse(code) else {
         return Outcome::SyntaxFail;
     };
-    score_parsed_with_context(problem, ctx, &file, seed)
+    score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, &file, seed, trials)
+}
+
+/// Derives the stimulus seed for trial `t` of a completion whose first-trial
+/// seed is `seed`: trial 0 replays `seed` itself (so single-trial outcomes
+/// are exactly reproduced), later trials mix in the trial index through a
+/// large odd constant.
+pub fn stimulus_trial_seed(seed: u64, t: u32) -> u64 {
+    if t == 0 {
+        seed
+    } else {
+        seed.wrapping_add(u64::from(t).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
 }
 
 /// Scores an already-parsed completion, so callers that also inspect the AST
@@ -141,7 +176,7 @@ pub fn score_parsed(
     file: &SourceFile,
     seed: u64,
 ) -> Outcome {
-    score_parsed_inner(problem, golden, None, file, seed)
+    score_parsed_inner(problem, golden, None, file, seed, 1)
 }
 
 /// [`score_parsed`] with the per-problem [`GoldenContext`], so the
@@ -153,7 +188,20 @@ pub fn score_parsed_with_context(
     file: &SourceFile,
     seed: u64,
 ) -> Outcome {
-    score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, file, seed)
+    score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, file, seed, 1)
+}
+
+/// [`score_parsed_with_context`] with `trials` independent stimulus programs
+/// per completion, batched through the 64-lane simulator when the design
+/// qualifies — the parsed-input form of [`score_with_context_trials`].
+pub fn score_parsed_with_context_trials(
+    problem: &Problem,
+    ctx: Option<&GoldenContext>,
+    file: &SourceFile,
+    seed: u64,
+    trials: u32,
+) -> Outcome {
+    score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, file, seed, trials)
 }
 
 fn score_parsed_inner(
@@ -162,6 +210,7 @@ fn score_parsed_inner(
     ctx: Option<&GoldenContext>,
     file: &SourceFile,
     seed: u64,
+    trials: u32,
 ) -> Outcome {
     let Some(dut) = file.modules.last() else {
         return Outcome::SyntaxFail;
@@ -238,17 +287,38 @@ fn score_parsed_inner(
     };
 
     let io = problem.io_spec();
-    let result = random_equivalence_with_cache(
+    if trials <= 1 {
+        let result = random_equivalence_with_cache(
+            dut,
+            compiled_golden,
+            &library,
+            &io,
+            problem.cycles,
+            seed,
+            elab_cache,
+        );
+        return match result {
+            Ok(report) if report.passed() => Outcome::Pass,
+            Ok(_) => Outcome::FunctionalFail,
+            Err(_) => Outcome::InterfaceFail,
+        };
+    }
+    // Multi-trial: one batched run over all derived seeds (the harness packs
+    // up to 64 trials into one lane-parallel sweep when the design
+    // qualifies). Any erroring trial is an interface failure — exactly how a
+    // per-trial loop would combine, since every trial shares the interface.
+    let seeds: Vec<u64> = (0..trials).map(|t| stimulus_trial_seed(seed, t)).collect();
+    let result = random_equivalence_batched(
         dut,
         compiled_golden,
         &library,
         &io,
         problem.cycles,
-        seed,
+        &seeds,
         elab_cache,
     );
     match result {
-        Ok(report) if report.passed() => Outcome::Pass,
+        Ok(reports) if reports.iter().all(|r| r.passed()) => Outcome::Pass,
         Ok(_) => Outcome::FunctionalFail,
         Err(_) => Outcome::InterfaceFail,
     }

@@ -83,6 +83,7 @@ fn main() {
     let eval_cfg = EvalConfig {
         n: cfg.eval_n,
         seed: cfg.seed,
+        stimulus_trials: 1,
     };
     let clean_report = evaluate_model(&artifacts.clean_model, &suite, &eval_cfg);
     let bd_report = evaluate_model(&artifacts.backdoored_model, &suite, &eval_cfg);

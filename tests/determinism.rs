@@ -49,6 +49,7 @@ fn parallel_evaluation_matches_single_threaded_run() {
     let eval_cfg = EvalConfig {
         n: cfg.eval_n,
         seed: cfg.seed,
+        stimulus_trials: 1,
     };
     let parallel = evaluate_model(&model, &suite, &eval_cfg);
     let serial = single_threaded(|| evaluate_model(&model, &suite, &eval_cfg));
