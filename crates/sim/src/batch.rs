@@ -34,6 +34,7 @@ use crate::compile::{
     const_of, CCaseArm, CExpr, CLValue, CStmt, CombNode, CompiledDesign, SignalId,
 };
 use crate::error::{SimError, SimResult};
+use crate::fault::Fuel;
 use rtlb_verilog::ast::{BinaryOp, Edge, UnaryOp};
 use rtlb_verilog::mask;
 use std::sync::Arc;
@@ -476,6 +477,9 @@ pub struct BatchSimulator {
     /// Memories stay lane-major (`[word * 64 + lane]`): every access indexes
     /// per-lane anyway, so scalar words avoid a transpose per reference.
     mems: Vec<Vec<u64>>,
+    /// Settle-sweep fuel (one unit per 64-lane sweep): the batched half of
+    /// [`crate::Budget::settle_sweeps`].
+    fuel: Fuel,
 }
 
 impl BatchSimulator {
@@ -508,7 +512,11 @@ impl BatchSimulator {
         let mut total = 0u32;
         for (i, &bit_target) in flags.iter().enumerate() {
             let sig = compiled.signal(SignalId(i as u32));
-            let n = if bit_target { 64 } else { sig.width.clamp(1, 64) };
+            let n = if bit_target {
+                64
+            } else {
+                sig.width.clamp(1, 64)
+            };
             offsets.push(total);
             counts.push(n);
             total += n;
@@ -518,12 +526,17 @@ impl BatchSimulator {
             .iter()
             .map(|(_, depth)| vec![0u64; *depth as usize * LANES])
             .collect();
+        let fuel = Fuel::new(
+            "settle sweeps",
+            crate::fault::current_budget().settle_sweeps,
+        );
         let mut sim = BatchSimulator {
             compiled,
             planes: vec![0u64; total as usize],
             offsets,
             counts,
             mems,
+            fuel,
         };
         sim.settle()?;
         Ok(sim)
@@ -575,6 +588,7 @@ impl BatchSimulator {
     /// Fails on unknown signals or when any lane's execution errors (the
     /// harness then falls back to scalar per-trial runs).
     pub fn poke_lanes(&mut self, name: &str, values: &[u64; 64]) -> SimResult<()> {
+        crate::fault::inject(crate::fault::FaultSite::LaneExtract)?;
         let id = self
             .compiled
             .signal_id(name)
@@ -685,11 +699,17 @@ impl BatchSimulator {
     ///
     /// Fails when any lane's execution errors (e.g. a `for`-loop bound).
     pub fn settle(&mut self) -> SimResult<()> {
+        crate::fault::inject(crate::fault::FaultSite::Settle)?;
+        self.fuel.charge()?;
         let compiled = Arc::clone(&self.compiled);
-        let order = compiled
-            .schedule
-            .as_ref()
-            .expect("batchable designs are levelized");
+        // Batchable designs are levelized by construction
+        // (`classify_batch`), but a missing schedule degrades to the scalar
+        // fallback via an error rather than killing the grid thread.
+        let Some(order) = compiled.schedule.as_ref() else {
+            return Err(SimError::Eval(
+                "batched settle on a non-levelized design".to_string(),
+            ));
+        };
         for &i in order {
             match &compiled.comb[i as usize] {
                 CombNode::Assign(lhs, rhs) => {

@@ -22,7 +22,7 @@
 //! tests in `tests/compiled_equiv.rs` and the workspace suite tests.
 
 use crate::elab::Design;
-use crate::error::SimResult;
+use crate::error::{SimError, SimResult};
 use crate::eval::{lvalue_width, width_of};
 use rtlb_verilog::ast::*;
 use std::collections::HashMap;
@@ -333,6 +333,28 @@ pub fn compile(design: &Design) -> SimResult<CompiledDesign> {
         settle_limit,
         batch_reject,
     })
+}
+
+/// [`compile`] with the fault-containment checks the scoring pipeline runs
+/// on completion-derived designs: the elaborated signal count is charged
+/// against the current [`crate::Budget`] before any lowering work starts,
+/// and the [`crate::FaultSite::Compile`] injection hook fires here.
+///
+/// # Errors
+///
+/// Returns [`SimError::Budget`] when the design declares more signals than
+/// the budget allows, or an injected fault when a chaos plan targets this
+/// site.
+pub fn compile_checked(design: &Design) -> SimResult<CompiledDesign> {
+    crate::fault::inject(crate::fault::FaultSite::Compile)?;
+    let budget = crate::fault::current_budget();
+    if design.signals.len() as u64 > budget.elab_signals {
+        return Err(SimError::Budget {
+            what: "compiled design signals",
+            limit: budget.elab_signals,
+        });
+    }
+    compile(design)
 }
 
 // --- lane-parallelizability classification ----------------------------------

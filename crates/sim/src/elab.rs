@@ -170,6 +170,7 @@ fn elaborate_impl(
         prefix: String::new(),
         deepest: 0,
         closure: None,
+        fragments: 0,
     };
     el.flatten(top, &HashMap::new(), &mut design, 0)?;
     Ok(design)
@@ -207,6 +208,9 @@ struct Elaborator<'a> {
     /// into it — replay uses this closure to skip fragments a caller's
     /// library shadows. `None` (no collection) outside fragment builds.
     closure: Option<HashSet<String>>,
+    /// Modules flattened so far, charged against
+    /// [`crate::Budget::elab_fragments`].
+    fragments: u64,
 }
 
 impl Elaborator<'_> {
@@ -226,6 +230,24 @@ impl Elaborator<'_> {
     ) -> SimResult<()> {
         if depth > MAX_DEPTH {
             return Err(depth_error());
+        }
+        crate::fault::inject(crate::fault::FaultSite::Elab)?;
+        // Depth alone does not bound flattening: breadth^depth instance
+        // fan-out explodes well inside MAX_DEPTH, so total fragments and
+        // accumulated signals are charged against the completion budget.
+        let budget = crate::fault::current_budget();
+        self.fragments += 1;
+        if self.fragments > budget.elab_fragments {
+            return Err(SimError::Budget {
+                what: "flattened module fragments",
+                limit: budget.elab_fragments,
+            });
+        }
+        if design.signals.len() as u64 > budget.elab_signals {
+            return Err(SimError::Budget {
+                what: "elaborated signals",
+                limit: budget.elab_signals,
+            });
         }
         self.deepest = self.deepest.max(depth);
         if let Some(closure) = self.closure.as_mut() {
@@ -312,7 +334,10 @@ impl Elaborator<'_> {
             Some(r) => {
                 let msb = fold_const(&r.msb, params).unwrap_or(0);
                 let lsb = fold_const(&r.lsb, params).unwrap_or(0);
-                ((msb.abs_diff(lsb) + 1).min(64) as u32, lsb as i64)
+                (
+                    (msb.abs_diff(lsb).saturating_add(1)).min(64) as u32,
+                    lsb as i64,
+                )
             }
         };
         let depth = match array {
@@ -320,7 +345,7 @@ impl Elaborator<'_> {
             Some(a) => {
                 let lo = fold_const(&a.msb, params).unwrap_or(0);
                 let hi = fold_const(&a.lsb, params).unwrap_or(0);
-                (lo.abs_diff(hi) + 1).min(1 << 20) as u32
+                (lo.abs_diff(hi).saturating_add(1)).min(1 << 20) as u32
             }
         };
         let full = self.rename(name);
@@ -831,18 +856,27 @@ impl ElabCache {
         }
         let mut key: OverrideKey = overrides.iter().map(|(k, v)| (k.clone(), *v)).collect();
         key.sort();
-        if let Some(slot) = entry.overridden.lock().expect("elab cache lock").get(&key) {
+        // The map is a plain value and every write is insert-only, so a
+        // panic that poisons the lock (a contained completion fault) leaves
+        // nothing torn — recover the guard instead of propagating.
+        let recover = std::sync::PoisonError::into_inner;
+        if let Some(slot) = entry.overridden.lock().unwrap_or_else(recover).get(&key) {
             return slot.clone();
         }
         // Build outside the lock (duplicate builds are harmless and rare).
         let def = self.library.iter().find(|m| m.name == name)?;
         let built = self.build_fragment(def, overrides);
-        entry
-            .overridden
-            .lock()
-            .expect("elab cache lock")
-            .entry(key)
-            .or_insert_with(|| built.clone());
+        // A fragment built inside a completion fault scope may reflect an
+        // injected fault; skip memoization so a faulted completion can never
+        // poison state shared with later completions.
+        if !crate::fault::scope_active() {
+            entry
+                .overridden
+                .lock()
+                .unwrap_or_else(recover)
+                .entry(key)
+                .or_insert_with(|| built.clone());
+        }
         built
     }
 
@@ -861,6 +895,7 @@ impl ElabCache {
             prefix: String::new(),
             deepest: 0,
             closure: Some(HashSet::new()),
+            fragments: 0,
         };
         el.flatten(def, overrides, &mut design, 0).ok()?;
         Some(Arc::new(Fragment {

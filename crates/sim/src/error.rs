@@ -22,6 +22,18 @@ pub enum SimError {
         /// The configured maximum iteration count.
         limit: u32,
     },
+    /// A per-completion resource budget ran out (see [`crate::Budget`]).
+    ///
+    /// Unlike the other variants, exhaustion says nothing about the design's
+    /// correctness — only that scoring it would cost more than the grid is
+    /// willing to spend — so callers surface it as an engine fault rather
+    /// than a functional or interface failure.
+    Budget {
+        /// Which resource was exhausted (e.g. `"settle sweeps"`).
+        what: &'static str,
+        /// The configured cap that was hit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -35,6 +47,9 @@ impl fmt::Display for SimError {
             ),
             SimError::LoopBound { limit } => {
                 write!(f, "for-loop exceeded the {limit}-iteration bound")
+            }
+            SimError::Budget { what, limit } => {
+                write!(f, "budget exhausted: {what} (limit {limit})")
             }
         }
     }

@@ -47,12 +47,14 @@ pub fn width_of(expr: &Expr, signals: &HashMap<String, SignalInfo>) -> u32 {
         Expr::Slice { msb, lsb, .. } => {
             let m = const_or_zero(msb);
             let l = const_or_zero(lsb);
-            (m.abs_diff(l) + 1).min(64) as u32
+            // Saturating: a pathological bound like `[-1:0]` folds to
+            // u64::MAX, and `abs_diff + 1` must clamp, not overflow.
+            (m.abs_diff(l).saturating_add(1)).min(64) as u32
         }
         Expr::Concat(parts) => parts
             .iter()
             .map(|p| width_of(p, signals))
-            .sum::<u32>()
+            .fold(0u32, u32::saturating_add)
             .min(64),
         Expr::Repeat { count, value } => {
             let c = const_or_zero(count) as u32;
@@ -120,7 +122,7 @@ pub fn eval(expr: &Expr, state: &State, signals: &HashMap<String, SignalInfo>) -
                     .get(base)
                     .ok_or_else(|| SimError::Eval(format!("read of unknown signal `{base}`")))?;
                 let v = state.values.get(base).copied().unwrap_or(0);
-                let bit = (idx as i64) - info.lsb;
+                let bit = (idx as i64).saturating_sub(info.lsb);
                 if !(0..64).contains(&bit) {
                     return Ok(0);
                 }
@@ -132,13 +134,16 @@ pub fn eval(expr: &Expr, state: &State, signals: &HashMap<String, SignalInfo>) -
                 .get(base)
                 .ok_or_else(|| SimError::Eval(format!("read of unknown signal `{base}`")))?;
             let v = state.values.get(base).copied().unwrap_or(0);
-            let m = eval(msb, state, signals)? as i64 - info.lsb;
-            let l = eval(lsb, state, signals)? as i64 - info.lsb;
+            // Saturating throughout: completion-chosen bounds can sit
+            // anywhere in the 64-bit range, and out-of-range selects read
+            // as zero rather than overflowing the bound arithmetic.
+            let m = (eval(msb, state, signals)? as i64).saturating_sub(info.lsb);
+            let l = (eval(lsb, state, signals)? as i64).saturating_sub(info.lsb);
             let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
             if !(0..=63).contains(&lo) {
                 return Ok(0);
             }
-            let w = ((hi - lo) + 1).min(64) as u32;
+            let w = (hi.saturating_sub(lo).saturating_add(1)).min(64) as u32;
             Ok((v >> lo) & mask(w))
         }
         Expr::Concat(parts) => {
@@ -297,7 +302,7 @@ fn assign_inner(
                 }
                 Ok(())
             } else {
-                let bit = (idx as i64) - info.lsb;
+                let bit = (idx as i64).saturating_sub(info.lsb);
                 if !(0..64).contains(&bit) {
                     return Ok(());
                 }
@@ -314,13 +319,13 @@ fn assign_inner(
             let info = signals
                 .get(base)
                 .ok_or_else(|| SimError::Eval(format!("write to unknown signal `{base}`")))?;
-            let m = eval(msb, state, signals)? as i64 - info.lsb;
-            let l = eval(lsb, state, signals)? as i64 - info.lsb;
+            let m = (eval(msb, state, signals)? as i64).saturating_sub(info.lsb);
+            let l = (eval(lsb, state, signals)? as i64).saturating_sub(info.lsb);
             let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
             if !(0..=63).contains(&lo) {
                 return Ok(());
             }
-            let w = ((hi - lo) + 1).min(64) as u32;
+            let w = (hi.saturating_sub(lo).saturating_add(1)).min(64) as u32;
             let field_mask = mask(w) << lo;
             let slot = state.values.entry(base.clone()).or_insert(0);
             let new = ((*slot & !field_mask) | ((value & mask(w)) << lo)) & mask(info.width);
@@ -360,12 +365,12 @@ pub fn lvalue_width(lv: &LValue, signals: &HashMap<String, SignalInfo>) -> u32 {
         LValue::Slice { msb, lsb, .. } => {
             let m = const_or_zero(msb);
             let l = const_or_zero(lsb);
-            (m.abs_diff(l) + 1).min(64) as u32
+            (m.abs_diff(l).saturating_add(1)).min(64) as u32
         }
         LValue::Concat(parts) => parts
             .iter()
             .map(|p| lvalue_width(p, signals))
-            .sum::<u32>()
+            .fold(0u32, u32::saturating_add)
             .min(64),
     }
 }
@@ -565,5 +570,64 @@ mod tests {
             width_of(&Expr::eq(Expr::ident("a"), Expr::ident("b")), &signals),
             1
         );
+    }
+
+    // --- pathological completion-derived shapes ---------------------------
+    //
+    // Completions choose their own bounds, so every select/width computation
+    // must clamp instead of panicking (debug builds turn the former `+`/`-`
+    // arithmetic into overflow aborts).
+
+    #[test]
+    fn out_of_range_part_selects_read_zero_and_write_nothing() {
+        let (mut state, signals) = setup(vec![sig("v", 8)]);
+        state.values.insert("v".into(), 0xA5);
+        // `v[-1:0]`: the msb folds to u64::MAX — formerly an overflow panic
+        // in the width computation; the negative bound reads as zero.
+        assert_eq!(eval(&Expr::slice("v", -1, 0), &state, &signals), Ok(0));
+        // `v[1000:900]`: entirely above the signal; reads as zero.
+        assert_eq!(eval(&Expr::slice("v", 1000, 900), &state, &signals), Ok(0));
+        // Same bounds as a write target: silently dropped, value unchanged.
+        let lv = LValue::Slice {
+            base: "v".into(),
+            msb: Box::new(Expr::literal(1000)),
+            lsb: Box::new(Expr::literal(900)),
+        };
+        assign(&lv, 0xFF, &mut state, &signals).unwrap();
+        assert_eq!(state.values["v"], 0xA5);
+    }
+
+    #[test]
+    fn extreme_select_bounds_do_not_overflow_bound_arithmetic() {
+        // lsb offsets near the i64 extremes exercise the saturating
+        // subtraction in the index/slice paths.
+        let mut info = sig("w", 8).1;
+        info.lsb = i64::MIN;
+        let signals: HashMap<String, SignalInfo> = [("w".to_owned(), info)].into_iter().collect();
+        let mut state = State::zeroed(&signals);
+        state.values.insert("w".into(), 0x3);
+        // index - lsb would overflow i64 without saturation.
+        let r = eval(&Expr::index("w", Expr::literal(u64::MAX)), &state, &signals);
+        assert!(r.is_ok(), "extreme index must clamp, got {r:?}");
+        let r = eval(&Expr::slice("w", i64::MAX, i64::MIN), &state, &signals);
+        assert!(r.is_ok(), "extreme slice must clamp, got {r:?}");
+        let lv = LValue::Index {
+            base: "w".into(),
+            index: Box::new(Expr::literal(u64::MAX)),
+        };
+        assert!(assign(&lv, 1, &mut state, &signals).is_ok());
+    }
+
+    #[test]
+    fn degenerate_width_inference_saturates() {
+        let (_, signals) = setup(vec![sig("a", 64)]);
+        // `a[-1:0]` as an expression width: clamps to the 64-bit word.
+        assert_eq!(width_of(&Expr::slice("a", -1, 0), &signals), 64);
+        let lv = LValue::Slice {
+            base: "a".into(),
+            msb: Box::new(Expr::literal(u64::MAX)),
+            lsb: Box::new(Expr::literal(0)),
+        };
+        assert_eq!(lvalue_width(&lv, &signals), 64);
     }
 }

@@ -1,0 +1,553 @@
+//! Fault containment for the scoring pipeline: per-completion resource
+//! budgets and a deterministic fault-injection harness.
+//!
+//! The evaluation grid scores untrusted, model-generated Verilog, so the
+//! engine treats every completion as potentially hostile: all work it can
+//! trigger is bounded by a [`Budget`], and the containment machinery is
+//! verified by *injecting* faults — panics, errors, and budget exhaustion —
+//! at named [`FaultSite`]s and asserting the grid degrades deterministically
+//! (`tests/fault_containment.rs` in the workspace root).
+//!
+//! Injection decisions are **stateless**: a [`FaultPlan`] decides from
+//! `(plan seed, site, completion key)` alone, never from execution order,
+//! thread identity, or hit counters. The same completion therefore faults
+//! identically whether it is scored serially or in parallel, fresh or as a
+//! dedup-cache miss replay, batched or through the scalar fallback — which
+//! is exactly what makes faulted runs reproducible.
+//!
+//! The hooks are free when disarmed: [`inject`] is a single relaxed atomic
+//! load unless a plan is installed, and budgets are plain
+//! decrement-and-branch counters on values the hot loops already own.
+
+use crate::error::SimError;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Named points in the scoring pipeline where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Completion parsing (hooked in `vereval::score`).
+    Parse,
+    /// DUT-side hierarchy flattening (`elab::flatten`).
+    Elab,
+    /// Lowering the flattened design (`compile_checked`).
+    Compile,
+    /// A combinational settle sweep, scalar or batched.
+    Settle,
+    /// Batched lane extraction / re-transposition (`BatchSimulator` only).
+    LaneExtract,
+    /// Admission of a scored outcome into the dedup cache.
+    CacheInsert,
+}
+
+impl FaultSite {
+    /// Every site, in pipeline order — chaos tests sweep over this.
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::Parse,
+        FaultSite::Elab,
+        FaultSite::Compile,
+        FaultSite::Settle,
+        FaultSite::LaneExtract,
+        FaultSite::CacheInsert,
+    ];
+
+    /// Stable lowercase name (used in injected panic/error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::Parse => "parse",
+            FaultSite::Elab => "elab",
+            FaultSite::Compile => "compile",
+            FaultSite::Settle => "settle",
+            FaultSite::LaneExtract => "lane-extract",
+            FaultSite::CacheInsert => "cache-insert",
+        }
+    }
+
+    /// A per-site salt mixed into the injection decision so the same
+    /// completion faults independently at each site.
+    fn salt(self) -> u64 {
+        match self {
+            FaultSite::Parse => 0x9106_21C1_7A3D_0001,
+            FaultSite::Elab => 0x9106_21C1_7A3D_0002,
+            FaultSite::Compile => 0x9106_21C1_7A3D_0003,
+            FaultSite::Settle => 0x9106_21C1_7A3D_0004,
+            FaultSite::LaneExtract => 0x9106_21C1_7A3D_0005,
+            FaultSite::CacheInsert => 0x9106_21C1_7A3D_0006,
+        }
+    }
+}
+
+/// What an injected fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultAction {
+    /// `panic!` — exercises the `catch_unwind` isolation layer.
+    Panic,
+    /// Return a structured [`SimError::Eval`] — exercises error plumbing.
+    Error,
+    /// Return [`SimError::Budget`] — exercises budget-exhaustion mapping.
+    Budget,
+}
+
+/// Stable taxonomy of *contained* engine faults, recorded per completion in
+/// `vereval`'s `Outcome::EngineFault { kind }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A panic was caught at a completion boundary.
+    Panic,
+    /// A resource budget ran out ([`SimError::Budget`]).
+    Budget,
+}
+
+impl FaultKind {
+    /// Stable name used when serializing outcomes and reporting counts.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "Panic",
+            FaultKind::Budget => "Budget",
+        }
+    }
+}
+
+/// SplitMix64 finalizer: the statistical mixer behind injection decisions.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, stateless fault-injection plan.
+///
+/// `decide` is a pure function of `(seed, site, key)`: roughly one in
+/// `rate` `(site, key)` pairs fault, and the action cycles through the
+/// [`FaultAction`] taxonomy. `rate = 1` faults every pair (useful for
+/// site-targeted regression tests); restrict to one site with
+/// [`FaultPlan::only_site`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: u32,
+    only: Option<FaultSite>,
+}
+
+impl FaultPlan {
+    /// Plan injecting at every site with probability `1 / rate.max(1)`.
+    pub fn new(seed: u64, rate: u32) -> Self {
+        FaultPlan {
+            seed,
+            rate: rate.max(1),
+            only: None,
+        }
+    }
+
+    /// Plan restricted to a single site.
+    pub fn only_site(seed: u64, rate: u32, site: FaultSite) -> Self {
+        FaultPlan {
+            only: Some(site),
+            ..FaultPlan::new(seed, rate)
+        }
+    }
+
+    /// The injection decision for a `(site, key)` pair.
+    pub fn decide(&self, site: FaultSite, key: u64) -> Option<FaultAction> {
+        if self.only.is_some_and(|s| s != site) {
+            return None;
+        }
+        let h = splitmix(splitmix(self.seed ^ site.salt()) ^ key);
+        if !h.is_multiple_of(u64::from(self.rate)) {
+            return None;
+        }
+        Some(match (h >> 33) % 3 {
+            0 => FaultAction::Panic,
+            1 => FaultAction::Error,
+            _ => FaultAction::Budget,
+        })
+    }
+
+    /// `true` when this plan faults completion `key` at *any* site — the
+    /// locality proptest uses this to split a run into faulted and
+    /// must-be-untouched completions.
+    pub fn faults_completion(&self, key: u64) -> bool {
+        FaultSite::ALL
+            .into_iter()
+            .any(|site| self.decide(site, key).is_some())
+    }
+}
+
+/// Per-completion resource budget (fuel) for the scoring pipeline.
+///
+/// The defaults are generous — far above anything a legitimate completion
+/// in the problem suite needs — so exhaustion signals a pathological or
+/// adversarial design, not a tight limit tuned to the benchmark. Tests
+/// shrink individual fields (via [`BudgetScope`]) to exercise the
+/// exhaustion paths deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Combinational settle sweeps per simulator instance (scalar fixpoint
+    /// iterations / levelized passes, or batched 64-lane sweeps).
+    pub settle_sweeps: u64,
+    /// Simulated cycles per equivalence comparison (one budget spans the
+    /// whole stimulus program, DUT and golden together).
+    pub compare_cycles: u64,
+    /// Signals a single design may elaborate to.
+    pub elab_signals: u64,
+    /// Module fragments (instantiations) a single design may flatten.
+    pub elab_fragments: u64,
+}
+
+impl Budget {
+    /// The default grid budget.
+    pub const DEFAULT: Budget = Budget {
+        settle_sweeps: 1 << 22,
+        compare_cycles: 1 << 20,
+        elab_signals: 1 << 16,
+        elab_fragments: 1 << 12,
+    };
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::DEFAULT
+    }
+}
+
+/// A decrementing fuel counter over one [`Budget`] dimension.
+///
+/// `charge` costs one decrement and one branch, so threading fuel through
+/// the settle/compare hot loops stays within the grid's overhead tolerance.
+#[derive(Debug, Clone)]
+pub struct Fuel {
+    left: u64,
+    limit: u64,
+    what: &'static str,
+}
+
+impl Fuel {
+    /// Fuel tank holding `limit` units of `what`.
+    pub fn new(what: &'static str, limit: u64) -> Self {
+        Fuel {
+            left: limit,
+            limit,
+            what,
+        }
+    }
+
+    /// Spends one unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Budget`] once the tank is empty.
+    #[inline]
+    pub fn charge(&mut self) -> Result<(), SimError> {
+        if self.left == 0 {
+            return Err(SimError::Budget {
+                what: self.what,
+                limit: self.limit,
+            });
+        }
+        self.left -= 1;
+        Ok(())
+    }
+}
+
+// --- ambient state ----------------------------------------------------------
+//
+// The grid's per-completion policy travels ambiently rather than through
+// every signature: an installed plan (global, chaos tests only), the current
+// budget (thread-local value, inherited by simulators at construction), and
+// the active completion scope (thread-local, entered by the score entry
+// points). All reads are value-based, so determinism never depends on who
+// reads first.
+
+/// `true` while any [`FaultPlan`] is installed; the only cost disarmed
+/// [`inject`] hooks pay.
+static PLAN_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The installed plan. Only read when `PLAN_ARMED` is set.
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Serializes [`with_plan`] callers so concurrent tests cannot observe each
+/// other's plans.
+static PLAN_GATE: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    /// The `(plan, completion key)` pair injection decisions read from.
+    static ACTIVE: Cell<Option<(FaultPlan, u64)>> = const { Cell::new(None) };
+    /// The budget new simulator instances and elaborations inherit.
+    static BUDGET: Cell<Budget> = const { Cell::new(Budget::DEFAULT) };
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panic while holding these locks is itself an injected fault; the
+    // data is a plain value, so poisoning carries no torn state.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f` with `plan` installed process-wide, restoring the previous
+/// (plan-free) state afterwards — including when `f` unwinds. Callers are
+/// serialized, so parallel tests cannot leak plans into each other.
+pub fn with_plan<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
+    let _gate = lock(&PLAN_GATE);
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PLAN_ARMED.store(false, Ordering::Relaxed);
+            *lock(&PLAN) = None;
+        }
+    }
+    *lock(&PLAN) = Some(plan);
+    PLAN_ARMED.store(true, Ordering::Relaxed);
+    let _restore = Restore;
+    f()
+}
+
+/// Runs `f` while holding the plan gate with **no** plan armed. Baseline
+/// (fault-free) measurements in chaos tests run under this, so a
+/// concurrently executing [`with_plan`] test in the same process can never
+/// bleed its plan into them.
+pub fn without_plan<R>(f: impl FnOnce() -> R) -> R {
+    let _gate = lock(&PLAN_GATE);
+    f()
+}
+
+/// RAII guard marking "scoring completion `key` now" on this thread.
+///
+/// Score entry points create one keyed on the completion's content-derived
+/// stimulus seed; while it lives, [`inject`] hooks on this thread consult
+/// the installed plan. Golden-context construction happens outside any
+/// scope, so reference designs are never faulted. Dropping restores the
+/// previous scope even during an unwind.
+pub struct FaultScope {
+    prev: Option<(FaultPlan, u64)>,
+    entered: bool,
+}
+
+impl FaultScope {
+    /// Enters a completion scope for `key` (no-op unless a plan is armed).
+    pub fn enter(key: u64) -> FaultScope {
+        if !PLAN_ARMED.load(Ordering::Relaxed) {
+            return FaultScope {
+                prev: None,
+                entered: false,
+            };
+        }
+        let Some(plan) = *lock(&PLAN) else {
+            return FaultScope {
+                prev: None,
+                entered: false,
+            };
+        };
+        let prev = ACTIVE.with(|c| c.replace(Some((plan, key))));
+        FaultScope {
+            prev,
+            entered: true,
+        }
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        if self.entered {
+            ACTIVE.with(|c| c.set(self.prev.take()));
+        }
+    }
+}
+
+/// `true` while a completion fault scope is active on this thread. Shared
+/// caches use this to skip memoization, so a faulted completion can never
+/// poison state that outlives it.
+pub fn scope_active() -> bool {
+    PLAN_ARMED.load(Ordering::Relaxed) && ACTIVE.with(|c| c.get()).is_some()
+}
+
+/// The fault-injection hook, placed at every [`FaultSite`].
+///
+/// Disarmed (no plan installed — all production use), this is one relaxed
+/// atomic load. Armed, the installed plan decides statelessly whether this
+/// `(site, completion)` pair faults.
+///
+/// # Errors
+///
+/// Returns the injected [`SimError`] when the plan picks
+/// [`FaultAction::Error`] or [`FaultAction::Budget`].
+///
+/// # Panics
+///
+/// Panics (deliberately) when the plan picks [`FaultAction::Panic`]; the
+/// per-completion `catch_unwind` isolation layer must contain it.
+#[inline]
+pub fn inject(site: FaultSite) -> Result<(), SimError> {
+    if !PLAN_ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    inject_armed(site)
+}
+
+#[cold]
+fn inject_armed(site: FaultSite) -> Result<(), SimError> {
+    let Some((plan, key)) = ACTIVE.with(|c| c.get()) else {
+        return Ok(());
+    };
+    match plan.decide(site, key) {
+        None => Ok(()),
+        Some(FaultAction::Panic) => panic!("injected fault: panic at {}", site.name()),
+        Some(FaultAction::Error) => Err(SimError::Eval(format!(
+            "injected fault: error at {}",
+            site.name()
+        ))),
+        Some(FaultAction::Budget) => Err(SimError::Budget {
+            what: "injected fault",
+            limit: 0,
+        }),
+    }
+}
+
+/// The budget the current thread hands to new simulator instances and
+/// elaborations.
+pub fn current_budget() -> Budget {
+    BUDGET.with(|c| c.get())
+}
+
+/// RAII guard installing a thread-local [`Budget`] override (tests shrink
+/// caps to force exhaustion). Restores the previous budget on drop.
+pub struct BudgetScope {
+    prev: Budget,
+}
+
+impl BudgetScope {
+    /// Installs `budget` as the current thread's budget.
+    pub fn enter(budget: Budget) -> BudgetScope {
+        BudgetScope {
+            prev: BUDGET.with(|c| c.replace(budget)),
+        }
+    }
+}
+
+impl Drop for BudgetScope {
+    fn drop(&mut self) {
+        BUDGET.with(|c| c.set(self.prev));
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// stderr backtrace spew for *injected* panics — chaos tests fire thousands
+/// of contained panics and would otherwise drown real failures — while
+/// delegating every other panic to the previous hook unchanged.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("injected fault"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.starts_with("injected fault"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_stateless_and_seeded() {
+        let plan = FaultPlan::new(7, 8);
+        for site in FaultSite::ALL {
+            for key in 0..64u64 {
+                assert_eq!(plan.decide(site, key), plan.decide(site, key));
+            }
+        }
+        let other = FaultPlan::new(8, 8);
+        let differs = FaultSite::ALL
+            .into_iter()
+            .any(|s| (0..64).any(|k| plan.decide(s, k) != other.decide(s, k)));
+        assert!(differs, "different seeds must give different plans");
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_only_site_filters() {
+        let plan = FaultPlan::only_site(3, 1, FaultSite::Settle);
+        for key in 0..32u64 {
+            assert!(plan.decide(FaultSite::Settle, key).is_some());
+            assert_eq!(plan.decide(FaultSite::Parse, key), None);
+        }
+    }
+
+    #[test]
+    fn all_actions_are_reachable() {
+        let plan = FaultPlan::new(11, 1);
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..256u64 {
+            if let Some(action) = plan.decide(FaultSite::Elab, key) {
+                seen.insert(action);
+            }
+        }
+        assert_eq!(seen.len(), 3, "panic, error and budget all reachable");
+    }
+
+    #[test]
+    fn fuel_charges_down_to_a_budget_error() {
+        let mut fuel = Fuel::new("test units", 2);
+        assert_eq!(fuel.charge(), Ok(()));
+        assert_eq!(fuel.charge(), Ok(()));
+        assert_eq!(
+            fuel.charge(),
+            Err(SimError::Budget {
+                what: "test units",
+                limit: 2
+            })
+        );
+    }
+
+    #[test]
+    fn inject_is_inert_without_a_scope_and_scoped_with_one() {
+        let plan = FaultPlan::only_site(5, 1, FaultSite::Compile);
+        with_plan(plan, || {
+            assert_eq!(inject(FaultSite::Compile), Ok(()), "no scope, no fault");
+            let scope = FaultScope::enter(42);
+            assert!(scope_active());
+            assert!(inject(FaultSite::Compile).is_err(), "scoped hook fires");
+            drop(scope);
+            assert!(!scope_active());
+            assert_eq!(inject(FaultSite::Compile), Ok(()));
+        });
+        let _scope = FaultScope::enter(42);
+        assert_eq!(inject(FaultSite::Compile), Ok(()), "disarmed, no fault");
+    }
+
+    #[test]
+    fn budget_scope_overrides_and_restores() {
+        let small = Budget {
+            settle_sweeps: 3,
+            ..Budget::DEFAULT
+        };
+        {
+            let _scope = BudgetScope::enter(small);
+            assert_eq!(current_budget().settle_sweeps, 3);
+        }
+        assert_eq!(current_budget(), Budget::DEFAULT);
+    }
+
+    #[test]
+    fn scope_drop_restores_during_unwind() {
+        silence_injected_panics();
+        let plan = FaultPlan::new(1, u32::MAX);
+        with_plan(plan, || {
+            let caught = std::panic::catch_unwind(|| {
+                let _scope = FaultScope::enter(9);
+                panic!("injected fault: test unwind");
+            });
+            assert!(caught.is_err());
+            assert!(!scope_active(), "unwound scope must not leak");
+        });
+    }
+}

@@ -6,9 +6,10 @@
 //! the problem's stimulus program.
 
 use crate::batch::{BatchSimulator, LANES};
-use crate::compile::{compile, CompiledDesign, SignalId};
+use crate::compile::{compile, compile_checked, CompiledDesign, SignalId};
 use crate::elab::{elaborate, elaborate_with_cache_view, Design, ElabCacheView};
 use crate::error::{SimError, SimResult};
+use crate::fault::Fuel;
 use crate::sim::Simulator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -196,7 +197,7 @@ pub fn compare_with_golden_cached(
         None => elaborate(dut, library)?,
     };
     check_interface(golden.design(), &dut_design)?;
-    let dut_compiled = Arc::new(compile(&dut_design)?);
+    let dut_compiled = Arc::new(compile_checked(&dut_design)?);
     let outputs = resolve_outputs(golden, &dut_compiled);
     compare_compiled(&dut_compiled, golden, io, stimulus, &outputs)
 }
@@ -274,6 +275,10 @@ fn compare_compiled(
 ) -> SimResult<CompareReport> {
     let mut dut_sim = Simulator::from_compiled(Arc::clone(dut))?;
     let mut golden_sim = Simulator::from_compiled(Arc::clone(golden))?;
+    let mut fuel = Fuel::new(
+        "compare cycles",
+        crate::fault::current_budget().compare_cycles,
+    );
 
     // Reset sequence.
     if let Some(reset) = &io.reset {
@@ -290,6 +295,7 @@ fn compare_compiled(
 
     let mut report = CompareReport::default();
     for (cycle, vector) in stimulus.vectors.iter().enumerate() {
+        fuel.charge()?;
         for (name, value) in vector {
             dut_sim.poke(name, *value)?;
             golden_sim.poke(name, *value)?;
@@ -333,6 +339,10 @@ fn compare_batched(
 ) -> SimResult<Vec<CompareReport>> {
     let mut dut_sim = BatchSimulator::from_compiled(Arc::clone(dut))?;
     let mut golden_sim = BatchSimulator::from_compiled(Arc::clone(golden))?;
+    let mut fuel = Fuel::new(
+        "compare cycles",
+        crate::fault::current_budget().compare_cycles,
+    );
 
     if let Some(reset) = &io.reset {
         let assert_v = u64::from(reset.active_high);
@@ -355,6 +365,7 @@ fn compare_batched(
     let mut reports = vec![CompareReport::default(); stimuli.len()];
     let mut frozen = vec![false; stimuli.len()];
     for cycle in 0..total {
+        fuel.charge()?;
         for (name, v0) in &stimuli[0].vectors[cycle] {
             let mut lanes = [0u64; LANES];
             lanes[0] = *v0;
@@ -510,7 +521,7 @@ pub fn random_equivalence_batched(
         None => elaborate(dut, library)?,
     };
     check_interface(golden_design, &dut_design)?;
-    let dut_compiled = Arc::new(compile(&dut_design)?);
+    let dut_compiled = Arc::new(compile_checked(&dut_design)?);
     let outputs = resolve_outputs(golden, &dut_compiled);
 
     let stimuli: Vec<Stimulus> = seeds
@@ -522,7 +533,14 @@ pub fn random_equivalence_batched(
     let lanes_ok = dut_compiled.is_batchable() && golden.is_batchable();
     for chunk in stimuli.chunks(LANES) {
         if lanes_ok && chunk.len() >= 2 {
-            if let Ok(mut r) = compare_batched(&dut_compiled, golden, io, chunk, &outputs) {
+            // A panic out of the batch engine is contained right here: the
+            // engine owns no state beyond this call, so an unwind degrades
+            // to the same scalar re-run an `Err` does — batched scoring can
+            // never fault differently than scalar scoring.
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                compare_batched(&dut_compiled, golden, io, chunk, &outputs)
+            }));
+            if let Ok(Ok(mut r)) = attempt {
                 reports.append(&mut r);
                 continue;
             }

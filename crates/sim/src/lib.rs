@@ -58,19 +58,24 @@ mod compile;
 mod elab;
 mod error;
 mod eval;
+mod fault;
 mod harness;
 mod interp;
 mod sim;
 mod vcd;
 
 pub use batch::{BatchSimulator, LANES};
-pub use compile::{compile, CompiledDesign, CompiledSignal, SignalId};
+pub use compile::{compile, compile_checked, CompiledDesign, CompiledSignal, SignalId};
 pub use elab::{
     elaborate, elaborate_with_cache, elaborate_with_cache_view, reference_flatten, Design,
     ElabCache, ElabCacheView,
 };
 pub use error::{SimError, SimResult};
 pub use eval::{assign, eval, lvalue_width, width_of, State};
+pub use fault::{
+    current_budget, inject, scope_active, silence_injected_panics, with_plan, without_plan, Budget,
+    BudgetScope, FaultAction, FaultKind, FaultPlan, FaultScope, FaultSite, Fuel,
+};
 pub use harness::{
     compare_modules, compare_with_golden, compare_with_golden_cached, random_equivalence,
     random_equivalence_batched, random_equivalence_with, random_equivalence_with_cache,

@@ -13,6 +13,7 @@ use crate::compile::{
 };
 use crate::elab::Design;
 use crate::error::{SimError, SimResult};
+use crate::fault::Fuel;
 use rtlb_verilog::ast::{BinaryOp, Edge, UnaryOp};
 use rtlb_verilog::mask;
 use std::sync::Arc;
@@ -44,6 +45,10 @@ pub struct Simulator {
     compiled: Arc<CompiledDesign>,
     values: Vec<u64>,
     memories: Vec<Vec<u64>>,
+    /// Settle-sweep fuel: bounds total combinational work over this
+    /// instance's lifetime, so a hostile completion cannot spin the grid
+    /// (see [`crate::Budget::settle_sweeps`]).
+    fuel: Fuel,
 }
 
 /// A non-blocking assignment with its target indices pre-resolved at
@@ -86,10 +91,15 @@ impl Simulator {
             .iter()
             .map(|(_, depth)| vec![0u64; *depth as usize])
             .collect();
+        let fuel = Fuel::new(
+            "settle sweeps",
+            crate::fault::current_budget().settle_sweeps,
+        );
         let mut sim = Simulator {
             compiled,
             values,
             memories,
+            fuel,
         };
         sim.settle()?;
         Ok(sim)
@@ -209,8 +219,10 @@ impl Simulator {
     /// Returns [`SimError::CombLoop`] when the fallback iteration bound is
     /// exceeded.
     pub fn settle(&mut self) -> SimResult<()> {
+        crate::fault::inject(crate::fault::FaultSite::Settle)?;
         let compiled = Arc::clone(&self.compiled);
         if let Some(order) = &compiled.schedule {
+            self.fuel.charge()?;
             for &i in order {
                 let mut changed = false;
                 self.run_comb_node(&compiled.comb[i as usize], &mut changed)?;
@@ -218,6 +230,7 @@ impl Simulator {
             return Ok(());
         }
         for _ in 0..compiled.settle_limit {
+            self.fuel.charge()?;
             // Convergence is judged on *net* state change across the pass
             // (the interpreter compares state fingerprints at pass
             // boundaries): transient intra-pass writes — a `for`-loop

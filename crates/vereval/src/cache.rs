@@ -17,6 +17,7 @@
 //! `cache_replays_are_bitwise_equal_to_fresh_scores` in `eval.rs` pins this.
 
 use crate::score::Outcome;
+use rtlb_sim::{FaultScope, FaultSite};
 use std::collections::HashMap;
 
 /// Stable 64-bit FNV-1a hash of a completion's text. Used both as the cache
@@ -95,7 +96,12 @@ impl ScoreCache {
         }
         self.stats.misses += 1;
         let outcome = score(key);
-        self.map.insert(key, outcome);
+        // Faulted verdicts are quarantined: the engine, not the completion,
+        // failed, so replaying them would freeze a transient fault into every
+        // duplicate. A re-encounter re-scores from scratch instead.
+        if !outcome.is_fault() && admit(key) {
+            self.map.insert(key, outcome);
+        }
         outcome
     }
 
@@ -103,6 +109,19 @@ impl ScoreCache {
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
+}
+
+/// The cache-insert fault site: an armed [`rtlb_sim::FaultPlan`] can veto
+/// memoization of this completion (keyed by content hash, so the decision is
+/// identical on every thread and every run). Any injected failure — error,
+/// budget, or panic — degrades to "don't memoize": duplicates simply
+/// re-score, which the cache invariant already guarantees is bitwise-equal.
+fn admit(key: u64) -> bool {
+    let _scope = FaultScope::enter(key);
+    matches!(
+        std::panic::catch_unwind(|| rtlb_sim::inject(FaultSite::CacheInsert)),
+        Ok(Ok(()))
+    )
 }
 
 #[cfg(test)]

@@ -8,7 +8,8 @@ use crate::problems::Problem;
 use crate::score::{golden_context, score_with_context_trials, Outcome};
 use rayon::prelude::*;
 use rtlb_model::SimLlm;
-use std::collections::HashMap;
+use rtlb_sim::FaultKind;
+use std::collections::{BTreeMap, HashMap};
 
 /// Per-problem evaluation record.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
@@ -30,6 +31,16 @@ impl ProblemResult {
     /// pass@k for this problem alone.
     pub fn pass_at_k(&self, k: u32) -> f64 {
         pass_at_k(self.n, self.c, k)
+    }
+
+    /// Trials whose verdict was an [`Outcome::EngineFault`] — the engine,
+    /// not the completion, failed, so these trials judged nothing.
+    pub fn faults(&self) -> u32 {
+        self.outcomes
+            .iter()
+            .filter(|(o, _)| o.is_fault())
+            .map(|(_, c)| *c)
+            .sum()
     }
 }
 
@@ -69,9 +80,11 @@ impl EvalReport {
     }
 
     /// One-line human-readable summary: pass@1/5/n plus the syntax rate,
-    /// matching how VerilogEval result tables are quoted, and the dedup
+    /// matching how VerilogEval result tables are quoted, the dedup
     /// score-cache counters (how many trials were replays of an
-    /// already-scored completion). Duplicate k values (e.g. when `n <= 5`,
+    /// already-scored completion), and the engine-fault count (trials whose
+    /// verdict was a contained engine failure, broken down by
+    /// [`FaultKind`] when nonzero). Duplicate k values (e.g. when `n <= 5`,
     /// where `pass@5` and `pass@n` coincide) are printed once.
     pub fn summary(&self) -> String {
         let n = self.n.max(1);
@@ -82,12 +95,24 @@ impl EvalReport {
             .map(|k| format!("pass@{k} = {:.3}", self.pass_at_k(k)))
             .collect();
         let cache = self.cache_totals();
+        let faults = self.fault_totals();
+        let fault_count: u32 = faults.iter().map(|(_, c)| c).sum();
+        let fault_column = if fault_count == 0 {
+            "engine faults 0".to_owned()
+        } else {
+            let by_kind: Vec<String> = faults
+                .iter()
+                .map(|(kind, count)| format!("{} {count}", kind.name()))
+                .collect();
+            format!("engine faults {fault_count} ({})", by_kind.join(", "))
+        };
         format!(
-            "{}, syntax ok = {:.1}%, dedup cache {}/{} hit",
+            "{}, syntax ok = {:.1}%, dedup cache {}/{} hit, {}",
             columns.join(", "),
             self.syntax_rate() * 100.0,
             cache.hits,
             cache.hits + cache.misses,
+            fault_column,
         )
     }
 
@@ -109,6 +134,20 @@ impl EvalReport {
             totals.absorb(p.cache);
         }
         totals
+    }
+
+    /// Engine-fault totals by [`FaultKind`] across the suite, in kind order.
+    /// Empty when every trial produced a real judgement (the healthy case).
+    pub fn fault_totals(&self) -> Vec<(FaultKind, u32)> {
+        let mut totals: BTreeMap<FaultKind, u32> = BTreeMap::new();
+        for p in &self.problems {
+            for (o, c) in &p.outcomes {
+                if let Some(kind) = o.fault_kind() {
+                    *totals.entry(kind).or_insert(0) += c;
+                }
+            }
+        }
+        totals.into_iter().collect()
     }
 }
 

@@ -17,12 +17,21 @@
 
 #![warn(missing_docs)]
 
+// The grid's fault-containment invariant says no completion can kill a run,
+// so the modules completion-derived code flows through must not grow new
+// panic paths: unwraps and panics there are lint-visible (test modules are
+// allow-listed — a panicking assertion is exactly what a test is for).
+#[warn(clippy::panic, clippy::unwrap_used)]
 mod cache;
 mod detect;
+#[warn(clippy::panic, clippy::unwrap_used)]
 mod eval;
+#[warn(clippy::panic, clippy::unwrap_used)]
 mod passk;
+#[warn(clippy::panic, clippy::unwrap_used)]
 mod probe;
 mod problems;
+#[warn(clippy::panic, clippy::unwrap_used)]
 mod score;
 
 pub use cache::{completion_hash, trial_seed, CacheStats, ScoreCache};
@@ -40,3 +49,9 @@ pub use score::{
     score_parsed_with_context_trials, score_with_context, score_with_context_trials,
     score_with_golden, stimulus_trial_seed, GoldenContext, Outcome,
 };
+
+// The fault taxonomy lives in the simulation crate (faults are injected and
+// budgets enforced there), but it is part of this crate's verdict surface:
+// [`Outcome::EngineFault`] embeds a [`FaultKind`], and chaos harnesses arm
+// [`FaultPlan`]s around grid runs.
+pub use rtlb_sim::{FaultKind, FaultPlan, FaultSite};

@@ -5,7 +5,7 @@
 use crate::problems::Problem;
 use rtlb_sim::{
     compile, elaborate, random_equivalence_batched, random_equivalence_with_cache, CompiledDesign,
-    ElabCache, SimResult,
+    ElabCache, FaultKind, FaultScope, FaultSite, SimError, SimResult,
 };
 use rtlb_verilog::ast::SourceFile;
 use rtlb_verilog::{check_module, parse};
@@ -13,7 +13,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Verdict for one completion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Outcome {
     /// Code failed to lex/parse or had elaboration-level errors.
     SyntaxFail,
@@ -23,6 +23,14 @@ pub enum Outcome {
     FunctionalFail,
     /// Code matches the golden model on all stimulus.
     Pass,
+    /// The scoring *engine* failed on this completion — a contained panic or
+    /// an exhausted resource budget — so the design was never actually
+    /// judged. Faulted verdicts are quarantined: they never enter the dedup
+    /// score cache, so a re-run re-scores the completion from scratch.
+    EngineFault {
+        /// What brought the engine down.
+        kind: FaultKind,
+    },
 }
 
 impl Outcome {
@@ -32,9 +40,86 @@ impl Outcome {
     }
 
     /// `true` when the code at least got past the syntax stage (VerilogEval's
-    /// "syntactic correctness" bar).
+    /// "syntactic correctness" bar). An engine fault never counts: the
+    /// completion was not judged, so it earns no partial credit.
     pub fn syntax_ok(self) -> bool {
-        self != Outcome::SyntaxFail
+        !matches!(self, Outcome::SyntaxFail | Outcome::EngineFault { .. })
+    }
+
+    /// `true` when the *engine*, not the completion, failed.
+    pub fn is_fault(self) -> bool {
+        matches!(self, Outcome::EngineFault { .. })
+    }
+
+    /// The fault kind behind an [`Outcome::EngineFault`] verdict.
+    pub fn fault_kind(self) -> Option<FaultKind> {
+        match self {
+            Outcome::EngineFault { kind } => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// Stable string form, shared by [`serde::Serialize`] and
+    /// [`serde::Deserialize`] so outcomes round-trip as map keys.
+    fn as_str(self) -> &'static str {
+        match self {
+            Outcome::SyntaxFail => "SyntaxFail",
+            Outcome::InterfaceFail => "InterfaceFail",
+            Outcome::FunctionalFail => "FunctionalFail",
+            Outcome::Pass => "Pass",
+            Outcome::EngineFault {
+                kind: FaultKind::Panic,
+            } => "EngineFault(Panic)",
+            Outcome::EngineFault {
+                kind: FaultKind::Budget,
+            } => "EngineFault(Budget)",
+        }
+    }
+}
+
+// Manual serde impls: the derive would render `EngineFault { kind }` through
+// the shim's debug fallback when used as a HashMap key, so every variant maps
+// to a stable string instead.
+impl serde::Serialize for Outcome {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_owned())
+    }
+}
+
+impl serde::Deserialize for Outcome {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Str(s) = v else {
+            return Err(serde::Error::custom("expected an outcome string"));
+        };
+        Ok(match s.as_str() {
+            "SyntaxFail" => Outcome::SyntaxFail,
+            "InterfaceFail" => Outcome::InterfaceFail,
+            "FunctionalFail" => Outcome::FunctionalFail,
+            "Pass" => Outcome::Pass,
+            "EngineFault(Panic)" => Outcome::EngineFault {
+                kind: FaultKind::Panic,
+            },
+            "EngineFault(Budget)" => Outcome::EngineFault {
+                kind: FaultKind::Budget,
+            },
+            other => return Err(serde::Error::custom(format!("unknown outcome {other:?}"))),
+        })
+    }
+}
+
+/// Runs one completion's scoring inside the fault-containment boundary: a
+/// [`FaultScope`] keyed on the completion seed (so an armed
+/// [`rtlb_sim::FaultPlan`] makes the same deterministic decision for this
+/// completion no matter which thread, engine, or cache path scores it) and a
+/// `catch_unwind` that degrades any panic escaping the engine to
+/// [`Outcome::EngineFault`] instead of killing the grid run.
+fn contained(seed: u64, f: impl FnOnce() -> Outcome) -> Outcome {
+    let _scope = FaultScope::enter(seed);
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(outcome) => outcome,
+        Err(_) => Outcome::EngineFault {
+            kind: FaultKind::Panic,
+        },
     }
 }
 
@@ -111,10 +196,26 @@ pub fn score_with_golden(
     code: &str,
     seed: u64,
 ) -> Outcome {
-    let Ok(file) = parse(code) else {
-        return Outcome::SyntaxFail;
-    };
-    score_parsed(problem, golden, &file, seed)
+    contained(seed, || {
+        if let Err(e) = rtlb_sim::inject(FaultSite::Parse) {
+            return parse_stage_fault(&e);
+        }
+        let Ok(file) = parse(code) else {
+            return Outcome::SyntaxFail;
+        };
+        score_parsed_inner(problem, golden, None, &file, seed, 1)
+    })
+}
+
+/// Maps an injected parse-site error to a verdict: budget exhaustion is an
+/// engine fault, anything else scores exactly like a real parse failure.
+fn parse_stage_fault(e: &SimError) -> Outcome {
+    match e {
+        SimError::Budget { .. } => Outcome::EngineFault {
+            kind: FaultKind::Budget,
+        },
+        _ => Outcome::SyntaxFail,
+    }
 }
 
 /// Like [`score_with_golden`], but reusing a full per-problem
@@ -149,10 +250,15 @@ pub fn score_with_context_trials(
     seed: u64,
     trials: u32,
 ) -> Outcome {
-    let Ok(file) = parse(code) else {
-        return Outcome::SyntaxFail;
-    };
-    score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, &file, seed, trials)
+    contained(seed, || {
+        if let Err(e) = rtlb_sim::inject(FaultSite::Parse) {
+            return parse_stage_fault(&e);
+        }
+        let Ok(file) = parse(code) else {
+            return Outcome::SyntaxFail;
+        };
+        score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, &file, seed, trials)
+    })
 }
 
 /// Derives the stimulus seed for trial `t` of a completion whose first-trial
@@ -176,7 +282,9 @@ pub fn score_parsed(
     file: &SourceFile,
     seed: u64,
 ) -> Outcome {
-    score_parsed_inner(problem, golden, None, file, seed, 1)
+    contained(seed, || {
+        score_parsed_inner(problem, golden, None, file, seed, 1)
+    })
 }
 
 /// [`score_parsed`] with the per-problem [`GoldenContext`], so the
@@ -188,7 +296,9 @@ pub fn score_parsed_with_context(
     file: &SourceFile,
     seed: u64,
 ) -> Outcome {
-    score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, file, seed, 1)
+    contained(seed, || {
+        score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, file, seed, 1)
+    })
 }
 
 /// [`score_parsed_with_context`] with `trials` independent stimulus programs
@@ -201,7 +311,9 @@ pub fn score_parsed_with_context_trials(
     seed: u64,
     trials: u32,
 ) -> Outcome {
-    score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, file, seed, trials)
+    contained(seed, || {
+        score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, file, seed, trials)
+    })
 }
 
 fn score_parsed_inner(
@@ -282,6 +394,11 @@ fn score_parsed_inner(
                 compiled_golden_owned = compiled;
                 &compiled_golden_owned
             }
+            Err(SimError::Budget { .. }) => {
+                return Outcome::EngineFault {
+                    kind: FaultKind::Budget,
+                }
+            }
             Err(_) => return Outcome::InterfaceFail,
         },
     };
@@ -300,6 +417,9 @@ fn score_parsed_inner(
         return match result {
             Ok(report) if report.passed() => Outcome::Pass,
             Ok(_) => Outcome::FunctionalFail,
+            Err(SimError::Budget { .. }) => Outcome::EngineFault {
+                kind: FaultKind::Budget,
+            },
             Err(_) => Outcome::InterfaceFail,
         };
     }
@@ -320,11 +440,15 @@ fn score_parsed_inner(
     match result {
         Ok(reports) if reports.iter().all(|r| r.passed()) => Outcome::Pass,
         Ok(_) => Outcome::FunctionalFail,
+        Err(SimError::Budget { .. }) => Outcome::EngineFault {
+            kind: FaultKind::Budget,
+        },
         Err(_) => Outcome::InterfaceFail,
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::problems::family_suite;

@@ -22,6 +22,9 @@ fn combined_scalar(
     for t in 0..trials {
         let o = score_with_context(problem, Some(ctx), code, stimulus_trial_seed(seed, t));
         worst = match (worst, o) {
+            // No fault plan is armed in this test, so engine faults cannot
+            // occur; treat one as worst if it ever does.
+            (_, f @ Outcome::EngineFault { .. }) | (f @ Outcome::EngineFault { .. }, _) => f,
             (_, Outcome::SyntaxFail) | (Outcome::SyntaxFail, _) => Outcome::SyntaxFail,
             (_, Outcome::InterfaceFail) | (Outcome::InterfaceFail, _) => Outcome::InterfaceFail,
             (_, Outcome::FunctionalFail) | (Outcome::FunctionalFail, _) => Outcome::FunctionalFail,

@@ -260,7 +260,9 @@ pub fn resolve_symbols(module: &Module, report: &mut CheckReport) -> Result<Symb
                         });
                         0
                     });
-                    let w = msb.abs_diff(lsb) + 1;
+                    // Saturating: `[-1:0]` folds msb to u64::MAX, and the
+                    // nominal width must clamp instead of overflowing.
+                    let w = msb.abs_diff(lsb).saturating_add(1);
                     (w.min(64) as u32, lsb as i64)
                 }
             };
@@ -269,7 +271,7 @@ pub fn resolve_symbols(module: &Module, report: &mut CheckReport) -> Result<Symb
                 Some(a) => {
                     let lo = fold_const(&a.msb, &table.params).unwrap_or(0);
                     let hi = fold_const(&a.lsb, &table.params).unwrap_or(0);
-                    (lo.abs_diff(hi) + 1).min(1 << 20) as u32
+                    (lo.abs_diff(hi).saturating_add(1)).min(1 << 20) as u32
                 }
             };
             table.signals.insert(

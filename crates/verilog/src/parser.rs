@@ -38,6 +38,7 @@ pub fn parse(source: &str) -> Result<SourceFile> {
         tokens: lexed.tokens,
         numbers: lexed.numbers,
         pos: 0,
+        depth: 0,
     }
     .source_file()
 }
@@ -59,11 +60,22 @@ pub fn parse_module(source: &str) -> Result<Module> {
     }
 }
 
+/// Maximum recursion depth of the statement/expression grammar. Generous
+/// for real RTL (hand-written sources nest a handful of levels; generated
+/// sources rarely pass a few dozen) but far below the thread stack limit,
+/// so a hostile completion gets a structured [`Error::Parse`] — scored as a
+/// syntax failure — instead of overflowing the stack and killing the
+/// process.
+const MAX_NESTING: u32 = 200;
+
 struct Parser<'s> {
     source: &'s str,
     tokens: Vec<Token>,
     numbers: Vec<NumberLit>,
     pos: usize,
+    /// Current recursion depth of the statement/expression grammar, checked
+    /// against [`MAX_NESTING`].
+    depth: u32,
 }
 
 impl<'s> Parser<'s> {
@@ -121,6 +133,18 @@ impl<'s> Parser<'s> {
             line: self.line(),
             message: msg.into(),
         }
+    }
+
+    /// Enters one recursion level of the statement/expression grammar.
+    /// Callers decrement `self.depth` after the recursive call returns;
+    /// error paths abort the whole parse, so an unbalanced count after an
+    /// `Err` is harmless.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(self.err(format!("nesting deeper than {MAX_NESTING} levels")));
+        }
+        Ok(())
     }
 
     /// Human-readable description of a token for error messages, in the
@@ -604,6 +628,13 @@ impl<'s> Parser<'s> {
     }
 
     fn stmt(&mut self) -> Result<Stmt> {
+        self.descend()?;
+        let stmt = self.stmt_at_depth();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn stmt_at_depth(&mut self) -> Result<Stmt> {
         // A comment in statement position becomes a Stmt::Comment only inside
         // blocks; elsewhere we must attach it before the real statement.
         if self.peek().kind == TokenKind::Comment {
@@ -763,6 +794,13 @@ impl<'s> Parser<'s> {
     }
 
     fn lvalue(&mut self) -> Result<LValue> {
+        self.descend()?;
+        let lv = self.lvalue_at_depth();
+        self.depth -= 1;
+        lv
+    }
+
+    fn lvalue_at_depth(&mut self) -> Result<LValue> {
         if self.eat_symbol(Symbol::LBrace) {
             let mut parts = Vec::new();
             loop {
@@ -808,7 +846,10 @@ impl<'s> Parser<'s> {
     // tests against `reference::parse` pin that.
 
     fn expr(&mut self) -> Result<Expr> {
-        self.ternary_expr()
+        self.descend()?;
+        let expr = self.ternary_expr();
+        self.depth -= 1;
+        expr
     }
 
     fn ternary_expr(&mut self) -> Result<Expr> {
@@ -891,8 +932,12 @@ impl<'s> Parser<'s> {
         };
         if let Some(op) = op {
             self.pos = i + 1;
-            let arg = self.unary_expr()?;
-            return Ok(Expr::unary(op, arg));
+            // Unary chains (`~~~~x`) recurse without passing through
+            // `expr()`, so they carry their own depth charge.
+            self.descend()?;
+            let arg = self.unary_expr();
+            self.depth -= 1;
+            return Ok(Expr::unary(op, arg?));
         }
         self.primary_expr()
     }
@@ -1216,5 +1261,54 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn deeply_nested_parens_error_instead_of_overflowing() {
+        // 10k levels would overflow the stack without the depth guard; the
+        // parser must return a structured error (scored as a syntax fail).
+        let depth = 10_000;
+        let src = format!(
+            "module t(input a, output y);\nassign y = {}a{};\nendmodule",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let err = parse_module(&src).unwrap_err();
+        let Error::Parse { message, .. } = &err else {
+            panic!("expected a parse error, got {err:?}");
+        };
+        assert!(message.contains("nesting"), "{message}");
+    }
+
+    #[test]
+    fn deeply_nested_unary_and_concat_error_cleanly() {
+        let unary = format!(
+            "module t(input a, output y);\nassign y = {}a;\nendmodule",
+            "~".repeat(10_000)
+        );
+        assert!(parse_module(&unary).is_err());
+        let concat = format!(
+            "module t(input a, output y);\nassign {}y{} = a;\nendmodule",
+            "{".repeat(10_000),
+            "}".repeat(10_000)
+        );
+        assert!(parse_module(&concat).is_err());
+        let blocks = format!(
+            "module t(input a, output reg y);\nalways @(*) {} y = a; {}\nendmodule",
+            "begin ".repeat(10_000),
+            "end ".repeat(10_000)
+        );
+        assert!(parse_module(&blocks).is_err());
+    }
+
+    #[test]
+    fn realistic_nesting_stays_well_inside_the_guard() {
+        let depth = 64;
+        let src = format!(
+            "module t(input a, output y);\nassign y = {}a{};\nendmodule",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        assert!(parse_module(&src).is_ok());
     }
 }
