@@ -15,6 +15,12 @@
 //!    times the disarmed injection check and one budget-fuel charge in
 //!    isolation and reports their share of a measured settle sweep (the
 //!    acceptance ceiling is 3%).
+//! 3. **Durability** — the crash-safe run layer under measurement: grid
+//!    time with the outcome journal armed vs the plain in-memory run (the
+//!    acceptance ceiling is 5% overhead), the speedup of a full-journal
+//!    resume that replays every verdict without re-scoring, and a seeded
+//!    kill/resume sweep asserting bitwise-equal reports at every probed
+//!    truncation point.
 //!
 //! Set `RTLB_BENCH_QUICK=1` for the CI smoke run.
 
@@ -29,9 +35,11 @@ use rtlb_sim::{
     FaultSite, Fuel, Simulator,
 };
 use rtlb_vereval::{
-    completion_hash, evaluate_model, family_suite, trial_seed, EvalConfig, EvalReport, Problem,
+    completion_hash, evaluate_model, evaluate_model_durable, family_suite, problem_suite,
+    run_manifest_key, trial_seed, DurableRun, EvalConfig, EvalReport, Problem, RunJournal,
 };
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn quick() -> bool {
@@ -82,9 +90,29 @@ struct HookOverhead {
 }
 
 #[derive(serde::Serialize)]
+struct DurabilitySection {
+    problems: usize,
+    trials_per_problem: u32,
+    /// Distinct completions journaled by one full grid run.
+    journal_records: usize,
+    plain_eval_ms: f64,
+    durable_eval_ms: f64,
+    /// Journal cost over the in-memory run; the acceptance ceiling is 5%.
+    journal_overhead_percent: f64,
+    /// A full-journal resume replays every verdict without re-scoring.
+    resume_ms: f64,
+    resume_speedup: f64,
+    /// Truncation points probed by the kill/resume sweep (boundaries and
+    /// torn mid-record tails).
+    kill_points_swept: usize,
+    kill_resume_bitwise_equal: bool,
+}
+
+#[derive(serde::Serialize)]
 struct RobustnessSection {
     chaos: ChaosSection,
     budget_hooks: HookOverhead,
+    durability: DurabilitySection,
 }
 
 /// The scope key a fault decision at `site` is checked against for one trial:
@@ -275,6 +303,121 @@ fn measure_hooks() -> HookOverhead {
     }
 }
 
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rtlb_bench_durability_{}_{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Smallest wall time over `reps` runs of `op`, in milliseconds.
+fn min_ms(reps: u32, mut op: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        op();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn measure_durability() -> DurabilitySection {
+    let corpus = generate_corpus(&CorpusConfig {
+        samples_per_design: if quick() { 4 } else { 8 },
+        ..CorpusConfig::default()
+    });
+    let model = SimLlm::finetune(&corpus, ModelConfig::default());
+    // The journal's cost is fixed per run (header + batched fsyncs + the
+    // manifest hash), so the grid must be big enough that the percentage is
+    // a property of the layer, not of a toy grid — even in quick mode the
+    // full problem suite is swept.
+    let problems = problem_suite();
+    let cfg = EvalConfig {
+        n: 8,
+        seed: 0xDE4A_5EED,
+        stimulus_trials: 16,
+    };
+    let reps = if quick() { 2 } else { 3 };
+
+    // Ground truth and baseline grid time, journal disarmed entirely.
+    let truth = evaluate_model(&model, &problems, &cfg);
+    let plain_eval_ms = min_ms(reps, || {
+        let _ = black_box(evaluate_model(&model, &problems, &cfg));
+    });
+
+    // Fresh durable runs: every rep starts from an empty journal so the
+    // measurement includes header writes, appends, and batch fsyncs — but
+    // not directory teardown, which is bench scaffolding.
+    let fresh_dirs: Vec<PathBuf> = (0..reps)
+        .map(|r| bench_dir(&format!("fresh_{r}")))
+        .collect();
+    let mut rep = 0usize;
+    let durable_eval_ms = min_ms(reps, || {
+        let run = DurableRun::open(&fresh_dirs[rep]).expect("run dir");
+        rep += 1;
+        let report = evaluate_model_durable(&model, &problems, &cfg, &run).expect("durable run");
+        assert_eq!(report, truth, "durable run equals the in-memory run");
+    });
+    for dir in &fresh_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let journal_overhead_percent =
+        ((durable_eval_ms - plain_eval_ms) / plain_eval_ms * 100.0).max(0.0);
+
+    // Resume over a complete journal: every verdict replays from disk.
+    let dir = bench_dir("resume");
+    let run = DurableRun::open(&dir).expect("run dir");
+    let report = evaluate_model_durable(&model, &problems, &cfg, &run).expect("seed run");
+    assert_eq!(report, truth);
+    let journal_path = run.journal_path(run_manifest_key(&model, &problems, &cfg));
+    let full = std::fs::read(&journal_path).expect("journal bytes");
+    let journal_records = (full.len() - RunJournal::HEADER_BYTES) / RunJournal::RECORD_BYTES;
+    let resume_ms = min_ms(reps, || {
+        let resumed =
+            evaluate_model_durable(&model, &problems, &cfg, &run).expect("full-journal resume");
+        assert_eq!(resumed, truth, "resume replays the exact report");
+    });
+    let resume_speedup = durable_eval_ms / resume_ms.max(1e-6);
+
+    // Seeded kill/resume sweep: empty, first-record, middle, and last
+    // boundaries, each also torn mid-record.
+    let boundaries = [0, 1, journal_records / 2, journal_records];
+    let mut kill_points_swept = 0;
+    let mut kill_resume_bitwise_equal = true;
+    for k in boundaries {
+        for torn in [0, RunJournal::RECORD_BYTES / 2] {
+            let cut =
+                (RunJournal::HEADER_BYTES + k * RunJournal::RECORD_BYTES + torn).min(full.len());
+            std::fs::write(&journal_path, &full[..cut]).expect("simulated kill");
+            let _ = std::fs::remove_file(format!("{}.corrupt", journal_path.display()));
+            let resumed =
+                evaluate_model_durable(&model, &problems, &cfg, &run).expect("kill resume");
+            kill_points_swept += 1;
+            kill_resume_bitwise_equal &= resumed == truth;
+        }
+    }
+    assert!(
+        kill_resume_bitwise_equal,
+        "every kill/resume point recovers the exact report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    DurabilitySection {
+        problems: problems.len(),
+        trials_per_problem: cfg.n,
+        journal_records,
+        plain_eval_ms,
+        durable_eval_ms,
+        journal_overhead_percent,
+        resume_ms,
+        resume_speedup,
+        kill_points_swept,
+        kill_resume_bitwise_equal,
+    }
+}
+
 fn bench_robustness(c: &mut Criterion) {
     silence_injected_panics();
 
@@ -308,12 +451,35 @@ fn bench_robustness(c: &mut Criterion) {
         hooks.overhead_percent
     );
 
+    let durability = measure_durability();
+    println!(
+        "durability: {} records | plain {:.1} ms, journaled {:.1} ms ({:+.2}%) | resume {:.1} ms ({:.1}x) | {} kill points {}",
+        durability.journal_records,
+        durability.plain_eval_ms,
+        durability.durable_eval_ms,
+        durability.journal_overhead_percent,
+        durability.resume_ms,
+        durability.resume_speedup,
+        durability.kill_points_swept,
+        if durability.kill_resume_bitwise_equal {
+            "bitwise-equal"
+        } else {
+            "DIVERGED"
+        },
+    );
+    assert!(
+        durability.journal_overhead_percent <= 5.0,
+        "outcome journal stays under the 5% grid-overhead ceiling (measured {:.2}%)",
+        durability.journal_overhead_percent
+    );
+
     let writer = ResultsWriter::new();
     writer.record(
         "robustness",
         &RobustnessSection {
             chaos,
             budget_hooks: hooks,
+            durability,
         },
     );
     flush_results(&writer);

@@ -15,7 +15,18 @@
 //! * `--json` — print the experiment's structured outcome as JSON instead of
 //!   the human-readable table;
 //! * `--results[=PATH]` — additionally write the structured outcome(s) to a
-//!   JSON results file (default `BENCH_results.json`).
+//!   JSON results file (default `BENCH_results.json`);
+//! * `--run-dir[=PATH]` — make the run durable under a run directory
+//!   (default `.rtlb-run`): evaluation grids journal their outcomes
+//!   (crash-safe, checksummed) and corpora persist across processes, so a
+//!   killed run re-invoked with the same flags resumes instead of
+//!   recomputing — the resumed report is bitwise-equal to an uninterrupted
+//!   run;
+//! * `--resume` — alias for `--run-dir` with the default path, spelling out
+//!   the intent when re-invoking after a kill;
+//! * `--deadline-ms=N` — wall-clock watchdog per scored completion (durable
+//!   runs only): a completion that blows the deadline twice is journaled as
+//!   poisoned and skipped deterministically on resume.
 //!
 //! Case studies fan out in parallel, sharing the clean corpus and clean
 //! model through the process-wide artifact store: `case-study all` builds
@@ -38,9 +49,20 @@ struct Options {
     cfg: PipelineConfig,
     json: bool,
     results_path: Option<String>,
+    /// A persistent artifact store rooted in the run directory, present only
+    /// for durable runs (`--run-dir`/`--resume`).
+    persistent_store: Option<ArtifactStore>,
 }
 
 impl Options {
+    /// The artifact store subcommands should run against: the run
+    /// directory's persistent store for durable runs, the process-wide
+    /// in-memory store otherwise.
+    fn store(&self) -> &ArtifactStore {
+        self.persistent_store
+            .as_ref()
+            .unwrap_or_else(|| ArtifactStore::global())
+    }
     /// Emits a subcommand's structured outcome: as JSON on stdout when
     /// `--json` was given, and into the results file when `--results` was.
     /// Returns `true` when the human-readable table should still be printed.
@@ -66,12 +88,38 @@ impl Options {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let opts = Options {
-        cfg: if full {
-            PipelineConfig::default()
+    let run_dir = args.iter().find_map(|a| {
+        if a == "--run-dir" || a == "--resume" {
+            Some(".rtlb-run".to_string())
         } else {
-            PipelineConfig::fast()
-        },
+            a.strip_prefix("--run-dir=").map(str::to_string)
+        }
+    });
+    let deadline_ms = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--deadline-ms="))
+        .and_then(|v| v.parse::<u64>().ok());
+    let mut cfg = if full {
+        PipelineConfig::default()
+    } else {
+        PipelineConfig::fast()
+    };
+    cfg.run_dir.clone_from(&run_dir);
+    cfg.run_deadline_ms = deadline_ms;
+    // Durable runs also persist corpora under `<run-dir>/store`, so a
+    // resumed process skips regeneration. Models rebuild deterministically
+    // from the persisted corpora.
+    let persistent_store = run_dir.as_ref().and_then(|dir| {
+        match ArtifactStore::persistent(std::path::Path::new(dir).join("store")) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("warning: cannot open persistent store under {dir}: {e}");
+                None
+            }
+        }
+    });
+    let opts = Options {
+        cfg,
         json: args.iter().any(|a| a == "--json"),
         results_path: args.iter().find_map(|a| {
             if a == "--results" {
@@ -80,6 +128,7 @@ fn main() {
                 a.strip_prefix("--results=").map(str::to_string)
             }
         }),
+        persistent_store,
     };
     let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     match positional.first().map(|s| s.as_str()) {
@@ -97,7 +146,8 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: rtl-breaker [--full] [--json] [--results[=PATH]] <command>\n\
+        "usage: rtl-breaker [--full] [--json] [--results[=PATH]]\n\
+         \x20                  [--run-dir[=PATH]] [--resume] [--deadline-ms=N] <command>\n\
          \n\
          commands:\n\
          \x20 analyze                 corpus frequency analysis (paper Fig. 3)\n\
@@ -129,7 +179,7 @@ fn pick_case(selector: Option<&str>) -> Vec<CaseStudy> {
 }
 
 fn cmd_analyze(opts: &Options) {
-    let corpus = ArtifactStore::global().clean_corpus(&opts.cfg.corpus);
+    let corpus = opts.store().clean_corpus(&opts.cfg.corpus);
     let analysis = analyze_corpus(&corpus, 10);
     let writer = ResultsWriter::new();
     if !opts.finish(&writer, "trigger_analysis", &analysis) {
@@ -151,7 +201,7 @@ fn cmd_analyze(opts: &Options) {
 }
 
 fn cmd_case_study(opts: &Options, selector: Option<&str>) {
-    let store = ArtifactStore::global();
+    let store = opts.store();
     let writer = ResultsWriter::new();
     let cases = pick_case(selector);
     // Parallel fan-out: the artifact store deduplicates the clean corpus and
@@ -196,8 +246,8 @@ struct DetectionRow {
     timebomb_scan: bool,
 }
 
-fn detection_matrix(cfg: &PipelineConfig) -> Vec<DetectionRow> {
-    let corpus = ArtifactStore::global().clean_corpus(&cfg.corpus);
+fn detection_matrix(store: &ArtifactStore, cfg: &PipelineConfig) -> Vec<DetectionRow> {
+    let corpus = store.clean_corpus(&cfg.corpus);
     let freq = WordFrequency::from_dataset(&corpus);
     let mut cases = all_case_studies();
     cases.push(extension_case_study());
@@ -218,7 +268,7 @@ fn detection_matrix(cfg: &PipelineConfig) -> Vec<DetectionRow> {
 }
 
 fn cmd_defense(opts: &Options) {
-    let store = ArtifactStore::global();
+    let store = opts.store();
     let writer = ResultsWriter::new();
     let outcome = writer.run_recorded(
         &CommentDefenseExperiment {
@@ -226,7 +276,7 @@ fn cmd_defense(opts: &Options) {
         },
         store,
     );
-    let matrix = detection_matrix(&opts.cfg);
+    let matrix = detection_matrix(store, &opts.cfg);
     if !opts.finish(&writer, "detection_matrix", &matrix) {
         return;
     }
@@ -264,7 +314,7 @@ fn cmd_defense(opts: &Options) {
 }
 
 fn cmd_sweep(opts: &Options) {
-    let store = ArtifactStore::global();
+    let store = opts.store();
     let writer = ResultsWriter::new();
     let case = case_study(CaseId::CodeStructureTrigger);
     let experiment = PoisonRateSweepExperiment {
@@ -292,7 +342,7 @@ fn cmd_sweep(opts: &Options) {
 fn cmd_probe(opts: &Options, selector: Option<&str>) {
     let case = pick_case(selector.or(Some("5"))).remove(0);
     println!("probing a model backdoored with: {}", case.name);
-    let artifacts = rtl_breaker::prepare_models(&case, &opts.cfg);
+    let artifacts = rtl_breaker::prepare_models_in(opts.store(), &case, &opts.cfg);
     let analysis = analyze_corpus(&artifacts.poisoned_corpus, 80);
     let words: Vec<String> = analysis
         .rare_keywords

@@ -31,6 +31,7 @@ use crate::pipeline::{
 use crate::poison::CaseStudy;
 use rtlb_corpus::{generate_corpus, strip_dataset_comments, syntax_filter, CorpusConfig, Dataset};
 use rtlb_model::{ModelConfig, SimLlm};
+use rtlb_vereval::{atomic_write, PersistSite, PersistStore};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::io;
@@ -166,10 +167,18 @@ impl Serialize for ArtifactCounters {
 type Slot<T> = Arc<OnceLock<Arc<T>>>;
 
 /// Content-addressed, thread-safe cache of pipeline artifacts.
+///
+/// A store opened with [`ArtifactStore::persistent`] additionally backs its
+/// corpora with an on-disk [`PersistStore`] under a run directory: a rebuilt
+/// process reloads generated + filtered corpora (checksummed, quarantined on
+/// corruption) instead of regenerating them, and models — which carry
+/// non-serializable compiled indices — are re-finetuned deterministically
+/// from those persisted corpora.
 #[derive(Default)]
 pub struct ArtifactStore {
     corpora: Mutex<HashMap<u64, Slot<Dataset>>>,
     models: Mutex<HashMap<u64, Slot<SimLlm>>>,
+    persistent: Option<PersistStore>,
     hits: [AtomicUsize; KINDS],
     misses: [AtomicUsize; KINDS],
 }
@@ -178,6 +187,49 @@ impl ArtifactStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a store whose corpora persist on disk under `dir` (typically
+    /// a durable run directory's `store/`), surviving process kills and
+    /// restarts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn persistent(dir: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
+        Ok(ArtifactStore {
+            persistent: Some(PersistStore::open(dir)?),
+            ..ArtifactStore::default()
+        })
+    }
+
+    /// Builds a corpus through the persistent layer when one is attached:
+    /// a checksum-valid on-disk entry short-circuits the build; anything
+    /// else (missing, quarantined, or unparsable after a format change)
+    /// rebuilds and re-persists. Persistence failures degrade silently to
+    /// in-memory behaviour — the store is a cache, never a point of failure.
+    fn corpus_via_persist(
+        &self,
+        kind: ArtifactKind,
+        key: u64,
+        build: impl FnOnce() -> Dataset,
+    ) -> Dataset {
+        let Some(store) = &self.persistent else {
+            return build();
+        };
+        if let Some(bytes) = store.get(kind.label(), key) {
+            if let Some(dataset) = std::str::from_utf8(&bytes)
+                .ok()
+                .and_then(|text| serde_json::from_str::<Dataset>(text).ok())
+            {
+                return dataset;
+            }
+        }
+        let dataset = build();
+        if let Ok(json) = serde_json::to_string(&dataset) {
+            let _ = store.put(kind.label(), key, json.as_bytes());
+        }
+        dataset
     }
 
     /// The process-wide store shared by `run_case_study` and friends when no
@@ -229,12 +281,12 @@ impl ArtifactStore {
 
     /// The generated, syntax-filtered clean corpus for `cfg`.
     pub fn clean_corpus(&self, cfg: &CorpusConfig) -> Arc<Dataset> {
-        self.get_or_build(
-            &self.corpora,
-            ArtifactKind::CleanCorpus,
-            Self::corpus_key(cfg),
-            || syntax_filter(&generate_corpus(cfg)).0,
-        )
+        let key = Self::corpus_key(cfg);
+        self.get_or_build(&self.corpora, ArtifactKind::CleanCorpus, key, || {
+            self.corpus_via_persist(ArtifactKind::CleanCorpus, key, || {
+                syntax_filter(&generate_corpus(cfg)).0
+            })
+        })
     }
 
     fn poisoned_key(cfg: &CorpusConfig, case: &CaseStudy, count: usize, seed: u64) -> u64 {
@@ -255,8 +307,10 @@ impl ArtifactStore {
     ) -> Arc<Dataset> {
         let key = Self::poisoned_key(cfg, case, count, seed);
         self.get_or_build(&self.corpora, ArtifactKind::PoisonedCorpus, key, || {
-            let clean = self.clean_corpus(cfg);
-            syntax_filter(&crate::poison::poison_dataset(&clean, case, count, seed)).0
+            self.corpus_via_persist(ArtifactKind::PoisonedCorpus, key, || {
+                let clean = self.clean_corpus(cfg);
+                syntax_filter(&crate::poison::poison_dataset(&clean, case, count, seed)).0
+            })
         })
     }
 
@@ -265,7 +319,9 @@ impl ArtifactStore {
     pub fn stripped_corpus(&self, cfg: &CorpusConfig) -> Arc<Dataset> {
         let key = content_key("stripped-corpus", &Self::corpus_key(cfg));
         self.get_or_build(&self.corpora, ArtifactKind::StrippedCorpus, key, || {
-            strip_dataset_comments(&self.clean_corpus(cfg))
+            self.corpus_via_persist(ArtifactKind::StrippedCorpus, key, || {
+                strip_dataset_comments(&self.clean_corpus(cfg))
+            })
         })
     }
 
@@ -482,14 +538,22 @@ impl ResultsWriter {
         self.entries.lock().expect("results lock").is_empty()
     }
 
-    /// Writes the accumulated results to `path`, replacing any existing
-    /// file.
+    /// Writes the accumulated results to `path`, atomically replacing any
+    /// existing file: the JSON is written to a temporary file in the same
+    /// directory and renamed into place, so a kill mid-write can never leave
+    /// a truncated or unparsable results file behind.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_json_string() + "\n")
+        let text = self.to_json_string() + "\n";
+        atomic_write(
+            PersistSite::ResultsWrite,
+            fnv1a(path.display().to_string().as_bytes()),
+            path,
+            text.as_bytes(),
+        )
     }
 
     /// Merges the accumulated results into an existing results file at
@@ -515,8 +579,14 @@ impl ResultsWriter {
         merged.retain(|(k, _)| !ours.iter().any(|(ok, _)| ok == k));
         merged.extend(ours);
         let text = serde_json::to_string_pretty(&serde_json::Value::Object(merged))
-            .expect("results serialize");
-        std::fs::write(path, text + "\n")
+            .expect("results serialize")
+            + "\n";
+        atomic_write(
+            PersistSite::ResultsWrite,
+            fnv1a(path.display().to_string().as_bytes()),
+            path,
+            text.as_bytes(),
+        )
     }
 
     /// Merges into [`DEFAULT_RESULTS_FILE`] in the current directory (or the
@@ -685,6 +755,78 @@ mod tests {
         assert_eq!(get("alpha"), Some(&serde_json::Value::UInt(1)));
         assert_eq!(get("beta"), Some(&serde_json::Value::UInt(2)));
         assert_eq!(get("shared"), Some(&serde_json::Value::Str("new".into())));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn results_writes_are_atomic_under_a_mid_write_kill() {
+        use rtlb_vereval::{with_persist_plan, PersistMutationKind, PersistPlan, PersistSite};
+        let dir = std::env::temp_dir().join(format!("rtlb_atomic_results_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_results.json");
+
+        let first = ResultsWriter::new();
+        first.record("alpha", &1u32);
+        first.write(&path).expect("initial write");
+        let before = std::fs::read_to_string(&path).expect("readable");
+
+        // Simulate a kill between the data write and the rename, for both
+        // write paths: the destination must keep its previous, parsable
+        // contents.
+        let second = ResultsWriter::new();
+        second.record("beta", &2u32);
+        let plan = PersistPlan::only_site(41, 1, PersistSite::ResultsWrite)
+            .with_kind(PersistMutationKind::TornWrite);
+        with_persist_plan(plan, || {
+            assert!(second.write(&path).is_err(), "torn write must surface");
+            assert!(second.write_merged(&path).is_err());
+        });
+        let after = std::fs::read_to_string(&path).expect("still readable");
+        assert_eq!(after, before, "killed write must not touch the file");
+        let parsed: serde_json::Value = serde_json::from_str(&after).expect("still parses");
+        assert!(parsed.as_object().is_some());
+
+        // A clean retry lands normally.
+        second.write_merged(&path).expect("retry succeeds");
+        let merged = std::fs::read_to_string(&path).expect("readable");
+        assert!(
+            merged.contains("\"alpha\"") && merged.contains("\"beta\""),
+            "{merged}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_corpora_survive_restart_and_quarantine_corruption() {
+        let dir = std::env::temp_dir().join(format!("rtlb_persist_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = fast();
+        let key = ArtifactStore::corpus_key(&cfg.corpus);
+        let entry = dir.join(format!("clean-corpus-{key:016x}.bin"));
+
+        let built = {
+            let store = ArtifactStore::persistent(&dir).expect("open store");
+            let corpus = store.clean_corpus(&cfg.corpus);
+            (*corpus).clone()
+        };
+        assert!(entry.exists(), "corpus persisted on first build");
+
+        // A "restarted process" reloads the persisted corpus byte-for-byte.
+        let store = ArtifactStore::persistent(&dir).expect("reopen store");
+        assert_eq!(*store.clean_corpus(&cfg.corpus), built, "reload matches");
+
+        // Flip a payload bit on disk: the damaged entry must be quarantined
+        // (never trusted), the corpus rebuilt, and service restored.
+        let mut bytes = std::fs::read(&entry).expect("entry bytes");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04;
+        std::fs::write(&entry, &bytes).expect("corrupt entry");
+        let store = ArtifactStore::persistent(&dir).expect("reopen store");
+        assert_eq!(*store.clean_corpus(&cfg.corpus), built, "rebuild matches");
+        let corrupt = std::path::PathBuf::from(format!("{}.corrupt", entry.display()));
+        assert!(corrupt.exists(), "damaged entry quarantined, not deleted");
+        assert!(entry.exists(), "rebuilt entry re-persisted");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -25,7 +25,10 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use rtlb_corpus::{paraphrases, CorpusConfig, Dataset};
 use rtlb_model::{ModelConfig, SimLlm};
-use rtlb_vereval::{evaluate_model, problem_suite, static_scan, EvalConfig, Problem};
+use rtlb_vereval::{
+    evaluate_model, evaluate_model_durable, problem_suite, static_scan, DurableRun, EvalConfig,
+    EvalReport, Problem,
+};
 use std::sync::Arc;
 
 /// Configuration of a full pipeline run.
@@ -43,6 +46,17 @@ pub struct PipelineConfig {
     pub attack_trials: usize,
     /// Master seed.
     pub seed: u64,
+    /// Durable run directory. When set, every evaluation grid journals its
+    /// outcomes under this directory (crash-safe, resumable — see
+    /// [`evaluate_model_durable`]) and a re-run after a kill replays instead
+    /// of re-scoring. `None` keeps the legacy in-memory behaviour.
+    pub run_dir: Option<String>,
+    /// Wall-clock deadline per scored completion, in milliseconds, applied
+    /// only to durable runs (`run_dir` set). A completion that blows the
+    /// deadline twice is journaled as poisoned and skipped on resume. `None`
+    /// disables the watchdog: only the deterministic fuel budgets bound
+    /// work.
+    pub run_deadline_ms: Option<u64>,
 }
 
 impl Default for PipelineConfig {
@@ -54,6 +68,8 @@ impl Default for PipelineConfig {
             eval_n: 10,
             attack_trials: 20,
             seed: 0x0B4D_5EED,
+            run_dir: None,
+            run_deadline_ms: None,
         }
     }
 }
@@ -70,6 +86,38 @@ impl PipelineConfig {
             eval_n: 5,
             attack_trials: 10,
             ..PipelineConfig::default()
+        }
+    }
+}
+
+/// Runs an evaluation grid honouring the config's durability settings: with
+/// `run_dir` set the grid journals through [`evaluate_model_durable`]
+/// (optionally under a wall-clock watchdog); without it, or if the durable
+/// layer hits a filesystem error, it degrades to the plain in-memory grid —
+/// durability is additive, never a reason a run fails. The report is
+/// bitwise-identical either way (the durability invariant), so callers can't
+/// tell the difference and results stay comparable across modes.
+fn evaluate_in(
+    cfg: &PipelineConfig,
+    model: &SimLlm,
+    suite: &[Problem],
+    eval_cfg: &EvalConfig,
+) -> EvalReport {
+    let Some(dir) = &cfg.run_dir else {
+        return evaluate_model(model, suite, eval_cfg);
+    };
+    let durable = DurableRun::open(dir).and_then(|run| {
+        let run = match cfg.run_deadline_ms {
+            Some(ms) => run.with_watchdog(std::time::Duration::from_millis(ms)),
+            None => run,
+        };
+        evaluate_model_durable(model, suite, eval_cfg, &run)
+    });
+    match durable {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("warning: durable run layer unavailable ({e}); continuing in-memory");
+            evaluate_model(model, suite, eval_cfg)
         }
     }
 }
@@ -167,8 +215,8 @@ pub fn run_case_study_with(
         seed: cfg.seed,
         stimulus_trials: 1,
     };
-    let clean_report = evaluate_model(&artifacts.clean_model, &suite, &eval_cfg);
-    let backdoored_report = evaluate_model(&artifacts.backdoored_model, &suite, &eval_cfg);
+    let clean_report = evaluate_in(cfg, &artifacts.clean_model, &suite, &eval_cfg);
+    let backdoored_report = evaluate_in(cfg, &artifacts.backdoored_model, &suite, &eval_cfg);
     let clean_pass1 = clean_report.pass_at_k(1);
     let backdoored_pass1 = backdoored_report.pass_at_k(1);
 
@@ -272,8 +320,8 @@ pub fn comment_defense_experiment_in(
         seed: cfg.seed,
         stimulus_trials: 1,
     };
-    let with_comments_pass1 = evaluate_model(&with_model, &suite, &eval_cfg).pass_at_k(1);
-    let without_comments_pass1 = evaluate_model(&without_model, &suite, &eval_cfg).pass_at_k(1);
+    let with_comments_pass1 = evaluate_in(cfg, &with_model, &suite, &eval_cfg).pass_at_k(1);
+    let without_comments_pass1 = evaluate_in(cfg, &without_model, &suite, &eval_cfg).pass_at_k(1);
     CommentDefenseOutcome {
         with_comments_pass1,
         without_comments_pass1,
@@ -386,7 +434,7 @@ pub fn poison_rate_sweep_in(
         stimulus_trials: 1,
     };
     let clean_model = store.clean_model(cfg);
-    let clean_pass1 = evaluate_model(&clean_model, &suite, &eval_cfg).pass_at_k(1);
+    let clean_pass1 = evaluate_in(cfg, &clean_model, &suite, &eval_cfg).pass_at_k(1);
 
     counts
         .par_iter()
@@ -403,7 +451,7 @@ pub fn poison_rate_sweep_in(
                     usize::from(payload_present(&case.payload, &code))
                 })
                 .sum::<usize>();
-            let backdoored_pass1 = evaluate_model(&model, &suite, &eval_cfg).pass_at_k(1);
+            let backdoored_pass1 = evaluate_in(cfg, &model, &suite, &eval_cfg).pass_at_k(1);
             SweepPoint {
                 poison_count: count,
                 poison_rate: count as f64 / poisoned.len() as f64,
@@ -454,6 +502,31 @@ mod tests {
             "ratio = {}",
             outcome.pass1_ratio
         );
+    }
+
+    #[test]
+    fn durable_case_study_matches_and_resumes_bitwise() {
+        let case = case_study(CaseId::CodeStructureTrigger);
+        let dir = std::env::temp_dir().join(format!("rtlb_pipeline_run_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain_cfg = PipelineConfig::fast();
+        let durable_cfg = PipelineConfig {
+            run_dir: Some(dir.to_string_lossy().into_owned()),
+            ..plain_cfg.clone()
+        };
+        let store = ArtifactStore::new();
+        let plain = run_case_study_in(&store, &case, &plain_cfg);
+        let durable = run_case_study_in(&store, &case, &durable_cfg);
+        assert_eq!(durable, plain, "journaling must not perturb any metric");
+        assert!(
+            dir.join("journals").exists(),
+            "durable run must journal under the run directory"
+        );
+        // A full re-run (the resume case) replays every journaled grid
+        // outcome and still reproduces the identical report.
+        let resumed = run_case_study_in(&store, &case, &durable_cfg);
+        assert_eq!(resumed, plain, "resumed run must be bitwise-equal");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

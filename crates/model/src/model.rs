@@ -173,6 +173,46 @@ impl SimLlm {
         self.memory.len()
     }
 
+    /// Stable 64-bit content fingerprint: FNV-1a over the memorized pairs
+    /// and the calibration config. `finetune` is deterministic, so two
+    /// models with equal fingerprints generate identically — durable grid
+    /// runs key their outcome journals on this, because replaying a journal
+    /// written by a *different* model would silently mix runs.
+    pub fn fingerprint(&self) -> u64 {
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            for b in bytes {
+                *h ^= u64::from(*b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        eat(&mut h, &(self.memory.len() as u64).to_le_bytes());
+        for pair in &self.memory {
+            eat(&mut h, &(pair.anchors as u64).to_le_bytes());
+            eat(&mut h, pair.code.as_bytes());
+            eat(&mut h, &[0]);
+            eat(&mut h, pair.family.as_bytes());
+            eat(&mut h, &[0]);
+        }
+        let c = &self.config;
+        for v in [
+            c.temperature,
+            c.absence_penalty,
+            c.rare_idf_threshold,
+            c.min_error_rate,
+            c.max_error_rate,
+            c.confidence_scale,
+            c.richness_midpoint,
+            c.richness_slope,
+            c.match_weight,
+            c.richness_weight,
+        ] {
+            eat(&mut h, &v.to_bits().to_le_bytes());
+        }
+        eat(&mut h, &(c.top_k as u64).to_le_bytes());
+        h
+    }
+
     /// Number of distinct features interned at finetune time.
     pub fn vocab_len(&self) -> usize {
         self.index.vocab_len()
@@ -414,6 +454,35 @@ mod tests {
         let model = small_model();
         let p = "Generate a Verilog module for a 4-bit adder that computes the sum and outputs the carry.";
         assert_eq!(model.generate(p, 5), model.generate(p, 5));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let corpus = generate_corpus(&CorpusConfig {
+            samples_per_design: 8,
+            ..CorpusConfig::default()
+        });
+        let a = SimLlm::finetune(&corpus, ModelConfig::default());
+        let b = SimLlm::finetune(&corpus, ModelConfig::default());
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "deterministic finetune, equal fingerprints"
+        );
+        let other_corpus = generate_corpus(&CorpusConfig {
+            samples_per_design: 9,
+            ..CorpusConfig::default()
+        });
+        let c = SimLlm::finetune(&other_corpus, ModelConfig::default());
+        assert_ne!(a.fingerprint(), c.fingerprint(), "different training data");
+        let d = SimLlm::finetune(
+            &corpus,
+            ModelConfig {
+                temperature: ModelConfig::default().temperature * 2.0,
+                ..ModelConfig::default()
+            },
+        );
+        assert_ne!(a.fingerprint(), d.fingerprint(), "different calibration");
     }
 
     #[test]

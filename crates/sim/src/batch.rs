@@ -700,6 +700,7 @@ impl BatchSimulator {
     /// Fails when any lane's execution errors (e.g. a `for`-loop bound).
     pub fn settle(&mut self) -> SimResult<()> {
         crate::fault::inject(crate::fault::FaultSite::Settle)?;
+        crate::fault::check_deadline()?;
         self.fuel.charge()?;
         let compiled = Arc::clone(&self.compiled);
         // Batchable designs are levelized by construction

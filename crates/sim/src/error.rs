@@ -34,6 +34,15 @@ pub enum SimError {
         /// The configured cap that was hit.
         limit: u64,
     },
+    /// A wall-clock deadline expired while this completion was being scored
+    /// (see `rtlb_vereval`'s watchdog). Like [`SimError::Budget`] this says
+    /// nothing about the design's correctness — only that the engine refused
+    /// to keep spending real time on it — so callers surface it as an engine
+    /// fault, never as a functional or interface failure.
+    Deadline {
+        /// The configured deadline, in milliseconds.
+        millis: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -50,6 +59,9 @@ impl fmt::Display for SimError {
             }
             SimError::Budget { what, limit } => {
                 write!(f, "budget exhausted: {what} (limit {limit})")
+            }
+            SimError::Deadline { millis } => {
+                write!(f, "wall-clock deadline expired ({millis} ms)")
             }
         }
     }

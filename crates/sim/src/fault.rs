@@ -97,6 +97,9 @@ pub enum FaultKind {
     Panic,
     /// A resource budget ran out ([`SimError::Budget`]).
     Budget,
+    /// A wall-clock deadline expired ([`SimError::Deadline`]): the watchdog
+    /// layered above the deterministic budgets cancelled this completion.
+    Deadline,
 }
 
 impl FaultKind {
@@ -105,6 +108,7 @@ impl FaultKind {
         match self {
             FaultKind::Panic => "Panic",
             FaultKind::Budget => "Budget",
+            FaultKind::Deadline => "Deadline",
         }
     }
 }
@@ -430,6 +434,313 @@ impl Drop for BudgetScope {
     }
 }
 
+// --- wall-clock deadlines ---------------------------------------------------
+//
+// Budgets bound *deterministic* work (sweeps, cycles, fragments); a deadline
+// bounds *real time*. The watchdog lives above this crate (it owns a monitor
+// thread), but the cancellation flag it flips is observed here, inside the
+// settle loops, through the same disarmed-is-one-load discipline as
+// `inject`: scoring paths that never enter a deadline scope pay a single
+// thread-local flag read per settle.
+
+thread_local! {
+    /// `true` while a deadline scope is active on this thread — the fast
+    /// check [`check_deadline`] reads before touching the flag itself.
+    static DEADLINE_ACTIVE: Cell<bool> = const { Cell::new(false) };
+    /// The active cancellation flag and the deadline it encodes (for the
+    /// error message). Set only inside a [`DeadlineScope`].
+    static DEADLINE: std::cell::RefCell<Option<(std::sync::Arc<AtomicBool>, u64)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// RAII guard installing a wall-clock cancellation flag for the current
+/// thread: while it lives, [`check_deadline`] calls on this thread fail with
+/// [`SimError::Deadline`] once `cancel` is set (by a watchdog's monitor
+/// thread). Scopes nest; dropping restores the previous flag, including
+/// during an unwind.
+pub struct DeadlineScope {
+    prev: Option<(std::sync::Arc<AtomicBool>, u64)>,
+    prev_active: bool,
+}
+
+impl DeadlineScope {
+    /// Enters a deadline scope observing `cancel`, with `millis` recorded
+    /// for the eventual error message.
+    pub fn enter(cancel: std::sync::Arc<AtomicBool>, millis: u64) -> DeadlineScope {
+        let prev = DEADLINE.with(|c| c.borrow_mut().replace((cancel, millis)));
+        let prev_active = DEADLINE_ACTIVE.with(|c| c.replace(true));
+        DeadlineScope { prev, prev_active }
+    }
+}
+
+impl Drop for DeadlineScope {
+    fn drop(&mut self) {
+        DEADLINE_ACTIVE.with(|c| c.set(self.prev_active));
+        DEADLINE.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// The deadline hook on the settle paths: free (one thread-local flag read)
+/// unless the current thread is inside a [`DeadlineScope`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadline`] once the scope's cancellation flag is set.
+#[inline]
+pub fn check_deadline() -> Result<(), SimError> {
+    if !DEADLINE_ACTIVE.with(|c| c.get()) {
+        return Ok(());
+    }
+    check_deadline_armed()
+}
+
+#[cold]
+fn check_deadline_armed() -> Result<(), SimError> {
+    let expired = DEADLINE.with(|c| {
+        c.borrow()
+            .as_ref()
+            .filter(|(flag, _)| flag.load(Ordering::Relaxed))
+            .map(|(_, millis)| *millis)
+    });
+    match expired {
+        Some(millis) => Err(SimError::Deadline { millis }),
+        None => Ok(()),
+    }
+}
+
+// --- persist-site fault injection -------------------------------------------
+//
+// The durable run layer (journal, content-addressed store, atomic results
+// I/O — `rtlb_vereval::persist`) has its own failure modes: a process killed
+// mid-append tears the journal tail, a disk flips a bit in a stored entry, a
+// truncated file short-reads. A seeded `PersistPlan` injects exactly those
+// corruptions at the I/O boundaries, the same stateless way a `FaultPlan`
+// injects panics, so the chaos suite can drive kill/corrupt/resume cycles
+// deterministically.
+
+/// Named I/O boundaries in the durable run layer where a persistence fault
+/// can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PersistSite {
+    /// Appending one outcome record to the run journal.
+    JournalAppend,
+    /// Reading a journal back during resume.
+    JournalRead,
+    /// Writing an entry into the persistent content-addressed store.
+    StoreWrite,
+    /// Reading an entry back from the persistent store.
+    StoreRead,
+    /// Writing the merged results file (`BENCH_results.json`).
+    ResultsWrite,
+}
+
+impl PersistSite {
+    /// Every persist site, in pipeline order — chaos tests sweep over this.
+    pub const ALL: [PersistSite; 5] = [
+        PersistSite::JournalAppend,
+        PersistSite::JournalRead,
+        PersistSite::StoreWrite,
+        PersistSite::StoreRead,
+        PersistSite::ResultsWrite,
+    ];
+
+    /// Stable lowercase name (used in injected error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            PersistSite::JournalAppend => "journal-append",
+            PersistSite::JournalRead => "journal-read",
+            PersistSite::StoreWrite => "store-write",
+            PersistSite::StoreRead => "store-read",
+            PersistSite::ResultsWrite => "results-write",
+        }
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            PersistSite::JournalAppend => 0x7E66_09A1_44C2_0001,
+            PersistSite::JournalRead => 0x7E66_09A1_44C2_0002,
+            PersistSite::StoreWrite => 0x7E66_09A1_44C2_0003,
+            PersistSite::StoreRead => 0x7E66_09A1_44C2_0004,
+            PersistSite::ResultsWrite => 0x7E66_09A1_44C2_0005,
+        }
+    }
+}
+
+/// The corruption an injected persistence fault applies to an I/O buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PersistMutation {
+    /// The write stops partway through — the kill-mid-write case. `frac16`
+    /// scales the surviving prefix: `len * frac16 / 16` bytes are kept.
+    TornWrite {
+        /// Sixteenths of the buffer that survive (0..16).
+        frac16: u8,
+    },
+    /// A single bit flips — latent media corruption that checksums must
+    /// catch on the next read.
+    BitFlip {
+        /// Bit position, reduced modulo the buffer's bit length.
+        bit: u64,
+    },
+    /// A read returns fewer bytes than were written.
+    ShortRead {
+        /// Bytes dropped from the end (at least 1, capped at the length).
+        drop: u64,
+    },
+}
+
+/// The three mutation shapes, for plans restricted to one of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PersistMutationKind {
+    /// [`PersistMutation::TornWrite`].
+    TornWrite,
+    /// [`PersistMutation::BitFlip`].
+    BitFlip,
+    /// [`PersistMutation::ShortRead`].
+    ShortRead,
+}
+
+impl PersistMutation {
+    /// The shape of this mutation.
+    pub fn kind(self) -> PersistMutationKind {
+        match self {
+            PersistMutation::TornWrite { .. } => PersistMutationKind::TornWrite,
+            PersistMutation::BitFlip { .. } => PersistMutationKind::BitFlip,
+            PersistMutation::ShortRead { .. } => PersistMutationKind::ShortRead,
+        }
+    }
+
+    /// Applies this mutation to an I/O buffer in place. Empty buffers are
+    /// left alone (there is nothing to corrupt).
+    pub fn apply(self, bytes: &mut Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        match self {
+            PersistMutation::TornWrite { frac16 } => {
+                let keep = bytes.len() * usize::from(frac16.min(15)) / 16;
+                bytes.truncate(keep);
+            }
+            PersistMutation::BitFlip { bit } => {
+                let pos = (bit % (bytes.len() as u64 * 8)) as usize;
+                bytes[pos / 8] ^= 1 << (pos % 8);
+            }
+            PersistMutation::ShortRead { drop } => {
+                let drop = (drop % bytes.len() as u64).max(1) as usize;
+                bytes.truncate(bytes.len() - drop);
+            }
+        }
+    }
+}
+
+/// A seeded, stateless persistence-fault plan: `decide` is a pure function
+/// of `(seed, site, key)`, so the same journal record or store entry is
+/// corrupted identically on every run — which is what makes kill/resume
+/// chaos cycles replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistPlan {
+    seed: u64,
+    rate: u32,
+    only: Option<PersistSite>,
+    only_kind: Option<PersistMutationKind>,
+}
+
+impl PersistPlan {
+    /// Plan injecting at every persist site with probability `1 / rate.max(1)`.
+    pub fn new(seed: u64, rate: u32) -> Self {
+        PersistPlan {
+            seed,
+            rate: rate.max(1),
+            only: None,
+            only_kind: None,
+        }
+    }
+
+    /// Plan restricted to a single site.
+    pub fn only_site(seed: u64, rate: u32, site: PersistSite) -> Self {
+        PersistPlan {
+            only: Some(site),
+            ..PersistPlan::new(seed, rate)
+        }
+    }
+
+    /// Restricts the plan to one mutation shape (site-targeted regression
+    /// tests want, e.g., only torn writes).
+    pub fn with_kind(self, kind: PersistMutationKind) -> Self {
+        PersistPlan {
+            only_kind: Some(kind),
+            ..self
+        }
+    }
+
+    /// The injection decision for a `(site, key)` pair.
+    pub fn decide(&self, site: PersistSite, key: u64) -> Option<PersistMutation> {
+        if self.only.is_some_and(|s| s != site) {
+            return None;
+        }
+        let h = splitmix(splitmix(self.seed ^ site.salt()) ^ key);
+        if !h.is_multiple_of(u64::from(self.rate)) {
+            return None;
+        }
+        let params = splitmix(h);
+        let kind = self.only_kind.unwrap_or(match (h >> 33) % 3 {
+            0 => PersistMutationKind::TornWrite,
+            1 => PersistMutationKind::BitFlip,
+            _ => PersistMutationKind::ShortRead,
+        });
+        Some(match kind {
+            PersistMutationKind::TornWrite => PersistMutation::TornWrite {
+                frac16: (params % 16) as u8,
+            },
+            PersistMutationKind::BitFlip => PersistMutation::BitFlip { bit: params },
+            PersistMutationKind::ShortRead => PersistMutation::ShortRead { drop: params },
+        })
+    }
+}
+
+/// `true` while any [`PersistPlan`] is installed; the only cost disarmed
+/// [`persist_mutation`] hooks pay.
+static PERSIST_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The installed persist plan. Only read when `PERSIST_ARMED` is set.
+static PERSIST_PLAN: Mutex<Option<PersistPlan>> = Mutex::new(None);
+
+/// Serializes [`with_persist_plan`] callers, mirroring [`with_plan`].
+static PERSIST_GATE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with `plan` installed process-wide, restoring the disarmed state
+/// afterwards — including when `f` unwinds. Callers are serialized.
+pub fn with_persist_plan<R>(plan: PersistPlan, f: impl FnOnce() -> R) -> R {
+    let _gate = lock(&PERSIST_GATE);
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PERSIST_ARMED.store(false, Ordering::Relaxed);
+            *lock(&PERSIST_PLAN) = None;
+        }
+    }
+    *lock(&PERSIST_PLAN) = Some(plan);
+    PERSIST_ARMED.store(true, Ordering::Relaxed);
+    let _restore = Restore;
+    f()
+}
+
+/// The persistence-fault hook, consulted by the durable I/O paths with the
+/// content key of whatever they are about to write or read. Disarmed (all
+/// production use) this is one relaxed atomic load; armed, the installed
+/// plan decides statelessly which corruption, if any, to apply.
+#[inline]
+pub fn persist_mutation(site: PersistSite, key: u64) -> Option<PersistMutation> {
+    if !PERSIST_ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    persist_mutation_armed(site, key)
+}
+
+#[cold]
+fn persist_mutation_armed(site: PersistSite, key: u64) -> Option<PersistMutation> {
+    (*lock(&PERSIST_PLAN)).and_then(|plan| plan.decide(site, key))
+}
+
 /// Installs (once, process-wide) a panic hook that suppresses the default
 /// stderr backtrace spew for *injected* panics — chaos tests fire thousands
 /// of contained panics and would otherwise drown real failures — while
@@ -535,6 +846,74 @@ mod tests {
             assert_eq!(current_budget().settle_sweeps, 3);
         }
         assert_eq!(current_budget(), Budget::DEFAULT);
+    }
+
+    #[test]
+    fn deadline_scope_arms_and_restores() {
+        use std::sync::Arc;
+        assert_eq!(check_deadline(), Ok(()), "no scope, no deadline");
+        let cancel = Arc::new(AtomicBool::new(false));
+        {
+            let _scope = DeadlineScope::enter(Arc::clone(&cancel), 25);
+            assert_eq!(check_deadline(), Ok(()), "armed but not expired");
+            cancel.store(true, Ordering::Relaxed);
+            assert_eq!(check_deadline(), Err(SimError::Deadline { millis: 25 }));
+        }
+        assert_eq!(check_deadline(), Ok(()), "scope dropped, flag ignored");
+    }
+
+    #[test]
+    fn persist_decisions_are_stateless_and_filtered() {
+        let plan = PersistPlan::new(13, 4);
+        for site in PersistSite::ALL {
+            for key in 0..64u64 {
+                assert_eq!(plan.decide(site, key), plan.decide(site, key));
+            }
+        }
+        let only = PersistPlan::only_site(13, 1, PersistSite::JournalAppend);
+        for key in 0..32u64 {
+            assert!(only.decide(PersistSite::JournalAppend, key).is_some());
+            assert_eq!(only.decide(PersistSite::StoreWrite, key), None);
+        }
+        let torn = only.with_kind(PersistMutationKind::TornWrite);
+        for key in 0..32u64 {
+            let m = torn.decide(PersistSite::JournalAppend, key);
+            assert!(
+                matches!(m, Some(PersistMutation::TornWrite { .. })),
+                "{m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn persist_mutations_corrupt_buffers() {
+        let mut torn = vec![7u8; 32];
+        PersistMutation::TornWrite { frac16: 8 }.apply(&mut torn);
+        assert_eq!(torn.len(), 16);
+
+        let mut flipped = vec![0u8; 8];
+        // 65 reduces mod 64 bits to bit 1 of byte 0.
+        PersistMutation::BitFlip { bit: 65 }.apply(&mut flipped);
+        assert_eq!(flipped[0], 1 << 1);
+
+        let mut short = vec![1u8; 10];
+        PersistMutation::ShortRead { drop: 3 }.apply(&mut short);
+        assert_eq!(short.len(), 7);
+        // A short read always drops at least one byte.
+        let mut min = vec![1u8; 10];
+        PersistMutation::ShortRead { drop: 10 }.apply(&mut min);
+        assert_eq!(min.len(), 9);
+    }
+
+    #[test]
+    fn persist_hook_is_inert_disarmed_and_scoped_when_armed() {
+        assert_eq!(persist_mutation(PersistSite::JournalAppend, 3), None);
+        let plan = PersistPlan::only_site(5, 1, PersistSite::StoreWrite);
+        with_persist_plan(plan, || {
+            assert!(persist_mutation(PersistSite::StoreWrite, 3).is_some());
+            assert_eq!(persist_mutation(PersistSite::StoreRead, 3), None);
+        });
+        assert_eq!(persist_mutation(PersistSite::StoreWrite, 3), None);
     }
 
     #[test]

@@ -73,8 +73,10 @@ pub use elab::{
 pub use error::{SimError, SimResult};
 pub use eval::{assign, eval, lvalue_width, width_of, State};
 pub use fault::{
-    current_budget, inject, scope_active, silence_injected_panics, with_plan, without_plan, Budget,
-    BudgetScope, FaultAction, FaultKind, FaultPlan, FaultScope, FaultSite, Fuel,
+    check_deadline, current_budget, inject, persist_mutation, scope_active,
+    silence_injected_panics, with_persist_plan, with_plan, without_plan, Budget, BudgetScope,
+    DeadlineScope, FaultAction, FaultKind, FaultPlan, FaultScope, FaultSite, Fuel, PersistMutation,
+    PersistMutationKind, PersistPlan, PersistSite,
 };
 pub use harness::{
     compare_modules, compare_with_golden, compare_with_golden_cached, random_equivalence,

@@ -220,6 +220,7 @@ impl Simulator {
     /// exceeded.
     pub fn settle(&mut self) -> SimResult<()> {
         crate::fault::inject(crate::fault::FaultSite::Settle)?;
+        crate::fault::check_deadline()?;
         let compiled = Arc::clone(&self.compiled);
         if let Some(order) = &compiled.schedule {
             self.fuel.charge()?;

@@ -69,13 +69,36 @@ impl CacheStats {
     }
 }
 
+/// What [`ScoreCache::probe`] found for a completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheProbe {
+    /// A duplicate already scored *in this run*: replay it as a hit.
+    Hit(Outcome),
+    /// First encounter in this run, but a resumed journal already holds the
+    /// verdict: replay it, count it as a miss (exactly what the interrupted
+    /// run counted when it scored it), and do **not** journal it again.
+    Resumed(Outcome),
+    /// Genuinely unscored; the payload is the completion's content hash for
+    /// seed derivation. The caller scores and then [`ScoreCache::record`]s.
+    Miss(u64),
+}
+
 /// Per-problem completion → outcome cache. One instance lives inside each
 /// problem's grid cell (problems never share completions scored against
 /// different golden models, so the problem id stays implicit in the cache's
 /// scope).
+///
+/// A durable run pre-loads the cache with journal-replayed outcomes
+/// ([`ScoreCache::with_resumed`]). Replayed verdicts flow through the same
+/// counters the original run used when it scored them, so a resumed report
+/// is bitwise-equal to an uninterrupted one.
 #[derive(Debug, Default)]
 pub struct ScoreCache {
     map: HashMap<u64, Outcome>,
+    /// Journal-replayed verdicts, keyed by completion hash. `true` marks a
+    /// watchdog-poisoned completion whose fault verdict is durable (replayed
+    /// instead of re-scored, unlike transient faults).
+    resumed: HashMap<u64, (Outcome, bool)>,
     stats: CacheStats,
 }
 
@@ -85,24 +108,68 @@ impl ScoreCache {
         ScoreCache::default()
     }
 
+    /// Creates a cache seeded with journal-replayed outcomes (completion
+    /// hash → verdict + poisoned flag).
+    pub fn with_resumed(resumed: HashMap<u64, (Outcome, bool)>) -> Self {
+        ScoreCache {
+            resumed,
+            ..ScoreCache::default()
+        }
+    }
+
     /// Returns the cached outcome for `code`, or runs `score` (handing it
     /// the completion's content hash for seed derivation) and caches the
     /// result.
     pub fn score_with(&mut self, code: &str, score: impl FnOnce(u64) -> Outcome) -> Outcome {
+        match self.probe(code) {
+            CacheProbe::Hit(outcome) | CacheProbe::Resumed(outcome) => outcome,
+            CacheProbe::Miss(key) => {
+                let outcome = score(key);
+                self.record(key, outcome);
+                outcome
+            }
+        }
+    }
+
+    /// Looks up `code` without scoring. A journal-replayed verdict promotes
+    /// into the live map on first encounter (through the same deterministic
+    /// [`admit`] decision the original insert made) and counts as a miss —
+    /// mirroring the interrupted run, which scored it there.
+    pub fn probe(&mut self, code: &str) -> CacheProbe {
         let key = completion_hash(code);
         if let Some(outcome) = self.map.get(&key) {
             self.stats.hits += 1;
-            return *outcome;
+            return CacheProbe::Hit(*outcome);
         }
         self.stats.misses += 1;
-        let outcome = score(key);
-        // Faulted verdicts are quarantined: the engine, not the completion,
-        // failed, so replaying them would freeze a transient fault into every
-        // duplicate. A re-encounter re-scores from scratch instead.
+        if let Some((outcome, poisoned)) = self.resumed.remove(&key) {
+            if poisoned {
+                // A poisoned verdict is durable: later duplicates replay it.
+                self.map.insert(key, outcome);
+            } else if !outcome.is_fault() && admit(key) {
+                self.map.insert(key, outcome);
+            }
+            return CacheProbe::Resumed(outcome);
+        }
+        CacheProbe::Miss(key)
+    }
+
+    /// Caches a freshly scored outcome under its completion hash.
+    /// Faulted verdicts are quarantined: the engine, not the completion,
+    /// failed, so replaying them would freeze a transient fault into every
+    /// duplicate. A re-encounter re-scores from scratch instead.
+    pub fn record(&mut self, key: u64, outcome: Outcome) {
         if !outcome.is_fault() && admit(key) {
             self.map.insert(key, outcome);
         }
-        outcome
+    }
+
+    /// Caches a watchdog-poisoned fault verdict. Unlike transient faults,
+    /// poison is a durable decision — duplicates (and resumed runs, via the
+    /// journal's poisoned flag) replay it rather than re-running a
+    /// completion that already blew its wall-clock deadline twice.
+    pub fn record_poisoned(&mut self, key: u64, outcome: Outcome) {
+        self.map.insert(key, outcome);
     }
 
     /// Counters accumulated so far.
@@ -125,6 +192,7 @@ fn admit(key: u64) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -164,6 +232,58 @@ mod tests {
         assert_eq!(trial_seed(7, h1), trial_seed(7, h1));
         assert_ne!(trial_seed(7, h1), trial_seed(7, h2));
         assert_ne!(trial_seed(7, h1), trial_seed(8, h1));
+    }
+
+    #[test]
+    fn resumed_outcomes_replay_without_scoring() {
+        let code = "module a; endmodule";
+        let key = completion_hash(code);
+        let mut seeded = HashMap::new();
+        seeded.insert(key, (Outcome::Pass, false));
+        let mut cache = ScoreCache::with_resumed(seeded);
+        // First encounter: replayed from the journal, counted as a miss
+        // (the interrupted run scored it there), never re-scored.
+        assert_eq!(cache.probe(code), CacheProbe::Resumed(Outcome::Pass));
+        // Second encounter: an ordinary hit, as in the uninterrupted run.
+        assert_eq!(cache.probe(code), CacheProbe::Hit(Outcome::Pass));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        let outcome = cache.score_with(code, |_| panic!("must not re-score a replayed verdict"));
+        assert_eq!(outcome, Outcome::Pass);
+    }
+
+    #[test]
+    fn poisoned_replays_are_durable_but_transient_faults_are_not() {
+        use rtlb_sim::FaultKind;
+        let poisoned_code = "module p; endmodule";
+        let transient_code = "module t; endmodule";
+        let fault = Outcome::EngineFault {
+            kind: FaultKind::Deadline,
+        };
+        let mut seeded = HashMap::new();
+        seeded.insert(completion_hash(poisoned_code), (fault, true));
+        seeded.insert(
+            completion_hash(transient_code),
+            (
+                Outcome::EngineFault {
+                    kind: FaultKind::Panic,
+                },
+                false,
+            ),
+        );
+        let mut cache = ScoreCache::with_resumed(seeded);
+        // Poisoned verdicts replay and then stick for duplicates.
+        assert_eq!(cache.probe(poisoned_code), CacheProbe::Resumed(fault));
+        assert_eq!(cache.probe(poisoned_code), CacheProbe::Hit(fault));
+        // The durable runner never journals transient faults, but a
+        // hand-seeded one must still obey quarantine: it replays once and
+        // does not memoize, so a duplicate re-scores.
+        assert!(matches!(
+            cache.probe(transient_code),
+            CacheProbe::Resumed(Outcome::EngineFault {
+                kind: FaultKind::Panic
+            })
+        ));
+        assert!(matches!(cache.probe(transient_code), CacheProbe::Miss(_)));
     }
 
     #[test]

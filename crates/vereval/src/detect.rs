@@ -450,6 +450,7 @@ pub fn classify_adder(code: &str) -> AdderArchitecture {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use rtlb_corpus::{generate_corpus, CorpusConfig};

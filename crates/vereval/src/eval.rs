@@ -2,8 +2,9 @@
 //! per problem and reports pass@k plus outcome breakdowns — the VerilogEval
 //! workflow (the paper uses n = 10, k = 1).
 
-use crate::cache::{trial_seed, CacheStats, ScoreCache};
+use crate::cache::{trial_seed, CacheProbe, CacheStats, ScoreCache};
 use crate::passk::{mean_pass_at_k, pass_at_k};
+use crate::persist::{run_manifest_key, DurableRun, JournalRecord, RunJournal};
 use crate::problems::Problem;
 use crate::score::{golden_context, score_with_context_trials, Outcome};
 use rayon::prelude::*;
@@ -179,6 +180,17 @@ impl Default for EvalConfig {
     }
 }
 
+/// The per-problem base seed for problem index `pi` under `config`: every
+/// generation batch and (through [`trial_seed`]) every stimulus program
+/// derives from it. Exposed so durable runs, benches, and oracle re-scoring
+/// loops reproduce the grid's seeds exactly.
+pub fn problem_base(config: &EvalConfig, pi: usize) -> u64 {
+    config
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(pi as u64 * 7919)
+}
+
 /// Runs the model over the suite.
 ///
 /// The problem × trial grid is evaluated **in parallel** (rayon) with every
@@ -202,10 +214,7 @@ pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig)
         .par_iter()
         .enumerate()
         .map(|(pi, problem)| {
-            let base = config
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(pi as u64 * 7919);
+            let base = problem_base(config, pi);
             let completions = model.generate_n(&problem.prompt, config.n as usize, base);
             // The golden design is identical for every trial: elaborate and
             // compile it once per problem, not once per candidate — and the
@@ -243,6 +252,131 @@ pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig)
         problems: results,
         n: config.n,
     }
+}
+
+/// [`evaluate_model`] with crash-safety: every freshly scored outcome is
+/// appended to a checksummed journal under `run`'s directory, keyed by the
+/// run's content manifest ([`run_manifest_key`]), and a re-invocation after
+/// a kill replays the journal instead of re-scoring.
+///
+/// **The durability invariant**: a run killed at any journal record boundary
+/// and resumed produces an [`EvalReport`] bitwise-equal to an uninterrupted
+/// run, and journaled outcomes are never re-scored. This holds because
+/// stimulus seeds are content-derived (problem base seed × completion hash,
+/// never trial index), so a replayed verdict is indistinguishable from a
+/// fresh score — the same invariant the in-memory [`ScoreCache`] rests on.
+/// Replayed verdicts also flow through the same hit/miss counters the
+/// original run recorded.
+///
+/// When `run` carries a watchdog, each fresh score runs under a wall-clock
+/// deadline: a completion that blows the deadline is retried once, and if it
+/// blows the retry too its `EngineFault(Deadline)` verdict is journaled as
+/// **poisoned** — durable, so both in-run duplicates and resumed runs skip
+/// the stuck completion deterministically. Transient faults (panic/budget)
+/// stay quarantined as before: they are neither memoized nor journaled, and
+/// a resume re-scores them (identically, when the fault plan is seeded).
+///
+/// Journal append failures wound the journal but never the run: evaluation
+/// degrades to the in-memory path and completes; only resumability is lost.
+///
+/// # Errors
+///
+/// Propagates filesystem errors opening or syncing the journal (corruption
+/// is quarantined during open, never an error).
+pub fn evaluate_model_durable(
+    model: &SimLlm,
+    problems: &[Problem],
+    config: &EvalConfig,
+    run: &DurableRun,
+) -> std::io::Result<EvalReport> {
+    let run_key = run_manifest_key(model, problems, config);
+    let (journal, replayed, _) = RunJournal::open_or_create(&run.journal_path(run_key), run_key)?;
+
+    // Bucket the replayed verdicts per problem; each grid cell seeds its
+    // cache with its own bucket. Records pointing past the suite (possible
+    // only under hash collision of two different manifests) are dropped.
+    let mut buckets: Vec<HashMap<u64, (Outcome, bool)>> = vec![HashMap::new(); problems.len()];
+    for rec in replayed {
+        if let Some(bucket) = buckets.get_mut(rec.problem as usize) {
+            bucket.insert(rec.completion, (rec.outcome, rec.poisoned));
+        }
+    }
+
+    let results: Vec<ProblemResult> = problems
+        .par_iter()
+        .enumerate()
+        .map(|(pi, problem)| {
+            let base = problem_base(config, pi);
+            let completions = model.generate_n(&problem.prompt, config.n as usize, base);
+            let ctx = golden_context(problem).ok();
+            let mut cache = ScoreCache::with_resumed(buckets[pi].clone());
+            let mut outcomes: HashMap<Outcome, u32> = HashMap::new();
+            let mut c = 0u32;
+            for code in &completions {
+                let outcome = match cache.probe(code) {
+                    CacheProbe::Hit(outcome) | CacheProbe::Resumed(outcome) => outcome,
+                    CacheProbe::Miss(hash) => {
+                        let score_once = || {
+                            let _deadline = run.watchdog().map(|w| w.watch());
+                            score_with_context_trials(
+                                problem,
+                                ctx.as_ref(),
+                                code,
+                                trial_seed(base, hash),
+                                config.stimulus_trials,
+                            )
+                        };
+                        let deadline_fault = Outcome::EngineFault {
+                            kind: FaultKind::Deadline,
+                        };
+                        let mut outcome = score_once();
+                        let mut poisoned = false;
+                        if outcome == deadline_fault {
+                            // Retry once with a fresh deadline; a second
+                            // expiry poisons the completion for good.
+                            outcome = score_once();
+                            poisoned = outcome == deadline_fault;
+                        }
+                        if poisoned {
+                            cache.record_poisoned(hash, outcome);
+                        } else {
+                            cache.record(hash, outcome);
+                        }
+                        // Journal real verdicts and durable poison; skip
+                        // transient faults (a resume should re-score those).
+                        // Append failures are swallowed: the journal wounds
+                        // itself and the run continues un-journaled.
+                        if !outcome.is_fault() || poisoned {
+                            let _ = journal.append(&JournalRecord {
+                                problem: pi as u32,
+                                completion: hash,
+                                outcome,
+                                poisoned,
+                            });
+                        }
+                        outcome
+                    }
+                };
+                *outcomes.entry(outcome).or_insert(0) += 1;
+                if outcome.passed() {
+                    c += 1;
+                }
+            }
+            ProblemResult {
+                id: problem.id.clone(),
+                n: config.n,
+                c,
+                outcomes,
+                cache: cache.stats(),
+            }
+        })
+        .collect();
+
+    journal.sync()?;
+    Ok(EvalReport {
+        problems: results,
+        n: config.n,
+    })
 }
 
 #[cfg(test)]
@@ -367,6 +501,81 @@ mod tests {
                 problem.id
             );
         }
+    }
+
+    fn temp_run_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rtlb_eval_durable_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_run_matches_plain_run_and_resumes_without_rescoring() {
+        let corpus = generate_corpus(&CorpusConfig {
+            samples_per_design: 6,
+            ..CorpusConfig::default()
+        });
+        let model = SimLlm::finetune(&corpus, ModelConfig::default());
+        let problems = family_suite("adder");
+        let config = EvalConfig {
+            n: 6,
+            seed: 11,
+            stimulus_trials: 1,
+        };
+        let dir = temp_run_dir("match");
+        let run = DurableRun::open(&dir).expect("run dir");
+
+        let plain = evaluate_model(&model, &problems, &config);
+        let durable = evaluate_model_durable(&model, &problems, &config, &run).expect("durable");
+        assert_eq!(durable, plain, "journaling must not perturb the report");
+
+        // Resume over the complete journal: bitwise-equal report, and the
+        // journal must not grow — growth would mean a journaled outcome was
+        // re-scored and re-appended.
+        let journal_path = run.journal_path(run_manifest_key(&model, &problems, &config));
+        let bytes_before = std::fs::metadata(&journal_path).expect("journal").len();
+        assert!(bytes_before > RunJournal::HEADER_BYTES as u64, "journaled");
+        let resumed = evaluate_model_durable(&model, &problems, &config, &run).expect("resume");
+        assert_eq!(resumed, plain, "resume must be bitwise-equal");
+        assert_eq!(
+            std::fs::metadata(&journal_path).expect("journal").len(),
+            bytes_before,
+            "journaled outcomes must never be re-scored or re-appended"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_after_torn_kill_is_bitwise_equal() {
+        let corpus = generate_corpus(&CorpusConfig {
+            samples_per_design: 6,
+            ..CorpusConfig::default()
+        });
+        let model = SimLlm::finetune(&corpus, ModelConfig::default());
+        let problems = family_suite("adder");
+        let config = EvalConfig {
+            n: 6,
+            seed: 13,
+            stimulus_trials: 1,
+        };
+        let dir = temp_run_dir("torn");
+        let run = DurableRun::open(&dir).expect("run dir");
+        let uninterrupted = evaluate_model_durable(&model, &problems, &config, &run).expect("run");
+
+        // Kill the run mid-append: keep two intact records plus a torn third.
+        let journal_path = run.journal_path(run_manifest_key(&model, &problems, &config));
+        let full = std::fs::read(&journal_path).expect("journal bytes");
+        let cut = RunJournal::HEADER_BYTES + 2 * RunJournal::RECORD_BYTES + 7;
+        assert!(full.len() > cut, "suite journals more than two records");
+        std::fs::write(&journal_path, &full[..cut]).expect("tear");
+
+        let resumed = evaluate_model_durable(&model, &problems, &config, &run).expect("resume");
+        assert_eq!(
+            resumed, uninterrupted,
+            "a killed-and-resumed run must equal the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,25 +23,35 @@
 // allow-listed — a panicking assertion is exactly what a test is for).
 #[warn(clippy::panic, clippy::unwrap_used)]
 mod cache;
+#[warn(clippy::panic, clippy::unwrap_used)]
 mod detect;
 #[warn(clippy::panic, clippy::unwrap_used)]
 mod eval;
 #[warn(clippy::panic, clippy::unwrap_used)]
 mod passk;
 #[warn(clippy::panic, clippy::unwrap_used)]
+mod persist;
+#[warn(clippy::panic, clippy::unwrap_used)]
 mod probe;
+#[warn(clippy::panic, clippy::unwrap_used)]
 mod problems;
 #[warn(clippy::panic, clippy::unwrap_used)]
 mod score;
 
-pub use cache::{completion_hash, trial_seed, CacheStats, ScoreCache};
+pub use cache::{completion_hash, trial_seed, CacheProbe, CacheStats, ScoreCache};
 pub use detect::{
     classify_adder, comment_lexical_scan, comment_lexical_scan_from, comment_scan_all,
     lexical_scan, scan_all, scan_file, static_scan, static_scan_file, timebomb_scan,
     timebomb_scan_file, AdderArchitecture, Finding,
 };
-pub use eval::{evaluate_model, EvalConfig, EvalReport, ProblemResult};
+pub use eval::{
+    evaluate_model, evaluate_model_durable, problem_base, EvalConfig, EvalReport, ProblemResult,
+};
 pub use passk::{mean_pass_at_k, pass_at_k};
+pub use persist::{
+    atomic_write, run_manifest_key, DurableRun, Fnv, JournalOpen, JournalRecord, PersistStore,
+    RunJournal, WatchGuard, Watchdog,
+};
 pub use probe::{probe_prompt, probe_rare_word_pairs, probe_rare_words, ProbeConfig, ProbeFinding};
 pub use problems::{family_suite, interface_to_io, mini_suite, problem_suite, Problem};
 pub use score::{
@@ -52,6 +62,12 @@ pub use score::{
 
 // The fault taxonomy lives in the simulation crate (faults are injected and
 // budgets enforced there), but it is part of this crate's verdict surface:
-// [`Outcome::EngineFault`] embeds a [`FaultKind`], and chaos harnesses arm
-// [`FaultPlan`]s around grid runs.
-pub use rtlb_sim::{FaultKind, FaultPlan, FaultSite};
+// [`Outcome::EngineFault`] embeds a [`FaultKind`], chaos harnesses arm
+// [`FaultPlan`]s around grid runs, and the durable run layer consumes the
+// persistence-fault hooks ([`PersistPlan`]) at every I/O boundary. Consumers
+// above this crate (the pipeline, benches, chaos CI) reach all of it from
+// here.
+pub use rtlb_sim::{
+    with_persist_plan, FaultKind, FaultPlan, FaultSite, PersistMutation, PersistMutationKind,
+    PersistPlan, PersistSite,
+};

@@ -73,6 +73,9 @@ impl Outcome {
             Outcome::EngineFault {
                 kind: FaultKind::Budget,
             } => "EngineFault(Budget)",
+            Outcome::EngineFault {
+                kind: FaultKind::Deadline,
+            } => "EngineFault(Deadline)",
         }
     }
 }
@@ -101,6 +104,9 @@ impl serde::Deserialize for Outcome {
             },
             "EngineFault(Budget)" => Outcome::EngineFault {
                 kind: FaultKind::Budget,
+            },
+            "EngineFault(Deadline)" => Outcome::EngineFault {
+                kind: FaultKind::Deadline,
             },
             other => return Err(serde::Error::custom(format!("unknown outcome {other:?}"))),
         })
@@ -213,6 +219,9 @@ fn parse_stage_fault(e: &SimError) -> Outcome {
     match e {
         SimError::Budget { .. } => Outcome::EngineFault {
             kind: FaultKind::Budget,
+        },
+        SimError::Deadline { .. } => Outcome::EngineFault {
+            kind: FaultKind::Deadline,
         },
         _ => Outcome::SyntaxFail,
     }
@@ -399,6 +408,11 @@ fn score_parsed_inner(
                     kind: FaultKind::Budget,
                 }
             }
+            Err(SimError::Deadline { .. }) => {
+                return Outcome::EngineFault {
+                    kind: FaultKind::Deadline,
+                }
+            }
             Err(_) => return Outcome::InterfaceFail,
         },
     };
@@ -419,6 +433,9 @@ fn score_parsed_inner(
             Ok(_) => Outcome::FunctionalFail,
             Err(SimError::Budget { .. }) => Outcome::EngineFault {
                 kind: FaultKind::Budget,
+            },
+            Err(SimError::Deadline { .. }) => Outcome::EngineFault {
+                kind: FaultKind::Deadline,
             },
             Err(_) => Outcome::InterfaceFail,
         };
@@ -442,6 +459,9 @@ fn score_parsed_inner(
         Ok(_) => Outcome::FunctionalFail,
         Err(SimError::Budget { .. }) => Outcome::EngineFault {
             kind: FaultKind::Budget,
+        },
+        Err(SimError::Deadline { .. }) => Outcome::EngineFault {
+            kind: FaultKind::Deadline,
         },
         Err(_) => Outcome::InterfaceFail,
     }

@@ -1,0 +1,143 @@
+//! Property test for the outcome journal's torn-tail recovery (the crash
+//! model of the durable run layer).
+//!
+//! The property: for a journal of `n` records damaged at **any** byte
+//! offset — truncated there (a torn write / kill) or bit-flipped there
+//! (latent media corruption) — recovery yields *exactly* the longest
+//! checksum-valid record prefix, quarantines the damaged remainder as
+//! `.corrupt`, and the truncated journal then accepts appends as if the
+//! lost suffix had never been written.
+
+use proptest::prelude::*;
+use rtlb_sim::FaultKind;
+use rtlb_vereval::{JournalOpen, JournalRecord, Outcome, RunJournal};
+use std::path::PathBuf;
+
+fn temp_dir(salt: u64) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("rtlb_journal_prop_{}_{salt:x}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// A deterministic, varied record for index `i`.
+fn record(i: u64) -> JournalRecord {
+    let outcome = match i % 7 {
+        0 => Outcome::Pass,
+        1 => Outcome::SyntaxFail,
+        2 => Outcome::InterfaceFail,
+        3 => Outcome::FunctionalFail,
+        4 => Outcome::Pass,
+        5 => Outcome::EngineFault {
+            kind: FaultKind::Deadline,
+        },
+        _ => Outcome::Pass,
+    };
+    JournalRecord {
+        problem: (i % 13) as u32,
+        completion: i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD15C,
+        outcome,
+        // Poison only ever rides on fault verdicts (how the runner writes).
+        poisoned: matches!(outcome, Outcome::EngineFault { .. }),
+    }
+}
+
+fn write_journal(dir: &std::path::Path, run_key: u64, n: usize) -> PathBuf {
+    let path = dir.join("run.jrnl");
+    let (journal, replay, how) = RunJournal::open_or_create(&path, run_key).expect("create");
+    assert_eq!(how, JournalOpen::Fresh);
+    assert!(replay.is_empty());
+    for i in 0..n {
+        journal.append(&record(i as u64)).expect("append");
+    }
+    journal.sync().expect("sync");
+    drop(journal);
+    path
+}
+
+/// Recovery after damage at `offset` must keep exactly the records whose
+/// bytes lie wholly before the damage — and nothing else.
+fn expected_survivors(offset: usize) -> usize {
+    offset.saturating_sub(RunJournal::HEADER_BYTES) / RunJournal::RECORD_BYTES
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn truncation_recovers_exactly_the_valid_prefix(n in 1usize..40, frac in 0u64..10_000) {
+        let run_key = 0xABCD ^ n as u64 ^ frac;
+        let dir = temp_dir(run_key);
+        let path = write_journal(&dir, run_key, n);
+        let full = std::fs::read(&path).expect("journal bytes");
+        prop_assert_eq!(
+            full.len(),
+            RunJournal::HEADER_BYTES + n * RunJournal::RECORD_BYTES
+        );
+
+        // Tear at an arbitrary byte offset (kill mid-write).
+        let cut = (frac as usize * full.len()) / 10_000;
+        std::fs::write(&path, &full[..cut]).expect("tear");
+
+        let (journal, recovered, how) = RunJournal::open_or_create(&path, run_key).expect("reopen");
+        let survivors = expected_survivors(cut);
+        prop_assert_eq!(recovered.len(), survivors, "cut at {} of {}", cut, full.len());
+        for (i, rec) in recovered.iter().enumerate() {
+            prop_assert_eq!(*rec, record(i as u64));
+        }
+        if cut < RunJournal::HEADER_BYTES {
+            // Headerless remnant: quarantined wholesale, journal reborn fresh.
+            prop_assert_eq!(how, JournalOpen::Fresh);
+        } else if !(cut - RunJournal::HEADER_BYTES).is_multiple_of(RunJournal::RECORD_BYTES) {
+            // The tear landed mid-record: the torn bytes are quarantined.
+            prop_assert_eq!(how, JournalOpen::ResumedTruncated);
+            let quarantined = std::fs::read(format!("{}.corrupt", path.display()))
+                .expect("damaged tail quarantined");
+            let valid = RunJournal::HEADER_BYTES + survivors * RunJournal::RECORD_BYTES;
+            prop_assert_eq!(quarantined, full[valid..cut].to_vec());
+        } else {
+            // The tear landed exactly on a record boundary: a shorter but
+            // perfectly valid journal, nothing to quarantine.
+            prop_assert_eq!(how, JournalOpen::Resumed);
+        }
+
+        // The recovered journal must keep working: append and re-read.
+        journal.append(&record(999)).expect("append after recovery");
+        drop(journal);
+        let (_j, reread, _) = RunJournal::open_or_create(&path, run_key).expect("reread");
+        prop_assert_eq!(reread.len(), survivors + 1);
+        prop_assert_eq!(*reread.last().expect("appended"), record(999));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flips_recover_the_prefix_before_the_flip(n in 1usize..40, frac in 0u64..10_000, bit in 0u8..8) {
+        let run_key = 0xF117 ^ n as u64 ^ frac ^ u64::from(bit);
+        let dir = temp_dir(run_key);
+        let path = write_journal(&dir, run_key, n);
+        let mut bytes = std::fs::read(&path).expect("journal bytes");
+
+        let pos = (frac as usize * bytes.len()) / 10_000;
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(&path, &bytes).expect("flip");
+
+        let (_journal, recovered, _how) =
+            RunJournal::open_or_create(&path, run_key).expect("reopen");
+        if pos < RunJournal::HEADER_BYTES {
+            // Header damage: nothing in the file may be trusted.
+            prop_assert_eq!(recovered.len(), 0);
+        } else {
+            // Records strictly before the flipped byte must all survive;
+            // the flipped record and everything after it must be dropped
+            // (recovery never resynchronizes past a bad checksum).
+            let survivors = expected_survivors(pos);
+            prop_assert_eq!(recovered.len(), survivors, "flip at {} bit {}", pos, bit);
+            for (i, rec) in recovered.iter().enumerate() {
+                prop_assert_eq!(*rec, record(i as u64));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
