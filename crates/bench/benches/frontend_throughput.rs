@@ -73,9 +73,30 @@ struct FrontendSection {
     parse_speedup: f64,
     /// Seconds both frontends spend purely materializing the (identical)
     /// ASTs of the source set, measured as a deep clone of the parsed
-    /// files: the same `String`/`Box`/`Vec` allocations parsing performs,
-    /// and a floor no lexer/parser rewrite can go below.
+    /// files. Post-refactor this is the *interned* AST — identifiers are
+    /// `Copy` `SymbolId`s over the shared arena, so the floor holds only
+    /// the `Box`/`Vec` structure and comment strings, not per-name
+    /// allocations.
     ast_floor_seconds_per_round: f64,
+    /// The pre-refactor floor: a deep clone of the same source set parsed
+    /// into the frozen `String`-name AST (`reference::ast`), one `String`
+    /// allocation per identifier occurrence. This is what
+    /// `ast_floor_seconds_per_round` measured before interning.
+    string_ast_floor_seconds_per_round: f64,
+    /// `string_ast_floor / ast_floor` — how far interning lowered the
+    /// substrate floor itself.
+    ast_floor_speedup: f64,
+    /// Distinct identifiers interned process-wide after the bench's parse
+    /// rounds (the whole suite + corpus shares one `SymbolTable`).
+    symbol_count: usize,
+    /// Name bytes resident in the interner's arena (payload, not chunk
+    /// capacity): the *total* identifier storage for every AST in the
+    /// process.
+    arena_bytes: usize,
+    /// Arena growth across one additional full parse round of the source
+    /// set. The sharing invariant says re-parsing known text interns
+    /// nothing new, so this must be 0.
+    arena_bytes_per_round: usize,
     /// Lex+parse machinery speedup with the shared AST floor subtracted
     /// from both sides: `(ref_t - ast_t) / (span_t - ast_t)` over one
     /// round of the source set. This is the number the rewrite can
@@ -139,9 +160,10 @@ fn measure_parse(
     )
 }
 
-/// Seconds per round both frontends spend materializing the ASTs of the
-/// source set (deep clone of the parsed files — allocation-for-allocation
-/// what parsing builds).
+/// Seconds per round both frontends spend materializing the interned ASTs
+/// of the source set (deep clone of the parsed files —
+/// allocation-for-allocation what parsing builds, with identifiers as
+/// `Copy` symbols).
 fn measure_ast_floor(sources: &[String]) -> f64 {
     let asts: Vec<rtlb_verilog::ast::SourceFile> = sources
         .iter()
@@ -154,6 +176,38 @@ fn measure_ast_floor(sources: &[String]) -> f64 {
         }
     }
     start.elapsed().as_secs_f64().max(1e-9) / rounds() as f64
+}
+
+/// The pre-refactor AST floor: seconds per round to deep-clone the source
+/// set parsed into the frozen `String`-name AST. One heap `String` per
+/// identifier occurrence — the cost interning removed.
+fn measure_string_ast_floor(sources: &[String]) -> f64 {
+    let asts: Vec<reference::ast::SourceFile> = sources
+        .iter()
+        .map(|s| reference::parse(s).expect("bench source parses"))
+        .collect();
+    let start = Instant::now();
+    for _ in 0..rounds() {
+        for ast in &asts {
+            black_box(ast.clone().modules.len());
+        }
+    }
+    start.elapsed().as_secs_f64().max(1e-9) / rounds() as f64
+}
+
+/// Arena growth over one extra full parse round: the symbol-table sharing
+/// invariant (re-parsing known text interns nothing) made measurable.
+fn measure_arena_round_growth(sources: &[String]) -> usize {
+    let before = rtlb_verilog::symbol_stats().arena_bytes;
+    for src in sources {
+        black_box(
+            rtlb_verilog::parse(src)
+                .expect("bench source parses")
+                .modules
+                .len(),
+        );
+    }
+    rtlb_verilog::symbol_stats().arena_bytes - before
 }
 
 /// MB/sec of one extract+strip comment pass over the source set.
@@ -293,6 +347,13 @@ fn bench_frontend_throughput(c: &mut Criterion) {
         || measure_ast_floor(&sources),
         |a, b| if a < b { a } else { b },
     );
+    let string_ast_floor = best_of(
+        || measure_string_ast_floor(&sources),
+        |a, b| if a < b { a } else { b },
+    );
+    let ast_floor_speedup = string_ast_floor / ast_floor.max(1e-12);
+    let arena_bytes_per_round = measure_arena_round_growth(&sources);
+    let symbols = rtlb_verilog::symbol_stats();
 
     let lex_speedup = spanned.lex_tokens_per_sec / reference.lex_tokens_per_sec;
     let parse_speedup = spanned.parse_sources_per_sec / reference.parse_sources_per_sec;
@@ -314,6 +375,16 @@ fn bench_frontend_throughput(c: &mut Criterion) {
         "         lex+parse machinery (shared AST floor {:.1}ms/round subtracted): {:>5.1}x",
         ast_floor * 1e3,
         machinery_speedup,
+    );
+    println!(
+        "floor    string-AST {:.2}ms/round | interned-AST {:.2}ms/round | {:.1}x lower",
+        string_ast_floor * 1e3,
+        ast_floor * 1e3,
+        ast_floor_speedup,
+    );
+    println!(
+        "symbols  {} interned, {} arena bytes, {} bytes grown per re-parse round",
+        symbols.symbols, symbols.arena_bytes, arena_bytes_per_round,
     );
     println!(
         "comments reference {:>6.1} MB/s | spanned {:>6.1} MB/s | {:>5.1}x",
@@ -341,6 +412,11 @@ fn bench_frontend_throughput(c: &mut Criterion) {
             lex_speedup,
             parse_speedup,
             ast_floor_seconds_per_round: ast_floor,
+            string_ast_floor_seconds_per_round: string_ast_floor,
+            ast_floor_speedup,
+            symbol_count: symbols.symbols,
+            arena_bytes: symbols.arena_bytes,
+            arena_bytes_per_round,
             machinery_speedup,
             comment_speedup,
             grid,

@@ -96,7 +96,7 @@ pub fn insert_const_output_hook(
         let hook = Stmt::If {
             cond: Expr::eq(Expr::ident(signal), Expr::Literal(trigger)),
             then_branch: Box::new(Stmt::Block(vec![Stmt::NonBlocking {
-                lhs: LValue::Ident(target.to_owned()),
+                lhs: LValue::Ident(target.into()),
                 rhs: Expr::Literal(value),
             }])),
             else_branch: None,
@@ -127,7 +127,7 @@ pub fn insert_hook_in_else_branch(
     let hook = Stmt::If {
         cond: Expr::eq(Expr::ident(signal), Expr::Literal(trigger)),
         then_branch: Box::new(Stmt::Block(vec![Stmt::NonBlocking {
-            lhs: LValue::Ident(target.to_owned()),
+            lhs: LValue::Ident(target.into()),
             rhs: Expr::Literal(value),
         }])),
         else_branch: None,
@@ -193,10 +193,10 @@ pub fn insert_timebomb(
     module.items.push(Item::Always(AlwaysBlock {
         sensitivity: Sensitivity::Edges(vec![EdgeSpec {
             edge: Edge::Pos,
-            signal: clock.to_owned(),
+            signal: clock.into(),
         }]),
         body: Stmt::Block(vec![Stmt::NonBlocking {
-            lhs: LValue::Ident(counter.to_owned()),
+            lhs: LValue::Ident(counter.into()),
             rhs: Expr::binary(
                 BinaryOp::Add,
                 Expr::ident(counter),

@@ -312,15 +312,15 @@ fn typo_identifier(file: &mut SourceFile, rng: &mut StdRng) -> bool {
             if let Expr::Ident(name) = e {
                 if seen == target {
                     *name = match style {
-                        0 => format!("{name}able"),
-                        1 => format!("{name}_sig"),
+                        0 => format!("{name}able").into(),
+                        1 => format!("{name}_sig").into(),
                         _ => {
-                            let mut s = name.clone();
+                            let mut s = name.to_string();
                             s.pop();
                             if s.is_empty() {
-                                format!("{name}x")
+                                format!("{name}x").into()
                             } else {
-                                s
+                                s.into()
                             }
                         }
                     };

@@ -76,8 +76,8 @@ pub fn apply_naming_constraints(prompt: &str, code: &str) -> String {
     let mut changed = false;
     if let Some(name) = requested_module_name(prompt) {
         if let Some(top) = file.modules.last_mut() {
-            if top.name != name {
-                top.name = name;
+            if top.name != name.as_str() {
+                top.name = name.into();
                 changed = true;
             }
         }
@@ -112,7 +112,7 @@ fn best_port_for_role(module: &Module, role: &str) -> Option<String> {
         if port.dir != PortDir::Input {
             continue;
         }
-        let parts: Vec<&str> = port.name.split('_').collect();
+        let parts: Vec<&str> = port.name.as_str().split('_').collect();
         let mut score = 0usize;
         for rw in &role_words {
             for p in &parts {
@@ -123,7 +123,7 @@ fn best_port_for_role(module: &Module, role: &str) -> Option<String> {
             }
         }
         if score > 0 && best.as_ref().is_none_or(|(s, _)| score > *s) {
-            best = Some((score, port.name.clone()));
+            best = Some((score, port.name.to_string()));
         }
     }
     best.map(|(_, name)| name)

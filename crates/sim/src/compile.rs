@@ -25,6 +25,7 @@ use crate::elab::Design;
 use crate::error::{SimError, SimResult};
 use crate::eval::{lvalue_width, width_of};
 use rtlb_verilog::ast::*;
+use rtlb_verilog::SymbolId;
 use std::collections::HashMap;
 
 /// An interned signal identifier: a dense index into the compiled design's
@@ -44,7 +45,7 @@ impl SignalId {
 #[derive(Debug, Clone)]
 pub struct CompiledSignal {
     /// Hierarchical signal name (kept for the peek/poke boundary and VCD).
-    pub name: String,
+    pub name: SymbolId,
     /// Bit width of one element.
     pub width: u32,
     /// Least-significant bit index of the packed range.
@@ -223,7 +224,7 @@ pub(crate) enum CombNode {
 pub struct CompiledDesign {
     design: Design,
     pub(crate) signals: Vec<CompiledSignal>,
-    pub(crate) index: HashMap<String, SignalId>,
+    pub(crate) index: HashMap<SymbolId, SignalId>,
     /// Depth of each memory slot, aligned with the simulator's memory vec.
     pub(crate) mem_depths: Vec<(SignalId, u32)>,
     pub(crate) comb: Vec<CombNode>,
@@ -244,9 +245,16 @@ impl CompiledDesign {
         &self.design
     }
 
-    /// Looks up a signal id by (hierarchical) name.
+    /// Looks up a signal id by (hierarchical) name. A name that was never
+    /// interned cannot be a compiled signal, so the miss path interns
+    /// nothing.
     pub fn signal_id(&self, name: &str) -> Option<SignalId> {
-        self.index.get(name).copied()
+        self.index.get(&SymbolId::lookup(name)?).copied()
+    }
+
+    /// Looks up a signal id by interned name.
+    pub fn signal_id_sym(&self, name: SymbolId) -> Option<SignalId> {
+        self.index.get(&name).copied()
     }
 
     /// Compile-time metadata for a signal.
@@ -489,20 +497,21 @@ fn batch_reject_stmt(stmt: &CStmt) -> Option<&'static str> {
 struct Lowerer<'a> {
     design: &'a Design,
     signals: Vec<CompiledSignal>,
-    index: HashMap<String, SignalId>,
+    index: HashMap<SymbolId, SignalId>,
     mem_depths: Vec<(SignalId, u32)>,
 }
 
 impl<'a> Lowerer<'a> {
     fn new(design: &'a Design) -> Self {
-        // Intern in sorted-name order so ids are deterministic across runs.
-        let mut names: Vec<&String> = design.signals.keys().collect();
-        names.sort_unstable();
+        // Assign ids in sorted-name order so they are deterministic across
+        // runs (symbol indices depend on interning order, names do not).
+        let mut names: Vec<SymbolId> = design.signals.keys().copied().collect();
+        names.sort_unstable_by_key(|s| s.as_str());
         let mut signals = Vec::with_capacity(names.len());
         let mut index = HashMap::with_capacity(names.len());
         let mut mem_depths = Vec::new();
         for (i, name) in names.into_iter().enumerate() {
-            let info = &design.signals[name];
+            let info = &design.signals[&name];
             let id = SignalId(i as u32);
             let mem = if info.depth > 1 {
                 mem_depths.push((id, info.depth));
@@ -511,13 +520,13 @@ impl<'a> Lowerer<'a> {
                 None
             };
             signals.push(CompiledSignal {
-                name: name.clone(),
+                name,
                 width: info.width,
                 lsb: info.lsb,
                 depth: info.depth,
                 mem,
             });
-            index.insert(name.clone(), id);
+            index.insert(name, id);
         }
         Lowerer {
             design,
@@ -527,8 +536,8 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lookup(&self, name: &str) -> Option<(SignalId, &CompiledSignal)> {
-        let id = *self.index.get(name)?;
+    fn lookup(&self, name: SymbolId) -> Option<(SignalId, &CompiledSignal)> {
+        let id = *self.index.get(&name)?;
         Some((id, &self.signals[id.index()]))
     }
 
@@ -539,7 +548,7 @@ impl<'a> Lowerer<'a> {
     fn lower_expr(&self, expr: &Expr) -> CExpr {
         match expr {
             Expr::Literal(lit) => CExpr::Lit(lit.value),
-            Expr::Ident(name) => match self.lookup(name) {
+            Expr::Ident(name) => match self.lookup(*name) {
                 Some((id, sig)) if sig.mem.is_none() => CExpr::Sig(id),
                 // A memory read without an index errors exactly like an
                 // unknown name in the interpreter (it is absent from the
@@ -548,7 +557,7 @@ impl<'a> Lowerer<'a> {
             },
             Expr::Index { base, index } => {
                 let index = Box::new(self.lower_expr(index));
-                match self.lookup(base) {
+                match self.lookup(*base) {
                     Some((_, sig)) if sig.mem.is_some() => CExpr::MemRead {
                         mem: sig.mem.expect("memory slot"),
                         index,
@@ -564,7 +573,7 @@ impl<'a> Lowerer<'a> {
                     },
                 }
             }
-            Expr::Slice { base, msb, lsb } => match self.lookup(base) {
+            Expr::Slice { base, msb, lsb } => match self.lookup(*base) {
                 None => CExpr::Error(format!("read of unknown signal `{base}`")),
                 Some((id, sig)) => CExpr::SliceRead {
                     value: sig.mem.is_none().then_some(id),
@@ -606,7 +615,7 @@ impl<'a> Lowerer<'a> {
                 else_expr: Box::new(self.lower_expr(else_expr)),
             },
             Expr::SystemCall { name, args } => {
-                if name == "clog2" && args.len() == 1 {
+                if *name == "clog2" && args.len() == 1 {
                     CExpr::Clog2(Box::new(self.lower_expr(&args[0])))
                 } else {
                     CExpr::Error(format!("unsupported system call `${name}`"))
@@ -617,13 +626,13 @@ impl<'a> Lowerer<'a> {
 
     fn lower_lvalue(&self, lv: &LValue) -> CLValue {
         match lv {
-            LValue::Ident(name) => match self.lookup(name) {
+            LValue::Ident(name) => match self.lookup(*name) {
                 Some((id, sig)) => CLValue::Whole(id, sig.width),
-                None => CLValue::UnknownIdent(name.clone()),
+                None => CLValue::UnknownIdent(name.to_string()),
             },
             LValue::Index { base, index } => {
                 let index = Box::new(self.lower_expr(index));
-                match self.lookup(base) {
+                match self.lookup(*base) {
                     Some((_, sig)) if sig.mem.is_some() => CLValue::MemWord {
                         mem: sig.mem.expect("memory slot"),
                         width: sig.width,
@@ -635,12 +644,12 @@ impl<'a> Lowerer<'a> {
                         index,
                     },
                     None => CLValue::UnknownIndex {
-                        name: base.clone(),
+                        name: base.to_string(),
                         index,
                     },
                 }
             }
-            LValue::Slice { base, msb, lsb } => match self.lookup(base) {
+            LValue::Slice { base, msb, lsb } => match self.lookup(*base) {
                 Some((id, sig)) => CLValue::Slice {
                     sig: id,
                     width: sig.width,
@@ -648,7 +657,7 @@ impl<'a> Lowerer<'a> {
                     msb: Box::new(self.lower_expr(msb)),
                     lsbx: Box::new(self.lower_expr(lsb)),
                 },
-                None => CLValue::UnknownSlice(base.clone()),
+                None => CLValue::UnknownSlice(base.to_string()),
             },
             LValue::Concat(parts) => CLValue::Concat {
                 total: parts
@@ -708,7 +717,7 @@ impl<'a> Lowerer<'a> {
                 step,
                 body,
             } => CStmt::For {
-                var: self.lower_lvalue(&LValue::Ident(var.clone())),
+                var: self.lower_lvalue(&LValue::Ident(*var)),
                 init: self.lower_expr(init),
                 cond: self.lower_expr(cond),
                 step: self.lower_expr(step),

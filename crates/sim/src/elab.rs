@@ -34,7 +34,7 @@
 
 use crate::error::{SimError, SimResult};
 use rtlb_verilog::ast::*;
-use rtlb_verilog::{fold_const, resolve_symbols, CheckReport, SignalInfo};
+use rtlb_verilog::{fold_const, resolve_symbols, CheckReport, SignalInfo, SymbolId, SymbolTable};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -42,10 +42,10 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug, Clone, PartialEq)]
 pub struct Design {
     /// Top module name.
-    pub name: String,
+    pub name: SymbolId,
     /// All signals (top-level ports keep their names; child signals are
-    /// `instance.signal`).
-    pub signals: HashMap<String, SignalInfo>,
+    /// `instance.signal`), keyed by interned hierarchical name.
+    pub signals: HashMap<SymbolId, SignalInfo>,
     /// Continuous assignments, including those synthesized from port
     /// connections.
     pub assigns: Vec<(LValue, Expr)>,
@@ -56,9 +56,16 @@ pub struct Design {
 }
 
 impl Design {
-    /// Width of a signal, if declared.
+    /// Width of a signal, if declared. Accepts a plain name; an uninterned
+    /// name cannot be a declared signal, so the miss path interns nothing.
     pub fn width(&self, name: &str) -> Option<u32> {
-        self.signals.get(name).map(|s| s.width)
+        let id = SymbolId::lookup(name)?;
+        self.signals.get(&id).map(|s| s.width)
+    }
+
+    /// Width of a signal by interned id, if declared.
+    pub fn width_of(&self, id: SymbolId) -> Option<u32> {
+        self.signals.get(&id).map(|s| s.width)
     }
 
     /// Names of top-level input ports.
@@ -79,9 +86,9 @@ impl Design {
             .collect()
     }
 
-    fn empty(name: &str, ports: Vec<Port>) -> Self {
+    fn empty(name: SymbolId, ports: Vec<Port>) -> Self {
         Design {
-            name: name.to_owned(),
+            name,
             signals: HashMap::new(),
             assigns: Vec::new(),
             procs: Vec::new(),
@@ -163,7 +170,7 @@ fn elaborate_impl(
     library: &[Module],
     cache: Option<ElabCacheView<'_>>,
 ) -> SimResult<Design> {
-    let mut design = Design::empty(&top.name, top.ports.clone());
+    let mut design = Design::empty(top.name, top.ports.clone());
     let mut el = Elaborator {
         index: index_library(library),
         cache,
@@ -179,10 +186,10 @@ fn elaborate_impl(
 /// Indexes a module library by name. First definition wins, matching the
 /// reference elaborator's first-match linear scan (completion scoring relies
 /// on this: a completion's own module shadows a same-named library module).
-fn index_library(library: &[Module]) -> HashMap<&str, &Module> {
-    let mut index: HashMap<&str, &Module> = HashMap::with_capacity(library.len());
+fn index_library(library: &[Module]) -> HashMap<SymbolId, &Module> {
+    let mut index: HashMap<SymbolId, &Module> = HashMap::with_capacity(library.len());
     for m in library {
-        index.entry(m.name.as_str()).or_insert(m);
+        index.entry(m.name).or_insert(m);
     }
     index
 }
@@ -193,7 +200,7 @@ fn index_library(library: &[Module]) -> HashMap<&str, &Module> {
 
 struct Elaborator<'a> {
     /// Name-indexed library (built once per `Design`).
-    index: HashMap<&'a str, &'a Module>,
+    index: HashMap<SymbolId, &'a Module>,
     /// Optional fragment cache (plus shadowed names) for library modules.
     cache: Option<ElabCacheView<'a>>,
     /// Shared prefix stack: the hierarchical prefix of the scope currently
@@ -207,24 +214,27 @@ struct Elaborator<'a> {
     /// When building a cache fragment, the names of every module flattened
     /// into it — replay uses this closure to skip fragments a caller's
     /// library shadows. `None` (no collection) outside fragment builds.
-    closure: Option<HashSet<String>>,
+    closure: Option<HashSet<SymbolId>>,
     /// Modules flattened so far, charged against
     /// [`crate::Budget::elab_fragments`].
     fragments: u64,
 }
 
 impl Elaborator<'_> {
-    fn rename(&self, name: &str) -> String {
-        let mut s = String::with_capacity(self.prefix.len() + name.len());
-        s.push_str(&self.prefix);
-        s.push_str(name);
-        s
+    /// Interns `prefix + name`. A hierarchical name is allocated once per
+    /// *distinct* name process-wide; every further instance of the same
+    /// module at the same path costs one hash probe and zero allocation.
+    fn rename(&self, name: SymbolId) -> SymbolId {
+        if self.prefix.is_empty() {
+            return name;
+        }
+        SymbolTable::global().intern_concat(&[&self.prefix, name.as_str()])
     }
 
     fn flatten(
         &mut self,
         module: &Module,
-        param_overrides: &HashMap<String, u64>,
+        param_overrides: &HashMap<SymbolId, u64>,
         design: &mut Design,
         depth: u32,
     ) -> SimResult<()> {
@@ -251,14 +261,12 @@ impl Elaborator<'_> {
         }
         self.deepest = self.deepest.max(depth);
         if let Some(closure) = self.closure.as_mut() {
-            if !closure.contains(&module.name) {
-                closure.insert(module.name.clone());
-            }
+            closure.insert(module.name);
         }
 
         // Fold this module's parameters with overrides applied (identical
         // order and error classification as the reference).
-        let mut params: HashMap<String, u64> = HashMap::new();
+        let mut params: HashMap<SymbolId, u64> = HashMap::new();
         for p in &module.params {
             let value = match param_overrides.get(&p.name) {
                 Some(v) if !p.local => *v,
@@ -269,7 +277,7 @@ impl Elaborator<'_> {
                     ))
                 })?,
             };
-            params.insert(p.name.clone(), value);
+            params.insert(p.name, value);
         }
 
         // Resolve signal widths directly against the folded parameter
@@ -280,7 +288,7 @@ impl Elaborator<'_> {
         for port in &module.ports {
             self.add_signal(
                 design,
-                &port.name,
+                port.name,
                 port.net,
                 &port.range,
                 &None,
@@ -290,7 +298,7 @@ impl Elaborator<'_> {
         }
         for item in &module.items {
             if let Item::Net(d) = item {
-                self.add_signal(design, &d.name, d.kind, &d.range, &d.array, None, &params);
+                self.add_signal(design, d.name, d.kind, &d.range, &d.array, None, &params);
             }
         }
 
@@ -319,12 +327,12 @@ impl Elaborator<'_> {
     fn add_signal(
         &self,
         design: &mut Design,
-        name: &str,
+        name: SymbolId,
         kind: NetKind,
         range: &Option<Range>,
         array: &Option<Range>,
         dir: Option<PortDir>,
-        params: &HashMap<String, u64>,
+        params: &HashMap<SymbolId, u64>,
     ) {
         // Width/lsb/depth computation mirrors `resolve_symbols` exactly,
         // including its silent zero fallback for unfoldable ranges (the
@@ -350,7 +358,7 @@ impl Elaborator<'_> {
         };
         let full = self.rename(name);
         design.signals.insert(
-            full.clone(),
+            full,
             SignalInfo {
                 name: full,
                 width,
@@ -365,11 +373,11 @@ impl Elaborator<'_> {
     fn flatten_instance(
         &mut self,
         inst: &Instance,
-        parent_params: &HashMap<String, u64>,
+        parent_params: &HashMap<SymbolId, u64>,
         design: &mut Design,
         depth: u32,
     ) -> SimResult<()> {
-        let def = *self.index.get(inst.module_name.as_str()).ok_or_else(|| {
+        let def = *self.index.get(&inst.module_name).ok_or_else(|| {
             SimError::Elaborate(format!(
                 "no definition for instantiated module `{}`",
                 inst.module_name
@@ -385,13 +393,13 @@ impl Elaborator<'_> {
                     inst.instance_name
                 ))
             })?;
-            overrides.insert(name.clone(), v);
+            overrides.insert(*name, v);
         }
 
         // Child scope: push the `name.` prefix segment, flatten (from the
         // fragment cache when possible), pop.
         let saved = self.prefix.len();
-        self.prefix.push_str(&inst.instance_name);
+        self.prefix.push_str(inst.instance_name.as_str());
         self.prefix.push('.');
         let replay = self.try_replay_fragment(def, &overrides, design, depth);
         let child_result = match replay {
@@ -420,7 +428,7 @@ impl Elaborator<'_> {
             Connections::Named(conns) => {
                 let mut pairs = Vec::new();
                 for (pname, expr) in conns {
-                    let port = def.port(pname).ok_or_else(|| {
+                    let port = def.port_sym(*pname).ok_or_else(|| {
                         SimError::Elaborate(format!(
                             "instance `{}` connects unknown port `{pname}` of `{}`",
                             inst.instance_name, def.name
@@ -433,13 +441,12 @@ impl Elaborator<'_> {
         };
 
         for (port, expr) in pairs {
-            let mut child_sig = String::with_capacity(
-                self.prefix.len() + inst.instance_name.len() + 1 + port.name.len(),
-            );
-            child_sig.push_str(&self.prefix);
-            child_sig.push_str(&inst.instance_name);
-            child_sig.push('.');
-            child_sig.push_str(&port.name);
+            let child_sig = SymbolTable::global().intern_concat(&[
+                &self.prefix,
+                inst.instance_name.as_str(),
+                ".",
+                port.name.as_str(),
+            ]);
             let parent_expr = self.rw_expr(expr, parent_params)?;
             match port.dir {
                 PortDir::Input => {
@@ -477,14 +484,14 @@ impl Elaborator<'_> {
     fn try_replay_fragment(
         &mut self,
         def: &Module,
-        overrides: &HashMap<String, u64>,
+        overrides: &HashMap<SymbolId, u64>,
         design: &mut Design,
         depth: u32,
     ) -> SimResult<bool> {
         let Some(view) = self.cache else {
             return Ok(false);
         };
-        let Some(fragment) = view.cache.fragment(&def.name, overrides) else {
+        let Some(fragment) = view.cache.fragment(def.name, overrides) else {
             return Ok(false);
         };
         // A fragment is only valid while every module flattened into it
@@ -502,9 +509,9 @@ impl Elaborator<'_> {
             return Err(depth_error());
         }
         for info in &fragment.signals {
-            let full = self.rename(&info.name);
+            let full = self.rename(info.name);
             design.signals.insert(
-                full.clone(),
+                full,
                 SignalInfo {
                     name: full,
                     width: info.width,
@@ -537,12 +544,12 @@ impl Elaborator<'_> {
                     .iter()
                     .map(|e| EdgeSpec {
                         edge: e.edge,
-                        signal: self.rename(&e.signal),
+                        signal: self.rename(e.signal),
                     })
                     .collect(),
             ),
             Sensitivity::Signals(signals) => {
-                Sensitivity::Signals(signals.iter().map(|s| self.rename(s)).collect())
+                Sensitivity::Signals(signals.iter().map(|&s| self.rename(s)).collect())
             }
         }
     }
@@ -550,19 +557,19 @@ impl Elaborator<'_> {
     /// Renames identifiers with the current prefix and substitutes parameters
     /// by their folded constant values (the compiled counterpart of the
     /// reference `rename_expr`).
-    fn rw_expr(&self, expr: &Expr, params: &HashMap<String, u64>) -> SimResult<Expr> {
+    fn rw_expr(&self, expr: &Expr, params: &HashMap<SymbolId, u64>) -> SimResult<Expr> {
         Ok(match expr {
             Expr::Literal(_) => expr.clone(),
             Expr::Ident(name) => match params.get(name) {
                 Some(v) => Expr::literal(*v),
-                None => Expr::Ident(self.rename(name)),
+                None => Expr::Ident(self.rename(*name)),
             },
             Expr::Index { base, index } => Expr::Index {
-                base: self.rename(base),
+                base: self.rename(*base),
                 index: Box::new(self.rw_expr(index, params)?),
             },
             Expr::Slice { base, msb, lsb } => Expr::Slice {
-                base: self.rename(base),
+                base: self.rename(*base),
                 msb: Box::new(self.rw_expr(msb, params)?),
                 lsb: Box::new(self.rw_expr(lsb, params)?),
             },
@@ -600,31 +607,31 @@ impl Elaborator<'_> {
                     .iter()
                     .map(|a| self.rw_expr(a, params))
                     .collect::<SimResult<_>>()?;
-                if name == "clog2" && folded.len() == 1 {
+                if *name == "clog2" && folded.len() == 1 {
                     if let Ok(v) = fold_const(&folded[0], &HashMap::new()) {
                         return Ok(Expr::literal(rtlb_verilog::clog2(v)));
                     }
                 }
                 Expr::SystemCall {
-                    name: name.clone(),
+                    name: *name,
                     args: folded,
                 }
             }
         })
     }
 
-    fn rw_lvalue(&self, lv: &LValue, params: &HashMap<String, u64>) -> LValue {
+    fn rw_lvalue(&self, lv: &LValue, params: &HashMap<SymbolId, u64>) -> LValue {
         match lv {
-            LValue::Ident(name) => LValue::Ident(self.rename(name)),
+            LValue::Ident(name) => LValue::Ident(self.rename(*name)),
             LValue::Index { base, index } => LValue::Index {
-                base: self.rename(base),
+                base: self.rename(*base),
                 index: Box::new(
                     self.rw_expr(index, params)
                         .unwrap_or_else(|_| (**index).clone()),
                 ),
             },
             LValue::Slice { base, msb, lsb } => LValue::Slice {
-                base: self.rename(base),
+                base: self.rename(*base),
                 msb: Box::new(
                     self.rw_expr(msb, params)
                         .unwrap_or_else(|_| (**msb).clone()),
@@ -640,7 +647,7 @@ impl Elaborator<'_> {
         }
     }
 
-    fn rw_stmt(&self, stmt: &Stmt, params: &HashMap<String, u64>) -> SimResult<Stmt> {
+    fn rw_stmt(&self, stmt: &Stmt, params: &HashMap<SymbolId, u64>) -> SimResult<Stmt> {
         Ok(match stmt {
             Stmt::Block(stmts) => Stmt::Block(
                 stmts
@@ -699,7 +706,7 @@ impl Elaborator<'_> {
                 step,
                 body,
             } => Stmt::For {
-                var: self.rename(var),
+                var: self.rename(*var),
                 init: self.rw_expr(init, params)?,
                 cond: self.rw_expr(cond, params)?,
                 step: self.rw_expr(step, params)?,
@@ -731,12 +738,12 @@ struct Fragment {
     /// Every module name flattened into this fragment (itself included).
     /// Replay through a shadowing [`ElabCacheView`] skips the fragment when
     /// any of these names is redefined by the caller's library.
-    closure: HashSet<String>,
+    closure: HashSet<SymbolId>,
 }
 
 /// Cache key for an overridden instantiation: the folded override set,
 /// sorted by name.
-type OverrideKey = Vec<(String, u64)>;
+type OverrideKey = Vec<(SymbolId, u64)>;
 
 /// Per-module fragment slots: the override-free flatten is precomputed (the
 /// overwhelmingly common case), overridden instantiations are built lazily
@@ -763,7 +770,7 @@ struct CacheEntry {
 #[derive(Debug)]
 pub struct ElabCache {
     library: Vec<Module>,
-    entries: HashMap<String, CacheEntry>,
+    entries: HashMap<SymbolId, CacheEntry>,
 }
 
 /// A borrowed view of an [`ElabCache`], optionally carrying the cached names
@@ -778,7 +785,7 @@ pub struct ElabCache {
 #[derive(Debug, Clone, Copy)]
 pub struct ElabCacheView<'a> {
     cache: &'a ElabCache,
-    shadowed: Option<&'a HashSet<String>>,
+    shadowed: Option<&'a HashSet<SymbolId>>,
 }
 
 impl ElabCache {
@@ -796,7 +803,7 @@ impl ElabCache {
                 continue;
             }
             entries.insert(
-                m.name.clone(),
+                m.name,
                 CacheEntry {
                     default: cache.build_fragment(m, &HashMap::new()),
                     overridden: Mutex::new(HashMap::new()),
@@ -810,13 +817,18 @@ impl ElabCache {
     /// Names of the modules this cache can serve. Callers mixing their own
     /// modules into an elaboration library must declare any of these names
     /// they shadow via [`ElabCache::view_shadowing`].
-    pub fn module_names(&self) -> impl Iterator<Item = &str> {
-        self.entries.keys().map(String::as_str)
+    pub fn module_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.keys().map(|s| s.as_str())
     }
 
     /// `true` when `name` is one of the cached library modules.
     pub fn covers(&self, name: &str) -> bool {
-        self.entries.contains_key(name)
+        SymbolId::lookup(name).is_some_and(|id| self.entries.contains_key(&id))
+    }
+
+    /// `true` when the interned `name` is one of the cached library modules.
+    pub fn covers_sym(&self, name: SymbolId) -> bool {
+        self.entries.contains_key(&name)
     }
 
     /// The cached library modules, in construction order — the parsed
@@ -838,7 +850,7 @@ impl ElabCache {
     /// fragment whose module closure meets the set is skipped (falling back
     /// to ordinary recursion, which resolves the caller's definitions), while
     /// untouched fragments still replay.
-    pub fn view_shadowing<'a>(&'a self, shadowed: &'a HashSet<String>) -> ElabCacheView<'a> {
+    pub fn view_shadowing<'a>(&'a self, shadowed: &'a HashSet<SymbolId>) -> ElabCacheView<'a> {
         ElabCacheView {
             cache: self,
             shadowed: if shadowed.is_empty() {
@@ -849,13 +861,17 @@ impl ElabCache {
         }
     }
 
-    fn fragment(&self, name: &str, overrides: &HashMap<String, u64>) -> Option<Arc<Fragment>> {
-        let entry = self.entries.get(name)?;
+    fn fragment(
+        &self,
+        name: SymbolId,
+        overrides: &HashMap<SymbolId, u64>,
+    ) -> Option<Arc<Fragment>> {
+        let entry = self.entries.get(&name)?;
         if overrides.is_empty() {
             return entry.default.clone();
         }
-        let mut key: OverrideKey = overrides.iter().map(|(k, v)| (k.clone(), *v)).collect();
-        key.sort();
+        let mut key: OverrideKey = overrides.iter().map(|(&k, &v)| (k, v)).collect();
+        key.sort_by_key(|&(k, v)| (k.as_str(), v));
         // The map is a plain value and every write is insert-only, so a
         // panic that poisons the lock (a contained completion fault) leaves
         // nothing torn — recover the guard instead of propagating.
@@ -886,9 +902,9 @@ impl ElabCache {
     fn build_fragment(
         &self,
         def: &Module,
-        overrides: &HashMap<String, u64>,
+        overrides: &HashMap<SymbolId, u64>,
     ) -> Option<Arc<Fragment>> {
-        let mut design = Design::empty(&def.name, Vec::new());
+        let mut design = Design::empty(def.name, Vec::new());
         let mut el = Elaborator {
             index: index_library(&self.library),
             cache: None,
@@ -922,7 +938,7 @@ impl ElabCache {
 /// Fails exactly like [`elaborate`].
 pub fn reference_flatten(top: &Module, library: &[Module]) -> SimResult<Design> {
     let mut design = Design {
-        name: top.name.clone(),
+        name: top.name,
         signals: HashMap::new(),
         assigns: Vec::new(),
         procs: Vec::new(),
@@ -937,7 +953,7 @@ fn flatten(
     module: &Module,
     library: &[Module],
     prefix: &str,
-    param_overrides: &HashMap<String, u64>,
+    param_overrides: &HashMap<SymbolId, u64>,
     design: &mut Design,
     depth: u32,
 ) -> SimResult<()> {
@@ -948,7 +964,7 @@ fn flatten(
     }
 
     // Fold this module's parameters with overrides applied.
-    let mut params: HashMap<String, u64> = HashMap::new();
+    let mut params: HashMap<SymbolId, u64> = HashMap::new();
     for p in &module.params {
         let value = match param_overrides.get(&p.name) {
             Some(v) if !p.local => *v,
@@ -959,7 +975,7 @@ fn flatten(
                 ))
             })?,
         };
-        params.insert(p.name.clone(), value);
+        params.insert(p.name, value);
     }
 
     // Resolve signal widths in this module's own namespace. We substitute the
@@ -978,11 +994,11 @@ fn flatten(
 
     for (name, info) in &resolved.signals {
         let mut info = info.clone();
-        info.name = format!("{prefix}{name}");
-        design.signals.insert(info.name.clone(), info);
+        info.name = SymbolId::intern(&format!("{prefix}{name}"));
+        design.signals.insert(info.name, info);
     }
 
-    let rename = |name: &str| -> String { format!("{prefix}{name}") };
+    let rename = |name: SymbolId| -> SymbolId { SymbolId::intern(&format!("{prefix}{name}")) };
 
     for item in &module.items {
         match item {
@@ -1000,12 +1016,12 @@ fn flatten(
                             .iter()
                             .map(|e| EdgeSpec {
                                 edge: e.edge,
-                                signal: rename(&e.signal),
+                                signal: rename(e.signal),
                             })
                             .collect(),
                     ),
                     Sensitivity::Signals(signals) => {
-                        Sensitivity::Signals(signals.iter().map(|s| rename(s)).collect())
+                        Sensitivity::Signals(signals.iter().map(|&s| rename(s)).collect())
                     }
                 };
                 design.procs.push(AlwaysBlock {
@@ -1026,7 +1042,7 @@ fn flatten_instance(
     inst: &Instance,
     library: &[Module],
     prefix: &str,
-    parent_params: &HashMap<String, u64>,
+    parent_params: &HashMap<SymbolId, u64>,
     design: &mut Design,
     depth: u32,
 ) -> SimResult<()> {
@@ -1050,7 +1066,7 @@ fn flatten_instance(
                 inst.instance_name
             ))
         })?;
-        overrides.insert(name.clone(), v);
+        overrides.insert(*name, v);
     }
 
     flatten(def, library, &child_prefix, &overrides, design, depth + 1)?;
@@ -1072,7 +1088,7 @@ fn flatten_instance(
         Connections::Named(conns) => {
             let mut pairs = Vec::new();
             for (pname, expr) in conns {
-                let port = def.port(pname).ok_or_else(|| {
+                let port = def.port_sym(*pname).ok_or_else(|| {
                     SimError::Elaborate(format!(
                         "instance `{}` connects unknown port `{pname}` of `{}`",
                         inst.instance_name, def.name
@@ -1085,7 +1101,7 @@ fn flatten_instance(
     };
 
     for (port, expr) in pairs {
-        let child_sig = format!("{child_prefix}{}", port.name);
+        let child_sig = SymbolId::intern(&format!("{child_prefix}{}", port.name));
         let parent_expr = rename_expr(expr, prefix, parent_params)?;
         match port.dir {
             PortDir::Input => {
@@ -1113,19 +1129,19 @@ fn flatten_instance(
 
 /// Renames identifiers with the hierarchy prefix and substitutes parameters by
 /// their folded constant values.
-fn rename_expr(expr: &Expr, prefix: &str, params: &HashMap<String, u64>) -> SimResult<Expr> {
+fn rename_expr(expr: &Expr, prefix: &str, params: &HashMap<SymbolId, u64>) -> SimResult<Expr> {
     Ok(match expr {
         Expr::Literal(_) => expr.clone(),
         Expr::Ident(name) => match params.get(name) {
             Some(v) => Expr::literal(*v),
-            None => Expr::Ident(format!("{prefix}{name}")),
+            None => Expr::Ident(SymbolId::intern(&format!("{prefix}{name}"))),
         },
         Expr::Index { base, index } => Expr::Index {
-            base: format!("{prefix}{base}"),
+            base: SymbolId::intern(&format!("{prefix}{base}")),
             index: Box::new(rename_expr(index, prefix, params)?),
         },
         Expr::Slice { base, msb, lsb } => Expr::Slice {
-            base: format!("{prefix}{base}"),
+            base: SymbolId::intern(&format!("{prefix}{base}")),
             msb: Box::new(rename_expr(msb, prefix, params)?),
             lsb: Box::new(rename_expr(lsb, prefix, params)?),
         },
@@ -1163,30 +1179,30 @@ fn rename_expr(expr: &Expr, prefix: &str, params: &HashMap<String, u64>) -> SimR
                 .iter()
                 .map(|a| rename_expr(a, prefix, params))
                 .collect::<SimResult<_>>()?;
-            if name == "clog2" && folded.len() == 1 {
+            if *name == "clog2" && folded.len() == 1 {
                 if let Ok(v) = fold_const(&folded[0], &HashMap::new()) {
                     return Ok(Expr::literal(rtlb_verilog::clog2(v)));
                 }
             }
             Expr::SystemCall {
-                name: name.clone(),
+                name: *name,
                 args: folded,
             }
         }
     })
 }
 
-fn rename_lvalue(lv: &LValue, prefix: &str, params: &HashMap<String, u64>) -> LValue {
+fn rename_lvalue(lv: &LValue, prefix: &str, params: &HashMap<SymbolId, u64>) -> LValue {
     match lv {
-        LValue::Ident(name) => LValue::Ident(format!("{prefix}{name}")),
+        LValue::Ident(name) => LValue::Ident(SymbolId::intern(&format!("{prefix}{name}"))),
         LValue::Index { base, index } => LValue::Index {
-            base: format!("{prefix}{base}"),
+            base: SymbolId::intern(&format!("{prefix}{base}")),
             index: Box::new(
                 rename_expr(index, prefix, params).unwrap_or_else(|_| (**index).clone()),
             ),
         },
         LValue::Slice { base, msb, lsb } => LValue::Slice {
-            base: format!("{prefix}{base}"),
+            base: SymbolId::intern(&format!("{prefix}{base}")),
             msb: Box::new(rename_expr(msb, prefix, params).unwrap_or_else(|_| (**msb).clone())),
             lsb: Box::new(rename_expr(lsb, prefix, params).unwrap_or_else(|_| (**lsb).clone())),
         },
@@ -1199,7 +1215,7 @@ fn rename_lvalue(lv: &LValue, prefix: &str, params: &HashMap<String, u64>) -> LV
     }
 }
 
-fn rename_stmt(stmt: &Stmt, prefix: &str, params: &HashMap<String, u64>) -> SimResult<Stmt> {
+fn rename_stmt(stmt: &Stmt, prefix: &str, params: &HashMap<SymbolId, u64>) -> SimResult<Stmt> {
     Ok(match stmt {
         Stmt::Block(stmts) => Stmt::Block(
             stmts
@@ -1258,7 +1274,7 @@ fn rename_stmt(stmt: &Stmt, prefix: &str, params: &HashMap<String, u64>) -> SimR
             step,
             body,
         } => Stmt::For {
-            var: format!("{prefix}{var}"),
+            var: SymbolId::intern(&format!("{prefix}{var}")),
             init: rename_expr(init, prefix, params)?,
             cond: rename_expr(cond, prefix, params)?,
             step: rename_expr(step, prefix, params)?,
@@ -1272,13 +1288,13 @@ fn rename_stmt(stmt: &Stmt, prefix: &str, params: &HashMap<String, u64>) -> SimR
 /// Converts an expression used as an output-port connection into an lvalue.
 fn expr_to_lvalue(expr: &Expr) -> Option<LValue> {
     match expr {
-        Expr::Ident(name) => Some(LValue::Ident(name.clone())),
+        Expr::Ident(name) => Some(LValue::Ident(*name)),
         Expr::Index { base, index } => Some(LValue::Index {
-            base: base.clone(),
+            base: *base,
             index: index.clone(),
         }),
         Expr::Slice { base, msb, lsb } => Some(LValue::Slice {
-            base: base.clone(),
+            base: *base,
             msb: msb.clone(),
             lsb: lsb.clone(),
         }),
@@ -1302,8 +1318,8 @@ mod tests {
                 .unwrap();
         let d = elaborate(&m, &[]).unwrap();
         assert_eq!(d.assigns.len(), 1);
-        assert!(d.signals.contains_key("a"));
-        assert!(d.signals.contains_key("y"));
+        assert!(d.signals.contains_key(&"a".into()));
+        assert!(d.signals.contains_key(&"y".into()));
     }
 
     #[test]
@@ -1316,7 +1332,7 @@ mod tests {
         let file = parse(src).unwrap();
         let top = file.module("top").unwrap();
         let d = elaborate(top, &file.modules).unwrap();
-        assert!(d.signals.contains_key("u0.sum"));
+        assert!(d.signals.contains_key(&"u0.sum".into()));
         // 2 child assigns + 5 port connection assigns.
         assert_eq!(d.assigns.len(), 7);
     }
@@ -1329,7 +1345,7 @@ mod tests {
                    buf0 #(.W(8)) u0 (.d(a), .q(b));\nendmodule";
         let file = parse(src).unwrap();
         let d = elaborate(file.module("top").unwrap(), &file.modules).unwrap();
-        assert_eq!(d.signals["u0.d"].width, 8);
+        assert_eq!(d.signals[&"u0.d".into()].width, 8);
     }
 
     #[test]
@@ -1350,7 +1366,7 @@ mod tests {
         )
         .unwrap();
         let d = elaborate(&m, &[]).unwrap();
-        assert_eq!(d.signals["ptr"].width, 4);
+        assert_eq!(d.signals[&"ptr".into()].width, 4);
     }
 
     #[test]
@@ -1406,8 +1422,8 @@ mod tests {
         let top = ambient[1].clone();
 
         let reference = reference_flatten(&top, &ambient).unwrap();
-        let shadowed: std::collections::HashSet<String> =
-            std::iter::once("helper".to_owned()).collect();
+        let shadowed: std::collections::HashSet<SymbolId> =
+            std::iter::once(SymbolId::intern("helper")).collect();
         let viewed =
             elaborate_with_cache_view(&top, &ambient, cache.view_shadowing(&shadowed)).unwrap();
         assert_eq!(viewed, reference, "shadowing view must resolve ambient");

@@ -7,28 +7,28 @@
 
 use crate::error::{SimError, SimResult};
 use rtlb_verilog::ast::*;
-use rtlb_verilog::{mask, SignalInfo};
+use rtlb_verilog::{mask, SignalInfo, SymbolId};
 use std::collections::HashMap;
 
 /// Mutable simulation state: scalar/vector signal values and memory arrays.
 #[derive(Debug, Clone, Default)]
 pub struct State {
     /// Signal values, always masked to their declared width.
-    pub values: HashMap<String, u64>,
+    pub values: HashMap<SymbolId, u64>,
     /// Memory contents keyed by signal name.
-    pub memories: HashMap<String, Vec<u64>>,
+    pub memories: HashMap<SymbolId, Vec<u64>>,
 }
 
 impl State {
     /// Initializes all signals to zero according to the signal table.
-    pub fn zeroed(signals: &HashMap<String, SignalInfo>) -> Self {
+    pub fn zeroed(signals: &HashMap<SymbolId, SignalInfo>) -> Self {
         let mut values = HashMap::new();
         let mut memories = HashMap::new();
-        for (name, info) in signals {
+        for (&name, info) in signals {
             if info.depth > 1 {
-                memories.insert(name.clone(), vec![0u64; info.depth as usize]);
+                memories.insert(name, vec![0u64; info.depth as usize]);
             } else {
-                values.insert(name.clone(), 0u64);
+                values.insert(name, 0u64);
             }
         }
         State { values, memories }
@@ -36,7 +36,7 @@ impl State {
 }
 
 /// Infers the self-determined width of an expression.
-pub fn width_of(expr: &Expr, signals: &HashMap<String, SignalInfo>) -> u32 {
+pub fn width_of(expr: &Expr, signals: &HashMap<SymbolId, SignalInfo>) -> u32 {
     match expr {
         Expr::Literal(lit) => lit.width.unwrap_or(32),
         Expr::Ident(name) => signals.get(name).map_or(32, |s| s.width),
@@ -104,7 +104,7 @@ fn const_or_zero(expr: &Expr) -> u64 {
 ///
 /// Returns [`SimError::Eval`] for reads of undeclared signals, whole-memory
 /// reads, or out-of-range memory indices.
-pub fn eval(expr: &Expr, state: &State, signals: &HashMap<String, SignalInfo>) -> SimResult<u64> {
+pub fn eval(expr: &Expr, state: &State, signals: &HashMap<SymbolId, SignalInfo>) -> SimResult<u64> {
     match expr {
         Expr::Literal(lit) => Ok(lit.value),
         Expr::Ident(name) => state
@@ -255,8 +255,8 @@ pub fn assign(
     lv: &LValue,
     value: u64,
     state: &mut State,
-    signals: &HashMap<String, SignalInfo>,
-) -> SimResult<Vec<String>> {
+    signals: &HashMap<SymbolId, SignalInfo>,
+) -> SimResult<Vec<SymbolId>> {
     let mut changed = Vec::new();
     assign_inner(lv, value, state, signals, &mut changed)?;
     Ok(changed)
@@ -266,8 +266,8 @@ fn assign_inner(
     lv: &LValue,
     value: u64,
     state: &mut State,
-    signals: &HashMap<String, SignalInfo>,
-    changed: &mut Vec<String>,
+    signals: &HashMap<SymbolId, SignalInfo>,
+    changed: &mut Vec<SymbolId>,
 ) -> SimResult<()> {
     match lv {
         LValue::Ident(name) => {
@@ -275,10 +275,10 @@ fn assign_inner(
                 .get(name)
                 .ok_or_else(|| SimError::Eval(format!("write to unknown signal `{name}`")))?;
             let new = value & mask(info.width);
-            let slot = state.values.entry(name.clone()).or_insert(0);
+            let slot = state.values.entry(*name).or_insert(0);
             if *slot != new {
                 *slot = new;
-                changed.push(name.clone());
+                changed.push(*name);
             }
             Ok(())
         }
@@ -297,7 +297,7 @@ fn assign_inner(
                     let new = value & mask(w);
                     if *slot != new {
                         *slot = new;
-                        changed.push(base.clone());
+                        changed.push(*base);
                     }
                 }
                 Ok(())
@@ -306,11 +306,11 @@ fn assign_inner(
                 if !(0..64).contains(&bit) {
                     return Ok(());
                 }
-                let slot = state.values.entry(base.clone()).or_insert(0);
+                let slot = state.values.entry(*base).or_insert(0);
                 let new = (*slot & !(1 << bit)) | ((value & 1) << bit);
                 if *slot != new {
                     *slot = new;
-                    changed.push(base.clone());
+                    changed.push(*base);
                 }
                 Ok(())
             }
@@ -327,11 +327,11 @@ fn assign_inner(
             }
             let w = (hi.saturating_sub(lo).saturating_add(1)).min(64) as u32;
             let field_mask = mask(w) << lo;
-            let slot = state.values.entry(base.clone()).or_insert(0);
+            let slot = state.values.entry(*base).or_insert(0);
             let new = ((*slot & !field_mask) | ((value & mask(w)) << lo)) & mask(info.width);
             if *slot != new {
                 *slot = new;
-                changed.push(base.clone());
+                changed.push(*base);
             }
             Ok(())
         }
@@ -355,7 +355,7 @@ fn assign_inner(
 }
 
 /// Width of an lvalue target.
-pub fn lvalue_width(lv: &LValue, signals: &HashMap<String, SignalInfo>) -> u32 {
+pub fn lvalue_width(lv: &LValue, signals: &HashMap<SymbolId, SignalInfo>) -> u32 {
     match lv {
         LValue::Ident(name) => signals.get(name).map_or(1, |s| s.width),
         LValue::Index { base, .. } => match signals.get(base) {
@@ -380,11 +380,11 @@ mod tests {
     use super::*;
     use rtlb_verilog::ast::NetKind;
 
-    fn sig(name: &str, width: u32) -> (String, SignalInfo) {
+    fn sig(name: &str, width: u32) -> (SymbolId, SignalInfo) {
         (
-            name.to_owned(),
+            name.into(),
             SignalInfo {
-                name: name.to_owned(),
+                name: name.into(),
                 width,
                 kind: NetKind::Wire,
                 depth: 1,
@@ -394,11 +394,11 @@ mod tests {
         )
     }
 
-    fn mem(name: &str, width: u32, depth: u32) -> (String, SignalInfo) {
+    fn mem(name: &str, width: u32, depth: u32) -> (SymbolId, SignalInfo) {
         (
-            name.to_owned(),
+            name.into(),
             SignalInfo {
-                name: name.to_owned(),
+                name: name.into(),
                 width,
                 kind: NetKind::Reg,
                 depth,
@@ -408,8 +408,8 @@ mod tests {
         )
     }
 
-    fn setup(sigs: Vec<(String, SignalInfo)>) -> (State, HashMap<String, SignalInfo>) {
-        let signals: HashMap<String, SignalInfo> = sigs.into_iter().collect();
+    fn setup(sigs: Vec<(SymbolId, SignalInfo)>) -> (State, HashMap<SymbolId, SignalInfo>) {
+        let signals: HashMap<SymbolId, SignalInfo> = sigs.into_iter().collect();
         let state = State::zeroed(&signals);
         (state, signals)
     }
@@ -423,8 +423,8 @@ mod tests {
         let v = eval(&rhs, &state, &signals).unwrap();
         let lv = LValue::Concat(vec![LValue::Ident("c".into()), LValue::Ident("s".into())]);
         assign(&lv, v, &mut state, &signals).unwrap();
-        assert_eq!(state.values["c"], 1);
-        assert_eq!(state.values["s"], 0);
+        assert_eq!(state.values[&"c".into()], 1);
+        assert_eq!(state.values[&"s".into()], 0);
     }
 
     #[test]
@@ -489,7 +489,7 @@ mod tests {
             index: Box::new(Expr::literal(3)),
         };
         assign(&lv, 1, &mut state, &signals).unwrap();
-        assert_eq!(state.values["v"], 0b1000);
+        assert_eq!(state.values[&"v".into()], 0b1000);
         let bit = eval(&Expr::index("v", Expr::literal(3)), &state, &signals).unwrap();
         assert_eq!(bit, 1);
     }
@@ -503,7 +503,7 @@ mod tests {
             lsb: Box::new(Expr::literal(4)),
         };
         assign(&lv, 0xA, &mut state, &signals).unwrap();
-        assert_eq!(state.values["v"], 0xA0);
+        assert_eq!(state.values[&"v".into()], 0xA0);
         let nib = eval(&Expr::slice("v", 7, 4), &state, &signals).unwrap();
         assert_eq!(nib, 0xA);
     }
@@ -594,7 +594,7 @@ mod tests {
             lsb: Box::new(Expr::literal(900)),
         };
         assign(&lv, 0xFF, &mut state, &signals).unwrap();
-        assert_eq!(state.values["v"], 0xA5);
+        assert_eq!(state.values[&"v".into()], 0xA5);
     }
 
     #[test]
@@ -603,7 +603,7 @@ mod tests {
         // subtraction in the index/slice paths.
         let mut info = sig("w", 8).1;
         info.lsb = i64::MIN;
-        let signals: HashMap<String, SignalInfo> = [("w".to_owned(), info)].into_iter().collect();
+        let signals: HashMap<SymbolId, SignalInfo> = [("w".into(), info)].into_iter().collect();
         let mut state = State::zeroed(&signals);
         state.values.insert("w".into(), 0x3);
         // index - lsb would overflow i64 without saturation.

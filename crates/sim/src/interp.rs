@@ -2,8 +2,8 @@
 //! implementation, kept as the bit-for-bit oracle the compiled simulator
 //! ([`crate::Simulator`]) is pinned against.
 //!
-//! It walks the elaborated AST directly over `HashMap<String, u64>` state,
-//! which makes it slow (string hashing and AST clones on every edge and
+//! It walks the elaborated AST directly over `HashMap<SymbolId, u64>` state,
+//! which makes it slow (hashing and AST clones on every edge and
 //! settle pass) but easy to audit. Equivalence tests in
 //! `tests/compiled_equiv.rs` and the workspace suite drive both engines with
 //! identical stimulus and require identical observable state.
@@ -12,7 +12,7 @@ use crate::elab::Design;
 use crate::error::{SimError, SimResult};
 use crate::eval::{assign, eval, lvalue_width, State};
 use rtlb_verilog::ast::*;
-use rtlb_verilog::mask;
+use rtlb_verilog::{mask, SymbolId};
 
 /// Maximum `for`-loop iterations before aborting.
 const LOOP_LIMIT: u32 = 65_536;
@@ -50,10 +50,10 @@ pub struct ReferenceSimulator {
 /// statement executes).
 #[derive(Debug, Clone)]
 enum PendingWrite {
-    Whole(String, u64),
-    MemWord(String, u64, u64),
-    Bit(String, i64, u64),
-    Slice(String, i64, u32, u64),
+    Whole(SymbolId, u64),
+    MemWord(SymbolId, u64, u64),
+    Bit(SymbolId, i64, u64),
+    Slice(SymbolId, i64, u32, u64),
 }
 
 impl ReferenceSimulator {
@@ -83,14 +83,14 @@ impl ReferenceSimulator {
 
     /// Reads a signal's current value.
     pub fn peek(&self, name: &str) -> Option<u64> {
-        self.state.values.get(name).copied()
+        self.state.values.get(&SymbolId::lookup(name)?).copied()
     }
 
     /// Reads one word of a memory.
     pub fn peek_memory(&self, name: &str, index: usize) -> Option<u64> {
         self.state
             .memories
-            .get(name)
+            .get(&SymbolId::lookup(name)?)
             .and_then(|m| m.get(index))
             .copied()
     }
@@ -103,14 +103,16 @@ impl ReferenceSimulator {
     ///
     /// Fails on unknown signals, evaluation errors, or combinational loops.
     pub fn poke(&mut self, name: &str, value: u64) -> SimResult<()> {
+        let sym = SymbolId::lookup(name)
+            .ok_or_else(|| SimError::Eval(format!("poke of unknown signal `{name}`")))?;
         let info = self
             .design
             .signals
-            .get(name)
+            .get(&sym)
             .ok_or_else(|| SimError::Eval(format!("poke of unknown signal `{name}`")))?;
         let new = value & mask(info.width);
-        let old = self.state.values.get(name).copied().unwrap_or(0);
-        self.state.values.insert(name.to_owned(), new);
+        let old = self.state.values.get(&sym).copied().unwrap_or(0);
+        self.state.values.insert(sym, new);
         if old == new {
             return self.settle();
         }
@@ -122,7 +124,7 @@ impl ReferenceSimulator {
             None
         };
         if let Some(edge) = edge {
-            self.fire_edge(name, edge)?;
+            self.fire_edge(sym, edge)?;
         }
         self.settle()
     }
@@ -151,7 +153,7 @@ impl ReferenceSimulator {
 
     /// Runs all processes sensitive to `edge` on `signal`, committing
     /// non-blocking writes atomically afterwards.
-    fn fire_edge(&mut self, signal: &str, edge: Edge) -> SimResult<()> {
+    fn fire_edge(&mut self, signal: SymbolId, edge: Edge) -> SimResult<()> {
         let mut pending: Vec<PendingWrite> = Vec::new();
         let procs = self.design.procs.clone();
         for proc in &procs {
@@ -273,7 +275,7 @@ impl ReferenceSimulator {
             } => {
                 let v0 = eval(init, &self.state, &self.design.signals)?;
                 assign(
-                    &LValue::Ident(var.clone()),
+                    &LValue::Ident(*var),
                     v0,
                     &mut self.state,
                     &self.design.signals,
@@ -287,7 +289,7 @@ impl ReferenceSimulator {
                     self.exec_stmt(body, pending)?;
                     let next = eval(step, &self.state, &self.design.signals)?;
                     assign(
-                        &LValue::Ident(var.clone()),
+                        &LValue::Ident(*var),
                         next,
                         &mut self.state,
                         &self.design.signals,
@@ -312,7 +314,7 @@ impl ReferenceSimulator {
     ) -> SimResult<()> {
         match lhs {
             LValue::Ident(name) => {
-                pending.push(PendingWrite::Whole(name.clone(), value));
+                pending.push(PendingWrite::Whole(*name, value));
                 Ok(())
             }
             LValue::Index { base, index } => {
@@ -321,13 +323,9 @@ impl ReferenceSimulator {
                     SimError::Eval(format!("non-blocking write to unknown signal `{base}`"))
                 })?;
                 if info.depth > 1 {
-                    pending.push(PendingWrite::MemWord(base.clone(), idx, value));
+                    pending.push(PendingWrite::MemWord(*base, idx, value));
                 } else {
-                    pending.push(PendingWrite::Bit(
-                        base.clone(),
-                        idx as i64 - info.lsb,
-                        value,
-                    ));
+                    pending.push(PendingWrite::Bit(*base, idx as i64 - info.lsb, value));
                 }
                 Ok(())
             }
@@ -339,7 +337,7 @@ impl ReferenceSimulator {
                 let l = eval(lsb, &self.state, &self.design.signals)? as i64 - info.lsb;
                 let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
                 let w = ((hi - lo) + 1).min(64) as u32;
-                pending.push(PendingWrite::Slice(base.clone(), lo, w, value));
+                pending.push(PendingWrite::Slice(*base, lo, w, value));
                 Ok(())
             }
             LValue::Concat(parts) => {
@@ -400,15 +398,15 @@ impl ReferenceSimulator {
     /// Cheap change-detection hash over all state.
     fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut names: Vec<&String> = self.state.values.keys().collect();
-        names.sort_unstable();
+        let mut names: Vec<&SymbolId> = self.state.values.keys().collect();
+        names.sort_unstable_by_key(|s| s.as_str());
         for name in names {
             let v = self.state.values[name];
             h = fnv(h, v);
-            h = fnv(h, name.len() as u64);
+            h = fnv(h, name.as_str().len() as u64);
         }
-        let mut mems: Vec<&String> = self.state.memories.keys().collect();
-        mems.sort_unstable();
+        let mut mems: Vec<&SymbolId> = self.state.memories.keys().collect();
+        mems.sort_unstable_by_key(|s| s.as_str());
         for name in mems {
             for (i, w) in self.state.memories[name].iter().enumerate() {
                 if *w != 0 {

@@ -147,9 +147,10 @@ fn design_of(src: &str) -> Design {
 /// simulators lane-for-lane.
 fn assert_lanes_eq(batch: &BatchSimulator, scalars: &[Simulator], ctx: &str) {
     let design = batch.compiled().design();
-    let mut names: Vec<&String> = design.signals.keys().collect();
-    names.sort_unstable();
-    for name in names {
+    let mut names: Vec<_> = design.signals.keys().copied().collect();
+    names.sort_unstable_by_key(|s| s.as_str());
+    for sym in names {
+        let name = sym.as_str();
         let Some(lanes) = batch.peek_lanes(name) else {
             continue; // memories are observed through their read ports
         };

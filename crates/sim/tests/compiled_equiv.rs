@@ -152,10 +152,11 @@ fn design_of(src: &str) -> Design {
 /// Asserts every observable value (scalars and memory words) is identical
 /// between the two engines.
 fn assert_state_eq(compiled: &Simulator, reference: &ReferenceSimulator, ctx: &str) {
-    let mut names: Vec<&String> = compiled.design().signals.keys().collect();
-    names.sort_unstable();
-    for name in names {
-        let info = &compiled.design().signals[name];
+    let mut names: Vec<_> = compiled.design().signals.keys().copied().collect();
+    names.sort_unstable_by_key(|s| s.as_str());
+    for sym in names {
+        let info = &compiled.design().signals[&sym];
+        let name = sym.as_str();
         if info.depth > 1 {
             for i in 0..info.depth as usize {
                 assert_eq!(
@@ -323,6 +324,6 @@ fn suite_designs_compile_and_levelize_deterministically() {
     assert!(c1.is_levelized() && c2.is_levelized());
     assert_eq!(c1.signal_count(), c2.signal_count());
     for name in design.signals.keys() {
-        assert_eq!(c1.signal_id(name), c2.signal_id(name), "{name}");
+        assert_eq!(c1.signal_id_sym(*name), c2.signal_id_sym(*name), "{name}");
     }
 }

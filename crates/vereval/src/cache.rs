@@ -18,7 +18,10 @@
 
 use crate::score::Outcome;
 use rtlb_sim::{FaultScope, FaultSite};
+use rtlb_verilog::ast::SourceFile;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Stable 64-bit FNV-1a hash of a completion's text. Used both as the cache
 /// key and as the content half of [`trial_seed`], so it must be identical
@@ -178,6 +181,91 @@ impl ScoreCache {
     }
 }
 
+/// What [`ParsedPool::get_or_parse`] found for a completion's text.
+#[derive(Debug, Clone)]
+pub enum SharedParse {
+    /// The completion parsed; the interned AST is shared behind `Arc` with
+    /// every grid cell scoring the same text (the candidate pool is shared
+    /// across problems, so the same completion recurs grid-wide).
+    Parsed(Arc<SourceFile>),
+    /// The completion is known not to parse. The verdict is deterministic in
+    /// the text, so replaying `SyntaxFail` is bitwise-equal to re-parsing.
+    SyntaxFail,
+    /// The parser panicked on this text (it is panic-free by policy, so this
+    /// arm is belt-and-braces). Nothing is cached; the caller falls back to
+    /// the self-contained scoring path, whose `catch_unwind` reproduces the
+    /// contained-panic verdict exactly.
+    Unshared,
+}
+
+/// Grid-wide pool of parsed completions, keyed by content hash.
+///
+/// `ScoreCache` dedups *within* a problem, but the candidate pool is shared
+/// across the whole grid: the same completion text is sampled into many
+/// problems' trials and, before this pool, was re-parsed once per problem.
+/// With the interned AST a parse is just `SymbolId`s over the shared
+/// [`rtlb_verilog::SymbolTable`], so the parsed module is `Send + Sync` and
+/// one `Arc<SourceFile>` serves every cell.
+///
+/// Sharing is sound because parsing is a pure function of the text: a pooled
+/// AST is identical to a fresh parse, and the per-completion fault-injection
+/// site ([`FaultSite::Parse`]) is still evaluated inside each scoring call's
+/// own [`FaultScope`], so armed fault plans fire exactly as they would have.
+#[derive(Debug, Default)]
+pub struct ParsedPool {
+    map: RwLock<HashMap<u64, Option<Arc<SourceFile>>>>,
+    hits: AtomicU32,
+    misses: AtomicU32,
+}
+
+impl ParsedPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ParsedPool::default()
+    }
+
+    /// Returns the shared parse of `code`, parsing (and caching) on first
+    /// encounter. Parsing happens outside the lock; a racing duplicate may
+    /// parse twice but both land on equal ASTs (interning is idempotent).
+    pub fn get_or_parse(&self, code: &str) -> SharedParse {
+        let key = completion_hash(code);
+        let probe = self
+            .map
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned();
+        if let Some(entry) = probe {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return match entry {
+                Some(file) => SharedParse::Parsed(file),
+                None => SharedParse::SyntaxFail,
+            };
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let parsed = match std::panic::catch_unwind(|| rtlb_verilog::parse(code)) {
+            Ok(Ok(file)) => Some(Arc::new(file)),
+            Ok(Err(_)) => None,
+            Err(_) => return SharedParse::Unshared,
+        };
+        let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+        let entry = map.entry(key).or_insert_with(|| parsed).clone();
+        match entry {
+            Some(file) => SharedParse::Parsed(file),
+            None => SharedParse::SyntaxFail,
+        }
+    }
+
+    /// Hit/miss counters: hits are completions answered from the pool
+    /// (parse work shared), misses are completions actually parsed.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The cache-insert fault site: an armed [`rtlb_sim::FaultPlan`] can veto
 /// memoization of this completion (keyed by content hash, so the decision is
 /// identical on every thread and every run). Any injected failure — error,
@@ -284,6 +372,36 @@ mod tests {
             })
         ));
         assert!(matches!(cache.probe(transient_code), CacheProbe::Miss(_)));
+    }
+
+    #[test]
+    fn parsed_pool_shares_one_arc_per_distinct_completion() {
+        let pool = ParsedPool::new();
+        let code = "module inv(input a, output y); assign y = ~a; endmodule";
+        let SharedParse::Parsed(first) = pool.get_or_parse(code) else {
+            panic!("valid module must parse");
+        };
+        let SharedParse::Parsed(second) = pool.get_or_parse(code) else {
+            panic!("valid module must parse");
+        };
+        // Same text -> literally the same arena'd AST, not a re-parse.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(pool.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn parsed_pool_replays_syntax_failures() {
+        let pool = ParsedPool::new();
+        let garbage = "module broken(input a; endmodule";
+        assert!(matches!(
+            pool.get_or_parse(garbage),
+            SharedParse::SyntaxFail
+        ));
+        assert!(matches!(
+            pool.get_or_parse(garbage),
+            SharedParse::SyntaxFail
+        ));
+        assert_eq!(pool.stats(), CacheStats { hits: 1, misses: 1 });
     }
 
     #[test]

@@ -415,7 +415,7 @@ pub fn classify_adder(code: &str) -> AdderArchitecture {
         .items
         .iter()
         .filter(|i| {
-            matches!(i, Item::Instance(inst) if inst.module_name.contains("adder") || inst.module_name.contains("fa"))
+            matches!(i, Item::Instance(inst) if inst.module_name.as_str().contains("adder") || inst.module_name.as_str().contains("fa"))
         })
         .count();
     if instances >= 2 {

@@ -2,11 +2,13 @@
 //! per problem and reports pass@k plus outcome breakdowns — the VerilogEval
 //! workflow (the paper uses n = 10, k = 1).
 
-use crate::cache::{trial_seed, CacheProbe, CacheStats, ScoreCache};
+use crate::cache::{trial_seed, CacheProbe, CacheStats, ParsedPool, ScoreCache, SharedParse};
 use crate::passk::{mean_pass_at_k, pass_at_k};
 use crate::persist::{run_manifest_key, DurableRun, JournalRecord, RunJournal};
 use crate::problems::Problem;
-use crate::score::{golden_context, score_with_context_trials, Outcome};
+use crate::score::{
+    golden_context, score_shared_with_context_trials, score_with_context_trials, Outcome,
+};
 use rayon::prelude::*;
 use rtlb_model::SimLlm;
 use rtlb_sim::FaultKind;
@@ -210,6 +212,11 @@ pub fn problem_base(config: &EvalConfig, pi: usize) -> u64 {
 /// grid cell costs one retrieval, one golden compile, and one DUT-side
 /// elaboration + simulation per *distinct* completion.
 pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig) -> EvalReport {
+    // One parsed-completion pool for the whole grid: the candidate pool is
+    // shared across problems, so the same text recurs in many cells and its
+    // interned AST is parsed once and shared behind `Arc` (see
+    // [`ParsedPool`]).
+    let pool = ParsedPool::new();
     let results: Vec<ProblemResult> = problems
         .par_iter()
         .enumerate()
@@ -225,14 +232,28 @@ pub fn evaluate_model(model: &SimLlm, problems: &[Problem], config: &EvalConfig)
             let mut outcomes: HashMap<Outcome, u32> = HashMap::new();
             let mut c = 0u32;
             for code in &completions {
-                let outcome = cache.score_with(code, |hash| {
-                    score_with_context_trials(
+                let outcome = cache.score_with(code, |hash| match pool.get_or_parse(code) {
+                    SharedParse::Parsed(file) => score_shared_with_context_trials(
+                        problem,
+                        ctx.as_ref(),
+                        Some(&file),
+                        trial_seed(base, hash),
+                        config.stimulus_trials,
+                    ),
+                    SharedParse::SyntaxFail => score_shared_with_context_trials(
+                        problem,
+                        ctx.as_ref(),
+                        None,
+                        trial_seed(base, hash),
+                        config.stimulus_trials,
+                    ),
+                    SharedParse::Unshared => score_with_context_trials(
                         problem,
                         ctx.as_ref(),
                         code,
                         trial_seed(base, hash),
                         config.stimulus_trials,
-                    )
+                    ),
                 });
                 *outcomes.entry(outcome).or_insert(0) += 1;
                 if outcome.passed() {
@@ -302,6 +323,7 @@ pub fn evaluate_model_durable(
         }
     }
 
+    let pool = ParsedPool::new();
     let results: Vec<ProblemResult> = problems
         .par_iter()
         .enumerate()
@@ -318,13 +340,29 @@ pub fn evaluate_model_durable(
                     CacheProbe::Miss(hash) => {
                         let score_once = || {
                             let _deadline = run.watchdog().map(|w| w.watch());
-                            score_with_context_trials(
-                                problem,
-                                ctx.as_ref(),
-                                code,
-                                trial_seed(base, hash),
-                                config.stimulus_trials,
-                            )
+                            match pool.get_or_parse(code) {
+                                SharedParse::Parsed(file) => score_shared_with_context_trials(
+                                    problem,
+                                    ctx.as_ref(),
+                                    Some(&file),
+                                    trial_seed(base, hash),
+                                    config.stimulus_trials,
+                                ),
+                                SharedParse::SyntaxFail => score_shared_with_context_trials(
+                                    problem,
+                                    ctx.as_ref(),
+                                    None,
+                                    trial_seed(base, hash),
+                                    config.stimulus_trials,
+                                ),
+                                SharedParse::Unshared => score_with_context_trials(
+                                    problem,
+                                    ctx.as_ref(),
+                                    code,
+                                    trial_seed(base, hash),
+                                    config.stimulus_trials,
+                                ),
+                            }
                         };
                         let deadline_fault = Outcome::EngineFault {
                             kind: FaultKind::Deadline,

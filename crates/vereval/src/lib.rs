@@ -38,7 +38,9 @@ mod problems;
 #[warn(clippy::panic, clippy::unwrap_used)]
 mod score;
 
-pub use cache::{completion_hash, trial_seed, CacheProbe, CacheStats, ScoreCache};
+pub use cache::{
+    completion_hash, trial_seed, CacheProbe, CacheStats, ParsedPool, ScoreCache, SharedParse,
+};
 pub use detect::{
     classify_adder, comment_lexical_scan, comment_lexical_scan_from, comment_scan_all,
     lexical_scan, scan_all, scan_file, static_scan, static_scan_file, timebomb_scan,
@@ -56,8 +58,8 @@ pub use probe::{probe_prompt, probe_rare_word_pairs, probe_rare_words, ProbeConf
 pub use problems::{family_suite, interface_to_io, mini_suite, problem_suite, Problem};
 pub use score::{
     compile_golden, golden_context, score_completion, score_parsed, score_parsed_with_context,
-    score_parsed_with_context_trials, score_with_context, score_with_context_trials,
-    score_with_golden, stimulus_trial_seed, GoldenContext, Outcome,
+    score_parsed_with_context_trials, score_shared_with_context_trials, score_with_context,
+    score_with_context_trials, score_with_golden, stimulus_trial_seed, GoldenContext, Outcome,
 };
 
 // The fault taxonomy lives in the simulation crate (faults are injected and

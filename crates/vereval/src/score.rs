@@ -8,7 +8,7 @@ use rtlb_sim::{
     ElabCache, FaultKind, FaultScope, FaultSite, SimError, SimResult,
 };
 use rtlb_verilog::ast::SourceFile;
-use rtlb_verilog::{check_module, parse};
+use rtlb_verilog::{check_module, parse, SymbolId};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -160,7 +160,7 @@ pub struct GoldenContext {
     /// Names the cache covers; a completion redefining one shadows it, and
     /// every fragment touching a shadowed name is skipped so the
     /// completion's own definition wins (shadowing semantics).
-    cached_names: HashSet<String>,
+    cached_names: HashSet<SymbolId>,
 }
 
 /// Builds the per-problem scoring context: compiles the golden design and
@@ -175,7 +175,7 @@ pub fn golden_context(problem: &Problem) -> SimResult<GoldenContext> {
     library.push(golden.clone());
     let design = elaborate(&golden, &library)?;
     let compiled = Arc::new(compile(&design)?);
-    let cached_names = library.iter().map(|m| m.name.clone()).collect();
+    let cached_names = library.iter().map(|m| m.name).collect();
     let elab_cache = Arc::new(ElabCache::new(library));
     Ok(GoldenContext {
         compiled,
@@ -270,6 +270,30 @@ pub fn score_with_context_trials(
     })
 }
 
+/// [`score_with_context_trials`] over a pool-shared parse result (see
+/// [`crate::ParsedPool`]): `Some` is the completion's arena'd AST behind
+/// `Arc`, `None` means the text is known not to parse. Observationally equal
+/// to re-parsing inside the call — parsing is deterministic in the text, and
+/// the [`FaultSite::Parse`] injection point still runs inside this call's
+/// own fault scope, so armed fault plans behave identically.
+pub fn score_shared_with_context_trials(
+    problem: &Problem,
+    ctx: Option<&GoldenContext>,
+    parsed: Option<&SourceFile>,
+    seed: u64,
+    trials: u32,
+) -> Outcome {
+    contained(seed, || {
+        if let Err(e) = rtlb_sim::inject(FaultSite::Parse) {
+            return parse_stage_fault(&e);
+        }
+        let Some(file) = parsed else {
+            return Outcome::SyntaxFail;
+        };
+        score_parsed_inner(problem, ctx.map(|c| &c.compiled), ctx, file, seed, trials)
+    })
+}
+
 /// Derives the stimulus seed for trial `t` of a completion whose first-trial
 /// seed is `seed`: trial 0 replays `seed` itself (so single-trial outcomes
 /// are exactly reproduced), later trials mix in the trial index through a
@@ -356,12 +380,12 @@ fn score_parsed_inner(
     // fragments the completion leaves alone still replay. A completion
     // normally redefines exactly the problem's top-module name, which no
     // support fragment depends on.
-    let shadowed: HashSet<String> = ctx
+    let shadowed: HashSet<SymbolId> = ctx
         .map(|c| {
-            defined
+            file.modules
                 .iter()
-                .filter(|d| c.cached_names.contains(**d))
-                .map(|d| (*d).to_owned())
+                .map(|m| m.name)
+                .filter(|d| c.cached_names.contains(d))
                 .collect()
         })
         .unwrap_or_default();

@@ -54,8 +54,9 @@ impl CheckReport {
 /// Signal metadata resolved during checking, reused by the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignalInfo {
-    /// Signal name.
-    pub name: String,
+    /// Signal name (interned; hierarchical elaboration names intern their
+    /// joined form through the same table).
+    pub name: SymbolId,
     /// Bit width of one element.
     pub width: u32,
     /// Net kind.
@@ -68,13 +69,16 @@ pub struct SignalInfo {
     pub lsb: i64,
 }
 
-/// Fully-resolved symbol table of a module.
+/// Fully-resolved per-module symbol information (signals and folded
+/// parameters), keyed by interned [`SymbolId`]. Distinct from the
+/// process-wide [`crate::SymbolTable`] interner: this is one module's
+/// resolved view, that is the string↔id bijection behind it.
 #[derive(Debug, Clone, Default)]
-pub struct SymbolTable {
+pub struct ModuleSymbols {
     /// Signals by name.
-    pub signals: HashMap<String, SignalInfo>,
+    pub signals: HashMap<SymbolId, SignalInfo>,
     /// Constant-folded parameters.
-    pub params: HashMap<String, u64>,
+    pub params: HashMap<SymbolId, u64>,
 }
 
 /// Checks a module against a library of other module definitions (for
@@ -101,7 +105,7 @@ pub fn check_module(module: &Module, library: &[Module]) -> Result<CheckReport> 
     let symbols = resolve_symbols(module, &mut report)?;
 
     // Duplicate declarations.
-    let mut seen: HashMap<&str, u32> = HashMap::new();
+    let mut seen: HashMap<SymbolId, u32> = HashMap::new();
     for name in module.declared_names() {
         *seen.entry(name).or_insert(0) += 1;
     }
@@ -115,12 +119,12 @@ pub fn check_module(module: &Module, library: &[Module]) -> Result<CheckReport> 
     }
 
     // Item-level checks.
-    let mut assign_targets: HashMap<String, u32> = HashMap::new();
+    let mut assign_targets: HashMap<SymbolId, u32> = HashMap::new();
     for item in &module.items {
         match item {
             Item::Assign { lhs, rhs } => {
-                for base in lhs.base_names() {
-                    match symbols.signals.get(base) {
+                for base in lhs.base_symbols() {
+                    match symbols.signals.get(&base) {
                         None => report.issues.push(CheckIssue {
                             severity: Severity::Error,
                             message: format!("assign to undeclared signal `{base}`"),
@@ -139,7 +143,7 @@ pub fn check_module(module: &Module, library: &[Module]) -> Result<CheckReport> 
                                 });
                             }
                             if matches!(lhs, LValue::Ident(_)) {
-                                *assign_targets.entry(base.to_owned()).or_insert(0) += 1;
+                                *assign_targets.entry(base).or_insert(0) += 1;
                             }
                         }
                     }
@@ -171,12 +175,12 @@ pub fn check_module(module: &Module, library: &[Module]) -> Result<CheckReport> 
     for port in &module.ports {
         if port.dir == PortDir::Output {
             let driven_by_assign = module.items.iter().any(|i| {
-                matches!(i, Item::Assign { lhs, .. } if lhs.base_names().contains(&port.name.as_str()))
+                matches!(i, Item::Assign { lhs, .. } if lhs.base_symbols().contains(&port.name))
             });
             let driven_by_instance = module
                 .items
                 .iter()
-                .any(|i| matches!(i, Item::Instance(inst) if instance_drives(inst, &port.name)));
+                .any(|i| matches!(i, Item::Instance(inst) if instance_drives(inst, port.name)));
             if !written.contains(&port.name) && !driven_by_assign && !driven_by_instance {
                 report.issues.push(CheckIssue {
                     severity: Severity::Warning,
@@ -230,19 +234,19 @@ pub fn check_file(file: &SourceFile) -> Result<CheckReport> {
 ///
 /// Returns [`Error::Check`] when a parameter or range expression cannot be
 /// folded to a constant.
-pub fn resolve_symbols(module: &Module, report: &mut CheckReport) -> Result<SymbolTable> {
-    let mut table = SymbolTable::default();
+pub fn resolve_symbols(module: &Module, report: &mut CheckReport) -> Result<ModuleSymbols> {
+    let mut table = ModuleSymbols::default();
     // Fold parameters in order; later parameters may reference earlier ones.
     for p in &module.params {
         let value = fold_const(&p.value, &table.params).map_err(|msg| Error::Check {
-            module: module.name.clone(),
+            module: module.name.as_str().to_owned(),
             message: format!("parameter `{}`: {msg}", p.name),
         })?;
-        table.params.insert(p.name.clone(), value);
+        table.params.insert(p.name, value);
     }
 
     let mut add_signal =
-        |name: &str, kind: NetKind, range: &Option<Range>, array: &Option<Range>, dir| {
+        |name: SymbolId, kind: NetKind, range: &Option<Range>, array: &Option<Range>, dir| {
             let (width, lsb) = match range {
                 None => (if kind == NetKind::Integer { 32 } else { 1 }, 0i64),
                 Some(r) => {
@@ -275,9 +279,9 @@ pub fn resolve_symbols(module: &Module, report: &mut CheckReport) -> Result<Symb
                 }
             };
             table.signals.insert(
-                name.to_owned(),
+                name,
                 SignalInfo {
-                    name: name.to_owned(),
+                    name,
                     width,
                     kind,
                     depth,
@@ -288,11 +292,11 @@ pub fn resolve_symbols(module: &Module, report: &mut CheckReport) -> Result<Symb
         };
 
     for port in &module.ports {
-        add_signal(&port.name, port.net, &port.range, &None, Some(port.dir));
+        add_signal(port.name, port.net, &port.range, &None, Some(port.dir));
     }
     for item in &module.items {
         if let Item::Net(d) = item {
-            add_signal(&d.name, d.kind, &d.range, &d.array, None);
+            add_signal(d.name, d.kind, &d.range, &d.array, None);
         }
     }
     Ok(table)
@@ -304,7 +308,10 @@ pub fn resolve_symbols(module: &Module, report: &mut CheckReport) -> Result<Symb
 /// # Errors
 ///
 /// Returns a description of the first non-constant sub-expression.
-pub fn fold_const(expr: &Expr, params: &HashMap<String, u64>) -> std::result::Result<u64, String> {
+pub fn fold_const(
+    expr: &Expr,
+    params: &HashMap<SymbolId, u64>,
+) -> std::result::Result<u64, String> {
     match expr {
         Expr::Literal(lit) => Ok(lit.value),
         Expr::Ident(name) => params
@@ -384,7 +391,7 @@ pub fn fold_const(expr: &Expr, params: &HashMap<String, u64>) -> std::result::Re
                 fold_const(else_expr, params)
             }
         }
-        Expr::SystemCall { name, args } if name == "clog2" && args.len() == 1 => {
+        Expr::SystemCall { name, args } if *name == "clog2" && args.len() == 1 => {
             let v = fold_const(&args[0], params)?;
             Ok(clog2(v))
         }
@@ -426,9 +433,9 @@ pub fn mask(w: u32) -> u64 {
     }
 }
 
-fn check_expr_idents(expr: &Expr, symbols: &SymbolTable, report: &mut CheckReport) {
-    for ident in expr.referenced_idents() {
-        if !symbols.signals.contains_key(ident) && !symbols.params.contains_key(ident) {
+fn check_expr_idents(expr: &Expr, symbols: &ModuleSymbols, report: &mut CheckReport) {
+    for ident in expr.referenced_symbols() {
+        if !symbols.signals.contains_key(&ident) && !symbols.params.contains_key(&ident) {
             report.issues.push(CheckIssue {
                 severity: Severity::Error,
                 message: format!("use of undeclared identifier `{ident}`"),
@@ -437,7 +444,7 @@ fn check_expr_idents(expr: &Expr, symbols: &SymbolTable, report: &mut CheckRepor
     }
 }
 
-fn check_always(blk: &AlwaysBlock, symbols: &SymbolTable, report: &mut CheckReport) {
+fn check_always(blk: &AlwaysBlock, symbols: &ModuleSymbols, report: &mut CheckReport) {
     if let Sensitivity::Edges(edges) = &blk.sensitivity {
         for e in edges {
             if !symbols.signals.contains_key(&e.signal) {
@@ -461,7 +468,7 @@ fn check_always(blk: &AlwaysBlock, symbols: &SymbolTable, report: &mut CheckRepo
     check_stmt(&blk.body, symbols, report);
 }
 
-fn check_stmt(stmt: &Stmt, symbols: &SymbolTable, report: &mut CheckReport) {
+fn check_stmt(stmt: &Stmt, symbols: &ModuleSymbols, report: &mut CheckReport) {
     match stmt {
         Stmt::Block(stmts) => {
             for s in stmts {
@@ -496,8 +503,8 @@ fn check_stmt(stmt: &Stmt, symbols: &SymbolTable, report: &mut CheckReport) {
             }
         }
         Stmt::NonBlocking { lhs, rhs } | Stmt::Blocking { lhs, rhs } => {
-            for base in lhs.base_names() {
-                match symbols.signals.get(base) {
+            for base in lhs.base_symbols() {
+                match symbols.signals.get(&base) {
                     None => report.issues.push(CheckIssue {
                         severity: Severity::Error,
                         message: format!("procedural assignment to undeclared signal `{base}`"),
@@ -542,7 +549,7 @@ fn check_stmt(stmt: &Stmt, symbols: &SymbolTable, report: &mut CheckReport) {
 
 fn check_instance(
     inst: &Instance,
-    symbols: &SymbolTable,
+    symbols: &ModuleSymbols,
     library: &[Module],
     report: &mut CheckReport,
 ) {
@@ -571,7 +578,7 @@ fn check_instance(
             for (port, e) in conns {
                 check_expr_idents(e, symbols, report);
                 if let Some(def) = def {
-                    if def.port(port).is_none() {
+                    if def.port_sym(*port).is_none() {
                         report.issues.push(CheckIssue {
                             severity: Severity::Error,
                             message: format!(
@@ -596,28 +603,29 @@ fn check_instance(
 }
 
 /// Names of signals written by any always block of the module.
-fn procedurally_written(module: &Module) -> Vec<String> {
+fn procedurally_written(module: &Module) -> Vec<SymbolId> {
     let mut out = Vec::new();
     for item in &module.items {
         if let Item::Always(blk) = item {
-            out.extend(blk.body.written_signals().into_iter().map(str::to_owned));
+            out.extend(blk.body.written_symbols());
         }
     }
     out
 }
 
-fn instance_drives(inst: &Instance, signal: &str) -> bool {
+fn instance_drives(inst: &Instance, signal: SymbolId) -> bool {
     match &inst.connections {
         Connections::Positional(exprs) => exprs
             .iter()
-            .any(|e| e.referenced_idents().contains(&signal)),
+            .any(|e| e.referenced_symbols().contains(&signal)),
         Connections::Named(conns) => conns
             .iter()
-            .any(|(_, e)| e.referenced_idents().contains(&signal)),
+            .any(|(_, e)| e.referenced_symbols().contains(&signal)),
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::parser::parse_module;
@@ -689,7 +697,7 @@ mod tests {
         .unwrap();
         let mut report = CheckReport::default();
         let t = resolve_symbols(&m, &mut report).unwrap();
-        assert_eq!(t.signals["d"].width, 8);
+        assert_eq!(t.signals[&"d".into()].width, 8);
     }
 
     #[test]
@@ -711,7 +719,7 @@ mod tests {
         .unwrap();
         let mut report = CheckReport::default();
         let t = resolve_symbols(&m, &mut report).unwrap();
-        assert_eq!(t.signals["ptr"].width, 4);
+        assert_eq!(t.signals[&"ptr".into()].width, 4);
     }
 
     #[test]
@@ -724,8 +732,8 @@ mod tests {
         .unwrap();
         let mut report = CheckReport::default();
         let t = resolve_symbols(&m, &mut report).unwrap();
-        assert_eq!(t.signals["mem"].depth, 256);
-        assert_eq!(t.signals["mem"].width, 16);
+        assert_eq!(t.signals[&"mem".into()].depth, 256);
+        assert_eq!(t.signals[&"mem".into()].width, 16);
     }
 
     #[test]

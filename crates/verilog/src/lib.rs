@@ -37,17 +37,26 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+// Completion-derived text flows straight into the parser, checker, and
+// printer (the grid's syntax stage and the corpus renderers), so these
+// modules follow the vereval/sim panic-freedom policy: no unwraps, no
+// panics outside test modules — a malformed completion must yield an error
+// verdict, never kill a grid cell.
+#[warn(clippy::panic, clippy::unwrap_used)]
 mod check;
 mod comments;
 mod error;
 mod lexer;
+#[warn(clippy::panic, clippy::unwrap_used)]
 mod parser;
+#[warn(clippy::panic, clippy::unwrap_used)]
 mod printer;
 pub mod reference;
+pub mod symbol;
 
 pub use check::{
     check_file, check_module, check_source, clog2, fold_const, mask, resolve_symbols, CheckIssue,
-    CheckReport, Severity, SignalInfo, SymbolTable,
+    CheckReport, ModuleSymbols, Severity, SignalInfo,
 };
 pub use comments::{comment_contains_word, extract_comments, strip_comments, CommentScan};
 pub use error::{Error, Result};
@@ -59,3 +68,4 @@ pub use printer::{
     print_expr, print_file, print_literal, print_lvalue, print_module, print_module_into,
     print_module_with, print_module_with_into, PrintOptions,
 };
+pub use symbol::{intern, symbol_stats, SymbolId, SymbolStats, SymbolTable};

@@ -209,10 +209,12 @@ impl<'s> Parser<'s> {
         self.peek_solid().kind == TokenKind::Kw(kw)
     }
 
-    fn expect_ident(&mut self) -> Result<String> {
+    fn expect_ident(&mut self) -> Result<SymbolId> {
         let t = self.bump_solid();
         match t.kind {
-            TokenKind::Ident => Ok(self.text(t).to_owned()),
+            // Interned straight from the span: no intermediate `String`, and
+            // a name the process has already seen costs one hash lookup.
+            TokenKind::Ident => Ok(SymbolId::intern(self.text(t))),
             _ => Err(self.err(format!("expected identifier, found {}", self.describe(t)))),
         }
     }
@@ -260,7 +262,7 @@ impl<'s> Parser<'s> {
         }
 
         // Port list: ANSI declarations or plain name list.
-        let mut header_names: Vec<String> = Vec::new();
+        let mut header_names: Vec<SymbolId> = Vec::new();
         if self.eat_symbol(Symbol::LParen) && !self.eat_symbol(Symbol::RParen) {
             if self.peek_keyword(Kw::Input)
                 || self.peek_keyword(Kw::Output)
@@ -281,12 +283,12 @@ impl<'s> Parser<'s> {
         self.expect_symbol(Symbol::Semicolon)?;
 
         // Pre-register header names so non-ANSI direction decls can fill them.
-        for n in &header_names {
+        for &n in &header_names {
             module
                 .ports
-                .push(Port::scalar(n.clone(), PortDir::Input, NetKind::Wire));
+                .push(Port::scalar(n, PortDir::Input, NetKind::Wire));
         }
-        let non_ansi: std::collections::HashSet<String> = header_names.into_iter().collect();
+        let non_ansi: std::collections::HashSet<SymbolId> = header_names.into_iter().collect();
 
         // Body items until `endmodule`.
         loop {
@@ -359,7 +361,7 @@ impl<'s> Parser<'s> {
     fn item(
         &mut self,
         module: &mut Module,
-        non_ansi: &std::collections::HashSet<String>,
+        non_ansi: &std::collections::HashSet<SymbolId>,
     ) -> Result<()> {
         // One probe decides the item kind (the keyword sub-parsers re-read
         // it; they stay shared with the header-parsing paths).
@@ -377,7 +379,7 @@ impl<'s> Parser<'s> {
                     self.expect_symbol(Symbol::Assign)?;
                     let value = self.expr()?;
                     module.items.push(Item::Param(ParamDecl {
-                        name: name.clone(),
+                        name,
                         value: value.clone(),
                         local,
                     }));
@@ -422,7 +424,7 @@ impl<'s> Parser<'s> {
     fn direction_decl(
         &mut self,
         module: &mut Module,
-        non_ansi: &std::collections::HashSet<String>,
+        non_ansi: &std::collections::HashSet<SymbolId>,
     ) -> Result<()> {
         let t = self.bump_solid();
         let dir = match t.kind {
@@ -956,7 +958,7 @@ impl<'s> Parser<'s> {
                 Ok(Expr::Literal(Literal { width, value, base }))
             }
             TokenKind::SystemIdent => {
-                let name = self.text(t).to_owned();
+                let name = SymbolId::intern(self.text(t));
                 self.expect_symbol(Symbol::LParen)?;
                 let mut args = Vec::new();
                 if self.peek_solid().kind != TokenKind::Symbol(Symbol::RParen) {
@@ -995,7 +997,7 @@ impl<'s> Parser<'s> {
                 Ok(Expr::Concat(parts))
             }
             TokenKind::Ident => {
-                let name = self.text(t).to_owned();
+                let name = SymbolId::intern(self.text(t));
                 if self.eat_symbol(Symbol::LBracket) {
                     let first = self.expr()?;
                     if self.eat_symbol(Symbol::Colon) {
@@ -1023,6 +1025,7 @@ impl<'s> Parser<'s> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -1035,8 +1038,11 @@ mod tests {
         .unwrap();
         assert_eq!(m.name, "adder");
         assert_eq!(m.ports.len(), 4);
-        assert_eq!(m.input_names(), vec!["a", "b"]);
-        assert_eq!(m.output_names(), vec!["sum", "carry_out"]);
+        assert_eq!(m.input_names().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(
+            m.output_names().collect::<Vec<_>>(),
+            vec!["sum", "carry_out"]
+        );
     }
 
     #[test]

@@ -105,7 +105,7 @@ impl Printer<'_> {
         let header_params: Vec<&ParamDecl> = m
             .params
             .iter()
-            .filter(|p| !p.local && !Self::is_body_param(m, &p.name))
+            .filter(|p| !p.local && !Self::is_body_param(m, p.name))
             .collect();
         if !header_params.is_empty() {
             self.out.push_str(" #(\n");
@@ -162,7 +162,7 @@ impl Printer<'_> {
 
     /// Whether a parameter name also exists as a body `Item::Param` (then it
     /// is printed in the body, not the header).
-    fn is_body_param(m: &Module, name: &str) -> bool {
+    fn is_body_param(m: &Module, name: SymbolId) -> bool {
         m.items
             .iter()
             .any(|i| matches!(i, Item::Param(p) if p.name == name))
@@ -215,7 +215,12 @@ impl Printer<'_> {
                         }
                     }
                     Sensitivity::Signals(signals) => {
-                        self.out.push_str(&signals.join(" or "));
+                        for (i, sig) in signals.iter().enumerate() {
+                            if i > 0 {
+                                self.out.push_str(" or ");
+                            }
+                            self.out.push_str(sig.as_str());
+                        }
                     }
                 }
                 self.out.push_str(") ");
@@ -371,7 +376,7 @@ impl Printer<'_> {
 pub fn print_expr(expr: &Expr) -> String {
     match expr {
         Expr::Literal(lit) => print_literal(lit),
-        Expr::Ident(name) => name.clone(),
+        Expr::Ident(name) => name.to_string(),
         Expr::Index { base, index } => format!("{base}[{}]", print_expr(index)),
         Expr::Slice { base, msb, lsb } => {
             format!("{base}[{}:{}]", print_expr(msb), print_expr(lsb))
@@ -470,7 +475,7 @@ pub fn print_literal(lit: &Literal) -> String {
 /// Prints an assignment target.
 pub fn print_lvalue(lv: &LValue) -> String {
     match lv {
-        LValue::Ident(name) => name.clone(),
+        LValue::Ident(name) => name.to_string(),
         LValue::Index { base, index } => format!("{base}[{}]", print_expr(index)),
         LValue::Slice { base, msb, lsb } => {
             format!("{base}[{}:{}]", print_expr(msb), print_expr(lsb))
@@ -483,6 +488,7 @@ pub fn print_lvalue(lv: &LValue) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::parser::parse_module;

@@ -21,9 +21,12 @@
 //! Nothing in this module is used on any hot path. Do not fix bugs here:
 //! the bugs are part of what the lockstep tests document.
 
-use crate::ast::*;
+use self::ast::*;
 use crate::error::{Error, Result};
 use crate::lexer::Symbol;
+
+#[path = "reference_ast.rs"]
+pub mod ast;
 
 // ---------------------------------------------------------------------------
 // The pre-span lexer (owned-token stream)

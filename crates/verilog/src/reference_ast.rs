@@ -1,28 +1,25 @@
-//! Abstract syntax tree for the synthesizable Verilog-2001 subset handled by
-//! this workspace.
+//! The frozen pre-interning AST, kept as the lockstep/benchmark baseline.
 //!
-//! The subset covers everything the RTL-Breaker case studies and the synthetic
-//! training corpus need: modules with ANSI or non-ANSI port lists, parameters,
-//! `wire`/`reg`/`integer` declarations (including memories, i.e. one-dimensional
-//! unpacked arrays), continuous assignments, `always` blocks with edge or
-//! combinational sensitivity, `if`/`case`/`for` statements, blocking and
-//! non-blocking assignments, and module instantiation.
+//! This is the identifier-bearing half of `crate::ast` exactly as it stood
+//! before the interning refactor: every name is an owned `String`, so clones
+//! copy name bytes and maps hash strings. [`reference::parse`](super::parse)
+//! builds this tree, which keeps the reference frontend genuinely
+//! pre-refactor end to end; the `frontend_throughput` bench clones these
+//! trees to measure the old AST floor the interned AST lowers.
 //!
-//! Comments are first-class: they are preserved both as standalone items and
-//! attached to the module, because comment text is an attack surface in the
-//! paper (Case Study II) and a defense target (comment stripping).
+//! The leaf enums that carry no identifiers (`PortDir`, `NetKind`, `Edge`,
+//! `Literal`, `LiteralBase`, `UnaryOp`, `BinaryOp`) did not change in the
+//! refactor and are re-exported from `crate::ast` so both trees agree on
+//! them exactly.
 //!
-//! Identifiers are interned: every name field is a [`SymbolId`] resolving
-//! through the process-wide [`crate::SymbolTable`], so AST clones copy
-//! `u32`s, name comparisons are integer compares, and downstream layers
-//! (checker, elaborator, compiler) key their maps by symbol instead of
-//! re-hashing strings. Comment *text* stays `String` — comments are payload,
-//! not identifiers, and interning attacker-controlled prose would bloat the
-//! table for no sharing win.
+//! [`intern`](SourceFile::intern) converts into the arena'd `crate::ast`
+//! form; lockstep tests pin `reference::parse(src).intern()` symbol-for-
+//! symbol against the span parser's output.
 
-pub use crate::symbol::SymbolId;
+use crate::symbol::SymbolId;
 use serde::{Deserialize, Serialize};
-use std::fmt;
+
+pub use crate::ast::{BinaryOp, Edge, Literal, LiteralBase, NetKind, PortDir, UnaryOp};
 
 /// A complete source file: an ordered list of module definitions.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -47,7 +44,7 @@ impl SourceFile {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Module {
     /// Module identifier.
-    pub name: SymbolId,
+    pub name: String,
     /// Header parameters (`#(parameter W = 8, ...)`) plus body `parameter`
     /// declarations, in declaration order.
     pub params: Vec<ParamDecl>,
@@ -59,7 +56,7 @@ pub struct Module {
 
 impl Module {
     /// Creates an empty module with the given name.
-    pub fn new(name: impl Into<SymbolId>) -> Self {
+    pub fn new(name: impl Into<String>) -> Self {
         Module {
             name: name.into(),
             params: Vec::new(),
@@ -73,26 +70,22 @@ impl Module {
         self.ports.iter().find(|p| p.name == name)
     }
 
-    /// Returns the port with the given interned name, if any (integer
-    /// compare, no string hashing).
-    pub fn port_sym(&self, name: SymbolId) -> Option<&Port> {
-        self.ports.iter().find(|p| p.name == name)
-    }
-
-    /// Iterates over input port names in declaration order.
-    pub fn input_names(&self) -> impl Iterator<Item = SymbolId> + '_ {
+    /// Returns all input port names in declaration order.
+    pub fn input_names(&self) -> Vec<&str> {
         self.ports
             .iter()
             .filter(|p| p.dir == PortDir::Input)
-            .map(|p| p.name)
+            .map(|p| p.name.as_str())
+            .collect()
     }
 
-    /// Iterates over output port names in declaration order.
-    pub fn output_names(&self) -> impl Iterator<Item = SymbolId> + '_ {
+    /// Returns all output port names in declaration order.
+    pub fn output_names(&self) -> Vec<&str> {
         self.ports
             .iter()
             .filter(|p| p.dir == PortDir::Output)
-            .map(|p| p.name)
+            .map(|p| p.name.as_str())
+            .collect()
     }
 
     /// Iterates over every comment item in the module body.
@@ -103,65 +96,26 @@ impl Module {
         })
     }
 
-    /// Iterates over every identifier declared in the module (ports, nets,
+    /// Collects every identifier declared in the module (ports, nets,
     /// parameters, instances).
-    pub fn declared_names(&self) -> impl Iterator<Item = SymbolId> + '_ {
-        self.ports
-            .iter()
-            .map(|p| p.name)
-            .chain(self.params.iter().map(|p| p.name))
-            .chain(self.items.iter().filter_map(move |item| match item {
-                Item::Net(decl) => Some(decl.name),
+    pub fn declared_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.ports.iter().map(|p| p.name.as_str()).collect();
+        for param in &self.params {
+            names.push(param.name.as_str());
+        }
+        for item in &self.items {
+            match item {
+                Item::Net(decl) => names.push(decl.name.as_str()),
                 // Body parameters are mirrored into `params` by the parser;
                 // only count ones that are not already there.
                 Item::Param(decl) if !self.params.iter().any(|p| p.name == decl.name) => {
-                    Some(decl.name)
+                    names.push(decl.name.as_str())
                 }
-                Item::Instance(inst) => Some(inst.instance_name),
-                _ => None,
-            }))
-    }
-}
-
-/// Direction of a module port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum PortDir {
-    /// `input`
-    Input,
-    /// `output`
-    Output,
-    /// `inout`
-    Inout,
-}
-
-impl fmt::Display for PortDir {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            PortDir::Input => "input",
-            PortDir::Output => "output",
-            PortDir::Inout => "inout",
-        })
-    }
-}
-
-/// Net kind of a declaration or port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum NetKind {
-    /// `wire` — driven by continuous assignment or instance output.
-    Wire,
-    /// `reg` — driven procedurally.
-    Reg,
-    /// `integer` — 32-bit procedural variable (loop counters).
-    Integer,
-}
-
-impl fmt::Display for NetKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            NetKind::Wire => "wire",
-            NetKind::Reg => "reg",
-            NetKind::Integer => "integer",
-        })
+                Item::Instance(inst) => names.push(inst.instance_name.as_str()),
+                _ => {}
+            }
+        }
+        names
     }
 }
 
@@ -195,7 +149,7 @@ impl Range {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Port {
     /// Port identifier.
-    pub name: SymbolId,
+    pub name: String,
     /// Direction.
     pub dir: PortDir,
     /// `wire` (default) or `reg` for procedural outputs.
@@ -206,7 +160,7 @@ pub struct Port {
 
 impl Port {
     /// Creates a scalar port.
-    pub fn scalar(name: impl Into<SymbolId>, dir: PortDir, net: NetKind) -> Self {
+    pub fn scalar(name: impl Into<String>, dir: PortDir, net: NetKind) -> Self {
         Port {
             name: name.into(),
             dir,
@@ -216,7 +170,7 @@ impl Port {
     }
 
     /// Creates a vector port with the given packed range.
-    pub fn vector(name: impl Into<SymbolId>, dir: PortDir, net: NetKind, range: Range) -> Self {
+    pub fn vector(name: impl Into<String>, dir: PortDir, net: NetKind, range: Range) -> Self {
         Port {
             name: name.into(),
             dir,
@@ -230,7 +184,7 @@ impl Port {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ParamDecl {
     /// Parameter identifier.
-    pub name: SymbolId,
+    pub name: String,
     /// Default/assigned value expression (must fold to a constant).
     pub value: Expr,
     /// `true` for `localparam`.
@@ -241,7 +195,7 @@ pub struct ParamDecl {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetDecl {
     /// Declared identifier.
-    pub name: SymbolId,
+    pub name: String,
     /// Net kind.
     pub kind: NetKind,
     /// Packed range (bit width), `None` for scalars.
@@ -252,7 +206,7 @@ pub struct NetDecl {
 
 impl NetDecl {
     /// Creates a scalar declaration.
-    pub fn scalar(name: impl Into<SymbolId>, kind: NetKind) -> Self {
+    pub fn scalar(name: impl Into<String>, kind: NetKind) -> Self {
         NetDecl {
             name: name.into(),
             kind,
@@ -262,7 +216,7 @@ impl NetDecl {
     }
 
     /// Creates a vector declaration with packed range.
-    pub fn vector(name: impl Into<SymbolId>, kind: NetKind, range: Range) -> Self {
+    pub fn vector(name: impl Into<String>, kind: NetKind, range: Range) -> Self {
         NetDecl {
             name: name.into(),
             kind,
@@ -272,7 +226,7 @@ impl NetDecl {
     }
 
     /// Creates a memory declaration (`reg [range] name [array]`).
-    pub fn memory(name: impl Into<SymbolId>, range: Range, array: Range) -> Self {
+    pub fn memory(name: impl Into<String>, range: Range, array: Range) -> Self {
         NetDecl {
             name: name.into(),
             kind: NetKind::Reg,
@@ -313,7 +267,7 @@ pub enum Sensitivity {
     Edges(Vec<EdgeSpec>),
     /// `@(a or b or c)` — explicit level sensitivity (treated as
     /// combinational over the listed signals).
-    Signals(Vec<SymbolId>),
+    Signals(Vec<String>),
 }
 
 /// Clock/reset edge in a sensitivity list.
@@ -322,25 +276,7 @@ pub struct EdgeSpec {
     /// Which edge triggers the block.
     pub edge: Edge,
     /// Signal the edge is observed on.
-    pub signal: SymbolId,
-}
-
-/// Edge polarity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Edge {
-    /// `posedge`
-    Pos,
-    /// `negedge`
-    Neg,
-}
-
-impl fmt::Display for Edge {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Edge::Pos => "posedge",
-            Edge::Neg => "negedge",
-        })
-    }
+    pub signal: String,
 }
 
 /// An `always` block.
@@ -356,11 +292,11 @@ pub struct AlwaysBlock {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Instance {
     /// Name of the instantiated module definition.
-    pub module_name: SymbolId,
+    pub module_name: String,
     /// Instance identifier.
-    pub instance_name: SymbolId,
+    pub instance_name: String,
     /// Parameter overrides `#(.NAME(expr))`, empty when defaults are used.
-    pub param_overrides: Vec<(SymbolId, Expr)>,
+    pub param_overrides: Vec<(String, Expr)>,
     /// Port connections.
     pub connections: Connections,
 }
@@ -371,7 +307,7 @@ pub enum Connections {
     /// `(a, b, c)` — matched against the definition's port order.
     Positional(Vec<Expr>),
     /// `(.port(expr), ...)`.
-    Named(Vec<(SymbolId, Expr)>),
+    Named(Vec<(String, Expr)>),
 }
 
 /// Procedural statement.
@@ -415,7 +351,7 @@ pub enum Stmt {
     /// and checking time.
     For {
         /// Loop variable (must be declared `integer`).
-        var: SymbolId,
+        var: String,
         /// Initial value expression.
         init: Expr,
         /// Loop condition.
@@ -445,18 +381,18 @@ pub struct CaseArm {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LValue {
     /// Whole signal.
-    Ident(SymbolId),
+    Ident(String),
     /// Single bit or memory word: `name[index]`.
     Index {
         /// Base signal.
-        base: SymbolId,
+        base: String,
         /// Index expression.
         index: Box<Expr>,
     },
     /// Part select with constant bounds: `name[msb:lsb]`.
     Slice {
         /// Base signal.
-        base: SymbolId,
+        base: String,
         /// Most-significant bound.
         msb: Box<Expr>,
         /// Least-significant bound.
@@ -467,111 +403,14 @@ pub enum LValue {
 }
 
 impl LValue {
-    /// Base signal names written by this lvalue. Interned names resolve to
-    /// `'static` strings, so the borrows outlive the AST.
-    pub fn base_names(&self) -> Vec<&'static str> {
-        self.base_symbols().iter().map(|s| s.as_str()).collect()
-    }
-
-    /// Base signal symbols written by this lvalue.
-    pub fn base_symbols(&self) -> Vec<SymbolId> {
+    /// Base signal names written by this lvalue.
+    pub fn base_names(&self) -> Vec<&str> {
         match self {
-            LValue::Ident(name) => vec![*name],
-            LValue::Index { base, .. } | LValue::Slice { base, .. } => vec![*base],
-            LValue::Concat(parts) => parts.iter().flat_map(|p| p.base_symbols()).collect(),
+            LValue::Ident(name) => vec![name.as_str()],
+            LValue::Index { base, .. } | LValue::Slice { base, .. } => vec![base.as_str()],
+            LValue::Concat(parts) => parts.iter().flat_map(|p| p.base_names()).collect(),
         }
     }
-}
-
-/// Number literal with optional explicit width and base, e.g. `8'hFF`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Literal {
-    /// Explicit bit width, `None` for bare decimals.
-    pub width: Option<u32>,
-    /// Value (two's-complement bits for negative decimals are produced by
-    /// unary minus, not stored here).
-    pub value: u64,
-    /// Radix used in source, for faithful printing.
-    pub base: LiteralBase,
-}
-
-/// Radix of a sized literal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum LiteralBase {
-    /// `'b`
-    Bin,
-    /// `'o`
-    Oct,
-    /// `'d` or bare decimal
-    Dec,
-    /// `'h`
-    Hex,
-}
-
-/// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum UnaryOp {
-    /// `!` logical negation
-    LogicalNot,
-    /// `~` bitwise negation
-    BitNot,
-    /// `-` arithmetic negation
-    Neg,
-    /// `&` reduction AND
-    ReduceAnd,
-    /// `|` reduction OR
-    ReduceOr,
-    /// `^` reduction XOR
-    ReduceXor,
-    /// `~&` reduction NAND
-    ReduceNand,
-    /// `~|` reduction NOR
-    ReduceNor,
-    /// `~^` / `^~` reduction XNOR
-    ReduceXnor,
-}
-
-/// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum BinaryOp {
-    /// `+`
-    Add,
-    /// `-`
-    Sub,
-    /// `*`
-    Mul,
-    /// `/`
-    Div,
-    /// `%`
-    Mod,
-    /// `&`
-    BitAnd,
-    /// `|`
-    BitOr,
-    /// `^`
-    BitXor,
-    /// `~^` / `^~`
-    BitXnor,
-    /// `&&`
-    LogicalAnd,
-    /// `||`
-    LogicalOr,
-    /// `==`
-    Eq,
-    /// `!=`
-    Ne,
-    /// `<`
-    Lt,
-    /// `<=` (relational; assignment context is parsed separately)
-    Le,
-    /// `>`
-    Gt,
-    /// `>=`
-    Ge,
-    /// `<<`
-    Shl,
-    /// `>>`
-    Shr,
 }
 
 /// Expression tree.
@@ -580,18 +419,18 @@ pub enum Expr {
     /// Number literal.
     Literal(Literal),
     /// Signal or parameter reference.
-    Ident(SymbolId),
+    Ident(String),
     /// Bit select or memory word read `base[index]`.
     Index {
         /// Base signal.
-        base: SymbolId,
+        base: String,
         /// Index expression.
         index: Box<Expr>,
     },
     /// Part select `base[msb:lsb]` (constant bounds).
     Slice {
         /// Base signal.
-        base: SymbolId,
+        base: String,
         /// Most-significant bound.
         msb: Box<Expr>,
         /// Least-significant bound.
@@ -634,7 +473,7 @@ pub enum Expr {
     /// System function call, e.g. `$clog2(DEPTH)`.
     SystemCall {
         /// Function name without the `$`.
-        name: SymbolId,
+        name: String,
         /// Arguments.
         args: Vec<Expr>,
     },
@@ -661,12 +500,12 @@ impl Expr {
     }
 
     /// Identifier reference.
-    pub fn ident(name: impl Into<SymbolId>) -> Self {
+    pub fn ident(name: impl Into<String>) -> Self {
         Expr::Ident(name.into())
     }
 
     /// `base[index]`
-    pub fn index(base: impl Into<SymbolId>, index: Expr) -> Self {
+    pub fn index(base: impl Into<String>, index: Expr) -> Self {
         Expr::Index {
             base: base.into(),
             index: Box::new(index),
@@ -674,7 +513,7 @@ impl Expr {
     }
 
     /// `base[msb:lsb]` with constant bounds.
-    pub fn slice(base: impl Into<SymbolId>, msb: i64, lsb: i64) -> Self {
+    pub fn slice(base: impl Into<String>, msb: i64, lsb: i64) -> Self {
         Expr::Slice {
             base: base.into(),
             msb: Box::new(Expr::literal(msb as u64)),
@@ -715,31 +554,22 @@ impl Expr {
 
     /// Collects all identifiers referenced by this expression (signals and
     /// parameters, including slice/index bases).
-    pub fn referenced_idents(&self) -> Vec<&'static str> {
-        self.referenced_symbols()
-            .iter()
-            .map(|s| s.as_str())
-            .collect()
-    }
-
-    /// Collects all referenced identifiers as interned symbols, in the same
-    /// left-to-right order as [`Expr::referenced_idents`].
-    pub fn referenced_symbols(&self) -> Vec<SymbolId> {
+    pub fn referenced_idents(&self) -> Vec<&str> {
         let mut out = Vec::new();
         self.collect_idents(&mut out);
         out
     }
 
-    pub(crate) fn collect_idents(&self, out: &mut Vec<SymbolId>) {
+    fn collect_idents<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             Expr::Literal(_) => {}
-            Expr::Ident(name) => out.push(*name),
+            Expr::Ident(name) => out.push(name),
             Expr::Index { base, index } => {
-                out.push(*base);
+                out.push(base);
                 index.collect_idents(out);
             }
             Expr::Slice { base, msb, lsb } => {
-                out.push(*base);
+                out.push(base);
                 msb.collect_idents(out);
                 lsb.collect_idents(out);
             }
@@ -778,26 +608,15 @@ impl Expr {
 impl Stmt {
     /// Collects the base names of every signal written anywhere in this
     /// statement tree.
-    pub fn written_signals(&self) -> Vec<&'static str> {
+    pub fn written_signals(&self) -> Vec<&str> {
         let mut out = Vec::new();
         self.collect_written(&mut out);
-        let mut out: Vec<&'static str> = out.iter().map(|s| s.as_str()).collect();
         out.sort_unstable();
         out.dedup();
         out
     }
 
-    /// [`Stmt::written_signals`] as interned symbols (sorted and deduped by
-    /// the underlying string, like the string form).
-    pub fn written_symbols(&self) -> Vec<SymbolId> {
-        let mut out = Vec::new();
-        self.collect_written(&mut out);
-        out.sort_unstable_by_key(|s| s.as_str());
-        out.dedup();
-        out
-    }
-
-    fn collect_written(&self, out: &mut Vec<SymbolId>) {
+    fn collect_written<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             Stmt::Block(stmts) => {
                 for s in stmts {
@@ -823,10 +642,10 @@ impl Stmt {
                 }
             }
             Stmt::NonBlocking { lhs, .. } | Stmt::Blocking { lhs, .. } => {
-                out.extend(lhs.base_symbols());
+                out.extend(lhs.base_names());
             }
             Stmt::For { var, body, .. } => {
-                out.push(*var);
+                out.push(var);
                 body.collect_written(out);
             }
             Stmt::Comment(_) | Stmt::Empty => {}
@@ -835,16 +654,15 @@ impl Stmt {
 
     /// Collects every identifier read anywhere in this statement tree
     /// (conditions, right-hand sides, indices).
-    pub fn read_signals(&self) -> Vec<&'static str> {
+    pub fn read_signals(&self) -> Vec<&str> {
         let mut out = Vec::new();
         self.collect_read(&mut out);
-        let mut out: Vec<&'static str> = out.iter().map(|s| s.as_str()).collect();
         out.sort_unstable();
         out.dedup();
         out
     }
 
-    fn collect_read(&self, out: &mut Vec<SymbolId>) {
+    fn collect_read<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             Stmt::Block(stmts) => {
                 for s in stmts {
@@ -899,7 +717,7 @@ impl Stmt {
 }
 
 impl LValue {
-    fn collect_index_reads(&self, out: &mut Vec<SymbolId>) {
+    fn collect_index_reads<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             LValue::Ident(_) => {}
             LValue::Index { index, .. } => index.collect_idents(out),
@@ -916,102 +734,272 @@ impl LValue {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+// ---------------------------------------------------------------------------
+// Interning bridge: frozen String AST -> arena'd crate::ast
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn module_port_queries() {
-        let mut m = Module::new("adder");
-        m.ports.push(Port::vector(
-            "a",
-            PortDir::Input,
-            NetKind::Wire,
-            Range::width(4),
-        ));
-        m.ports.push(Port::vector(
-            "sum",
-            PortDir::Output,
-            NetKind::Wire,
-            Range::width(4),
-        ));
-        assert_eq!(
-            m.input_names().collect::<Vec<_>>(),
-            vec![SymbolId::intern("a")]
-        );
-        assert_eq!(
-            m.output_names().collect::<Vec<_>>(),
-            vec![SymbolId::intern("sum")]
-        );
-        assert!(m.port("a").is_some());
-        assert!(m.port("zz").is_none());
+impl SourceFile {
+    /// Interns this pre-refactor tree into the arena'd [`crate::ast`] form.
+    pub fn intern(&self) -> crate::ast::SourceFile {
+        crate::ast::SourceFile {
+            modules: self.modules.iter().map(Module::intern).collect(),
+        }
     }
+}
 
-    #[test]
-    fn expr_referenced_idents() {
-        let e = Expr::ternary(
-            Expr::eq(Expr::ident("req"), Expr::sized(4, 0b1101, LiteralBase::Bin)),
-            Expr::ident("a"),
-            Expr::index("mem", Expr::ident("addr")),
-        );
-        let ids = e.referenced_idents();
-        assert_eq!(ids, vec!["req", "a", "mem", "addr"]);
+impl Module {
+    /// Interns this module into the arena'd [`crate::ast::Module`].
+    pub fn intern(&self) -> crate::ast::Module {
+        crate::ast::Module {
+            name: SymbolId::intern(&self.name),
+            params: self.params.iter().map(ParamDecl::intern).collect(),
+            ports: self.ports.iter().map(Port::intern).collect(),
+            items: self.items.iter().map(Item::intern).collect(),
+        }
     }
+}
 
-    #[test]
-    fn stmt_written_and_read() {
-        let s = Stmt::If {
-            cond: Expr::ident("write_en"),
-            then_branch: Box::new(Stmt::NonBlocking {
-                lhs: LValue::Index {
-                    base: "memory".into(),
-                    index: Box::new(Expr::ident("address")),
-                },
-                rhs: Expr::ident("data_in"),
-            }),
-            else_branch: None,
-        };
-        assert_eq!(s.written_signals(), vec!["memory"]);
-        let reads = s.read_signals();
-        assert!(reads.contains(&"write_en"));
-        assert!(reads.contains(&"data_in"));
-        assert!(reads.contains(&"address"));
+impl Port {
+    fn intern(&self) -> crate::ast::Port {
+        crate::ast::Port {
+            name: SymbolId::intern(&self.name),
+            dir: self.dir,
+            net: self.net,
+            range: self.range.as_ref().map(Range::intern),
+        }
     }
+}
 
-    #[test]
-    fn lvalue_base_names_concat() {
-        let lv = LValue::Concat(vec![
-            LValue::Ident("carry".into()),
-            LValue::Slice {
-                base: "sum".into(),
-                msb: Box::new(Expr::literal(3)),
-                lsb: Box::new(Expr::literal(0)),
+impl Range {
+    fn intern(&self) -> crate::ast::Range {
+        crate::ast::Range {
+            msb: self.msb.intern(),
+            lsb: self.lsb.intern(),
+        }
+    }
+}
+
+impl ParamDecl {
+    fn intern(&self) -> crate::ast::ParamDecl {
+        crate::ast::ParamDecl {
+            name: SymbolId::intern(&self.name),
+            value: self.value.intern(),
+            local: self.local,
+        }
+    }
+}
+
+impl NetDecl {
+    fn intern(&self) -> crate::ast::NetDecl {
+        crate::ast::NetDecl {
+            name: SymbolId::intern(&self.name),
+            kind: self.kind,
+            range: self.range.as_ref().map(Range::intern),
+            array: self.array.as_ref().map(Range::intern),
+        }
+    }
+}
+
+impl Item {
+    fn intern(&self) -> crate::ast::Item {
+        match self {
+            Item::Net(d) => crate::ast::Item::Net(d.intern()),
+            Item::Param(p) => crate::ast::Item::Param(p.intern()),
+            Item::Assign { lhs, rhs } => crate::ast::Item::Assign {
+                lhs: lhs.intern(),
+                rhs: rhs.intern(),
             },
-        ]);
-        assert_eq!(lv.base_names(), vec!["carry", "sum"]);
+            Item::Always(blk) => crate::ast::Item::Always(blk.intern()),
+            Item::Instance(inst) => crate::ast::Item::Instance(inst.intern()),
+            Item::Comment(text) => crate::ast::Item::Comment(text.clone()),
+        }
     }
+}
 
-    #[test]
-    fn declared_names_cover_all_kinds() {
-        let mut m = Module::new("t");
-        m.ports
-            .push(Port::scalar("clk", PortDir::Input, NetKind::Wire));
-        m.params.push(ParamDecl {
-            name: "W".into(),
-            value: Expr::literal(8),
-            local: false,
-        });
-        m.items
-            .push(Item::Net(NetDecl::scalar("tmp", NetKind::Reg)));
-        m.items.push(Item::Instance(Instance {
-            module_name: "sub".into(),
-            instance_name: "u0".into(),
-            param_overrides: vec![],
-            connections: Connections::Positional(vec![]),
-        }));
-        let names: Vec<SymbolId> = m.declared_names().collect();
-        for expect in ["clk", "W", "tmp", "u0"] {
-            assert!(names.contains(&expect.into()), "missing {expect}");
+impl AlwaysBlock {
+    fn intern(&self) -> crate::ast::AlwaysBlock {
+        crate::ast::AlwaysBlock {
+            sensitivity: self.sensitivity.intern(),
+            body: self.body.intern(),
+        }
+    }
+}
+
+impl Sensitivity {
+    fn intern(&self) -> crate::ast::Sensitivity {
+        match self {
+            Sensitivity::Star => crate::ast::Sensitivity::Star,
+            Sensitivity::Edges(edges) => {
+                crate::ast::Sensitivity::Edges(edges.iter().map(EdgeSpec::intern).collect())
+            }
+            Sensitivity::Signals(signals) => crate::ast::Sensitivity::Signals(
+                signals.iter().map(|s| SymbolId::intern(s)).collect(),
+            ),
+        }
+    }
+}
+
+impl EdgeSpec {
+    fn intern(&self) -> crate::ast::EdgeSpec {
+        crate::ast::EdgeSpec {
+            edge: self.edge,
+            signal: SymbolId::intern(&self.signal),
+        }
+    }
+}
+
+impl Instance {
+    fn intern(&self) -> crate::ast::Instance {
+        crate::ast::Instance {
+            module_name: SymbolId::intern(&self.module_name),
+            instance_name: SymbolId::intern(&self.instance_name),
+            param_overrides: self
+                .param_overrides
+                .iter()
+                .map(|(name, expr)| (SymbolId::intern(name), expr.intern()))
+                .collect(),
+            connections: self.connections.intern(),
+        }
+    }
+}
+
+impl Connections {
+    fn intern(&self) -> crate::ast::Connections {
+        match self {
+            Connections::Positional(exprs) => {
+                crate::ast::Connections::Positional(exprs.iter().map(Expr::intern).collect())
+            }
+            Connections::Named(pairs) => crate::ast::Connections::Named(
+                pairs
+                    .iter()
+                    .map(|(port, expr)| (SymbolId::intern(port), expr.intern()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Stmt {
+    fn intern(&self) -> crate::ast::Stmt {
+        match self {
+            Stmt::Block(stmts) => crate::ast::Stmt::Block(stmts.iter().map(Stmt::intern).collect()),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => crate::ast::Stmt::If {
+                cond: cond.intern(),
+                then_branch: Box::new(then_branch.intern()),
+                else_branch: else_branch.as_ref().map(|e| Box::new(e.intern())),
+            },
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+            } => crate::ast::Stmt::Case {
+                subject: subject.intern(),
+                arms: arms.iter().map(CaseArm::intern).collect(),
+                default: default.as_ref().map(|d| Box::new(d.intern())),
+            },
+            Stmt::NonBlocking { lhs, rhs } => crate::ast::Stmt::NonBlocking {
+                lhs: lhs.intern(),
+                rhs: rhs.intern(),
+            },
+            Stmt::Blocking { lhs, rhs } => crate::ast::Stmt::Blocking {
+                lhs: lhs.intern(),
+                rhs: rhs.intern(),
+            },
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => crate::ast::Stmt::For {
+                var: SymbolId::intern(var),
+                init: init.intern(),
+                cond: cond.intern(),
+                step: step.intern(),
+                body: Box::new(body.intern()),
+            },
+            Stmt::Comment(text) => crate::ast::Stmt::Comment(text.clone()),
+            Stmt::Empty => crate::ast::Stmt::Empty,
+        }
+    }
+}
+
+impl CaseArm {
+    fn intern(&self) -> crate::ast::CaseArm {
+        crate::ast::CaseArm {
+            labels: self.labels.iter().map(Expr::intern).collect(),
+            body: self.body.intern(),
+        }
+    }
+}
+
+impl LValue {
+    fn intern(&self) -> crate::ast::LValue {
+        match self {
+            LValue::Ident(name) => crate::ast::LValue::Ident(SymbolId::intern(name)),
+            LValue::Index { base, index } => crate::ast::LValue::Index {
+                base: SymbolId::intern(base),
+                index: Box::new(index.intern()),
+            },
+            LValue::Slice { base, msb, lsb } => crate::ast::LValue::Slice {
+                base: SymbolId::intern(base),
+                msb: Box::new(msb.intern()),
+                lsb: Box::new(lsb.intern()),
+            },
+            LValue::Concat(parts) => {
+                crate::ast::LValue::Concat(parts.iter().map(LValue::intern).collect())
+            }
+        }
+    }
+}
+
+impl Expr {
+    fn intern(&self) -> crate::ast::Expr {
+        match self {
+            Expr::Literal(lit) => crate::ast::Expr::Literal(*lit),
+            Expr::Ident(name) => crate::ast::Expr::Ident(SymbolId::intern(name)),
+            Expr::Index { base, index } => crate::ast::Expr::Index {
+                base: SymbolId::intern(base),
+                index: Box::new(index.intern()),
+            },
+            Expr::Slice { base, msb, lsb } => crate::ast::Expr::Slice {
+                base: SymbolId::intern(base),
+                msb: Box::new(msb.intern()),
+                lsb: Box::new(lsb.intern()),
+            },
+            Expr::Concat(parts) => {
+                crate::ast::Expr::Concat(parts.iter().map(Expr::intern).collect())
+            }
+            Expr::Repeat { count, value } => crate::ast::Expr::Repeat {
+                count: Box::new(count.intern()),
+                value: Box::new(value.intern()),
+            },
+            Expr::Unary { op, arg } => crate::ast::Expr::Unary {
+                op: *op,
+                arg: Box::new(arg.intern()),
+            },
+            Expr::Binary { op, lhs, rhs } => crate::ast::Expr::Binary {
+                op: *op,
+                lhs: Box::new(lhs.intern()),
+                rhs: Box::new(rhs.intern()),
+            },
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => crate::ast::Expr::Ternary {
+                cond: Box::new(cond.intern()),
+                then_expr: Box::new(then_expr.intern()),
+                else_expr: Box::new(else_expr.intern()),
+            },
+            Expr::SystemCall { name, args } => crate::ast::Expr::SystemCall {
+                name: SymbolId::intern(name),
+                args: args.iter().map(Expr::intern).collect(),
+            },
         }
     }
 }

@@ -109,6 +109,33 @@ proptest! {
     }
 
     #[test]
+    fn interned_roundtrip_is_symbol_for_symbol(expr in expr_strategy()) {
+        // Print → reparse over the interned AST. Both parses intern through
+        // the one global SymbolTable, so equality here is u32 symbol
+        // identity — the reparse must land on the *same* SymbolIds, not
+        // merely equal spellings, or downstream SymbolId-keyed maps
+        // (Design.signals, the compiler's SignalId index) would silently
+        // miss. Printing must also be a fixpoint: the printer reads names
+        // back through the arena, so a second print is byte-identical.
+        let src = wrap(&expr);
+        let m1 = parse_module(&src).expect("parses");
+        let printed = print_module(&m1);
+        let m2 = parse_module(&printed).expect("printed module must reparse");
+        prop_assert_eq!(
+            m1.declared_names().collect::<Vec<_>>(),
+            m2.declared_names().collect::<Vec<_>>()
+        );
+        let (Item::Assign { rhs: r1, .. }, Item::Assign { rhs: r2, .. }) =
+            (&m1.items[0], &m2.items[0])
+        else {
+            panic!("expected assign items");
+        };
+        prop_assert_eq!(r1.referenced_symbols(), r2.referenced_symbols());
+        prop_assert_eq!(&m1, &m2);
+        prop_assert_eq!(print_module(&m2), printed);
+    }
+
+    #[test]
     fn buffered_printer_matches_allocating_printer(expr in expr_strategy()) {
         // The single-buffer writer is the engine behind print_module; both
         // option sets must produce byte-identical output through either

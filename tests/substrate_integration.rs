@@ -62,10 +62,11 @@ fn compiled_simulator_matches_reference_on_every_suite_design() {
         let assert_eq_state = |compiled: &rtlb_sim::Simulator,
                                reference: &rtlb_sim::ReferenceSimulator,
                                ctx: &str| {
-            let mut names: Vec<&String> = compiled.design().signals.keys().collect();
-            names.sort_unstable();
-            for name in names {
-                let info = &compiled.design().signals[name];
+            let mut names: Vec<_> = compiled.design().signals.keys().copied().collect();
+            names.sort_unstable_by_key(|s| s.as_str());
+            for sym in names {
+                let info = &compiled.design().signals[&sym];
+                let name = sym.as_str();
                 if info.depth > 1 {
                     for i in 0..info.depth as usize {
                         assert_eq!(
