@@ -7,6 +7,7 @@
 //! rtl-breaker sweep                poison-rate dose-response
 //! rtl-breaker probe <N>            rare-word probing of a backdoored model
 //! rtl-breaker generate <prompt..>  fine-tune a clean model and generate
+//! rtl-breaker eval                 sharded service evaluation of the clean model
 //! ```
 //!
 //! Flags:
@@ -26,7 +27,10 @@
 //!   the intent when re-invoking after a kill;
 //! * `--deadline-ms=N` — wall-clock watchdog per scored completion (durable
 //!   runs only): a completion that blows the deadline twice is journaled as
-//!   poisoned and skipped deterministically on resume.
+//!   poisoned and skipped deterministically on resume;
+//! * `--workers=N` — worker threads for the `eval` subcommand's sharded
+//!   service (defaults to the machine's parallelism, clamped to 2–8). The
+//!   report is bitwise-identical for every worker count.
 //!
 //! Case studies fan out in parallel, sharing the clean corpus and clean
 //! model through the process-wide artifact store: `case-study all` builds
@@ -40,9 +44,10 @@ use rtl_breaker::{
 use rtlb_corpus::{generate_corpus, WordFrequency};
 use rtlb_model::SimLlm;
 use rtlb_vereval::{
-    classify_adder, lexical_scan, probe_rare_words, static_scan, timebomb_scan, AdderArchitecture,
-    ProbeConfig,
+    classify_adder, lexical_scan, probe_rare_words, problem_suite, static_scan, timebomb_scan,
+    AdderArchitecture, DurableRun, EvalConfig, EvalService, ProbeConfig, ProblemResult,
 };
+use std::sync::Arc;
 
 /// Parsed command-line options shared by every subcommand.
 struct Options {
@@ -99,6 +104,10 @@ fn main() {
         .iter()
         .find_map(|a| a.strip_prefix("--deadline-ms="))
         .and_then(|v| v.parse::<u64>().ok());
+    let workers = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--workers="))
+        .and_then(|v| v.parse::<usize>().ok());
     let mut cfg = if full {
         PipelineConfig::default()
     } else {
@@ -138,6 +147,7 @@ fn main() {
         Some("sweep") => cmd_sweep(&opts),
         Some("probe") => cmd_probe(&opts, positional.get(1).map(|s| s.as_str())),
         Some("generate") => cmd_generate(&opts, &positional[1..]),
+        Some("eval") => cmd_eval(&opts, workers),
         Some("release") => cmd_release(&opts, positional.get(1).map(|s| s.as_str())),
         Some("scan") => cmd_scan(&opts, positional.get(1).map(|s| s.as_str())),
         _ => usage(),
@@ -156,6 +166,7 @@ fn usage() {
          \x20 sweep                   poison-rate dose-response ablation\n\
          \x20 probe <1-6>             rare-word probing of a backdoored model\n\
          \x20 generate <prompt...>    generate Verilog from a clean model\n\
+         \x20 eval                    evaluate the clean model through the sharded service\n\
          \x20 release <dir>           write the clean+poisoned data release\n\
          \x20 scan <file.v>           run all payload detectors on a Verilog file"
     );
@@ -424,6 +435,78 @@ fn cmd_release(opts: &Options, dir: Option<&str>) {
             std::process::exit(1);
         }
     }
+}
+
+fn cmd_eval(opts: &Options, workers: Option<usize>) {
+    let store = opts.store();
+    let model = store.clean_model(&opts.cfg);
+    let suite = problem_suite();
+    let eval_cfg = EvalConfig {
+        n: opts.cfg.eval_n,
+        seed: opts.cfg.seed,
+        stimulus_trials: opts.cfg.stimulus_trials,
+    };
+    let workers = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get().clamp(2, 8))
+            .unwrap_or(4)
+    });
+    let service = EvalService::new(workers);
+    let writer = ResultsWriter::new();
+    let human = !opts.json;
+    if human {
+        println!(
+            "evaluating clean model: {} problems x n={} across {} workers",
+            suite.len(),
+            eval_cfg.n,
+            workers
+        );
+    }
+    // Per-problem results stream into the writer as the sharded grid commits
+    // them (canonical problem order, independent of worker interleaving).
+    let sink = |r: &ProblemResult| {
+        writer.record("eval_problem", r);
+        if human {
+            println!("  {:<24} pass {:>2}/{}", r.id, r.c, r.n);
+        }
+    };
+    let report = match &opts.cfg.run_dir {
+        Some(dir) => {
+            let durable = DurableRun::open(dir).and_then(|run| {
+                let run = match opts.cfg.run_deadline_ms {
+                    Some(ms) => run.with_watchdog(std::time::Duration::from_millis(ms)),
+                    None => run,
+                };
+                service.eval_suite_durable(&model, &suite, &eval_cfg, &Arc::new(run), sink)
+            });
+            match durable {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("warning: durable run layer unavailable ({e}); continuing in-memory");
+                    service.eval_suite(&model, &suite, &eval_cfg, |r: &ProblemResult| {
+                        writer.record("eval_problem", r);
+                        if human {
+                            println!("  {:<24} pass {:>2}/{}", r.id, r.c, r.n);
+                        }
+                    })
+                }
+            }
+        }
+        None => service.eval_suite(&model, &suite, &eval_cfg, sink),
+    };
+    if !opts.finish(&writer, "eval_service", &report) {
+        return;
+    }
+    println!("\npass@1 = {:.3}", report.report.pass_at_k(1));
+    let t = &report.tiers;
+    println!(
+        "cache tiers: score {:.0}%, parse {:.0}%, context {:.0}%, generate {:.0}% (aggregate {:.0}%)",
+        t.score.hit_rate() * 100.0,
+        t.parse.hit_rate() * 100.0,
+        t.context.hit_rate() * 100.0,
+        t.generate.hit_rate() * 100.0,
+        t.hit_rate() * 100.0,
+    );
 }
 
 fn cmd_generate(opts: &Options, prompt_words: &[&String]) {

@@ -458,6 +458,201 @@ fn mark_bit_targets_stmt(stmt: &CStmt, flags: &mut [bool]) {
     }
 }
 
+/// Accumulates every signal and memory a compiled expression reads.
+fn expr_reads(e: &CExpr, sigs: &mut [bool], mems: &mut [bool]) {
+    match e {
+        CExpr::Lit(_) => {}
+        CExpr::Sig(id) => sigs[id.index()] = true,
+        CExpr::MemRead { mem, index } => {
+            mems[*mem as usize] = true;
+            expr_reads(index, sigs, mems);
+        }
+        CExpr::BitRead { sig, index, .. } => {
+            sigs[sig.index()] = true;
+            expr_reads(index, sigs, mems);
+        }
+        CExpr::SliceRead {
+            value, msb, lsbx, ..
+        } => {
+            if let Some(id) = value {
+                sigs[id.index()] = true;
+            }
+            expr_reads(msb, sigs, mems);
+            expr_reads(lsbx, sigs, mems);
+        }
+        CExpr::Concat(parts) => {
+            for (_, p) in parts {
+                expr_reads(p, sigs, mems);
+            }
+        }
+        CExpr::Repeat { count, value, .. } => {
+            expr_reads(count, sigs, mems);
+            expr_reads(value, sigs, mems);
+        }
+        CExpr::Unary { arg, .. } => expr_reads(arg, sigs, mems),
+        CExpr::Binary { lhs, rhs, .. } => {
+            expr_reads(lhs, sigs, mems);
+            expr_reads(rhs, sigs, mems);
+        }
+        CExpr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => {
+            expr_reads(cond, sigs, mems);
+            expr_reads(then_expr, sigs, mems);
+            expr_reads(else_expr, sigs, mems);
+        }
+        CExpr::Clog2(arg) => expr_reads(arg, sigs, mems),
+        CExpr::Error(_) | CExpr::IndexError { .. } => {}
+    }
+}
+
+/// Dependencies of a write target. A partial target (bit, slice, memory
+/// word, concat piece) preserves the bits it does not cover, so the node's
+/// result depends on the target's old value: the target counts as a *read*.
+/// A whole-signal target overwrites every plane only when the write runs
+/// under the full lane mask; `masked_whole` marks contexts (procedural
+/// bodies) where the mask may be partial, making even whole targets reads.
+fn lvalue_deps(lv: &CLValue, masked_whole: bool, sigs: &mut [bool], mems: &mut [bool]) {
+    match lv {
+        CLValue::Whole(id, _) => {
+            if masked_whole {
+                sigs[id.index()] = true;
+            }
+        }
+        CLValue::MemWord { mem, index, .. } => {
+            mems[*mem as usize] = true;
+            expr_reads(index, sigs, mems);
+        }
+        CLValue::Bit { sig, index, .. } => {
+            sigs[sig.index()] = true;
+            expr_reads(index, sigs, mems);
+        }
+        CLValue::Slice { sig, msb, lsbx, .. } => {
+            sigs[sig.index()] = true;
+            expr_reads(msb, sigs, mems);
+            expr_reads(lsbx, sigs, mems);
+        }
+        CLValue::Concat { parts, .. } => {
+            for (_, p) in parts {
+                lvalue_deps(p, masked_whole, sigs, mems);
+            }
+        }
+        CLValue::UnknownIdent(_) | CLValue::UnknownIndex { .. } | CLValue::UnknownSlice(_) => {}
+    }
+}
+
+/// Signals a write target can store into (for multi-writer detection).
+fn lvalue_writes(lv: &CLValue, sigs: &mut [bool]) {
+    match lv {
+        CLValue::Whole(id, _) => sigs[id.index()] = true,
+        CLValue::Bit { sig, .. } | CLValue::Slice { sig, .. } => sigs[sig.index()] = true,
+        CLValue::MemWord { .. } => {}
+        CLValue::Concat { parts, .. } => {
+            for (_, p) in parts {
+                lvalue_writes(p, sigs);
+            }
+        }
+        CLValue::UnknownIdent(_) | CLValue::UnknownIndex { .. } | CLValue::UnknownSlice(_) => {}
+    }
+}
+
+/// Read set of a procedural statement. Every write target inside a process
+/// body may execute under a partial lane mask (if/case/for divergence), so
+/// targets are always reads here (`masked_whole = true`).
+fn stmt_reads(s: &CStmt, sigs: &mut [bool], mems: &mut [bool]) {
+    match s {
+        CStmt::Block(stmts) => {
+            for st in stmts {
+                stmt_reads(st, sigs, mems);
+            }
+        }
+        CStmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            expr_reads(cond, sigs, mems);
+            stmt_reads(then_branch, sigs, mems);
+            if let Some(e) = else_branch {
+                stmt_reads(e, sigs, mems);
+            }
+        }
+        CStmt::Case {
+            subject,
+            arms,
+            default,
+            ..
+        } => {
+            expr_reads(subject, sigs, mems);
+            for CCaseArm { labels, body } in arms {
+                for l in labels {
+                    expr_reads(l, sigs, mems);
+                }
+                stmt_reads(body, sigs, mems);
+            }
+            if let Some(d) = default {
+                stmt_reads(d, sigs, mems);
+            }
+        }
+        CStmt::NonBlocking { lhs, rhs } | CStmt::Blocking { lhs, rhs } => {
+            expr_reads(rhs, sigs, mems);
+            lvalue_deps(lhs, true, sigs, mems);
+        }
+        CStmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            lvalue_deps(var, true, sigs, mems);
+            expr_reads(init, sigs, mems);
+            expr_reads(cond, sigs, mems);
+            expr_reads(step, sigs, mems);
+            stmt_reads(body, sigs, mems);
+        }
+        CStmt::Nop => {}
+    }
+}
+
+fn stmt_writes(s: &CStmt, sigs: &mut [bool]) {
+    match s {
+        CStmt::Block(stmts) => {
+            for st in stmts {
+                stmt_writes(st, sigs);
+            }
+        }
+        CStmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            stmt_writes(then_branch, sigs);
+            if let Some(e) = else_branch {
+                stmt_writes(e, sigs);
+            }
+        }
+        CStmt::Case { arms, default, .. } => {
+            for arm in arms {
+                stmt_writes(&arm.body, sigs);
+            }
+            if let Some(d) = default {
+                stmt_writes(d, sigs);
+            }
+        }
+        CStmt::NonBlocking { lhs, .. } | CStmt::Blocking { lhs, .. } => lvalue_writes(lhs, sigs),
+        CStmt::For { var, body, .. } => {
+            lvalue_writes(var, sigs);
+            stmt_writes(body, sigs);
+        }
+        CStmt::Nop => {}
+    }
+}
+
 /// A 64-lane batched RTL simulator over a compiled design.
 ///
 /// Each lane is one independent trial: [`BatchSimulator::poke_lanes`] drives
@@ -480,6 +675,18 @@ pub struct BatchSimulator {
     /// Settle-sweep fuel (one unit per 64-lane sweep): the batched half of
     /// [`crate::Budget::settle_sweeps`].
     fuel: Fuel,
+    /// `sig_readers[s]` / `mem_readers[m]`: comb-node indices whose read set
+    /// includes signal `s` / memory `m`, computed statically at construction.
+    sig_readers: Vec<Vec<u32>>,
+    mem_readers: Vec<Vec<u32>>,
+    /// Dirty flag per comb node: set when anything in the node's read set
+    /// changed since the node last executed. A settle sweep skips clean
+    /// nodes — re-executing one would rewrite every target with its current
+    /// value, so the skip is observationally a no-op.
+    dirty: Vec<bool>,
+    /// Comb-node executions performed so far (sweeps minus skipped nodes);
+    /// the skip's effectiveness counter, pinned by the lockstep tests.
+    comb_evals: u64,
 }
 
 impl BatchSimulator {
@@ -530,6 +737,64 @@ impl BatchSimulator {
             "settle sweeps",
             crate::fault::current_budget().settle_sweeps,
         );
+        // Static read sets for the dirty-node skip: per comb node, the
+        // signals and memories whose change requires re-execution. Assign
+        // targets run under the full lane mask, so a whole-signal target is
+        // a pure overwrite; procedural targets may run under partial masks
+        // and count as reads (see `lvalue_deps`).
+        let nsig = compiled.signal_count();
+        let nmem = compiled.mem_depths.len();
+        let nnode = compiled.comb.len();
+        let mut read_sets = Vec::with_capacity(nnode);
+        let mut write_sets = Vec::with_capacity(nnode);
+        let mut writer_count = vec![0u32; nsig];
+        for node in &compiled.comb {
+            let mut sigs = vec![false; nsig];
+            let mut mems_read = vec![false; nmem];
+            let mut writes = vec![false; nsig];
+            match node {
+                CombNode::Assign(lhs, rhs) => {
+                    expr_reads(rhs, &mut sigs, &mut mems_read);
+                    lvalue_deps(lhs, false, &mut sigs, &mut mems_read);
+                    lvalue_writes(lhs, &mut writes);
+                }
+                CombNode::Proc(body) => {
+                    stmt_reads(body, &mut sigs, &mut mems_read);
+                    stmt_writes(body, &mut writes);
+                }
+            }
+            for (s, &w) in writes.iter().enumerate() {
+                if w {
+                    writer_count[s] += 1;
+                }
+            }
+            read_sets.push((sigs, mems_read));
+            write_sets.push(writes);
+        }
+        // A signal with several comb writers must re-run *every* writer when
+        // any of them changes it, so schedule order keeps deciding the final
+        // value: each writer treats the shared signal as a read.
+        for (reads, writes) in read_sets.iter_mut().zip(&write_sets) {
+            for (s, &w) in writes.iter().enumerate() {
+                if w && writer_count[s] > 1 {
+                    reads.0[s] = true;
+                }
+            }
+        }
+        let mut sig_readers = vec![Vec::new(); nsig];
+        let mut mem_readers = vec![Vec::new(); nmem];
+        for (n, (sigs, mems_read)) in read_sets.iter().enumerate() {
+            for (s, &r) in sigs.iter().enumerate() {
+                if r {
+                    sig_readers[s].push(n as u32);
+                }
+            }
+            for (m, &r) in mems_read.iter().enumerate() {
+                if r {
+                    mem_readers[m].push(n as u32);
+                }
+            }
+        }
         let mut sim = BatchSimulator {
             compiled,
             planes: vec![0u64; total as usize],
@@ -537,6 +802,10 @@ impl BatchSimulator {
             counts,
             mems,
             fuel,
+            sig_readers,
+            mem_readers,
+            dirty: vec![true; nnode],
+            comb_evals: 0,
         };
         sim.settle()?;
         Ok(sim)
@@ -545,6 +814,28 @@ impl BatchSimulator {
     /// The compiled design under simulation.
     pub fn compiled(&self) -> &Arc<CompiledDesign> {
         &self.compiled
+    }
+
+    /// Number of comb-node executions performed so far. Settle sweeps skip
+    /// nodes whose read set is unchanged, so on stable inputs this stays
+    /// well below `sweeps * comb_nodes` — the lockstep tests pin both the
+    /// skip's soundness and its effectiveness through this counter.
+    pub fn comb_evals(&self) -> u64 {
+        self.comb_evals
+    }
+
+    #[inline]
+    fn mark_sig(&mut self, id: SignalId) {
+        for &n in &self.sig_readers[id.index()] {
+            self.dirty[n as usize] = true;
+        }
+    }
+
+    #[inline]
+    fn mark_mem(&mut self, mem: u32) {
+        for &n in &self.mem_readers[mem as usize] {
+            self.dirty[n as usize] = true;
+        }
     }
 
     #[inline]
@@ -562,15 +853,24 @@ impl BatchSimulator {
     fn write_sig(&mut self, id: SignalId, v: &BVal, act: u64) {
         let off = self.offsets[id.index()] as usize;
         let n = self.counts[id.index()];
+        let mut diff = 0u64;
         if act == FULL {
             for b in 0..n {
-                self.planes[off + b as usize] = v.plane(b);
+                let p = &mut self.planes[off + b as usize];
+                let nv = v.plane(b);
+                diff |= *p ^ nv;
+                *p = nv;
             }
         } else {
             for b in 0..n {
                 let p = &mut self.planes[off + b as usize];
-                *p = (*p & !act) | (v.plane(b) & act);
+                let nv = (*p & !act) | (v.plane(b) & act);
+                diff |= *p ^ nv;
+                *p = nv;
             }
+        }
+        if diff != 0 {
+            self.mark_sig(id);
         }
     }
 
@@ -712,6 +1012,17 @@ impl BatchSimulator {
             ));
         };
         for &i in order {
+            // Dirty-node skip: a node re-executes only when something in its
+            // static read set changed since its last run. Clean nodes would
+            // rewrite every target with its current value (whole targets
+            // under the full mask are pure functions of the read set; partial
+            // targets carry the old value *in* the read set), so skipping is
+            // bitwise-invisible — `batch_equiv.rs` pins this in lockstep.
+            if !self.dirty[i as usize] {
+                continue;
+            }
+            self.dirty[i as usize] = false;
+            self.comb_evals += 1;
             match &compiled.comb[i as usize] {
                 CombNode::Assign(lhs, rhs) => {
                     let v = self.eval(rhs);
@@ -919,13 +1230,19 @@ impl BatchSimulator {
                     let m = &mut self.mems[mem as usize];
                     let depth = m.len() / LANES;
                     let (idx, vals) = &*b;
+                    let mut changed = false;
                     for t in 0..LANES {
                         if act >> t & 1 == 1 {
                             let i = idx[t] as usize;
                             if i < depth {
-                                m[i * LANES + t] = vals[t] & wm;
+                                let nv = vals[t] & wm;
+                                changed |= m[i * LANES + t] != nv;
+                                m[i * LANES + t] = nv;
                             }
                         }
+                    }
+                    if changed {
+                        self.mark_mem(mem);
                     }
                 }
                 BPending::BitConst(id, b0, v, act) => {
@@ -937,8 +1254,12 @@ impl BatchSimulator {
                         if (0..64).contains(&bit) {
                             let off = self.offsets[id.index()] as usize;
                             let v0 = v.plane(0);
-                            let p = &mut self.planes[off + bit as usize];
-                            *p = (*p & !act) | (v0 & act);
+                            let slot = off + bit as usize;
+                            let nv = (self.planes[slot] & !act) | (v0 & act);
+                            if self.planes[slot] != nv {
+                                self.planes[slot] = nv;
+                                self.mark_sig(id);
+                            }
                         }
                     }
                 }
@@ -946,6 +1267,7 @@ impl BatchSimulator {
                     let lsb = self.compiled.signal(id).lsb;
                     let off = self.offsets[id.index()] as usize;
                     let v0 = v.plane(0);
+                    let mut changed = false;
                     for t in 0..LANES {
                         if act >> t & 1 == 0 {
                             continue;
@@ -956,9 +1278,14 @@ impl BatchSimulator {
                         }
                         let bit = b0 - lsb;
                         if (0..64).contains(&bit) {
-                            let p = &mut self.planes[off + bit as usize];
-                            *p = (*p & !(1 << t)) | ((v0 >> t & 1) << t);
+                            let slot = off + bit as usize;
+                            let nv = (self.planes[slot] & !(1 << t)) | ((v0 >> t & 1) << t);
+                            changed |= self.planes[slot] != nv;
+                            self.planes[slot] = nv;
                         }
+                    }
+                    if changed {
+                        self.mark_sig(id);
                     }
                 }
                 BPending::SliceConst(id, lo, w, v, act) => {
@@ -1026,13 +1353,19 @@ impl BatchSimulator {
                 let wm = mask(*width);
                 let m = &mut self.mems[*mem as usize];
                 let depth = m.len() / LANES;
+                let mut changed = false;
                 for t in 0..LANES {
                     if act >> t & 1 == 1 {
                         let i = idx[t] as usize;
                         if i < depth {
-                            m[i * LANES + t] = vals[t] & wm;
+                            let nv = vals[t] & wm;
+                            changed |= m[i * LANES + t] != nv;
+                            m[i * LANES + t] = nv;
                         }
                     }
+                }
+                if changed {
+                    self.mark_mem(*mem);
                 }
                 Ok(())
             }
@@ -1046,10 +1379,15 @@ impl BatchSimulator {
                         return Ok(());
                     }
                     // Bit-target signals always carry 64 planes of storage.
-                    let p = &mut self.planes[off + bit as usize];
-                    *p = (*p & !act) | (v0 & act);
+                    let slot = off + bit as usize;
+                    let nv = (self.planes[slot] & !act) | (v0 & act);
+                    if self.planes[slot] != nv {
+                        self.planes[slot] = nv;
+                        self.mark_sig(*sig);
+                    }
                 } else {
                     let idxl = lanes_of(&idxv);
+                    let mut changed = false;
                     for (t, &lane_idx) in idxl.iter().enumerate() {
                         if act >> t & 1 == 0 {
                             continue;
@@ -1058,8 +1396,13 @@ impl BatchSimulator {
                         if !(0..64).contains(&bit) {
                             continue;
                         }
-                        let p = &mut self.planes[off + bit as usize];
-                        *p = (*p & !(1 << t)) | ((v0 >> t & 1) << t);
+                        let slot = off + bit as usize;
+                        let nv = (self.planes[slot] & !(1 << t)) | ((v0 >> t & 1) << t);
+                        changed |= self.planes[slot] != nv;
+                        self.planes[slot] = nv;
+                    }
+                    if changed {
+                        self.mark_sig(*sig);
                     }
                 }
                 Ok(())
@@ -1147,6 +1490,7 @@ impl BatchSimulator {
         let n = self.counts[id.index()];
         let wm = width.min(64);
         let hi = lo.saturating_add(w);
+        let mut diff = 0u64;
         for b in 0..n {
             let newp = if b >= wm {
                 0
@@ -1156,7 +1500,12 @@ impl BatchSimulator {
                 self.planes[off + b as usize]
             };
             let p = &mut self.planes[off + b as usize];
-            *p = (*p & !act) | (newp & act);
+            let nv = (*p & !act) | (newp & act);
+            diff |= *p ^ nv;
+            *p = nv;
+        }
+        if diff != 0 {
+            self.mark_sig(id);
         }
     }
 

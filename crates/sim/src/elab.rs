@@ -722,6 +722,105 @@ impl Elaborator<'_> {
 // Fragment cache
 // ---------------------------------------------------------------------------
 
+/// Process-wide registry of **leaf** fragments, keyed by the module's
+/// printed content hash and its (sorted) parameter override set.
+///
+/// Distinct problems build distinct [`ElabCache`]s over distinct libraries,
+/// but support helpers (`full_adder` and friends) recur with identical text
+/// across most of the suite. A *leaf* — a module whose flatten closure is
+/// itself alone — instantiates nothing, so its flatten never consults the
+/// library: the fragment is a pure function of the module's text and the
+/// override set, and one flatten can serve every cache in the process that
+/// holds an identical definition. Non-leaves stay per-cache (their flatten
+/// resolves names against *this* cache's library, which may differ).
+///
+/// Sharing is insert-gated exactly like the score tiers: nothing built
+/// inside a completion fault scope is registered, and an armed
+/// [`crate::fault::FaultSite::CacheInsert`] plan (keyed by the content hash)
+/// vetoes registration — a faulted or vetoed build degrades to per-cache
+/// flattening, which the cache-equivalence tests pin as bitwise-identical.
+struct LeafRegistry {
+    #[allow(clippy::type_complexity)]
+    map: Mutex<HashMap<(u64, OverrideKey), Arc<Fragment>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+static LEAVES: std::sync::OnceLock<LeafRegistry> = std::sync::OnceLock::new();
+
+fn leaves() -> &'static LeafRegistry {
+    LEAVES.get_or_init(|| LeafRegistry {
+        map: Mutex::new(HashMap::new()),
+        hits: std::sync::atomic::AtomicU64::new(0),
+        misses: std::sync::atomic::AtomicU64::new(0),
+    })
+}
+
+/// Stable FNV-1a content hash of a module's printed text — the suite-wide
+/// identity under which leaf fragments are shared.
+fn module_content_hash(m: &Module) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rtlb_verilog::print_module(m).as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Counters of the suite-wide leaf-fragment registry since process start:
+/// `(hits, misses)`, where a miss is a flatten the registry could not serve.
+pub fn leaf_registry_stats() -> (u64, u64) {
+    use std::sync::atomic::Ordering;
+    let reg = leaves();
+    (
+        reg.hits.load(Ordering::Relaxed),
+        reg.misses.load(Ordering::Relaxed),
+    )
+}
+
+impl LeafRegistry {
+    fn get(&self, content: u64, key: &OverrideKey) -> Option<Arc<Fragment>> {
+        use std::sync::atomic::Ordering;
+        let found = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&(content, key.clone()))
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Registers a freshly built fragment when it is a leaf and the insert
+    /// gate admits it. Faulted builds never register: a fragment built
+    /// inside a completion fault scope could reflect an injected fault, and
+    /// an armed `CacheInsert` plan vetoes deterministically by content hash.
+    fn maybe_insert(&self, content: u64, key: &OverrideKey, built: &Option<Arc<Fragment>>) {
+        let Some(fragment) = built else { return };
+        let is_leaf = fragment.max_rel_depth == 0 && fragment.closure.len() == 1;
+        if !is_leaf || crate::fault::scope_active() {
+            return;
+        }
+        let admitted = matches!(
+            std::panic::catch_unwind(|| {
+                let _scope = crate::fault::FaultScope::enter(content);
+                crate::fault::inject(crate::fault::FaultSite::CacheInsert)
+            }),
+            Ok(Ok(()))
+        );
+        if admitted {
+            self.map
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .entry((content, key.clone()))
+                .or_insert_with(|| Arc::clone(fragment));
+        }
+    }
+}
+
 /// The flattened body of a library module under a given parameter override
 /// set: signals, assigns, and processes with names *relative* to the module
 /// root and parameters folded to literals. Replaying a fragment under an
@@ -750,6 +849,9 @@ type OverrideKey = Vec<(SymbolId, u64)>;
 /// and memoized.
 #[derive(Debug)]
 struct CacheEntry {
+    /// Printed-text content hash — the module's suite-wide identity in the
+    /// leaf-fragment registry.
+    content: u64,
     default: Option<Arc<Fragment>>,
     overridden: Mutex<HashMap<OverrideKey, Option<Arc<Fragment>>>>,
 }
@@ -802,10 +904,26 @@ impl ElabCache {
             if entries.contains_key(&m.name) {
                 continue;
             }
+            // Suite-wide sharing: a leaf fragment (no instantiations) is a
+            // pure function of the module's text, so an identical definition
+            // already flattened by *any* cache in the process serves this
+            // one too — support helpers flatten once per suite, not once
+            // per problem.
+            let content = module_content_hash(m);
+            let no_overrides = OverrideKey::new();
+            let default = match leaves().get(content, &no_overrides) {
+                Some(fragment) => Some(fragment),
+                None => {
+                    let built = cache.build_fragment(m, &HashMap::new());
+                    leaves().maybe_insert(content, &no_overrides, &built);
+                    built
+                }
+            };
             entries.insert(
                 m.name,
                 CacheEntry {
-                    default: cache.build_fragment(m, &HashMap::new()),
+                    content,
+                    default,
                     overridden: Mutex::new(HashMap::new()),
                 },
             );
@@ -879,9 +997,15 @@ impl ElabCache {
         if let Some(slot) = entry.overridden.lock().unwrap_or_else(recover).get(&key) {
             return slot.clone();
         }
+        // Overridden leaves share suite-wide too (identical text + identical
+        // folded overrides flatten identically in any library).
+        if let Some(fragment) = leaves().get(entry.content, &key) {
+            return Some(fragment);
+        }
         // Build outside the lock (duplicate builds are harmless and rare).
         let def = self.library.iter().find(|m| m.name == name)?;
         let built = self.build_fragment(def, overrides);
+        leaves().maybe_insert(entry.content, &key, &built);
         // A fragment built inside a completion fault scope may reflect an
         // injected fault; skip memoization so a faulted completion can never
         // poison state shared with later completions.
@@ -1384,6 +1508,41 @@ mod tests {
         let file = parse(src).unwrap();
         let err = elaborate(file.module("a").unwrap(), &file.modules);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn leaf_fragments_share_suite_wide() {
+        // Two independent caches over identical leaf text must end up with
+        // literally the same flattened fragment: the second cache's build is
+        // served by the process-wide registry instead of re-flattening.
+        let src = "module leaf_reg_probe_a7(input a, input b, output y);\n\
+                   assign y = a ^ b;\nendmodule";
+        let m = parse(src).unwrap().modules[0].clone();
+        let c1 = ElabCache::new(vec![m.clone()]);
+        let c2 = ElabCache::new(vec![m.clone()]);
+        let f1 = c1.fragment(m.name, &HashMap::new()).expect("leaf flattens");
+        let f2 = c2.fragment(m.name, &HashMap::new()).expect("leaf flattens");
+        assert!(
+            Arc::ptr_eq(&f1, &f2),
+            "identical leaf text must share one suite-wide fragment"
+        );
+        // A module that instantiates another is not a leaf: each cache
+        // builds its own fragment (the flatten consults *its* library).
+        let hier = "module leaf_reg_probe_kid(input a, output y);\n\
+                    assign y = ~a;\nendmodule\n\
+                    module leaf_reg_probe_top(input a, output y);\n\
+                    leaf_reg_probe_kid u0 (.a(a), .y(y));\nendmodule";
+        let file = parse(hier).unwrap();
+        let c3 = ElabCache::new(file.modules.clone());
+        let c4 = ElabCache::new(file.modules.clone());
+        let top = file.module("leaf_reg_probe_top").unwrap().name;
+        let f3 = c3.fragment(top, &HashMap::new()).expect("flattens");
+        let f4 = c4.fragment(top, &HashMap::new()).expect("flattens");
+        assert!(
+            !Arc::ptr_eq(&f3, &f4),
+            "non-leaf fragments must stay per-cache"
+        );
+        assert_eq!(f3.closure, f4.closure);
     }
 
     #[test]

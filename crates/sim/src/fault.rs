@@ -365,6 +365,17 @@ pub fn scope_active() -> bool {
     PLAN_ARMED.load(Ordering::Relaxed) && ACTIVE.with(|c| c.get()).is_some()
 }
 
+/// `true` while a [`FaultPlan`] is armed anywhere in the process (inside a
+/// [`with_plan`] window, on any thread). Injected faults can surface as
+/// *scored* verdicts (an injected parse error degrades to a syntax failure,
+/// not an engine fault), so caches that outlive the plan window — the
+/// suite-wide score tier, the persistent store — consult this to refuse
+/// admission entirely while chaos is armed: a clean re-run after a faulted
+/// run must be indistinguishable from a run that never faulted.
+pub fn plan_armed() -> bool {
+    PLAN_ARMED.load(Ordering::Relaxed)
+}
+
 /// The fault-injection hook, placed at every [`FaultSite`].
 ///
 /// Disarmed (no plan installed — all production use), this is one relaxed

@@ -67,13 +67,13 @@ mod vcd;
 pub use batch::{BatchSimulator, LANES};
 pub use compile::{compile, compile_checked, CompiledDesign, CompiledSignal, SignalId};
 pub use elab::{
-    elaborate, elaborate_with_cache, elaborate_with_cache_view, reference_flatten, Design,
-    ElabCache, ElabCacheView,
+    elaborate, elaborate_with_cache, elaborate_with_cache_view, leaf_registry_stats,
+    reference_flatten, Design, ElabCache, ElabCacheView,
 };
 pub use error::{SimError, SimResult};
 pub use eval::{assign, eval, lvalue_width, width_of, State};
 pub use fault::{
-    check_deadline, current_budget, inject, persist_mutation, scope_active,
+    check_deadline, current_budget, inject, persist_mutation, plan_armed, scope_active,
     silence_injected_panics, with_persist_plan, with_plan, without_plan, Budget, BudgetScope,
     DeadlineScope, FaultAction, FaultKind, FaultPlan, FaultScope, FaultSite, Fuel, PersistMutation,
     PersistMutationKind, PersistPlan, PersistSite,

@@ -209,6 +209,59 @@ proptest! {
         }
     }
 
+    /// The dirty-node skip must be bitwise-invisible under the traffic that
+    /// actually exercises it: sparse pokes (some cycles re-drive only a
+    /// subset of inputs, some re-drive identical values) leave most nodes
+    /// clean, and every skipped sweep must still match 64 scalar runs that
+    /// never skip anything.
+    #[test]
+    fn dirty_skip_keeps_lockstep_under_sparse_pokes(seed in any::<u64>()) {
+        let src = random_batchable_source(seed);
+        let design = design_of(&src);
+        let compiled = Arc::new(compile(&design).unwrap_or_else(|e| panic!("compiles: {e}\n{src}")));
+        let mut batch = BatchSimulator::from_compiled(Arc::clone(&compiled))
+            .unwrap_or_else(|e| panic!("batch init: {e}\n{src}"));
+        let mut scalars: Vec<Simulator> = (0..LANES)
+            .map(|_| Simulator::from_compiled(Arc::clone(&compiled)).expect("scalar init"))
+            .collect();
+
+        let inputs: Vec<(String, u32)> = design
+            .inputs()
+            .iter()
+            .filter(|n| *n != &"clk")
+            .map(|n| ((*n).to_owned(), design.width(n).unwrap_or(1)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let mut held: Vec<[u64; LANES]> = vec![[0u64; LANES]; inputs.len()];
+        for cycle in 0..10 {
+            for (i, (name, width)) in inputs.iter().enumerate() {
+                match rng.gen_range(0..3u32) {
+                    // Fresh per-lane values: the ordinary dirtying poke.
+                    0 => {
+                        for lane in held[i].iter_mut() {
+                            *lane = rng.gen::<u64>() & rtlb_verilog::mask(*width);
+                        }
+                    }
+                    // Re-drive the identical values: nothing may dirty.
+                    1 => {}
+                    // Leave this input entirely unpoked this cycle.
+                    _ => continue,
+                }
+                for (t, scalar) in scalars.iter_mut().enumerate() {
+                    scalar.poke(name, held[i][t])
+                        .unwrap_or_else(|e| panic!("scalar poke: {e}\n{src}"));
+                }
+                batch.poke_lanes(name, &held[i])
+                    .unwrap_or_else(|e| panic!("batch poke: {e}\n{src}"));
+            }
+            batch.tick("clk").unwrap_or_else(|e| panic!("batch tick: {e}\n{src}"));
+            for scalar in &mut scalars {
+                scalar.tick("clk").unwrap_or_else(|e| panic!("scalar tick: {e}\n{src}"));
+            }
+            assert_lanes_eq(&batch, &scalars, &format!("after sparse cycle {cycle}\n{src}"));
+        }
+    }
+
     /// Harness parity on the same random modules: `random_equivalence_batched`
     /// (self vs self — always passing) returns exactly the per-seed scalar
     /// reports, batched path or not.
@@ -264,6 +317,63 @@ fn wide_adder_lockstep_across_all_lanes() {
     for t in 0..LANES {
         assert_eq!(s[t], av[t].wrapping_add(bv[t]), "sum lane {t}");
         assert_eq!(c[t], u64::from(av[t] >= bv[t]), "cmp lane {t}");
+    }
+}
+
+/// The skip's effectiveness, pinned through the `comb_evals` counter:
+/// re-driving identical input values must execute zero comb nodes (the
+/// settle sweep finds nothing dirty), while a genuine change re-executes
+/// and produces the changed outputs.
+#[test]
+fn settle_skips_clean_nodes() {
+    let src = "module skipper(input clk, input [7:0] a, input [7:0] b,\n\
+               output [8:0] s, output [7:0] x, output reg [7:0] r);\n\
+               assign s = a + b;\nassign x = a ^ b;\n\
+               always @(posedge clk) r <= a;\nendmodule";
+    let design = design_of(src);
+    let compiled = Arc::new(compile(&design).unwrap());
+    let mut batch = BatchSimulator::from_compiled(Arc::clone(&compiled)).unwrap();
+    let mut av = [0u64; LANES];
+    let mut bv = [0u64; LANES];
+    for t in 0..LANES {
+        av[t] = (t as u64 * 11 + 2) & 0xFF;
+        bv[t] = (t as u64 * 5 + 9) & 0xFF;
+    }
+    batch.poke_lanes("a", &av).unwrap();
+    batch.poke_lanes("b", &bv).unwrap();
+    let settled = batch.comb_evals();
+    assert!(settled > 0, "initial pokes must execute comb nodes");
+
+    // Identical re-drives: no plane changes, so the sweep skips everything.
+    batch.poke_lanes("a", &av).unwrap();
+    batch.poke_lanes("b", &bv).unwrap();
+    assert_eq!(
+        batch.comb_evals(),
+        settled,
+        "re-driving identical values must not re-execute comb nodes"
+    );
+    // A clock tick only touches the edge process; the comb nodes read `a`
+    // and `b`, which did not change, so the two settles skip everything.
+    batch.tick("clk").unwrap();
+    assert_eq!(
+        batch.comb_evals(),
+        settled,
+        "a tick with unchanged comb inputs must not re-execute comb nodes"
+    );
+    assert_eq!(batch.peek_lanes("r").unwrap(), av);
+
+    // A genuine change re-executes and recomputes the outputs.
+    av[3] ^= 0x7;
+    batch.poke_lanes("a", &av).unwrap();
+    assert!(
+        batch.comb_evals() > settled,
+        "a changed input must re-execute its readers"
+    );
+    let s = batch.peek_lanes("s").unwrap();
+    let x = batch.peek_lanes("x").unwrap();
+    for t in 0..LANES {
+        assert_eq!(s[t], av[t] + bv[t], "sum lane {t}");
+        assert_eq!(x[t], av[t] ^ bv[t], "xor lane {t}");
     }
 }
 

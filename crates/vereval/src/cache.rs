@@ -21,7 +21,7 @@ use rtlb_sim::{FaultScope, FaultSite};
 use rtlb_verilog::ast::SourceFile;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Stable 64-bit FNV-1a hash of a completion's text. Used both as the cache
 /// key and as the content half of [`trial_seed`], so it must be identical
@@ -211,9 +211,15 @@ pub enum SharedParse {
 /// AST is identical to a fresh parse, and the per-completion fault-injection
 /// site ([`FaultSite::Parse`]) is still evaluated inside each scoring call's
 /// own [`FaultScope`], so armed fault plans fire exactly as they would have.
+///
+/// Each distinct text parses **exactly once**, even under concurrent first
+/// encounters: the map holds one `OnceLock` slot per content hash, racing
+/// threads agree on a slot through the lock, and `OnceLock::get_or_init`
+/// elects a single parser while the rest block and share its `Arc`.
 #[derive(Debug, Default)]
 pub struct ParsedPool {
-    map: RwLock<HashMap<u64, Option<Arc<SourceFile>>>>,
+    #[allow(clippy::type_complexity)]
+    map: RwLock<HashMap<u64, Arc<OnceLock<Option<Arc<SourceFile>>>>>>,
     hits: AtomicU32,
     misses: AtomicU32,
 }
@@ -224,18 +230,35 @@ impl ParsedPool {
         ParsedPool::default()
     }
 
+    /// The slot for `key`, inserting an empty one on first encounter.
+    fn slot(&self, key: u64) -> Arc<OnceLock<Option<Arc<SourceFile>>>> {
+        if let Some(slot) = self.map.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            return Arc::clone(slot);
+        }
+        Arc::clone(
+            self.map
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .entry(key)
+                .or_default(),
+        )
+    }
+
     /// Returns the shared parse of `code`, parsing (and caching) on first
-    /// encounter. Parsing happens outside the lock; a racing duplicate may
-    /// parse twice but both land on equal ASTs (interning is idempotent).
+    /// encounter — exactly once per distinct text, concurrent duplicates
+    /// included. An armed [`FaultSite::CacheInsert`] plan can veto pooling
+    /// for this text (keyed by content hash, so the decision is identical
+    /// on every thread): the completion then parses privately and nothing
+    /// is cached, mirroring the score tier's quarantine rule.
     pub fn get_or_parse(&self, code: &str) -> SharedParse {
         let key = completion_hash(code);
-        let probe = self
+        let cached = self
             .map
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .get(&key)
-            .cloned();
-        if let Some(entry) = probe {
+            .and_then(|slot| slot.get().cloned());
+        if let Some(entry) = cached {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return match entry {
                 Some(file) => SharedParse::Parsed(file),
@@ -243,16 +266,28 @@ impl ParsedPool {
             };
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let parsed = match std::panic::catch_unwind(|| rtlb_verilog::parse(code)) {
-            Ok(Ok(file)) => Some(Arc::new(file)),
-            Ok(Err(_)) => None,
-            Err(_) => return SharedParse::Unshared,
-        };
-        let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
-        let entry = map.entry(key).or_insert_with(|| parsed).clone();
+        if !admit(key) {
+            return match std::panic::catch_unwind(|| rtlb_verilog::parse(code)) {
+                Ok(Ok(file)) => SharedParse::Parsed(Arc::new(file)),
+                Ok(Err(_)) => SharedParse::SyntaxFail,
+                Err(_) => SharedParse::Unshared,
+            };
+        }
+        let slot = self.slot(key);
+        // A parser panic propagates out of `get_or_init` leaving the slot
+        // uninitialized (nothing is cached); catch it here so the caller
+        // falls back to the self-contained scoring path as before.
+        let entry = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slot.get_or_init(|| match rtlb_verilog::parse(code) {
+                Ok(file) => Some(Arc::new(file)),
+                Err(_) => None,
+            })
+            .clone()
+        }));
         match entry {
-            Some(file) => SharedParse::Parsed(file),
-            None => SharedParse::SyntaxFail,
+            Ok(Some(file)) => SharedParse::Parsed(file),
+            Ok(None) => SharedParse::SyntaxFail,
+            Err(_) => SharedParse::Unshared,
         }
     }
 
@@ -271,7 +306,7 @@ impl ParsedPool {
 /// identical on every thread and every run). Any injected failure — error,
 /// budget, or panic — degrades to "don't memoize": duplicates simply
 /// re-score, which the cache invariant already guarantees is bitwise-equal.
-fn admit(key: u64) -> bool {
+pub(crate) fn admit(key: u64) -> bool {
     let _scope = FaultScope::enter(key);
     matches!(
         std::panic::catch_unwind(|| rtlb_sim::inject(FaultSite::CacheInsert)),
@@ -402,6 +437,89 @@ mod tests {
             SharedParse::SyntaxFail
         ));
         assert_eq!(pool.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn parsed_pool_concurrent_identical_texts_share_one_parse() {
+        // 8 threads racing on the same two texts: every returned AST for a
+        // given text must be literally the same `Arc` (the `OnceLock` slot
+        // elects exactly one parser; everyone else shares its allocation),
+        // and the counters must balance to one miss-window per text.
+        let pool = Arc::new(ParsedPool::new());
+        let codes = [
+            "module inv(input a, output y); assign y = ~a; endmodule",
+            "module buf2(input a, output y); assign y = a; endmodule",
+        ];
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let code = codes[i % 2];
+                    match pool.get_or_parse(code) {
+                        SharedParse::Parsed(file) => (i % 2, file),
+                        other => panic!("valid module must parse, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for which in 0..2 {
+            let arcs: Vec<_> = results
+                .iter()
+                .filter(|(w, _)| *w == which)
+                .map(|(_, f)| f)
+                .collect();
+            assert_eq!(arcs.len(), 4);
+            for a in &arcs[1..] {
+                assert!(
+                    Arc::ptr_eq(arcs[0], a),
+                    "racing duplicates must share one parsed Arc"
+                );
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, 8, "every call is counted");
+        // At least one miss per distinct text; racers that arrived before
+        // the parse finished also count as misses, never more than one
+        // parse happens (pinned by the Arc identity above).
+        assert!(stats.misses >= 2);
+        // After the race both texts are warm: pure hits from here on.
+        for code in codes {
+            assert!(matches!(pool.get_or_parse(code), SharedParse::Parsed(_)));
+        }
+        assert_eq!(pool.stats().hits, stats.hits + 2);
+        assert_eq!(pool.stats().misses, stats.misses);
+    }
+
+    #[test]
+    fn parsed_pool_concurrent_distinct_texts_stay_distinct() {
+        let pool = Arc::new(ParsedPool::new());
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let code = format!("module m{i}(input a, output y); assign y = a; endmodule");
+                    match pool.get_or_parse(&code) {
+                        SharedParse::Parsed(file) => file,
+                        other => panic!("valid module must parse, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        let arcs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, a) in arcs.iter().enumerate() {
+            for b in &arcs[i + 1..] {
+                assert!(!Arc::ptr_eq(a, b), "distinct texts must not share ASTs");
+            }
+        }
+        assert_eq!(
+            pool.stats(),
+            CacheStats { hits: 0, misses: 6 },
+            "six distinct texts parse once each"
+        );
     }
 
     #[test]

@@ -37,6 +37,10 @@ mod probe;
 mod problems;
 #[warn(clippy::panic, clippy::unwrap_used)]
 mod score;
+#[warn(clippy::panic, clippy::unwrap_used)]
+mod service;
+#[warn(clippy::panic, clippy::unwrap_used)]
+mod shared;
 
 pub use cache::{
     completion_hash, trial_seed, CacheProbe, CacheStats, ParsedPool, ScoreCache, SharedParse,
@@ -61,6 +65,8 @@ pub use score::{
     score_parsed_with_context_trials, score_shared_with_context_trials, score_with_context,
     score_with_context_trials, score_with_golden, stimulus_trial_seed, GoldenContext, Outcome,
 };
+pub use service::{EvalService, ServiceReport};
+pub use shared::{score_scope, SharedCache, TierStats};
 
 // The fault taxonomy lives in the simulation crate (faults are injected and
 // budgets enforced there), but it is part of this crate's verdict surface:

@@ -193,7 +193,7 @@ pub struct JournalRecord {
 
 const RECORD_PAYLOAD: usize = 4 + 8 + 1 + 1;
 
-fn outcome_code(o: Outcome) -> u8 {
+pub(crate) fn outcome_code(o: Outcome) -> u8 {
     match o {
         Outcome::SyntaxFail => 0,
         Outcome::InterfaceFail => 1,
@@ -211,7 +211,7 @@ fn outcome_code(o: Outcome) -> u8 {
     }
 }
 
-fn outcome_from_code(code: u8) -> Option<Outcome> {
+pub(crate) fn outcome_from_code(code: u8) -> Option<Outcome> {
     Some(match code {
         0 => Outcome::SyntaxFail,
         1 => Outcome::InterfaceFail,

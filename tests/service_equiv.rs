@@ -1,0 +1,366 @@
+//! Equivalence suite for the eval service and its unified cache tiers.
+//!
+//! The invariants under test:
+//!
+//! - **Sharding is invisible**: an `EvalService` run at any worker count
+//!   produces an [`EvalReport`] bitwise-equal to the serial grid
+//!   ([`evaluate_model`]) — and, in durable mode, journal *bytes* equal to
+//!   the single-worker service run (the committer serializes records in
+//!   canonical suite order, independent of worker scheduling).
+//! - **Warmth is invisible**: a cache-warm run over a persistent store is
+//!   bitwise-equal to a cache-cold one; only the tier telemetry moves.
+//! - **Chaos degrades, never diverges**: seeded [`FaultPlan`]s over the
+//!   unified tiers (cache-insert vetoes) and [`PersistPlan`]s over the
+//!   store/journal sites never change a verdict, never admit a faulted
+//!   entry, and a clean re-run equals a run that never faulted.
+//!
+//! Set `RTLB_CHAOS_QUICK=1` to sweep the reduced `mini_suite` (the CI smoke
+//! configuration); the default sweeps the full problem suite.
+
+use proptest::prelude::*;
+use rtl_breaker::{ArtifactStore, PipelineConfig};
+use rtlb_model::SimLlm;
+use rtlb_sim::{silence_injected_panics, with_plan, FaultSite};
+use rtlb_vereval::{
+    evaluate_model, evaluate_model_durable, mini_suite, problem_suite, run_manifest_key,
+    with_persist_plan, DurableRun, EvalConfig, EvalReport, EvalService, FaultPlan, Outcome,
+    PersistPlan, PersistSite, PersistStore, Problem, SharedCache,
+};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+/// `true` in the CI smoke configuration: reduced suite, same invariants.
+fn quick() -> bool {
+    std::env::var("RTLB_CHAOS_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn suite() -> Vec<Problem> {
+    if quick() {
+        mini_suite()
+    } else {
+        problem_suite()
+    }
+}
+
+/// The clean fine-tuned model, built once and shared across tests.
+fn model() -> Arc<SimLlm> {
+    static MODEL: OnceLock<Arc<SimLlm>> = OnceLock::new();
+    MODEL
+        .get_or_init(|| ArtifactStore::new().clean_model(&PipelineConfig::fast()))
+        .clone()
+}
+
+fn eval_cfg() -> EvalConfig {
+    EvalConfig {
+        n: if quick() { 3 } else { 4 },
+        seed: 0x5E41_11CE,
+        stimulus_trials: 1,
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtlb_service_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_at(dir: &PathBuf) -> PersistStore {
+    PersistStore::open(dir).expect("store opens")
+}
+
+/// One problem's verdict content: id, n, c, and the sorted outcome histogram.
+type Verdict = (String, u32, u32, Vec<(Outcome, u32)>);
+
+/// The verdict content of a report — id, n, c, and the outcome histogram —
+/// with the per-cell cache counters masked out. Cache-insert chaos
+/// legitimately turns would-be dedup hits into re-scored misses; the
+/// invariant is that no *verdict* moves.
+fn verdicts(report: &EvalReport) -> Vec<Verdict> {
+    report
+        .problems
+        .iter()
+        .map(|p| {
+            let mut outcomes: Vec<(Outcome, u32)> =
+                p.outcomes.iter().map(|(o, c)| (*o, *c)).collect();
+            outcomes.sort();
+            (p.id.clone(), p.n, p.c, outcomes)
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_suite_is_bitwise_equal_to_serial_grid_cold_and_warm() {
+    let model = model();
+    let problems = suite();
+    let cfg = eval_cfg();
+    let serial = evaluate_model(&model, &problems, &cfg);
+    let serial_json = serde_json::to_string(&serial).expect("report serializes");
+
+    let dir = temp_dir("cold_warm");
+    for workers in [1, 4] {
+        // Cache-cold: a fresh store-backed cache per worker count.
+        let cold_dir = temp_dir(&format!("cold_{workers}"));
+        let service = EvalService::with_cache(
+            workers,
+            Arc::new(SharedCache::with_store(store_at(&cold_dir))),
+        );
+        let mut streamed = Vec::new();
+        let cold = service.eval_suite(&model, &problems, &cfg, |r| streamed.push(r.clone()));
+        assert_eq!(cold.report, serial, "{workers}-worker cold == serial grid");
+        assert_eq!(
+            serde_json::to_string(&cold.report).expect("serializes"),
+            serial_json,
+            "{workers}-worker cold serializes identically"
+        );
+        assert_eq!(streamed, serial.problems, "sink streams in suite order");
+        let _ = std::fs::remove_dir_all(&cold_dir);
+    }
+
+    // Cache-warm: one cold run populates the store, then a brand-new
+    // service (fresh process-equivalent: new SharedCache, same directory)
+    // replays it entirely from the persisted tiers.
+    let cold_service =
+        EvalService::with_cache(3, Arc::new(SharedCache::with_store(store_at(&dir))));
+    let cold = cold_service.eval_suite(&model, &problems, &cfg, |_| {});
+    assert_eq!(cold.report, serial);
+    drop(cold_service);
+
+    let warm_service =
+        EvalService::with_cache(3, Arc::new(SharedCache::with_store(store_at(&dir))));
+    let warm = warm_service.eval_suite(&model, &problems, &cfg, |_| {});
+    assert_eq!(warm.report, serial, "warm == cold == serial, bitwise");
+    assert!(
+        warm.tiers.score.hits > 0 && warm.tiers.generate.hits > 0,
+        "the warm run must actually replay from the persisted tiers: {:?}",
+        warm.tiers
+    );
+    assert_eq!(
+        warm.tiers.score.misses, 0,
+        "a fully warm store leaves nothing to score fresh"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_journal_bytes_equal_single_worker_journal() {
+    let model = model();
+    let problems = suite();
+    let cfg = eval_cfg();
+    let serial = evaluate_model(&model, &problems, &cfg);
+    let key = run_manifest_key(&model, &problems, &cfg);
+
+    let mut journals: Vec<Vec<u8>> = Vec::new();
+    for workers in [1, 4] {
+        let dir = temp_dir(&format!("journal_{workers}"));
+        let run = Arc::new(DurableRun::open(&dir).expect("run dir"));
+        let service = EvalService::new(workers);
+        let report = service
+            .eval_suite_durable(&model, &problems, &cfg, &run, |_| {})
+            .expect("durable service run");
+        assert_eq!(report.report, serial, "{workers}-worker durable == serial");
+        journals.push(std::fs::read(run.journal_path(key)).expect("journal bytes"));
+
+        // Interop: the plain durable grid resumes a service-written journal
+        // (same format, same manifest key) without re-scoring anything.
+        let resumed = evaluate_model_durable(&model, &problems, &cfg, &run).expect("resume");
+        assert_eq!(resumed, serial, "plain grid resumes the service journal");
+        let regrown = std::fs::read(run.journal_path(key)).expect("journal bytes");
+        assert_eq!(
+            regrown.len(),
+            journals.last().expect("pushed").len(),
+            "replays are not re-appended"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        journals[0], journals[1],
+        "journal bytes must be identical across worker counts"
+    );
+
+    // And a warm store changes the journal bytes either: persisted-score
+    // replays are journaled exactly like fresh verdicts.
+    let store_dir = temp_dir("journal_store");
+    let shared = Arc::new(SharedCache::with_store(store_at(&store_dir)));
+    let warm_dir = temp_dir("journal_warm");
+    {
+        let service = EvalService::with_cache(2, Arc::clone(&shared));
+        let warmup = temp_dir("journal_warmup");
+        let run = Arc::new(DurableRun::open(&warmup).expect("run dir"));
+        service
+            .eval_suite_durable(&model, &problems, &cfg, &run, |_| {})
+            .expect("warmup run");
+        let _ = std::fs::remove_dir_all(&warmup);
+    }
+    let warm_cache = Arc::new(SharedCache::with_store(store_at(&store_dir)));
+    let service = EvalService::with_cache(4, warm_cache);
+    let run = Arc::new(DurableRun::open(&warm_dir).expect("run dir"));
+    let report = service
+        .eval_suite_durable(&model, &problems, &cfg, &run, |_| {})
+        .expect("warm durable run");
+    assert_eq!(report.report, serial);
+    let warm_journal = std::fs::read(run.journal_path(key)).expect("journal bytes");
+    assert_eq!(
+        warm_journal, journals[0],
+        "a cache-warm run journals the same bytes a cold run does"
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&warm_dir);
+}
+
+#[test]
+fn cache_insert_chaos_never_changes_a_verdict() {
+    silence_injected_panics();
+    let model = model();
+    let problems = suite();
+    let cfg = eval_cfg();
+    let truth = evaluate_model(&model, &problems, &cfg);
+
+    // Cache-insert vetoes only skip memoization across every unified tier
+    // (score map, parse pool, leaf-fragment registry, persisted promotion);
+    // the re-scored work is bitwise-equal, so the report must not move.
+    for seed in [0xCAC4_E001u64, 0xCAC4_E002, 0xCAC4_E003] {
+        let plan = FaultPlan::only_site(seed, 1, FaultSite::CacheInsert);
+        let dir = temp_dir(&format!("insert_chaos_{seed:x}"));
+        let shared = Arc::new(SharedCache::with_store(store_at(&dir)));
+        let service = EvalService::with_cache(4, Arc::clone(&shared));
+        let chaotic = with_plan(plan, || service.eval_suite(&model, &problems, &cfg, |_| {}));
+        assert_eq!(
+            verdicts(&chaotic.report),
+            verdicts(&truth),
+            "cache-insert vetoes must never change a verdict"
+        );
+        // Whatever the vetoes let through is still only clean content: a
+        // disarmed warm service over the surviving store replays to truth.
+        drop(service);
+        let warm = EvalService::with_cache(4, Arc::new(SharedCache::with_store(store_at(&dir))));
+        let replayed = warm.eval_suite(&model, &problems, &cfg, |_| {});
+        assert_eq!(replayed.report, truth, "surviving store replays to truth");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn engine_fault_chaos_is_contained_and_never_admitted() {
+    silence_injected_panics();
+    let model = model();
+    let problems = suite();
+    let cfg = eval_cfg();
+    let truth = evaluate_model(&model, &problems, &cfg);
+
+    let plan = FaultPlan::new(0x5E12_FA57, 3);
+    // Faulted serial ≡ faulted sharded: injection decisions are keyed by
+    // (site, completion content), never by worker or schedule, so the same
+    // plan produces the same faulted report at any worker count.
+    let faulted_serial = with_plan(plan, || evaluate_model(&model, &problems, &cfg));
+    let dir = temp_dir("fault_chaos");
+    let service = EvalService::with_cache(4, Arc::new(SharedCache::with_store(store_at(&dir))));
+    let faulted = with_plan(plan, || service.eval_suite(&model, &problems, &cfg, |_| {}));
+    assert_eq!(
+        faulted.report, faulted_serial,
+        "chaos lockstep: sharded faulted run == serial faulted run"
+    );
+    for p in &faulted.report.problems {
+        let total: u32 = p.outcomes.values().sum();
+        assert_eq!(total, cfg.n, "every trial must verdict, fault or not");
+    }
+    drop(service);
+
+    // Faulted verdicts were never admitted to any tier: a disarmed warm
+    // service over the surviving store equals the never-faulted truth.
+    let warm = EvalService::with_cache(4, Arc::new(SharedCache::with_store(store_at(&dir))));
+    let replayed = warm.eval_suite(&model, &problems, &cfg, |_| {});
+    assert_eq!(
+        replayed.report, truth,
+        "no injected fault may survive into the persistent tiers"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persist_site_chaos_over_the_unified_tiers_never_diverges() {
+    let model = model();
+    let problems = suite();
+    let cfg = eval_cfg();
+    let truth = evaluate_model(&model, &problems, &cfg);
+
+    for (i, site) in PersistSite::ALL.into_iter().enumerate() {
+        let plan = PersistPlan::new(0x5709_E000 + i as u64, 2);
+        let dir = temp_dir(&format!("persist_chaos_{}", site.name()));
+        let run_dir = temp_dir(&format!("persist_chaos_run_{}", site.name()));
+        let shared = Arc::new(SharedCache::with_store(store_at(&dir)));
+        let service = EvalService::with_cache(3, Arc::clone(&shared));
+        let run = Arc::new(DurableRun::open(&run_dir).expect("run dir"));
+        let chaotic = with_persist_plan(plan, || {
+            service
+                .eval_suite_durable(&model, &problems, &cfg, &run, |_| {})
+                .expect("chaos run completes")
+        });
+        assert_eq!(
+            chaotic.report,
+            truth,
+            "persistence faults at {} may cost durability, never correctness",
+            site.name()
+        );
+        drop(service);
+        // Disarmed warm re-run over whatever survived (quarantined entries,
+        // wounded journals): every corrupted entry must read as a miss and
+        // rebuild, converging back to truth.
+        let warm = EvalService::with_cache(3, Arc::new(SharedCache::with_store(store_at(&dir))));
+        let replayed = warm
+            .eval_suite_durable(&model, &problems, &cfg, &run, |_| {})
+            .expect("recovery run");
+        assert_eq!(replayed.report, truth, "recovery after {}", site.name());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&run_dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any worker count, any seed: the sharded service equals the serial
+    /// grid cold, and equals itself warm — the ISSUE's lockstep invariant
+    /// as a property.
+    #[test]
+    fn service_lockstep_across_worker_counts(
+        workers in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let model = model();
+        let problems = mini_suite();
+        let cfg = EvalConfig { n: 3, seed, stimulus_trials: 1 };
+        let serial = evaluate_model(&model, &problems, &cfg);
+
+        let dir = temp_dir(&format!("prop_{workers}_{seed}"));
+        let service =
+            EvalService::with_cache(workers, Arc::new(SharedCache::with_store(store_at(&dir))));
+        let cold = service.eval_suite(&model, &problems, &cfg, |_| {});
+        prop_assert_eq!(&cold.report, &serial);
+        drop(service);
+
+        let warm_service =
+            EvalService::with_cache(workers, Arc::new(SharedCache::with_store(store_at(&dir))));
+        let warm = warm_service.eval_suite(&model, &problems, &cfg, |_| {});
+        prop_assert_eq!(&warm.report, &serial);
+        prop_assert_eq!(warm.tiers.score.misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The streamed sink sees exactly the report's problems, in order, even
+/// when results finish out of order on a wide pool.
+#[test]
+fn sink_streams_canonical_order_under_wide_sharding() {
+    let model = model();
+    let problems = suite();
+    let cfg = eval_cfg();
+    let service = EvalService::new(8);
+    let mut streamed: Vec<String> = Vec::new();
+    let report: EvalReport = service
+        .eval_suite(&model, &problems, &cfg, |r| streamed.push(r.id.clone()))
+        .report;
+    let expected: Vec<String> = report.problems.iter().map(|p| p.id.clone()).collect();
+    assert_eq!(streamed, expected);
+    let suite_ids: Vec<String> = problems.iter().map(|p| p.id.clone()).collect();
+    assert_eq!(streamed, suite_ids, "stream order is suite order");
+}
